@@ -1,0 +1,35 @@
+"""Benchmark fixtures: one shared dataset, a results directory, comparisons.
+
+Scale defaults to 25% of the paper's test volume (override with
+``REPRO_BENCH_SCALE=1.0`` for a full-scale run).  Every bench writes its
+reproduced table/series as CSV under ``results/`` and prints a
+paper-vs-measured comparison.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from bench_common import bench_scale
+
+from repro.synth import DatasetGenerator, GeneratorConfig
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    config = GeneratorConfig(seed=20220224, scale=bench_scale())
+    return DatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = Path(__file__).resolve().parent.parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def ndt_with_asn(bench_dataset):
+    from repro.analysis.common import client_as_column
+
+    return client_as_column(bench_dataset.ndt, bench_dataset.topology.iplayer)

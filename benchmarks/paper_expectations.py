@@ -1,0 +1,92 @@
+"""The paper's published numbers, used by benches for side-by-side printing.
+
+These constants are *references for comparison output and shape assertions*
+— the reproduction is not expected to match them absolutely (its substrate
+is a simulator, not the 2022 Internet), but the direction and rough factor
+of every change should hold.
+"""
+
+# Table 1 (city, metric) -> (prewar, wartime, significant)
+TABLE1 = {
+    ("Kyiv", "min_rtt_ms"): (11.340, 26.613, True),
+    ("Kyiv", "tput_mbps"): (64.02, 50.86, True),
+    ("Kyiv", "loss_rate"): (0.0137, 0.0314, True),
+    ("Kharkiv", "min_rtt_ms"): (23.099, 31.669, True),
+    ("Kharkiv", "tput_mbps"): (45.45, 52.70, True),
+    ("Kharkiv", "loss_rate"): (0.0234, 0.0332, True),
+    ("Mariupol", "min_rtt_ms"): (17.668, 17.103, False),
+    ("Mariupol", "tput_mbps"): (32.88, 18.80, True),
+    ("Mariupol", "loss_rate"): (0.0279, 0.0684, True),
+    ("Lviv", "min_rtt_ms"): (5.563, 11.942, True),
+    ("Lviv", "tput_mbps"): (39.37, 41.85, False),
+    ("Lviv", "loss_rate"): (0.0173, 0.0329, True),
+    ("National", "min_rtt_ms"): (13.807, 21.734, True),
+    ("National", "tput_mbps"): (45.06, 37.34, True),
+    ("National", "loss_rate"): (0.0197, 0.0414, True),
+}
+
+# Table 2: period -> (paths/conn, tests/conn)
+TABLE2 = {
+    "baseline_janfeb": (2.175, 83.579),
+    "baseline_febapr": (2.172, 63.019),
+    "prewar": (3.281, 210.910),
+    "wartime": (4.284, 192.058),
+}
+
+# Table 3: asn -> (d_count_pct, d_tput_pct, d_rtt_pct, loss_ratio)
+TABLE3 = {
+    15895: (+16.45, -36.62, +10.20, 1.58),
+    3255: (+37.59, -5.99, +134.0, 1.59),
+    25229: (+31.18, -4.93, +176.4, 2.20),
+    35297: (+71.94, -34.43, +86.01, 2.81),
+    21488: (-86.73, +0.31, +554.6, 3.73),
+    21497: (+15.82, -19.67, +202.8, 0.98),
+    6876: (-34.72, +5.55, -7.00, 0.60),
+    50581: (+282.8, -22.41, +116.7, 4.92),
+    39608: (-44.41, -21.93, +118.7, 2.80),
+    13307: (-13.18, +9.75, -46.89, 0.82),
+}
+
+# Table 3 baseline-fluctuation row.
+TABLE3_BASELINE = {"d_count_pct": -36.85, "d_tput_pct": -25.06,
+                   "d_rtt_pct": +109.71, "loss_ratio": 1.72}
+
+# Table 4: oblast -> (pre_tput, pre_rtt, pre_loss, war_tput, war_rtt, war_loss)
+TABLE4_SAMPLE = {
+    "Kiev City": (61.71, 11.69, 0.0130, 50.61, 25.99, 0.0293),
+    "Kharkiv": (42.72, 21.42, 0.0222, 42.51, 26.93, 0.0341),
+    "L'viv": (34.70, 6.53, 0.0162, 37.16, 13.44, 0.0327),
+    "Zaporizhzhya": (24.71, 4.16, 0.0200, 19.87, 14.94, 0.1209),
+    "Kherson": (24.59, 5.08, 0.0207, 16.37, 18.94, 0.0857),
+}
+
+# Table 5 (asn, period) -> (tput_mean, rtt_mean, loss_mean, count)
+TABLE5_SAMPLE = {
+    (15895, "prewar"): (37.836, 22.514, 0.0161, 3367),
+    (15895, "wartime"): (23.980, 24.809, 0.0254, 3921),
+    (6876, "prewar"): (45.038, 4.187, 0.0121, 1129),
+    (6876, "wartime"): (47.538, 3.894, 0.0073, 737),
+    (50581, "prewar"): (31.827, 4.670, 0.0105, 360),
+    (50581, "wartime"): (24.695, 10.118, 0.0518, 1378),
+}
+
+# Table 6: asn -> metrics with significant (p < 0.05) changes
+TABLE6_SIGNIFICANT = {
+    15895: {"tput_mbps", "loss_rate"},
+    3255: {"min_rtt_ms", "loss_rate"},
+    25229: {"min_rtt_ms", "loss_rate"},
+    35297: {"tput_mbps", "min_rtt_ms", "loss_rate"},
+    21488: {"min_rtt_ms", "loss_rate"},
+    21497: {"tput_mbps", "min_rtt_ms"},
+    6876: {"loss_rate"},
+    50581: {"tput_mbps", "min_rtt_ms", "loss_rate"},
+    39608: {"tput_mbps", "min_rtt_ms", "loss_rate"},
+    13307: {"tput_mbps"},
+}
+
+# Figure 2 headline: national wartime-over-prewar factors.
+FIG2_FACTORS = {"min_rtt_ms": 21.734 / 13.807, "tput_mbps": 37.34 / 45.06,
+                "loss_rate": 0.0414 / 0.0197}
+
+# Figure 4: wartime-over-prewar test-count collapse in the besieged cities.
+FIG4_COUNT_RATIOS = {"Mariupol": 26 / 296, "Kharkiv": 1215 / 1839}

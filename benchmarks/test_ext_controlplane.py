@@ -1,0 +1,62 @@
+"""Extension benches: control-plane churn and bootstrap uncertainty."""
+
+import numpy as np
+from bench_common import emit
+
+from repro.analysis.routing_churn import churn_summary, daily_route_churn
+from repro.analysis.uncertainty import agreement_rate, city_bootstrap_table
+from repro.tables import format_table
+from repro.tables.io import write_csv
+from repro.viz import line_chart
+
+
+def test_ext_route_churn(bench_dataset, benchmark, results_dir):
+    churn = benchmark.pedantic(
+        lambda: daily_route_churn(bench_dataset), rounds=1, iterations=1
+    )
+    write_csv(churn, str(results_dir / "ext_route_churn.csv"))
+    summary = churn_summary(churn, bench_dataset)
+    marker = churn["date"].to_list().index("2022-02-24")
+    emit(
+        results_dir,
+        "ext_route_churn",
+        line_chart(
+            [float(v) for v in churn["changes"].to_list()],
+            title="daily route changes across all (eyeball, site) pairs "
+                  "(':' marks Feb 24)",
+            marker_index=marker,
+            y_fmt=".0f",
+        )
+        + f"\n\nmean daily changes: prewar {summary['prewar_daily_changes']:.1f}, "
+        f"wartime {summary['wartime_daily_changes']:.1f} "
+        f"(x{summary['ratio']:.1f})",
+    )
+    # The collector view must agree with the traceroute view: wartime
+    # routing churn far exceeds the peacetime reconvergence level.
+    assert summary["ratio"] > 2.0
+
+
+def test_ext_bootstrap_table1(bench_dataset, benchmark, results_dir):
+    table = benchmark.pedantic(
+        lambda: city_bootstrap_table(
+            bench_dataset.ndt, np.random.default_rng(0), n_resamples=300
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_csv(table, str(results_dir / "ext_bootstrap_table1.csv"))
+    rate = agreement_rate(table)
+    emit(
+        results_dir,
+        "ext_bootstrap_table1",
+        format_table(
+            table,
+            float_fmts={"mean_diff": "+.3f", "ci_low": "+.3f", "ci_high": "+.3f"},
+        )
+        + f"\n\nWelch/bootstrap agreement: {rate:.0%} of cells "
+        "(Appendix B's normality caveat does not change the conclusions)",
+    )
+    assert rate >= 0.7
+    national = {r["metric"]: r for r in table.iter_rows() if r["city"] == "National"}
+    assert national["min_rtt_ms"]["bootstrap_sig"]
+    assert national["loss_rate"]["bootstrap_sig"]

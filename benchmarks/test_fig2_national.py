@@ -1,0 +1,53 @@
+"""Bench F2 — Figure 2: daily national metric series, 2022 vs 2021."""
+
+import numpy as np
+from bench_common import emit
+from paper_expectations import FIG2_FACTORS
+
+from repro.analysis.national import invasion_day_ordinal, national_daily
+from repro.tables.io import write_csv
+from repro.viz import line_chart
+
+
+def test_fig2_national(bench_dataset, benchmark, results_dir):
+    daily_2022 = benchmark.pedantic(
+        lambda: national_daily(bench_dataset.ndt, 2022), rounds=3, iterations=1
+    )
+    daily_2021 = national_daily(bench_dataset.ndt, 2021)
+    write_csv(daily_2022, str(results_dir / "fig2_national_2022.csv"))
+    write_csv(daily_2021, str(results_dir / "fig2_national_2021.csv"))
+
+    marker = daily_2022["day"].to_list().index(invasion_day_ordinal())
+    days = np.asarray(daily_2022["day"].to_list())
+    pre_mask = days < invasion_day_ordinal()
+
+    lines = []
+    measured_factors = {}
+    for metric, fmt in (("tests", ".0f"), ("min_rtt_ms", ".1f"),
+                        ("tput_mbps", ".1f"), ("loss_rate", ".3f")):
+        series = np.asarray(daily_2022[metric].to_list())
+        lines.append(
+            line_chart(series.tolist(), title=f"2022 daily {metric}",
+                       marker_index=marker, y_fmt=fmt)
+        )
+        if metric != "tests":
+            measured_factors[metric] = float(
+                np.nanmean(series[~pre_mask]) / np.nanmean(series[pre_mask])
+            )
+    lines.append("\nwartime/prewar factor, paper vs measured:")
+    for metric, paper_factor in FIG2_FACTORS.items():
+        lines.append(
+            f"  {metric:11s} paper x{paper_factor:.2f}  measured "
+            f"x{measured_factors[metric]:.2f}"
+        )
+    emit(results_dir, "fig2_national", "\n".join(lines))
+
+    # Shape: RTT and loss jump, throughput falls, 2021 stays flat.
+    assert measured_factors["min_rtt_ms"] > 1.3
+    assert measured_factors["loss_rate"] > 1.5
+    assert measured_factors["tput_mbps"] < 0.92
+    b_days = np.asarray(daily_2021["day"].to_list())
+    b_split = b_days < (invasion_day_ordinal() - 365)
+    b_rtt = np.asarray(daily_2021["min_rtt_ms"].to_list())
+    baseline_factor = np.nanmean(b_rtt[~b_split]) / np.nanmean(b_rtt[b_split])
+    assert 0.85 < baseline_factor < 1.15

@@ -1,0 +1,50 @@
+"""Bench F4 — Figure 4: daily test counts in Kharkiv and Mariupol."""
+
+import numpy as np
+from bench_common import emit
+from paper_expectations import FIG4_COUNT_RATIOS
+
+from repro.analysis.city import siege_city_counts
+from repro.analysis.national import invasion_day_ordinal
+from repro.tables.io import write_csv
+from repro.util import Day
+from repro.viz import line_chart
+
+
+def test_fig4_siege_counts(bench_dataset, benchmark, results_dir):
+    counts = benchmark.pedantic(
+        lambda: siege_city_counts(bench_dataset.ndt), rounds=3, iterations=1
+    )
+    write_csv(counts, str(results_dir / "fig4_siege_counts.csv"))
+
+    marker = counts["day"].to_list().index(invasion_day_ordinal())
+    days = np.asarray(counts["day"].to_list())
+    pre = days < invasion_day_ordinal()
+
+    lines = []
+    measured = {}
+    for city in ("Kharkiv", "Mariupol"):
+        series = np.asarray(counts[city].to_list())
+        lines.append(
+            line_chart(series.tolist(), title=f"{city} daily tests",
+                       marker_index=marker, y_fmt=".0f")
+        )
+        measured[city] = float(series[~pre].sum() / max(series[pre].sum(), 1))
+    lines.append("\nwartime/prewar test-count ratio, paper vs measured:")
+    for city, paper_ratio in FIG4_COUNT_RATIOS.items():
+        lines.append(
+            f"  {city:9s} paper {paper_ratio:.3f}  measured {measured[city]:.3f}"
+        )
+    emit(results_dir, "fig4_siege_counts", "\n".join(lines))
+
+    # Shape: Mariupol all but disappears; Kharkiv drops after March 14.
+    assert measured["Mariupol"] < 0.35
+    mariupol = np.asarray(counts["Mariupol"].to_list())
+    late = days >= Day.of("2022-03-15").ordinal
+    assert mariupol[late].mean() < 0.2 * max(mariupol[pre].mean(), 0.1)
+    kharkiv = np.asarray(counts["Kharkiv"].to_list())
+    before_shelling = (days >= invasion_day_ordinal()) & (
+        days < Day.of("2022-03-14").ordinal
+    )
+    after_shelling = days >= Day.of("2022-03-14").ordinal
+    assert kharkiv[after_shelling].mean() < 0.8 * kharkiv[before_shelling].mean()

@@ -1,0 +1,43 @@
+"""Bench F9 — Figure 9: performance change vs change in paths used."""
+
+import numpy as np
+from bench_common import emit
+
+from repro.analysis.paths import path_performance
+from repro.tables import format_table
+from repro.tables.io import write_csv
+
+
+def test_fig9_pathperf(bench_dataset, benchmark, results_dir):
+    table = benchmark.pedantic(
+        lambda: path_performance(bench_dataset.ndt, bench_dataset.traces,
+                                 min_tests=5),
+        rounds=2,
+        iterations=1,
+    )
+    write_csv(table, str(results_dir / "fig9_pathperf.csv"))
+
+    lines = [
+        format_table(
+            table,
+            float_fmts={"p_tput": ".1e", "p_loss": ".1e", "d_loss": ".4f"},
+            float_fmt=".2f",
+        ),
+        "",
+        "paper's reading: connections that used more new paths during the "
+        "war saw throughput decreases and loss increases (a mild, not "
+        "perfectly monotone correlation — Appendix D).",
+    ]
+    emit(results_dir, "fig9_pathperf", "\n".join(lines))
+
+    rows = table.to_dicts()
+    assert len(rows) >= 2
+    gained = [r for r in rows if r["d_paths"] > 0]
+    assert gained, "some persistent connections must have gained paths"
+    # Shape: among connections that gained paths, throughput fell and loss
+    # rose on average (weighted by bucket size).
+    weights = np.array([r["n_connections"] for r in gained], dtype=float)
+    d_tput = np.array([r["d_tput_mbps"] for r in gained])
+    d_loss = np.array([r["d_loss"] for r in gained])
+    assert np.average(d_tput, weights=weights) < 0
+    assert np.average(d_loss, weights=weights) > 0

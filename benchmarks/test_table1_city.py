@@ -1,0 +1,49 @@
+"""Bench T1 — Table 1: city-level prewar/wartime comparison (Welch's t-test)."""
+
+from bench_common import emit
+from paper_expectations import TABLE1
+
+from repro.analysis.city import city_welch_table
+from repro.tables import format_table
+from repro.tables.io import write_csv
+
+
+def test_table1_city(bench_dataset, benchmark, results_dir):
+    table = benchmark.pedantic(
+        lambda: city_welch_table(bench_dataset.ndt), rounds=3, iterations=1
+    )
+    write_csv(table, str(results_dir / "table1_city.csv"))
+
+    lines = [
+        format_table(
+            table,
+            float_fmts={
+                "min_rtt_ms_p": ".1e", "tput_mbps_p": ".1e", "loss_rate_p": ".1e",
+                "loss_rate_prewar": ".4f", "loss_rate_wartime": ".4f",
+            },
+            float_fmt=".2f",
+        ),
+        "",
+        "paper vs measured (prewar -> wartime):",
+    ]
+    rows = {r["city"]: r for r in table.iter_rows()}
+    for (city, metric), (paper_pre, paper_war, paper_sig) in TABLE1.items():
+        r = rows[city]
+        lines.append(
+            f"  {city:9s} {metric:11s} paper {paper_pre:8.3f} -> {paper_war:8.3f} "
+            f"({'sig' if paper_sig else 'ns '})   measured "
+            f"{r[f'{metric}_prewar']:8.3f} -> {r[f'{metric}_wartime']:8.3f} "
+            f"({'sig' if r[f'{metric}_sig'] else 'ns '})"
+        )
+    emit(results_dir, "table1_city", "\n".join(lines))
+
+    # Shape assertions: direction of every national change + headline cities.
+    national = rows["National"]
+    assert national["min_rtt_ms_wartime"] > national["min_rtt_ms_prewar"]
+    assert national["tput_mbps_wartime"] < national["tput_mbps_prewar"]
+    assert national["loss_rate_wartime"] > national["loss_rate_prewar"]
+    assert national["min_rtt_ms_sig"] and national["loss_rate_sig"]
+    kyiv = rows["Kyiv"]
+    assert kyiv["min_rtt_ms_sig"] and kyiv["min_rtt_ms_wartime"] > 1.5 * kyiv["min_rtt_ms_prewar"]
+    mariupol = rows["Mariupol"]
+    assert mariupol["n_wartime"] < 0.4 * mariupol["n_prewar"]

@@ -1,0 +1,38 @@
+"""Bench T2 — Table 2: paths and tests per connection across the 4 periods."""
+
+from bench_common import emit
+from paper_expectations import TABLE2
+
+from repro.analysis.paths import path_count_table
+from repro.tables import format_table
+from repro.tables.io import write_csv
+
+
+def test_table2_paths(bench_dataset, benchmark, results_dir):
+    table = benchmark.pedantic(
+        lambda: path_count_table(bench_dataset.traces), rounds=2, iterations=1
+    )
+    write_csv(table, str(results_dir / "table2_paths.csv"))
+
+    rows = {r["period"]: r for r in table.iter_rows()}
+    lines = [format_table(table, float_fmt=".3f"), "", "paper vs measured:"]
+    for period, (paper_paths, paper_tests) in TABLE2.items():
+        r = rows[period]
+        lines.append(
+            f"  {period:16s} paths/conn paper {paper_paths:6.3f} measured "
+            f"{r['paths_per_conn']:6.3f}   tests/conn paper {paper_tests:7.1f} "
+            f"measured {r['tests_per_conn']:7.1f}"
+        )
+    lines.append(
+        "\nnote: absolute tests/conn scale with dataset volume (the paper's "
+        "Section-5 population is ~10x its Section-4 population); the ordering "
+        "baseline < prewar < wartime is the reproduced shape."
+    )
+    emit(results_dir, "table2_paths", "\n".join(lines))
+
+    assert rows["wartime"]["paths_per_conn"] > rows["prewar"]["paths_per_conn"]
+    assert rows["prewar"]["paths_per_conn"] > max(
+        rows["baseline_janfeb"]["paths_per_conn"],
+        rows["baseline_febapr"]["paths_per_conn"],
+    )
+    assert rows["prewar"]["tests_per_conn"] > rows["baseline_janfeb"]["tests_per_conn"]

@@ -1,0 +1,61 @@
+"""Bench T3 — Table 3: top-10 AS metric changes vs baseline fluctuations."""
+
+from bench_common import emit
+from paper_expectations import TABLE3, TABLE3_BASELINE
+
+from repro.analysis.asn_metrics import (
+    PAPER_TOP10_ASNS,
+    as_change_table,
+    baseline_fluctuations,
+)
+from repro.tables import format_table
+from repro.tables.io import write_csv
+
+
+def test_table3_asn(bench_dataset, ndt_with_asn, benchmark, results_dir):
+    registry = bench_dataset.topology.registry
+
+    def run():
+        baseline = baseline_fluctuations(ndt_with_asn)
+        return baseline, as_change_table(
+            ndt_with_asn, PAPER_TOP10_ASNS, registry, baseline
+        )
+
+    baseline, table = benchmark.pedantic(run, rounds=2, iterations=1)
+    write_csv(table, str(results_dir / "table3_asn.csv"))
+
+    rows = {r["asn"]: r for r in table.iter_rows()}
+    lines = [format_table(table, float_fmt="+.2f"), "", "paper vs measured:"]
+    for asn, (p_count, p_tput, p_rtt, p_loss) in TABLE3.items():
+        if asn not in rows:
+            lines.append(f"  AS{asn}: too few tests in this run")
+            continue
+        r = rows[asn]
+        lines.append(
+            f"  {registry.name_of(asn):14s} dTput paper {p_tput:+7.2f}% measured "
+            f"{r['d_tput_pct']:+7.2f}%   dRTT paper {p_rtt:+7.1f}% measured "
+            f"{r['d_rtt_pct']:+7.1f}%   loss paper x{p_loss:.2f} measured "
+            f"x{r['loss_ratio']:.2f}"
+        )
+    lines.append(
+        f"  baseline fluct. paper count {TABLE3_BASELINE['d_count_pct']:+.1f}% "
+        f"tput {TABLE3_BASELINE['d_tput_pct']:+.1f}% rtt "
+        f"{TABLE3_BASELINE['d_rtt_pct']:+.1f}% loss x{TABLE3_BASELINE['loss_ratio']:.2f}"
+        f"   measured count {baseline.d_count_pct:+.1f}% tput "
+        f"{baseline.d_tput_pct:+.1f}% rtt {baseline.d_rtt_pct:+.1f}% "
+        f"loss x{baseline.loss_ratio:.2f}"
+    )
+    emit(results_dir, "table3_asn", "\n".join(lines))
+
+    # Shape: Kyivstar throughput collapses; Ukrtelecom's counts explode and
+    # loss multiplies; TeNeT does not degrade; Emplot's counts collapse.
+    assert rows[15895]["d_tput_pct"] < -15 and rows[15895]["d_tput_sig"]
+    assert rows[50581]["d_count_pct"] > 100
+    assert rows[50581]["loss_ratio"] > 2
+    assert rows[6876]["loss_ratio"] < 1.4  # TeNeT: no degradation beyond noise
+    assert rows[21488]["d_count_pct"] < -60
+    # Most ASes should degrade in RTT or loss beyond the baseline.
+    exceeds = [
+        r for r in table.iter_rows() if r["d_rtt_exceeds"] or r["loss_exceeds"]
+    ]
+    assert len(exceeds) >= 4

@@ -1,0 +1,62 @@
+"""Bench T5 — Table 5: AS-level mean/median/std detail."""
+
+from bench_common import emit
+from paper_expectations import TABLE5_SAMPLE
+
+from repro.analysis.asn_metrics import PAPER_TOP10_ASNS, as_detail_table
+from repro.tables import format_table
+from repro.tables.io import write_csv
+
+
+def test_table5_asn_detail(bench_dataset, ndt_with_asn, benchmark, results_dir):
+    table = benchmark.pedantic(
+        lambda: as_detail_table(ndt_with_asn, PAPER_TOP10_ASNS),
+        rounds=2,
+        iterations=1,
+    )
+    write_csv(table, str(results_dir / "table5_asn_detail.csv"))
+
+    rows = {(r["asn"], r["period"]): r for r in table.iter_rows()}
+    lines = [
+        format_table(
+            table,
+            float_fmts={
+                "loss_rate_mean": ".4f", "loss_rate_median": ".4f",
+                "loss_rate_std": ".4f",
+            },
+            float_fmt=".2f",
+        ),
+        "",
+        "paper vs measured (means; counts scale with the bench volume):",
+    ]
+    for (asn, period), (pt, pr, pl, pc) in TABLE5_SAMPLE.items():
+        r = rows[(asn, period)]
+        lines.append(
+            f"  AS{asn} {period:8s} tput paper {pt:7.2f} measured "
+            f"{r['tput_mbps_mean']:7.2f}   rtt paper {pr:6.2f} measured "
+            f"{r['min_rtt_ms_mean']:6.2f}   loss paper {pl:.4f} measured "
+            f"{r['loss_rate_mean']:.4f}"
+        )
+    emit(results_dir, "table5_asn_detail", "\n".join(lines))
+
+    # Shape: Kyivstar's throughput collapses and loss rises; TeNeT improves;
+    # Ukrtelecom's wartime loss multiplies severalfold.
+    assert (
+        rows[(15895, "wartime")]["tput_mbps_mean"]
+        < 0.8 * rows[(15895, "prewar")]["tput_mbps_mean"]
+    )
+    # TeNeT does not degrade (its loss stays flat/falls; beta-draw noise at
+    # bench scale allows a small wobble).
+    assert (
+        rows[(6876, "wartime")]["loss_rate_mean"]
+        < 1.4 * rows[(6876, "prewar")]["loss_rate_mean"]
+    )
+    assert (
+        rows[(50581, "wartime")]["loss_rate_mean"]
+        > 2 * rows[(50581, "prewar")]["loss_rate_mean"]
+    )
+    # Medians stay below means for throughput (right-skew, as in the paper).
+    assert (
+        rows[(15895, "prewar")]["tput_mbps_median"]
+        < rows[(15895, "prewar")]["tput_mbps_mean"]
+    )

@@ -1,0 +1,80 @@
+"""Date-level forensics: find the outages, then explain them (extension).
+
+Run:
+    python examples/outage_forensics.py [scale]
+
+The paper eyeballs the March-10 Ukrtelecom/Triolan outage in Figure 2 and
+leaves systematic date-level analysis to future work.  This example runs
+that analysis end to end:
+
+1. robust anomaly detection over the daily national series flags the
+   outage days (test-count spike + throughput dip);
+2. an event study around every dated war event quantifies each event's
+   before/after impact with Welch's t-test;
+3. the quantified Figure-9 correlation shows how strongly path changes
+   track performance changes.
+"""
+
+import sys
+
+from repro import DatasetGenerator, GeneratorConfig
+from repro.analysis.events_impact import event_impact_table
+from repro.analysis.national import national_daily
+from repro.analysis.outages import detect_metric_anomalies, detect_outage_days
+from repro.analysis.paths import path_performance_correlation
+from repro.conflict import default_timeline
+from repro.tables import col, format_table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    dataset = DatasetGenerator(GeneratorConfig(scale=scale)).generate()
+
+    print("== Outage-shaped days (count spike AND throughput dip) ==")
+    for date in detect_outage_days(dataset.ndt):
+        print(f"  {date}  <-- the paper's March-10 national outage" if
+              date == "2022-03-10" else f"  {date}")
+
+    daily = national_daily(dataset.ndt, 2022)
+    print("\n== All test-count anomalies (robust z >= 2.5) ==")
+    for anomaly in detect_metric_anomalies(daily, "tests", threshold=2.5):
+        print(
+            f"  {anomaly.date}: {anomaly.direction} "
+            f"(z={anomaly.zscore:+.1f}, {anomaly.value:.0f} tests)"
+        )
+
+    print("\n== Event study: +/-7 days around each war event ==")
+    impact = event_impact_table(
+        dataset.ndt, default_timeline(), dataset.topology.gazetteer
+    )
+    significant = impact.filter(col("significant") == True)  # noqa: E712
+    print(
+        format_table(
+            significant,
+            columns=["date", "event", "metric", "mean_before", "mean_after", "p_value"],
+            float_fmts={"p_value": ".1e"},
+            float_fmt=".2f",
+            max_rows=20,
+        )
+    )
+
+    print("\n== Quantified Figure 9: Spearman rho of d_paths vs performance ==")
+    corr = path_performance_correlation(dataset.ndt, dataset.traces, min_tests=5)
+    print(
+        f"  d_paths vs d_tput: rho={corr['tput'].coefficient:+.3f} "
+        f"(p={corr['tput'].p_value:.2e}, {corr['tput'].strength}) over "
+        f"{corr['n']} persistent connections"
+    )
+    print(
+        f"  d_paths vs d_loss: rho={corr['loss'].coefficient:+.3f} "
+        f"(p={corr['loss'].p_value:.2e}, {corr['loss'].strength})"
+    )
+    print(
+        "\nThe paper calls this a 'mild correlation' — most degradation "
+        "comes from edge damage, not rerouting, which is what the ablation "
+        "benches confirm."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Routing analysis: path diversity, border shifts, the AS199995 case study.
+
+Run:
+    python examples/routing_resilience.py [scale]
+
+Reproduces Section 5: Table 2 (paths per connection rise during the war),
+Figure 5 (traffic enters Ukraine through Hurricane Electric instead of the
+degrading carriers) and Figure 6 (AS199995's inbound mix flips as AS6663's
+quality collapses).
+"""
+
+import sys
+
+from repro import DatasetGenerator, GeneratorConfig
+from repro.analysis.border import (
+    border_crossing_counts,
+    border_shift_matrix,
+    border_totals,
+)
+from repro.analysis.casestudy import inbound_weekly
+from repro.analysis.paths import path_count_table
+from repro.tables import col, format_table
+from repro.viz import heatmap, line_chart
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    dataset = DatasetGenerator(GeneratorConfig(scale=scale)).generate()
+    registry = dataset.topology.registry
+
+    print(
+        format_table(
+            path_count_table(dataset.traces),
+            title="Table 2 — paths and tests per connection (top-1000 connections)",
+            float_fmt=".3f",
+        )
+    )
+    print(
+        "\nPath diversity grows prewar->wartime while the 2021 baselines "
+        "stay flat: rerouting under damage, i.e. resilience at work.\n"
+    )
+
+    crossings = border_crossing_counts(dataset.traces, registry)
+    rows, cols, delta, absent = border_shift_matrix(crossings)
+    print(heatmap(delta, rows, cols, absent=absent,
+                  title="Figure 5 — change in tests per (border AS, Ukrainian AS)"))
+    print()
+    print(
+        format_table(
+            border_totals(crossings),
+            title="Net border-AS change (Hurricane Electric gains, others lose)",
+        )
+    )
+
+    weekly = inbound_weekly(dataset.ndt, dataset.traces, registry)
+    for asn in (6939, 6663):
+        series = weekly.filter(col("border_asn") == asn)
+        if series.n_rows == 0:
+            continue
+        print()
+        print(
+            line_chart(
+                series.column("share").to_list(),
+                title=(
+                    f"Figure 6 — weekly share of AS199995's inbound tests via "
+                    f"AS{asn} ({registry.name_of(asn)})"
+                ),
+                y_fmt=".2f",
+                height=8,
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

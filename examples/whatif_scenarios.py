@@ -1,0 +1,73 @@
+"""What-if analysis: which findings survive under ablated war models?
+
+Run:
+    python examples/whatif_scenarios.py [scale]
+
+Generates the dataset under several counterfactual configurations and
+compares the paper's two core observables across them:
+
+* national wartime degradation (MinRTT and loss vs prewar),
+* path diversity growth (paths per connection, wartime vs prewar).
+
+Expected outcome: NO_WAR flattens everything; NO_REROUTING keeps the metric
+degradation but kills the path-diversity growth; UNIFORM_DAMAGE keeps the
+national signal but destroys the regional correlation.
+"""
+
+import sys
+
+from repro import DatasetGenerator, GeneratorConfig, Scenario, scenario_config
+from repro.analysis.city import city_welch_table
+from repro.analysis.paths import path_count_table
+from repro.analysis.regional import oblast_changes, zone_average_changes
+from repro.tables import Table, format_table
+
+
+def zone_gap(dataset) -> float:
+    """Mean loss change on active fronts minus the West (regional signal)."""
+    changes = oblast_changes(dataset.ndt, dataset.topology.gazetteer)
+    zones = {r["zone"]: r["d_loss_pct"] for r in zone_average_changes(changes).iter_rows()}
+    active = (zones.get("north", 0) + zones.get("east", 0) + zones.get("south", 0)) / 3
+    return active - zones.get("west", 0.0)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.08
+    rows = []
+    for scenario in (
+        Scenario.PAPER,
+        Scenario.NO_WAR,
+        Scenario.NO_REROUTING,
+        Scenario.UNIFORM_DAMAGE,
+    ):
+        config = scenario_config(scenario, GeneratorConfig(scale=scale))
+        dataset = DatasetGenerator(config).generate()
+        national = city_welch_table(dataset.ndt, cities=[]).to_dicts()[-1]
+        paths = {r["period"]: r for r in path_count_table(dataset.traces).iter_rows()}
+        rows.append(
+            {
+                "scenario": scenario.value,
+                "rtt_ratio": national["min_rtt_ms_wartime"] / national["min_rtt_ms_prewar"],
+                "loss_ratio": national["loss_rate_wartime"] / national["loss_rate_prewar"],
+                "path_growth": paths["wartime"]["paths_per_conn"]
+                - paths["prewar"]["paths_per_conn"],
+                "zone_gap_pct": zone_gap(dataset),
+            }
+        )
+        print(f"  ran {scenario.value}")
+    print()
+    print(
+        format_table(
+            Table.from_rows(rows),
+            title=(
+                "Which findings survive each ablation?\n"
+                "(rtt/loss ratio ~1 = no degradation; path_growth ~0 = no "
+                "rerouting; zone_gap ~0 = no regional correlation)"
+            ),
+            float_fmt=".2f",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

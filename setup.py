@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build the editable wheel.  This shim
+lets ``python setup.py develop`` provide the equivalent editable install; all
+real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

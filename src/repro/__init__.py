@@ -1,0 +1,39 @@
+"""Reproduction of *The Ukrainian Internet Under Attack: an NDT Perspective*
+(IMC '22).
+
+The package simulates the M-Lab NDT measurement pipeline over a synthetic
+Ukrainian Internet under the 2022 invasion, then recomputes every table and
+figure of the paper from the generated data.
+
+Quickstart
+----------
+>>> from repro import DatasetGenerator, GeneratorConfig, full_report
+>>> dataset = DatasetGenerator(GeneratorConfig(scale=0.2)).generate()
+>>> print(full_report(dataset))  # doctest: +SKIP
+
+Layers (bottom-up): :mod:`repro.util`, :mod:`repro.tables`,
+:mod:`repro.stats`, :mod:`repro.netbase`, :mod:`repro.geo`,
+:mod:`repro.conflict`, :mod:`repro.topology`, :mod:`repro.mlab`,
+:mod:`repro.ndt`, :mod:`repro.traceroute`, :mod:`repro.synth`,
+:mod:`repro.analysis`, :mod:`repro.viz`.
+"""
+
+from repro.analysis.report import full_report
+from repro.synth.generator import Dataset, DatasetGenerator, GeneratorConfig, study_periods
+from repro.synth.scenario import Scenario, scenario_config
+from repro.topology.builder import Topology, build_default_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dataset",
+    "DatasetGenerator",
+    "GeneratorConfig",
+    "Scenario",
+    "Topology",
+    "__version__",
+    "build_default_topology",
+    "full_report",
+    "scenario_config",
+    "study_periods",
+]

@@ -1,0 +1,126 @@
+"""Figure 5: how traffic enters Ukraine, prewar vs wartime.
+
+For every 2022 traceroute, the first adjacency whose left AS is foreign and
+right AS is Ukrainian is the *border crossing*.  Counting tests per
+(border AS, Ukrainian AS) pair in each period and differencing produces the
+paper's heatmap — where the shift toward Hurricane Electric and away from
+Cogent shows up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.common import parse_as_path, slice_period
+from repro.netbase.asn import ASRegistry
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.util.errors import AnalysisError
+
+__all__ = ["border_crossing_counts", "border_shift_matrix", "border_totals"]
+
+
+def _crossing(
+    as_path: Tuple[int, ...], registry: ASRegistry
+) -> Optional[Tuple[int, int]]:
+    """First (foreign, Ukrainian) adjacency, or None."""
+    for left, right in zip(as_path, as_path[1:]):
+        left_as = registry.maybe_get(left)
+        right_as = registry.maybe_get(right)
+        if left_as is None or right_as is None:
+            return None
+        if not left_as.is_ukrainian and right_as.is_ukrainian:
+            return (left, right)
+    return None
+
+
+def border_crossing_counts(traces: Table, registry: ASRegistry) -> Table:
+    """Tests per (border AS, Ukrainian AS) pair, prewar vs wartime.
+
+    Output columns: ``border_asn``, ``border_name``, ``ua_asn``,
+    ``ua_name``, ``prewar``, ``wartime``, ``delta``.
+    """
+    counts: Dict[Tuple[int, int], Dict[str, int]] = {}
+    for period in ("prewar", "wartime"):
+        sliced = slice_period(traces, period)
+        # Crossings depend only on the AS path: resolve each distinct path once.
+        path_counts: Dict[str, int] = {}
+        for text in sliced.column("as_path").values:
+            path_counts[text] = path_counts.get(text, 0) + 1
+        for text, n in path_counts.items():
+            crossing = _crossing(parse_as_path(text), registry)
+            if crossing is None:
+                continue
+            entry = counts.setdefault(crossing, {"prewar": 0, "wartime": 0})
+            entry[period] += n
+    if not counts:
+        raise AnalysisError("no border crossings found in the traces")
+    rows = []
+    for (border, ua), entry in sorted(counts.items()):
+        rows.append(
+            {
+                "border_asn": border,
+                "border_name": registry.name_of(border),
+                "ua_asn": ua,
+                "ua_name": registry.name_of(ua),
+                "prewar": entry["prewar"],
+                "wartime": entry["wartime"],
+                "delta": entry["wartime"] - entry["prewar"],
+            }
+        )
+    return Table.from_rows(
+        rows,
+        dtypes={
+            "border_asn": DType.INT,
+            "border_name": DType.STR,
+            "ua_asn": DType.INT,
+            "ua_name": DType.STR,
+            "prewar": DType.INT,
+            "wartime": DType.INT,
+            "delta": DType.INT,
+        },
+    )
+
+
+def border_shift_matrix(
+    crossing_counts: Table,
+) -> Tuple[List[str], List[str], List[List[float]], List[List[bool]]]:
+    """Figure 5's heatmap ingredients.
+
+    Returns ``(border_labels, ua_labels, delta_matrix, absent_mask)`` where
+    ``absent_mask`` marks pairs with no route in either period (the paper's
+    black squares).
+    """
+    borders = sorted(set(crossing_counts.column("border_asn").to_list()))
+    uas = sorted(set(crossing_counts.column("ua_asn").to_list()))
+    b_index = {b: i for i, b in enumerate(borders)}
+    u_index = {u: j for j, u in enumerate(uas)}
+    delta = [[0.0 for _ in uas] for _ in borders]
+    present = [[False for _ in uas] for _ in borders]
+    names_b = {}
+    names_u = {}
+    for row in crossing_counts.iter_rows():
+        i, j = b_index[row["border_asn"]], u_index[row["ua_asn"]]
+        delta[i][j] = float(row["delta"])
+        present[i][j] = row["prewar"] + row["wartime"] > 0
+        names_b[row["border_asn"]] = row["border_name"]
+        names_u[row["ua_asn"]] = row["ua_name"]
+    border_labels = [f"{names_b[b]} ({b})" for b in borders]
+    ua_labels = [f"{names_u[u]} ({u})" for u in uas]
+    absent = [[not cell for cell in row] for row in present]
+    return border_labels, ua_labels, delta, absent
+
+
+def border_totals(crossing_counts: Table) -> Table:
+    """Net change per border AS (who gained, who lost) — Figure 5's summary."""
+    return (
+        crossing_counts.group_by(["border_asn", "border_name"])
+        .aggregate(
+            {
+                "prewar": ("prewar", "sum"),
+                "wartime": ("wartime", "sum"),
+                "delta": ("delta", "sum"),
+            }
+        )
+        .sort_by("delta", descending=True)
+    )

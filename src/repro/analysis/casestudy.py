@@ -1,0 +1,113 @@
+"""Figure 6: the AS 199995 case study.
+
+Three foreign border ASes feed Ukrainian AS 199995.  The paper shows that
+as one of them (AS 6663) degrades — its weekly median loss and RTT rise —
+the share of tests entering through it collapses and Hurricane Electric
+(AS 6939) takes over.  This module recomputes the three panels: weekly
+inbound share per border AS, weekly median loss, and weekly median RTT of
+the tests entering through each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.common import parse_as_path
+from repro.netbase.asn import ASRegistry
+from repro.tables.expr import col
+from repro.tables.join import join
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.util.errors import AnalysisError
+from repro.util.timeutil import Day
+
+__all__ = ["inbound_weekly"]
+
+
+def _entry_border(path: Tuple[int, ...], ua_asn: int, registry: ASRegistry) -> Optional[int]:
+    """The foreign AS immediately before ``ua_asn`` on the path, if any."""
+    for left, right in zip(path, path[1:]):
+        if right != ua_asn:
+            continue
+        left_as = registry.maybe_get(left)
+        if left_as is not None and not left_as.is_ukrainian:
+            return left
+    return None
+
+
+def inbound_weekly(
+    ndt: Table,
+    traces: Table,
+    registry: ASRegistry,
+    ua_asn: int = 199995,
+    year: int = 2022,
+) -> Table:
+    """Weekly inbound composition and performance for one Ukrainian AS.
+
+    Output: one row per (ISO week, border AS) with columns ``week``
+    (Monday's ISO date), ``border_asn``, ``border_name``, ``tests``,
+    ``share`` (of that week's tests entering ``ua_asn``), ``median_loss``,
+    ``median_rtt_ms``.
+    """
+    merged = join(
+        traces.select(["test_id", "as_path", "day", "year"]),
+        ndt.select(["test_id", "loss_rate", "min_rtt_ms"]),
+        on="test_id",
+    ).filter(col("year") == year)
+    if merged.n_rows == 0:
+        raise AnalysisError(f"no joined tests in {year}")
+
+    # Resolve each distinct AS path once.
+    entry_cache: Dict[str, Optional[int]] = {}
+    weeks: Dict[Tuple[int, int], Dict[str, list]] = {}
+    as_path = merged.column("as_path").values
+    days = merged.column("day").values
+    loss = merged.column("loss_rate").values
+    rtt = merged.column("min_rtt_ms").values
+    for i in range(merged.n_rows):
+        text = as_path[i]
+        if text not in entry_cache:
+            entry_cache[text] = _entry_border(parse_as_path(text), ua_asn, registry)
+        border = entry_cache[text]
+        if border is None:
+            continue
+        monday = Day(int(days[i])).week_start().ordinal
+        entry = weeks.setdefault((monday, border), {"loss": [], "rtt": []})
+        entry["loss"].append(loss[i])
+        entry["rtt"].append(rtt[i])
+
+    if not weeks:
+        raise AnalysisError(f"no tests enter AS{ua_asn} in {year}")
+    week_totals: Dict[int, int] = {}
+    for (monday, _border), entry in weeks.items():
+        week_totals[monday] = week_totals.get(monday, 0) + len(entry["loss"])
+
+    rows: List[dict] = []
+    for (monday, border) in sorted(weeks):
+        entry = weeks[(monday, border)]
+        n = len(entry["loss"])
+        rows.append(
+            {
+                "week": Day(monday).iso(),
+                "border_asn": border,
+                "border_name": registry.name_of(border),
+                "tests": n,
+                "share": n / week_totals[monday],
+                "median_loss": float(np.median(entry["loss"])),
+                "median_rtt_ms": float(np.median(entry["rtt"])),
+            }
+        )
+    return Table.from_rows(
+        rows,
+        dtypes={
+            "week": DType.STR,
+            "border_asn": DType.INT,
+            "border_name": DType.STR,
+            "tests": DType.INT,
+            "share": DType.FLOAT,
+            "median_loss": DType.FLOAT,
+            "median_rtt_ms": DType.FLOAT,
+        },
+    )

@@ -1,0 +1,93 @@
+"""Table 1 and Figure 4: city-level comparisons and siege-city test counts.
+
+Table 1 compares Kyiv, Kharkiv, Mariupol, Lviv and the national aggregate
+between prewar and wartime with Welch's t-test per metric; Figure 4 plots
+daily download-test counts for the besieged cities.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.common import slice_period, slice_year
+from repro.stats.timeseries import daily_aggregate
+from repro.stats.welch import welch_t_test
+from repro.tables.expr import col
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.util.errors import AnalysisError
+from repro.util.timeutil import DayGrid
+
+__all__ = ["city_welch_table", "siege_city_counts", "PAPER_CITIES"]
+
+#: The cities the paper singles out, plus the national aggregate row.
+PAPER_CITIES = ["Kyiv", "Kharkiv", "Mariupol", "Lviv"]
+
+
+def _city_rows(ndt: Table, city: Optional[str]) -> Table:
+    """Tests for one city (geo label), or all 2022 tests for National."""
+    if city is None:
+        return ndt
+    return ndt.filter(col("city") == city)
+
+
+def city_welch_table(
+    ndt: Table, cities: Sequence[str] = tuple(PAPER_CITIES), alpha: float = 0.05
+) -> Table:
+    """Table 1: per-city prewar/wartime means with Welch p-values.
+
+    Output columns: ``city``, ``n_prewar``, ``n_wartime``, then for each
+    metric its prewar mean, wartime mean, p-value and significance flag.
+    The final row is the national aggregate (labelled ``"National"``).
+    """
+    rows: List[dict] = []
+    targets = [(c, c) for c in cities] + [("National", None)]
+    for label, city in targets:
+        pre = _city_rows(slice_period(ndt, "prewar"), city)
+        war = _city_rows(slice_period(ndt, "wartime"), city)
+        row: dict = {"city": label, "n_prewar": pre.n_rows, "n_wartime": war.n_rows}
+        for metric in ("min_rtt_ms", "tput_mbps", "loss_rate"):
+            pre_vals = pre.column(metric).values if pre.n_rows else np.array([])
+            war_vals = war.column(metric).values if war.n_rows else np.array([])
+            row[f"{metric}_prewar"] = (
+                float(np.mean(pre_vals)) if len(pre_vals) else float("nan")
+            )
+            row[f"{metric}_wartime"] = (
+                float(np.mean(war_vals)) if len(war_vals) else float("nan")
+            )
+            if len(pre_vals) >= 2 and len(war_vals) >= 2:
+                result = welch_t_test(pre_vals, war_vals)
+                row[f"{metric}_p"] = result.p_value
+                row[f"{metric}_sig"] = result.significant(alpha)
+            else:
+                row[f"{metric}_p"] = float("nan")
+                row[f"{metric}_sig"] = False
+        rows.append(row)
+    return Table.from_rows(rows)
+
+
+def siege_city_counts(
+    ndt: Table, cities: Sequence[str] = ("Kharkiv", "Mariupol"), year: int = 2022
+) -> Table:
+    """Figure 4: daily download-test counts for the besieged cities.
+
+    Output: one row per day with ``date``, ``day`` and a count column per
+    city.
+    """
+    if not cities:
+        raise AnalysisError("need at least one city")
+    rows = slice_year(ndt, year)
+    grid = DayGrid(f"{year}-01-01", f"{year}-04-18")
+    data: dict = {
+        "date": [d.iso() for d in grid.days()],
+        "day": [d.ordinal for d in grid.days()],
+    }
+    dtypes = {"date": DType.STR, "day": DType.INT}
+    for city in cities:
+        city_rows = rows.filter(col("city") == city)
+        days = city_rows.column("day").values
+        data[city] = daily_aggregate(days, days * 0.0, grid, agg="count")
+        dtypes[city] = DType.FLOAT
+    return Table.from_dict(data, dtypes)

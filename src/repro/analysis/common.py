@@ -1,0 +1,91 @@
+"""Shared helpers for the analysis modules."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.analysis.periods import study_periods
+from repro.netbase.ipaddr import IPv4Address
+from repro.tables.column import Column
+from repro.tables.expr import col
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.topology.iplayer import IpLayer
+from repro.util.errors import AnalysisError
+from repro.util.timeutil import Period
+
+__all__ = [
+    "METRICS",
+    "client_as_column",
+    "parse_as_path",
+    "slice_period",
+    "slice_year",
+    "with_periods",
+]
+
+#: The three NDT metrics with their table columns and degradation direction.
+#: ``worse`` is the comparison that means degradation (RTT/loss grow, tput falls).
+METRICS = {
+    "min_rtt_ms": {"label": "MinRTT (ms)", "worse": "increase"},
+    "tput_mbps": {"label": "MeanTput (Mbps)", "worse": "decrease"},
+    "loss_rate": {"label": "LossRate", "worse": "increase"},
+}
+
+
+def slice_period(table: Table, period_name: str) -> Table:
+    """Rows of a table (NDT or traceroute) within one named study window."""
+    periods = study_periods()
+    if period_name not in periods:
+        raise AnalysisError(
+            f"unknown period {period_name!r}; choose from {sorted(periods)}"
+        )
+    p: Period = periods[period_name]
+    return table.filter(col("day").between(p.start.ordinal, p.end.ordinal))
+
+
+def slice_year(table: Table, year: int) -> Table:
+    """Rows belonging to one calendar year (column ``year``)."""
+    return table.filter(col("year") == year)
+
+
+def with_periods(table: Table) -> Table:
+    """Add a ``period`` column naming the study window of each row."""
+    periods = study_periods()
+    days = table.column("day").values
+    names = np.empty(len(days), dtype=object)
+    for name, p in periods.items():
+        mask = (days >= p.start.ordinal) & (days <= p.end.ordinal)
+        names[mask] = name
+    if any(n is None for n in names):
+        raise AnalysisError("some rows fall outside every study period")
+    return table.with_column("period", names, DType.STR)
+
+
+def client_as_column(ndt: Table, iplayer: IpLayer) -> Table:
+    """Attribute each test to its client's AS via IP→AS longest-prefix match.
+
+    This is the paper's routeviews-style attribution — the analysis derives
+    the AS from the address, it does not trust generator metadata.
+    """
+    asns = []
+    for ip_text in ndt.column("client_ip").values:
+        asn = iplayer.as_of_ip(IPv4Address.parse(ip_text))
+        asns.append(-1 if asn is None else asn)
+    return ndt.with_column("client_asn", Column("client_asn", asns, DType.INT))
+
+
+def parse_as_path(text: str) -> Tuple[int, ...]:
+    """Parse a pipe-joined AS path column value back into ASNs."""
+    if not text:
+        raise AnalysisError("empty AS path")
+    try:
+        return tuple(int(part) for part in text.split("|"))
+    except ValueError as exc:
+        raise AnalysisError(f"malformed AS path {text!r}") from exc
+
+
+def unique_as_paths(traces: Table) -> List[Tuple[int, ...]]:
+    """Distinct AS-level paths in a traceroute table."""
+    return [parse_as_path(t) for t in sorted(set(traces.column("as_path").to_list()))]

@@ -1,0 +1,76 @@
+"""Figures 7-8: distributions of each metric, prewar vs wartime.
+
+The paper's Appendix B histograms justify (and caveat) the Welch t-test:
+minimum RTT is roughly normal with a spike near zero, throughput and loss
+are right-skewed.  This module produces the binned histograms and summary
+skew statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.analysis.common import slice_period
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.util.errors import AnalysisError
+
+__all__ = ["metric_histogram", "skewness"]
+
+#: Plot ranges mirroring the paper's figures.
+_RANGES: Dict[str, Tuple[float, float]] = {
+    "min_rtt_ms": (0.0, 100.0),
+    "tput_mbps": (0.0, 200.0),
+    "loss_rate": (0.0, 0.20),
+}
+
+
+def metric_histogram(
+    ndt: Table, metric: str, period: str, bins: int = 30
+) -> Table:
+    """Histogram of one metric in one period.
+
+    Output columns: ``bin_low``, ``bin_high``, ``count``, ``fraction``.
+    Values beyond the paper's plot range are clipped into the last bin.
+    """
+    if metric not in _RANGES:
+        raise AnalysisError(f"unknown metric {metric!r}; choose from {sorted(_RANGES)}")
+    if bins < 1:
+        raise AnalysisError("bins must be >= 1")
+    rows = slice_period(ndt, period)
+    if rows.n_rows == 0:
+        raise AnalysisError(f"no tests in period {period!r}")
+    values = rows.column(metric).values.astype(np.float64)
+    lo, hi = _RANGES[metric]
+    clipped = np.clip(values, lo, hi)
+    counts, edges = np.histogram(clipped, bins=bins, range=(lo, hi))
+    return Table.from_dict(
+        {
+            "bin_low": edges[:-1],
+            "bin_high": edges[1:],
+            "count": counts.astype(np.int64),
+            "fraction": counts / counts.sum(),
+        },
+        dtypes={
+            "bin_low": DType.FLOAT,
+            "bin_high": DType.FLOAT,
+            "count": DType.INT,
+            "fraction": DType.FLOAT,
+        },
+    )
+
+
+def skewness(ndt: Table, metric: str, period: str) -> float:
+    """Sample skewness (Fisher-Pearson) of one metric in one period."""
+    rows = slice_period(ndt, period)
+    values = rows.column(metric).values.astype(np.float64)
+    values = values[~np.isnan(values)]
+    if len(values) < 3:
+        raise AnalysisError("skewness needs at least 3 values")
+    centered = values - values.mean()
+    std = values.std()
+    if std == 0:
+        return 0.0
+    return float(np.mean(centered**3) / std**3)

@@ -1,0 +1,96 @@
+"""Hostname-based geolocation cross-check (extension).
+
+The paper leans on MaxMind's self-reported >68% city-level accuracy and
+argues mislabels would only *weaken* its findings.  A classic independent
+check is rDNS parsing (undns/DRoP): the last-mile gateway's hostname
+usually names the metro it serves.  This module resolves each test's
+gateway hop to a hostname-derived city and measures agreement with the
+geo-DB label — quantifying the label noise the paper could only bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.netbase.hostnames import HostnameScheme
+from repro.netbase.ipaddr import IPv4Address
+from repro.synth.generator import Dataset
+from repro.tables.join import join
+from repro.tables.table import Table
+from repro.util.errors import AnalysisError
+
+__all__ = ["default_hostname_scheme", "gateway_city_agreement"]
+
+
+def default_hostname_scheme(dataset: Dataset, **kwargs) -> HostnameScheme:
+    """A scheme over the dataset's topology (eyeballs get their coverage)."""
+    topo = dataset.topology
+    cities_of_asn = {
+        asn: topo.cities_of(asn) for asn in topo.eyeball_asns()
+    }
+    return HostnameScheme(topo.registry, cities_of_asn, **kwargs)
+
+
+def _gateway_router_index(dataset: Dataset, path_text: str, client_asn: int) -> Optional[int]:
+    """The router index of the gateway hop (second-to-last hop of the trace)."""
+    hops = path_text.split("|")
+    if len(hops) < 3:
+        return None
+    gateway = IPv4Address.parse(hops[-2])
+    iplayer = dataset.topology.iplayer
+    if iplayer.as_of_ip(gateway) != client_asn:
+        return None
+    prefix = iplayer.infrastructure_prefix(client_asn)
+    if not prefix.contains(gateway):
+        return None
+    return gateway.value - prefix.network.value - 1
+
+
+def gateway_city_agreement(
+    dataset: Dataset, scheme: Optional[HostnameScheme] = None
+) -> Dict[str, float]:
+    """Compare geo-DB city labels against gateway-hostname cities.
+
+    Returns counts/fractions over all tests: ``n_compared`` (both signals
+    available), ``agree`` fraction, ``geo_missing`` fraction (no geo-DB
+    label), ``ptr_missing`` fraction (no usable hostname).
+    """
+    if scheme is None:
+        scheme = default_hostname_scheme(dataset)
+    merged = join(
+        dataset.ndt.select(["test_id", "city", "asn"]),
+        dataset.traces.select(["test_id", "path"]),
+        on="test_id",
+    )
+    if merged.n_rows == 0:
+        raise AnalysisError("no joined tests")
+    n = merged.n_rows
+    cities = merged.column("city").values
+    asns = merged.column("asn").values
+    paths = merged.column("path").values
+    geo_missing = 0
+    ptr_missing = 0
+    compared = 0
+    agreed = 0
+    for i in range(n):
+        hostname_city = None
+        index = _gateway_router_index(dataset, paths[i], int(asns[i]))
+        if index is not None:
+            hostname_city = scheme.parse_city(scheme.hostname(int(asns[i]), index))
+        if hostname_city is None:
+            ptr_missing += 1
+        if cities[i] is None:
+            geo_missing += 1
+        if hostname_city is None or cities[i] is None:
+            continue
+        compared += 1
+        agreed += hostname_city == cities[i]
+    if compared == 0:
+        raise AnalysisError("no test had both a geo label and a usable hostname")
+    return {
+        "n_tests": float(n),
+        "n_compared": float(compared),
+        "agree": agreed / compared,
+        "geo_missing": geo_missing / n,
+        "ptr_missing": ptr_missing / n,
+    }

@@ -1,0 +1,63 @@
+"""Figure 2: daily national means of each NDT metric, 2022 vs 2021 baseline.
+
+For each metric the paper plots the daily mean over all NDT download tests
+from Ukraine, with the invasion marked.  The same series for 2021 shows the
+changes are absent in the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.common import slice_year
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.stats.timeseries import daily_aggregate
+from repro.util.errors import AnalysisError
+from repro.util.timeutil import Day, DayGrid
+
+__all__ = ["national_daily"]
+
+
+def national_daily(ndt: Table, year: int) -> Table:
+    """Daily test count and mean metrics for one year's study window.
+
+    Returns a table with one row per calendar day from Jan 1 to Apr 18 of
+    ``year``: ``date``, ``day``, ``tests``, ``min_rtt_ms``, ``tput_mbps``,
+    ``loss_rate``.  Days without tests hold NaN metric means (and 0 tests),
+    mirroring gaps in the paper's plots.
+    """
+    rows = slice_year(ndt, year)
+    if rows.n_rows == 0:
+        raise AnalysisError(f"no tests in year {year}")
+    grid = DayGrid(f"{year}-01-01", f"{year}-04-18")
+    days = rows.column("day").values
+    out = {
+        "date": [d.iso() for d in grid.days()],
+        "day": [d.ordinal for d in grid.days()],
+        "tests": daily_aggregate(days, days * 0.0, grid, agg="count"),
+        "min_rtt_ms": daily_aggregate(
+            days, rows.column("min_rtt_ms").values, grid, agg="mean"
+        ),
+        "tput_mbps": daily_aggregate(
+            days, rows.column("tput_mbps").values, grid, agg="mean"
+        ),
+        "loss_rate": daily_aggregate(
+            days, rows.column("loss_rate").values, grid, agg="mean"
+        ),
+    }
+    table = Table.from_dict(
+        out,
+        dtypes={
+            "date": DType.STR,
+            "day": DType.INT,
+            "tests": DType.FLOAT,
+            "min_rtt_ms": DType.FLOAT,
+            "tput_mbps": DType.FLOAT,
+            "loss_rate": DType.FLOAT,
+        },
+    )
+    return table
+
+
+def invasion_day_ordinal() -> int:
+    """The ordinal of Feb 24, 2022 (the dotted line in Figure 2)."""
+    return Day.of("2022-02-24").ordinal

@@ -1,0 +1,274 @@
+"""Table 2 and Figure 9: per-connection path diversity and its performance cost.
+
+A *connection* is a (client IP, server IP) pair; a *path* is the traceroute
+IP-address sequence serving it.  Table 2 reports, for the 1000 connections
+with the most tests in each period, the average number of distinct paths
+and of tests per connection.  Figure 9 (Appendix D) buckets persistent
+connections by how many *more* paths they used during wartime and shows the
+corresponding throughput drop and loss increase.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.common import slice_period
+from repro.analysis.periods import PERIOD_NAMES
+from repro.stats.welch import welch_t_test
+from repro.tables.join import join
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.util.errors import AnalysisError
+
+__all__ = [
+    "connection_stats",
+    "path_count_table",
+    "path_performance",
+    "path_performance_correlation",
+]
+
+ConnKey = Tuple[str, str]
+
+
+def connection_stats(traces: Table) -> Dict[ConnKey, Dict[str, int]]:
+    """Per-connection test and distinct-path counts for a slice of traces."""
+    stats: Dict[ConnKey, Dict[str, object]] = {}
+    client = traces.column("client_ip").values
+    server = traces.column("server_ip").values
+    path = traces.column("path").values
+    for i in range(traces.n_rows):
+        key = (client[i], server[i])
+        entry = stats.setdefault(key, {"tests": 0, "paths": set()})
+        entry["tests"] += 1
+        entry["paths"].add(path[i])
+    return {
+        key: {"tests": entry["tests"], "paths": len(entry["paths"])}
+        for key, entry in stats.items()
+    }
+
+
+def path_count_table(traces: Table, top_k: int = 1000) -> Table:
+    """Table 2: average paths/connection and tests/connection per period.
+
+    For each study period, the ``top_k`` connections by test count are
+    selected and their path/test counts averaged.  Output columns:
+    ``period``, ``n_connections``, ``paths_per_conn``, ``tests_per_conn``.
+    """
+    if top_k < 1:
+        raise AnalysisError("top_k must be >= 1")
+    rows = []
+    for period in PERIOD_NAMES:
+        sliced = slice_period(traces, period)
+        if sliced.n_rows == 0:
+            raise AnalysisError(f"no traceroutes in period {period!r}")
+        stats = connection_stats(sliced)
+        busiest = sorted(stats.values(), key=lambda e: -e["tests"])[:top_k]
+        rows.append(
+            {
+                "period": period,
+                "n_connections": len(busiest),
+                "paths_per_conn": float(np.mean([e["paths"] for e in busiest])),
+                "tests_per_conn": float(np.mean([e["tests"] for e in busiest])),
+            }
+        )
+    return Table.from_rows(rows)
+
+
+def _expected_distinct(path_counts: Sequence[int], depth: int) -> float:
+    """Expected distinct paths when subsampling ``depth`` tests (rarefaction).
+
+    Standard species-rarefaction estimator: with ``c_i`` tests on path
+    ``i`` out of ``T`` total, the chance path ``i`` appears in a random
+    ``depth``-subset is ``1 - C(T-c_i, depth)/C(T, depth)``.
+    """
+    total = sum(path_counts)
+    if depth >= total:
+        return float(len(path_counts))
+    if depth < 1:
+        raise AnalysisError(f"rarefaction depth must be >= 1, got {depth}")
+
+    def log_comb(n: int, k: int) -> float:
+        if k < 0 or k > n:
+            return float("-inf")
+        return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+    log_denominator = log_comb(total, depth)
+    expected = 0.0
+    for c in path_counts:
+        expected += 1.0 - math.exp(log_comb(total - c, depth) - log_denominator)
+    return expected
+
+
+def _per_connection_deltas(
+    ndt: Table, traces: Table, min_tests: int, rarefy: bool = False
+) -> Dict[str, list]:
+    """Per-connection (Δpaths, Δtput, Δloss) for persistent connections.
+
+    With ``rarefy=True``, the path-count difference compares *expected*
+    distinct paths at equal sampling depth (the smaller period's test
+    count) — removing the more-tests-see-more-paths artifact that would
+    otherwise confound the correlation.
+    """
+    merged = join(
+        traces.select(["test_id", "client_ip", "server_ip", "path", "day"]),
+        ndt.select(["test_id", "tput_mbps", "loss_rate"]),
+        on="test_id",
+    )
+    per_conn: Dict[ConnKey, Dict[str, dict]] = {}
+    for period in ("prewar", "wartime"):
+        sliced = slice_period(merged, period)
+        client = sliced.column("client_ip").values
+        server = sliced.column("server_ip").values
+        path = sliced.column("path").values
+        tput = sliced.column("tput_mbps").values
+        loss = sliced.column("loss_rate").values
+        for i in range(sliced.n_rows):
+            key = (client[i], server[i])
+            entry = per_conn.setdefault(key, {})
+            p = entry.setdefault(
+                period, {"tests": 0, "paths": {}, "tput": 0.0, "loss": 0.0}
+            )
+            p["tests"] += 1
+            p["paths"][path[i]] = p["paths"].get(path[i], 0) + 1
+            p["tput"] += tput[i]
+            p["loss"] += loss[i]
+    deltas: Dict[str, list] = {"d_paths": [], "d_tput": [], "d_loss": []}
+    for entry in per_conn.values():
+        if "prewar" not in entry or "wartime" not in entry:
+            continue
+        pre, war = entry["prewar"], entry["wartime"]
+        if pre["tests"] < min_tests or war["tests"] < min_tests:
+            continue
+        if rarefy:
+            depth = min(pre["tests"], war["tests"])
+            d_paths = _expected_distinct(
+                list(war["paths"].values()), depth
+            ) - _expected_distinct(list(pre["paths"].values()), depth)
+        else:
+            d_paths = len(war["paths"]) - len(pre["paths"])
+        deltas["d_paths"].append(d_paths)
+        deltas["d_tput"].append(
+            war["tput"] / war["tests"] - pre["tput"] / pre["tests"]
+        )
+        deltas["d_loss"].append(
+            war["loss"] / war["tests"] - pre["loss"] / pre["tests"]
+        )
+    return deltas
+
+
+def path_performance_correlation(
+    ndt: Table, traces: Table, min_tests: int = 5
+) -> Dict[str, object]:
+    """Quantified Figure 9: rank correlation of Δpaths with Δtput / Δloss.
+
+    Extension of the paper's Appendix-D reading ("mild correlation"):
+    Spearman's rho over persistent connections, expected mildly negative
+    for throughput and mildly positive for loss.  Path counts are
+    rarefied to equal sampling depth per connection so test-volume shifts
+    do not masquerade as path-diversity changes.  Returns
+    ``{"tput": CorrelationResult, "loss": CorrelationResult, "n": int}``.
+    """
+    from repro.stats.correlation import spearman
+
+    deltas = _per_connection_deltas(ndt, traces, min_tests, rarefy=True)
+    if len(deltas["d_paths"]) < 3:
+        raise AnalysisError(
+            "too few persistent connections for a correlation; lower min_tests"
+        )
+    return {
+        "tput": spearman(deltas["d_paths"], deltas["d_tput"]),
+        "loss": spearman(deltas["d_paths"], deltas["d_loss"]),
+        "n": len(deltas["d_paths"]),
+    }
+
+
+def path_performance(
+    ndt: Table, traces: Table, min_tests: int = 10
+) -> Table:
+    """Figure 9: performance change bucketed by change in paths used.
+
+    Considers connections with at least ``min_tests`` tests in *both* the
+    prewar and wartime periods (the paper's persistence filter).  For each
+    bucket of Δpaths (wartime paths − prewar paths) reports the mean change
+    in throughput and loss across its connections, with Welch p-values
+    against the Δpaths == 0 bucket.
+
+    Output columns: ``d_paths``, ``n_connections``, ``d_tput_mbps``,
+    ``d_loss``, ``p_tput``, ``p_loss``.
+    """
+    merged = join(
+        traces.select(["test_id", "client_ip", "server_ip", "path", "day"]),
+        ndt.select(["test_id", "tput_mbps", "loss_rate"]),
+        on="test_id",
+    )
+    per_conn: Dict[ConnKey, Dict[str, dict]] = {}
+    for period in ("prewar", "wartime"):
+        sliced = slice_period(merged, period)
+        client = sliced.column("client_ip").values
+        server = sliced.column("server_ip").values
+        path = sliced.column("path").values
+        tput = sliced.column("tput_mbps").values
+        loss = sliced.column("loss_rate").values
+        for i in range(sliced.n_rows):
+            key = (client[i], server[i])
+            entry = per_conn.setdefault(key, {})
+            p = entry.setdefault(
+                period, {"tests": 0, "paths": set(), "tput": 0.0, "loss": 0.0}
+            )
+            p["tests"] += 1
+            p["paths"].add(path[i])
+            p["tput"] += tput[i]
+            p["loss"] += loss[i]
+
+    buckets: Dict[int, Dict[str, list]] = {}
+    for entry in per_conn.values():
+        if "prewar" not in entry or "wartime" not in entry:
+            continue
+        pre, war = entry["prewar"], entry["wartime"]
+        if pre["tests"] < min_tests or war["tests"] < min_tests:
+            continue
+        d_paths = len(war["paths"]) - len(pre["paths"])
+        bucket = buckets.setdefault(d_paths, {"d_tput": [], "d_loss": []})
+        bucket["d_tput"].append(war["tput"] / war["tests"] - pre["tput"] / pre["tests"])
+        bucket["d_loss"].append(war["loss"] / war["tests"] - pre["loss"] / pre["tests"])
+
+    if not buckets:
+        raise AnalysisError(
+            f"no connection had >= {min_tests} tests in both periods; "
+            "generate a larger dataset or lower min_tests"
+        )
+    reference = buckets.get(0)
+    rows = []
+    for d_paths in sorted(buckets):
+        bucket = buckets[d_paths]
+        row = {
+            "d_paths": d_paths,
+            "n_connections": len(bucket["d_tput"]),
+            "d_tput_mbps": float(np.mean(bucket["d_tput"])),
+            "d_loss": float(np.mean(bucket["d_loss"])),
+            "p_tput": float("nan"),
+            "p_loss": float("nan"),
+        }
+        if (
+            reference is not None
+            and d_paths != 0
+            and len(bucket["d_tput"]) >= 2
+            and len(reference["d_tput"]) >= 2
+        ):
+            row["p_tput"] = welch_t_test(reference["d_tput"], bucket["d_tput"]).p_value
+            row["p_loss"] = welch_t_test(reference["d_loss"], bucket["d_loss"]).p_value
+        rows.append(row)
+    return Table.from_rows(
+        rows,
+        dtypes={
+            "d_paths": DType.INT,
+            "n_connections": DType.INT,
+            "d_tput_mbps": DType.FLOAT,
+            "d_loss": DType.FLOAT,
+            "p_tput": DType.FLOAT,
+            "p_loss": DType.FLOAT,
+        },
+    )

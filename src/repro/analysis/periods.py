@@ -1,0 +1,12 @@
+"""The paper's four 54-day analysis windows.
+
+Re-exported from the generator module (one definition, two consumers): the
+generator uses them to schedule arrivals, the analyses to slice tables.
+"""
+
+from repro.synth.generator import study_periods
+
+__all__ = ["PERIOD_NAMES", "study_periods"]
+
+#: Canonical presentation order (Table 2's rows).
+PERIOD_NAMES = ["baseline_janfeb", "baseline_febapr", "prewar", "wartime"]

@@ -1,0 +1,72 @@
+"""Protocol-mix validity checks (paper §3's measurement-stability argument).
+
+The paper asserts NDT's "congestion control algorithm was stable in the
+period from 2021-2022 we studied", so performance changes cannot be
+protocol artifacts.  These functions verify the same property on generated
+data and quantify how each CCA population moved — the check a careful
+reviewer would run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.common import slice_period
+from repro.analysis.periods import PERIOD_NAMES
+from repro.tables.expr import col
+from repro.tables.table import Table
+from repro.util.errors import AnalysisError
+
+__all__ = ["cca_mix_stable", "metric_by_cca", "protocol_mix_table"]
+
+
+def protocol_mix_table(ndt: Table) -> Table:
+    """Share of each (protocol, CCA) combination per study period."""
+    rows = []
+    for period in PERIOD_NAMES:
+        sliced = slice_period(ndt, period)
+        if sliced.n_rows == 0:
+            raise AnalysisError(f"no tests in period {period!r}")
+        combos: Dict[tuple, int] = {}
+        protocols = sliced.column("protocol").values
+        ccas = sliced.column("cca").values
+        for proto, cca in zip(protocols, ccas):
+            combos[(proto, cca)] = combos.get((proto, cca), 0) + 1
+        for (proto, cca), count in sorted(combos.items()):
+            rows.append(
+                {
+                    "period": period,
+                    "protocol": proto,
+                    "cca": cca,
+                    "tests": count,
+                    "share": count / sliced.n_rows,
+                }
+            )
+    return Table.from_rows(rows)
+
+
+def cca_mix_stable(ndt: Table, tolerance: float = 0.05) -> bool:
+    """Whether the BBR share moved less than ``tolerance`` prewar→wartime.
+
+    This is the paper's validity condition: if the CCA mix had jumped at
+    the invasion, metric changes could be protocol artifacts.
+    """
+    mix = protocol_mix_table(ndt)
+    shares = {}
+    for row in mix.iter_rows():
+        if row["cca"] == "bbr":
+            shares[row["period"]] = row["share"]
+    if "prewar" not in shares or "wartime" not in shares:
+        raise AnalysisError("missing BBR share in a study period")
+    return abs(shares["wartime"] - shares["prewar"]) < tolerance
+
+
+def metric_by_cca(ndt: Table, metric: str, period: str) -> Table:
+    """Mean of one metric per CCA within a period (with counts)."""
+    sliced = slice_period(ndt, period)
+    out = sliced.group_by("cca").aggregate(
+        {"mean": (metric, "mean"), "tests": (metric, "count")}
+    )
+    return out

@@ -1,0 +1,135 @@
+"""Figure 3 and Table 4: oblast-level metrics and their wartime changes.
+
+Tests are grouped by the geo-DB oblast label (rows without a label are
+excluded, as in the paper); each oblast's prewar and wartime aggregates and
+the percentage changes between them are reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.common import slice_period
+from repro.geo.gazetteer import Gazetteer
+from repro.stats.descriptive import percent_change
+from repro.tables.expr import col
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.util.errors import AnalysisError
+
+__all__ = ["oblast_changes", "oblast_summary"]
+
+_AGG_SPEC = {
+    "tput_mbps": ("tput_mbps", "mean"),
+    "min_rtt_ms": ("min_rtt_ms", "mean"),
+    "loss_rate": ("loss_rate", "mean"),
+    "count": ("test_id", "count"),
+}
+
+
+def _labeled(ndt: Table) -> Table:
+    out = ndt.filter(col("oblast").notnull())
+    if out.n_rows == 0:
+        raise AnalysisError("no geo-labeled tests")
+    return out
+
+
+def oblast_summary(ndt: Table) -> Table:
+    """Table 4: raw per-oblast metrics for prewar and wartime.
+
+    Output columns: ``oblast``, ``period``, ``tput_mbps``, ``min_rtt_ms``,
+    ``loss_rate``, ``count`` — sorted by prewar count descending like the
+    paper's table.
+    """
+    parts = []
+    for period in ("prewar", "wartime"):
+        rows = _labeled(slice_period(ndt, period))
+        agg = rows.group_by("oblast").aggregate(_AGG_SPEC)
+        agg = agg.with_column("period", [period] * agg.n_rows, DType.STR)
+        parts.append(agg)
+    from repro.tables.table import concat
+
+    merged = concat(parts)
+    prewar_counts: Dict[str, int] = {
+        r["oblast"]: r["count"]
+        for r in parts[0].iter_rows()
+    }
+    order = sorted(
+        range(merged.n_rows),
+        key=lambda i: (
+            -prewar_counts.get(merged.row(i)["oblast"], 0),
+            merged.row(i)["oblast"],
+            merged.row(i)["period"],
+        ),
+    )
+    import numpy as np
+
+    return merged.take(np.asarray(order))
+
+
+def oblast_changes(ndt: Table, gazetteer: Gazetteer) -> Table:
+    """Figure 3: percentage change of each metric per oblast, with its zone.
+
+    Output columns: ``oblast``, ``zone``, ``d_count_pct``, ``d_rtt_pct``,
+    ``d_tput_pct``, ``d_loss_pct``.  Oblasts missing from either period are
+    skipped (tiny oblasts may produce no labeled wartime tests).
+    """
+    prewar = _labeled(slice_period(ndt, "prewar"))
+    wartime = _labeled(slice_period(ndt, "wartime"))
+    pre = {
+        r["oblast"]: r
+        for r in prewar.group_by("oblast").aggregate(_AGG_SPEC).iter_rows()
+    }
+    war = {
+        r["oblast"]: r
+        for r in wartime.group_by("oblast").aggregate(_AGG_SPEC).iter_rows()
+    }
+    rows = []
+    for oblast in sorted(set(pre) & set(war)):
+        p, w = pre[oblast], war[oblast]
+        rows.append(
+            {
+                "oblast": oblast,
+                "zone": gazetteer.oblast(oblast).zone.value,
+                "prewar_count": int(p["count"]),
+                "d_count_pct": percent_change(p["count"], w["count"]),
+                "d_rtt_pct": percent_change(p["min_rtt_ms"], w["min_rtt_ms"]),
+                "d_tput_pct": percent_change(p["tput_mbps"], w["tput_mbps"]),
+                "d_loss_pct": percent_change(p["loss_rate"], w["loss_rate"]),
+            }
+        )
+    if not rows:
+        raise AnalysisError("no oblast present in both periods")
+    return Table.from_rows(rows)
+
+
+def zone_average_changes(changes: Table) -> Table:
+    """Test-count-weighted mean change per conflict zone (Figure 3's reading).
+
+    The paper's headline: oblasts in the militarily active North and
+    Southeast degrade most.  Weighting by prewar test counts keeps
+    small-sample oblasts (whose percent changes are dominated by noise)
+    from swamping the zone signal.
+    """
+    buckets = {}
+    for r in changes.iter_rows():
+        entry = buckets.setdefault(
+            r["zone"], {"w": 0.0, "rtt": 0.0, "tput": 0.0, "loss": 0.0, "n": 0}
+        )
+        w = float(r["prewar_count"])
+        entry["w"] += w
+        entry["rtt"] += w * r["d_rtt_pct"]
+        entry["tput"] += w * r["d_tput_pct"]
+        entry["loss"] += w * r["d_loss_pct"]
+        entry["n"] += 1
+    rows = [
+        {
+            "zone": zone,
+            "d_rtt_pct": e["rtt"] / e["w"],
+            "d_tput_pct": e["tput"] / e["w"],
+            "d_loss_pct": e["loss"] / e["w"],
+            "n_oblasts": e["n"],
+        }
+        for zone, e in sorted(buckets.items())
+    ]
+    return Table.from_rows(rows)

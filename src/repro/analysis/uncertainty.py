@@ -1,0 +1,85 @@
+"""Bootstrap uncertainty for the city-level comparison (extension).
+
+The paper's Appendix B concedes that its metric samples are not normal,
+which is a caveat for Welch's t-test.  This module cross-checks Table 1
+with a distribution-free percentile bootstrap on the wartime−prewar mean
+difference: if a metric's 95% CI excludes zero, the change is "bootstrap
+significant" regardless of distribution shape.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.city import PAPER_CITIES
+from repro.analysis.common import slice_period
+from repro.stats.bootstrap import bootstrap_mean_diff
+from repro.stats.welch import welch_t_test
+from repro.tables.expr import col
+from repro.tables.table import Table
+from repro.util.errors import AnalysisError
+
+__all__ = ["city_bootstrap_table"]
+
+_METRICS = ("min_rtt_ms", "tput_mbps", "loss_rate")
+
+
+def city_bootstrap_table(
+    ndt: Table,
+    rng: np.random.Generator,
+    cities: Sequence[str] = tuple(PAPER_CITIES),
+    n_resamples: int = 500,
+    alpha: float = 0.05,
+) -> Table:
+    """Table 1 re-assessed with bootstrap CIs next to Welch verdicts.
+
+    Output: one row per (city, metric) with the mean difference, its
+    bootstrap CI, and both methods' significance calls plus whether they
+    agree.
+    """
+    if n_resamples < 50:
+        raise AnalysisError(f"n_resamples must be >= 50, got {n_resamples}")
+    rows: List[dict] = []
+    targets = [(c, c) for c in cities] + [("National", None)]
+    for label, city in targets:
+        pre = slice_period(ndt, "prewar")
+        war = slice_period(ndt, "wartime")
+        if city is not None:
+            pre = pre.filter(col("city") == city)
+            war = war.filter(col("city") == city)
+        for metric in _METRICS:
+            row: dict = {"city": label, "metric": metric}
+            if pre.n_rows < 2 or war.n_rows < 2:
+                row.update(
+                    mean_diff=float("nan"), ci_low=float("nan"),
+                    ci_high=float("nan"), bootstrap_sig=False,
+                    welch_sig=False, agree=True,
+                )
+                rows.append(row)
+                continue
+            pre_vals = pre.column(metric).values
+            war_vals = war.column(metric).values
+            boot = bootstrap_mean_diff(
+                pre_vals, war_vals, rng, n_resamples=n_resamples
+            )
+            welch = welch_t_test(pre_vals, war_vals)
+            row.update(
+                mean_diff=boot.estimate,
+                ci_low=boot.low,
+                ci_high=boot.high,
+                bootstrap_sig=boot.excludes_zero(),
+                welch_sig=welch.significant(alpha),
+                agree=boot.excludes_zero() == welch.significant(alpha),
+            )
+            rows.append(row)
+    return Table.from_rows(rows)
+
+
+def agreement_rate(bootstrap_table: Table) -> float:
+    """Fraction of (city, metric) cells where bootstrap and Welch agree."""
+    flags = bootstrap_table.column("agree").to_list()
+    if not flags:
+        raise AnalysisError("empty bootstrap table")
+    return sum(bool(f) for f in flags) / len(flags)

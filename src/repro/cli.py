@@ -1,0 +1,236 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``   Generate the synthetic dataset and write NDT/traceroute CSVs.
+``report``     Generate (or load) a dataset and print the full reproduction
+               report — every table and figure of the paper.
+``experiment`` Run a single experiment (table1, table2, ..., fig9).
+``scenarios``  Compare key findings across ablation scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.synth.generator import DatasetGenerator, GeneratorConfig
+from repro.synth.scenario import Scenario, scenario_config
+from repro.tables.io import write_csv
+from repro.tables.pretty import format_table
+
+__all__ = ["main"]
+
+_EXPERIMENTS = (
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "churn", "events", "outages", "hopgeo",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'The Ukrainian Internet Under Attack' (IMC '22) "
+        "over a synthetic M-Lab/NDT substrate.",
+    )
+    parser.add_argument("--seed", type=int, default=20220224, help="master seed")
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="test-volume multiplier (1.0 = paper scale, ~110k tests)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate the dataset and write CSVs")
+    gen.add_argument("--out", default="results", help="output directory")
+
+    sub.add_parser("report", help="print the full reproduction report")
+
+    exp = sub.add_parser("experiment", help="run one experiment")
+    exp.add_argument("name", choices=_EXPERIMENTS)
+
+    scen = sub.add_parser("scenarios", help="compare ablation scenarios")
+    scen.add_argument(
+        "--which", nargs="*", default=[s.value for s in Scenario],
+        choices=[s.value for s in Scenario],
+    )
+
+    sub.add_parser("validate", help="generate a dataset and check invariants")
+    sub.add_parser("topology", help="print the simulated topology summary")
+    return parser
+
+
+def _generate(args) -> "object":
+    config = GeneratorConfig(seed=args.seed, scale=args.scale)
+    return DatasetGenerator(config).generate()
+
+
+def _cmd_generate(args) -> int:
+    dataset = _generate(args)
+    write_csv(dataset.ndt, f"{args.out}/ndt_downloads.csv")
+    write_csv(dataset.traces, f"{args.out}/traceroutes.csv")
+    print(
+        f"wrote {dataset.ndt.n_rows} NDT rows and {dataset.traces.n_rows} "
+        f"traceroutes under {args.out}/"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import full_report
+
+    print(full_report(_generate(args)))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.analysis import report as rpt
+
+    dataset = _generate(args)
+
+    def churn(ds):
+        from repro.analysis.routing_churn import churn_summary, daily_route_churn
+
+        table = daily_route_churn(ds)
+        summary = churn_summary(table, ds)
+        return (
+            format_table(table, max_rows=30)
+            + f"\nmean daily route changes: prewar "
+            f"{summary['prewar_daily_changes']:.1f}, wartime "
+            f"{summary['wartime_daily_changes']:.1f} (x{summary['ratio']:.1f})"
+        )
+
+    def events(ds):
+        from repro.analysis.events_impact import event_impact_table
+        from repro.conflict import default_timeline
+
+        return format_table(
+            event_impact_table(ds.ndt, default_timeline(), ds.topology.gazetteer),
+            float_fmts={"p_value": ".1e"},
+            float_fmt=".3f",
+        )
+
+    def outages(ds):
+        from repro.analysis.outages import detect_outage_days
+
+        return f"outage-shaped days (2022): {detect_outage_days(ds.ndt)}"
+
+    def hopgeo(ds):
+        from repro.analysis.hopgeo import gateway_city_agreement
+
+        a = gateway_city_agreement(ds)
+        return (
+            f"rDNS vs geo-DB agreement: {a['agree']:.1%} over "
+            f"{a['n_compared']:.0f} tests (geo missing {a['geo_missing']:.1%}, "
+            f"PTR unusable {a['ptr_missing']:.1%})"
+        )
+
+    sections = {
+        "churn": churn,
+        "events": events,
+        "outages": outages,
+        "hopgeo": hopgeo,
+        "table1": rpt._table1,
+        "table2": rpt._table2_fig9,
+        "table3": rpt._tables_3_5_6,
+        "table4": rpt._fig3_table4,
+        "table5": rpt._tables_3_5_6,
+        "table6": rpt._tables_3_5_6,
+        "fig2": rpt._fig2,
+        "fig3": rpt._fig3_table4,
+        "fig4": rpt._fig4,
+        "fig5": rpt._fig5,
+        "fig6": rpt._fig6,
+        "fig7": rpt._figs7_8,
+        "fig8": rpt._figs7_8,
+        "fig9": rpt._table2_fig9,
+    }
+    print(sections[args.name](dataset))
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    from repro.analysis.city import city_welch_table
+    from repro.analysis.paths import path_count_table
+    from repro.tables.table import Table
+
+    rows = []
+    for name in args.which:
+        scenario = Scenario(name)
+        config = scenario_config(
+            scenario, GeneratorConfig(seed=args.seed, scale=args.scale)
+        )
+        dataset = DatasetGenerator(config).generate()
+        national = city_welch_table(dataset.ndt, cities=[]).to_dicts()[-1]
+        paths = {r["period"]: r for r in path_count_table(dataset.traces).iter_rows()}
+        rows.append(
+            {
+                "scenario": name,
+                "rtt_pre": national["min_rtt_ms_prewar"],
+                "rtt_war": national["min_rtt_ms_wartime"],
+                "loss_pre": national["loss_rate_prewar"],
+                "loss_war": national["loss_rate_wartime"],
+                "paths_pre": paths["prewar"]["paths_per_conn"],
+                "paths_war": paths["wartime"]["paths_per_conn"],
+            }
+        )
+    print(
+        format_table(
+            Table.from_rows(rows),
+            title="National RTT/loss and paths-per-connection by scenario",
+            float_fmts={"loss_pre": ".4f", "loss_war": ".4f"},
+            float_fmt=".2f",
+        )
+    )
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.synth.validate import validate_dataset
+
+    report = validate_dataset(_generate(args))
+    print(report)
+    return 0 if report.passed else 1
+
+
+def _cmd_topology(args) -> int:
+    from repro.netbase.asn import ASRole
+    from repro.topology.builder import build_default_topology
+
+    topo = build_default_topology()
+    print(f"ASes: {len(topo.registry)}  links: {topo.graph.n_links()}")
+    for role in ASRole:
+        members = topo.registry.with_role(role)
+        names = ", ".join(f"AS{a.asn} {a.name}" for a in members[:6])
+        more = f" (+{len(members) - 6} more)" if len(members) > 6 else ""
+        print(f"  {role.value:8s} ({len(members):2d}): {names}{more}")
+    print("M-Lab sites:")
+    for asn, spec in sorted(topo.mlab_sites.items()):
+        providers = sorted(topo.graph.providers(asn))
+        print(f"  {spec.code} ({spec.country}, AS{asn}) <- {providers}")
+    print("degradation schedules:")
+    for sched in topo.degradation_schedules:
+        kind = "performance" if sched.affects_performance else "routing-only"
+        print(
+            f"  link {sched.link_key}: {sched.start.iso()} -> {sched.end.iso()} "
+            f"floor {sched.floor} [{kind}]"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "report": _cmd_report,
+        "experiment": _cmd_experiment,
+        "scenarios": _cmd_scenarios,
+        "validate": _cmd_validate,
+        "topology": _cmd_topology,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The war model: event timeline, regional intensity, infrastructure damage.
+
+This is the exogenous driver of the whole simulation.  Dated events from the
+paper's narrative (the Feb-24 invasion, the Mar-1 encirclement of Mariupol,
+the Mar-10 national outage, the Mar-14 Kharkiv shelling, the early-April
+Russian withdrawal from the north) shape a per-region *intensity* series,
+which in turn drives two damage processes: degradation at the network edge
+(cell towers, consumer ISPs) and outages on inter-AS links (which force
+rerouting).
+"""
+
+from repro.conflict.damage import EdgeDamageModel, LinkDamageProcess, LinkOutageSchedule
+from repro.conflict.events import EventKind, WarEvent, default_timeline
+from repro.conflict.intensity import IntensityModel
+
+__all__ = [
+    "EdgeDamageModel",
+    "EventKind",
+    "IntensityModel",
+    "LinkDamageProcess",
+    "LinkOutageSchedule",
+    "WarEvent",
+    "default_timeline",
+]

@@ -1,0 +1,106 @@
+"""Dated war events, as referenced in the paper.
+
+Every event the paper uses to explain a feature of the data is encoded here
+with its date and scope, so analyses and the generator share one timeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List
+
+from repro.geo.gazetteer import ConflictZone
+from repro.util.timeutil import Day
+
+__all__ = ["EventKind", "WarEvent", "default_timeline", "INVASION_DAY"]
+
+#: February 24, 2022 — the start of the invasion and the prewar/wartime split.
+INVASION_DAY = Day.of("2022-02-24")
+
+
+class EventKind(enum.Enum):
+    """What sort of event this is (drives different simulation responses)."""
+
+    INVASION = "invasion"  # war begins: intensities ramp up
+    SIEGE = "siege"  # a city is encircled: its traffic collapses
+    SHELLING = "shelling"  # heavy bombardment: edge damage spike + user flight
+    OUTAGE = "outage"  # national ISP outage (e.g. Ukrtelecom, Mar 10)
+    WITHDRAWAL = "withdrawal"  # front recedes: intensity decays
+    MISSILE_STRIKE = "missile_strike"  # isolated strike outside the fronts
+
+
+@dataclass(frozen=True)
+class WarEvent:
+    """A dated event with regional and (optionally) city-level scope."""
+
+    day: Day
+    name: str
+    kind: EventKind
+    zones: FrozenSet[ConflictZone] = field(default_factory=frozenset)
+    cities: FrozenSet[str] = field(default_factory=frozenset)
+    magnitude: float = 1.0  # relative severity in [0, 1]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("event name must be non-empty")
+        if not 0.0 <= self.magnitude <= 1.0:
+            raise ValueError(f"magnitude must be in [0, 1], got {self.magnitude}")
+
+    def applies_to_city(self, city: str) -> bool:
+        return city in self.cities
+
+    def applies_to_zone(self, zone: ConflictZone) -> bool:
+        return zone in self.zones
+
+
+def default_timeline() -> List[WarEvent]:
+    """The events the paper anchors its analysis on, in date order."""
+    z = ConflictZone
+    return [
+        WarEvent(
+            day=INVASION_DAY,
+            name="Russian invasion begins",
+            kind=EventKind.INVASION,
+            zones=frozenset({z.NORTH, z.EAST, z.SOUTH, z.CENTER, z.WEST}),
+            magnitude=1.0,
+        ),
+        WarEvent(
+            day=Day.of("2022-03-01"),
+            name="Russian forces surround Mariupol",
+            kind=EventKind.SIEGE,
+            zones=frozenset({z.EAST}),
+            cities=frozenset({"Mariupol"}),
+            magnitude=1.0,
+        ),
+        WarEvent(
+            day=Day.of("2022-03-10"),
+            name="National outages: Ukrtelecom down 40min, Triolan >12h",
+            kind=EventKind.OUTAGE,
+            zones=frozenset({z.NORTH, z.EAST, z.SOUTH, z.CENTER, z.WEST}),
+            magnitude=0.8,
+        ),
+        WarEvent(
+            day=Day.of("2022-03-14"),
+            name="Kharkiv struck 65 times; 600 residential buildings destroyed",
+            kind=EventKind.SHELLING,
+            zones=frozenset({z.EAST}),
+            cities=frozenset({"Kharkiv"}),
+            magnitude=0.9,
+        ),
+        WarEvent(
+            day=Day.of("2022-04-03"),
+            name="Ukraine wins battle of Kyiv; Russian withdrawal from the north",
+            kind=EventKind.WITHDRAWAL,
+            zones=frozenset({z.NORTH}),
+            magnitude=0.6,
+        ),
+        WarEvent(
+            day=Day.of("2022-04-18"),
+            name="Missile bombardment of Lviv",
+            kind=EventKind.MISSILE_STRIKE,
+            zones=frozenset({z.WEST}),
+            cities=frozenset({"Lviv"}),
+            magnitude=0.3,
+        ),
+    ]

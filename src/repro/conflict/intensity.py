@@ -1,0 +1,107 @@
+"""Per-region military-intensity series derived from the event timeline.
+
+Intensity is a dimensionless value in [0, 1]: 0 means peacetime, 1 means the
+heaviest fighting in the study window.  Zone baselines reflect the paper's
+Figure 1 (North/East/South under direct assault, West largely spared,
+Crimea already occupied); events perturb those baselines — sieges push a
+specific city to the ceiling, the April withdrawal decays the northern
+front.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.conflict.events import EventKind, INVASION_DAY, WarEvent, default_timeline
+from repro.geo.gazetteer import ConflictZone, Gazetteer
+from repro.util.timeutil import Day, DayLike
+
+__all__ = ["IntensityModel"]
+
+#: Peak intensity per zone once the invasion ramp completes.
+_ZONE_PEAK: Dict[ConflictZone, float] = {
+    ConflictZone.NORTH: 0.85,
+    ConflictZone.EAST: 0.95,
+    ConflictZone.SOUTH: 0.80,
+    ConflictZone.CENTER: 0.25,
+    ConflictZone.WEST: 0.10,
+    ConflictZone.OCCUPIED: 0.05,
+}
+
+#: Days for the initial ramp from 0 to the zone peak after the invasion.
+_RAMP_DAYS = 4
+
+#: How long a shelling/strike boost persists (days) and its decay shape.
+_EVENT_DECAY_DAYS = 7
+
+
+class IntensityModel:
+    """Deterministic region/city intensity as a function of calendar day."""
+
+    def __init__(
+        self,
+        gazetteer: Gazetteer,
+        timeline: Optional[List[WarEvent]] = None,
+        invasion_day: Day = INVASION_DAY,
+    ):
+        self._gazetteer = gazetteer
+        self._timeline = sorted(
+            timeline if timeline is not None else default_timeline(),
+            key=lambda e: e.day.ordinal,
+        )
+        self._invasion = invasion_day
+        self._withdrawals = [
+            e for e in self._timeline if e.kind is EventKind.WITHDRAWAL
+        ]
+
+    @property
+    def timeline(self) -> List[WarEvent]:
+        return list(self._timeline)
+
+    @property
+    def invasion_day(self) -> Day:
+        return self._invasion
+
+    def is_wartime(self, day: DayLike) -> bool:
+        return Day.of(day) >= self._invasion
+
+    # -- zone level -----------------------------------------------------------
+    def zone_intensity(self, zone: ConflictZone, day: DayLike) -> float:
+        """Base intensity of a conflict zone on a given day."""
+        d = Day.of(day)
+        if d < self._invasion:
+            return 0.0
+        peak = _ZONE_PEAK[zone]
+        elapsed = d - self._invasion
+        ramp = min(1.0, (elapsed + 1) / _RAMP_DAYS)
+        level = peak * ramp
+        for event in self._withdrawals:
+            if event.applies_to_zone(zone) and d >= event.day:
+                level *= 1.0 - 0.5 * event.magnitude
+        return min(1.0, level)
+
+    # -- city level ------------------------------------------------------------
+    def city_intensity(self, city_name: str, day: DayLike) -> float:
+        """Zone intensity plus city-scoped event boosts (sieges, shellings)."""
+        d = Day.of(day)
+        zone = self._gazetteer.zone_of_city(city_name)
+        level = self.zone_intensity(zone, d)
+        for event in self._timeline:
+            if not event.applies_to_city(city_name) or d < event.day:
+                continue
+            if event.kind is EventKind.SIEGE:
+                # A besieged city stays at the ceiling for the remainder.
+                level = max(level, event.magnitude)
+            elif event.kind in (EventKind.SHELLING, EventKind.MISSILE_STRIKE):
+                age = d - event.day
+                if age <= _EVENT_DECAY_DAYS:
+                    boost = 0.3 * event.magnitude * (1.0 - age / (_EVENT_DECAY_DAYS + 1))
+                    level = min(1.0, level + boost)
+        return level
+
+    def events_on(self, day: DayLike) -> List[WarEvent]:
+        d = Day.of(day)
+        return [e for e in self._timeline if e.day == d]
+
+    def events_of_kind(self, kind: EventKind) -> List[WarEvent]:
+        return [e for e in self._timeline if e.kind is kind]

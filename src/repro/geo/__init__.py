@@ -1,0 +1,28 @@
+"""Geolocation substrate: gazetteer, distance, and a MaxMind-like IP→city DB.
+
+The paper geolocates NDT clients with MaxMind and notes two imperfections it
+must reason about: ~11.7% of tests lack a location label, and city labels are
+only ~68% accurate at 25 km.  :class:`~repro.geo.geodb.GeoDatabase`
+reproduces both properties over the synthetic address space.
+"""
+
+from repro.geo.distance import haversine_km
+from repro.geo.gazetteer import (
+    City,
+    ConflictZone,
+    Gazetteer,
+    Oblast,
+    default_gazetteer,
+)
+from repro.geo.geodb import GeoDatabase, GeoLabel
+
+__all__ = [
+    "City",
+    "ConflictZone",
+    "Gazetteer",
+    "GeoDatabase",
+    "GeoLabel",
+    "Oblast",
+    "default_gazetteer",
+    "haversine_km",
+]

@@ -1,0 +1,27 @@
+"""Great-circle distance (used by the M-Lab load balancer and geo checks)."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["haversine_km"]
+
+_EARTH_RADIUS_KM = 6371.0088  # mean Earth radius
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in kilometres between two (lat, lon) points."""
+    for name, value in (("lat1", lat1), ("lat2", lat2)):
+        if not -90.0 <= value <= 90.0:
+            raise ValueError(f"{name} must be in [-90, 90], got {value}")
+    for name, value in (("lon1", lon1), ("lon2", lon2)):
+        if not -180.0 <= value <= 180.0:
+            raise ValueError(f"{name} must be in [-180, 180], got {value}")
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2.0) ** 2
+    )
+    return 2.0 * _EARTH_RADIUS_KM * math.asin(math.sqrt(a))

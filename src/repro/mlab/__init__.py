@@ -1,0 +1,12 @@
+"""The simulated M-Lab platform: sites, load balancing, sidecar services.
+
+M-Lab runs measurement services on sites around the world; a load-balancing
+service directs each client to the geographically nearest site, and sidecar
+services run a scamper traceroute toward the client for every NDT test.
+This package reproduces those mechanics over the synthetic topology.
+"""
+
+from repro.mlab.loadbalancer import LoadBalancer
+from repro.mlab.sites import Site, SiteRegistry
+
+__all__ = ["LoadBalancer", "Site", "SiteRegistry"]

@@ -1,0 +1,83 @@
+"""M-Lab measurement sites over the synthetic topology."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.netbase.ipaddr import IPv4Address
+from repro.topology.builder import Topology
+from repro.util.errors import TopologyError
+
+__all__ = ["Site", "SiteRegistry"]
+
+
+@dataclass(frozen=True)
+class Site:
+    """One M-Lab site: its AS, location, and NDT server address."""
+
+    asn: int
+    code: str  # e.g. "waw01"
+    country: str
+    lat: float
+    lon: float
+    server_ip: IPv4Address
+
+    def __str__(self) -> str:
+        return f"{self.code} (AS{self.asn}, {self.country})"
+
+
+class SiteRegistry:
+    """All M-Lab sites, built from a topology's MLAB ASes."""
+
+    def __init__(self, sites: List[Site]):
+        if not sites:
+            raise TopologyError("SiteRegistry needs at least one site")
+        self._by_asn: Dict[int, Site] = {}
+        self._by_code: Dict[str, Site] = {}
+        for site in sites:
+            if site.asn in self._by_asn:
+                raise TopologyError(f"duplicate site AS{site.asn}")
+            if site.code in self._by_code:
+                raise TopologyError(f"duplicate site code {site.code!r}")
+            self._by_asn[site.asn] = site
+            self._by_code[site.code] = site
+
+    @classmethod
+    def from_topology(cls, topology: Topology) -> "SiteRegistry":
+        """One site per MLAB AS; the NDT server is the AS's first router IP."""
+        sites = []
+        for asn, spec in sorted(topology.mlab_sites.items()):
+            server_ip = topology.iplayer.router_ip(asn, 0)
+            sites.append(
+                Site(
+                    asn=asn,
+                    code=spec.code,
+                    country=spec.country,
+                    lat=spec.lat,
+                    lon=spec.lon,
+                    server_ip=server_ip,
+                )
+            )
+        return cls(sites)
+
+    def all(self) -> List[Site]:
+        return sorted(self._by_asn.values(), key=lambda s: s.asn)
+
+    def by_asn(self, asn: int) -> Site:
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise TopologyError(f"no M-Lab site in AS{asn}") from None
+
+    def by_code(self, code: str) -> Site:
+        try:
+            return self._by_code[code]
+        except KeyError:
+            raise TopologyError(f"no M-Lab site {code!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self):
+        return iter(self.all())

@@ -1,0 +1,21 @@
+"""The NDT measurement model: clients, bulk-transfer metrics, row schema.
+
+NDT measures a single TCP connection's bulk transport capacity and reports
+mean throughput, minimum RTT and loss rate from TCP_INFO.  The simulation
+reproduces those three metrics per test from (a) calibrated baseline
+distributions per city/AS, (b) war-driven degradation, and (c) the specific
+route the test's packets took.
+"""
+
+from repro.ndt.clientpool import ClientPool
+from repro.ndt.measurement import NDT_SCHEMA, NdtMeasurement
+from repro.ndt.tcpmodel import BulkTransferModel, MetricParams, PathConditions
+
+__all__ = [
+    "BulkTransferModel",
+    "ClientPool",
+    "MetricParams",
+    "NDT_SCHEMA",
+    "NdtMeasurement",
+    "PathConditions",
+]

@@ -1,0 +1,91 @@
+"""The NDT result row: the simulation's ``ndt.unified_download`` analogue."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.tables.schema import DType, Field, Schema
+from repro.util.timeutil import Day
+
+__all__ = ["NDT_SCHEMA", "NdtMeasurement"]
+
+#: Column layout of the NDT download table the analyses consume.  ``city``/
+#: ``oblast`` carry the geo-DB labels (None for the paper's 11.7% unlabeled
+#: tests); ``city_true`` is the simulation's ground truth, used only by
+#: validation tests, never by the reproduced analyses.
+NDT_SCHEMA = Schema(
+    [
+        Field("test_id", DType.INT),
+        Field("day", DType.INT),
+        Field("date", DType.STR),
+        Field("year", DType.INT),
+        Field("city", DType.STR),
+        Field("oblast", DType.STR),
+        Field("city_true", DType.STR),
+        Field("asn", DType.INT),
+        Field("client_ip", DType.STR),
+        Field("site", DType.STR),
+        Field("server_ip", DType.STR),
+        Field("protocol", DType.STR),
+        Field("cca", DType.STR),
+        Field("tput_mbps", DType.FLOAT),
+        Field("min_rtt_ms", DType.FLOAT),
+        Field("loss_rate", DType.FLOAT),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class NdtMeasurement:
+    """One NDT download test result with its client context."""
+
+    test_id: int
+    day: Day
+    city: Optional[str]  # geo-DB label (may be None)
+    oblast: Optional[str]  # geo-DB label (may be None)
+    city_true: str
+    asn: int
+    client_ip: str
+    site: str
+    server_ip: str
+    protocol: str  # "ndt5" | "ndt7"
+    cca: str  # "reno" | "cubic" | "bbr"
+    tput_mbps: float
+    min_rtt_ms: float
+    loss_rate: float
+
+    def __post_init__(self) -> None:
+        if self.tput_mbps <= 0:
+            raise ValueError(f"tput_mbps must be positive, got {self.tput_mbps}")
+        if self.min_rtt_ms <= 0:
+            raise ValueError(f"min_rtt_ms must be positive, got {self.min_rtt_ms}")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
+        if (self.city is None) != (self.oblast is None):
+            raise ValueError("city and oblast labels must be both set or both None")
+        if self.protocol not in ("ndt5", "ndt7"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.cca not in ("reno", "cubic", "bbr"):
+            raise ValueError(f"unknown cca {self.cca!r}")
+
+    def to_row(self) -> Dict[str, object]:
+        """Flatten into a row matching :data:`NDT_SCHEMA`."""
+        return {
+            "test_id": self.test_id,
+            "day": self.day.ordinal,
+            "date": self.day.iso(),
+            "year": self.day.date().year,
+            "city": self.city,
+            "oblast": self.oblast,
+            "city_true": self.city_true,
+            "asn": self.asn,
+            "client_ip": self.client_ip,
+            "site": self.site,
+            "server_ip": self.server_ip,
+            "protocol": self.protocol,
+            "cca": self.cca,
+            "tput_mbps": self.tput_mbps,
+            "min_rtt_ms": self.min_rtt_ms,
+            "loss_rate": self.loss_rate,
+        }

@@ -1,0 +1,69 @@
+"""NDT protocol versions and congestion control (paper §3's validity note).
+
+NDT5 measured with TCP Reno or Cubic; NDT7 uses BBR when available, and
+~90% of NDT volume arrives through the Google-search integration (NDT7).
+The paper leans on the congestion-control algorithm mix being *stable*
+across 2021-2022 so that prewar/wartime differences are not protocol
+artifacts.  The simulation annotates every test with (protocol, CCA) from
+a slowly-shifting mix so that `analysis.protocol` can verify the same
+stability property on generated data.
+
+Metric values are not conditioned on the CCA here: the calibration targets
+already come from the mixed-protocol population the paper measured.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.validation import check_fraction
+
+__all__ = ["Cca", "NdtVersion", "ProtocolModel"]
+
+
+class NdtVersion(enum.Enum):
+    NDT5 = "ndt5"
+    NDT7 = "ndt7"
+
+
+class Cca(enum.Enum):
+    RENO = "reno"
+    CUBIC = "cubic"
+    BBR = "bbr"
+
+
+@dataclass(frozen=True)
+class ProtocolModel:
+    """Samples each test's (version, CCA).
+
+    ``ndt7_share_2021`` / ``ndt7_share_2022`` bound a linear drift across
+    the two years — slow platform migration, not a step change, matching
+    "the congestion control algorithm was stable in the period ... studied".
+    """
+
+    ndt7_share_2021: float = 0.86
+    ndt7_share_2022: float = 0.90
+    cubic_share_of_ndt5: float = 0.9  # the rest of NDT5 ran Reno
+
+    def __post_init__(self) -> None:
+        check_fraction("ndt7_share_2021", self.ndt7_share_2021)
+        check_fraction("ndt7_share_2022", self.ndt7_share_2022)
+        check_fraction("cubic_share_of_ndt5", self.cubic_share_of_ndt5)
+
+    def ndt7_share(self, year: int) -> float:
+        """The NDT7 share in effect for a year."""
+        if year <= 2021:
+            return self.ndt7_share_2021
+        return self.ndt7_share_2022
+
+    def sample(self, year: int, rng: np.random.Generator) -> Tuple[NdtVersion, Cca]:
+        """One test's protocol annotation."""
+        if rng.random() < self.ndt7_share(year):
+            return NdtVersion.NDT7, Cca.BBR
+        if rng.random() < self.cubic_share_of_ndt5:
+            return NdtVersion.NDT5, Cca.CUBIC
+        return NdtVersion.NDT5, Cca.RENO

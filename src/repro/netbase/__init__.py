@@ -1,0 +1,19 @@
+"""Networking primitives: IPv4 values, prefix trie, AS registry.
+
+These are the building blocks under both the topology simulator (router IP
+assignment per AS) and the analysis pipeline (mapping traceroute hop IPs back
+to ASes, as the paper does with routeviews-style prefix→AS data).
+"""
+
+from repro.netbase.asn import AutonomousSystem, ASRegistry, ASRole
+from repro.netbase.ipaddr import IPv4Address, IPv4Prefix
+from repro.netbase.trie import PrefixTrie
+
+__all__ = [
+    "ASRegistry",
+    "ASRole",
+    "AutonomousSystem",
+    "IPv4Address",
+    "IPv4Prefix",
+    "PrefixTrie",
+]

@@ -1,0 +1,106 @@
+"""Autonomous-system identities and the AS registry.
+
+The registry is the single source of truth for AS numbers, names, countries
+and roles.  The synthetic topology registers the paper's real ASes (Kyivstar
+AS15895, Hurricane Electric AS6939, ...) here; the analyses resolve hop ASNs
+back to names through it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.util.errors import TopologyError
+
+__all__ = ["ASRegistry", "ASRole", "AutonomousSystem"]
+
+
+class ASRole(enum.Enum):
+    """Coarse role an AS plays in the simulated Internet."""
+
+    EYEBALL = "eyeball"  # consumer ISP with NDT clients behind it
+    REGIONAL = "regional"  # Ukrainian aggregation / metro network
+    BORDER = "border"  # foreign transit adjacent to Ukrainian ASes
+    TRANSIT = "transit"  # other international carrier
+    MLAB = "mlab"  # hosts an M-Lab measurement site
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """One AS: number, organisation name, country, and simulated role."""
+
+    asn: int
+    name: str
+    country: str  # ISO-3166 alpha-2, e.g. "UA"
+    role: ASRole
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+        if not self.name:
+            raise ValueError("AS name must be non-empty")
+        if len(self.country) != 2 or not self.country.isupper():
+            raise ValueError(
+                f"country must be an upper-case alpha-2 code, got {self.country!r}"
+            )
+
+    @property
+    def is_ukrainian(self) -> bool:
+        return self.country == "UA"
+
+    def __str__(self) -> str:
+        return f"AS{self.asn} ({self.name})"
+
+
+class ASRegistry:
+    """A collection of :class:`AutonomousSystem` records keyed by ASN."""
+
+    def __init__(self) -> None:
+        self._by_asn: Dict[int, AutonomousSystem] = {}
+
+    def register(self, asys: AutonomousSystem) -> AutonomousSystem:
+        """Add an AS; re-registering the same ASN with different data fails."""
+        existing = self._by_asn.get(asys.asn)
+        if existing is not None:
+            if existing != asys:
+                raise TopologyError(
+                    f"ASN {asys.asn} already registered as {existing.name!r}, "
+                    f"cannot re-register as {asys.name!r}"
+                )
+            return existing
+        self._by_asn[asys.asn] = asys
+        return asys
+
+    def get(self, asn: int) -> AutonomousSystem:
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise TopologyError(f"unknown ASN {asn}") from None
+
+    def maybe_get(self, asn: int) -> Optional[AutonomousSystem]:
+        return self._by_asn.get(asn)
+
+    def name_of(self, asn: int) -> str:
+        """Organisation name, or ``"AS<n>"`` for unregistered ASNs."""
+        asys = self._by_asn.get(asn)
+        return asys.name if asys is not None else f"AS{asn}"
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(sorted(self._by_asn.values(), key=lambda a: a.asn))
+
+    def with_role(self, role: ASRole) -> List[AutonomousSystem]:
+        return [a for a in self if a.role is role]
+
+    def ukrainian(self) -> List[AutonomousSystem]:
+        return [a for a in self if a.is_ukrainian]
+
+    def foreign(self) -> List[AutonomousSystem]:
+        return [a for a in self if not a.is_ukrainian]

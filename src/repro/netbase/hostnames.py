@@ -1,0 +1,166 @@
+"""Reverse-DNS names for router interfaces (undns-style geolocation input).
+
+Carriers name router interfaces with structured hostnames that encode
+interface, role and location — ``ae1.cr2.kyv.kyivstar.net`` — and a classic
+measurement technique (undns, DRoP) geolocates traceroute hops by parsing
+those codes.  The paper frets about MaxMind's label accuracy; hostname
+parsing provides an independent location signal to cross-check it
+(see :mod:`repro.analysis.hopgeo`).
+
+:class:`HostnameScheme` deterministically names every simulated router
+interface and can parse its own names back — including a configurable
+fraction of routers with *missing* PTR records and *stale* (wrong-city)
+names, because real rDNS is exactly that unreliable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.netbase.asn import ASRegistry
+from repro.util.errors import TopologyError
+from repro.util.validation import check_fraction
+
+__all__ = ["HostnameScheme", "ROUTER_CITY_BAND", "city_code"]
+
+#: Router indices are banded by city: indices ``[band*k, band*(k+1))`` belong
+#: to the k-th city an AS serves.  The scamper sidecar picks gateway routers
+#: from the client city's band; :meth:`HostnameScheme.router_city` inverts it.
+ROUTER_CITY_BAND = 16
+
+
+def _stable(parts: Tuple, modulus: int) -> int:
+    data = ",".join(str(p) for p in parts).encode("utf-8")
+    digest = hashlib.blake2s(data, digest_size=4).digest()
+    return int.from_bytes(digest, "little") % modulus
+
+
+def _code_sequence(city: str) -> str:
+    """The letter sequence codes are drawn from: first letter, consonants,
+    then the remaining letters (how carriers usually abbreviate)."""
+    letters = [c.lower() for c in city if c.isalpha()]
+    if not letters:
+        raise ValueError(f"city name {city!r} has no letters")
+    consonants = [c for c in letters[1:] if c not in "aeiou"]
+    vowels = [c for c in letters[1:] if c in "aeiou"]
+    return "".join([letters[0]] + consonants + vowels)
+
+
+def city_code(city: str, length: int = 3) -> str:
+    """A location code like carriers embed (``Kyiv`` → ``kyv``).
+
+    ``length`` letters of the abbreviation sequence, padded with ``x``.
+    The scheme lengthens codes as needed to keep them unique.
+    """
+    seq = _code_sequence(city)
+    return seq[:length].ljust(length, "x")
+
+
+def _org_slug(name: str) -> str:
+    slug = "".join(c.lower() for c in name if c.isalnum())
+    return slug or "unknown"
+
+
+class HostnameScheme:
+    """Deterministic PTR records for the simulated routers."""
+
+    def __init__(
+        self,
+        registry: ASRegistry,
+        cities_of_asn: Dict[int, List[str]],
+        missing_rate: float = 0.15,
+        stale_rate: float = 0.05,
+    ):
+        check_fraction("missing_rate", missing_rate)
+        check_fraction("stale_rate", stale_rate)
+        if missing_rate + stale_rate > 1.0:
+            raise ValueError("missing_rate + stale_rate must not exceed 1")
+        self._registry = registry
+        self._cities_of_asn = {
+            asn: list(cities) for asn, cities in cities_of_asn.items()
+        }
+        self._missing = missing_rate
+        self._stale = stale_rate
+        self._codes: Dict[str, str] = {}
+        self._cities_by_code: Dict[str, str] = {}
+        all_cities = sorted(
+            {city for cities in self._cities_of_asn.values() for city in cities}
+        )
+        # Iterate to a collision-free assignment: whenever two cities share
+        # a code, both get one more letter and the assignment restarts.
+        lengths = {city: 3 for city in all_cities}
+        for _ in range(200):
+            codes: Dict[str, str] = {}
+            collided = None
+            for city in all_cities:
+                code = city_code(city, lengths[city])
+                if code in codes:
+                    collided = (city, codes[code])
+                    break
+                codes[code] = city
+            if collided is None:
+                self._cities_by_code = codes
+                self._codes = {city: code for code, city in codes.items()}
+                break
+            for city in collided:
+                lengths[city] += 1
+                if lengths[city] > 12:
+                    raise TopologyError(
+                        f"cannot derive unique hostname codes for {collided!r}"
+                    )
+        else:
+            raise TopologyError("hostname code assignment did not converge")
+
+    def router_city(self, asn: int, router_index: int) -> Optional[str]:
+        """The city a router is (truthfully) located in, if determinable.
+
+        City-banded indices resolve exactly; indices beyond the bands are
+        backbone/core routers with no single metro (None).
+        """
+        cities = self._cities_of_asn.get(asn)
+        if not cities:
+            return None
+        band = router_index // ROUTER_CITY_BAND
+        if band < len(cities):
+            return cities[band]
+        return None
+
+    def hostname(self, asn: int, router_index: int) -> Optional[str]:
+        """The PTR record for a router interface, or None (no record).
+
+        A ``missing_rate`` fraction of interfaces have no PTR; a
+        ``stale_rate`` fraction advertise another of the AS's cities
+        (equipment moved, name never updated).
+        """
+        roll = _stable((asn, router_index, "ptr"), 10_000) / 10_000.0
+        if roll < self._missing:
+            return None
+        asys = self._registry.maybe_get(asn)
+        org = _org_slug(asys.name) if asys is not None else f"as{asn}"
+        city = self.router_city(asn, router_index)
+        if city is not None and roll < self._missing + self._stale:
+            cities = self._cities_of_asn[asn]
+            if len(cities) > 1:
+                alternatives = [c for c in cities if c != city]
+                city = alternatives[_stable((asn, router_index, "stale"),
+                                            len(alternatives))]
+        location = self._codes.get(city, "bbx") if city is not None else "bbx"
+        iface = _stable((asn, router_index, "if"), 8)
+        role = _stable((asn, router_index, "role"), 4) + 1
+        return f"ae{iface}.cr{role}.{location}.{org}.net"
+
+    def parse_city(self, hostname: Optional[str]) -> Optional[str]:
+        """The city a hostname claims, or None (missing/backbone/unknown)."""
+        if not hostname:
+            return None
+        parts = hostname.split(".")
+        if len(parts) < 4:
+            return None
+        return self._cities_by_code.get(parts[2])
+
+    def code_of(self, city: str) -> str:
+        try:
+            return self._codes[city]
+        except KeyError:
+            raise TopologyError(f"no hostname code for city {city!r}") from None

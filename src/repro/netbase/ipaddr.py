@@ -1,0 +1,127 @@
+"""IPv4 address and prefix value types (from scratch, no stdlib ipaddress).
+
+Addresses are immutable wrappers over a 32-bit int; prefixes are
+(network, length) pairs.  Only the operations the simulator and the
+traceroute analysis need are implemented — parsing, formatting, containment,
+and host enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["IPv4Address", "IPv4Prefix"]
+
+_MAX = 0xFFFFFFFF
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """A single IPv4 address, stored as a 32-bit unsigned integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, int):
+            raise TypeError(f"IPv4Address value must be int, got {type(self.value).__name__}")
+        if not 0 <= self.value <= _MAX:
+            raise ValueError(f"IPv4Address value {self.value:#x} out of 32-bit range")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation, strictly (four octets, 0-255 each)."""
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"invalid IPv4 address {text!r}: need 4 octets")
+        value = 0
+        for part in parts:
+            if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+                raise ValueError(f"invalid IPv4 address {text!r}: bad octet {part!r}")
+            octet = int(part)
+            if octet > 255:
+                raise ValueError(f"invalid IPv4 address {text!r}: octet {octet} > 255")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def dotted(self) -> str:
+        """Dotted-quad string form."""
+        v = self.value
+        return f"{v >> 24}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def plus(self, offset: int) -> "IPv4Address":
+        """The address ``offset`` after this one (must stay in range)."""
+        return IPv4Address(self.value + offset)
+
+    def __str__(self) -> str:
+        return self.dotted()
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Prefix:
+    """A CIDR prefix: a network address plus a mask length."""
+
+    network: IPv4Address
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length {self.length} out of range 0..32")
+        if self.network.value & ~self.mask() & _MAX:
+            raise ValueError(
+                f"{self.network}/{self.length} has host bits set; "
+                f"did you mean {IPv4Address(self.network.value & self.mask())}"
+                f"/{self.length}?"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        """Parse ``"a.b.c.d/len"`` notation."""
+        if "/" not in text:
+            raise ValueError(f"invalid prefix {text!r}: missing '/'")
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise ValueError(f"invalid prefix {text!r}: bad length {len_text!r}")
+        return cls(IPv4Address.parse(addr_text), int(len_text))
+
+    def mask(self) -> int:
+        """The network mask as a 32-bit int."""
+        if self.length == 0:
+            return 0
+        return (_MAX << (32 - self.length)) & _MAX
+
+    @property
+    def n_addresses(self) -> int:
+        return 1 << (32 - self.length)
+
+    def contains(self, addr: IPv4Address) -> bool:
+        """Whether ``addr`` falls inside this prefix."""
+        return (addr.value & self.mask()) == self.network.value
+
+    def contains_prefix(self, other: "IPv4Prefix") -> bool:
+        """Whether ``other`` is equal to or more specific than this prefix."""
+        return other.length >= self.length and self.contains(other.network)
+
+    def address_at(self, offset: int) -> IPv4Address:
+        """The ``offset``-th address of the prefix (0 = network address)."""
+        if not 0 <= offset < self.n_addresses:
+            raise ValueError(
+                f"offset {offset} out of range for /{self.length} "
+                f"({self.n_addresses} addresses)"
+            )
+        return IPv4Address(self.network.value + offset)
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Iterate usable host addresses (excludes network/broadcast on /0-/30)."""
+        if self.length >= 31:
+            yield from (self.address_at(i) for i in range(self.n_addresses))
+            return
+        for i in range(1, self.n_addresses - 1):
+            yield self.address_at(i)
+
+    def bits(self) -> str:
+        """The prefix's significant bits as a '0'/'1' string (trie key)."""
+        return format(self.network.value, "032b")[: self.length]
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"

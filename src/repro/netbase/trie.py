@@ -1,0 +1,121 @@
+"""A binary radix trie for longest-prefix-match lookups.
+
+The analysis pipeline annotates every traceroute hop with the AS owning its
+IP.  Real studies use routeviews prefix→AS snapshots; here the topology's IP
+layer registers its prefixes in a :class:`PrefixTrie` and lookups perform
+standard longest-prefix matching.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.netbase.ipaddr import IPv4Address, IPv4Prefix
+
+__all__ = ["PrefixTrie"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps IPv4 prefixes to values with longest-prefix-match lookup.
+
+    >>> trie = PrefixTrie()
+    >>> trie.insert(IPv4Prefix.parse("10.0.0.0/8"), "coarse")
+    >>> trie.insert(IPv4Prefix.parse("10.1.0.0/16"), "fine")
+    >>> trie.lookup(IPv4Address.parse("10.1.2.3"))
+    'fine'
+    >>> trie.lookup(IPv4Address.parse("10.9.0.1"))
+    'coarse'
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: IPv4Prefix, value: V) -> None:
+        """Insert (or overwrite) the value stored at ``prefix``."""
+        node = self._root
+        for bit_char in prefix.bits():
+            bit = 1 if bit_char == "1" else 0
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, addr: IPv4Address) -> Optional[V]:
+        """The value of the longest prefix containing ``addr``, or None."""
+        best: Optional[V] = None
+        node = self._root
+        if node.has_value:
+            best = node.value
+        value = addr.value
+        for shift in range(31, -1, -1):
+            bit = (value >> shift) & 1
+            nxt = node.children[bit]
+            if nxt is None:
+                break
+            node = nxt
+            if node.has_value:
+                best = node.value
+        return best
+
+    def lookup_prefix(self, addr: IPv4Address) -> Optional[Tuple[IPv4Prefix, V]]:
+        """Like :meth:`lookup` but also returns the matching prefix."""
+        best: Optional[Tuple[IPv4Prefix, V]] = None
+        node = self._root
+        if node.has_value:
+            best = (IPv4Prefix(IPv4Address(0), 0), node.value)
+        value = addr.value
+        for depth in range(1, 33):
+            bit = (value >> (32 - depth)) & 1
+            nxt = node.children[bit]
+            if nxt is None:
+                break
+            node = nxt
+            if node.has_value:
+                network = IPv4Address(value & (((1 << depth) - 1) << (32 - depth)))
+                best = (IPv4Prefix(network, depth), node.value)
+        return best
+
+    def exact(self, prefix: IPv4Prefix) -> Optional[V]:
+        """The value stored exactly at ``prefix``, ignoring shorter covers."""
+        node = self._root
+        for bit_char in prefix.bits():
+            bit = 1 if bit_char == "1" else 0
+            nxt = node.children[bit]
+            if nxt is None:
+                return None
+            node = nxt
+        return node.value if node.has_value else None
+
+    def items(self) -> Iterator[Tuple[IPv4Prefix, V]]:
+        """All (prefix, value) pairs, in bit order."""
+        stack: List[Tuple[_Node[V], str]] = [(self._root, "")]
+        while stack:
+            node, bits = stack.pop()
+            if node.has_value:
+                if bits:
+                    network = IPv4Address(int(bits.ljust(32, "0"), 2))
+                else:
+                    network = IPv4Address(0)
+                yield IPv4Prefix(network, len(bits)), node.value
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, bits + str(bit)))

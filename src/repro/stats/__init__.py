@@ -1,0 +1,59 @@
+"""Statistics implemented from scratch (scipy is used only as a test oracle).
+
+The paper's significance machinery is Welch's unequal-variance t-test
+(:mod:`repro.stats.welch`), justified in its Appendix B.  The remaining
+modules provide the descriptive statistics, samplers, bootstrap and
+time-series aggregation that the synthetic generator and analyses use.
+"""
+
+from repro.stats.bootstrap import bootstrap_ci, bootstrap_mean_diff
+from repro.stats.correlation import CorrelationResult, pearson, spearman
+from repro.stats.effectsize import EffectSize, cliffs_delta, cohens_d
+from repro.stats.descriptive import Summary, percent_change, ratio_change, summarize
+from repro.stats.distributions import (
+    lognormal_params_from_moments,
+    sample_beta_loss,
+    sample_lognormal_mean_std,
+    sample_truncated_normal,
+)
+from repro.stats.significance import SignificanceResult, significance_label
+from repro.stats.special import log_beta, regularized_incomplete_beta
+from repro.stats.timeseries import daily_aggregate, rolling_mean, weekly_aggregate
+from repro.stats.welch import (
+    WelchResult,
+    student_t_cdf,
+    student_t_sf,
+    welch_df,
+    welch_t_test,
+)
+
+__all__ = [
+    "CorrelationResult",
+    "EffectSize",
+    "SignificanceResult",
+    "Summary",
+    "WelchResult",
+    "bootstrap_ci",
+    "bootstrap_mean_diff",
+    "cliffs_delta",
+    "cohens_d",
+    "daily_aggregate",
+    "log_beta",
+    "lognormal_params_from_moments",
+    "pearson",
+    "percent_change",
+    "ratio_change",
+    "spearman",
+    "regularized_incomplete_beta",
+    "rolling_mean",
+    "sample_beta_loss",
+    "sample_lognormal_mean_std",
+    "sample_truncated_normal",
+    "significance_label",
+    "student_t_cdf",
+    "student_t_sf",
+    "summarize",
+    "weekly_aggregate",
+    "welch_df",
+    "welch_t_test",
+]

@@ -1,0 +1,80 @@
+"""Bootstrap confidence intervals (used to sanity-check t-test conclusions).
+
+Appendix B notes that the metric samples are not exactly normal; percentile
+bootstrap CIs on the mean difference give a distribution-free cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["BootstrapResult", "bootstrap_ci", "bootstrap_mean_diff"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A percentile bootstrap interval for a statistic."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def excludes_zero(self) -> bool:
+        """True when the CI does not contain zero (≈ significant difference)."""
+        return self.low > 0.0 or self.high < 0.0
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float],
+    rng: np.random.Generator,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+) -> BootstrapResult:
+    """Percentile bootstrap CI for ``statistic`` over one sample."""
+    check_fraction("confidence", confidence)
+    check_positive("n_resamples", n_resamples)
+    arr = np.asarray(values, dtype=np.float64)
+    arr = arr[~np.isnan(arr)]
+    if len(arr) < 2:
+        raise ValueError("bootstrap needs at least 2 finite values")
+    est = float(statistic(arr))
+    stats = np.empty(n_resamples)
+    for i in range(n_resamples):
+        stats[i] = statistic(rng.choice(arr, size=len(arr), replace=True))
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.percentile(stats, [100 * alpha, 100 * (1 - alpha)])
+    return BootstrapResult(est, float(low), float(high), confidence, n_resamples)
+
+
+def bootstrap_mean_diff(
+    sample1: Sequence[float],
+    sample2: Sequence[float],
+    rng: np.random.Generator,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+) -> BootstrapResult:
+    """Percentile bootstrap CI for mean(sample2) - mean(sample1)."""
+    check_fraction("confidence", confidence)
+    x = np.asarray(sample1, dtype=np.float64)
+    y = np.asarray(sample2, dtype=np.float64)
+    x = x[~np.isnan(x)]
+    y = y[~np.isnan(y)]
+    if len(x) < 2 or len(y) < 2:
+        raise ValueError("bootstrap_mean_diff needs >= 2 finite values per sample")
+    est = float(np.mean(y) - np.mean(x))
+    stats = np.empty(n_resamples)
+    for i in range(n_resamples):
+        bx = rng.choice(x, size=len(x), replace=True)
+        by = rng.choice(y, size=len(y), replace=True)
+        stats[i] = np.mean(by) - np.mean(bx)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.percentile(stats, [100 * alpha, 100 * (1 - alpha)])
+    return BootstrapResult(est, float(low), float(high), confidence, n_resamples)

@@ -1,0 +1,97 @@
+"""Correlation coefficients (from scratch; scipy is only a test oracle).
+
+The paper reports a "mild correlation" between path-diversity increases and
+performance degradation (Appendix D) without quantifying it; the extended
+Figure-9 analysis here quantifies it with Pearson's r and Spearman's rho,
+each with a two-sided t-approximation p-value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.welch import student_t_sf
+
+__all__ = ["CorrelationResult", "pearson", "spearman"]
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """A correlation estimate with its significance."""
+
+    coefficient: float
+    p_value: float
+    n: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+    @property
+    def strength(self) -> str:
+        """Qualitative reading: none / mild / moderate / strong."""
+        r = abs(self.coefficient)
+        if r < 0.1:
+            return "none"
+        if r < 0.3:
+            return "mild"
+        if r < 0.6:
+            return "moderate"
+        return "strong"
+
+
+def _validate(x: Sequence[float], y: Sequence[float]) -> tuple:
+    ax = np.asarray(x, dtype=np.float64)
+    ay = np.asarray(y, dtype=np.float64)
+    if len(ax) != len(ay):
+        raise ValueError(f"length mismatch: {len(ax)} vs {len(ay)}")
+    keep = ~(np.isnan(ax) | np.isnan(ay))
+    ax, ay = ax[keep], ay[keep]
+    if len(ax) < 3:
+        raise ValueError("correlation needs at least 3 paired finite values")
+    return ax, ay
+
+
+def _p_from_r(r: float, n: int) -> float:
+    """Two-sided p-value via the t-distribution with n-2 df."""
+    if abs(r) >= 1.0:
+        return 0.0
+    t = abs(r) * math.sqrt((n - 2) / (1.0 - r * r))
+    return min(1.0, 2.0 * student_t_sf(t, n - 2))
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> CorrelationResult:
+    """Pearson's product-moment correlation with a t-test p-value."""
+    ax, ay = _validate(x, y)
+    sx, sy = ax.std(), ay.std()
+    if sx == 0.0 or sy == 0.0:
+        raise ValueError("correlation undefined for a constant sample")
+    r = float(np.mean((ax - ax.mean()) * (ay - ay.mean())) / (sx * sy))
+    r = max(-1.0, min(1.0, r))
+    return CorrelationResult(r, _p_from_r(r, len(ax)), len(ax))
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean of their rank positions)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> CorrelationResult:
+    """Spearman's rank correlation (Pearson over average ranks)."""
+    ax, ay = _validate(x, y)
+    rx, ry = _ranks(ax), _ranks(ay)
+    if rx.std() == 0.0 or ry.std() == 0.0:
+        raise ValueError("correlation undefined for a constant sample")
+    return pearson(rx, ry)

@@ -1,0 +1,74 @@
+"""Descriptive statistics and the paper's change metrics.
+
+Table 3 reports percentage changes for counts/throughput/RTT and a
+multiplicative factor for loss; :func:`percent_change` and
+:func:`ratio_change` implement those two presentations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "percent_change", "ratio_change", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of one metric sample."""
+
+    n: int
+    mean: float
+    median: float
+    std: float
+    minimum: float
+    maximum: float
+    p25: float
+    p75: float
+
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.p75 - self.p25
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a sample, dropping NaN values.
+
+    Raises ``ValueError`` on an effectively empty sample.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    arr = arr[~np.isnan(arr)]
+    if len(arr) == 0:
+        raise ValueError("cannot summarize an empty (or all-NaN) sample")
+    std = float(np.std(arr, ddof=1)) if len(arr) >= 2 else float("nan")
+    return Summary(
+        n=len(arr),
+        mean=float(np.mean(arr)),
+        median=float(np.median(arr)),
+        std=std,
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+        p25=float(np.percentile(arr, 25)),
+        p75=float(np.percentile(arr, 75)),
+    )
+
+
+def percent_change(before: float, after: float) -> float:
+    """(after - before) / before, as a percentage.
+
+    Used for the ΔCounts / ΔTPut / ΔRTT columns of Table 3 and the
+    oblast-level changes of Figure 3.
+    """
+    if not math.isfinite(before) or before == 0.0:
+        raise ValueError(f"percent_change undefined for before={before!r}")
+    return (after - before) / before * 100.0
+
+
+def ratio_change(before: float, after: float) -> float:
+    """after / before, the multiplicative factor used for ΔLoss in Table 3."""
+    if not math.isfinite(before) or before == 0.0:
+        raise ValueError(f"ratio_change undefined for before={before!r}")
+    return after / before

@@ -1,0 +1,79 @@
+"""Effect sizes (Cohen's d and Cliff's delta) for the Table-1 comparisons.
+
+Significance at the paper's sample sizes is nearly guaranteed for any real
+change; effect sizes say whether a change is *large*.  Cohen's d uses the
+pooled standard deviation; Cliff's delta is its rank-based counterpart,
+robust to the heavy tails these metrics have.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["EffectSize", "cliffs_delta", "cohens_d"]
+
+
+@dataclass(frozen=True)
+class EffectSize:
+    """An effect-size estimate with its conventional magnitude label."""
+
+    value: float
+    kind: str  # "cohens_d" | "cliffs_delta"
+
+    @property
+    def magnitude(self) -> str:
+        v = abs(self.value)
+        if self.kind == "cohens_d":
+            if v < 0.2:
+                return "negligible"
+            if v < 0.5:
+                return "small"
+            if v < 0.8:
+                return "medium"
+            return "large"
+        # Cliff's delta conventions (Romano et al.)
+        if v < 0.147:
+            return "negligible"
+        if v < 0.33:
+            return "small"
+        if v < 0.474:
+            return "medium"
+        return "large"
+
+
+def _clean(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    arr = arr[~np.isnan(arr)]
+    if len(arr) < 2:
+        raise ValueError("effect size needs >= 2 finite values per sample")
+    return arr
+
+
+def cohens_d(sample1: Sequence[float], sample2: Sequence[float]) -> EffectSize:
+    """Cohen's d of sample2 relative to sample1 (pooled SD)."""
+    x, y = _clean(sample1), _clean(sample2)
+    n1, n2 = len(x), len(y)
+    v1, v2 = x.var(ddof=1), y.var(ddof=1)
+    pooled = ((n1 - 1) * v1 + (n2 - 1) * v2) / (n1 + n2 - 2)
+    if pooled == 0:
+        raise ValueError("both samples constant; Cohen's d undefined")
+    return EffectSize((y.mean() - x.mean()) / math.sqrt(pooled), "cohens_d")
+
+
+def cliffs_delta(sample1: Sequence[float], sample2: Sequence[float]) -> EffectSize:
+    """Cliff's delta: P(y > x) - P(y < x), computed via sorted ranks.
+
+    O((n+m) log(n+m)) using searchsorted rather than the naive O(n*m)
+    pairwise comparison.
+    """
+    x, y = _clean(sample1), _clean(sample2)
+    xs = np.sort(x)
+    # For each y, count x strictly below and strictly above.
+    below = np.searchsorted(xs, y, side="left")  # x < y count
+    above = len(xs) - np.searchsorted(xs, y, side="right")  # x > y count
+    delta = float((below.sum() - above.sum()) / (len(x) * len(y)))
+    return EffectSize(delta, "cliffs_delta")

@@ -1,0 +1,56 @@
+"""Significance annotation helpers (the paper's '*' and underline markup).
+
+Table 1 marks Welch-significant changes with ``*``; Table 3 additionally
+underlines changes exceeding the worst 2021 baseline fluctuation.  These
+helpers produce that markup for text reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats.welch import WelchResult
+
+__all__ = ["SignificanceResult", "significance_label", "exceeds_baseline"]
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """A change annotated with its statistical assessment."""
+
+    value: float
+    p_value: float
+    significant: bool
+    exceeds_baseline: bool = False
+
+    def markup(self, fmt: str = "+.2f", suffix: str = "%") -> str:
+        """Render like the paper: underline → wrapped in _ _, star appended."""
+        text = f"{format(self.value, fmt)}{suffix}"
+        if self.exceeds_baseline:
+            text = f"_{text}_"
+        if self.significant:
+            text = f"{text}*"
+        return text
+
+
+def significance_label(result: WelchResult, alpha: float = 0.05) -> str:
+    """The paper's footnote convention: '*' if p < alpha, '' otherwise."""
+    return "*" if result.significant(alpha) else ""
+
+
+def exceeds_baseline(change: float, baseline_worst: float, direction: str) -> bool:
+    """Whether a change exceeds the worst baseline fluctuation (Table 3).
+
+    Parameters
+    ----------
+    direction:
+        ``"increase"`` — degradation shows as growth (RTT, loss):
+        exceeds when ``change > baseline_worst``.
+        ``"decrease"`` — degradation shows as decline (throughput, counts):
+        exceeds when ``change < baseline_worst``.
+    """
+    if direction == "increase":
+        return change > baseline_worst
+    if direction == "decrease":
+        return change < baseline_worst
+    raise ValueError(f"direction must be 'increase' or 'decrease', got {direction!r}")

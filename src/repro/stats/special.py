@@ -1,0 +1,87 @@
+"""Special functions needed for t-test p-values.
+
+Only the regularized incomplete beta function is required (the Student-t CDF
+reduces to it).  The implementation is the standard continued-fraction
+evaluation (modified Lentz), accurate to ~1e-12 over the parameter ranges a
+t-test produces.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["log_beta", "regularized_incomplete_beta"]
+
+_MAX_ITER = 500
+_EPS = 3e-14
+_FPMIN = 1e-300
+
+
+def log_beta(a: float, b: float) -> float:
+    """log B(a, b) = lgamma(a) + lgamma(b) - lgamma(a + b)."""
+    if a <= 0 or b <= 0:
+        raise ValueError(f"log_beta requires a, b > 0; got a={a}, b={b}")
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (Numerical Recipes betacf)."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _FPMIN:
+        d = _FPMIN
+    d = 1.0 / d
+    h = d
+    for m in range(1, _MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _FPMIN:
+            d = _FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _FPMIN:
+            c = _FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            return h
+    raise ArithmeticError(
+        f"incomplete beta continued fraction did not converge (a={a}, b={b}, x={x})"
+    )
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """I_x(a, b): the regularized incomplete beta function.
+
+    Satisfies I_0 = 0, I_1 = 1, I_x(a,b) = 1 - I_{1-x}(b,a).
+    """
+    if a <= 0 or b <= 0:
+        raise ValueError(f"requires a, b > 0; got a={a}, b={b}")
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"x must be in [0, 1]; got {x}")
+    if x == 0.0:
+        return 0.0
+    if x == 1.0:
+        return 1.0
+    ln_front = (
+        a * math.log(x) + b * math.log1p(-x) - log_beta(a, b)
+    )
+    front = math.exp(ln_front)
+    # Use the continued fraction directly when it converges fast, i.e. when
+    # x < (a + 1) / (a + b + 2); otherwise use the symmetry relation.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b

@@ -1,0 +1,110 @@
+"""Daily / weekly aggregation of per-test rows onto a day grid.
+
+Figure 2 plots daily means of each metric; Figure 6 uses weekly medians.
+These helpers turn a (day_ordinal, value) pair of columns into aligned
+series over a :class:`~repro.util.timeutil.DayGrid`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.util.timeutil import Day, DayGrid
+
+__all__ = ["daily_aggregate", "rolling_mean", "weekly_aggregate"]
+
+_AGGS = {
+    "mean": np.mean,
+    "median": np.median,
+    "sum": np.sum,
+    "count": len,
+}
+
+
+def daily_aggregate(
+    day_ordinals: Sequence[int],
+    values: Sequence[float],
+    grid: DayGrid,
+    agg: str = "mean",
+) -> np.ndarray:
+    """Aggregate ``values`` per day onto ``grid``.
+
+    Days with no data yield NaN (for mean/median/sum) or 0 (for count),
+    matching how the paper's daily plots show gaps vs. zero test counts.
+    """
+    if agg not in _AGGS:
+        raise ValueError(f"unknown agg {agg!r}; choose from {sorted(_AGGS)}")
+    days = np.asarray(day_ordinals, dtype=np.int64)
+    vals = np.asarray(values, dtype=np.float64)
+    if len(days) != len(vals):
+        raise ValueError(f"length mismatch: {len(days)} days vs {len(vals)} values")
+    start = grid.start.ordinal
+    n = len(grid)
+    fill = 0.0 if agg == "count" else np.nan
+    out = np.full(n, fill, dtype=np.float64)
+    idx = days - start
+    in_range = (idx >= 0) & (idx < n)
+    idx, vals = idx[in_range], vals[in_range]
+    if agg == "count":
+        np.add.at(out, idx, 1.0)
+        return out
+    if agg == "sum":
+        has = np.zeros(n, dtype=bool)
+        has[idx] = True
+        sums = np.zeros(n)
+        np.add.at(sums, idx, vals)
+        out[has] = sums[has]
+        return out
+    # mean / median need per-day buckets
+    order = np.argsort(idx, kind="stable")
+    idx_sorted, vals_sorted = idx[order], vals[order]
+    boundaries = np.searchsorted(idx_sorted, np.arange(n + 1))
+    fn = _AGGS[agg]
+    for d in range(n):
+        lo, hi = boundaries[d], boundaries[d + 1]
+        if hi > lo:
+            out[d] = fn(vals_sorted[lo:hi])
+    return out
+
+
+def weekly_aggregate(
+    day_ordinals: Sequence[int],
+    values: Sequence[float],
+    agg: str = "median",
+) -> Dict[Day, float]:
+    """Aggregate values by ISO week (keyed by the week's Monday).
+
+    Used for Figure 6's weekly median loss/RTT series.
+    """
+    if agg not in _AGGS:
+        raise ValueError(f"unknown agg {agg!r}; choose from {sorted(_AGGS)}")
+    days = np.asarray(day_ordinals, dtype=np.int64)
+    vals = np.asarray(values, dtype=np.float64)
+    if len(days) != len(vals):
+        raise ValueError(f"length mismatch: {len(days)} days vs {len(vals)} values")
+    buckets: Dict[Day, List[float]] = {}
+    for ordinal, value in zip(days.tolist(), vals.tolist()):
+        monday = Day(int(ordinal)).week_start()
+        buckets.setdefault(monday, []).append(value)
+    fn = _AGGS[agg]
+    return {monday: float(fn(np.asarray(v))) for monday, v in sorted(buckets.items())}
+
+
+def rolling_mean(series: Sequence[float], window: int) -> np.ndarray:
+    """Trailing rolling mean ignoring NaNs; the first window-1 use what exists.
+
+    Smooths the daily series the way the paper's figures visually do.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    arr = np.asarray(series, dtype=np.float64)
+    out = np.full(len(arr), np.nan)
+    for i in range(len(arr)):
+        lo = max(0, i - window + 1)
+        chunk = arr[lo : i + 1]
+        finite = chunk[~np.isnan(chunk)]
+        if len(finite):
+            out[i] = finite.mean()
+    return out

@@ -1,0 +1,40 @@
+"""Synthetic dataset generation calibrated to the paper's published tables.
+
+``calibration`` holds the paper-derived targets (Table 1/4/5 moments and
+counts); ``ipf`` reconciles city-level and AS-level test counts into a
+joint traffic matrix; ``workload`` turns counts into per-day arrivals with
+event-driven shapes (sieges, outage spikes); ``generator`` runs the whole
+simulation and emits the NDT and traceroute tables the analyses consume;
+``scenario`` packages ablation variants.
+
+The generator *consumes* calibration targets as distribution parameters.
+The analyses never see them — every reproduced table is recomputed from
+generated rows.
+"""
+
+from repro.synth.calibration import (
+    AsCalibration,
+    Calibration,
+    CityCalibration,
+    MetricMoments,
+    default_calibration,
+)
+from repro.synth.generator import Dataset, DatasetGenerator, GeneratorConfig
+from repro.synth.ipf import iterative_proportional_fit
+from repro.synth.scenario import Scenario, scenario_config
+from repro.synth.workload import Workload
+
+__all__ = [
+    "AsCalibration",
+    "Calibration",
+    "CityCalibration",
+    "Dataset",
+    "DatasetGenerator",
+    "GeneratorConfig",
+    "MetricMoments",
+    "Scenario",
+    "Workload",
+    "default_calibration",
+    "iterative_proportional_fit",
+    "scenario_config",
+]

@@ -1,0 +1,215 @@
+"""Paper-derived calibration targets.
+
+City-level targets come from Table 4 (oblast metrics, mapped to each
+oblast's principal city) plus Table 1's Mariupol row; AS-level targets for
+the paper's top-10 ASes come from Table 5.  Throughput and RTT standard
+deviations are taken from Table 5 where published and otherwise derived
+from a default coefficient of variation (Table 4 publishes means only).
+
+These numbers parameterize the *generator*.  The analysis pipeline never
+reads them; it recomputes every statistic from generated test rows, so a
+bench comparing its output against the paper is a genuine end-to-end run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.util.errors import CalibrationError
+
+__all__ = [
+    "AsCalibration",
+    "Calibration",
+    "CityCalibration",
+    "MetricMoments",
+    "default_calibration",
+]
+
+#: Coefficient of variation used when a table publishes only means.
+_DEFAULT_TPUT_CV = 0.75
+_DEFAULT_RTT_CV = 0.80
+
+
+@dataclass(frozen=True)
+class MetricMoments:
+    """Mean/std targets for the three NDT metrics in one period."""
+
+    tput_mean: float
+    tput_std: float
+    rtt_mean: float
+    rtt_std: float
+    loss_mean: float
+    count: float  # expected tests in the 54-day period
+
+    def __post_init__(self) -> None:
+        for name in ("tput_mean", "tput_std", "rtt_mean", "rtt_std", "count"):
+            if getattr(self, name) <= 0:
+                raise CalibrationError(f"{name} must be positive, got {getattr(self, name)}")
+        if not 0.0 <= self.loss_mean < 1.0:
+            raise CalibrationError(f"loss_mean must be in [0, 1), got {self.loss_mean}")
+
+
+@dataclass(frozen=True)
+class CityCalibration:
+    """Prewar and wartime targets for one city."""
+
+    city: str
+    prewar: MetricMoments
+    wartime: MetricMoments
+
+
+@dataclass(frozen=True)
+class AsCalibration:
+    """Prewar and wartime targets for one of the paper's top-10 ASes."""
+
+    asn: int
+    name: str
+    prewar: MetricMoments
+    wartime: MetricMoments
+
+
+def _city_moments(tput: float, rtt: float, loss_pct: float, count: float) -> MetricMoments:
+    return MetricMoments(
+        tput_mean=tput,
+        tput_std=tput * _DEFAULT_TPUT_CV,
+        rtt_mean=rtt,
+        rtt_std=rtt * _DEFAULT_RTT_CV,
+        loss_mean=loss_pct / 100.0,
+        count=count,
+    )
+
+
+# Table 4 rows, keyed by principal city:
+# (pre_tput, pre_rtt, pre_loss%, pre_count, war_tput, war_rtt, war_loss%, war_count)
+_TABLE4: Dict[str, tuple] = {
+    "Kyiv": (61.71, 11.69, 1.30, 11216, 50.61, 25.99, 2.93, 10023),
+    "Dnipro": (35.18, 13.18, 1.82, 3024, 30.14, 17.93, 2.96, 3483),
+    "Lviv": (34.70, 6.53, 1.62, 1881, 37.16, 13.44, 3.27, 2964),
+    "Odessa": (40.31, 9.07, 1.99, 2210, 39.43, 11.31, 2.41, 1969),
+    "Kharkiv": (42.72, 21.42, 2.22, 2102, 42.51, 26.93, 3.41, 1692),
+    "Donetsk": (26.87, 22.22, 2.09, 1453, 20.78, 16.50, 4.02, 1292),
+    "Zaporizhzhia": (24.71, 4.16, 2.00, 1046, 19.87, 14.94, 12.09, 1552),
+    "Vinnytsia": (34.56, 6.73, 1.39, 894, 32.82, 12.35, 2.42, 1293),
+    "Mykolaiv": (55.30, 28.20, 1.50, 1031, 49.50, 32.84, 2.31, 1127),
+    "Uzhhorod": (27.36, 18.43, 4.77, 721, 19.53, 20.96, 5.58, 1040),
+    "Chernihiv": (71.33, 14.20, 2.45, 1298, 18.55, 9.90, 4.71, 366),
+    "Bila Tserkva": (32.76, 4.65, 1.35, 887, 34.92, 17.40, 5.38, 728),
+    "Kherson": (24.59, 5.08, 2.07, 614, 16.37, 18.94, 8.57, 986),
+    "Cherkasy": (48.00, 3.94, 0.85, 570, 46.33, 12.37, 2.68, 831),
+    "Rivne": (34.81, 3.30, 2.14, 612, 28.21, 11.69, 3.69, 766),
+    "Poltava": (31.12, 5.04, 1.47, 537, 38.56, 17.60, 3.77, 824),
+    "Ivano-Frankivsk": (22.16, 6.58, 2.19, 535, 27.34, 15.28, 3.26, 758),
+    "Ternopil": (37.16, 11.50, 1.46, 531, 43.95, 8.78, 2.46, 594),
+    "Kropyvnytskyi": (18.64, 3.30, 1.87, 437, 22.19, 11.22, 2.28, 642),
+    "Severodonetsk": (13.87, 10.30, 2.92, 581, 14.66, 19.63, 5.88, 470),
+    "Lutsk": (36.62, 4.49, 1.49, 414, 26.84, 13.80, 2.67, 631),
+    "Zhytomyr": (25.65, 8.25, 2.10, 459, 28.38, 21.82, 5.31, 555),
+    "Chernivtsi": (22.24, 4.71, 2.01, 462, 38.00, 12.16, 2.22, 513),
+    "Khmelnytskyi": (21.67, 11.15, 2.06, 227, 28.86, 14.49, 4.94, 688),
+    "Sumy": (22.61, 7.47, 1.87, 329, 20.18, 20.83, 8.52, 552),
+    "Simferopol": (43.41, 65.76, 2.80, 348, 34.60, 57.15, 4.45, 338),
+    "Sevastopol": (21.52, 47.53, 3.48, 92, 29.80, 31.01, 4.08, 199),
+    # Mariupol from Table 1 (Donets'k oblast row reduced correspondingly).
+    "Mariupol": (32.88, 17.668, 2.79, 296, 18.80, 17.103, 6.84, 26),
+}
+
+# Table 5 rows (means and stds): asn -> (name,
+#   pre_tput_mean, pre_tput_std, pre_rtt_mean, pre_rtt_std, pre_loss, pre_count,
+#   war_tput_mean, war_tput_std, war_rtt_mean, war_rtt_std, war_loss, war_count)
+_TABLE5: Dict[int, tuple] = {
+    15895: ("Kyivstar", 37.836, 30.064, 22.514, 79.346, 0.0161, 3367,
+            23.980, 33.132, 24.809, 185.841, 0.0254, 3921),
+    3255: ("UARNet", 61.664, 63.927, 5.257, 20.839, 0.0177, 1934,
+           57.971, 67.471, 12.300, 29.250, 0.0281, 2661),
+    25229: ("Kyiv Telecom", 52.699, 43.359, 7.259, 17.372, 0.0150, 1549,
+            50.099, 54.275, 20.062, 35.240, 0.0330, 2032),
+    35297: ("Dataline", 31.969, 72.602, 13.151, 28.112, 0.0135, 816,
+            20.962, 36.731, 24.462, 48.810, 0.0379, 1403),
+    21488: ("Emplot LTd.", 90.516, 35.202, 3.755, 11.063, 0.0019, 1809,
+            90.792, 24.488, 24.581, 15.289, 0.0072, 240),
+    21497: ("Vodafone UKr", 18.720, 20.635, 6.584, 22.321, 0.0391, 929,
+            15.038, 18.778, 19.932, 43.905, 0.0383, 1076),
+    6876: ("TeNeT", 45.038, 33.827, 4.187, 15.621, 0.0121, 1129,
+           47.538, 33.164, 3.894, 14.032, 0.0073, 737),
+    50581: ("Ukr Telecom", 31.827, 43.035, 4.670, 13.145, 0.0105, 360,
+            24.695, 39.290, 10.118, 21.367, 0.0518, 1378),
+    39608: ("Lanet", 84.613, 110.260, 6.086, 19.883, 0.0075, 1056,
+            66.061, 77.319, 13.311, 34.283, 0.0209, 587),
+    13307: ("SKIF ISP Ltd.", 115.258, 67.662, 0.591, 6.514, 0.0038, 774,
+            126.493, 70.678, 0.314, 3.861, 0.0031, 672),
+}
+
+
+class Calibration:
+    """Lookup over city-level and AS-level targets."""
+
+    def __init__(
+        self,
+        cities: List[CityCalibration],
+        ases: List[AsCalibration],
+    ):
+        self._cities: Dict[str, CityCalibration] = {}
+        for c in cities:
+            if c.city in self._cities:
+                raise CalibrationError(f"duplicate city calibration {c.city!r}")
+            self._cities[c.city] = c
+        self._ases: Dict[int, AsCalibration] = {}
+        for a in ases:
+            if a.asn in self._ases:
+                raise CalibrationError(f"duplicate AS calibration {a.asn}")
+            self._ases[a.asn] = a
+
+    def city(self, name: str) -> CityCalibration:
+        try:
+            return self._cities[name]
+        except KeyError:
+            raise CalibrationError(f"no calibration for city {name!r}") from None
+
+    def has_city(self, name: str) -> bool:
+        return name in self._cities
+
+    def city_names(self) -> List[str]:
+        return list(self._cities)
+
+    def asys(self, asn: int) -> Optional[AsCalibration]:
+        """AS-level calibration, or None for non-top-10 ASes."""
+        return self._ases.get(asn)
+
+    def calibrated_asns(self) -> List[int]:
+        return list(self._ases)
+
+    def total_city_count(self, period: str) -> float:
+        if period not in ("prewar", "wartime"):
+            raise CalibrationError(f"period must be 'prewar' or 'wartime', got {period!r}")
+        return sum(
+            getattr(c, period).count for c in self._cities.values()
+        )
+
+
+def default_calibration() -> Calibration:
+    """Targets for every gazetteer city and the paper's top-10 ASes."""
+    cities = []
+    for city, row in _TABLE4.items():
+        pre_tput, pre_rtt, pre_loss, pre_count, war_tput, war_rtt, war_loss, war_count = row
+        cities.append(
+            CityCalibration(
+                city=city,
+                prewar=_city_moments(pre_tput, pre_rtt, pre_loss, pre_count),
+                wartime=_city_moments(war_tput, war_rtt, war_loss, war_count),
+            )
+        )
+    ases = []
+    for asn, row in _TABLE5.items():
+        (name,
+         pt_mean, pt_std, pr_mean, pr_std, p_loss, p_count,
+         wt_mean, wt_std, wr_mean, wr_std, w_loss, w_count) = row
+        ases.append(
+            AsCalibration(
+                asn=asn,
+                name=name,
+                prewar=MetricMoments(pt_mean, pt_std, pr_mean, pr_std, p_loss, p_count),
+                wartime=MetricMoments(wt_mean, wt_std, wr_mean, wr_std, w_loss, w_count),
+            )
+        )
+    return Calibration(cities, ases)

@@ -1,0 +1,87 @@
+"""Iterative proportional fitting (Sinkhorn scaling) for traffic matrices.
+
+The paper publishes two marginal views of the same test population: per-city
+counts (Table 4) and per-AS counts (Table 5).  To generate tests whose city
+AND AS marginals both match, the workload builds a joint (city × AS) count
+matrix by IPF: start from the coverage support (which AS serves which city)
+and alternately rescale rows and columns to the two marginals.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.errors import CalibrationError
+
+__all__ = ["iterative_proportional_fit"]
+
+
+def iterative_proportional_fit(
+    support: np.ndarray,
+    row_targets: np.ndarray,
+    col_targets: np.ndarray,
+    max_iter: int = 500,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Scale ``support`` so its margins match the targets.
+
+    Parameters
+    ----------
+    support:
+        Non-negative (n_rows, n_cols) seed matrix; zeros mark impossible
+        cells (an AS that does not serve a city) and stay zero.
+    row_targets / col_targets:
+        Desired row and column sums.  Their totals must agree (they are the
+        same test population); a relative discrepancy above 1% is an error,
+        below that the column targets are rescaled to the row total.
+
+    Returns
+    -------
+    The fitted matrix.  Raises :class:`CalibrationError` when a positive
+    target row/column has no support, or the fit does not converge.
+    """
+    m = np.array(support, dtype=np.float64)
+    rows = np.asarray(row_targets, dtype=np.float64)
+    cols = np.asarray(col_targets, dtype=np.float64)
+    if m.ndim != 2:
+        raise CalibrationError("support must be a 2-D matrix")
+    if m.shape != (len(rows), len(cols)):
+        raise CalibrationError(
+            f"shape mismatch: support {m.shape}, targets ({len(rows)}, {len(cols)})"
+        )
+    if (m < 0).any() or (rows < 0).any() or (cols < 0).any():
+        raise CalibrationError("support and targets must be non-negative")
+
+    row_total, col_total = rows.sum(), cols.sum()
+    if row_total <= 0:
+        raise CalibrationError("row targets sum to zero")
+    if abs(row_total - col_total) > 0.01 * row_total:
+        raise CalibrationError(
+            f"marginal totals disagree: rows {row_total:.1f} vs cols {col_total:.1f}"
+        )
+    cols = cols * (row_total / col_total)
+
+    for i, target in enumerate(rows):
+        if target > 0 and m[i].sum() == 0:
+            raise CalibrationError(f"row {i} has target {target} but no support")
+    for j, target in enumerate(cols):
+        if target > 0 and m[:, j].sum() == 0:
+            raise CalibrationError(f"column {j} has target {target} but no support")
+
+    for _ in range(max_iter):
+        row_sums = m.sum(axis=1)
+        scale = np.divide(rows, row_sums, out=np.zeros_like(rows), where=row_sums > 0)
+        m = m * scale[:, None]
+        col_sums = m.sum(axis=0)
+        scale = np.divide(cols, col_sums, out=np.zeros_like(cols), where=col_sums > 0)
+        m = m * scale[None, :]
+        row_err = np.abs(m.sum(axis=1) - rows).max()
+        col_err = np.abs(m.sum(axis=0) - cols).max()
+        if max(row_err, col_err) <= tol * max(1.0, row_total):
+            return m
+    raise CalibrationError(
+        f"IPF did not converge in {max_iter} iterations "
+        f"(row_err={row_err:.3g}, col_err={col_err:.3g})"
+    )

@@ -1,0 +1,46 @@
+"""Named scenario presets, including the DESIGN.md ablations.
+
+Each scenario is a :class:`~repro.synth.generator.GeneratorConfig` variant;
+the ablation benches generate each variant and verify which paper findings
+survive or disappear.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+
+from repro.synth.generator import GeneratorConfig
+
+__all__ = ["Scenario", "scenario_config"]
+
+
+class Scenario(enum.Enum):
+    """Predefined what-if variants of the default simulation."""
+
+    PAPER = "paper"  # the full reproduction
+    NO_WAR = "no_war"  # the invasion never happens
+    NO_REROUTING = "no_rerouting"  # war degrades metrics but routes never move
+    UNIFORM_DAMAGE = "uniform_damage"  # damage spread evenly across zones
+    UNIFORM_CLIENTS = "uniform_clients"  # no heavy-tailed client popularity
+    PERFECT_GEO = "perfect_geo"  # geolocation without missing/mislabeled blocks
+
+
+def scenario_config(
+    scenario: Scenario, base: GeneratorConfig = GeneratorConfig()
+) -> GeneratorConfig:
+    """The generator configuration implementing a scenario."""
+    if scenario is Scenario.PAPER:
+        return base
+    if scenario is Scenario.NO_WAR:
+        return replace(base, war_enabled=False)
+    if scenario is Scenario.NO_REROUTING:
+        return replace(base, rerouting_enabled=False)
+    if scenario is Scenario.UNIFORM_DAMAGE:
+        return replace(base, regional_damage=False)
+    if scenario is Scenario.UNIFORM_CLIENTS:
+        # zipf exponent near zero makes client popularity near-uniform
+        return replace(base, zipf_a=0.05)
+    if scenario is Scenario.PERFECT_GEO:
+        return replace(base, missing_rate=0.0, mislabel_rate=0.0)
+    raise ValueError(f"unhandled scenario {scenario!r}")

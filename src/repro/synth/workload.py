@@ -1,0 +1,192 @@
+"""Test arrival process: who tests, from where, on which day.
+
+Combines three calibrated ingredients:
+
+* a joint (city × AS) traffic matrix per period, fitted with IPF so that
+  both Table 4's city counts and Table 5's AS counts hold;
+* per-city day *shapes* inside each period — the siege of Mariupol zeroes
+  its traffic after March 1 (Figure 4), Kharkiv drops after the March 14
+  shelling, the March 10 outage produces a national test-count spike
+  (Figure 2a), and a mild weekday cycle plus noise covers the rest;
+* a year-level volume factor (NDT usage grew from 2021 to 2022, which is
+  what raises Table 2's tests-per-connection between the baselines and
+  2022).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.conflict.events import EventKind
+from repro.conflict.intensity import IntensityModel
+from repro.synth.calibration import Calibration
+from repro.synth.ipf import iterative_proportional_fit
+from repro.topology.builder import Topology
+from repro.util.errors import CalibrationError
+from repro.util.timeutil import Day, Period
+
+__all__ = ["Workload"]
+
+#: Residual daily traffic share for a city whose population fled a siege.
+_SIEGE_FLOOR = 0.03
+#: Daily traffic multiplier for a city after heavy shelling.
+_SHELLING_FACTOR = 0.45
+#: National test-count spike multiplier on an outage day (Figure 2a).
+_OUTAGE_SPIKE = 1.8
+#: Weekday cycle amplitude (weekend tests are slightly fewer).
+_WEEKDAY_DIP = 0.12
+
+
+class Workload:
+    """Per-day (city, AS) test-count expectations for one simulated year."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        calibration: Calibration,
+        intensity: IntensityModel,
+        first_half: Period,
+        second_half: Period,
+        wartime: bool,
+        volume_factor: float = 1.0,
+        second_half_count_drift: Optional[Dict[int, float]] = None,
+    ):
+        if volume_factor <= 0:
+            raise ValueError(f"volume_factor must be positive, got {volume_factor}")
+        self._topology = topology
+        self._calibration = calibration
+        self._intensity = intensity
+        self._first_half = first_half
+        self._second_half = second_half
+        self._wartime = wartime
+        self._volume = volume_factor
+        self._cities = list(topology.gazetteer.city_names())
+        self._eyeballs = sorted(topology.eyeball_asns())
+        # Joint matrices: wartime years use (prewar, wartime) targets; the
+        # 2021 baseline uses prewar targets for both halves, optionally with
+        # per-AS drift (user populations shift even in peacetime).
+        self._matrix_first = self._fit_matrix("prewar")
+        self._matrix_second = self._fit_matrix(
+            "wartime" if wartime else "prewar",
+            count_drift=None if wartime else second_half_count_drift,
+        )
+
+    # -- traffic matrices -------------------------------------------------------
+    def _fit_matrix(
+        self, period: str, count_drift: Optional[Dict[int, float]] = None
+    ) -> np.ndarray:
+        cities = self._cities
+        ases = self._eyeballs
+        support = np.zeros((len(cities), len(ases)))
+        for i, city in enumerate(cities):
+            for j, asn in enumerate(ases):
+                if asn in self._topology.coverage[city]:
+                    support[i, j] = 1.0
+
+        row_targets = np.array(
+            [getattr(self._calibration.city(c), period).count for c in cities]
+        )
+        col_targets = np.zeros(len(ases))
+        calibrated_total = 0.0
+        for j, asn in enumerate(ases):
+            cal = self._calibration.asys(asn)
+            if cal is not None:
+                col_targets[j] = getattr(cal, period).count
+                calibrated_total += col_targets[j]
+        leftover = row_targets.sum() - calibrated_total
+        if leftover < 0:
+            raise CalibrationError(
+                f"{period}: AS count targets ({calibrated_total:.0f}) exceed "
+                f"city totals ({row_targets.sum():.0f})"
+            )
+        # Spread the remainder over uncalibrated ASes by their served mass.
+        weights = np.zeros(len(ases))
+        for j, asn in enumerate(ases):
+            if self._calibration.asys(asn) is None:
+                weights[j] = sum(
+                    getattr(self._calibration.city(c), period).count
+                    for c in self._topology.cities_of(asn)
+                )
+        if weights.sum() > 0:
+            col_targets += leftover * weights / weights.sum()
+        if count_drift:
+            for j, asn in enumerate(ases):
+                col_targets[j] *= count_drift.get(asn, 1.0)
+            col_targets *= row_targets.sum() / col_targets.sum()
+        return iterative_proportional_fit(support, row_targets, col_targets)
+
+    def matrix(self, period_half: str) -> np.ndarray:
+        """The fitted (city × AS) matrix for ``"first"`` or ``"second"``."""
+        if period_half == "first":
+            return self._matrix_first
+        if period_half == "second":
+            return self._matrix_second
+        raise ValueError(f"period_half must be 'first' or 'second', got {period_half!r}")
+
+    # -- day shapes --------------------------------------------------------------
+    def _city_day_shape(self, city: str, day: Day) -> float:
+        """Relative within-period traffic shape for one city-day."""
+        shape = 1.0
+        if not self._wartime or day < self._intensity.invasion_day:
+            return shape
+        for event in self._intensity.timeline:
+            if day < event.day or not event.applies_to_city(city):
+                continue
+            if event.kind is EventKind.SIEGE:
+                # Population flees over about a week, then a trickle remains.
+                age = day - event.day
+                shape = min(shape, max(_SIEGE_FLOOR, 1.0 - age / 6.0))
+            elif event.kind is EventKind.SHELLING:
+                shape = min(shape, _SHELLING_FACTOR)
+        return shape
+
+    def _day_modulation(self, day: Day, rng: np.random.Generator) -> float:
+        """City-independent day factor: weekday cycle, outage spike, noise."""
+        factor = 1.0 - _WEEKDAY_DIP * (day.weekday() >= 5)
+        if self._wartime:
+            for event in self._intensity.events_on(day):
+                if event.kind is EventKind.OUTAGE:
+                    factor *= _OUTAGE_SPIKE
+        return factor * float(rng.lognormal(0.0, 0.08))
+
+    # -- the schedule ---------------------------------------------------------------
+    def daily_counts(
+        self, rng: np.random.Generator
+    ) -> List[Tuple[Day, Dict[Tuple[str, int], int]]]:
+        """Poisson test counts per (city, AS) for every day of the year.
+
+        Within each half-period, a city's expected total across days matches
+        its calibrated count (scaled by the volume factor) regardless of the
+        shape events apply — shapes only redistribute traffic across days.
+        """
+        out: List[Tuple[Day, Dict[Tuple[str, int], int]]] = []
+        for half, period, matrix in (
+            ("first", self._first_half, self._matrix_first),
+            ("second", self._second_half, self._matrix_second),
+        ):
+            days = period.days()
+            modulation = np.array([self._day_modulation(d, rng) for d in days])
+            shapes = np.zeros((len(self._cities), len(days)))
+            for i, city in enumerate(self._cities):
+                shapes[i] = [self._city_day_shape(city, d) for d in days]
+            combined = shapes * modulation[None, :]
+            norm = combined.sum(axis=1, keepdims=True)
+            if (norm == 0).any():
+                raise CalibrationError("a city has zero total day-shape mass")
+            combined /= norm
+
+            for d_idx, day in enumerate(days):
+                counts: Dict[Tuple[str, int], int] = {}
+                for i, city in enumerate(self._cities):
+                    day_share = combined[i, d_idx]
+                    for j, asn in enumerate(self._eyeballs):
+                        expected = matrix[i, j] * day_share * self._volume
+                        if expected <= 0:
+                            continue
+                        n = int(rng.poisson(expected))
+                        if n > 0:
+                            counts[(city, asn)] = n
+                out.append((day, counts))
+        return out

@@ -1,0 +1,40 @@
+"""A small columnar table engine (the repo's pandas/BigQuery substitute).
+
+The paper's pipeline is relational: filter tests by period and location,
+group by day/oblast/AS, aggregate metrics, join NDT rows with traceroute
+rows.  ``repro.tables`` provides exactly those operations over numpy-backed
+columns:
+
+>>> from repro.tables import Table, col
+>>> t = Table.from_dict({"city": ["Kyiv", "Lviv", "Kyiv"], "rtt": [11.0, 5.5, 26.6]})
+>>> t.filter(col("city") == "Kyiv").column("rtt").mean()
+18.8
+"""
+
+from repro.tables.column import Column
+from repro.tables.expr import Expr, col
+from repro.tables.groupby import AGGREGATORS, GroupBy
+from repro.tables.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.tables.join import join
+from repro.tables.pretty import format_table
+from repro.tables.schema import DType, Field, Schema
+from repro.tables.table import Table, concat
+
+__all__ = [
+    "AGGREGATORS",
+    "Column",
+    "DType",
+    "Expr",
+    "Field",
+    "GroupBy",
+    "Schema",
+    "Table",
+    "col",
+    "concat",
+    "format_table",
+    "join",
+    "read_csv",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+]

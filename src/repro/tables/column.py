@@ -1,0 +1,223 @@
+"""A typed, immutable-by-convention column of values."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.tables.schema import DType
+from repro.util.errors import DataError
+
+__all__ = ["Column"]
+
+
+def _coerce(values: Any, dtype: DType) -> np.ndarray:
+    np_dtype = dtype.numpy_dtype()
+    if dtype is DType.STR:
+        arr = np.empty(len(values), dtype=object)
+        for i, v in enumerate(values):
+            if v is not None and not isinstance(v, str):
+                raise DataError(
+                    f"str column got non-string value {v!r} at index {i}"
+                )
+            arr[i] = v
+        return arr
+    try:
+        return np.asarray(values, dtype=np_dtype)
+    except (TypeError, ValueError) as exc:
+        raise DataError(f"cannot coerce values to {dtype.value}: {exc}") from exc
+
+
+def _infer_dtype(values: Sequence[Any]) -> DType:
+    if isinstance(values, np.ndarray) and values.dtype != object:
+        return DType.from_numpy(values.dtype)
+    for v in values:
+        if v is None:
+            continue
+        if isinstance(v, (bool, np.bool_)):
+            return DType.BOOL
+        if isinstance(v, (int, np.integer)):
+            return DType.INT
+        if isinstance(v, (float, np.floating)):
+            return DType.FLOAT
+        if isinstance(v, str):
+            return DType.STR
+        raise DataError(f"cannot infer column dtype from value {v!r}")
+    raise DataError("cannot infer dtype of an all-None or empty column; pass dtype=")
+
+
+class Column:
+    """A named 1-D array of a single logical :class:`DType`.
+
+    Columns wrap numpy arrays; numeric reductions delegate to numpy.  ``None``
+    is allowed only in STR columns (missing geolocation labels); numeric
+    missing values are represented as NaN in FLOAT columns.
+    """
+
+    def __init__(self, name: str, values: Any, dtype: Union[DType, None] = None):
+        if not name:
+            raise ValueError("column name must be non-empty")
+        if isinstance(values, Column):
+            values = values.values
+        if np.ndim(values) != 1:
+            values = np.atleast_1d(values)
+            if values.ndim != 1:
+                raise DataError(f"column {name!r}: values must be 1-D")
+        if dtype is None:
+            dtype = _infer_dtype(values)
+        self._name = name
+        self._dtype = dtype
+        self._values = _coerce(values, dtype)
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def dtype(self) -> DType:
+        return self._dtype
+
+    @property
+    def values(self) -> np.ndarray:
+        """The backing numpy array (treat as read-only)."""
+        return self._values
+
+    def rename(self, name: str) -> "Column":
+        return Column(name, self._values, self._dtype)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __getitem__(self, idx: Any) -> Any:
+        result = self._values[idx]
+        if isinstance(result, np.ndarray):
+            return Column(self._name, result, self._dtype)
+        return result
+
+    def take(self, indices: np.ndarray) -> "Column":
+        return Column(self._name, self._values[indices], self._dtype)
+
+    def mask(self, keep: np.ndarray) -> "Column":
+        keep = np.asarray(keep, dtype=bool)
+        if len(keep) != len(self):
+            raise DataError(
+                f"mask length {len(keep)} != column length {len(self)}"
+            )
+        return Column(self._name, self._values[keep], self._dtype)
+
+    # -- reductions -------------------------------------------------------
+    def _numeric(self) -> np.ndarray:
+        if self._dtype is DType.STR:
+            raise DataError(f"column {self._name!r} is not numeric")
+        return self._values.astype(np.float64)
+
+    def mean(self) -> float:
+        """Mean, ignoring NaN."""
+        return float(np.nanmean(self._numeric()))
+
+    def median(self) -> float:
+        """Median, ignoring NaN."""
+        return float(np.nanmedian(self._numeric()))
+
+    def std(self, ddof: int = 1) -> float:
+        """Sample standard deviation (ddof=1), ignoring NaN."""
+        return float(np.nanstd(self._numeric(), ddof=ddof))
+
+    def sum(self) -> float:
+        return float(np.nansum(self._numeric()))
+
+    def min(self) -> float:
+        return float(np.nanmin(self._numeric()))
+
+    def max(self) -> float:
+        return float(np.nanmax(self._numeric()))
+
+    def nunique(self) -> int:
+        """Number of distinct values (None/NaN count as one value each)."""
+        return len(set(self.to_list()))
+
+    def to_list(self) -> list:
+        return self._values.tolist()
+
+    def unique(self) -> list:
+        """Sorted distinct values."""
+        vals = set(self.to_list())
+        return sorted(vals, key=lambda v: (v is None, v))
+
+    # -- elementwise arithmetic --------------------------------------------
+    def _arith(self, other: Any, op: Callable, name: str) -> "Column":
+        if self._dtype is DType.STR:
+            raise DataError(f"arithmetic not supported on str column {self._name!r}")
+        if isinstance(other, Column):
+            if other.dtype is DType.STR:
+                raise DataError(f"arithmetic not supported on str column {other.name!r}")
+            if len(other) != len(self):
+                raise DataError(
+                    f"length mismatch: {len(self)} vs {len(other)}"
+                )
+            other = other.values
+        result = op(self._values.astype(np.float64), other)
+        return Column(name or self._name, result, DType.FLOAT)
+
+    def __add__(self, other: Any) -> "Column":
+        return self._arith(other, np.add, self._name)
+
+    def __sub__(self, other: Any) -> "Column":
+        return self._arith(other, np.subtract, self._name)
+
+    def __mul__(self, other: Any) -> "Column":
+        return self._arith(other, np.multiply, self._name)
+
+    def __truediv__(self, other: Any) -> "Column":
+        def safe_div(a, b):
+            b = np.asarray(b, dtype=np.float64)
+            return np.divide(a, b, out=np.full_like(a, np.nan), where=b != 0)
+
+        return self._arith(other, safe_div, self._name)
+
+    def map(self, fn: Callable[[Any], Any], dtype: Optional[DType] = None) -> "Column":
+        """Elementwise transform; dtype inferred from results unless given."""
+        return Column(self._name, [fn(v) for v in self._values], dtype)
+
+    # -- elementwise comparisons (used by Expr) ----------------------------
+    def _cmp(self, other: Any, op: str) -> np.ndarray:
+        ops = {
+            "==": np.equal,
+            "!=": np.not_equal,
+            "<": np.less,
+            "<=": np.less_equal,
+            ">": np.greater,
+            ">=": np.greater_equal,
+        }
+        if isinstance(other, Column):
+            other = other.values
+        if self._dtype is DType.STR and op in ("<", "<=", ">", ">="):
+            raise DataError("ordered comparison not supported on str columns")
+        result = ops[op](self._values, other)
+        return np.asarray(result, dtype=bool)
+
+    def isin(self, allowed: Iterable[Any]) -> np.ndarray:
+        allowed_set = set(allowed)
+        return np.fromiter(
+            (v in allowed_set for v in self._values), dtype=bool, count=len(self)
+        )
+
+    def isnull(self) -> np.ndarray:
+        """True where the value is None (STR) or NaN (FLOAT)."""
+        if self._dtype is DType.STR:
+            return np.fromiter(
+                (v is None for v in self._values), dtype=bool, count=len(self)
+            )
+        if self._dtype is DType.FLOAT:
+            return np.isnan(self._values)
+        return np.zeros(len(self), dtype=bool)
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self._values[:5])
+        ell = ", ..." if len(self) > 5 else ""
+        return f"Column({self._name!r}:{self._dtype.value}, [{preview}{ell}], n={len(self)})"

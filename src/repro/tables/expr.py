@@ -1,0 +1,105 @@
+"""Predicate expressions for filtering tables.
+
+``col("loss") > 0.05`` builds an :class:`Expr` tree that, evaluated against a
+table, yields a boolean mask.  Expressions compose with ``&``, ``|`` and
+``~``, mirroring the WHERE clauses of the paper's BigQuery queries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tables.table import Table
+
+__all__ = ["Expr", "col"]
+
+
+class Expr:
+    """A lazily evaluated boolean predicate over table rows."""
+
+    def __init__(self, fn: Callable[["Table"], np.ndarray], description: str):
+        self._fn = fn
+        self._description = description
+
+    def evaluate(self, table: "Table") -> np.ndarray:
+        """Return a boolean mask with one entry per row of ``table``."""
+        mask = self._fn(table)
+        return np.asarray(mask, dtype=bool)
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return Expr(
+            lambda t: self.evaluate(t) & other.evaluate(t),
+            f"({self._description} AND {other._description})",
+        )
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Expr(
+            lambda t: self.evaluate(t) | other.evaluate(t),
+            f"({self._description} OR {other._description})",
+        )
+
+    def __invert__(self) -> "Expr":
+        return Expr(lambda t: ~self.evaluate(t), f"(NOT {self._description})")
+
+    def __repr__(self) -> str:
+        return f"Expr[{self._description}]"
+
+
+class _ColumnRef:
+    """A reference to a column by name, from which predicates are built."""
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def _binary(self, op: str, other: Any) -> Expr:
+        name = self._name
+        return Expr(
+            lambda t: t.column(name)._cmp(other, op),
+            f"{name} {op} {other!r}",
+        )
+
+    def __eq__(self, other: Any) -> Expr:  # type: ignore[override]
+        return self._binary("==", other)
+
+    def __ne__(self, other: Any) -> Expr:  # type: ignore[override]
+        return self._binary("!=", other)
+
+    def __lt__(self, other: Any) -> Expr:
+        return self._binary("<", other)
+
+    def __le__(self, other: Any) -> Expr:
+        return self._binary("<=", other)
+
+    def __gt__(self, other: Any) -> Expr:
+        return self._binary(">", other)
+
+    def __ge__(self, other: Any) -> Expr:
+        return self._binary(">=", other)
+
+    def isin(self, allowed: Iterable[Any]) -> Expr:
+        name = self._name
+        allowed = list(allowed)
+        return Expr(lambda t: t.column(name).isin(allowed), f"{name} IN {allowed!r}")
+
+    def between(self, lo: Any, hi: Any) -> Expr:
+        """Inclusive range predicate: ``lo <= col <= hi``."""
+        return (self >= lo) & (self <= hi)
+
+    def isnull(self) -> Expr:
+        name = self._name
+        return Expr(lambda t: t.column(name).isnull(), f"{name} IS NULL")
+
+    def notnull(self) -> Expr:
+        return ~self.isnull()
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+def col(name: str) -> _ColumnRef:
+    """Reference a column by name for use in a filter expression."""
+    if not name:
+        raise ValueError("column name must be non-empty")
+    return _ColumnRef(name)

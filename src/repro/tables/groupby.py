@@ -1,0 +1,181 @@
+"""Group-by and aggregation over tables."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.tables.column import Column
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.util.errors import DataError
+
+__all__ = ["AGGREGATORS", "GroupBy"]
+
+
+def _agg_count(values: np.ndarray) -> int:
+    return int(len(values))
+
+
+def _agg_sum(values: np.ndarray) -> float:
+    return float(np.nansum(values.astype(np.float64)))
+
+
+def _agg_mean(values: np.ndarray) -> float:
+    return float(np.nanmean(values.astype(np.float64)))
+
+
+def _agg_median(values: np.ndarray) -> float:
+    return float(np.nanmedian(values.astype(np.float64)))
+
+
+def _agg_std(values: np.ndarray) -> float:
+    vals = values.astype(np.float64)
+    vals = vals[~np.isnan(vals)]
+    if len(vals) < 2:
+        return float("nan")
+    return float(np.std(vals, ddof=1))
+
+
+def _agg_min(values: np.ndarray) -> float:
+    return float(np.nanmin(values.astype(np.float64)))
+
+
+def _agg_max(values: np.ndarray) -> float:
+    return float(np.nanmax(values.astype(np.float64)))
+
+
+def _agg_nunique(values: np.ndarray) -> int:
+    return len(set(values.tolist()))
+
+
+def _agg_first(values: np.ndarray):
+    return values[0]
+
+
+def _percentile(q: float) -> Callable[[np.ndarray], float]:
+    def agg(values: np.ndarray) -> float:
+        return float(np.nanpercentile(values.astype(np.float64), q))
+
+    return agg
+
+
+#: Registry of named aggregation functions usable in :meth:`GroupBy.aggregate`.
+AGGREGATORS: Dict[str, Callable[[np.ndarray], object]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "mean": _agg_mean,
+    "median": _agg_median,
+    "std": _agg_std,
+    "min": _agg_min,
+    "max": _agg_max,
+    "nunique": _agg_nunique,
+    "first": _agg_first,
+    "p25": _percentile(25),
+    "p75": _percentile(75),
+    "p90": _percentile(90),
+    "p95": _percentile(95),
+    "p99": _percentile(99),
+}
+
+#: Aggregators whose output is integer-typed.
+_INT_AGGS = {"count", "nunique"}
+
+
+class GroupBy:
+    """A deferred grouping of a table by one or more key columns.
+
+    Example
+    -------
+    >>> from repro.tables import Table
+    >>> t = Table.from_dict({"k": ["a", "a", "b"], "v": [1.0, 3.0, 5.0]})
+    >>> g = t.group_by("k").aggregate({"n": ("v", "count"), "avg": ("v", "mean")})
+    >>> g.sort_by("k").to_dicts()
+    [{'k': 'a', 'n': 2, 'avg': 2.0}, {'k': 'b', 'n': 1, 'avg': 5.0}]
+    """
+
+    def __init__(self, table: Table, keys: List[str]):
+        if not keys:
+            raise ValueError("group_by needs at least one key column")
+        for k in keys:
+            table.column(k)  # raises on unknown column
+        self._table = table
+        self._keys = keys
+        self._group_index = self._build_index()
+
+    def _build_index(self) -> Dict[Tuple, np.ndarray]:
+        """Map each distinct key tuple to the row indices holding it."""
+        n = self._table.n_rows
+        key_cols = [self._table.column(k).values for k in self._keys]
+        buckets: Dict[Tuple, List[int]] = {}
+        for i in range(n):
+            key = tuple(c[i] for c in key_cols)
+            buckets.setdefault(key, []).append(i)
+        return {k: np.asarray(v, dtype=np.intp) for k, v in buckets.items()}
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._group_index)
+
+    def groups(self) -> Dict[Tuple, Table]:
+        """Materialize each group as its own table (small group counts only)."""
+        return {key: self._table.take(idx) for key, idx in self._group_index.items()}
+
+    def aggregate(self, spec: Mapping[str, Tuple[str, str]]) -> Table:
+        """Aggregate each group.
+
+        Parameters
+        ----------
+        spec:
+            ``{output_name: (input_column, aggregator)}`` where aggregator is
+            a key of :data:`AGGREGATORS`.
+        """
+        if not spec:
+            raise ValueError("aggregate spec must not be empty")
+        for out, (src, agg) in spec.items():
+            self._table.column(src)
+            if agg not in AGGREGATORS:
+                raise DataError(
+                    f"unknown aggregator {agg!r} for output {out!r}; "
+                    f"choose from {sorted(AGGREGATORS)}"
+                )
+            if out in self._keys:
+                raise DataError(f"output {out!r} collides with a group key")
+
+        keys_sorted = sorted(
+            self._group_index,
+            key=lambda kt: tuple(("" if v is None else v) for v in kt),
+        )
+        out_data: Dict[str, list] = {k: [] for k in self._keys}
+        for out in spec:
+            out_data[out] = []
+        for key in keys_sorted:
+            idx = self._group_index[key]
+            for kname, kval in zip(self._keys, key):
+                out_data[kname].append(kval)
+            for out, (src, agg) in spec.items():
+                vals = self._table.column(src).values[idx]
+                out_data[out].append(AGGREGATORS[agg](vals))
+
+        cols = []
+        for kname in self._keys:
+            dtype = self._table.column(kname).dtype
+            cols.append(Column(kname, out_data[kname], dtype))
+        for out, (_src, agg) in spec.items():
+            if agg == "first":
+                dtype = self._table.column(spec[out][0]).dtype
+            elif agg in _INT_AGGS:
+                dtype = DType.INT
+            else:
+                dtype = DType.FLOAT
+            cols.append(Column(out, out_data[out], dtype))
+        return Table(cols)
+
+    def counts(self, out: str = "count") -> Table:
+        """Shorthand: group sizes."""
+        first_key = self._keys[0]
+        return self.aggregate({out: (first_key, "count")})
+
+    def __repr__(self) -> str:
+        return f"GroupBy(keys={self._keys}, n_groups={self.n_groups})"

@@ -1,0 +1,98 @@
+"""CSV / JSON-lines persistence for tables.
+
+Benchmarks dump every reproduced table/figure series to CSV under
+``results/`` so the numbers in EXPERIMENTS.md can be re-derived.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Mapping, Optional
+
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.util.errors import DataError
+
+__all__ = ["read_csv", "read_jsonl", "write_csv", "write_jsonl"]
+
+_NULL = ""  # CSV representation of a missing string
+
+
+def write_csv(table: Table, path: str) -> None:
+    """Write a table as CSV with a header row."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows():
+            writer.writerow(
+                [_NULL if v is None else v for v in row.values()]
+            )
+
+
+def read_csv(path: str, dtypes: Mapping[str, DType]) -> Table:
+    """Read a CSV written by :func:`write_csv`.
+
+    ``dtypes`` must cover every column; CSV carries no type information.
+    """
+    with open(path, "r", newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path}: empty CSV file") from None
+        missing = [h for h in header if h not in dtypes]
+        if missing:
+            raise DataError(f"{path}: no dtype given for columns {missing}")
+        raw = {h: [] for h in header}
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise DataError(
+                    f"{path}:{lineno}: expected {len(header)} fields, got {len(row)}"
+                )
+            for h, v in zip(header, row):
+                raw[h].append(v)
+    data = {}
+    for h in header:
+        dt = dtypes[h]
+        if dt is DType.STR:
+            data[h] = [None if v == _NULL else v for v in raw[h]]
+        elif dt is DType.INT:
+            data[h] = [int(v) for v in raw[h]]
+        elif dt is DType.FLOAT:
+            data[h] = [float("nan") if v == _NULL else float(v) for v in raw[h]]
+        elif dt is DType.BOOL:
+            data[h] = [v in ("True", "true", "1") for v in raw[h]]
+    return Table.from_dict(data, dtypes={h: dtypes[h] for h in header})
+
+
+def write_jsonl(table: Table, path: str) -> None:
+    """Write a table as one JSON object per line (types round-trip)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in table.iter_rows():
+            clean = {}
+            for k, v in row.items():
+                if hasattr(v, "item"):  # numpy scalar -> python scalar
+                    v = v.item()
+                clean[k] = v
+            fh.write(json.dumps(clean) + "\n")
+
+
+def read_jsonl(path: str, dtypes: Optional[Mapping[str, DType]] = None) -> Table:
+    """Read a JSON-lines file written by :func:`write_jsonl`."""
+    rows = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise DataError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+    if not rows:
+        raise DataError(f"{path}: no rows")
+    return Table.from_rows(rows, dtypes)

@@ -1,0 +1,109 @@
+"""Hash joins between tables (NDT rows ↔ traceroute rows)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tables.column import Column
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.util.errors import DataError
+
+__all__ = ["join"]
+
+
+def _key_tuples(table: Table, keys: Sequence[str]) -> List[Tuple]:
+    cols = [table.column(k).values for k in keys]
+    return [tuple(c[i] for c in cols) for i in range(table.n_rows)]
+
+
+def join(
+    left: Table,
+    right: Table,
+    on: Union[str, Sequence[str]],
+    how: str = "inner",
+    suffix: str = "_right",
+) -> Table:
+    """Join two tables on equal key columns.
+
+    Parameters
+    ----------
+    on:
+        Key column name(s); must exist in both tables with matching dtypes.
+    how:
+        ``"inner"`` or ``"left"``.  Left joins fill unmatched right-side
+        numeric columns with NaN, string columns with ``None``; unmatched
+        INT/BOOL right columns are promoted to FLOAT to hold the NaN.
+    suffix:
+        Appended to right-side non-key columns whose names collide.
+    """
+    if isinstance(on, str):
+        on = [on]
+    if not on:
+        raise ValueError("join needs at least one key column")
+    if how not in ("inner", "left"):
+        raise DataError(f"unsupported join type {how!r}; use 'inner' or 'left'")
+    for k in on:
+        ldt, rdt = left.column(k).dtype, right.column(k).dtype
+        if ldt is not rdt:
+            raise DataError(
+                f"join key {k!r} dtype mismatch: left {ldt.value}, right {rdt.value}"
+            )
+
+    right_index: Dict[Tuple, List[int]] = {}
+    for i, key in enumerate(_key_tuples(right, on)):
+        right_index.setdefault(key, []).append(i)
+
+    left_take: List[int] = []
+    right_take: List[int] = []  # -1 marks "no match" for left joins
+    for i, key in enumerate(_key_tuples(left, on)):
+        matches = right_index.get(key)
+        if matches:
+            for j in matches:
+                left_take.append(i)
+                right_take.append(j)
+        elif how == "left":
+            left_take.append(i)
+            right_take.append(-1)
+
+    left_idx = np.asarray(left_take, dtype=np.intp)
+    right_idx = np.asarray(right_take, dtype=np.intp)
+    unmatched = right_idx < 0
+
+    out_cols: List[Column] = []
+    for name in left.column_names:
+        out_cols.append(left.column(name).take(left_idx))
+
+    taken_names = set(left.column_names)
+    for name in right.column_names:
+        if name in on:
+            continue
+        out_name = name if name not in taken_names else f"{name}{suffix}"
+        if out_name in taken_names:
+            raise DataError(f"join output column collision on {out_name!r}")
+        taken_names.add(out_name)
+        src = right.column(name)
+        if not unmatched.any():
+            out_cols.append(src.take(right_idx).rename(out_name))
+            continue
+        # Left join with gaps: take matched rows, then blank the gaps.
+        if right.n_rows == 0:
+            if src.dtype is DType.STR:
+                vals = np.full(len(left_idx), None, dtype=object)
+                out_cols.append(Column(out_name, vals, DType.STR))
+            else:
+                vals = np.full(len(left_idx), np.nan, dtype=np.float64)
+                out_cols.append(Column(out_name, vals, DType.FLOAT))
+            continue
+        safe_idx = np.where(unmatched, 0, right_idx)
+        if src.dtype is DType.STR:
+            vals = src.values[safe_idx].copy()
+            vals[unmatched] = None
+            out_cols.append(Column(out_name, vals, DType.STR))
+        else:
+            vals = src.values[safe_idx].astype(np.float64)
+            vals[unmatched] = np.nan
+            out_cols.append(Column(out_name, vals, DType.FLOAT))
+    return Table(out_cols)

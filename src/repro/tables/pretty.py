@@ -1,0 +1,76 @@
+"""Plain-text rendering of tables (how benches print the paper's tables)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.tables.schema import DType
+from repro.tables.table import Table
+
+__all__ = ["format_table"]
+
+
+def _fmt_value(value, dtype: DType, float_fmt: str) -> str:
+    if value is None:
+        return "-"
+    if dtype is DType.FLOAT:
+        return format(float(value), float_fmt)
+    return str(value)
+
+
+def format_table(
+    table: Table,
+    title: Optional[str] = None,
+    float_fmt: str = ".3f",
+    float_fmts: Optional[Mapping[str, str]] = None,
+    max_rows: Optional[int] = None,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a table as an aligned, boxed text grid.
+
+    Parameters
+    ----------
+    float_fmt:
+        Default format spec for FLOAT columns.
+    float_fmts:
+        Per-column overrides, e.g. ``{"p_value": ".2e"}``.
+    max_rows:
+        Truncate with an ellipsis row after this many rows.
+    """
+    if columns is not None:
+        table = table.select(list(columns))
+    float_fmts = dict(float_fmts or {})
+    names = table.column_names
+    dtypes = {f.name: f.dtype for f in table.schema.fields}
+
+    shown = table if max_rows is None else table.head(max_rows)
+    cells = [names]
+    for row in shown.iter_rows():
+        cells.append(
+            [
+                _fmt_value(v, dtypes[n], float_fmts.get(n, float_fmt))
+                for n, v in row.items()
+            ]
+        )
+    truncated = max_rows is not None and table.n_rows > max_rows
+    if truncated:
+        cells.append(["..."] * len(names))
+
+    widths = [max(len(r[i]) for r in cells) for i in range(len(names))]
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+    def fmt_row(row):
+        return "| " + " | ".join(v.rjust(w) for v, w in zip(row, widths)) + " |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(cells[0]))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    if truncated:
+        lines.append(f"({table.n_rows} rows total, showing {max_rows})")
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Column dtypes and table schemas."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.util.errors import DataError
+
+__all__ = ["DType", "Field", "Schema"]
+
+
+class DType(enum.Enum):
+    """Logical column types supported by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+    STR = "str"
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype) -> "DType":
+        """Map a numpy dtype onto a logical DType."""
+        kind = np.dtype(dtype).kind
+        if kind in ("i", "u"):
+            return cls.INT
+        if kind == "f":
+            return cls.FLOAT
+        if kind == "b":
+            return cls.BOOL
+        if kind in ("O", "U", "S"):
+            return cls.STR
+        raise DataError(f"unsupported numpy dtype {dtype!r}")
+
+    def numpy_dtype(self) -> np.dtype:
+        """The canonical numpy dtype used to store this logical type."""
+        return {
+            DType.INT: np.dtype(np.int64),
+            DType.FLOAT: np.dtype(np.float64),
+            DType.BOOL: np.dtype(np.bool_),
+            DType.STR: np.dtype(object),
+        }[self]
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed column slot in a schema."""
+
+    name: str
+    dtype: DType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("field name must be non-empty")
+
+
+class Schema:
+    """An ordered collection of fields with unique names."""
+
+    def __init__(self, fields: Sequence[Field]):
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise DataError(f"duplicate field names in schema: {dupes}")
+        self._fields: List[Field] = list(fields)
+        self._by_name = {f.name: f for f in self._fields}
+
+    @property
+    def fields(self) -> List[Field]:
+        return list(self._fields)
+
+    @property
+    def names(self) -> List[str]:
+        return [f.name for f in self._fields]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __getitem__(self, name: str) -> Field:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise DataError(
+                f"no field {name!r}; schema has {self.names}"
+            ) from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{f.name}:{f.dtype.value}" for f in self._fields)
+        return f"Schema({inner})"

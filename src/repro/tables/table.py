@@ -1,0 +1,256 @@
+"""The Table: an ordered set of equal-length named columns."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.tables.column import Column
+from repro.tables.expr import Expr
+from repro.tables.schema import DType, Field, Schema
+from repro.util.errors import DataError
+
+__all__ = ["Table", "concat"]
+
+MaskLike = Union[Expr, np.ndarray, Sequence[bool]]
+
+
+class Table:
+    """An immutable-by-convention columnar table.
+
+    All transforming methods (:meth:`filter`, :meth:`select`,
+    :meth:`with_column`, :meth:`sort_by`, ...) return new tables.
+    """
+
+    def __init__(self, columns: Sequence[Column]):
+        if not columns:
+            raise DataError("a table needs at least one column")
+        n = len(columns[0])
+        for c in columns:
+            if len(c) != n:
+                raise DataError(
+                    f"column {c.name!r} has {len(c)} rows, expected {n}"
+                )
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({x for x in names if names.count(x) > 1})
+            raise DataError(f"duplicate column names: {dupes}")
+        self._columns: Dict[str, Column] = {c.name: c for c in columns}
+        self._n_rows = n
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Any],
+        dtypes: Optional[Mapping[str, DType]] = None,
+    ) -> "Table":
+        """Build a table from ``{name: values}``; dtypes inferred unless given."""
+        dtypes = dict(dtypes or {})
+        cols = [Column(name, values, dtypes.get(name)) for name, values in data.items()]
+        return cls(cols)
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Iterable[Mapping[str, Any]],
+        dtypes: Optional[Mapping[str, DType]] = None,
+    ) -> "Table":
+        """Build a table from an iterable of row dicts (all same keys)."""
+        rows = list(rows)
+        if not rows:
+            raise DataError("from_rows needs at least one row; use empty() instead")
+        names = list(rows[0].keys())
+        for i, r in enumerate(rows):
+            if list(r.keys()) != names:
+                raise DataError(f"row {i} keys {list(r.keys())} != {names}")
+        data = {name: [r[name] for r in rows] for name in names}
+        return cls.from_dict(data, dtypes)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """An empty table with the given schema."""
+        cols = [
+            Column(f.name, np.empty(0, dtype=f.dtype.numpy_dtype()), f.dtype)
+            for f in schema.fields
+        ]
+        return cls(cols)
+
+    # -- shape / access -------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns)
+
+    @property
+    def schema(self) -> Schema:
+        return Schema([Field(c.name, c.dtype) for c in self._columns.values()])
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise DataError(
+                f"no column {name!r}; table has {self.column_names}"
+            ) from None
+
+    def __getitem__(self, name: str) -> Column:
+        return self.column(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def row(self, index: int) -> Dict[str, Any]:
+        if not -self._n_rows <= index < self._n_rows:
+            raise IndexError(f"row {index} out of range for {self._n_rows} rows")
+        return {name: c.values[index] for name, c in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[Dict[str, Any]]:
+        for i in range(self._n_rows):
+            yield self.row(i)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return list(self.iter_rows())
+
+    # -- transforms -----------------------------------------------------------
+    def filter(self, mask: MaskLike) -> "Table":
+        """Keep rows where the predicate/mask is True."""
+        if isinstance(mask, Expr):
+            keep = mask.evaluate(self)
+        else:
+            keep = np.asarray(mask, dtype=bool)
+        if len(keep) != self._n_rows:
+            raise DataError(
+                f"mask length {len(keep)} != table rows {self._n_rows}"
+            )
+        return Table([c.mask(keep) for c in self._columns.values()])
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Project onto a subset of columns, in the given order."""
+        return Table([self.column(n) for n in names])
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        drop_set = set(names)
+        missing = drop_set - set(self._columns)
+        if missing:
+            raise DataError(f"cannot drop unknown columns {sorted(missing)}")
+        kept = [c for n, c in self._columns.items() if n not in drop_set]
+        if not kept:
+            raise DataError("drop would remove every column")
+        return Table(kept)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Table":
+        for old in mapping:
+            self.column(old)  # raises on unknown name
+        cols = [
+            c.rename(mapping.get(c.name, c.name)) for c in self._columns.values()
+        ]
+        return Table(cols)
+
+    def with_column(self, name: str, values: Any, dtype: Optional[DType] = None) -> "Table":
+        """Add or replace a column."""
+        new = Column(name, values, dtype)
+        if len(new) != self._n_rows:
+            raise DataError(
+                f"new column {name!r} has {len(new)} rows, table has {self._n_rows}"
+            )
+        cols = [c for n, c in self._columns.items() if n != name]
+        cols.append(new)
+        return Table(cols)
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Row subset/reorder by integer indices."""
+        indices = np.asarray(indices)
+        return Table([c.take(indices) for c in self._columns.values()])
+
+    def sort_by(self, names: Union[str, Sequence[str]], descending: bool = False) -> "Table":
+        """Stable sort; the first listed column is the primary key."""
+        if isinstance(names, str):
+            names = [names]
+        if not names:
+            raise ValueError("sort_by needs at least one column name")
+        # np.lexsort sorts by the LAST key as primary; reverse so the first
+        # listed column is the primary sort key.
+        keys = []
+        for n in reversed(names):
+            vals = self.column(n).values
+            if vals.dtype == object:
+                vals = np.array([("" if v is None else v) for v in vals])
+            keys.append(vals)
+        order = np.lexsort(keys)
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def head(self, n: int) -> "Table":
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def sample(self, n: int, rng) -> "Table":
+        """A uniform random row sample without replacement (n capped at size)."""
+        if n < 1:
+            raise ValueError(f"sample size must be >= 1, got {n}")
+        n = min(n, self._n_rows)
+        indices = rng.choice(self._n_rows, size=n, replace=False)
+        return self.take(np.sort(indices))
+
+    def describe(self) -> "Table":
+        """Per-numeric-column summary (n, mean, std, min, median, max)."""
+        from repro.stats.descriptive import summarize
+
+        rows = []
+        for column in self._columns.values():
+            if column.dtype is DType.STR:
+                continue
+            try:
+                s = summarize(column.values.astype(np.float64))
+            except ValueError:
+                continue
+            rows.append(
+                {
+                    "column": column.name,
+                    "n": s.n,
+                    "mean": s.mean,
+                    "std": s.std,
+                    "min": s.minimum,
+                    "median": s.median,
+                    "max": s.maximum,
+                }
+            )
+        if not rows:
+            raise DataError("describe: no numeric columns")
+        return Table.from_rows(rows)
+
+    def group_by(self, keys: Union[str, Sequence[str]]) -> "GroupBy":
+        """Start a group-by; see :class:`repro.tables.groupby.GroupBy`."""
+        from repro.tables.groupby import GroupBy
+
+        if isinstance(keys, str):
+            keys = [keys]
+        return GroupBy(self, list(keys))
+
+    def __repr__(self) -> str:
+        return f"Table({self._n_rows} rows x {len(self._columns)} cols: {self.column_names})"
+
+
+def concat(parts: Sequence[Table]) -> Table:
+    """Vertically concatenate tables with identical schemas."""
+    if not parts:
+        raise DataError("concat needs at least one table")
+    schema = parts[0].schema
+    for i, t in enumerate(parts[1:], start=1):
+        if t.schema != schema:
+            raise DataError(
+                f"concat: table {i} schema {t.schema!r} != first {schema!r}"
+            )
+    cols = []
+    for f in schema.fields:
+        stacked = np.concatenate([t.column(f.name).values for t in parts])
+        cols.append(Column(f.name, stacked, f.dtype))
+    return Table(cols)

@@ -1,0 +1,28 @@
+"""AS-level topology of the simulated Ukrainian Internet.
+
+The topology is an AS graph with business relationships (customer/provider
+and peer), an IP layer assigning router and client address space per AS, and
+a valley-free (Gao-Rexford) route computation.  Routing under link outages
+produced by the damage process is what generates the paper's observed path
+diversity and border-AS shifts.
+"""
+
+from repro.topology.asgraph import ASGraph, Link, LinkKind
+from repro.topology.bgp import AsPath, RouteSelector, StickyRouter, valley_free_paths
+from repro.topology.builder import Topology, build_default_topology
+from repro.topology.iplayer import IpLayer
+from repro.topology.quality import LinkQualityModel
+
+__all__ = [
+    "ASGraph",
+    "AsPath",
+    "IpLayer",
+    "Link",
+    "LinkKind",
+    "LinkQualityModel",
+    "RouteSelector",
+    "StickyRouter",
+    "Topology",
+    "build_default_topology",
+    "valley_free_paths",
+]

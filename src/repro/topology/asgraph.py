@@ -1,0 +1,140 @@
+"""The AS-level graph with business relationships."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.netbase.asn import ASRegistry
+from repro.util.errors import TopologyError
+
+__all__ = ["ASGraph", "Link", "LinkKind"]
+
+
+class LinkKind(enum.Enum):
+    """The business relationship a link encodes."""
+
+    TRANSIT = "transit"  # a is the provider, b is the customer
+    PEERING = "peering"  # settlement-free peers (stored with a < b)
+
+
+@dataclass(frozen=True)
+class Link:
+    """An inter-AS adjacency with simulation attributes.
+
+    For TRANSIT links, ``a`` is the provider and ``b`` the customer.  For
+    PEERING links the pair is stored with ``a < b``.
+    """
+
+    a: int
+    b: int
+    kind: LinkKind
+    base_rtt_ms: float  # one-way propagation+processing added by the link
+    capacity_mbps: float  # throughput ceiling the link imposes
+    city: Optional[str] = None  # Ukrainian city whose damage the link feels
+    pref: float = 1.0  # BGP local-preference-like weight (higher = preferred)
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"self-link on AS{self.a}")
+        if self.kind is LinkKind.PEERING and self.a > self.b:
+            raise TopologyError(
+                f"peering link ({self.a}, {self.b}) must be stored with a < b"
+            )
+        if self.base_rtt_ms < 0:
+            raise ValueError(f"base_rtt_ms must be >= 0, got {self.base_rtt_ms}")
+        if self.capacity_mbps <= 0:
+            raise ValueError(f"capacity_mbps must be > 0, got {self.capacity_mbps}")
+        if self.pref <= 0:
+            raise ValueError(f"pref must be positive, got {self.pref}")
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """Canonical undirected identity of the adjacency."""
+        return (self.a, self.b) if self.a < self.b else (self.b, self.a)
+
+    def other(self, asn: int) -> int:
+        if asn == self.a:
+            return self.b
+        if asn == self.b:
+            return self.a
+        raise TopologyError(f"AS{asn} is not an endpoint of link {self.key}")
+
+    def involves(self, asn: int) -> bool:
+        return asn in (self.a, self.b)
+
+
+class ASGraph:
+    """Adjacency structure over registered ASes."""
+
+    def __init__(self, registry: ASRegistry):
+        self._registry = registry
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self._providers: Dict[int, Set[int]] = {}
+        self._customers: Dict[int, Set[int]] = {}
+        self._peers: Dict[int, Set[int]] = {}
+
+    @property
+    def registry(self) -> ASRegistry:
+        return self._registry
+
+    def add(self, link: Link) -> None:
+        """Add a link; both endpoints must be registered, no duplicates."""
+        for asn in (link.a, link.b):
+            if asn not in self._registry:
+                raise TopologyError(f"link references unregistered AS{asn}")
+        if link.key in self._links:
+            raise TopologyError(f"duplicate link between AS{link.a} and AS{link.b}")
+        self._links[link.key] = link
+        if link.kind is LinkKind.TRANSIT:
+            self._customers.setdefault(link.a, set()).add(link.b)
+            self._providers.setdefault(link.b, set()).add(link.a)
+        else:
+            self._peers.setdefault(link.a, set()).add(link.b)
+            self._peers.setdefault(link.b, set()).add(link.a)
+
+    def link_between(self, x: int, y: int) -> Optional[Link]:
+        return self._links.get((x, y) if x < y else (y, x))
+
+    def links(self) -> List[Link]:
+        return list(self._links.values())
+
+    def providers(self, asn: int) -> Set[int]:
+        return set(self._providers.get(asn, ()))
+
+    def customers(self, asn: int) -> Set[int]:
+        return set(self._customers.get(asn, ()))
+
+    def peers(self, asn: int) -> Set[int]:
+        return set(self._peers.get(asn, ()))
+
+    def neighbors(self, asn: int) -> Set[int]:
+        return self.providers(asn) | self.customers(asn) | self.peers(asn)
+
+    def degree(self, asn: int) -> int:
+        return len(self.neighbors(asn))
+
+    def n_links(self) -> int:
+        return len(self._links)
+
+    def links_of(self, asn: int) -> List[Link]:
+        return [l for l in self._links.values() if l.involves(asn)]
+
+    def validate_connected(self, asns: List[int]) -> None:
+        """Raise unless all given ASes lie in one connected component."""
+        if not asns:
+            return
+        seen = {asns[0]}
+        frontier = [asns[0]]
+        while frontier:
+            current = frontier.pop()
+            for nxt in self.neighbors(current):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        missing = [a for a in asns if a not in seen]
+        if missing:
+            raise TopologyError(
+                f"ASes not reachable from AS{asns[0]}: {sorted(missing)}"
+            )

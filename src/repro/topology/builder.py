@@ -1,0 +1,376 @@
+"""Construction of the default simulated Ukrainian Internet.
+
+The AS inventory combines the paper's named ASes (the Table-3 top-10
+eyeballs, the Figure-6 case-study ASes 199995/6663/6939, the big border
+carriers of Figure 5) with synthetic regional ISPs so that every gazetteer
+city is served by at least three access networks.  M-Lab sites sit in
+foreign ASes, each behind a distinct transit provider, mirroring the real
+platform's deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.geo.gazetteer import Gazetteer, default_gazetteer
+from repro.netbase.asn import ASRegistry, ASRole, AutonomousSystem
+from repro.topology.asgraph import ASGraph, Link, LinkKind
+from repro.topology.iplayer import IpLayer
+from repro.topology.quality import DegradationSchedule
+from repro.util.errors import TopologyError
+from repro.util.timeutil import Day
+
+__all__ = ["SiteSpec", "Topology", "build_default_topology"]
+
+# -- the paper's named ASes ----------------------------------------------------
+
+#: The Figure-6 case study: Ukrainian AS whose inbound traffic shifts to HE.
+CASE_STUDY_UA_ASN = 199995
+#: Hurricane Electric — gains inbound share during the war (Figures 5-6).
+HURRICANE_ELECTRIC = 6939
+#: The degrading foreign upstream of AS199995 in Figure 6.
+DEGRADING_BORDER_ASN = 6663
+#: Cogent — loses inbound share during the war (Figure 5).
+COGENT = 174
+
+# (asn, name, primary city, all served cities)
+# The first ten entries are Table 3's top-10, with real ASNs and names.
+_EYEBALLS: List[Tuple[int, str, str, Tuple[str, ...]]] = [
+    (15895, "Kyivstar", "Kyiv", ("*",)),  # "*" = nationwide
+    (3255, "UARNet", "Lviv", ("Lviv", "Kyiv", "Kharkiv")),
+    (25229, "Kyiv Telecom", "Kyiv", ("Kyiv",)),
+    (35297, "Dataline", "Kyiv", ("Kyiv",)),
+    (21488, "Emplot LTd.", "Chernihiv", ("Chernihiv", "Kyiv")),
+    (21497, "Vodafone UKr", "Kyiv", ("*",)),
+    (6876, "TeNeT", "Odessa", ("Odessa",)),
+    (50581, "Ukr Telecom", "Kyiv", ("Kyiv", "Kharkiv", "Dnipro", "Kherson")),
+    (39608, "Lanet", "Kyiv", ("Kyiv", "Chernihiv")),
+    (13307, "SKIF ISP Ltd.", "Kyiv", ("Kyiv",)),
+    # Additional real/synthetic ISPs for full city coverage.
+    (13188, "Triolan", "Kharkiv", ("Kharkiv", "Kyiv", "Dnipro", "Mariupol")),
+    (12883, "Vega", "Dnipro", ("Dnipro", "Zaporizhzhia", "Mariupol")),
+    (34700, "AzovNet", "Mariupol", ("Mariupol", "Donetsk")),
+    (35004, "Halychyna Net", "Lviv",
+     ("Lviv", "Ivano-Frankivsk", "Ternopil", "Uzhhorod", "Chernivtsi",
+      "Lutsk", "Rivne", "Khmelnytskyi")),
+    (31148, "Freenet", "Kyiv",
+     ("Kyiv", "Vinnytsia", "Zhytomyr", "Cherkasy", "Kropyvnytskyi",
+      "Poltava", "Sumy", "Bila Tserkva")),
+    (28761, "CrimeaCom", "Simferopol", ("Simferopol", "Sevastopol")),
+    (48004, "SouthNet", "Kherson", ("Kherson", "Mykolaiv", "Odessa", "Zaporizhzhia")),
+    (44800, "SlobodaNet", "Kharkiv", ("Kharkiv", "Sumy", "Poltava", "Severodonetsk")),
+    (41000, "DonbasTel", "Donetsk", ("Donetsk", "Severodonetsk", "Mariupol")),
+]
+
+# Ukrainian transit/aggregation networks.
+_UA_TRANSITS: List[Tuple[int, str]] = [
+    (CASE_STUDY_UA_ASN, "UA-Transit 199995"),
+    (3326, "Datagroup"),
+    (6849, "Ukrtelecom"),
+    (35320, "Eurotranstelecom"),
+]
+
+# Foreign border carriers (Figure 5's vertical axis).
+_BORDERS: List[Tuple[int, str, str]] = [
+    (HURRICANE_ELECTRIC, "Hurricane Electric", "US"),
+    (COGENT, "Cogent Networks", "US"),
+    (9002, "RETN", "GB"),
+    (1299, "Arelion", "SE"),
+    (3356, "Lumen", "US"),
+    (3257, "GTT", "DE"),
+    (DEGRADING_BORDER_ASN, "Euroweb", "RO"),
+]
+
+# Eyeball -> its Ukrainian transit (or direct foreign) providers.
+_EYEBALL_PROVIDERS: Dict[int, Tuple[int, ...]] = {
+    15895: (6849, 3326, CASE_STUDY_UA_ASN),
+    21497: (3326, 35320, CASE_STUDY_UA_ASN),
+    3255: (9002, 3257, CASE_STUDY_UA_ASN),
+    25229: (CASE_STUDY_UA_ASN, 6849),
+    35297: (3326, CASE_STUDY_UA_ASN),
+    21488: (6849, 35320),
+    6876: (3326, 35320),
+    50581: (6849, 3326),
+    39608: (CASE_STUDY_UA_ASN, 3326),
+    13307: (35320, CASE_STUDY_UA_ASN),
+    13188: (6849, 35320),
+    12883: (3326, 35320),
+    34700: (6849, 35320),
+    35004: (3326, 9002),
+    31148: (6849, CASE_STUDY_UA_ASN),
+    28761: (35320, 6849),
+    48004: (3326, 6849),
+    44800: (6849, 35320),
+    41000: (35320, 6849),
+}
+
+# Ukrainian transit -> foreign border providers.  AS199995's three foreign
+# upstreams match Figure 6 (HE, Euroweb, RETN).
+_TRANSIT_PROVIDERS: Dict[int, Tuple[int, ...]] = {
+    CASE_STUDY_UA_ASN: (HURRICANE_ELECTRIC, DEGRADING_BORDER_ASN, 9002),
+    3326: (COGENT, 1299, HURRICANE_ELECTRIC),
+    6849: (COGENT, 3356, HURRICANE_ELECTRIC),
+    35320: (3257, 9002, COGENT),
+}
+
+# Settlement-free peerings among the border carriers.
+_BORDER_PEERINGS: List[Tuple[int, int]] = [
+    (HURRICANE_ELECTRIC, COGENT),
+    (HURRICANE_ELECTRIC, 1299),
+    (HURRICANE_ELECTRIC, 3356),
+    (HURRICANE_ELECTRIC, 3257),
+    (HURRICANE_ELECTRIC, 9002),
+    (HURRICANE_ELECTRIC, DEGRADING_BORDER_ASN),
+    (COGENT, 1299),
+    (COGENT, 3356),
+    (COGENT, 3257),
+    (COGENT, 9002),
+    (1299, 3356),
+    (1299, 3257),
+    (1299, 9002),
+    (1299, DEGRADING_BORDER_ASN),
+    (3356, 3257),
+    (9002, DEGRADING_BORDER_ASN),
+]
+
+# M-Lab sites: (asn, site code, country, lat, lon, transit providers).
+# waw01, the site nearest to most Ukrainian clients, is multihomed to the
+# case-study border carriers: Euroweb (AS6663) wins its traffic prewar on
+# the deterministic tie-break, and Hurricane Electric takes over once
+# AS6663's link into Ukraine degrades — the Figure-6 dynamic.
+_MLAB_SITES: List[Tuple[int, str, str, float, float, Tuple[int, ...]]] = [
+    (64496, "waw01", "PL", 52.23, 21.01,
+     (9002, 1299, HURRICANE_ELECTRIC, DEGRADING_BORDER_ASN)),
+    (64497, "fra01", "DE", 50.11, 8.68, (COGENT, 3356)),
+    (64498, "prg01", "CZ", 50.08, 14.44, (3257, 1299, COGENT)),
+    (64499, "ams01", "NL", 52.37, 4.90, (HURRICANE_ELECTRIC, COGENT)),
+    (64500, "buh01", "RO", 44.43, 26.10,
+     (DEGRADING_BORDER_ASN, 9002, HURRICANE_ELECTRIC)),
+    (64501, "sto01", "SE", 59.33, 18.07, (1299,)),
+    (64502, "vie01", "AT", 48.21, 16.37, (3257, HURRICANE_ELECTRIC, COGENT)),
+    (64503, "mad01", "ES", 40.42, -3.70, (3356,)),
+]
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Location/identity of one M-Lab site AS."""
+
+    asn: int
+    code: str
+    country: str
+    lat: float
+    lon: float
+
+
+@dataclass
+class Topology:
+    """The assembled simulated Internet."""
+
+    registry: ASRegistry
+    graph: ASGraph
+    iplayer: IpLayer
+    gazetteer: Gazetteer
+    #: city -> eyeball ASNs serving it
+    coverage: Dict[str, List[int]]
+    #: eyeball ASN -> its primary city (used for link damage tags)
+    primary_city: Dict[int, str]
+    #: M-Lab site specs keyed by site AS
+    mlab_sites: Dict[int, SiteSpec]
+    #: planned link-quality ramps (the Figure-6 case study lives here)
+    degradation_schedules: List[DegradationSchedule] = field(default_factory=list)
+
+    def eyeball_asns(self) -> List[int]:
+        return [a.asn for a in self.registry.with_role(ASRole.EYEBALL)]
+
+    def cities_of(self, asn: int) -> List[str]:
+        """Cities an AS serves, in canonical (sorted) order.
+
+        The order is part of the deterministic identity: router-index city
+        bands are assigned by position in this list.
+        """
+        return sorted(city for city, asns in self.coverage.items() if asn in asns)
+
+    def war_sensitive_links(self) -> Dict[Tuple[int, int], Optional[str]]:
+        """``{link key: city tag}`` for the outage process (tagged links only)."""
+        return {
+            link.key: link.city
+            for link in self.graph.links()
+            if link.city is not None
+        }
+
+
+def _access_link_rtt(primary_city: str) -> float:
+    """Access-to-transit latency: a few ms, deterministic per city name.
+
+    Uses a stable character-sum hash (``hash()`` is salted per process and
+    would make the topology nondeterministic across runs).
+    """
+    return 1.5 + (sum(ord(c) for c in primary_city) % 40) / 10.0
+
+
+def build_default_topology(gazetteer: Optional[Gazetteer] = None) -> Topology:
+    """Build the default topology over the default (or given) gazetteer."""
+    gaz = gazetteer if gazetteer is not None else default_gazetteer()
+    registry = ASRegistry()
+    all_cities = gaz.city_names()
+
+    for asn, name, _primary, _cities in _EYEBALLS:
+        registry.register(AutonomousSystem(asn, name, "UA", ASRole.EYEBALL))
+    for asn, name in _UA_TRANSITS:
+        registry.register(AutonomousSystem(asn, name, "UA", ASRole.REGIONAL))
+    for asn, name, country in _BORDERS:
+        registry.register(AutonomousSystem(asn, name, country, ASRole.BORDER))
+    for asn, code, country, _lat, _lon, _providers in _MLAB_SITES:
+        registry.register(
+            AutonomousSystem(asn, f"M-Lab {code}", country, ASRole.MLAB)
+        )
+
+    graph = ASGraph(registry)
+    primary_city: Dict[int, str] = {}
+    coverage: Dict[str, List[int]] = {city: [] for city in all_cities}
+
+    for asn, _name, primary, cities in _EYEBALLS:
+        primary_city[asn] = primary
+        served = all_cities if cities == ("*",) else list(cities)
+        for city in served:
+            if city not in coverage:
+                raise TopologyError(f"AS{asn} serves unknown city {city!r}")
+            coverage[city].append(asn)
+
+    # Eyeball -> provider links, tagged with the eyeball's primary city so
+    # they feel that city's war damage (forcing reroutes).
+    for asn, providers in _EYEBALL_PROVIDERS.items():
+        if asn not in primary_city:
+            raise TopologyError(f"provider map references unknown eyeball AS{asn}")
+        for provider in providers:
+            graph.add(
+                Link(
+                    a=provider,
+                    b=asn,
+                    kind=LinkKind.TRANSIT,
+                    base_rtt_ms=_access_link_rtt(primary_city[asn]),
+                    capacity_mbps=2000.0,
+                    city=primary_city[asn],
+                )
+            )
+
+    # Ukrainian transit -> foreign border links (untagged: their problems are
+    # modelled with explicit degradation schedules, not city damage).
+    # Local preferences: AS199995 prefers its Euroweb transit prewar (the
+    # Figure-6 starting point); Hurricane Electric's ubiquitous cheap transit
+    # is mildly preferred everywhere (where wartime traffic lands).
+    for asn, providers in _TRANSIT_PROVIDERS.items():
+        for provider in providers:
+            pref = 1.0
+            if (provider, asn) == (DEGRADING_BORDER_ASN, CASE_STUDY_UA_ASN):
+                pref = 3.0
+            elif (provider, asn) == (HURRICANE_ELECTRIC, CASE_STUDY_UA_ASN):
+                # AS199995's fallback of choice once Euroweb degrades (Fig 6).
+                pref = 2.0
+            elif provider == COGENT:
+                # Cogent is a major prewar carrier into Ukraine — Figure 5
+                # shows it losing that share once its links degrade.
+                pref = 2.0
+            elif provider == HURRICANE_ELECTRIC:
+                pref = 1.4
+            graph.add(
+                Link(
+                    a=provider,
+                    b=asn,
+                    kind=LinkKind.TRANSIT,
+                    base_rtt_ms=9.0,
+                    capacity_mbps=10_000.0,
+                    city=None,
+                    pref=pref,
+                )
+            )
+
+    for a, b in _BORDER_PEERINGS:
+        graph.add(
+            Link(
+                a=min(a, b),
+                b=max(a, b),
+                kind=LinkKind.PEERING,
+                base_rtt_ms=6.0,
+                capacity_mbps=40_000.0,
+                city=None,
+            )
+        )
+
+    mlab_sites: Dict[int, SiteSpec] = {}
+    for asn, code, country, lat, lon, providers in _MLAB_SITES:
+        mlab_sites[asn] = SiteSpec(asn, code, country, lat, lon)
+        for provider in providers:
+            graph.add(
+                Link(
+                    a=provider,
+                    b=asn,
+                    kind=LinkKind.TRANSIT,
+                    base_rtt_ms=3.0,
+                    capacity_mbps=10_000.0,
+                    city=None,
+                )
+            )
+
+    # Address space: infrastructure for every AS, client blocks per coverage.
+    iplayer = IpLayer(registry)
+    for asys in registry:
+        iplayer.register_infrastructure(asys.asn)
+    # Several blocks per (AS, city): geo-DB label errors are per *block*, so
+    # multiple blocks keep each population's labeled fraction near the
+    # configured rates instead of all-or-nothing.
+    blocks_per_pair = 8
+    for city in all_cities:
+        if not coverage[city]:
+            raise TopologyError(f"city {city!r} has no serving AS")
+        for asn in coverage[city]:
+            for _ in range(blocks_per_pair):
+                iplayer.allocate_client_block(asn, city)
+
+    graph.validate_connected([a.asn for a in registry])
+
+    # The Figure-6 case study: AS6663's link into AS199995 degrades over the
+    # first month of the war, pushing traffic onto Hurricane Electric.  A
+    # milder ramp on Cogent's links reproduces Figure 5's Cogent decline.
+    schedules = [
+        DegradationSchedule(
+            link_key=tuple(sorted((DEGRADING_BORDER_ASN, CASE_STUDY_UA_ASN))),
+            start=Day.of("2022-02-24"),
+            end=Day.of("2022-03-24"),
+            floor=0.15,
+        ),
+        DegradationSchedule(
+            link_key=tuple(sorted((COGENT, 3326))),
+            start=Day.of("2022-02-26"),
+            end=Day.of("2022-03-12"),
+            floor=0.20,
+            affects_performance=False,  # capacity withdrawal: routes move,
+        ),                              # surviving traffic is unharmed
+        DegradationSchedule(
+            link_key=tuple(sorted((COGENT, 6849))),
+            start=Day.of("2022-02-26"),
+            end=Day.of("2022-03-12"),
+            floor=0.20,
+            affects_performance=False,  # capacity withdrawal: routes move,
+        ),                              # surviving traffic is unharmed
+        DegradationSchedule(
+            link_key=tuple(sorted((COGENT, 35320))),
+            start=Day.of("2022-02-26"),
+            end=Day.of("2022-03-12"),
+            floor=0.20,
+            affects_performance=False,  # capacity withdrawal: routes move,
+        ),                              # surviving traffic is unharmed
+    ]
+
+    return Topology(
+        registry=registry,
+        graph=graph,
+        iplayer=iplayer,
+        gazetteer=gaz,
+        coverage=coverage,
+        primary_city=primary_city,
+        mlab_sites=mlab_sites,
+        degradation_schedules=schedules,
+    )

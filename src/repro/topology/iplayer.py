@@ -1,0 +1,116 @@
+"""IP address assignment for the simulated topology.
+
+Each AS gets an infrastructure /16 (router interfaces seen in traceroutes);
+eyeball ASes additionally get /20 client blocks per city they serve.  The
+layer maintains the prefix→AS trie that the analysis pipeline uses to map
+traceroute hop IPs back to ASNs (the routeviews-style lookup of Section 5),
+and exports the ground-truth block→city list the geo database is built from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.netbase.asn import ASRegistry
+from repro.netbase.ipaddr import IPv4Address, IPv4Prefix
+from repro.netbase.trie import PrefixTrie
+from repro.util.errors import TopologyError
+
+__all__ = ["IpLayer"]
+
+#: Infrastructure space: one /16 per AS out of 10.0.0.0/8.
+_INFRA_BASE = 10 << 24
+_MAX_INFRA = 256
+
+#: Client space: /20 blocks out of 100.64.0.0/10 (1024 blocks available).
+_CLIENT_BASE = (100 << 24) | (64 << 16)
+_CLIENT_BLOCK_LEN = 20
+_MAX_CLIENT_BLOCKS = 1 << (_CLIENT_BLOCK_LEN - 10)
+
+
+class IpLayer:
+    """Allocates router and client address space and answers IP→AS queries."""
+
+    def __init__(self, registry: ASRegistry):
+        self._registry = registry
+        self._infra: Dict[int, IPv4Prefix] = {}
+        self._client_blocks: List[Tuple[IPv4Prefix, int, str]] = []
+        self._blocks_by_as_city: Dict[Tuple[int, str], List[IPv4Prefix]] = {}
+        self._trie: PrefixTrie = PrefixTrie()
+        self._city_trie: PrefixTrie = PrefixTrie()
+
+    # -- infrastructure -------------------------------------------------------
+    def register_infrastructure(self, asn: int) -> IPv4Prefix:
+        """Assign (idempotently) the AS's infrastructure /16."""
+        if asn not in self._registry:
+            raise TopologyError(f"cannot assign space to unregistered AS{asn}")
+        if asn in self._infra:
+            return self._infra[asn]
+        index = len(self._infra)
+        if index >= _MAX_INFRA:
+            raise TopologyError(f"infrastructure space exhausted ({_MAX_INFRA} ASes)")
+        prefix = IPv4Prefix(IPv4Address(_INFRA_BASE | (index << 16)), 16)
+        self._infra[asn] = prefix
+        self._trie.insert(prefix, asn)
+        return prefix
+
+    def infrastructure_prefix(self, asn: int) -> IPv4Prefix:
+        try:
+            return self._infra[asn]
+        except KeyError:
+            raise TopologyError(f"AS{asn} has no infrastructure space") from None
+
+    def router_ip(self, asn: int, index: int) -> IPv4Address:
+        """The ``index``-th router interface address of an AS."""
+        prefix = self.infrastructure_prefix(asn)
+        if not 0 <= index < prefix.n_addresses - 2:
+            raise TopologyError(
+                f"router index {index} out of range for AS{asn}'s /16"
+            )
+        return prefix.address_at(index + 1)
+
+    # -- client blocks ----------------------------------------------------------
+    def allocate_client_block(self, asn: int, city: str) -> IPv4Prefix:
+        """Allocate the next /20 client block for an (AS, city) pair."""
+        if asn not in self._registry:
+            raise TopologyError(f"cannot allocate clients for unregistered AS{asn}")
+        index = len(self._client_blocks)
+        if index >= _MAX_CLIENT_BLOCKS:
+            raise TopologyError(
+                f"client space exhausted ({_MAX_CLIENT_BLOCKS} blocks)"
+            )
+        prefix = IPv4Prefix(
+            IPv4Address(_CLIENT_BASE | (index << (32 - _CLIENT_BLOCK_LEN))),
+            _CLIENT_BLOCK_LEN,
+        )
+        self._client_blocks.append((prefix, asn, city))
+        self._blocks_by_as_city.setdefault((asn, city), []).append(prefix)
+        self._trie.insert(prefix, asn)
+        self._city_trie.insert(prefix, city)
+        return prefix
+
+    def client_blocks(self) -> List[Tuple[IPv4Prefix, int, str]]:
+        """All allocated ``(prefix, asn, city)`` triples (geo-DB ground truth)."""
+        return list(self._client_blocks)
+
+    def blocks_for(self, asn: int, city: str) -> List[IPv4Prefix]:
+        return list(self._blocks_by_as_city.get((asn, city), []))
+
+    def served_cities(self, asn: int) -> List[str]:
+        return sorted(
+            {city for (a, city) in self._blocks_by_as_city if a == asn}
+        )
+
+    # -- lookups ------------------------------------------------------------------
+    def as_of_ip(self, addr: IPv4Address) -> Optional[int]:
+        """Longest-prefix-match IP→ASN (None for unknown space)."""
+        return self._trie.lookup(addr)
+
+    def city_of_client_ip(self, addr: IPv4Address) -> Optional[str]:
+        """Ground-truth city of a client address (None for non-client space).
+
+        This is allocation truth, not the geo database: the sidecar uses it
+        to pick a metro-local gateway, the way access networks terminate
+        subscribers at nearby aggregation routers.
+        """
+        return self._city_trie.lookup(addr)

@@ -1,0 +1,164 @@
+"""Topology (de)serialization to JSON.
+
+Lets downstream users persist a custom topology, inspect the default one
+outside Python, or hand-edit a what-if variant and load it back.  The
+round-trip covers everything :func:`~repro.topology.builder.build_default_topology`
+constructs: the AS registry, links with all attributes, city coverage,
+primary cities, M-Lab sites, and degradation schedules.  The IP layer is
+re-derived (allocation is deterministic given registry + coverage order).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.geo.gazetteer import Gazetteer, default_gazetteer
+from repro.netbase.asn import ASRegistry, ASRole, AutonomousSystem
+from repro.topology.asgraph import ASGraph, Link, LinkKind
+from repro.topology.builder import SiteSpec, Topology
+from repro.topology.iplayer import IpLayer
+from repro.topology.quality import DegradationSchedule
+from repro.util.errors import TopologyError
+from repro.util.timeutil import Day
+
+__all__ = ["topology_from_json", "topology_to_json"]
+
+_FORMAT_VERSION = 1
+
+
+def topology_to_json(topology: Topology) -> str:
+    """Serialize a topology (without the IP layer, which is re-derived)."""
+    doc = {
+        "version": _FORMAT_VERSION,
+        "ases": [
+            {
+                "asn": a.asn,
+                "name": a.name,
+                "country": a.country,
+                "role": a.role.value,
+            }
+            for a in topology.registry
+        ],
+        "links": [
+            {
+                "a": l.a,
+                "b": l.b,
+                "kind": l.kind.value,
+                "base_rtt_ms": l.base_rtt_ms,
+                "capacity_mbps": l.capacity_mbps,
+                "city": l.city,
+                "pref": l.pref,
+            }
+            for l in sorted(topology.graph.links(), key=lambda l: l.key)
+        ],
+        # Coverage lists keep their original order: client-block allocation
+        # iterates them, so order is part of the deterministic identity.
+        "coverage": {
+            city: list(asns) for city, asns in sorted(topology.coverage.items())
+        },
+        "primary_city": {
+            str(asn): city for asn, city in sorted(topology.primary_city.items())
+        },
+        "mlab_sites": [
+            {
+                "asn": s.asn,
+                "code": s.code,
+                "country": s.country,
+                "lat": s.lat,
+                "lon": s.lon,
+            }
+            for s in sorted(topology.mlab_sites.values(), key=lambda s: s.asn)
+        ],
+        "degradation_schedules": [
+            {
+                "link_key": list(s.link_key),
+                "start": s.start.iso(),
+                "end": s.end.iso(),
+                "floor": s.floor,
+                "affects_performance": s.affects_performance,
+            }
+            for s in topology.degradation_schedules
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def topology_from_json(text: str, gazetteer: Gazetteer = None) -> Topology:
+    """Rebuild a topology from :func:`topology_to_json` output."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"invalid topology JSON: {exc}") from exc
+    if doc.get("version") != _FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology format version {doc.get('version')!r}"
+        )
+    gaz = gazetteer if gazetteer is not None else default_gazetteer()
+
+    registry = ASRegistry()
+    for entry in doc["ases"]:
+        registry.register(
+            AutonomousSystem(
+                entry["asn"], entry["name"], entry["country"], ASRole(entry["role"])
+            )
+        )
+
+    graph = ASGraph(registry)
+    for entry in doc["links"]:
+        graph.add(
+            Link(
+                a=entry["a"],
+                b=entry["b"],
+                kind=LinkKind(entry["kind"]),
+                base_rtt_ms=entry["base_rtt_ms"],
+                capacity_mbps=entry["capacity_mbps"],
+                city=entry["city"],
+                pref=entry.get("pref", 1.0),
+            )
+        )
+
+    coverage: Dict[str, List[int]] = {
+        city: list(asns) for city, asns in doc["coverage"].items()
+    }
+    primary_city = {int(asn): city for asn, city in doc["primary_city"].items()}
+    mlab_sites = {
+        entry["asn"]: SiteSpec(
+            entry["asn"], entry["code"], entry["country"], entry["lat"], entry["lon"]
+        )
+        for entry in doc["mlab_sites"]
+    }
+    schedules = [
+        DegradationSchedule(
+            link_key=tuple(entry["link_key"]),
+            start=Day.of(entry["start"]),
+            end=Day.of(entry["end"]),
+            floor=entry["floor"],
+            affects_performance=entry.get("affects_performance", True),
+        )
+        for entry in doc["degradation_schedules"]
+    ]
+
+    # Re-derive the IP layer: deterministic given registration/coverage order.
+    iplayer = IpLayer(registry)
+    for asys in registry:
+        iplayer.register_infrastructure(asys.asn)
+    blocks_per_pair = 8
+    for city in gaz.city_names():
+        if city not in coverage or not coverage[city]:
+            raise TopologyError(f"coverage missing for city {city!r}")
+        for asn in coverage[city]:
+            for _ in range(blocks_per_pair):
+                iplayer.allocate_client_block(asn, city)
+
+    graph.validate_connected([a.asn for a in registry])
+    return Topology(
+        registry=registry,
+        graph=graph,
+        iplayer=iplayer,
+        gazetteer=gaz,
+        coverage=coverage,
+        primary_city=primary_city,
+        mlab_sites=mlab_sites,
+        degradation_schedules=schedules,
+    )

@@ -1,0 +1,14 @@
+"""Traceroute simulation (M-Lab's scamper sidecar) and path records.
+
+For every NDT test, the sidecar performs a traceroute from the measurement
+site toward the client.  Hops are router interface IPs drawn from each AS on
+the selected route; per-AS ECMP makes consecutive traceroutes of the same
+connection vary at the IP level even when the AS path is stable — the source
+of the paper's *prewar* path diversity, on top of which wartime AS-level
+reroutes add more.
+"""
+
+from repro.traceroute.pathrecord import TracerouteRecord, border_crossing
+from repro.traceroute.scamper import ScamperSidecar
+
+__all__ = ["ScamperSidecar", "TracerouteRecord", "border_crossing"]

@@ -1,0 +1,94 @@
+"""Traceroute result records and derived identities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.netbase.asn import ASRegistry
+from repro.netbase.ipaddr import IPv4Address
+
+__all__ = ["TracerouteRecord", "border_crossing"]
+
+
+@dataclass(frozen=True)
+class TracerouteRecord:
+    """One sidecar traceroute, from the M-Lab server toward the client.
+
+    ``hop_ips``/``hop_asns`` are ordered server→client and include the
+    server as the first entry and the client as the last.
+    """
+
+    test_id: int
+    client_ip: IPv4Address
+    server_ip: IPv4Address
+    hop_ips: Tuple[IPv4Address, ...]
+    hop_asns: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.hop_ips) != len(self.hop_asns):
+            raise ValueError(
+                f"hop_ips ({len(self.hop_ips)}) and hop_asns "
+                f"({len(self.hop_asns)}) must align"
+            )
+        if len(self.hop_ips) < 2:
+            raise ValueError("a traceroute needs at least server and client hops")
+        if self.hop_ips[0] != self.server_ip:
+            raise ValueError("first hop must be the server")
+        if self.hop_ips[-1] != self.client_ip:
+            raise ValueError("last hop must be the client")
+
+    @property
+    def connection_key(self) -> Tuple[int, int]:
+        """The paper's connection identity: the (source, destination) IP pair."""
+        return (self.client_ip.value, self.server_ip.value)
+
+    @property
+    def path_key(self) -> str:
+        """The paper's path identity: the traceroute IP address sequence."""
+        return "|".join(ip.dotted() for ip in self.hop_ips)
+
+    @property
+    def as_path(self) -> Tuple[int, ...]:
+        """Deduplicated AS-level path (consecutive same-AS hops collapsed)."""
+        out = []
+        for asn in self.hop_asns:
+            if not out or out[-1] != asn:
+                out.append(asn)
+        return tuple(out)
+
+    @property
+    def n_hops(self) -> int:
+        return len(self.hop_ips)
+
+    def to_row(self) -> Dict[str, object]:
+        """Flatten into a table row (IPs dotted, sequences pipe-joined)."""
+        return {
+            "test_id": self.test_id,
+            "client_ip": self.client_ip.dotted(),
+            "server_ip": self.server_ip.dotted(),
+            "path": self.path_key,
+            "as_path": "|".join(str(a) for a in self.as_path),
+            "n_hops": self.n_hops,
+        }
+
+
+def border_crossing(
+    record: TracerouteRecord, registry: ASRegistry
+) -> Optional[Tuple[int, int]]:
+    """The (foreign AS, Ukrainian AS) pair where the trace enters Ukraine.
+
+    Scans the server→client AS path for the first adjacency whose left side
+    is non-Ukrainian and right side Ukrainian — the paper's "border AS" hop
+    (Figure 5).  Returns None when the trace never enters Ukraine or an AS
+    is unknown to the registry.
+    """
+    path = record.as_path
+    for left, right in zip(path, path[1:]):
+        left_as = registry.maybe_get(left)
+        right_as = registry.maybe_get(right)
+        if left_as is None or right_as is None:
+            return None
+        if not left_as.is_ukrainian and right_as.is_ukrainian:
+            return (left, right)
+    return None

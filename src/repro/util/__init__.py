@@ -1,0 +1,33 @@
+"""Shared low-level utilities: deterministic RNG streams, dates, units.
+
+Everything in :mod:`repro` that needs randomness draws it from a
+:class:`~repro.util.rng.RngHub` substream so that a single master seed
+reproduces the entire synthetic dataset and every downstream analysis.
+"""
+
+from repro.util.errors import CalibrationError, DataError, ReproError, TopologyError
+from repro.util.rng import RngHub
+from repro.util.timeutil import Day, DayGrid, Period, day_range, parse_day
+from repro.util.units import (
+    bytes_to_megabits,
+    mbps_to_bytes_per_sec,
+    ms_to_seconds,
+    seconds_to_ms,
+)
+
+__all__ = [
+    "CalibrationError",
+    "DataError",
+    "Day",
+    "DayGrid",
+    "Period",
+    "ReproError",
+    "RngHub",
+    "TopologyError",
+    "bytes_to_megabits",
+    "day_range",
+    "mbps_to_bytes_per_sec",
+    "ms_to_seconds",
+    "parse_day",
+    "seconds_to_ms",
+]

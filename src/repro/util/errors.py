@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one type at an API boundary without swallowing programming errors
+(``TypeError``/``ValueError`` raised by argument validation deliberately do
+*not* use this hierarchy).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DataError(ReproError):
+    """A table, column, or dataset is malformed or used inconsistently."""
+
+
+class TopologyError(ReproError):
+    """The AS graph or IP layer is invalid (unknown AS, no route, ...)."""
+
+
+class CalibrationError(ReproError):
+    """Calibration targets are missing or internally inconsistent."""
+
+
+class AnalysisError(ReproError):
+    """An analysis step cannot proceed (empty period, missing column, ...)."""

@@ -1,0 +1,158 @@
+"""Calendar-day handling for the measurement windows.
+
+The paper's unit of aggregation is the calendar day.  We represent days as
+integer *ordinals* (``datetime.date.toordinal``) wrapped in a tiny value type
+so that tables can store them in numpy integer columns while analyses can
+still render ISO dates.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+__all__ = ["Day", "DayGrid", "Period", "day_range", "parse_day"]
+
+DayLike = Union["Day", _dt.date, str, int]
+
+
+@dataclass(frozen=True, order=True)
+class Day:
+    """A calendar day, stored as a proleptic-Gregorian ordinal."""
+
+    ordinal: int
+
+    @classmethod
+    def of(cls, value: DayLike) -> "Day":
+        """Coerce a date, ISO string, ordinal int, or Day into a Day."""
+        if isinstance(value, Day):
+            return value
+        if isinstance(value, _dt.datetime):
+            return cls(value.date().toordinal())
+        if isinstance(value, _dt.date):
+            return cls(value.toordinal())
+        if isinstance(value, str):
+            return cls(_dt.date.fromisoformat(value).toordinal())
+        if isinstance(value, int):
+            if value <= 0:
+                raise ValueError(f"day ordinal must be positive, got {value}")
+            return cls(value)
+        raise TypeError(f"cannot interpret {type(value).__name__} as a Day")
+
+    def date(self) -> _dt.date:
+        """The day as a ``datetime.date``."""
+        return _dt.date.fromordinal(self.ordinal)
+
+    def iso(self) -> str:
+        """ISO-8601 string, e.g. ``'2022-02-24'``."""
+        return self.date().isoformat()
+
+    def plus(self, days: int) -> "Day":
+        """The day ``days`` after (or before, if negative) this one."""
+        return Day(self.ordinal + days)
+
+    def __sub__(self, other: "Day") -> int:
+        return self.ordinal - other.ordinal
+
+    def weekday(self) -> int:
+        """Monday == 0 ... Sunday == 6."""
+        return self.date().weekday()
+
+    def week_start(self) -> "Day":
+        """The Monday of this day's ISO week (for weekly aggregation)."""
+        return Day(self.ordinal - self.weekday())
+
+    def __str__(self) -> str:
+        return self.iso()
+
+
+def parse_day(value: DayLike) -> Day:
+    """Module-level alias for :meth:`Day.of`."""
+    return Day.of(value)
+
+
+def day_range(start: DayLike, end: DayLike) -> List[Day]:
+    """All days from ``start`` to ``end`` inclusive."""
+    lo, hi = Day.of(start), Day.of(end)
+    if hi < lo:
+        raise ValueError(f"end day {hi.iso()} precedes start day {lo.iso()}")
+    return [Day(o) for o in range(lo.ordinal, hi.ordinal + 1)]
+
+
+@dataclass(frozen=True)
+class Period:
+    """A named, inclusive span of days (e.g. the paper's *prewar* window)."""
+
+    name: str
+    start: Day
+    end: Day
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"period {self.name!r}: end {self.end.iso()} precedes "
+                f"start {self.start.iso()}"
+            )
+
+    @classmethod
+    def of(cls, name: str, start: DayLike, end: DayLike) -> "Period":
+        return cls(name, Day.of(start), Day.of(end))
+
+    @property
+    def n_days(self) -> int:
+        return self.end - self.start + 1
+
+    def contains(self, day: DayLike) -> bool:
+        d = Day.of(day)
+        return self.start <= d <= self.end
+
+    def days(self) -> List[Day]:
+        return day_range(self.start, self.end)
+
+    def ordinals(self) -> range:
+        """The period as a ``range`` of day ordinals (handy for numpy masks)."""
+        return range(self.start.ordinal, self.end.ordinal + 1)
+
+    def __iter__(self) -> Iterator[Day]:
+        return iter(self.days())
+
+    def __str__(self) -> str:
+        return f"{self.name} [{self.start.iso()} .. {self.end.iso()}]"
+
+
+class DayGrid:
+    """A fixed, contiguous day axis with fast day↔index mapping.
+
+    Time-series aggregation (Figures 2, 4, 6) buckets tests onto this grid.
+    """
+
+    def __init__(self, start: DayLike, end: DayLike):
+        self.start = Day.of(start)
+        self.end = Day.of(end)
+        if self.end < self.start:
+            raise ValueError("DayGrid end precedes start")
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def index_of(self, day: DayLike) -> int:
+        d = Day.of(day)
+        idx = d - self.start
+        if not 0 <= idx < len(self):
+            raise ValueError(f"{d.iso()} outside grid {self.start.iso()}..{self.end.iso()}")
+        return idx
+
+    def day_at(self, index: int) -> Day:
+        if not 0 <= index < len(self):
+            raise IndexError(f"grid index {index} out of range 0..{len(self) - 1}")
+        return self.start.plus(index)
+
+    def days(self) -> List[Day]:
+        return day_range(self.start, self.end)
+
+    def __iter__(self) -> Iterator[Day]:
+        return iter(self.days())
+
+    def __repr__(self) -> str:
+        return f"DayGrid({self.start.iso()}..{self.end.iso()}, n={len(self)})"

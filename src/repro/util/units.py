@@ -1,0 +1,51 @@
+"""Unit conversions used throughout the NDT model.
+
+NDT reports throughput in Mbps, RTT in milliseconds, and loss as a fraction.
+The TCP model internally works in bytes and seconds; these helpers keep the
+conversions in one place and explicit.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MEGABIT",
+    "bytes_to_megabits",
+    "megabits_to_bytes",
+    "mbps_to_bytes_per_sec",
+    "bytes_per_sec_to_mbps",
+    "ms_to_seconds",
+    "seconds_to_ms",
+]
+
+#: Bits per megabit (decimal, as used by speed-test tools).
+MEGABIT = 1_000_000
+
+
+def bytes_to_megabits(n_bytes: float) -> float:
+    """Convert a byte count to megabits."""
+    return n_bytes * 8.0 / MEGABIT
+
+
+def megabits_to_bytes(megabits: float) -> float:
+    """Convert megabits to bytes."""
+    return megabits * MEGABIT / 8.0
+
+
+def mbps_to_bytes_per_sec(mbps: float) -> float:
+    """Convert a rate in Mbps to bytes/second."""
+    return megabits_to_bytes(mbps)
+
+
+def bytes_per_sec_to_mbps(bps: float) -> float:
+    """Convert a rate in bytes/second to Mbps."""
+    return bytes_to_megabits(bps)
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Milliseconds → seconds."""
+    return ms / 1000.0
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Seconds → milliseconds."""
+    return seconds * 1000.0

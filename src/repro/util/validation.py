@@ -1,0 +1,44 @@
+"""Small argument-validation helpers.
+
+These raise plain ``ValueError``/``TypeError`` (not :class:`ReproError`):
+they signal caller bugs, not data/runtime conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+__all__ = ["check_fraction", "check_positive", "check_nonnegative", "check_member"]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it."""
+    if not np.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_member(name: str, value: T, allowed: Iterable[T]) -> T:
+    """Require ``value`` to be one of ``allowed``; return it."""
+    allowed = list(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

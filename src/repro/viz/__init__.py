@@ -1,0 +1,14 @@
+"""Plain-text renderings of the paper's figures.
+
+The environment has no plotting stack, so figures are rendered as aligned
+ASCII charts: line charts for the daily series (Figures 2, 4, 6), a signed
+heatmap for Figure 5, and horizontal bars for distributions and ranked
+regional changes (Figures 3, 7-9).
+"""
+
+from repro.viz.asciichart import line_chart
+from repro.viz.bars import bar_chart
+from repro.viz.heatmap import heatmap
+from repro.viz.scatter import scatter
+
+__all__ = ["bar_chart", "heatmap", "line_chart", "scatter"]

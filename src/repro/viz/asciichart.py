@@ -1,0 +1,66 @@
+"""ASCII line charts for daily time series."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["line_chart"]
+
+
+def line_chart(
+    values: Sequence[float],
+    title: str = "",
+    height: int = 12,
+    marker_index: Optional[int] = None,
+    y_fmt: str = ".1f",
+) -> str:
+    """Render one series as an ASCII chart.
+
+    NaN values leave gaps.  ``marker_index`` draws a vertical dotted line
+    (the paper's invasion-day marker) at that x position.
+    """
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+    series = np.asarray(list(values), dtype=np.float64)
+    if len(series) == 0:
+        raise ValueError("empty series")
+    finite = series[~np.isnan(series)]
+    if len(finite) == 0:
+        raise ValueError("series is all-NaN")
+    lo, hi = float(finite.min()), float(finite.max())
+    if math.isclose(lo, hi):
+        hi = lo + 1.0
+
+    def level(value: float) -> int:
+        return int(round((value - lo) / (hi - lo) * (height - 1)))
+
+    grid = [[" "] * len(series) for _ in range(height)]
+    for x, value in enumerate(series):
+        if np.isnan(value):
+            continue
+        y = level(value)
+        grid[height - 1 - y][x] = "*"
+    if marker_index is not None and 0 <= marker_index < len(series):
+        for row in grid:
+            if row[marker_index] == " ":
+                row[marker_index] = ":"
+
+    label_width = max(
+        len(format(hi, y_fmt)), len(format(lo, y_fmt))
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = format(hi, y_fmt)
+        elif i == height - 1:
+            label = format(lo, y_fmt)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * len(series))
+    return "\n".join(lines)

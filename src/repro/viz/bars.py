@@ -1,0 +1,47 @@
+"""Horizontal bar charts (ranked regional changes, histograms)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["bar_chart"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 40,
+    value_fmt: str = "+.1f",
+) -> str:
+    """Render labeled horizontal bars; negatives extend left of the axis."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels vs {len(values)} values"
+        )
+    if len(values) == 0:
+        raise ValueError("empty chart")
+    data = np.asarray(values, dtype=np.float64)
+    finite = data[~np.isnan(data)]
+    peak = np.abs(finite).max() if len(finite) else 1.0
+    if peak == 0:
+        peak = 1.0
+    half = width // 2
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, data):
+        if np.isnan(value):
+            bar = " " * half + "?"
+        else:
+            n = int(round(abs(value) / peak * half))
+            if value >= 0:
+                bar = " " * half + "|" + "#" * n
+            else:
+                bar = " " * (half - n) + "#" * n + "|"
+        lines.append(
+            f"{str(label).rjust(label_width)} {bar.ljust(width + 1)} "
+            f"{format(value, value_fmt) if not np.isnan(value) else 'n/a'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Signed ASCII heatmap (Figure 5's border-AS change matrix)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["heatmap"]
+
+#: Increasing intensity for positive and negative values.
+_POS = " .+oO@"
+_NEG = " .-xX#"
+_ABSENT = "■"  # the paper's black squares: no route in either period
+
+
+def heatmap(
+    matrix: Sequence[Sequence[float]],
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    absent: Optional[Sequence[Sequence[bool]]] = None,
+    title: str = "",
+    cell_width: int = 3,
+) -> str:
+    """Render a signed matrix; positive cells use ``+oO@``, negative ``-xX#``.
+
+    The legend explains the encoding; ``absent`` cells (no routes at all)
+    render as the filled square, matching the paper's black squares.
+    """
+    data = np.asarray(matrix, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    n_rows, n_cols = data.shape
+    if len(row_labels) != n_rows or len(col_labels) != n_cols:
+        raise ValueError(
+            f"labels ({len(row_labels)}x{len(col_labels)}) do not match "
+            f"matrix {data.shape}"
+        )
+    peak = np.abs(data).max()
+    if peak == 0:
+        peak = 1.0
+
+    def cell(i: int, j: int) -> str:
+        if absent is not None and absent[i][j]:
+            return _ABSENT
+        value = data[i, j]
+        ramp = _POS if value >= 0 else _NEG
+        idx = int(round(abs(value) / peak * (len(ramp) - 1)))
+        return ramp[idx]
+
+    label_width = max(len(str(l)) for l in row_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, label in enumerate(row_labels):
+        row = "".join(cell(i, j).center(cell_width) for j in range(n_cols))
+        lines.append(f"{str(label).rjust(label_width)} |{row}")
+    lines.append(" " * label_width + " +" + "-" * (cell_width * n_cols))
+    # Column labels, vertical-ish: print index row plus a legend list.
+    idx_row = "".join(str(j % 10).center(cell_width) for j in range(n_cols))
+    lines.append(" " * label_width + "  " + idx_row)
+    for j, label in enumerate(col_labels):
+        lines.append(" " * label_width + f"  [{j}] {label}")
+    lines.append(
+        f"legend: gain '{_POS[1:]}' loss '{_NEG[1:]}' none '{_ABSENT}' "
+        f"(peak |delta| = {peak:.0f})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""ASCII scatter plot (the Figure-9 panels)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["scatter"]
+
+
+def scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render paired points as an ASCII scatter; overlaps darken (. o O @)."""
+    xs = np.asarray(x, dtype=np.float64)
+    ys = np.asarray(y, dtype=np.float64)
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    keep = ~(np.isnan(xs) | np.isnan(ys))
+    xs, ys = xs[keep], ys[keep]
+    if len(xs) == 0:
+        raise ValueError("no finite points to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4")
+
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_lo == x_hi:
+        x_hi = x_lo + 1.0
+    if y_lo == y_hi:
+        y_hi = y_lo + 1.0
+
+    counts = np.zeros((height, width), dtype=int)
+    for px, py in zip(xs, ys):
+        i = int((py - y_lo) / (y_hi - y_lo) * (height - 1))
+        j = int((px - x_lo) / (x_hi - x_lo) * (width - 1))
+        counts[height - 1 - i, j] += 1
+
+    ramp = " .oO@"
+    peak = counts.max()
+    lines = [title] if title else []
+    label_width = max(len(f"{y_hi:.2f}"), len(f"{y_lo:.2f}"))
+    for i, row in enumerate(counts):
+        if i == 0:
+            label = f"{y_hi:.2f}"
+        elif i == height - 1:
+            label = f"{y_lo:.2f}"
+        else:
+            label = ""
+        cells = "".join(
+            ramp[min(len(ramp) - 1, int(np.ceil(c / peak * (len(ramp) - 1))))]
+            if c else " "
+            for c in row
+        )
+        lines.append(f"{label.rjust(label_width)} |{cells}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {x_label}: [{x_lo:.2f} .. {x_hi:.2f}]   {y_label} on the vertical"
+    )
+    return "\n".join(lines)

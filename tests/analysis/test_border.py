@@ -1,0 +1,92 @@
+"""Tests for the Figure-5 border-AS analysis."""
+
+import pytest
+
+from repro.analysis.border import (
+    border_crossing_counts,
+    border_shift_matrix,
+    border_totals,
+)
+from repro.topology.builder import COGENT, HURRICANE_ELECTRIC
+from repro.util.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def crossings(medium_dataset):
+    return border_crossing_counts(
+        medium_dataset.traces, medium_dataset.topology.registry
+    )
+
+
+class TestCrossingCounts:
+    def test_all_borders_foreign_all_uas_ukrainian(self, crossings, medium_dataset):
+        registry = medium_dataset.topology.registry
+        for r in crossings.iter_rows():
+            assert not registry.get(r["border_asn"]).is_ukrainian
+            assert registry.get(r["ua_asn"]).is_ukrainian
+
+    def test_delta_consistent(self, crossings):
+        for r in crossings.iter_rows():
+            assert r["delta"] == r["wartime"] - r["prewar"]
+
+    def test_covers_most_2022_traces(self, crossings, medium_dataset):
+        from repro.analysis.common import slice_period
+
+        total_crossings = sum(
+            r["prewar"] + r["wartime"] for r in crossings.iter_rows()
+        )
+        n_2022 = (
+            slice_period(medium_dataset.traces, "prewar").n_rows
+            + slice_period(medium_dataset.traces, "wartime").n_rows
+        )
+        assert total_crossings == pytest.approx(n_2022, rel=0.02)
+
+
+class TestPaperFindings:
+    def test_hurricane_electric_gains(self, crossings):
+        totals = {r["border_asn"]: r for r in border_totals(crossings).iter_rows()}
+        assert totals[HURRICANE_ELECTRIC]["delta"] > 0
+
+    def test_cogent_loses_share(self, crossings):
+        totals = {r["border_asn"]: r for r in border_totals(crossings).iter_rows()}
+        he = totals[HURRICANE_ELECTRIC]
+        cogent = totals[COGENT]
+        he_share_pre = he["prewar"]
+        he_share_war = he["wartime"]
+        cogent_growth = cogent["wartime"] / max(cogent["prewar"], 1)
+        he_growth = he_share_war / max(he_share_pre, 1)
+        assert he_growth > cogent_growth  # HE gains relative to Cogent
+
+    def test_degrading_border_as_loses(self, crossings):
+        from repro.topology.builder import DEGRADING_BORDER_ASN
+
+        totals = {r["border_asn"]: r for r in border_totals(crossings).iter_rows()}
+        assert totals[DEGRADING_BORDER_ASN]["delta"] < 0
+
+
+class TestMatrix:
+    def test_matrix_shape_and_labels(self, crossings):
+        rows, cols, delta, absent = border_shift_matrix(crossings)
+        assert len(delta) == len(rows)
+        assert all(len(line) == len(cols) for line in delta)
+        assert any("Hurricane Electric" in r for r in rows)
+
+    def test_absent_cells_marked(self, crossings):
+        rows, cols, delta, absent = border_shift_matrix(crossings)
+        # Pairs absent from the crossing table default to absent (no route).
+        seen_pairs = {
+            (r["border_asn"], r["ua_asn"]) for r in crossings.iter_rows()
+        }
+        n_pairs = len(rows) * len(cols)
+        n_absent = sum(sum(row) for row in absent)
+        assert n_absent == n_pairs - len(seen_pairs)
+
+
+def test_empty_traces_rejected(medium_dataset):
+    from repro.tables import Table
+
+    empty_like = Table.from_dict(
+        {"as_path": ["64496|1299"], "day": [738156]}
+    )
+    with pytest.raises(AnalysisError):
+        border_crossing_counts(empty_like, medium_dataset.topology.registry)

@@ -1,0 +1,97 @@
+"""Tests for the Figure-6 AS199995 case study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.casestudy import inbound_weekly
+from repro.tables import col
+from repro.topology.builder import (
+    CASE_STUDY_UA_ASN,
+    DEGRADING_BORDER_ASN,
+    HURRICANE_ELECTRIC,
+)
+from repro.util import Day
+from repro.util.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def weekly(medium_dataset):
+    return inbound_weekly(
+        medium_dataset.ndt,
+        medium_dataset.traces,
+        medium_dataset.topology.registry,
+        ua_asn=CASE_STUDY_UA_ASN,
+    )
+
+
+class TestStructure:
+    def test_borders_are_the_three_upstreams(self, weekly, medium_dataset):
+        borders = set(weekly["border_asn"].to_list())
+        providers = medium_dataset.topology.graph.providers(CASE_STUDY_UA_ASN)
+        assert borders <= providers
+        assert HURRICANE_ELECTRIC in borders
+        assert DEGRADING_BORDER_ASN in borders
+
+    def test_shares_sum_to_one_per_week(self, weekly):
+        by_week = {}
+        for r in weekly.iter_rows():
+            by_week.setdefault(r["week"], 0.0)
+            by_week[r["week"]] += r["share"]
+        for week, total in by_week.items():
+            assert total == pytest.approx(1.0), week
+
+    def test_weeks_are_mondays_sorted(self, weekly):
+        weeks = weekly["week"].to_list()
+        assert weeks == sorted(weeks)
+        assert all(Day.of(w).weekday() == 0 for w in weeks)
+
+
+class TestPaperFindings:
+    def wartime_slice(self, weekly, asn, column):
+        rows = weekly.filter(col("border_asn") == asn)
+        out = {}
+        for r in rows.iter_rows():
+            out[r["week"]] = r[column]
+        return out
+
+    def test_hurricane_share_rises(self, weekly):
+        shares = self.wartime_slice(weekly, HURRICANE_ELECTRIC, "share")
+        early = np.mean([v for w, v in shares.items() if w < "2022-02-21"])
+        late = np.mean([v for w, v in shares.items() if w >= "2022-03-14"])
+        assert late > early + 0.05
+
+    def test_degrading_border_share_falls(self, weekly):
+        shares = self.wartime_slice(weekly, DEGRADING_BORDER_ASN, "share")
+        early = np.mean([v for w, v in shares.items() if w < "2022-02-21"])
+        late_values = [v for w, v in shares.items() if w >= "2022-03-21"]
+        late = np.mean(late_values) if late_values else 0.0
+        assert late < early
+
+    def test_degrading_border_loss_rises(self, weekly):
+        loss = self.wartime_slice(weekly, DEGRADING_BORDER_ASN, "median_loss")
+        early = np.mean([v for w, v in loss.items() if w < "2022-02-21"])
+        mid_values = [
+            v for w, v in loss.items() if "2022-03-01" <= w <= "2022-03-28"
+        ]
+        assert mid_values, "AS6663 should still carry some tests in March"
+        assert np.mean(mid_values) > early
+
+    def test_hurricane_better_than_degraded_in_war(self, weekly):
+        he_loss = self.wartime_slice(weekly, HURRICANE_ELECTRIC, "median_loss")
+        bad_loss = self.wartime_slice(weekly, DEGRADING_BORDER_ASN, "median_loss")
+        common = [w for w in he_loss if w in bad_loss and w >= "2022-03-01"]
+        assert common
+        assert np.mean([he_loss[w] for w in common]) < np.mean(
+            [bad_loss[w] for w in common]
+        )
+
+
+class TestErrors:
+    def test_unused_as_rejected(self, medium_dataset):
+        with pytest.raises(AnalysisError):
+            inbound_weekly(
+                medium_dataset.ndt,
+                medium_dataset.traces,
+                medium_dataset.topology.registry,
+                ua_asn=64496,  # an M-Lab site AS: nothing "enters Ukraine" there
+            )

@@ -1,0 +1,87 @@
+"""Tests for city-level analysis (Table 1, Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.city import PAPER_CITIES, city_welch_table, siege_city_counts
+from repro.util import Day
+from repro.util.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def table1(medium_dataset):
+    return city_welch_table(medium_dataset.ndt)
+
+
+class TestTable1:
+    def test_rows(self, table1):
+        cities = table1["city"].to_list()
+        assert cities == PAPER_CITIES + ["National"]
+
+    def test_national_significant_everywhere(self, table1):
+        national = table1.to_dicts()[-1]
+        assert national["min_rtt_ms_sig"]
+        assert national["tput_mbps_sig"]
+        assert national["loss_rate_sig"]
+
+    def test_kyiv_degrades_significantly(self, table1):
+        kyiv = table1.to_dicts()[0]
+        assert kyiv["min_rtt_ms_wartime"] > kyiv["min_rtt_ms_prewar"]
+        assert kyiv["min_rtt_ms_sig"]
+        assert kyiv["tput_mbps_wartime"] < kyiv["tput_mbps_prewar"]
+        assert kyiv["loss_rate_sig"]
+
+    def test_mariupol_rtt_not_significant(self, table1):
+        # Table 1: Mariupol's MinRTT change is the one non-significant cell
+        # among the besieged cities (too few wartime tests).
+        mariupol = [r for r in table1.to_dicts() if r["city"] == "Mariupol"][0]
+        assert not mariupol["min_rtt_ms_sig"]
+        assert mariupol["n_wartime"] < 0.3 * mariupol["n_prewar"]
+
+    def test_lviv_tput_not_significant(self, table1):
+        lviv = [r for r in table1.to_dicts() if r["city"] == "Lviv"][0]
+        assert not lviv["tput_mbps_sig"]
+        # Lviv's RTT did rise (paper: significant at full scale; this
+        # quarter-scale fixture only has power for a weaker threshold).
+        assert lviv["min_rtt_ms_wartime"] > lviv["min_rtt_ms_prewar"]
+        assert lviv["min_rtt_ms_p"] < 0.15
+
+    def test_p_values_valid(self, table1):
+        for row in table1.iter_rows():
+            for metric in ("min_rtt_ms", "tput_mbps", "loss_rate"):
+                p = row[f"{metric}_p"]
+                assert np.isnan(p) or 0.0 <= p <= 1.0
+
+    def test_custom_city_list(self, medium_dataset):
+        t = city_welch_table(medium_dataset.ndt, cities=["Odessa"])
+        assert t["city"].to_list() == ["Odessa", "National"]
+
+
+class TestFigure4:
+    def test_daily_counts_shape(self, medium_dataset):
+        counts = siege_city_counts(medium_dataset.ndt)
+        assert counts.n_rows == 108
+        assert "Kharkiv" in counts and "Mariupol" in counts
+
+    def test_mariupol_vanishes_after_encirclement(self, medium_dataset):
+        counts = siege_city_counts(medium_dataset.ndt)
+        days = np.asarray(counts["day"].to_list())
+        mariupol = np.asarray(counts["Mariupol"].to_list())
+        before = mariupol[days < Day.of("2022-03-01").ordinal].mean()
+        after = mariupol[days >= Day.of("2022-03-15").ordinal].mean()
+        assert after < 0.25 * before
+
+    def test_kharkiv_drops_after_march14(self, medium_dataset):
+        counts = siege_city_counts(medium_dataset.ndt)
+        days = np.asarray(counts["day"].to_list())
+        kharkiv = np.asarray(counts["Kharkiv"].to_list())
+        war_before = kharkiv[
+            (days >= Day.of("2022-02-24").ordinal)
+            & (days < Day.of("2022-03-14").ordinal)
+        ].mean()
+        after = kharkiv[days >= Day.of("2022-03-14").ordinal].mean()
+        assert after < 0.75 * war_before
+
+    def test_requires_cities(self, medium_dataset):
+        with pytest.raises(AnalysisError):
+            siege_city_counts(medium_dataset.ndt, cities=())

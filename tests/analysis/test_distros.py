@@ -1,0 +1,49 @@
+"""Tests for the Figures 7-8 metric distributions."""
+
+import pytest
+
+from repro.analysis.distros import metric_histogram, skewness
+from repro.util.errors import AnalysisError
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("metric", ["min_rtt_ms", "tput_mbps", "loss_rate"])
+    @pytest.mark.parametrize("period", ["prewar", "wartime"])
+    def test_fractions_sum_to_one(self, medium_dataset, metric, period):
+        hist = metric_histogram(medium_dataset.ndt, metric, period)
+        assert hist["fraction"].sum() == pytest.approx(1.0)
+
+    def test_counts_match_period_size(self, medium_dataset):
+        from repro.analysis.common import slice_period
+
+        hist = metric_histogram(medium_dataset.ndt, "tput_mbps", "prewar")
+        assert hist["count"].sum() == slice_period(medium_dataset.ndt, "prewar").n_rows
+
+    def test_bin_edges_contiguous(self, medium_dataset):
+        hist = metric_histogram(medium_dataset.ndt, "min_rtt_ms", "prewar", bins=10)
+        lows = hist["bin_low"].to_list()
+        highs = hist["bin_high"].to_list()
+        assert all(h == pytest.approx(l2) for h, l2 in zip(highs, lows[1:]))
+
+    def test_bins_param(self, medium_dataset):
+        assert metric_histogram(medium_dataset.ndt, "loss_rate", "prewar", bins=7).n_rows == 7
+
+    def test_unknown_metric(self, medium_dataset):
+        with pytest.raises(AnalysisError):
+            metric_histogram(medium_dataset.ndt, "jitter", "prewar")
+
+    def test_invalid_bins(self, medium_dataset):
+        with pytest.raises(AnalysisError):
+            metric_histogram(medium_dataset.ndt, "loss_rate", "prewar", bins=0)
+
+
+class TestSkew:
+    def test_tput_right_skewed(self, medium_dataset):
+        # Paper Figure 7b: throughput distribution is right-skewed.
+        assert skewness(medium_dataset.ndt, "tput_mbps", "prewar") > 0
+
+    def test_loss_right_skewed(self, medium_dataset):
+        assert skewness(medium_dataset.ndt, "loss_rate", "prewar") > 0
+
+    def test_wartime_loss_still_skewed(self, medium_dataset):
+        assert skewness(medium_dataset.ndt, "loss_rate", "wartime") > 0

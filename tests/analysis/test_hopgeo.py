@@ -1,0 +1,45 @@
+"""Tests for the hostname-based geolocation cross-check."""
+
+import pytest
+
+from repro.analysis.hopgeo import default_hostname_scheme, gateway_city_agreement
+
+
+@pytest.fixture(scope="module")
+def agreement(medium_dataset):
+    return gateway_city_agreement(medium_dataset)
+
+
+class TestAgreement:
+    def test_fields_and_ranges(self, agreement):
+        for key in ("n_tests", "n_compared", "agree", "geo_missing", "ptr_missing"):
+            assert key in agreement
+        assert 0.0 <= agreement["agree"] <= 1.0
+        assert agreement["n_compared"] <= agreement["n_tests"]
+
+    def test_signals_mostly_agree(self, agreement):
+        # Both signals are noisy (geo mislabels ~5%, stale PTRs ~5%), but
+        # when both exist they should usually point at the same city.
+        assert agreement["agree"] > 0.8
+
+    def test_geo_missing_matches_config(self, agreement, medium_dataset):
+        assert agreement["geo_missing"] == pytest.approx(
+            medium_dataset.config.missing_rate, abs=0.06
+        )
+
+    def test_ptr_missing_reflects_scheme(self, medium_dataset):
+        perfect = default_hostname_scheme(
+            medium_dataset, missing_rate=0.0, stale_rate=0.0
+        )
+        out = gateway_city_agreement(medium_dataset, perfect)
+        assert out["ptr_missing"] < 0.25  # only core-band/foreign gateways left
+
+    def test_perfect_signals_agree_almost_always(self, medium_dataset):
+        from repro.synth import DatasetGenerator, GeneratorConfig
+
+        clean = DatasetGenerator(
+            GeneratorConfig(seed=2, scale=0.05, missing_rate=0.0, mislabel_rate=0.0)
+        ).generate()
+        scheme = default_hostname_scheme(clean, missing_rate=0.0, stale_rate=0.0)
+        out = gateway_city_agreement(clean, scheme)
+        assert out["agree"] > 0.97

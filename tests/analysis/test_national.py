@@ -1,0 +1,97 @@
+"""Tests for the Figure-2 national daily series."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.national import invasion_day_ordinal, national_daily
+from repro.util import Day
+from repro.util.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def daily_2022(medium_dataset):
+    return national_daily(medium_dataset.ndt, 2022)
+
+
+@pytest.fixture(scope="module")
+def daily_2021(medium_dataset):
+    return national_daily(medium_dataset.ndt, 2021)
+
+
+class TestSeriesShape:
+    def test_one_row_per_study_day(self, daily_2022):
+        assert daily_2022.n_rows == 108
+        assert daily_2022.row(0)["date"] == "2022-01-01"
+        assert daily_2022.row(107)["date"] == "2022-04-18"
+
+    def test_counts_sum_to_tests(self, medium_dataset, daily_2022):
+        from repro.analysis import slice_year
+
+        assert daily_2022["tests"].sum() == slice_year(medium_dataset.ndt, 2022).n_rows
+
+    def test_invasion_day_marker(self, daily_2022):
+        idx = daily_2022["day"].to_list().index(invasion_day_ordinal())
+        assert daily_2022.row(idx)["date"] == "2022-02-24"
+
+
+class TestPaperFindings:
+    def split(self, daily):
+        marker = invasion_day_ordinal()
+        days = np.asarray(daily["day"].to_list())
+        pre = days < marker
+        return pre, ~pre
+
+    def test_rtt_and_loss_jump_after_invasion(self, daily_2022):
+        pre, post = self.split(daily_2022)
+        rtt = np.asarray(daily_2022["min_rtt_ms"].to_list())
+        loss = np.asarray(daily_2022["loss_rate"].to_list())
+        assert np.nanmean(rtt[post]) > 1.4 * np.nanmean(rtt[pre])
+        assert np.nanmean(loss[post]) > 1.5 * np.nanmean(loss[pre])
+
+    def test_tput_falls_after_invasion(self, daily_2022):
+        pre, post = self.split(daily_2022)
+        tput = np.asarray(daily_2022["tput_mbps"].to_list())
+        assert np.nanmean(tput[post]) < 0.9 * np.nanmean(tput[pre])
+
+    def test_wartime_metrics_fluctuate_more(self, daily_2022):
+        # Paper: day-to-day instability grows during the war.
+        pre, post = self.split(daily_2022)
+        rtt = np.asarray(daily_2022["min_rtt_ms"].to_list())
+        assert np.nanstd(rtt[post]) > np.nanstd(rtt[pre])
+
+    def test_march10_outage_spike_in_tests(self, daily_2022):
+        dates = daily_2022["date"].to_list()
+        tests = daily_2022["tests"].to_list()
+        spike = tests[dates.index("2022-03-10")]
+        neighbors = np.mean(
+            [tests[dates.index(d)] for d in
+             ("2022-03-07", "2022-03-08", "2022-03-12", "2022-03-13")]
+        )
+        assert spike > 1.3 * neighbors
+
+    def test_march10_tput_dip(self, daily_2022):
+        dates = daily_2022["date"].to_list()
+        tput = daily_2022["tput_mbps"].to_list()
+        dip = tput[dates.index("2022-03-10")]
+        neighbors = np.mean(
+            [tput[dates.index(d)] for d in
+             ("2022-03-07", "2022-03-08", "2022-03-12", "2022-03-13")]
+        )
+        assert dip < 0.75 * neighbors
+
+    def test_baseline_2021_shows_no_jump(self, daily_2021):
+        days = np.asarray(daily_2021["day"].to_list())
+        marker = Day.of("2021-02-24").ordinal
+        pre, post = days < marker, days >= marker
+        rtt = np.asarray(daily_2021["min_rtt_ms"].to_list())
+        loss = np.asarray(daily_2021["loss_rate"].to_list())
+        assert np.nanmean(rtt[post]) == pytest.approx(np.nanmean(rtt[pre]), rel=0.15)
+        assert np.nanmean(loss[post]) == pytest.approx(np.nanmean(loss[pre]), rel=0.3)
+
+
+class TestErrors:
+    def test_missing_year(self, medium_dataset):
+        with pytest.raises(AnalysisError):
+            national_daily(medium_dataset.ndt, 2019)

@@ -1,0 +1,73 @@
+"""Tests for day-level outage/anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.national import national_daily
+from repro.analysis.outages import (
+    detect_metric_anomalies,
+    detect_outage_days,
+    robust_zscores,
+)
+from repro.util.errors import AnalysisError
+
+
+class TestRobustZscores:
+    def test_flat_series_zero(self):
+        scores = robust_zscores([5.0] * 30)
+        assert np.allclose(scores, 0.0)
+
+    def test_single_spike_detected(self):
+        series = [10.0 + 0.1 * (i % 3) for i in range(30)]
+        series[15] = 30.0
+        scores = robust_zscores(series)
+        assert scores[15] > 5
+        assert abs(scores[10]) < 3
+
+    def test_level_shift_not_flagged_forever(self):
+        # A persistent level change (the invasion) should only light up
+        # around the transition, not every later day.
+        series = [10.0 + 0.2 * (i % 5) for i in range(25)] + [
+            20.0 + 0.2 * (i % 5) for i in range(25)
+        ]
+        scores = robust_zscores(series, window=15)
+        assert abs(scores[45]) < 3.0  # deep inside the new level
+
+    def test_nan_safe(self):
+        series = [10.0] * 20
+        series[5] = float("nan")
+        scores = robust_zscores(series)
+        assert scores[5] == 0.0
+
+    def test_window_validated(self):
+        with pytest.raises(AnalysisError):
+            robust_zscores([1.0] * 10, window=3)
+
+
+class TestDetectAnomalies:
+    def test_detects_planted_spike(self, medium_dataset):
+        daily = national_daily(medium_dataset.ndt, 2022)
+        anomalies = detect_metric_anomalies(daily, "tests", threshold=2.5)
+        dates = {a.date for a in anomalies if a.direction == "spike"}
+        assert "2022-03-10" in dates  # the outage-day test spike
+
+    def test_direction_labels(self, medium_dataset):
+        daily = national_daily(medium_dataset.ndt, 2022)
+        for anomaly in detect_metric_anomalies(daily, "tput_mbps", threshold=2.0):
+            assert anomaly.direction in ("spike", "dip")
+            assert (anomaly.zscore > 0) == (anomaly.direction == "spike")
+
+
+class TestDetectOutageDays:
+    def test_march_10_found(self, medium_dataset):
+        days = detect_outage_days(medium_dataset.ndt)
+        assert "2022-03-10" in days
+
+    def test_no_outage_in_baseline_year(self, medium_dataset):
+        days = detect_outage_days(medium_dataset.ndt, year=2021)
+        assert days == []
+
+    def test_joint_condition_is_selective(self, medium_dataset):
+        # Only the engineered outage day shows both signatures.
+        days = detect_outage_days(medium_dataset.ndt)
+        assert len(days) <= 3

@@ -1,0 +1,88 @@
+"""Tests for path-diversity analysis (Table 2, Figure 9)."""
+
+import pytest
+
+from repro.analysis.common import slice_period
+from repro.analysis.paths import connection_stats, path_count_table, path_performance
+from repro.tables import Table
+from repro.util.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def table2(medium_dataset):
+    return path_count_table(medium_dataset.traces)
+
+
+class TestConnectionStats:
+    def test_counts(self, medium_dataset):
+        sliced = slice_period(medium_dataset.traces, "prewar").head(2000)
+        stats = connection_stats(sliced)
+        assert sum(e["tests"] for e in stats.values()) == sliced.n_rows
+        for e in stats.values():
+            assert 1 <= e["paths"] <= e["tests"]
+
+    def test_distinct_paths_counted(self):
+        t = Table.from_dict(
+            {
+                "client_ip": ["1.1.1.1"] * 3,
+                "server_ip": ["2.2.2.2"] * 3,
+                "path": ["a", "b", "a"],
+            }
+        )
+        stats = connection_stats(t)
+        assert stats[("1.1.1.1", "2.2.2.2")] == {"tests": 3, "paths": 2}
+
+
+class TestTable2:
+    def test_period_order(self, table2):
+        assert table2["period"].to_list() == [
+            "baseline_janfeb", "baseline_febapr", "prewar", "wartime"
+        ]
+
+    def test_wartime_most_diverse(self, table2):
+        rows = {r["period"]: r for r in table2.iter_rows()}
+        assert rows["wartime"]["paths_per_conn"] > rows["prewar"]["paths_per_conn"]
+
+    def test_2022_more_diverse_than_baseline(self, table2):
+        rows = {r["period"]: r for r in table2.iter_rows()}
+        baseline = max(
+            rows["baseline_janfeb"]["paths_per_conn"],
+            rows["baseline_febapr"]["paths_per_conn"],
+        )
+        assert rows["prewar"]["paths_per_conn"] > baseline
+
+    def test_baselines_stable(self, table2):
+        rows = {r["period"]: r for r in table2.iter_rows()}
+        assert rows["baseline_febapr"]["paths_per_conn"] == pytest.approx(
+            rows["baseline_janfeb"]["paths_per_conn"], rel=0.15
+        )
+
+    def test_2022_has_more_tests_per_conn(self, table2):
+        # NDT usage grew 2021 -> 2022 (volume factor), so the busy
+        # connections carry more tests — the paper's Table 2 pattern.
+        rows = {r["period"]: r for r in table2.iter_rows()}
+        assert rows["prewar"]["tests_per_conn"] > rows["baseline_janfeb"]["tests_per_conn"]
+
+    def test_top_k_respected(self, medium_dataset):
+        t = path_count_table(medium_dataset.traces, top_k=50)
+        assert all(r["n_connections"] == 50 for r in t.iter_rows())
+
+    def test_invalid_top_k(self, medium_dataset):
+        with pytest.raises(AnalysisError):
+            path_count_table(medium_dataset.traces, top_k=0)
+
+
+class TestFigure9:
+    def test_buckets_produced(self, medium_dataset):
+        perf = path_performance(medium_dataset.ndt, medium_dataset.traces, min_tests=5)
+        assert perf.n_rows >= 2
+        assert perf["n_connections"].sum() >= 10
+
+    def test_buckets_sorted_by_d_paths(self, medium_dataset):
+        perf = path_performance(medium_dataset.ndt, medium_dataset.traces, min_tests=5)
+        d = perf["d_paths"].to_list()
+        assert d == sorted(d)
+
+    def test_impossible_min_tests_raises(self, medium_dataset):
+        with pytest.raises(AnalysisError):
+            path_performance(medium_dataset.ndt, medium_dataset.traces, min_tests=10**6)

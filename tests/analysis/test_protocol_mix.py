@@ -1,0 +1,49 @@
+"""Tests for the protocol-mix validity analysis."""
+
+import pytest
+
+from repro.analysis.protocol import cca_mix_stable, metric_by_cca, protocol_mix_table
+from repro.util.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def mix(medium_dataset):
+    return protocol_mix_table(medium_dataset.ndt)
+
+
+class TestMixTable:
+    def test_shares_sum_to_one_per_period(self, mix):
+        totals = {}
+        for r in mix.iter_rows():
+            totals[r["period"]] = totals.get(r["period"], 0.0) + r["share"]
+        for period, total in totals.items():
+            assert total == pytest.approx(1.0), period
+
+    def test_all_periods_present(self, mix):
+        assert set(mix["period"].to_list()) == {
+            "baseline_janfeb", "baseline_febapr", "prewar", "wartime"
+        }
+
+    def test_ndt7_bbr_dominates_everywhere(self, mix):
+        for period in set(mix["period"].to_list()):
+            rows = [r for r in mix.iter_rows() if r["period"] == period]
+            bbr = [r for r in rows if r["cca"] == "bbr"]
+            assert bbr and bbr[0]["share"] > 0.8
+
+
+class TestStability:
+    def test_cca_mix_stable_across_invasion(self, medium_dataset):
+        # The paper's §3 claim, verified on generated data.
+        assert cca_mix_stable(medium_dataset.ndt)
+
+    def test_tight_tolerance_can_fail(self, medium_dataset):
+        # With an absurdly tight tolerance the check must become falsifiable.
+        assert not cca_mix_stable(medium_dataset.ndt, tolerance=1e-6)
+
+
+class TestMetricByCca:
+    def test_groups_by_cca(self, medium_dataset):
+        out = metric_by_cca(medium_dataset.ndt, "tput_mbps", "prewar")
+        ccas = set(out["cca"].to_list())
+        assert "bbr" in ccas
+        assert out["tests"].sum() > 0

@@ -1,0 +1,86 @@
+"""Tests for oblast-level analysis (Figure 3, Table 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regional import oblast_changes, oblast_summary, zone_average_changes
+from repro.tables import Table, col
+from repro.util.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def changes(medium_dataset):
+    return oblast_changes(medium_dataset.ndt, medium_dataset.topology.gazetteer)
+
+
+@pytest.fixture(scope="module")
+def summary(medium_dataset):
+    return oblast_summary(medium_dataset.ndt)
+
+
+class TestSummary:
+    def test_two_rows_per_oblast(self, summary):
+        counts = {}
+        for r in summary.iter_rows():
+            counts[r["oblast"]] = counts.get(r["oblast"], 0) + 1
+        assert set(counts.values()) <= {1, 2}
+        assert sum(v == 2 for v in counts.values()) >= 20
+
+    def test_kiev_city_first(self, summary):
+        # Sorted by prewar count descending: Kyiv's oblast leads, as in Table 4.
+        assert summary.row(0)["oblast"] == "Kiev City"
+
+    def test_kiev_city_values_shape(self, summary):
+        rows = {r["period"]: r for r in summary.iter_rows() if r["oblast"] == "Kiev City"}
+        assert rows["wartime"]["min_rtt_ms"] > rows["prewar"]["min_rtt_ms"]
+        assert rows["wartime"]["loss_rate"] > rows["prewar"]["loss_rate"]
+        assert rows["wartime"]["tput_mbps"] < rows["prewar"]["tput_mbps"]
+
+
+class TestChanges:
+    def test_covers_most_oblasts(self, changes):
+        assert changes.n_rows >= 20
+
+    def test_zone_attached(self, changes, medium_dataset):
+        gaz = medium_dataset.topology.gazetteer
+        for r in changes.iter_rows():
+            assert r["zone"] == gaz.oblast(r["oblast"]).zone.value
+
+    def test_active_fronts_degrade_more_than_west(self, changes):
+        # The paper's core regional finding (Figure 3).
+        zones = {r["zone"]: r for r in zone_average_changes(changes).iter_rows()}
+        active = np.mean(
+            [zones[z]["d_loss_pct"] for z in ("north", "east", "south")]
+        )
+        assert active > zones["west"]["d_loss_pct"]
+
+    def test_rtt_rises_in_active_zones(self, changes):
+        zones = {r["zone"]: r for r in zone_average_changes(changes).iter_rows()}
+        assert zones["east"]["d_rtt_pct"] > 0
+        assert zones["north"]["d_rtt_pct"] > 0
+
+    def test_zone_average_table(self, changes):
+        z = zone_average_changes(changes)
+        assert set(z["zone"].to_list()) <= {
+            "north", "east", "south", "center", "west", "occupied"
+        }
+        assert z["n_oblasts"].sum() == changes.n_rows
+
+
+class TestErrors:
+    def test_requires_labeled_rows(self):
+        from repro.tables import DType
+
+        t = Table.from_dict(
+            {
+                "oblast": [None],
+                "day": [738156],  # 2022-01-01
+                "test_id": [1],
+                "tput_mbps": [10.0],
+                "min_rtt_ms": [5.0],
+                "loss_rate": [0.01],
+            },
+            dtypes={"oblast": DType.STR},
+        )
+        with pytest.raises(AnalysisError):
+            oblast_summary(t)

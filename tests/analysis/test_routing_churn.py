@@ -1,0 +1,30 @@
+"""Tests for the control-plane churn analysis."""
+
+import pytest
+
+from repro.analysis.routing_churn import churn_summary, daily_route_churn
+
+
+@pytest.fixture(scope="module")
+def churn(medium_dataset):
+    return daily_route_churn(medium_dataset)
+
+
+class TestDailyChurn:
+    def test_one_row_per_day_minus_one(self, churn):
+        assert churn.n_rows == 107  # 108-day window, diffs start at day 2
+
+    def test_wartime_churn_exceeds_prewar(self, churn, medium_dataset):
+        summary = churn_summary(churn, medium_dataset)
+        assert summary["wartime_daily_changes"] > 2 * summary["prewar_daily_changes"]
+
+    def test_counts_nonnegative(self, churn):
+        assert all(c >= 0 for c in churn["changes"].to_list())
+        assert all(w >= 0 for w in churn["withdrawals"].to_list())
+        for row in churn.iter_rows():
+            assert row["withdrawals"] <= row["changes"]
+
+    def test_deterministic(self, medium_dataset):
+        a = daily_route_churn(medium_dataset)
+        b = daily_route_churn(medium_dataset)
+        assert a["changes"].to_list() == b["changes"].to_list()

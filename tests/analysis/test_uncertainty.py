@@ -1,0 +1,59 @@
+"""Tests for the bootstrap cross-check of Table 1."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.uncertainty import agreement_rate, city_bootstrap_table
+from repro.util.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def boot(medium_dataset):
+    return city_bootstrap_table(
+        medium_dataset.ndt, np.random.default_rng(0), n_resamples=200
+    )
+
+
+class TestBootstrapTable:
+    def test_three_rows_per_city(self, boot):
+        cities = {}
+        for r in boot.iter_rows():
+            cities[r["city"]] = cities.get(r["city"], 0) + 1
+        assert all(v == 3 for v in cities.values())
+        assert "National" in cities
+
+    def test_national_changes_bootstrap_significant(self, boot):
+        national = {r["metric"]: r for r in boot.iter_rows() if r["city"] == "National"}
+        assert national["min_rtt_ms"]["bootstrap_sig"]
+        assert national["min_rtt_ms"]["mean_diff"] > 0
+        assert national["tput_mbps"]["mean_diff"] < 0
+        assert national["loss_rate"]["bootstrap_sig"]
+
+    def test_ci_brackets_estimate(self, boot):
+        for r in boot.iter_rows():
+            if not np.isnan(r["mean_diff"]):
+                assert r["ci_low"] <= r["mean_diff"] <= r["ci_high"]
+
+    def test_methods_mostly_agree(self, boot):
+        # Appendix B's worry is real but modest: the two tests concur on
+        # the bulk of cells.
+        assert agreement_rate(boot) >= 0.7
+
+    def test_deterministic_given_rng(self, medium_dataset):
+        a = city_bootstrap_table(
+            medium_dataset.ndt, np.random.default_rng(7),
+            cities=["Kyiv"], n_resamples=100,
+        )
+        b = city_bootstrap_table(
+            medium_dataset.ndt, np.random.default_rng(7),
+            cities=["Kyiv"], n_resamples=100,
+        )
+        assert a["ci_low"].to_list() == b["ci_low"].to_list()
+
+
+class TestValidation:
+    def test_small_resamples_rejected(self, medium_dataset):
+        with pytest.raises(AnalysisError):
+            city_bootstrap_table(
+                medium_dataset.ndt, np.random.default_rng(0), n_resamples=10
+            )

@@ -1,0 +1,60 @@
+"""Tests for the war-event timeline."""
+
+import pytest
+
+from repro.conflict import EventKind, WarEvent, default_timeline
+from repro.conflict.events import INVASION_DAY
+from repro.geo import ConflictZone
+from repro.util import Day
+
+
+class TestDefaultTimeline:
+    def test_sorted_by_date(self):
+        days = [e.day.ordinal for e in default_timeline()]
+        assert days == sorted(days)
+
+    def test_invasion_first(self):
+        first = default_timeline()[0]
+        assert first.kind is EventKind.INVASION
+        assert first.day == Day.of("2022-02-24")
+        assert first.day == INVASION_DAY
+
+    def test_paper_anchor_events_present(self):
+        by_kind = {}
+        for e in default_timeline():
+            by_kind.setdefault(e.kind, []).append(e)
+        assert by_kind[EventKind.SIEGE][0].day == Day.of("2022-03-01")
+        assert "Mariupol" in by_kind[EventKind.SIEGE][0].cities
+        assert by_kind[EventKind.OUTAGE][0].day == Day.of("2022-03-10")
+        assert by_kind[EventKind.SHELLING][0].day == Day.of("2022-03-14")
+        assert "Kharkiv" in by_kind[EventKind.SHELLING][0].cities
+        assert by_kind[EventKind.WITHDRAWAL][0].day == Day.of("2022-04-03")
+
+    def test_withdrawal_scoped_to_north(self):
+        w = [e for e in default_timeline() if e.kind is EventKind.WITHDRAWAL][0]
+        assert w.applies_to_zone(ConflictZone.NORTH)
+        assert not w.applies_to_zone(ConflictZone.EAST)
+
+    def test_all_events_in_study_window(self):
+        for e in default_timeline():
+            assert Day.of("2022-02-24") <= e.day <= Day.of("2022-04-18")
+
+
+class TestWarEvent:
+    def test_applies_to_city(self):
+        e = WarEvent(
+            day=Day.of("2022-03-01"),
+            name="x",
+            kind=EventKind.SIEGE,
+            cities=frozenset({"Mariupol"}),
+        )
+        assert e.applies_to_city("Mariupol")
+        assert not e.applies_to_city("Kyiv")
+
+    def test_magnitude_validated(self):
+        with pytest.raises(ValueError):
+            WarEvent(day=Day.of("2022-03-01"), name="x", kind=EventKind.SIEGE, magnitude=1.5)
+
+    def test_name_validated(self):
+        with pytest.raises(ValueError):
+            WarEvent(day=Day.of("2022-03-01"), name="", kind=EventKind.SIEGE)

@@ -1,0 +1,120 @@
+"""Tests for the intensity model."""
+
+import pytest
+
+from repro.conflict import EventKind, IntensityModel, WarEvent
+from repro.geo import ConflictZone, default_gazetteer
+from repro.util import Day
+
+
+@pytest.fixture(scope="module")
+def model():
+    return IntensityModel(default_gazetteer())
+
+
+class TestZoneIntensity:
+    def test_zero_before_invasion(self, model):
+        for zone in ConflictZone:
+            assert model.zone_intensity(zone, "2022-02-23") == 0.0
+            assert model.zone_intensity(zone, "2022-01-15") == 0.0
+
+    def test_positive_after_invasion(self, model):
+        for zone in ConflictZone:
+            assert model.zone_intensity(zone, "2022-03-15") > 0.0
+
+    def test_active_fronts_hotter_than_west(self, model):
+        day = "2022-03-15"
+        west = model.zone_intensity(ConflictZone.WEST, day)
+        for zone in (ConflictZone.NORTH, ConflictZone.EAST, ConflictZone.SOUTH):
+            assert model.zone_intensity(zone, day) > 2 * west
+
+    def test_east_is_hottest_front(self, model):
+        day = "2022-03-20"
+        east = model.zone_intensity(ConflictZone.EAST, day)
+        for zone in ConflictZone:
+            assert east >= model.zone_intensity(zone, day)
+
+    def test_ramp_up_over_first_days(self, model):
+        zone = ConflictZone.EAST
+        d0 = model.zone_intensity(zone, "2022-02-24")
+        d3 = model.zone_intensity(zone, "2022-02-27")
+        assert 0.0 < d0 < d3
+
+    def test_north_decays_after_withdrawal(self, model):
+        before = model.zone_intensity(ConflictZone.NORTH, "2022-04-02")
+        after = model.zone_intensity(ConflictZone.NORTH, "2022-04-05")
+        assert after < before
+        assert after > 0.0  # still contested, not peaceful
+
+    def test_east_unaffected_by_northern_withdrawal(self, model):
+        before = model.zone_intensity(ConflictZone.EAST, "2022-04-02")
+        after = model.zone_intensity(ConflictZone.EAST, "2022-04-05")
+        assert after == pytest.approx(before)
+
+    def test_bounded(self, model):
+        for zone in ConflictZone:
+            for day in ["2022-02-24", "2022-03-10", "2022-04-18"]:
+                assert 0.0 <= model.zone_intensity(zone, day) <= 1.0
+
+
+class TestCityIntensity:
+    def test_mariupol_siege_pins_to_ceiling(self, model):
+        assert model.city_intensity("Mariupol", "2022-03-15") == pytest.approx(1.0)
+
+    def test_mariupol_before_siege_is_zone_level(self, model):
+        feb28 = model.city_intensity("Mariupol", "2022-02-28")
+        zone = model.zone_intensity(ConflictZone.EAST, "2022-02-28")
+        assert feb28 == pytest.approx(zone)
+
+    def test_kharkiv_shelling_boost_decays(self, model):
+        base = model.city_intensity("Kharkiv", "2022-03-13")
+        spike = model.city_intensity("Kharkiv", "2022-03-14")
+        later = model.city_intensity("Kharkiv", "2022-03-25")
+        assert spike > base
+        assert later < spike
+
+    def test_lviv_strike_small_and_late(self, model):
+        apr17 = model.city_intensity("Lviv", "2022-04-17")
+        apr18 = model.city_intensity("Lviv", "2022-04-18")
+        assert apr18 > apr17
+        assert apr18 < 0.5  # Lviv never approaches front-line levels
+
+    def test_kyiv_tracks_north(self, model):
+        kyiv = model.city_intensity("Kyiv", "2022-03-15")
+        north = model.zone_intensity(ConflictZone.NORTH, "2022-03-15")
+        assert kyiv == pytest.approx(north)
+
+    def test_all_cities_bounded(self, model):
+        gaz = default_gazetteer()
+        for c in gaz.cities():
+            for day in ["2022-01-10", "2022-03-01", "2022-04-18"]:
+                assert 0.0 <= model.city_intensity(c.name, day) <= 1.0
+
+
+class TestModelConfig:
+    def test_custom_timeline_sorted(self):
+        gaz = default_gazetteer()
+        events = [
+            WarEvent(day=Day.of("2022-03-10"), name="b", kind=EventKind.OUTAGE),
+            WarEvent(day=Day.of("2022-02-24"), name="a", kind=EventKind.INVASION),
+        ]
+        m = IntensityModel(gaz, timeline=events)
+        assert [e.name for e in m.timeline] == ["a", "b"]
+
+    def test_events_on(self, model):
+        assert [e.kind for e in model.events_on("2022-03-10")] == [EventKind.OUTAGE]
+        assert model.events_on("2022-03-11") == []
+
+    def test_events_of_kind(self, model):
+        sieges = model.events_of_kind(EventKind.SIEGE)
+        assert len(sieges) == 1 and "Mariupol" in sieges[0].cities
+
+    def test_is_wartime(self, model):
+        assert not model.is_wartime("2022-02-23")
+        assert model.is_wartime("2022-02-24")
+
+    def test_empty_timeline_means_no_city_boosts(self):
+        gaz = default_gazetteer()
+        m = IntensityModel(gaz, timeline=[])
+        # Zone baseline still applies post-invasion; no siege pin for Mariupol.
+        assert m.city_intensity("Mariupol", "2022-03-15") < 1.0

@@ -1,0 +1,29 @@
+"""Shared fixtures: one small generated dataset reused across test modules.
+
+Generation is deterministic, so a single session-scoped dataset keeps the
+suite fast while letting many tests assert against realistic data.
+"""
+
+import pytest
+
+from repro.synth import DatasetGenerator, GeneratorConfig
+from repro.topology import build_default_topology
+
+
+@pytest.fixture(scope="session")
+def default_topology():
+    return build_default_topology()
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A ~10k-test dataset (8% of paper scale), both years."""
+    config = GeneratorConfig(seed=7, scale=0.08)
+    return DatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """A ~27k-test dataset (25% of paper scale) for analysis-shape tests."""
+    config = GeneratorConfig(seed=11, scale=0.25)
+    return DatasetGenerator(config).generate()

@@ -1,0 +1,68 @@
+"""Tests for haversine distance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo import haversine_km
+
+
+def test_zero_distance():
+    assert haversine_km(50.45, 30.52, 50.45, 30.52) == 0.0
+
+
+def test_kyiv_to_lviv():
+    # Kyiv (50.45, 30.52) to Lviv (49.84, 24.03) is ~470 km.
+    d = haversine_km(50.45, 30.52, 49.84, 24.03)
+    assert d == pytest.approx(470, abs=15)
+
+
+def test_kyiv_to_kharkiv():
+    d = haversine_km(50.45, 30.52, 49.99, 36.23)
+    assert d == pytest.approx(410, abs=15)
+
+
+def test_symmetry():
+    a = haversine_km(50.45, 30.52, 46.48, 30.73)
+    b = haversine_km(46.48, 30.73, 50.45, 30.52)
+    assert a == pytest.approx(b)
+
+
+def test_antipodal_half_circumference():
+    d = haversine_km(0.0, 0.0, 0.0, 180.0)
+    assert d == pytest.approx(20015, abs=10)
+
+
+@given(
+    lat1=st.floats(-90, 90), lon1=st.floats(-180, 180),
+    lat2=st.floats(-90, 90), lon2=st.floats(-180, 180),
+)
+def test_nonnegative_and_bounded(lat1, lon1, lat2, lon2):
+    d = haversine_km(lat1, lon1, lat2, lon2)
+    assert 0.0 <= d <= 20040.0
+
+
+@given(
+    lat1=st.floats(-90, 90), lon1=st.floats(-180, 180),
+    lat2=st.floats(-90, 90), lon2=st.floats(-180, 180),
+    lat3=st.floats(-90, 90), lon3=st.floats(-180, 180),
+)
+def test_triangle_inequality(lat1, lon1, lat2, lon2, lat3, lon3):
+    d12 = haversine_km(lat1, lon1, lat2, lon2)
+    d23 = haversine_km(lat2, lon2, lat3, lon3)
+    d13 = haversine_km(lat1, lon1, lat3, lon3)
+    assert d13 <= d12 + d23 + 1e-6
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"lat1": 91.0, "lon1": 0.0, "lat2": 0.0, "lon2": 0.0},
+        {"lat1": 0.0, "lon1": 181.0, "lat2": 0.0, "lon2": 0.0},
+        {"lat1": 0.0, "lon1": 0.0, "lat2": -91.0, "lon2": 0.0},
+        {"lat1": 0.0, "lon1": 0.0, "lat2": 0.0, "lon2": -181.0},
+    ],
+)
+def test_invalid_coordinates(kwargs):
+    with pytest.raises(ValueError):
+        haversine_km(**kwargs)

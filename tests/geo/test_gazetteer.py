@@ -1,0 +1,115 @@
+"""Tests for the Ukraine gazetteer."""
+
+import pytest
+
+from repro.geo import City, ConflictZone, Gazetteer, Oblast, default_gazetteer
+from repro.util.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def gaz():
+    return default_gazetteer()
+
+
+class TestDefaultGazetteer:
+    def test_has_all_27_table4_regions(self, gaz):
+        assert len(gaz.oblasts()) == 27
+
+    def test_table4_spellings(self, gaz):
+        for name in ["Kiev City", "L'viv", "Kharkiv", "Donets'k", "Zaporizhzhya",
+                     "Khmel'nyts'kyy", "Sevastopol'", "Transcarpathia"]:
+            assert gaz.oblast(name).name == name
+
+    def test_key_cities_present(self, gaz):
+        for city in ["Kyiv", "Kharkiv", "Mariupol", "Lviv"]:
+            assert gaz.city(city).name == city
+
+    def test_mariupol_in_donetsk_oblast(self, gaz):
+        assert gaz.city("Mariupol").oblast == "Donets'k"
+
+    def test_zone_classification(self, gaz):
+        assert gaz.oblast("Kiev City").zone is ConflictZone.NORTH
+        assert gaz.oblast("Kharkiv").zone is ConflictZone.EAST
+        assert gaz.oblast("Kherson").zone is ConflictZone.SOUTH
+        assert gaz.oblast("L'viv").zone is ConflictZone.WEST
+        assert gaz.oblast("Crimea").zone is ConflictZone.OCCUPIED
+
+    def test_active_front_flags(self):
+        assert ConflictZone.NORTH.active_front
+        assert ConflictZone.EAST.active_front
+        assert ConflictZone.SOUTH.active_front
+        assert not ConflictZone.WEST.active_front
+        assert not ConflictZone.CENTER.active_front
+        assert not ConflictZone.OCCUPIED.active_front
+
+    def test_zone_of_city(self, gaz):
+        assert gaz.zone_of_city("Mariupol") is ConflictZone.EAST
+        assert gaz.zone_of_city("Lviv") is ConflictZone.WEST
+
+    def test_cities_in_oblast(self, gaz):
+        donetsk_cities = {c.name for c in gaz.cities_in("Donets'k")}
+        assert donetsk_cities == {"Donetsk", "Mariupol"}
+
+    def test_kyiv_weight_dominates(self, gaz):
+        weights = {c.name: c.weight for c in gaz.cities()}
+        assert weights["Kyiv"] == max(weights.values())
+
+    def test_total_weight_positive(self, gaz):
+        assert gaz.total_weight() > 0
+
+    def test_coordinates_plausible(self, gaz):
+        for c in gaz.cities():
+            assert 44.0 <= c.lat <= 53.0, c.name  # Ukraine's latitude span
+            assert 22.0 <= c.lon <= 41.0, c.name
+
+    def test_nearest_city(self, gaz):
+        # Sevastopol's nearest other city is Simferopol (both in Crimea).
+        assert gaz.nearest_city("Sevastopol").name == "Simferopol"
+
+    def test_nearest_city_is_never_self(self, gaz):
+        for c in gaz.cities():
+            assert gaz.nearest_city(c.name).name != c.name
+
+
+class TestValidation:
+    def test_unknown_oblast(self, gaz):
+        with pytest.raises(DataError):
+            gaz.oblast("Atlantis")
+
+    def test_unknown_city(self, gaz):
+        with pytest.raises(DataError):
+            gaz.city("Atlantis")
+
+    def test_duplicate_oblast_rejected(self):
+        o = Oblast("X", ConflictZone.WEST)
+        with pytest.raises(DataError):
+            Gazetteer([o, o], [])
+
+    def test_duplicate_city_rejected(self):
+        o = Oblast("X", ConflictZone.WEST)
+        c = City("C", "X", 50.0, 30.0, 1.0)
+        with pytest.raises(DataError):
+            Gazetteer([o], [c, c])
+
+    def test_city_with_unknown_oblast_rejected(self):
+        o = Oblast("X", ConflictZone.WEST)
+        c = City("C", "Y", 50.0, 30.0, 1.0)
+        with pytest.raises(DataError):
+            Gazetteer([o], [c])
+
+    def test_single_city_nearest_raises(self):
+        o = Oblast("X", ConflictZone.WEST)
+        c = City("C", "X", 50.0, 30.0, 1.0)
+        g = Gazetteer([o], [c])
+        with pytest.raises(DataError):
+            g.nearest_city("C")
+
+    def test_invalid_city_fields(self):
+        with pytest.raises(ValueError):
+            City("C", "X", 95.0, 30.0, 1.0)
+        with pytest.raises(ValueError):
+            City("C", "X", 50.0, 30.0, 0.0)
+
+    def test_invalid_oblast_name(self):
+        with pytest.raises(ValueError):
+            Oblast("", ConflictZone.WEST)

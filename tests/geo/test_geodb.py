@@ -1,0 +1,109 @@
+"""Tests for the MaxMind-like geo database."""
+
+import numpy as np
+import pytest
+
+from repro.geo import GeoDatabase, default_gazetteer
+from repro.netbase import IPv4Address, IPv4Prefix
+from repro.util.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def gaz():
+    return default_gazetteer()
+
+
+def make_blocks(n, city="Kyiv"):
+    """n disjoint /20 blocks all assigned to one city."""
+    return [
+        (IPv4Prefix(IPv4Address((10 << 24) | (i << 12)), 20), city)
+        for i in range(n)
+    ]
+
+
+class TestBuild:
+    def test_perfect_db(self, gaz):
+        db = GeoDatabase.build(
+            make_blocks(50), gaz, np.random.default_rng(0),
+            missing_rate=0.0, mislabel_rate=0.0,
+        )
+        assert db.n_unlabeled == 0 and db.n_mislabeled == 0
+        assert db.coverage == 1.0
+        label = db.lookup(IPv4Address.parse("10.0.1.7"))
+        assert label.city == "Kyiv"
+        assert label.oblast == "Kiev City"
+
+    def test_missing_rate_respected(self, gaz):
+        db = GeoDatabase.build(
+            make_blocks(2000), gaz, np.random.default_rng(1),
+            missing_rate=0.117, mislabel_rate=0.0,
+        )
+        assert db.n_unlabeled / db.n_blocks == pytest.approx(0.117, abs=0.02)
+        assert db.coverage == pytest.approx(0.883, abs=0.02)
+
+    def test_unlabeled_blocks_return_none(self, gaz):
+        db = GeoDatabase.build(
+            make_blocks(200), gaz, np.random.default_rng(2),
+            missing_rate=0.5, mislabel_rate=0.0,
+        )
+        nones = sum(
+            db.lookup(IPv4Address((10 << 24) | (i << 12) | 5)) is None
+            for i in range(200)
+        )
+        assert nones == db.n_unlabeled
+
+    def test_mislabeled_blocks_point_to_nearest_city(self, gaz):
+        db = GeoDatabase.build(
+            make_blocks(500, city="Sevastopol"), gaz, np.random.default_rng(3),
+            missing_rate=0.0, mislabel_rate=0.3,
+        )
+        labels = [
+            db.lookup(IPv4Address((10 << 24) | (i << 12) | 5)) for i in range(500)
+        ]
+        cities = {lb.city for lb in labels}
+        assert cities == {"Sevastopol", "Simferopol"}
+        mislabeled = sum(lb.city == "Simferopol" for lb in labels)
+        assert mislabeled == db.n_mislabeled
+
+    def test_deterministic_given_rng(self, gaz):
+        blocks = make_blocks(100)
+        a = GeoDatabase.build(blocks, gaz, np.random.default_rng(7), 0.2, 0.1)
+        b = GeoDatabase.build(blocks, gaz, np.random.default_rng(7), 0.2, 0.1)
+        probe = IPv4Address.parse("10.0.33.1")
+        assert a.lookup(probe) == b.lookup(probe)
+        assert a.n_unlabeled == b.n_unlabeled
+
+    def test_lookup_outside_all_blocks(self, gaz):
+        db = GeoDatabase.build(make_blocks(3), gaz, np.random.default_rng(0), 0.0, 0.0)
+        assert db.lookup(IPv4Address.parse("203.0.113.1")) is None
+
+    def test_label_has_coordinates(self, gaz):
+        db = GeoDatabase.build(make_blocks(1), gaz, np.random.default_rng(0), 0.0, 0.0)
+        label = db.lookup(IPv4Address.parse("10.0.0.1"))
+        assert 44.0 <= label.lat <= 53.0
+        assert 22.0 <= label.lon <= 41.0
+
+
+class TestValidation:
+    def test_empty_blocks_rejected(self, gaz):
+        with pytest.raises(DataError):
+            GeoDatabase.build([], gaz, np.random.default_rng(0))
+
+    def test_bad_rates_rejected(self, gaz):
+        blocks = make_blocks(1)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            GeoDatabase.build(blocks, gaz, rng, missing_rate=1.5)
+        with pytest.raises(ValueError):
+            GeoDatabase.build(blocks, gaz, rng, mislabel_rate=-0.1)
+        with pytest.raises(ValueError):
+            GeoDatabase.build(blocks, gaz, rng, missing_rate=0.7, mislabel_rate=0.7)
+
+    def test_unknown_city_rejected(self, gaz):
+        blocks = [(IPv4Prefix.parse("10.0.0.0/20"), "Atlantis")]
+        with pytest.raises(DataError):
+            GeoDatabase.build(blocks, gaz, np.random.default_rng(0), 0.0, 0.0)
+
+    def test_repr(self, gaz):
+        db = GeoDatabase.build(make_blocks(10), gaz, np.random.default_rng(0), 0.0, 0.0)
+        assert "blocks=10" in repr(db)

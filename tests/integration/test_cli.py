@@ -1,0 +1,66 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReport:
+    def test_report_prints_all_artifacts(self, capsys):
+        assert main(["--scale", "0.04", "report"]) == 0
+        out = capsys.readouterr().out
+        for marker in ["Table 1", "Table 2", "Table 3", "Figure 2", "Figure 5",
+                       "Figure 6", "Kyivstar", "Mariupol"]:
+            assert marker in out, marker
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("name,marker", [
+        ("table1", "Welch"),
+        ("table2", "paths_per_conn"),
+        ("fig4", "Mariupol"),
+        ("fig5", "border"),
+        ("events", "event"),
+        ("outages", "outage-shaped"),
+        ("hopgeo", "agreement"),
+    ])
+    def test_single_experiments(self, capsys, name, marker):
+        assert main(["--scale", "0.04", "experiment", name]) == 0
+        assert marker in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])
+
+
+class TestGenerate:
+    def test_writes_csvs(self, tmp_path, capsys):
+        out = str(tmp_path / "res")
+        assert main(["--scale", "0.02", "generate", "--out", out]) == 0
+        assert (tmp_path / "res" / "ndt_downloads.csv").exists()
+        assert (tmp_path / "res" / "traceroutes.csv").exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_validate_passes(self, capsys):
+        assert main(["--scale", "0.03", "validate"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+
+
+class TestTopology:
+    def test_topology_summary(self, capsys):
+        assert main(["--scale", "0.02", "topology"]) == 0
+        out = capsys.readouterr().out
+        assert "Kyivstar" in out
+        assert "waw01" in out
+        assert "degradation schedules" in out
+
+
+class TestScenarios:
+    def test_two_scenarios_compared(self, capsys):
+        assert main(["--scale", "0.02", "scenarios", "--which", "paper", "no_war"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "no_war" in out
+        assert "rtt_war" in out

@@ -1,0 +1,59 @@
+"""Integration tests: every example script runs end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, scale: str = "0.03") -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), scale],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Table 1" in out
+    assert "National wartime change" in out
+
+
+def test_regional_degradation():
+    out = run_example("regional_degradation.py")
+    assert "Loss-rate change per oblast" in out
+    assert "Mariupol" in out
+
+
+def test_routing_resilience():
+    out = run_example("routing_resilience.py")
+    assert "Table 2" in out
+    assert "Hurricane Electric" in out
+
+
+def test_whatif_scenarios():
+    out = run_example("whatif_scenarios.py", "0.02")
+    assert "no_war" in out
+    assert "zone_gap_pct" in out
+
+
+def test_outage_forensics():
+    out = run_example("outage_forensics.py", "0.05")
+    assert "Outage-shaped days" in out
+    assert "Spearman" in out
+
+
+def test_all_examples_are_tested():
+    tested = {
+        "quickstart.py", "regional_degradation.py", "routing_resilience.py",
+        "whatif_scenarios.py", "outage_forensics.py",
+    }
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == tested

@@ -1,0 +1,78 @@
+"""End-to-end pipeline test: generate → validate → analyze → persist → reload."""
+
+import numpy as np
+import pytest
+
+from repro import DatasetGenerator, GeneratorConfig, full_report
+from repro.ndt.measurement import NDT_SCHEMA
+from repro.synth.generator import TRACE_SCHEMA
+from repro.synth.validate import validate_dataset
+from repro.tables import read_csv, write_csv
+
+
+@pytest.fixture(scope="module")
+def pipeline_dataset():
+    return DatasetGenerator(GeneratorConfig(seed=99, scale=0.05)).generate()
+
+
+def test_generate_validate_report(pipeline_dataset):
+    report = validate_dataset(pipeline_dataset)
+    assert report.passed, str(report)
+    text = full_report(pipeline_dataset)
+    assert "Table 1" in text and "Figure 6" in text
+
+
+def test_csv_roundtrip_preserves_analysis(tmp_path, pipeline_dataset):
+    """Persisting and reloading the dataset must not change analysis output."""
+    from repro.analysis.city import city_welch_table
+
+    ndt_path = str(tmp_path / "ndt.csv")
+    write_csv(pipeline_dataset.ndt, ndt_path)
+    reloaded = read_csv(
+        ndt_path, {f.name: f.dtype for f in NDT_SCHEMA.fields}
+    )
+    before = city_welch_table(pipeline_dataset.ndt)
+    after = city_welch_table(reloaded)
+    assert before.to_dicts() == after.to_dicts()
+
+
+def test_trace_csv_roundtrip(tmp_path, pipeline_dataset):
+    from repro.analysis.paths import path_count_table
+
+    path = str(tmp_path / "traces.csv")
+    write_csv(pipeline_dataset.traces, path)
+    reloaded = read_csv(path, {f.name: f.dtype for f in TRACE_SCHEMA.fields})
+    before = path_count_table(pipeline_dataset.traces).to_dicts()
+    after = path_count_table(reloaded).to_dicts()
+    assert before == after
+
+
+def test_all_analyses_run_on_one_dataset(pipeline_dataset):
+    """Every analysis entry point accepts the same generated dataset."""
+    from repro.analysis.asn_metrics import PAPER_TOP10_ASNS, as_detail_table
+    from repro.analysis.border import border_crossing_counts
+    from repro.analysis.casestudy import inbound_weekly
+    from repro.analysis.city import siege_city_counts
+    from repro.analysis.common import client_as_column
+    from repro.analysis.distros import metric_histogram
+    from repro.analysis.national import national_daily
+    from repro.analysis.outages import detect_outage_days
+    from repro.analysis.paths import path_count_table
+    from repro.analysis.regional import oblast_changes
+    from repro.analysis.uncertainty import city_bootstrap_table
+
+    ds = pipeline_dataset
+    assert national_daily(ds.ndt, 2022).n_rows == 108
+    assert oblast_changes(ds.ndt, ds.topology.gazetteer).n_rows > 15
+    assert siege_city_counts(ds.ndt).n_rows == 108
+    assert path_count_table(ds.traces).n_rows == 4
+    ndt_asn = client_as_column(ds.ndt, ds.topology.iplayer)
+    assert as_detail_table(ndt_asn, PAPER_TOP10_ASNS).n_rows == 20
+    assert border_crossing_counts(ds.traces, ds.topology.registry).n_rows > 5
+    assert inbound_weekly(ds.ndt, ds.traces, ds.topology.registry).n_rows > 10
+    assert metric_histogram(ds.ndt, "loss_rate", "wartime").n_rows == 30
+    assert isinstance(detect_outage_days(ds.ndt), list)
+    boot = city_bootstrap_table(
+        ds.ndt, np.random.default_rng(0), cities=["Kyiv"], n_resamples=100
+    )
+    assert boot.n_rows == 6

@@ -1,0 +1,67 @@
+"""Tests for the M-Lab site registry."""
+
+import pytest
+
+from repro.mlab import Site, SiteRegistry
+from repro.netbase import IPv4Address
+from repro.topology import build_default_topology
+from repro.util.errors import TopologyError
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_default_topology()
+
+
+@pytest.fixture(scope="module")
+def sites(topo):
+    return SiteRegistry.from_topology(topo)
+
+
+class TestFromTopology:
+    def test_one_site_per_mlab_as(self, topo, sites):
+        assert len(sites) == len(topo.mlab_sites)
+
+    def test_server_ip_in_site_as(self, topo, sites):
+        for site in sites:
+            assert topo.iplayer.as_of_ip(site.server_ip) == site.asn
+
+    def test_server_ips_distinct(self, sites):
+        ips = {s.server_ip for s in sites}
+        assert len(ips) == len(sites)
+
+    def test_lookup_by_asn_and_code(self, sites):
+        first = sites.all()[0]
+        assert sites.by_asn(first.asn) is first
+        assert sites.by_code(first.code) is first
+
+    def test_unknown_lookups(self, sites):
+        with pytest.raises(TopologyError):
+            sites.by_asn(1)
+        with pytest.raises(TopologyError):
+            sites.by_code("xyz99")
+
+    def test_all_sorted_by_asn(self, sites):
+        asns = [s.asn for s in sites.all()]
+        assert asns == sorted(asns)
+
+    def test_str(self, sites):
+        s = sites.all()[0]
+        assert s.code in str(s)
+
+
+class TestValidation:
+    def site(self, asn=1, code="a"):
+        return Site(asn, code, "PL", 52.0, 21.0, IPv4Address.parse("10.0.0.1"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            SiteRegistry([])
+
+    def test_duplicate_asn_rejected(self):
+        with pytest.raises(TopologyError):
+            SiteRegistry([self.site(1, "a"), self.site(1, "b")])
+
+    def test_duplicate_code_rejected(self):
+        with pytest.raises(TopologyError):
+            SiteRegistry([self.site(1, "a"), self.site(2, "a")])

@@ -1,0 +1,57 @@
+"""Tests for the NDT protocol/CCA model."""
+
+import numpy as np
+import pytest
+
+from repro.ndt.protocol import Cca, NdtVersion, ProtocolModel
+
+
+class TestProtocolModel:
+    def test_ndt7_dominates(self):
+        model = ProtocolModel()
+        rng = np.random.default_rng(0)
+        draws = [model.sample(2022, rng) for _ in range(5000)]
+        ndt7_share = sum(v is NdtVersion.NDT7 for v, _ in draws) / len(draws)
+        assert ndt7_share == pytest.approx(0.90, abs=0.02)
+
+    def test_ndt7_always_bbr(self):
+        model = ProtocolModel()
+        rng = np.random.default_rng(1)
+        for _ in range(1000):
+            version, cca = model.sample(2022, rng)
+            if version is NdtVersion.NDT7:
+                assert cca is Cca.BBR
+            else:
+                assert cca in (Cca.CUBIC, Cca.RENO)
+
+    def test_mix_shifts_slowly_between_years(self):
+        model = ProtocolModel()
+        assert model.ndt7_share(2021) == pytest.approx(0.86)
+        assert model.ndt7_share(2022) == pytest.approx(0.90)
+        assert abs(model.ndt7_share(2022) - model.ndt7_share(2021)) < 0.05
+
+    def test_cubic_vs_reno_within_ndt5(self):
+        model = ProtocolModel(ndt7_share_2021=0.0, ndt7_share_2022=0.0)
+        rng = np.random.default_rng(2)
+        draws = [model.sample(2022, rng)[1] for _ in range(5000)]
+        cubic = sum(c is Cca.CUBIC for c in draws) / len(draws)
+        assert cubic == pytest.approx(0.9, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolModel(ndt7_share_2022=1.5)
+
+
+class TestGeneratedMix:
+    def test_columns_present(self, small_dataset):
+        assert "protocol" in small_dataset.ndt
+        assert "cca" in small_dataset.ndt
+
+    def test_values_valid(self, small_dataset):
+        assert set(small_dataset.ndt["protocol"].unique()) <= {"ndt5", "ndt7"}
+        assert set(small_dataset.ndt["cca"].unique()) <= {"reno", "cubic", "bbr"}
+
+    def test_bbr_share_near_config(self, small_dataset):
+        ndt = small_dataset.ndt
+        bbr = ndt.filter(ndt["cca"].isin(["bbr"])).n_rows / ndt.n_rows
+        assert bbr == pytest.approx(0.88, abs=0.04)

@@ -1,0 +1,89 @@
+"""Tests for the AS registry."""
+
+import pytest
+
+from repro.netbase import ASRegistry, ASRole, AutonomousSystem
+from repro.util.errors import TopologyError
+
+
+def kyivstar():
+    return AutonomousSystem(15895, "Kyivstar", "UA", ASRole.EYEBALL)
+
+
+def hurricane():
+    return AutonomousSystem(6939, "Hurricane Electric", "US", ASRole.BORDER)
+
+
+class TestAutonomousSystem:
+    def test_fields(self):
+        a = kyivstar()
+        assert a.asn == 15895
+        assert a.is_ukrainian
+        assert str(a) == "AS15895 (Kyivstar)"
+
+    def test_foreign(self):
+        assert not hurricane().is_ukrainian
+
+    def test_invalid_asn(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(0, "x", "UA", ASRole.EYEBALL)
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            AutonomousSystem(1, "", "UA", ASRole.EYEBALL)
+
+    @pytest.mark.parametrize("country", ["ua", "UKR", "U"])
+    def test_invalid_country(self, country):
+        with pytest.raises(ValueError):
+            AutonomousSystem(1, "x", country, ASRole.EYEBALL)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = ASRegistry()
+        reg.register(kyivstar())
+        assert reg.get(15895).name == "Kyivstar"
+        assert 15895 in reg
+        assert len(reg) == 1
+
+    def test_reregister_identical_ok(self):
+        reg = ASRegistry()
+        reg.register(kyivstar())
+        reg.register(kyivstar())
+        assert len(reg) == 1
+
+    def test_reregister_conflicting_rejected(self):
+        reg = ASRegistry()
+        reg.register(kyivstar())
+        with pytest.raises(TopologyError):
+            reg.register(AutonomousSystem(15895, "Impostor", "UA", ASRole.EYEBALL))
+
+    def test_get_unknown(self):
+        with pytest.raises(TopologyError):
+            ASRegistry().get(99999)
+
+    def test_maybe_get(self):
+        reg = ASRegistry()
+        assert reg.maybe_get(1) is None
+        reg.register(kyivstar())
+        assert reg.maybe_get(15895) is not None
+
+    def test_name_of_fallback(self):
+        reg = ASRegistry()
+        reg.register(kyivstar())
+        assert reg.name_of(15895) == "Kyivstar"
+        assert reg.name_of(42) == "AS42"
+
+    def test_iteration_sorted_by_asn(self):
+        reg = ASRegistry()
+        reg.register(kyivstar())
+        reg.register(hurricane())
+        assert [a.asn for a in reg] == [6939, 15895]
+
+    def test_role_and_country_filters(self):
+        reg = ASRegistry()
+        reg.register(kyivstar())
+        reg.register(hurricane())
+        assert [a.asn for a in reg.with_role(ASRole.BORDER)] == [6939]
+        assert [a.asn for a in reg.ukrainian()] == [15895]
+        assert [a.asn for a in reg.foreign()] == [6939]

@@ -1,0 +1,106 @@
+"""Tests for the rDNS hostname scheme."""
+
+import pytest
+
+from repro.netbase import ASRegistry, ASRole, AutonomousSystem
+from repro.netbase.hostnames import ROUTER_CITY_BAND, HostnameScheme, city_code
+
+
+@pytest.fixture
+def scheme():
+    reg = ASRegistry()
+    reg.register(AutonomousSystem(15895, "Kyivstar", "UA", ASRole.EYEBALL))
+    reg.register(AutonomousSystem(6876, "TeNeT", "UA", ASRole.EYEBALL))
+    cities = {15895: ["Kyiv", "Kharkiv", "Kherson"], 6876: ["Odessa"]}
+    return HostnameScheme(reg, cities, missing_rate=0.0, stale_rate=0.0)
+
+
+class TestCityCode:
+    def test_kyiv(self):
+        assert city_code("Kyiv") == "kyv"
+
+    def test_length_extension(self):
+        assert len(city_code("Kharkiv", 4)) == 4
+
+    def test_padding(self):
+        assert city_code("Io") == "iox"
+
+    def test_no_letters_rejected(self):
+        with pytest.raises(ValueError):
+            city_code("123")
+
+
+class TestCodes:
+    def test_colliding_cities_get_distinct_codes(self, scheme):
+        # Kharkiv and Kherson collide at 3 letters; both must resolve.
+        assert scheme.code_of("Kharkiv") != scheme.code_of("Kherson")
+
+    def test_unknown_city_rejected(self, scheme):
+        from repro.util.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            scheme.code_of("Atlantis")
+
+    def test_default_topology_codes_all_resolve(self, default_topology):
+        cities = {
+            asn: default_topology.cities_of(asn)
+            for asn in default_topology.eyeball_asns()
+        }
+        scheme = HostnameScheme(default_topology.registry, cities)
+        for city in default_topology.gazetteer.city_names():
+            code = scheme.code_of(city)
+            host = f"ae0.cr1.{code}.kyivstar.net"
+            assert scheme.parse_city(host) == city
+
+
+class TestHostnames:
+    def test_structure(self, scheme):
+        host = scheme.hostname(15895, 3)
+        parts = host.split(".")
+        assert parts[0].startswith("ae")
+        assert parts[1].startswith("cr")
+        assert parts[3] == "kyivstar"
+        assert parts[4] == "net"
+
+    def test_banded_router_city(self, scheme):
+        assert scheme.router_city(15895, 0) == "Kyiv"
+        assert scheme.router_city(15895, ROUTER_CITY_BAND) == "Kharkiv"
+        assert scheme.router_city(15895, 2 * ROUTER_CITY_BAND + 5) == "Kherson"
+        assert scheme.router_city(15895, 3 * ROUTER_CITY_BAND) is None  # core
+
+    def test_parse_roundtrip(self, scheme):
+        host = scheme.hostname(15895, ROUTER_CITY_BAND + 1)  # Kharkiv band
+        assert scheme.parse_city(host) == "Kharkiv"
+
+    def test_core_router_unparseable(self, scheme):
+        host = scheme.hostname(15895, 10 * ROUTER_CITY_BAND)
+        assert scheme.parse_city(host) is None  # backbone code
+
+    def test_parse_none_and_garbage(self, scheme):
+        assert scheme.parse_city(None) is None
+        assert scheme.parse_city("localhost") is None
+
+    def test_missing_ptr(self):
+        reg = ASRegistry()
+        reg.register(AutonomousSystem(1, "X", "UA", ASRole.EYEBALL))
+        scheme = HostnameScheme(reg, {1: ["Kyiv"]}, missing_rate=1.0, stale_rate=0.0)
+        assert scheme.hostname(1, 0) is None
+
+    def test_stale_ptr_names_wrong_city(self):
+        reg = ASRegistry()
+        reg.register(AutonomousSystem(1, "X", "UA", ASRole.EYEBALL))
+        scheme = HostnameScheme(
+            reg, {1: ["Kyiv", "Lviv"]}, missing_rate=0.0, stale_rate=1.0
+        )
+        truth = scheme.router_city(1, 0)
+        claimed = scheme.parse_city(scheme.hostname(1, 0))
+        assert claimed is not None and claimed != truth
+
+    def test_deterministic(self, scheme):
+        assert scheme.hostname(15895, 7) == scheme.hostname(15895, 7)
+
+    def test_rate_validation(self):
+        reg = ASRegistry()
+        reg.register(AutonomousSystem(1, "X", "UA", ASRole.EYEBALL))
+        with pytest.raises(ValueError):
+            HostnameScheme(reg, {1: ["Kyiv"]}, missing_rate=0.7, stale_rate=0.7)

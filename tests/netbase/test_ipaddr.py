@@ -1,0 +1,114 @@
+"""Tests for IPv4 value types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netbase import IPv4Address, IPv4Prefix
+
+
+class TestAddress:
+    def test_parse_and_format(self):
+        a = IPv4Address.parse("192.168.1.10")
+        assert a.value == (192 << 24) | (168 << 16) | (1 << 8) | 10
+        assert a.dotted() == "192.168.1.10"
+        assert str(a) == "192.168.1.10"
+
+    @pytest.mark.parametrize("text", ["1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d", "1.2.3.04", "1..2.3"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            IPv4Address.parse(text)
+
+    def test_extremes(self):
+        assert IPv4Address.parse("0.0.0.0").value == 0
+        assert IPv4Address.parse("255.255.255.255").value == 0xFFFFFFFF
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+        with pytest.raises(ValueError):
+            IPv4Address(2**32)
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            IPv4Address("1.2.3.4")
+
+    def test_ordering(self):
+        assert IPv4Address.parse("10.0.0.1") < IPv4Address.parse("10.0.0.2")
+
+    def test_plus(self):
+        assert IPv4Address.parse("10.0.0.1").plus(5).dotted() == "10.0.0.6"
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_roundtrip_property(self, value):
+        a = IPv4Address(value)
+        assert IPv4Address.parse(a.dotted()) == a
+
+
+class TestPrefix:
+    def test_parse(self):
+        p = IPv4Prefix.parse("10.20.0.0/16")
+        assert p.network == IPv4Address.parse("10.20.0.0")
+        assert p.length == 16
+        assert str(p) == "10.20.0.0/16"
+
+    @pytest.mark.parametrize("text", ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/x", "10.0.0.0/-1"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            IPv4Prefix.parse(text)
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError, match="host bits"):
+            IPv4Prefix.parse("10.0.0.1/24")
+
+    def test_mask(self):
+        assert IPv4Prefix.parse("0.0.0.0/0").mask() == 0
+        assert IPv4Prefix.parse("10.0.0.0/8").mask() == 0xFF000000
+        assert IPv4Prefix.parse("1.2.3.4/32").mask() == 0xFFFFFFFF
+
+    def test_contains(self):
+        p = IPv4Prefix.parse("10.1.0.0/16")
+        assert p.contains(IPv4Address.parse("10.1.255.255"))
+        assert not p.contains(IPv4Address.parse("10.2.0.0"))
+
+    def test_default_route_contains_everything(self):
+        p = IPv4Prefix.parse("0.0.0.0/0")
+        assert p.contains(IPv4Address.parse("203.0.113.7"))
+
+    def test_contains_prefix(self):
+        outer = IPv4Prefix.parse("10.0.0.0/8")
+        inner = IPv4Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_n_addresses(self):
+        assert IPv4Prefix.parse("10.0.0.0/24").n_addresses == 256
+        assert IPv4Prefix.parse("10.0.0.0/30").n_addresses == 4
+
+    def test_address_at(self):
+        p = IPv4Prefix.parse("10.0.0.0/24")
+        assert p.address_at(0).dotted() == "10.0.0.0"
+        assert p.address_at(255).dotted() == "10.0.0.255"
+        with pytest.raises(ValueError):
+            p.address_at(256)
+
+    def test_hosts_excludes_network_and_broadcast(self):
+        hosts = list(IPv4Prefix.parse("10.0.0.0/30").hosts())
+        assert [h.dotted() for h in hosts] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_hosts_slash_31_and_32(self):
+        assert len(list(IPv4Prefix.parse("10.0.0.0/31").hosts())) == 2
+        assert len(list(IPv4Prefix.parse("10.0.0.0/32").hosts())) == 1
+
+    def test_bits(self):
+        assert IPv4Prefix.parse("128.0.0.0/1").bits() == "1"
+        assert IPv4Prefix.parse("10.0.0.0/8").bits() == "00001010"
+        assert IPv4Prefix.parse("0.0.0.0/0").bits() == ""
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 32))
+    def test_network_address_always_contained(self, value, length):
+        mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        p = IPv4Prefix(IPv4Address(value & mask), length)
+        assert p.contains(p.network)
+        assert p.contains(p.address_at(p.n_addresses - 1))

@@ -1,0 +1,147 @@
+"""Tests for the longest-prefix-match trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netbase import IPv4Address, IPv4Prefix, PrefixTrie
+
+
+def P(text):
+    return IPv4Prefix.parse(text)
+
+
+def A(text):
+    return IPv4Address.parse(text)
+
+
+class TestBasics:
+    def test_exact_match(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), 100)
+        assert trie.lookup(A("10.1.2.3")) == 100
+
+    def test_longest_prefix_wins(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "coarse")
+        trie.insert(P("10.1.0.0/16"), "fine")
+        trie.insert(P("10.1.2.0/24"), "finest")
+        assert trie.lookup(A("10.1.2.3")) == "finest"
+        assert trie.lookup(A("10.1.9.9")) == "fine"
+        assert trie.lookup(A("10.9.9.9")) == "coarse"
+
+    def test_no_match_returns_none(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), 1)
+        assert trie.lookup(A("11.0.0.1")) is None
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(P("0.0.0.0/0"), "default")
+        trie.insert(P("10.0.0.0/8"), "ten")
+        assert trie.lookup(A("200.1.1.1")) == "default"
+        assert trie.lookup(A("10.0.0.1")) == "ten"
+
+    def test_slash_32(self):
+        trie = PrefixTrie()
+        trie.insert(P("192.0.2.1/32"), "host")
+        assert trie.lookup(A("192.0.2.1")) == "host"
+        assert trie.lookup(A("192.0.2.2")) is None
+
+    def test_overwrite_same_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), 1)
+        trie.insert(P("10.0.0.0/8"), 2)
+        assert trie.lookup(A("10.0.0.1")) == 2
+        assert len(trie) == 1
+
+    def test_len(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        trie.insert(P("10.0.0.0/8"), 1)
+        trie.insert(P("10.1.0.0/16"), 2)
+        assert len(trie) == 2
+
+
+class TestLookupPrefix:
+    def test_returns_matching_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        trie.insert(P("10.128.0.0/9"), "b")
+        prefix, value = trie.lookup_prefix(A("10.200.0.1"))
+        assert prefix == P("10.128.0.0/9")
+        assert value == "b"
+
+    def test_default_route_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(P("0.0.0.0/0"), "d")
+        prefix, value = trie.lookup_prefix(A("1.2.3.4"))
+        assert prefix == P("0.0.0.0/0") and value == "d"
+
+    def test_none_when_no_match(self):
+        assert PrefixTrie().lookup_prefix(A("1.2.3.4")) is None
+
+
+class TestExact:
+    def test_exact_ignores_covering_prefix(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), 1)
+        assert trie.exact(P("10.0.0.0/8")) == 1
+        assert trie.exact(P("10.1.0.0/16")) is None
+
+    def test_exact_on_intermediate_node(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.1.0.0/16"), 1)
+        assert trie.exact(P("10.0.0.0/8")) is None
+
+
+class TestItems:
+    def test_items_roundtrip(self):
+        trie = PrefixTrie()
+        prefixes = {P("10.0.0.0/8"): 1, P("10.1.0.0/16"): 2, P("192.168.0.0/16"): 3}
+        for p, v in prefixes.items():
+            trie.insert(p, v)
+        assert dict(trie.items()) == prefixes
+
+    def test_items_includes_root(self):
+        trie = PrefixTrie()
+        trie.insert(P("0.0.0.0/0"), "root")
+        assert dict(trie.items()) == {P("0.0.0.0/0"): "root"}
+
+
+class TestProperties:
+    @given(
+        st.dictionaries(
+            st.tuples(st.integers(0, 2**32 - 1), st.integers(1, 32)),
+            st.integers(),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=100)
+    def test_matches_linear_scan(self, raw, probe_value):
+        trie = PrefixTrie()
+        prefixes = {}
+        for (value, length), tag in raw.items():
+            mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+            p = IPv4Prefix(IPv4Address(value & mask), length)
+            prefixes[p] = tag  # later duplicates overwrite, same as trie
+            trie.insert(p, tag)
+        probe = IPv4Address(probe_value)
+        best = None
+        best_len = -1
+        for p, tag in prefixes.items():
+            if p.contains(probe) and p.length > best_len:
+                best, best_len = tag, p.length
+        assert trie.lookup(probe) == best
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 32))
+    def test_inserted_network_found(self, value, length):
+        mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        p = IPv4Prefix(IPv4Address(value & mask), length)
+        trie = PrefixTrie()
+        trie.insert(p, "x")
+        assert trie.lookup(p.network) == "x"
+        got = trie.lookup_prefix(p.network)
+        assert got == (p, "x")

@@ -1,0 +1,67 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.stats import bootstrap_ci, bootstrap_mean_diff
+
+
+def test_mean_ci_contains_truth_mostly():
+    rng = np.random.default_rng(0)
+    data = rng.normal(10.0, 2.0, 500)
+    res = bootstrap_ci(data, np.mean, rng, n_resamples=500)
+    assert res.low < 10.0 < res.high
+    assert res.low < res.estimate < res.high
+
+
+def test_ci_ordering_and_fields():
+    rng = np.random.default_rng(1)
+    res = bootstrap_ci(np.arange(100, dtype=float), np.median, rng, n_resamples=200)
+    assert res.low <= res.high
+    assert res.confidence == 0.95
+    assert res.n_resamples == 200
+
+
+def test_mean_diff_detects_shift():
+    rng = np.random.default_rng(2)
+    prewar = rng.normal(13.8, 3.0, 400)
+    wartime = rng.normal(21.7, 6.0, 400)
+    res = bootstrap_mean_diff(prewar, wartime, rng, n_resamples=400)
+    assert res.estimate == pytest.approx(21.7 - 13.8, abs=1.0)
+    assert res.excludes_zero()
+
+
+def test_mean_diff_no_shift_includes_zero():
+    rng = np.random.default_rng(3)
+    x = rng.normal(5, 1, 500)
+    y = rng.normal(5, 1, 500)
+    res = bootstrap_mean_diff(x, y, rng, n_resamples=400)
+    assert not res.excludes_zero()
+
+
+def test_deterministic_given_rng_seed():
+    data = np.arange(50, dtype=float)
+    a = bootstrap_ci(data, np.mean, np.random.default_rng(7), n_resamples=100)
+    b = bootstrap_ci(data, np.mean, np.random.default_rng(7), n_resamples=100)
+    assert (a.low, a.high) == (b.low, b.high)
+
+
+def test_nan_dropped():
+    rng = np.random.default_rng(4)
+    data = [1.0, 2.0, float("nan"), 3.0, 4.0]
+    res = bootstrap_ci(data, np.mean, rng, n_resamples=100)
+    assert np.isfinite(res.estimate)
+
+
+def test_small_samples_rejected():
+    rng = np.random.default_rng(5)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0], np.mean, rng)
+    with pytest.raises(ValueError):
+        bootstrap_mean_diff([1.0], [1.0, 2.0], rng)
+
+
+def test_invalid_confidence():
+    rng = np.random.default_rng(6)
+    with pytest.raises(ValueError):
+        bootstrap_ci([1.0, 2.0], np.mean, rng, confidence=1.5)

@@ -1,0 +1,104 @@
+"""Tests for Pearson/Spearman correlation against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from scipy import stats as sstats
+
+from repro.stats import pearson, spearman
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        r = pearson([1.0, 2.0, 3.0, 4.0], [2.0, 4.0, 6.0, 8.0])
+        assert r.coefficient == pytest.approx(1.0)
+        assert r.p_value == pytest.approx(0.0, abs=1e-12)
+
+    def test_perfect_negative(self):
+        r = pearson([1.0, 2.0, 3.0], [3.0, 2.0, 1.0])
+        assert r.coefficient == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 200)
+        y = 0.4 * x + rng.normal(0, 1, 200)
+        ours = pearson(x, y)
+        theirs = sstats.pearsonr(x, y)
+        assert ours.coefficient == pytest.approx(theirs.statistic, rel=1e-10)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=5, max_size=50),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=40)
+    def test_property_matches_scipy(self, xs, seed):
+        x = np.asarray(xs)
+        rng = np.random.default_rng(seed)
+        y = x * rng.normal(1, 0.5) + rng.normal(0, 1, len(x))
+        assume(np.std(x) > 1e-9 and np.std(y) > 1e-9)
+        ours = pearson(x, y)
+        theirs = sstats.pearsonr(x, y)
+        assert ours.coefficient == pytest.approx(theirs.statistic, abs=1e-8)
+
+    def test_nan_pairs_dropped(self):
+        r = pearson([1.0, 2.0, np.nan, 4.0], [1.0, 2.0, 3.0, 4.0])
+        assert r.n == 3
+        assert r.coefficient == pytest.approx(1.0)
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1.0, 2.0], [1.0, 2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1.0, 2.0, 3.0], [1.0, 2.0])
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_perfect(self):
+        x = [1.0, 2.0, 3.0, 4.0, 5.0]
+        y = [1.0, 8.0, 27.0, 64.0, 125.0]  # x^3: nonlinear but monotone
+        assert spearman(x, y).coefficient == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 150)
+        y = np.exp(0.5 * x) + rng.normal(0, 0.5, 150)
+        ours = spearman(x, y)
+        theirs = sstats.spearmanr(x, y)
+        assert ours.coefficient == pytest.approx(theirs.statistic, rel=1e-9)
+
+    def test_ties_handled_like_scipy(self):
+        x = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0]
+        y = [1.0, 3.0, 2.0, 5.0, 4.0, 6.0, 7.0]
+        ours = spearman(x, y)
+        theirs = sstats.spearmanr(x, y)
+        assert ours.coefficient == pytest.approx(theirs.statistic, rel=1e-9)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(2)
+        r = spearman(rng.normal(0, 1, 500), rng.normal(0, 1, 500))
+        assert abs(r.coefficient) < 0.15
+        assert not r.significant()
+
+
+class TestResult:
+    def test_strength_labels(self):
+        from repro.stats import CorrelationResult
+
+        assert CorrelationResult(0.05, 0.5, 10).strength == "none"
+        assert CorrelationResult(-0.2, 0.01, 10).strength == "mild"
+        assert CorrelationResult(0.45, 0.01, 10).strength == "moderate"
+        assert CorrelationResult(-0.9, 0.0, 10).strength == "strong"
+
+    def test_significant(self):
+        from repro.stats import CorrelationResult
+
+        assert CorrelationResult(0.5, 0.01, 10).significant()
+        assert not CorrelationResult(0.5, 0.2, 10).significant()

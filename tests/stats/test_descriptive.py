@@ -1,0 +1,65 @@
+"""Tests for descriptive statistics and change metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats import percent_change, ratio_change, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_quartiles_and_iqr(self):
+        s = summarize(list(range(101)))
+        assert s.p25 == pytest.approx(25.0)
+        assert s.p75 == pytest.approx(75.0)
+        assert s.iqr() == pytest.approx(50.0)
+
+    def test_nan_dropped(self):
+        s = summarize([1.0, math.nan, 3.0])
+        assert s.n == 2
+        assert s.mean == pytest.approx(2.0)
+
+    def test_single_value_std_nan(self):
+        s = summarize([5.0])
+        assert s.n == 1
+        assert math.isnan(s.std)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([math.nan])
+
+
+class TestChanges:
+    def test_percent_change_increase(self):
+        # Table 3 Ukrtelecom: counts 360 -> 1378 is +282.8%.
+        assert percent_change(360, 1378) == pytest.approx(282.8, abs=0.05)
+
+    def test_percent_change_decrease(self):
+        assert percent_change(100, 50) == pytest.approx(-50.0)
+
+    def test_percent_change_zero_before_rejected(self):
+        with pytest.raises(ValueError):
+            percent_change(0.0, 5.0)
+
+    def test_percent_change_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            percent_change(math.nan, 5.0)
+
+    def test_ratio_change(self):
+        # Table 3 Kyivstar loss: 0.0161 -> 0.0254 is 1.58x.
+        assert ratio_change(0.0161, 0.0254) == pytest.approx(1.578, abs=0.01)
+
+    def test_ratio_change_zero_before_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_change(0.0, 0.1)

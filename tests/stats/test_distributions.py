@@ -1,0 +1,95 @@
+"""Tests for the moment-matched samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    lognormal_params_from_moments,
+    sample_beta_loss,
+    sample_lognormal_mean_std,
+    sample_truncated_normal,
+)
+
+
+class TestLognormal:
+    def test_param_inversion(self):
+        mu, sigma = lognormal_params_from_moments(45.0, 30.0)
+        mean = np.exp(mu + sigma**2 / 2)
+        var = (np.exp(sigma**2) - 1) * mean**2
+        assert mean == pytest.approx(45.0)
+        assert np.sqrt(var) == pytest.approx(30.0)
+
+    @given(mean=st.floats(0.1, 1000), cv=st.floats(0.05, 3.0))
+    @settings(max_examples=50)
+    def test_param_inversion_property(self, mean, cv):
+        std = mean * cv
+        mu, sigma = lognormal_params_from_moments(mean, std)
+        assert np.exp(mu + sigma**2 / 2) == pytest.approx(mean, rel=1e-9)
+
+    def test_sample_moments(self):
+        rng = np.random.default_rng(0)
+        x = sample_lognormal_mean_std(rng, mean=64.0, std=40.0, size=200_000)
+        assert x.mean() == pytest.approx(64.0, rel=0.02)
+        assert x.std() == pytest.approx(40.0, rel=0.05)
+        assert (x > 0).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            lognormal_params_from_moments(0.0, 1.0)
+        with pytest.raises(ValueError):
+            lognormal_params_from_moments(1.0, -1.0)
+
+
+class TestTruncatedNormal:
+    def test_respects_lower_bound(self):
+        rng = np.random.default_rng(1)
+        x = sample_truncated_normal(rng, mean=1.0, std=2.0, low=0.0, size=10_000)
+        assert (x >= 0.0).all()
+
+    def test_mean_approx_when_truncation_mild(self):
+        rng = np.random.default_rng(2)
+        x = sample_truncated_normal(rng, mean=10.0, std=1.0, low=0.0, size=50_000)
+        assert x.mean() == pytest.approx(10.0, rel=0.01)
+
+    def test_impossible_truncation_raises(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ArithmeticError):
+            sample_truncated_normal(
+                rng, mean=0.0, std=0.001, low=10.0, size=10, max_tries=3
+            )
+
+    def test_invalid_std(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_truncated_normal(rng, mean=0.0, std=0.0, low=-1.0, size=5)
+
+
+class TestBetaLoss:
+    def test_mean_matches(self):
+        rng = np.random.default_rng(4)
+        x = sample_beta_loss(rng, mean=0.0197, concentration=5.0, size=200_000)
+        assert x.mean() == pytest.approx(0.0197, rel=0.03)
+
+    def test_support(self):
+        rng = np.random.default_rng(5)
+        x = sample_beta_loss(rng, mean=0.3, concentration=2.0, size=10_000)
+        assert ((x >= 0) & (x <= 1)).all()
+
+    def test_degenerate_means(self):
+        rng = np.random.default_rng(6)
+        assert (sample_beta_loss(rng, 0.0, 5.0, 10) == 0).all()
+        assert (sample_beta_loss(rng, 1.0, 5.0, 10) == 1).all()
+
+    def test_right_skew_for_small_means(self):
+        rng = np.random.default_rng(7)
+        x = sample_beta_loss(rng, mean=0.02, concentration=3.0, size=100_000)
+        assert np.median(x) < x.mean()  # heavy right tail, as in paper Fig 7c
+
+    def test_invalid_params(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_beta_loss(rng, mean=1.2, concentration=5.0, size=5)
+        with pytest.raises(ValueError):
+            sample_beta_loss(rng, mean=0.5, concentration=0.0, size=5)

@@ -1,0 +1,90 @@
+"""Tests for effect sizes."""
+
+import numpy as np
+import pytest
+
+from repro.stats import cliffs_delta, cohens_d
+
+
+class TestCohensD:
+    def test_known_value(self):
+        # Two unit-variance samples one mean apart: d = 1.
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 20_000)
+        y = rng.normal(1, 1, 20_000)
+        d = cohens_d(x, y)
+        assert d.value == pytest.approx(1.0, abs=0.05)
+        assert d.magnitude == "large"
+
+    def test_sign_follows_direction(self):
+        assert cohens_d([1.0, 2.0, 3.0], [4.0, 5.0, 6.0]).value > 0
+        assert cohens_d([4.0, 5.0, 6.0], [1.0, 2.0, 3.0]).value < 0
+
+    def test_identical_samples_zero(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert cohens_d(x, list(x)).value == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("d,label", [
+        (0.1, "negligible"), (0.3, "small"), (0.6, "medium"), (1.2, "large"),
+    ])
+    def test_magnitude_bands(self, d, label):
+        from repro.stats import EffectSize
+
+        assert EffectSize(d, "cohens_d").magnitude == label
+
+    def test_constant_samples_rejected(self):
+        with pytest.raises(ValueError):
+            cohens_d([1.0, 1.0], [1.0, 1.0])
+
+    def test_nan_dropped(self):
+        d = cohens_d([1.0, float("nan"), 2.0], [3.0, 4.0])
+        assert np.isfinite(d.value)
+
+
+class TestCliffsDelta:
+    def test_complete_separation(self):
+        d = cliffs_delta([1.0, 2.0, 3.0], [10.0, 11.0, 12.0])
+        assert d.value == pytest.approx(1.0)
+        assert d.magnitude == "large"
+
+    def test_reverse_separation(self):
+        d = cliffs_delta([10.0, 11.0], [1.0, 2.0])
+        assert d.value == pytest.approx(-1.0)
+
+    def test_identical_zero(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert cliffs_delta(x, list(x)).value == pytest.approx(0.0)
+
+    def test_matches_naive_computation(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 60)
+        y = rng.normal(0.4, 1.3, 45)
+        fast = cliffs_delta(x, y).value
+        naive = np.mean([np.sign(b - a) for a in x for b in y])
+        assert fast == pytest.approx(naive, abs=1e-12)
+
+    def test_robust_to_outliers(self):
+        # One huge outlier barely moves Cliff's delta (unlike Cohen's d).
+        x = [1.0, 2.0, 3.0] * 20
+        y = [2.0, 3.0, 4.0] * 20
+        clean = cliffs_delta(x, y).value
+        dirty = cliffs_delta(x, y + [10_000.0]).value
+        assert dirty == pytest.approx(clean, abs=0.05)
+
+    @pytest.mark.parametrize("d,label", [
+        (0.1, "negligible"), (0.2, "small"), (0.4, "medium"), (0.6, "large"),
+    ])
+    def test_magnitude_bands(self, d, label):
+        from repro.stats import EffectSize
+
+        assert EffectSize(d, "cliffs_delta").magnitude == label
+
+
+class TestOnGeneratedData:
+    def test_national_rtt_effect_is_substantial(self, medium_dataset):
+        from repro.analysis.common import slice_period
+
+        pre = slice_period(medium_dataset.ndt, "prewar")["min_rtt_ms"].values
+        war = slice_period(medium_dataset.ndt, "wartime")["min_rtt_ms"].values
+        delta = cliffs_delta(pre, war)
+        assert delta.value > 0.1  # wartime RTTs stochastically dominate

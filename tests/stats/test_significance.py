@@ -1,0 +1,52 @@
+"""Tests for significance markup helpers."""
+
+import pytest
+
+from repro.stats import SignificanceResult, significance_label, welch_t_test
+from repro.stats.significance import exceeds_baseline
+
+
+class TestLabel:
+    def test_star_when_significant(self):
+        res = welch_t_test([1.0] * 50 + [1.1] * 50, [5.0] * 50 + [5.1] * 50)
+        assert significance_label(res) == "*"
+
+    def test_empty_when_not(self):
+        res = welch_t_test([1.0, 2.0, 3.0, 4.0], [1.5, 2.5, 3.5, 4.5])
+        assert significance_label(res) == ""
+
+
+class TestExceedsBaseline:
+    def test_increase_direction(self):
+        # Table 3: baseline worst RTT fluctuation +109.71%; UARNet +134.0% exceeds.
+        assert exceeds_baseline(134.0, 109.71, "increase")
+        assert not exceeds_baseline(86.01, 109.71, "increase")
+
+    def test_decrease_direction(self):
+        # Baseline worst count change -36.85%; Emplot -86.73% exceeds.
+        assert exceeds_baseline(-86.73, -36.85, "decrease")
+        assert not exceeds_baseline(-34.72, -36.85, "decrease")
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            exceeds_baseline(1.0, 0.5, "sideways")
+
+
+class TestMarkup:
+    def test_plain(self):
+        r = SignificanceResult(value=10.2, p_value=0.5, significant=False)
+        assert r.markup() == "+10.20%"
+
+    def test_star(self):
+        r = SignificanceResult(value=-36.62, p_value=0.001, significant=True)
+        assert r.markup() == "-36.62%*"
+
+    def test_underline_and_star(self):
+        r = SignificanceResult(
+            value=134.0, p_value=1e-21, significant=True, exceeds_baseline=True
+        )
+        assert r.markup() == "_+134.00%_*"
+
+    def test_custom_format(self):
+        r = SignificanceResult(value=1.58, p_value=0.01, significant=True)
+        assert r.markup(fmt=".2f", suffix="x") == "1.58x*"

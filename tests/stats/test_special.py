@@ -1,0 +1,75 @@
+"""Tests for the incomplete beta function against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import special as sps
+
+from repro.stats.special import log_beta, regularized_incomplete_beta
+
+
+class TestLogBeta:
+    @pytest.mark.parametrize("a,b", [(1, 1), (0.5, 0.5), (10, 3), (100, 0.5)])
+    def test_matches_scipy(self, a, b):
+        assert log_beta(a, b) == pytest.approx(sps.betaln(a, b), rel=1e-12)
+
+    @pytest.mark.parametrize("a,b", [(0, 1), (1, 0), (-1, 2)])
+    def test_invalid_params(self, a, b):
+        with pytest.raises(ValueError):
+            log_beta(a, b)
+
+
+class TestRegularizedIncompleteBeta:
+    def test_boundaries(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    @pytest.mark.parametrize(
+        "a,b,x",
+        [
+            (0.5, 0.5, 0.3),
+            (1.0, 1.0, 0.7),
+            (2.0, 5.0, 0.1),
+            (5.0, 2.0, 0.9),
+            (27.0, 0.5, 0.99),  # t-test regime: a = df/2, b = 1/2
+            (1000.0, 0.5, 0.999),
+            (0.5, 30.0, 0.001),
+        ],
+    )
+    def test_matches_scipy(self, a, b, x):
+        assert regularized_incomplete_beta(a, b, x) == pytest.approx(
+            sps.betainc(a, b, x), rel=1e-10, abs=1e-14
+        )
+
+    def test_symmetry_relation(self):
+        a, b, x = 3.2, 1.7, 0.42
+        left = regularized_incomplete_beta(a, b, x)
+        right = 1.0 - regularized_incomplete_beta(b, a, 1.0 - x)
+        assert left == pytest.approx(right, rel=1e-12)
+
+    @given(
+        a=st.floats(0.1, 200.0),
+        b=st.floats(0.1, 200.0),
+        x=st.floats(0.0, 1.0),
+    )
+    def test_property_matches_scipy(self, a, b, x):
+        ours = regularized_incomplete_beta(a, b, x)
+        theirs = sps.betainc(a, b, x)
+        assert ours == pytest.approx(theirs, rel=1e-8, abs=1e-12)
+
+    @given(a=st.floats(0.1, 50.0), b=st.floats(0.1, 50.0))
+    def test_monotone_in_x(self, a, b):
+        xs = np.linspace(0, 1, 21)
+        ys = [regularized_incomplete_beta(a, b, float(x)) for x in xs]
+        assert all(y2 >= y1 - 1e-12 for y1, y2 in zip(ys, ys[1:]))
+
+    def test_invalid_x(self):
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(1.0, 1.0, -0.1)
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(1.0, 1.0, 1.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(0.0, 1.0, 0.5)

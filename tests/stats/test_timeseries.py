@@ -1,0 +1,115 @@
+"""Tests for daily/weekly aggregation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats import daily_aggregate, rolling_mean, weekly_aggregate
+from repro.util import Day, DayGrid
+
+
+@pytest.fixture
+def grid():
+    return DayGrid("2022-01-01", "2022-01-05")
+
+
+def ordinals(*isos):
+    return [Day.of(s).ordinal for s in isos]
+
+
+class TestDailyAggregate:
+    def test_mean_per_day(self, grid):
+        days = ordinals("2022-01-01", "2022-01-01", "2022-01-03")
+        out = daily_aggregate(days, [10.0, 20.0, 5.0], grid, agg="mean")
+        assert out[0] == pytest.approx(15.0)
+        assert math.isnan(out[1])
+        assert out[2] == pytest.approx(5.0)
+
+    def test_count_fills_zero(self, grid):
+        days = ordinals("2022-01-02", "2022-01-02")
+        out = daily_aggregate(days, [1.0, 1.0], grid, agg="count")
+        assert out.tolist() == [0.0, 2.0, 0.0, 0.0, 0.0]
+
+    def test_sum(self, grid):
+        days = ordinals("2022-01-04", "2022-01-04")
+        out = daily_aggregate(days, [2.0, 3.0], grid, agg="sum")
+        assert out[3] == pytest.approx(5.0)
+        assert math.isnan(out[0])
+
+    def test_median(self, grid):
+        days = ordinals("2022-01-01", "2022-01-01", "2022-01-01")
+        out = daily_aggregate(days, [1.0, 100.0, 3.0], grid, agg="median")
+        assert out[0] == pytest.approx(3.0)
+
+    def test_out_of_grid_rows_ignored(self, grid):
+        days = ordinals("2021-12-31", "2022-01-01", "2022-02-01")
+        out = daily_aggregate(days, [99.0, 7.0, 99.0], grid, agg="mean")
+        assert out[0] == pytest.approx(7.0)
+        assert np.isnan(out[1:]).all()
+
+    def test_length_mismatch(self, grid):
+        with pytest.raises(ValueError):
+            daily_aggregate([1, 2], [1.0], grid)
+
+    def test_unknown_agg(self, grid):
+        with pytest.raises(ValueError):
+            daily_aggregate([], [], grid, agg="mode")
+
+    def test_empty_input(self, grid):
+        out = daily_aggregate([], [], grid, agg="count")
+        assert out.tolist() == [0.0] * 5
+
+
+class TestWeeklyAggregate:
+    def test_buckets_by_monday(self):
+        # 2022-02-21 is a Monday; 02-24 (Thu) and 02-27 (Sun) share its week.
+        days = ordinals("2022-02-24", "2022-02-27", "2022-02-28")
+        out = weekly_aggregate(days, [1.0, 3.0, 10.0], agg="median")
+        assert out[Day.of("2022-02-21")] == pytest.approx(2.0)
+        assert out[Day.of("2022-02-28")] == pytest.approx(10.0)
+
+    def test_keys_are_mondays(self):
+        days = ordinals("2022-03-02", "2022-03-09")
+        out = weekly_aggregate(days, [1.0, 2.0])
+        assert all(day.weekday() == 0 for day in out)
+
+    def test_sorted_output(self):
+        days = ordinals("2022-03-09", "2022-03-02")
+        out = weekly_aggregate(days, [1.0, 2.0])
+        keys = list(out)
+        assert keys == sorted(keys)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weekly_aggregate([1], [1.0, 2.0])
+
+    def test_unknown_agg(self):
+        with pytest.raises(ValueError):
+            weekly_aggregate([1], [1.0], agg="mode")
+
+
+class TestRollingMean:
+    def test_window_3(self):
+        out = rolling_mean([1.0, 2.0, 3.0, 4.0], 3)
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(1.5)
+        assert out[2] == pytest.approx(2.0)
+        assert out[3] == pytest.approx(3.0)
+
+    def test_window_1_identity(self):
+        data = [3.0, 1.0, 4.0]
+        assert rolling_mean(data, 1).tolist() == data
+
+    def test_nan_skipped(self):
+        out = rolling_mean([1.0, math.nan, 3.0], 2)
+        assert out[1] == pytest.approx(1.0)
+        assert out[2] == pytest.approx(3.0)
+
+    def test_all_nan_window(self):
+        out = rolling_mean([math.nan, math.nan], 2)
+        assert math.isnan(out[0]) and math.isnan(out[1])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            rolling_mean([1.0], 0)

@@ -1,0 +1,149 @@
+"""Tests for Welch's t-test against scipy.stats as an oracle."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sstats
+
+from repro.stats import WelchResult, student_t_cdf, student_t_sf, welch_df, welch_t_test
+
+
+class TestStudentT:
+    @pytest.mark.parametrize("t", [-5.0, -1.0, 0.0, 0.5, 2.0, 10.0])
+    @pytest.mark.parametrize("df", [1.0, 2.5, 10.0, 100.0, 5000.0])
+    def test_cdf_matches_scipy(self, t, df):
+        assert student_t_cdf(t, df) == pytest.approx(
+            sstats.t.cdf(t, df), rel=1e-9, abs=1e-12
+        )
+
+    @pytest.mark.parametrize("t", [0.0, 1.0, 5.0, 20.0])
+    @pytest.mark.parametrize("df", [3.0, 30.0, 300.0])
+    def test_sf_matches_scipy(self, t, df):
+        assert student_t_sf(t, df) == pytest.approx(
+            sstats.t.sf(t, df), rel=1e-9, abs=1e-300
+        )
+
+    def test_deep_tail_accuracy(self):
+        # Table 1 reports p-values down to ~1e-122; the sf must stay accurate.
+        ours = student_t_sf(25.0, 2000.0)
+        theirs = sstats.t.sf(25.0, 2000.0)
+        assert ours == pytest.approx(theirs, rel=1e-6)
+        assert ours < 1e-100
+
+    def test_cdf_sf_complementary(self):
+        assert student_t_cdf(1.3, 7.0) + student_t_sf(1.3, 7.0) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        assert student_t_cdf(-2.0, 9.0) == pytest.approx(student_t_sf(2.0, 9.0))
+
+    def test_infinities(self):
+        assert student_t_cdf(math.inf, 5.0) == 1.0
+        assert student_t_cdf(-math.inf, 5.0) == 0.0
+        assert student_t_sf(math.inf, 5.0) == 0.0
+
+    def test_nan_propagates(self):
+        assert math.isnan(student_t_cdf(math.nan, 5.0))
+
+    def test_invalid_df(self):
+        with pytest.raises(ValueError):
+            student_t_cdf(1.0, 0.0)
+        with pytest.raises(ValueError):
+            student_t_sf(1.0, -2.0)
+
+
+class TestWelchDf:
+    def test_equal_samples_near_pooled(self):
+        df = welch_df(1.0, 10, 1.0, 10)
+        assert df == pytest.approx(18.0)
+
+    def test_unequal_variances_shrink_df(self):
+        assert welch_df(100.0, 10, 1.0, 10) < 18.0
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            welch_df(1.0, 1, 1.0, 10)
+
+    def test_zero_variances_rejected(self):
+        with pytest.raises(ValueError):
+            welch_df(0.0, 10, 0.0, 10)
+
+
+class TestWelchTTest:
+    def test_matches_scipy_basic(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(10, 2, 200)
+        y = rng.normal(11, 5, 150)
+        ours = welch_t_test(x, y)
+        theirs = sstats.ttest_ind(x, y, equal_var=False)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-10)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-8)
+
+    def test_matches_scipy_tiny_p(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(11.3, 3, 10_000)
+        y = rng.normal(26.6, 9, 8_500)
+        ours = welch_t_test(x, y)
+        theirs = sstats.ttest_ind(x, y, equal_var=False)
+        # scipy may underflow to 0 in such extreme cases; compare logs when possible
+        if theirs.pvalue > 0:
+            assert math.log(ours.p_value) == pytest.approx(
+                math.log(theirs.pvalue), rel=1e-4
+            )
+        else:
+            assert ours.p_value < 1e-300 or ours.p_value == 0.0
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=5, max_size=60),
+        st.lists(st.floats(-100, 100), min_size=5, max_size=60),
+    )
+    @settings(max_examples=60)
+    def test_property_matches_scipy(self, xs, ys):
+        from hypothesis import assume
+
+        x, y = np.asarray(xs), np.asarray(ys)
+        total_var = np.var(x, ddof=1) + np.var(y, ddof=1)
+        if total_var == 0:
+            with pytest.raises(ValueError):
+                welch_t_test(x, y)
+            return
+        # Subnormal variances underflow when squared in the df formula;
+        # both we and scipy enter implementation-defined territory there.
+        assume(total_var > 1e-30)
+        ours = welch_t_test(x, y)
+        theirs = sstats.ttest_ind(x, y, equal_var=False)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6, abs=1e-12)
+
+    def test_nan_dropped(self):
+        x = [1.0, 2.0, float("nan"), 3.0]
+        y = [4.0, 5.0, 6.0]
+        res = welch_t_test(x, y)
+        assert res.n1 == 3 and res.n2 == 3
+
+    def test_identical_samples_p_near_one(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, 500)
+        res = welch_t_test(x, x.copy())
+        assert res.p_value == pytest.approx(1.0)
+        assert res.statistic == pytest.approx(0.0)
+
+    def test_mean_delta_direction(self):
+        res = welch_t_test([1.0, 2.0, 3.0], [10.0, 11.0, 12.0])
+        assert res.mean_delta == pytest.approx(9.0)
+
+    def test_significant_threshold(self):
+        res = WelchResult(
+            statistic=2.0, p_value=0.04, df=10, n1=5, n2=5, mean1=0, mean2=1
+        )
+        assert res.significant()
+        assert not res.significant(alpha=0.01)
+
+    def test_too_small_samples_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t_test([1.0], [2.0, 3.0])
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t_test([float("nan")] * 5, [1.0, 2.0, 3.0])

@@ -1,0 +1,101 @@
+"""Tests for the paper-derived calibration tables."""
+
+import pytest
+
+from repro.geo import default_gazetteer
+from repro.synth import default_calibration
+from repro.synth.calibration import Calibration, CityCalibration, MetricMoments
+from repro.util.errors import CalibrationError
+
+
+@pytest.fixture(scope="module")
+def cal():
+    return default_calibration()
+
+
+class TestCityTargets:
+    def test_every_gazetteer_city_calibrated(self, cal):
+        for city in default_gazetteer().city_names():
+            assert cal.has_city(city), city
+
+    def test_kyiv_matches_table4(self, cal):
+        kyiv = cal.city("Kyiv")
+        assert kyiv.prewar.tput_mean == pytest.approx(61.71)
+        assert kyiv.prewar.rtt_mean == pytest.approx(11.69)
+        assert kyiv.prewar.loss_mean == pytest.approx(0.0130)
+        assert kyiv.prewar.count == 11216
+        assert kyiv.wartime.rtt_mean == pytest.approx(25.99)
+
+    def test_mariupol_matches_table1(self, cal):
+        m = cal.city("Mariupol")
+        assert m.prewar.count == 296
+        assert m.wartime.count == 26
+        assert m.wartime.loss_mean == pytest.approx(0.0684)
+
+    def test_war_degrades_hot_cities(self, cal):
+        for city in ["Kyiv", "Kharkiv", "Kherson", "Sumy", "Zaporizhzhia"]:
+            c = cal.city(city)
+            assert c.wartime.loss_mean > c.prewar.loss_mean, city
+
+    def test_lviv_tput_does_not_degrade(self, cal):
+        # Table 1/4: Lviv throughput did not significantly change (even rose).
+        lviv = cal.city("Lviv")
+        assert lviv.wartime.tput_mean >= lviv.prewar.tput_mean
+
+    def test_total_counts_near_table1_national(self, cal):
+        # Table 1 national: 35,488 prewar and 37,815 wartime tests; the
+        # city-sum targets land within a few percent of those.
+        assert cal.total_city_count("prewar") == pytest.approx(35_488, rel=0.03)
+        assert cal.total_city_count("wartime") == pytest.approx(37_815, rel=0.03)
+
+    def test_unknown_period_rejected(self, cal):
+        with pytest.raises(CalibrationError):
+            cal.total_city_count("peace")
+
+
+class TestAsTargets:
+    def test_all_top10_present(self, cal):
+        assert sorted(cal.calibrated_asns()) == sorted(
+            [15895, 3255, 25229, 35297, 21488, 21497, 6876, 50581, 39608, 13307]
+        )
+
+    def test_kyivstar_matches_table5(self, cal):
+        k = cal.asys(15895)
+        assert k.prewar.tput_mean == pytest.approx(37.836)
+        assert k.wartime.tput_mean == pytest.approx(23.980)
+        assert k.prewar.count == 3367
+        assert k.wartime.rtt_std == pytest.approx(185.841)
+
+    def test_tenet_improves_in_war(self, cal):
+        # Table 3: TeNeT saw no degradation (loss actually fell).
+        t = cal.asys(6876)
+        assert t.wartime.loss_mean < t.prewar.loss_mean
+        assert t.wartime.tput_mean > t.prewar.tput_mean
+
+    def test_emplot_count_collapse(self, cal):
+        e = cal.asys(21488)
+        assert e.wartime.count / e.prewar.count < 0.15  # -86.73% in Table 3
+
+    def test_uncalibrated_as_returns_none(self, cal):
+        assert cal.asys(13188) is None  # Triolan is not in Table 5
+
+
+class TestValidation:
+    def test_duplicate_city_rejected(self):
+        m = MetricMoments(10, 5, 10, 5, 0.01, 100)
+        c = CityCalibration("X", m, m)
+        with pytest.raises(CalibrationError):
+            Calibration([c, c], [])
+
+    def test_moments_validated(self):
+        with pytest.raises(CalibrationError):
+            MetricMoments(0, 5, 10, 5, 0.01, 100)
+        with pytest.raises(CalibrationError):
+            MetricMoments(10, 5, 10, 5, 1.0, 100)
+        with pytest.raises(CalibrationError):
+            MetricMoments(10, 5, 10, 5, 0.01, 0)
+
+    def test_unknown_city_raises(self):
+        cal = default_calibration()
+        with pytest.raises(CalibrationError):
+            cal.city("Atlantis")

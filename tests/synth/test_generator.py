@@ -1,0 +1,167 @@
+"""End-to-end tests of the dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.ndt import NDT_SCHEMA
+from repro.synth import DatasetGenerator, GeneratorConfig
+from repro.synth.generator import TRACE_SCHEMA, study_periods
+from repro.tables import col
+from repro.util import Day
+
+
+class TestStudyPeriods:
+    def test_four_windows_of_54_days(self):
+        periods = study_periods()
+        assert set(periods) == {"baseline_janfeb", "baseline_febapr", "prewar", "wartime"}
+        for p in periods.values():
+            assert p.n_days == 54
+
+    def test_wartime_starts_on_invasion_day(self):
+        assert study_periods()["wartime"].start == Day.of("2022-02-24")
+
+
+class TestGeneratedTables:
+    def test_schemas(self, small_dataset):
+        assert small_dataset.ndt.schema == NDT_SCHEMA
+        assert small_dataset.traces.schema == TRACE_SCHEMA
+
+    def test_every_ndt_test_has_a_traceroute(self, small_dataset):
+        ndt_ids = set(small_dataset.ndt["test_id"].to_list())
+        trace_ids = set(small_dataset.traces["test_id"].to_list())
+        assert ndt_ids == trace_ids
+
+    def test_both_years_present(self, small_dataset):
+        years = set(small_dataset.ndt["year"].to_list())
+        assert years == {2021, 2022}
+
+    def test_days_within_study_windows(self, small_dataset):
+        periods = study_periods()
+        ok_ordinals = set()
+        for p in periods.values():
+            ok_ordinals.update(p.ordinals())
+        assert set(small_dataset.ndt["day"].to_list()) <= ok_ordinals
+
+    def test_metrics_valid(self, small_dataset):
+        t = small_dataset.ndt
+        assert t.filter(col("tput_mbps") <= 0).n_rows == 0
+        assert t.filter(col("min_rtt_ms") <= 0).n_rows == 0
+        assert t.filter(col("loss_rate") < 0).n_rows == 0
+        assert t.filter(col("loss_rate") > 1).n_rows == 0
+
+    def test_missing_geo_fraction_near_paper(self, small_dataset):
+        t = small_dataset.ndt
+        frac = t.filter(col("city").isnull()).n_rows / t.n_rows
+        assert frac == pytest.approx(0.117, abs=0.05)
+
+    def test_unroutable_rare(self, small_dataset):
+        assert small_dataset.n_unroutable < 0.02 * small_dataset.ndt.n_rows
+
+    def test_client_ips_come_from_their_as(self, small_dataset):
+        from repro.netbase import IPv4Address
+
+        iplayer = small_dataset.topology.iplayer
+        for row in small_dataset.ndt.head(200).iter_rows():
+            assert iplayer.as_of_ip(IPv4Address.parse(row["client_ip"])) == row["asn"]
+
+
+class TestWarEffects:
+    def filter_period(self, t, name):
+        p = study_periods()[name]
+        return t.filter(col("day").between(p.start.ordinal, p.end.ordinal))
+
+    def test_national_degradation(self, small_dataset):
+        t = small_dataset.ndt
+        pre = self.filter_period(t, "prewar")
+        war = self.filter_period(t, "wartime")
+        assert war["min_rtt_ms"].mean() > 1.3 * pre["min_rtt_ms"].mean()
+        assert war["tput_mbps"].mean() < 0.9 * pre["tput_mbps"].mean()
+        assert war["loss_rate"].mean() > 1.5 * pre["loss_rate"].mean()
+
+    def test_baseline_stable(self, small_dataset):
+        t = small_dataset.ndt
+        b1 = self.filter_period(t, "baseline_janfeb")
+        b2 = self.filter_period(t, "baseline_febapr")
+        assert b2["min_rtt_ms"].mean() == pytest.approx(b1["min_rtt_ms"].mean(), rel=0.2)
+        assert b2["loss_rate"].mean() == pytest.approx(b1["loss_rate"].mean(), rel=0.3)
+
+    def test_mariupol_tests_vanish(self, small_dataset):
+        t = small_dataset.ndt.filter(col("city_true") == "Mariupol")
+        pre = self.filter_period(t, "prewar").n_rows
+        war = self.filter_period(t, "wartime").n_rows
+        assert war < 0.3 * max(pre, 1)
+
+    def test_wartime_paths_more_diverse(self, small_dataset):
+        traces = small_dataset.traces
+        pre = self.filter_period(traces, "prewar")
+        war = self.filter_period(traces, "wartime")
+        assert war["as_path"].nunique() > pre["as_path"].nunique()
+
+
+class TestDeterminismAndConfig:
+    def test_same_seed_same_dataset(self):
+        cfg = GeneratorConfig(seed=42, scale=0.01)
+        a = DatasetGenerator(cfg).generate()
+        b = DatasetGenerator(cfg).generate()
+        assert a.ndt.n_rows == b.ndt.n_rows
+        assert a.ndt["min_rtt_ms"].to_list() == b.ndt["min_rtt_ms"].to_list()
+        assert a.traces["path"].to_list() == b.traces["path"].to_list()
+
+    def test_different_seed_differs(self):
+        a = DatasetGenerator(GeneratorConfig(seed=1, scale=0.01)).generate()
+        b = DatasetGenerator(GeneratorConfig(seed=2, scale=0.01)).generate()
+        assert a.ndt["min_rtt_ms"].to_list() != b.ndt["min_rtt_ms"].to_list()
+
+    def test_exclude_2021(self):
+        ds = DatasetGenerator(
+            GeneratorConfig(scale=0.01, include_2021=False)
+        ).generate()
+        assert set(ds.ndt["year"].to_list()) == {2022}
+
+    def test_scale_controls_volume(self):
+        small = DatasetGenerator(GeneratorConfig(seed=3, scale=0.01)).generate()
+        bigger = DatasetGenerator(GeneratorConfig(seed=3, scale=0.03)).generate()
+        assert bigger.ndt.n_rows == pytest.approx(3 * small.ndt.n_rows, rel=0.15)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(volume_2021=-1.0)
+
+
+class TestAblationScenarios:
+    def test_no_war_flat(self):
+        from repro.synth import Scenario, scenario_config
+
+        cfg = scenario_config(Scenario.NO_WAR, GeneratorConfig(seed=5, scale=0.03))
+        ds = DatasetGenerator(cfg).generate()
+        t = ds.ndt
+        periods = study_periods()
+        pre = t.filter(col("day").between(
+            periods["prewar"].start.ordinal, periods["prewar"].end.ordinal))
+        war = t.filter(col("day").between(
+            periods["wartime"].start.ordinal, periods["wartime"].end.ordinal))
+        assert war["min_rtt_ms"].mean() == pytest.approx(pre["min_rtt_ms"].mean(), rel=0.15)
+
+    def test_no_rerouting_keeps_metric_damage(self):
+        from repro.synth import Scenario, scenario_config
+
+        cfg = scenario_config(Scenario.NO_REROUTING, GeneratorConfig(seed=5, scale=0.03))
+        ds = DatasetGenerator(cfg).generate()
+        t = ds.ndt
+        periods = study_periods()
+        pre = t.filter(col("day").between(
+            periods["prewar"].start.ordinal, periods["prewar"].end.ordinal))
+        war = t.filter(col("day").between(
+            periods["wartime"].start.ordinal, periods["wartime"].end.ordinal))
+        # Metrics still degrade (calibration ramp), but per-connection path
+        # diversity shows no wartime growth without rerouting.
+        assert war["min_rtt_ms"].mean() > 1.3 * pre["min_rtt_ms"].mean()
+        from repro.analysis.paths import path_count_table
+
+        rows = {r["period"]: r for r in path_count_table(ds.traces).iter_rows()}
+        assert (
+            rows["wartime"]["paths_per_conn"]
+            <= rows["prewar"]["paths_per_conn"] + 0.1
+        )

@@ -1,0 +1,95 @@
+"""Tests for iterative proportional fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import iterative_proportional_fit
+from repro.util.errors import CalibrationError
+
+
+class TestBasics:
+    def test_exact_fit_small(self):
+        support = np.array([[1.0, 1.0], [1.0, 0.0]])
+        rows = np.array([10.0, 5.0])
+        cols = np.array([8.0, 7.0])
+        m = iterative_proportional_fit(support, rows, cols)
+        assert np.allclose(m.sum(axis=1), rows)
+        assert np.allclose(m.sum(axis=0), cols)
+        assert m[1, 1] == 0.0  # zero support stays zero
+
+    def test_identity_when_already_consistent(self):
+        support = np.array([[2.0, 3.0], [4.0, 1.0]])
+        rows = support.sum(axis=1)
+        cols = support.sum(axis=0)
+        m = iterative_proportional_fit(support, rows, cols)
+        assert np.allclose(m, support)
+
+    def test_col_targets_rescaled_within_tolerance(self):
+        support = np.ones((2, 2))
+        rows = np.array([10.0, 10.0])
+        cols = np.array([10.05, 10.05])  # 0.5% off — rescaled silently
+        m = iterative_proportional_fit(support, rows, cols)
+        assert m.sum() == pytest.approx(20.0)
+
+    def test_zero_row_target_ok(self):
+        support = np.ones((2, 2))
+        rows = np.array([0.0, 10.0])
+        cols = np.array([5.0, 5.0])
+        m = iterative_proportional_fit(support, rows, cols)
+        assert np.allclose(m[0], 0.0)
+        assert m.sum() == pytest.approx(10.0)
+
+
+class TestErrors:
+    def test_total_mismatch_rejected(self):
+        support = np.ones((2, 2))
+        with pytest.raises(CalibrationError, match="disagree"):
+            iterative_proportional_fit(
+                support, np.array([10.0, 10.0]), np.array([5.0, 5.0])
+            )
+
+    def test_positive_target_without_support(self):
+        support = np.array([[1.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(CalibrationError, match="column"):
+            iterative_proportional_fit(
+                support, np.array([5.0, 5.0]), np.array([5.0, 5.0])
+            )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CalibrationError):
+            iterative_proportional_fit(
+                np.ones((2, 2)), np.array([1.0]), np.array([0.5, 0.5])
+            )
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(CalibrationError):
+            iterative_proportional_fit(
+                -np.ones((2, 2)), np.array([1.0, 1.0]), np.array([1.0, 1.0])
+            )
+
+    def test_all_zero_rows_rejected(self):
+        with pytest.raises(CalibrationError):
+            iterative_proportional_fit(
+                np.ones((2, 2)), np.array([0.0, 0.0]), np.array([0.0, 0.0])
+            )
+
+
+class TestProperties:
+    @given(
+        n=st.integers(2, 6),
+        m=st.integers(2, 6),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_margins_match_on_dense_support(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        support = rng.uniform(0.1, 1.0, size=(n, m))
+        rows = rng.uniform(1.0, 100.0, size=n)
+        cols = rng.uniform(0.1, 1.0, size=m)
+        cols = cols / cols.sum() * rows.sum()
+        fitted = iterative_proportional_fit(support, rows, cols)
+        assert np.allclose(fitted.sum(axis=1), rows, rtol=1e-6)
+        assert np.allclose(fitted.sum(axis=0), cols, rtol=1e-6)
+        assert (fitted >= 0).all()

@@ -1,0 +1,48 @@
+"""Tests for scenario presets."""
+
+import pytest
+
+from repro.synth import GeneratorConfig, Scenario, scenario_config
+
+
+def test_paper_is_identity():
+    base = GeneratorConfig(seed=1)
+    assert scenario_config(Scenario.PAPER, base) == base
+
+
+def test_no_war():
+    cfg = scenario_config(Scenario.NO_WAR)
+    assert not cfg.war_enabled
+    assert cfg.rerouting_enabled  # only the war flag changes
+
+
+def test_no_rerouting():
+    cfg = scenario_config(Scenario.NO_REROUTING)
+    assert cfg.war_enabled and not cfg.rerouting_enabled
+
+
+def test_uniform_damage():
+    cfg = scenario_config(Scenario.UNIFORM_DAMAGE)
+    assert not cfg.regional_damage
+
+
+def test_uniform_clients():
+    cfg = scenario_config(Scenario.UNIFORM_CLIENTS)
+    assert cfg.zipf_a < 0.1
+
+
+def test_perfect_geo():
+    cfg = scenario_config(Scenario.PERFECT_GEO)
+    assert cfg.missing_rate == 0.0 and cfg.mislabel_rate == 0.0
+
+
+def test_base_settings_preserved():
+    base = GeneratorConfig(seed=99, scale=0.5)
+    cfg = scenario_config(Scenario.NO_WAR, base)
+    assert cfg.seed == 99 and cfg.scale == 0.5
+
+
+@pytest.mark.parametrize("scenario", list(Scenario))
+def test_all_scenarios_produce_valid_configs(scenario):
+    cfg = scenario_config(scenario)
+    assert isinstance(cfg, GeneratorConfig)

@@ -1,0 +1,52 @@
+"""Tests for the dataset validator."""
+
+import pytest
+
+from repro.synth.validate import validate_dataset
+
+
+class TestOnGoodDataset:
+    def test_passes(self, small_dataset):
+        report = validate_dataset(small_dataset)
+        assert report.passed, str(report)
+
+    def test_all_checks_ran(self, small_dataset):
+        report = validate_dataset(small_dataset)
+        names = {c.name for c in report.checks}
+        assert "ndt-trace pairing" in names
+        assert "client IPs belong to their AS" in names
+        assert "every study period populated" in names
+        assert len(report.checks) >= 8
+
+    def test_report_renders(self, small_dataset):
+        text = str(validate_dataset(small_dataset))
+        assert "PASSED" in text
+        assert "[ok ]" in text
+
+    def test_failures_empty_when_passed(self, small_dataset):
+        assert validate_dataset(small_dataset).failures() == []
+
+
+class TestDetectsCorruption:
+    def test_broken_pairing_detected(self, small_dataset):
+        import copy
+
+        broken = copy.copy(small_dataset)
+        broken.traces = small_dataset.traces.head(small_dataset.traces.n_rows // 2)
+        report = validate_dataset(broken)
+        assert not report.passed
+        failing = {c.name for c in report.failures()}
+        assert "ndt-trace pairing" in failing
+
+    def test_corrupted_metrics_detected(self, small_dataset):
+        import copy
+
+        import numpy as np
+
+        broken = copy.copy(small_dataset)
+        loss = small_dataset.ndt.column("loss_rate").values.copy()
+        loss[0] = 1.5
+        broken.ndt = small_dataset.ndt.with_column("loss_rate", loss)
+        report = validate_dataset(broken)
+        failing = {c.name for c in report.failures()}
+        assert "loss in unit interval" in failing

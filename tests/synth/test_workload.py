@@ -1,0 +1,138 @@
+"""Tests for the workload's traffic matrices and day shapes."""
+
+import numpy as np
+import pytest
+
+from repro.conflict import IntensityModel
+from repro.synth import default_calibration
+from repro.synth.workload import Workload
+from repro.topology import build_default_topology
+from repro.util import Day, Period, RngHub
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_default_topology()
+
+
+@pytest.fixture(scope="module")
+def cal():
+    return default_calibration()
+
+
+@pytest.fixture(scope="module")
+def intensity(topo):
+    return IntensityModel(topo.gazetteer)
+
+
+PREWAR = Period.of("prewar", "2022-01-01", "2022-02-23")
+WARTIME = Period.of("wartime", "2022-02-24", "2022-04-18")
+
+
+@pytest.fixture(scope="module")
+def workload(topo, cal, intensity):
+    return Workload(topo, cal, intensity, PREWAR, WARTIME, wartime=True)
+
+
+class TestTrafficMatrix:
+    def test_city_marginals_match_table4(self, workload, topo, cal):
+        matrix = workload.matrix("first")
+        cities = topo.gazetteer.city_names()
+        for i, city in enumerate(cities):
+            assert matrix[i].sum() == pytest.approx(
+                cal.city(city).prewar.count, rel=1e-6
+            ), city
+
+    def test_as_marginals_match_table5(self, workload, topo, cal):
+        matrix = workload.matrix("second")
+        ases = sorted(topo.eyeball_asns())
+        for j, asn in enumerate(ases):
+            as_cal = cal.asys(asn)
+            if as_cal is not None:
+                assert matrix[:, j].sum() == pytest.approx(
+                    as_cal.wartime.count, rel=1e-4
+                ), asn
+
+    def test_no_mass_outside_coverage(self, workload, topo):
+        matrix = workload.matrix("first")
+        cities = topo.gazetteer.city_names()
+        ases = sorted(topo.eyeball_asns())
+        for i, city in enumerate(cities):
+            for j, asn in enumerate(ases):
+                if asn not in topo.coverage[city]:
+                    assert matrix[i, j] == 0.0
+
+    def test_unknown_half_rejected(self, workload):
+        with pytest.raises(ValueError):
+            workload.matrix("third")
+
+
+class TestDailyCounts:
+    def test_period_totals_near_targets(self, topo, cal, intensity):
+        wl = Workload(topo, cal, intensity, PREWAR, WARTIME, wartime=True,
+                      volume_factor=0.1)
+        rng = RngHub(3).stream("wl")
+        schedule = wl.daily_counts(rng)
+        assert len(schedule) == 108
+        pre_total = sum(
+            sum(c.values()) for d, c in schedule if PREWAR.contains(d)
+        )
+        war_total = sum(
+            sum(c.values()) for d, c in schedule if WARTIME.contains(d)
+        )
+        assert pre_total == pytest.approx(cal.total_city_count("prewar") * 0.1, rel=0.05)
+        assert war_total == pytest.approx(cal.total_city_count("wartime") * 0.1, rel=0.05)
+
+    def test_mariupol_collapses_after_siege(self, topo, cal, intensity):
+        wl = Workload(topo, cal, intensity, PREWAR, WARTIME, wartime=True,
+                      volume_factor=1.0)
+        rng = RngHub(4).stream("wl")
+        schedule = wl.daily_counts(rng)
+        before = sum(
+            n for d, counts in schedule
+            for (city, _asn), n in counts.items()
+            if city == "Mariupol" and Day.of("2022-02-24") <= d <= Day.of("2022-02-28")
+        )
+        after = sum(
+            n for d, counts in schedule
+            for (city, _asn), n in counts.items()
+            if city == "Mariupol" and d >= Day.of("2022-03-15")
+        )
+        # 5 days before the siege vs 35 days deep into it.
+        assert after < before
+
+    def test_outage_day_spikes_national_counts(self, topo, cal, intensity):
+        wl = Workload(topo, cal, intensity, PREWAR, WARTIME, wartime=True)
+        rng = RngHub(5).stream("wl")
+        schedule = {d.iso(): sum(c.values()) for d, c in wl.daily_counts(rng)}
+        neighbors = np.mean([schedule["2022-03-08"], schedule["2022-03-09"],
+                             schedule["2022-03-11"], schedule["2022-03-12"]])
+        assert schedule["2022-03-10"] > 1.3 * neighbors
+
+    def test_no_war_year_has_no_shapes(self, topo, cal, intensity):
+        first = Period.of("b1", "2021-01-01", "2021-02-23")
+        second = Period.of("b2", "2021-02-24", "2021-04-18")
+        wl = Workload(topo, cal, intensity, first, second, wartime=False)
+        rng = RngHub(6).stream("wl")
+        schedule = wl.daily_counts(rng)
+        mariupol_late = sum(
+            n for d, counts in schedule
+            for (city, _asn), n in counts.items()
+            if city == "Mariupol" and d >= Day.of("2021-03-15")
+        )
+        assert mariupol_late > 0  # no siege collapse in the baseline year
+
+    def test_volume_factor_scales(self, topo, cal, intensity):
+        def total(volume):
+            wl = Workload(topo, cal, intensity, PREWAR, WARTIME, wartime=False,
+                          volume_factor=volume)
+            return sum(
+                sum(c.values()) for _d, c in wl.daily_counts(RngHub(7).stream("x"))
+            )
+
+        assert total(0.2) == pytest.approx(2 * total(0.1), rel=0.1)
+
+    def test_invalid_volume(self, topo, cal, intensity):
+        with pytest.raises(ValueError):
+            Workload(topo, cal, intensity, PREWAR, WARTIME, wartime=True,
+                     volume_factor=0.0)

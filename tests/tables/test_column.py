@@ -1,0 +1,156 @@
+"""Tests for the Column type."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tables import Column, DType
+from repro.util.errors import DataError
+
+
+class TestConstruction:
+    def test_infer_int(self):
+        c = Column("x", [1, 2, 3])
+        assert c.dtype is DType.INT
+        assert c.values.dtype == np.int64
+
+    def test_infer_float(self):
+        assert Column("x", [1.0, 2.0]).dtype is DType.FLOAT
+
+    def test_infer_bool(self):
+        assert Column("x", [True, False]).dtype is DType.BOOL
+
+    def test_infer_str(self):
+        assert Column("x", ["a", "b"]).dtype is DType.STR
+
+    def test_infer_from_numpy_array(self):
+        assert Column("x", np.arange(3)).dtype is DType.INT
+        assert Column("x", np.ones(3)).dtype is DType.FLOAT
+
+    def test_explicit_dtype_coerces(self):
+        c = Column("x", [1, 2], DType.FLOAT)
+        assert c.dtype is DType.FLOAT
+        assert c.values.dtype == np.float64
+
+    def test_str_column_allows_none(self):
+        c = Column("city", ["Kyiv", None, "Lviv"])
+        assert c.to_list() == ["Kyiv", None, "Lviv"]
+
+    def test_str_column_rejects_non_strings(self):
+        with pytest.raises(DataError):
+            Column("x", ["a", 3], DType.STR)
+
+    def test_empty_needs_dtype(self):
+        with pytest.raises(DataError):
+            Column("x", [])
+        assert len(Column("x", [], DType.FLOAT)) == 0
+
+    def test_all_none_needs_dtype(self):
+        with pytest.raises(DataError):
+            Column("x", [None, None])
+
+    def test_unknown_value_type_rejected(self):
+        with pytest.raises(DataError):
+            Column("x", [object()])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("", [1])
+
+    def test_non_coercible_rejected(self):
+        with pytest.raises(DataError):
+            Column("x", ["a", "b"], DType.INT)
+
+    def test_from_column_copies_values(self):
+        a = Column("x", [1, 2])
+        b = Column("y", a)
+        assert b.name == "y"
+        assert b.to_list() == [1, 2]
+
+
+class TestAccess:
+    def test_len_iter_getitem(self):
+        c = Column("x", [10, 20, 30])
+        assert len(c) == 3
+        assert list(c) == [10, 20, 30]
+        assert c[1] == 20
+
+    def test_slice_returns_column(self):
+        c = Column("x", [10, 20, 30])[1:]
+        assert isinstance(c, Column)
+        assert c.to_list() == [20, 30]
+
+    def test_take_and_mask(self):
+        c = Column("x", [10, 20, 30])
+        assert c.take(np.array([2, 0])).to_list() == [30, 10]
+        assert c.mask(np.array([True, False, True])).to_list() == [10, 30]
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(DataError):
+            Column("x", [1, 2]).mask(np.array([True]))
+
+    def test_rename(self):
+        c = Column("x", [1]).rename("y")
+        assert c.name == "y"
+
+
+class TestReductions:
+    def test_mean_median_std(self):
+        c = Column("x", [1.0, 2.0, 3.0, 4.0])
+        assert c.mean() == pytest.approx(2.5)
+        assert c.median() == pytest.approx(2.5)
+        assert c.std() == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_nan_ignored(self):
+        c = Column("x", [1.0, math.nan, 3.0])
+        assert c.mean() == pytest.approx(2.0)
+        assert c.sum() == pytest.approx(4.0)
+
+    def test_min_max_sum(self):
+        c = Column("x", [5, 1, 9])
+        assert c.min() == 1
+        assert c.max() == 9
+        assert c.sum() == 15
+
+    def test_int_column_reductions(self):
+        assert Column("x", [1, 2]).mean() == pytest.approx(1.5)
+
+    def test_str_reductions_rejected(self):
+        with pytest.raises(DataError):
+            Column("x", ["a"]).mean()
+
+    def test_nunique_and_unique(self):
+        c = Column("x", ["b", "a", "b", None])
+        assert c.nunique() == 3
+        assert c.unique() == ["a", "b", None]
+
+
+class TestPredicateSupport:
+    def test_isin(self):
+        c = Column("x", ["a", "b", "c"])
+        assert c.isin({"a", "c"}).tolist() == [True, False, True]
+
+    def test_isnull_str(self):
+        c = Column("x", ["a", None])
+        assert c.isnull().tolist() == [False, True]
+
+    def test_isnull_float(self):
+        c = Column("x", [1.0, math.nan])
+        assert c.isnull().tolist() == [False, True]
+
+    def test_isnull_int_always_false(self):
+        assert Column("x", [1, 2]).isnull().tolist() == [False, False]
+
+    def test_cmp_numeric(self):
+        c = Column("x", [1, 5, 3])
+        assert c._cmp(3, ">").tolist() == [False, True, False]
+        assert c._cmp(3, "==").tolist() == [False, False, True]
+
+    def test_ordered_cmp_on_str_rejected(self):
+        with pytest.raises(DataError):
+            Column("x", ["a"])._cmp("b", "<")
+
+    def test_repr_truncates(self):
+        r = repr(Column("x", list(range(10))))
+        assert "..." in r and "n=10" in r

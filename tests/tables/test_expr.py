@@ -1,0 +1,96 @@
+"""Tests for filter expressions."""
+
+import math
+
+import pytest
+
+from repro.tables import Table, col
+from repro.util.errors import DataError
+
+
+@pytest.fixture
+def t():
+    return Table.from_dict(
+        {
+            "city": ["Kyiv", "Lviv", None, "Kharkiv"],
+            "loss": [0.01, 0.03, 0.05, math.nan],
+            "day": [1, 2, 3, 4],
+        }
+    )
+
+
+def test_eq(t):
+    assert t.filter(col("city") == "Kyiv").n_rows == 1
+
+
+def test_ne(t):
+    # None != "Kyiv" compares elementwise over the object array.
+    out = t.filter(col("day") != 2)
+    assert out["day"].to_list() == [1, 3, 4]
+
+
+@pytest.mark.parametrize(
+    "expr,expected",
+    [
+        (col("day") < 3, [1, 2]),
+        (col("day") <= 3, [1, 2, 3]),
+        (col("day") > 3, [4]),
+        (col("day") >= 3, [3, 4]),
+    ],
+)
+def test_ordered(t, expr, expected):
+    assert t.filter(expr)["day"].to_list() == expected
+
+
+def test_between(t):
+    assert t.filter(col("day").between(2, 3))["day"].to_list() == [2, 3]
+
+
+def test_isin(t):
+    out = t.filter(col("city").isin(["Kyiv", "Kharkiv"]))
+    assert out["day"].to_list() == [1, 4]
+
+
+def test_isnull_notnull(t):
+    assert t.filter(col("city").isnull())["day"].to_list() == [3]
+    assert t.filter(col("city").notnull())["day"].to_list() == [1, 2, 4]
+    assert t.filter(col("loss").isnull())["day"].to_list() == [4]
+
+
+def test_and(t):
+    out = t.filter((col("day") > 1) & (col("day") < 4))
+    assert out["day"].to_list() == [2, 3]
+
+
+def test_or(t):
+    out = t.filter((col("day") == 1) | (col("day") == 4))
+    assert out["day"].to_list() == [1, 4]
+
+
+def test_invert(t):
+    out = t.filter(~(col("day") == 1))
+    assert out["day"].to_list() == [2, 3, 4]
+
+
+def test_compound_nested(t):
+    expr = ~((col("day") == 2) | (col("day") == 3)) & col("city").notnull()
+    assert t.filter(expr)["day"].to_list() == [1, 4]
+
+
+def test_unknown_column_raises_at_evaluation(t):
+    with pytest.raises(DataError):
+        t.filter(col("nope") == 1)
+
+
+def test_ordered_on_str_rejected(t):
+    with pytest.raises(DataError):
+        t.filter(col("city") < "M")
+
+
+def test_repr_describes_predicate():
+    assert "loss" in repr(col("loss") > 0.1)
+
+
+def test_empty_col_name_rejected():
+    with pytest.raises(ValueError):
+        col("")

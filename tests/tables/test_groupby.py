@@ -1,0 +1,131 @@
+"""Tests for group-by aggregation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tables import DType, Table
+from repro.util.errors import DataError
+
+
+@pytest.fixture
+def t():
+    return Table.from_dict(
+        {
+            "oblast": ["Kyiv", "Kyiv", "Lviv", "Lviv", "Lviv"],
+            "period": ["prewar", "wartime", "prewar", "prewar", "wartime"],
+            "tput": [64.0, 50.9, 39.4, 40.0, 41.9],
+            "tests": [3, 1, 4, 1, 5],
+        }
+    )
+
+
+class TestAggregate:
+    def test_count_mean(self, t):
+        out = t.group_by("oblast").aggregate(
+            {"n": ("tput", "count"), "avg": ("tput", "mean")}
+        )
+        rows = {r["oblast"]: r for r in out.to_dicts()}
+        assert rows["Kyiv"]["n"] == 2
+        assert rows["Kyiv"]["avg"] == pytest.approx((64.0 + 50.9) / 2)
+        assert rows["Lviv"]["n"] == 3
+
+    def test_multi_key(self, t):
+        out = t.group_by(["oblast", "period"]).aggregate({"n": ("tput", "count")})
+        assert out.n_rows == 4
+        rows = {(r["oblast"], r["period"]): r["n"] for r in out.to_dicts()}
+        assert rows[("Lviv", "prewar")] == 2
+
+    def test_output_sorted_by_keys(self, t):
+        out = t.group_by(["oblast", "period"]).aggregate({"n": ("tput", "count")})
+        keys = [(r["oblast"], r["period"]) for r in out.to_dicts()]
+        assert keys == sorted(keys)
+
+    def test_sum_min_max_median(self, t):
+        out = t.group_by("oblast").aggregate(
+            {
+                "s": ("tests", "sum"),
+                "lo": ("tput", "min"),
+                "hi": ("tput", "max"),
+                "med": ("tput", "median"),
+            }
+        )
+        lviv = [r for r in out.to_dicts() if r["oblast"] == "Lviv"][0]
+        assert lviv["s"] == 10
+        assert lviv["lo"] == pytest.approx(39.4)
+        assert lviv["hi"] == pytest.approx(41.9)
+        assert lviv["med"] == pytest.approx(40.0)
+
+    def test_std_sample(self, t):
+        out = t.group_by("oblast").aggregate({"sd": ("tput", "std")})
+        kyiv = [r for r in out.to_dicts() if r["oblast"] == "Kyiv"][0]
+        assert kyiv["sd"] == pytest.approx(np.std([64.0, 50.9], ddof=1))
+
+    def test_std_of_single_value_is_nan(self):
+        t = Table.from_dict({"k": ["a"], "v": [1.0]})
+        out = t.group_by("k").aggregate({"sd": ("v", "std")})
+        assert math.isnan(out.row(0)["sd"])
+
+    def test_nunique(self, t):
+        out = t.group_by("oblast").aggregate({"u": ("period", "nunique")})
+        assert {r["oblast"]: r["u"] for r in out.to_dicts()} == {"Kyiv": 2, "Lviv": 2}
+
+    def test_first_preserves_dtype(self, t):
+        out = t.group_by("oblast").aggregate({"p": ("period", "first")})
+        assert out.column("p").dtype is DType.STR
+
+    def test_count_dtype_is_int(self, t):
+        out = t.group_by("oblast").aggregate({"n": ("tput", "count")})
+        assert out.column("n").dtype is DType.INT
+
+    def test_mean_ignores_nan(self):
+        t = Table.from_dict({"k": ["a", "a"], "v": [1.0, math.nan]})
+        out = t.group_by("k").aggregate({"m": ("v", "mean")})
+        assert out.row(0)["m"] == pytest.approx(1.0)
+
+    def test_counts_shorthand(self, t):
+        out = t.group_by("oblast").counts()
+        assert {r["oblast"]: r["count"] for r in out.to_dicts()} == {"Kyiv": 2, "Lviv": 3}
+
+    def test_none_keys_grouped_and_sorted_last_safe(self):
+        t = Table.from_dict({"k": ["b", None, None], "v": [1.0, 2.0, 3.0]})
+        out = t.group_by("k").aggregate({"n": ("v", "count")})
+        rows = {r["k"]: r["n"] for r in out.to_dicts()}
+        assert rows[None] == 2 and rows["b"] == 1
+
+
+class TestErrors:
+    def test_unknown_key(self, t):
+        with pytest.raises(DataError):
+            t.group_by("nope")
+
+    def test_unknown_source_column(self, t):
+        with pytest.raises(DataError):
+            t.group_by("oblast").aggregate({"n": ("nope", "count")})
+
+    def test_unknown_aggregator(self, t):
+        with pytest.raises(DataError):
+            t.group_by("oblast").aggregate({"n": ("tput", "frobnicate")})
+
+    def test_output_collides_with_key(self, t):
+        with pytest.raises(DataError):
+            t.group_by("oblast").aggregate({"oblast": ("tput", "count")})
+
+    def test_empty_spec(self, t):
+        with pytest.raises(ValueError):
+            t.group_by("oblast").aggregate({})
+
+    def test_empty_keys(self, t):
+        with pytest.raises(ValueError):
+            t.group_by([])
+
+
+class TestGroups:
+    def test_groups_materialization(self, t):
+        groups = t.group_by("oblast").groups()
+        assert set(groups) == {("Kyiv",), ("Lviv",)}
+        assert groups[("Lviv",)].n_rows == 3
+
+    def test_n_groups(self, t):
+        assert t.group_by("period").n_groups == 2

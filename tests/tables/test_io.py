@@ -1,0 +1,90 @@
+"""Tests for CSV / JSONL round-trips."""
+
+import math
+
+import pytest
+
+from repro.tables import DType, Table, read_csv, read_jsonl, write_csv, write_jsonl
+from repro.util.errors import DataError
+
+
+@pytest.fixture
+def t():
+    return Table.from_dict(
+        {
+            "city": ["Kyiv", None, "L'viv, west"],
+            "rtt": [11.3, math.nan, 5.6],
+            "tests": [100, 50, 30],
+            "sig": [True, False, True],
+        }
+    )
+
+
+DTYPES = {"city": DType.STR, "rtt": DType.FLOAT, "tests": DType.INT, "sig": DType.BOOL}
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path, t):
+        path = str(tmp_path / "t.csv")
+        write_csv(t, path)
+        back = read_csv(path, DTYPES)
+        assert back.column_names == t.column_names
+        assert back["city"].to_list() == t["city"].to_list()
+        assert back["tests"].to_list() == t["tests"].to_list()
+        assert back["sig"].to_list() == t["sig"].to_list()
+        assert back["rtt"].to_list()[0] == pytest.approx(11.3)
+
+    def test_nan_roundtrips(self, tmp_path, t):
+        path = str(tmp_path / "t.csv")
+        write_csv(t, path)
+        back = read_csv(path, DTYPES)
+        assert math.isnan(back["rtt"].to_list()[1])
+
+    def test_comma_in_string_quoted(self, tmp_path, t):
+        path = str(tmp_path / "t.csv")
+        write_csv(t, path)
+        back = read_csv(path, DTYPES)
+        assert back["city"].to_list()[2] == "L'viv, west"
+
+    def test_missing_dtype_rejected(self, tmp_path, t):
+        path = str(tmp_path / "t.csv")
+        write_csv(t, path)
+        with pytest.raises(DataError, match="rtt"):
+            read_csv(path, {"city": DType.STR})
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            read_csv(str(path), DTYPES)
+
+    def test_creates_parent_dirs(self, tmp_path, t):
+        path = str(tmp_path / "deep" / "nested" / "t.csv")
+        write_csv(t, path)
+        assert read_csv(path, DTYPES).n_rows == 3
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path, t):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(t, path)
+        back = read_jsonl(path, dtypes={f.name: f.dtype for f in t.schema.fields})
+        assert back["city"].to_list() == t["city"].to_list()
+        assert back["tests"].to_list() == t["tests"].to_list()
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(DataError, match="invalid JSON"):
+            read_jsonl(str(path))
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("\n\n")
+        with pytest.raises(DataError):
+            read_jsonl(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert read_jsonl(str(path)).n_rows == 2

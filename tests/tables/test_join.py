@@ -1,0 +1,124 @@
+"""Tests for hash joins."""
+
+import math
+
+import pytest
+
+from repro.tables import DType, Field, Schema, Table, join
+from repro.util.errors import DataError
+
+
+@pytest.fixture
+def ndt():
+    return Table.from_dict(
+        {
+            "test_id": [1, 2, 3, 4],
+            "tput": [64.0, 45.4, 32.9, 39.4],
+        }
+    )
+
+
+@pytest.fixture
+def traces():
+    return Table.from_dict(
+        {
+            "test_id": [1, 2, 2, 5],
+            "n_hops": [7, 9, 10, 12],
+            "border": ["HE", "Cogent", "HE", "RETN"],
+        }
+    )
+
+
+class TestInner:
+    def test_basic(self, ndt, traces):
+        out = join(ndt, traces, on="test_id")
+        assert out.n_rows == 3  # test 2 matched twice, 3/4 unmatched dropped
+        assert set(out.column_names) == {"test_id", "tput", "n_hops", "border"}
+
+    def test_one_to_many_duplicates_left(self, ndt, traces):
+        out = join(ndt, traces, on="test_id")
+        twos = out.filter(out["test_id"].values == 2)
+        assert twos.n_rows == 2
+        assert set(twos["n_hops"].to_list()) == {9, 10}
+
+    def test_no_matches_gives_empty(self, ndt):
+        right = Table.from_dict({"test_id": [99], "x": [1.0]})
+        out = join(ndt, right, on="test_id")
+        assert out.n_rows == 0
+        assert "x" in out
+
+    def test_multi_key(self):
+        left = Table.from_dict({"a": [1, 1, 2], "b": ["x", "y", "x"], "v": [1.0, 2.0, 3.0]})
+        right = Table.from_dict({"a": [1, 2], "b": ["y", "x"], "w": [10.0, 20.0]})
+        out = join(left, right, on=["a", "b"])
+        assert out.n_rows == 2
+        rows = {(r["a"], r["b"]): r["w"] for r in out.to_dicts()}
+        assert rows[(1, "y")] == 10.0 and rows[(2, "x")] == 20.0
+
+
+class TestLeft:
+    def test_unmatched_filled(self, ndt, traces):
+        out = join(ndt, traces, on="test_id", how="left")
+        assert out.n_rows == 5  # 1,2,2,3,4
+        unmatched = out.filter(out["test_id"].isin([3, 4]))
+        assert all(math.isnan(v) for v in unmatched["n_hops"].to_list())
+        assert unmatched["border"].to_list() == [None, None]
+
+    def test_unmatched_int_promoted_to_float(self, ndt, traces):
+        out = join(ndt, traces, on="test_id", how="left")
+        assert out.column("n_hops").dtype is DType.FLOAT
+
+    def test_all_matched_keeps_int_dtype(self):
+        left = Table.from_dict({"k": [1, 2], "v": [1.0, 2.0]})
+        right = Table.from_dict({"k": [1, 2], "n": [10, 20]})
+        out = join(left, right, on="k", how="left")
+        assert out.column("n").dtype is DType.INT
+
+    def test_left_join_empty_right(self, ndt):
+        schema = Schema([Field("test_id", DType.INT), Field("x", DType.STR)])
+        right = Table.empty(schema)
+        out = join(ndt, right, on="test_id", how="left")
+        assert out.n_rows == ndt.n_rows
+        assert out["x"].to_list() == [None] * 4
+
+
+class TestCollisions:
+    def test_suffix_applied(self):
+        left = Table.from_dict({"k": [1], "v": [1.0]})
+        right = Table.from_dict({"k": [1], "v": [2.0]})
+        out = join(left, right, on="k")
+        assert "v" in out and "v_right" in out
+        assert out.row(0)["v_right"] == 2.0
+
+    def test_custom_suffix(self):
+        left = Table.from_dict({"k": [1], "v": [1.0]})
+        right = Table.from_dict({"k": [1], "v": [2.0]})
+        out = join(left, right, on="k", suffix="_tr")
+        assert "v_tr" in out
+
+    def test_double_collision_rejected(self):
+        left = Table.from_dict({"k": [1], "v": [1.0], "v_right": [0.0]})
+        right = Table.from_dict({"k": [1], "v": [2.0]})
+        with pytest.raises(DataError):
+            join(left, right, on="k")
+
+
+class TestErrors:
+    def test_key_dtype_mismatch(self):
+        left = Table.from_dict({"k": [1]})
+        right = Table.from_dict({"k": ["1"], "v": [1.0]})
+        with pytest.raises(DataError):
+            join(left, right, on="k")
+
+    def test_unknown_how(self, ndt, traces):
+        with pytest.raises(DataError):
+            join(ndt, traces, on="test_id", how="outer")
+
+    def test_missing_key_column(self, ndt):
+        right = Table.from_dict({"other": [1], "v": [1.0]})
+        with pytest.raises(DataError):
+            join(ndt, right, on="test_id")
+
+    def test_empty_on(self, ndt, traces):
+        with pytest.raises(ValueError):
+            join(ndt, traces, on=[])

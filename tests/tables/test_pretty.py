@@ -1,0 +1,56 @@
+"""Tests for text-grid rendering."""
+
+from repro.tables import Table, format_table
+
+
+def sample():
+    return Table.from_dict(
+        {
+            "city": ["Kyiv", "Lviv", None],
+            "p": [2.6e-60, 1.9e-1, 0.5],
+            "n": [10023, 1315, 7],
+        }
+    )
+
+
+def test_contains_header_and_values():
+    text = format_table(sample())
+    assert "city" in text and "Kyiv" in text and "10023" in text
+
+
+def test_title_rendered():
+    text = format_table(sample(), title="Table 1")
+    assert text.splitlines()[0] == "Table 1"
+
+
+def test_none_rendered_as_dash():
+    assert "| -" in format_table(sample()) or " - " in format_table(sample())
+
+
+def test_float_fmt_applied():
+    text = format_table(sample(), float_fmt=".1f")
+    assert "0.5" in text
+
+
+def test_per_column_float_fmt():
+    text = format_table(sample(), float_fmts={"p": ".1e"})
+    assert "2.6e-60" in text
+
+
+def test_max_rows_truncates():
+    text = format_table(sample(), max_rows=1)
+    assert "..." in text
+    assert "showing 1" in text
+    assert "Lviv" not in text
+
+
+def test_column_subset_and_order():
+    text = format_table(sample(), columns=["n", "city"])
+    header = [ln for ln in text.splitlines() if "city" in ln][0]
+    assert header.index("n") < header.index("city")
+
+
+def test_grid_is_aligned():
+    lines = format_table(sample()).splitlines()
+    widths = {len(ln) for ln in lines if ln.startswith(("|", "+"))}
+    assert len(widths) == 1  # every boxed row has the same width

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the table engine invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tables import Table, col, concat, join
+
+KEYS = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def tables(draw, min_rows=1, max_rows=40):
+    n = draw(st.integers(min_rows, max_rows))
+    keys = draw(st.lists(KEYS, min_size=n, max_size=n))
+    vals = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    ints = draw(st.lists(st.integers(-1000, 1000), min_size=n, max_size=n))
+    return Table.from_dict({"k": keys, "v": vals, "i": ints})
+
+
+@given(tables())
+def test_filter_then_concat_partitions_rows(t):
+    """Filtering on a predicate and its negation partitions the table."""
+    pred = col("v") > 0.0
+    yes, no = t.filter(pred), t.filter(~pred)
+    assert yes.n_rows + no.n_rows == t.n_rows
+    if yes.n_rows and no.n_rows:
+        merged = concat([yes, no])
+        assert sorted(merged["v"].to_list()) == sorted(t["v"].to_list())
+
+
+@given(tables())
+def test_groupby_counts_sum_to_total(t):
+    out = t.group_by("k").aggregate({"n": ("v", "count")})
+    assert sum(out["n"].to_list()) == t.n_rows
+
+
+@given(tables())
+def test_groupby_sum_matches_column_sum(t):
+    out = t.group_by("k").aggregate({"s": ("v", "sum")})
+    assert sum(out["s"].to_list()) == pytest.approx(t["v"].sum(), abs=1e-6, rel=1e-9)
+
+
+@given(tables())
+def test_groupby_mean_bounded_by_min_max(t):
+    out = t.group_by("k").aggregate(
+        {"m": ("v", "mean"), "lo": ("v", "min"), "hi": ("v", "max")}
+    )
+    for row in out.iter_rows():
+        assert row["lo"] - 1e-9 <= row["m"] <= row["hi"] + 1e-9
+
+
+@given(tables())
+def test_sort_is_stable_permutation(t):
+    out = t.sort_by("v")
+    assert sorted(out["v"].to_list()) == out["v"].to_list()
+    assert sorted(out["i"].to_list()) == sorted(t["i"].to_list())
+
+
+@given(tables())
+def test_sort_descending_reverses_order(t):
+    asc = t.sort_by("v")["v"].to_list()
+    desc = t.sort_by("v", descending=True)["v"].to_list()
+    assert desc == asc[::-1]
+
+
+@given(tables())
+def test_take_identity(t):
+    out = t.take(np.arange(t.n_rows))
+    assert out["v"].to_list() == t["v"].to_list()
+
+
+@given(tables(), tables())
+@settings(max_examples=50)
+def test_inner_join_row_count_formula(left, right):
+    """|A ⋈ B| = Σ_k count_A(k) · count_B(k)."""
+    out = join(left, right, on="k")
+    la = {}
+    for k in left["k"]:
+        la[k] = la.get(k, 0) + 1
+    rb = {}
+    for k in right["k"]:
+        rb[k] = rb.get(k, 0) + 1
+    expected = sum(la[k] * rb.get(k, 0) for k in la)
+    assert out.n_rows == expected
+
+
+@given(tables())
+def test_left_join_preserves_or_grows_left_rows(t):
+    right = Table.from_dict({"k": ["a"], "w": [1.0]})
+    out = join(t, right, on="k", how="left")
+    assert out.n_rows >= t.n_rows
+
+
+@given(tables())
+def test_concat_with_self_doubles(t):
+    assert concat([t, t]).n_rows == 2 * t.n_rows
+
+
+@given(tables())
+def test_with_column_then_drop_is_identity(t):
+    out = t.with_column("extra", np.zeros(t.n_rows)).drop(["extra"])
+    assert out.column_names == t.column_names
+    assert out["v"].to_list() == t["v"].to_list()

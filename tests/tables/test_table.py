@@ -1,0 +1,223 @@
+"""Tests for the Table container and its transforms."""
+
+import numpy as np
+import pytest
+
+from repro.tables import Column, DType, Field, Schema, Table, col, concat
+from repro.util.errors import DataError
+
+
+@pytest.fixture
+def t():
+    return Table.from_dict(
+        {
+            "city": ["Kyiv", "Lviv", "Kyiv", "Kharkiv"],
+            "rtt": [11.3, 5.6, 26.6, 23.1],
+            "tests": [100, 50, 80, 30],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_dict(self, t):
+        assert t.n_rows == 4
+        assert t.column_names == ["city", "rtt", "tests"]
+
+    def test_from_dict_with_dtypes(self):
+        t = Table.from_dict({"x": [1, 2]}, dtypes={"x": DType.FLOAT})
+        assert t.column("x").dtype is DType.FLOAT
+
+    def test_from_rows(self):
+        t = Table.from_rows([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert t.column("a").to_list() == [1, 2]
+
+    def test_from_rows_key_mismatch(self):
+        with pytest.raises(DataError):
+            Table.from_rows([{"a": 1}, {"b": 2}])
+
+    def test_from_rows_empty(self):
+        with pytest.raises(DataError):
+            Table.from_rows([])
+
+    def test_empty_with_schema(self):
+        schema = Schema([Field("x", DType.INT), Field("s", DType.STR)])
+        t = Table.empty(schema)
+        assert t.n_rows == 0
+        assert t.schema == schema
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(DataError):
+            Table([Column("a", [1, 2]), Column("b", [1])])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DataError):
+            Table([Column("a", [1]), Column("a", [2])])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(DataError):
+            Table([])
+
+
+class TestAccess:
+    def test_column_and_getitem(self, t):
+        assert t.column("rtt") is t["rtt"]
+
+    def test_unknown_column(self, t):
+        with pytest.raises(DataError, match="nope"):
+            t.column("nope")
+
+    def test_contains(self, t):
+        assert "city" in t
+        assert "nope" not in t
+
+    def test_row(self, t):
+        r = t.row(0)
+        assert r["city"] == "Kyiv"
+        assert r["rtt"] == pytest.approx(11.3)
+
+    def test_row_out_of_range(self, t):
+        with pytest.raises(IndexError):
+            t.row(4)
+
+    def test_iter_rows_and_to_dicts(self, t):
+        rows = t.to_dicts()
+        assert len(rows) == 4
+        assert rows[1]["city"] == "Lviv"
+
+    def test_schema(self, t):
+        assert t.schema.names == ["city", "rtt", "tests"]
+        assert t.schema["rtt"].dtype is DType.FLOAT
+
+
+class TestTransforms:
+    def test_filter_with_expr(self, t):
+        kyiv = t.filter(col("city") == "Kyiv")
+        assert kyiv.n_rows == 2
+        assert set(kyiv["city"].to_list()) == {"Kyiv"}
+
+    def test_filter_with_mask(self, t):
+        out = t.filter(np.array([True, False, False, True]))
+        assert out["city"].to_list() == ["Kyiv", "Kharkiv"]
+
+    def test_filter_mask_length_mismatch(self, t):
+        with pytest.raises(DataError):
+            t.filter(np.array([True]))
+
+    def test_select_orders_columns(self, t):
+        out = t.select(["tests", "city"])
+        assert out.column_names == ["tests", "city"]
+
+    def test_drop(self, t):
+        out = t.drop(["rtt"])
+        assert out.column_names == ["city", "tests"]
+
+    def test_drop_unknown(self, t):
+        with pytest.raises(DataError):
+            t.drop(["nope"])
+
+    def test_drop_all_rejected(self, t):
+        with pytest.raises(DataError):
+            t.drop(t.column_names)
+
+    def test_rename(self, t):
+        out = t.rename({"rtt": "min_rtt"})
+        assert "min_rtt" in out and "rtt" not in out
+
+    def test_rename_unknown(self, t):
+        with pytest.raises(DataError):
+            t.rename({"nope": "x"})
+
+    def test_with_column_adds(self, t):
+        out = t.with_column("loss", [0.1, 0.2, 0.3, 0.4])
+        assert out.column("loss").dtype is DType.FLOAT
+        assert t.n_rows == out.n_rows
+
+    def test_with_column_replaces(self, t):
+        out = t.with_column("tests", [0, 0, 0, 0])
+        assert out["tests"].to_list() == [0, 0, 0, 0]
+
+    def test_with_column_length_mismatch(self, t):
+        with pytest.raises(DataError):
+            t.with_column("x", [1])
+
+    def test_take(self, t):
+        out = t.take(np.array([3, 0]))
+        assert out["city"].to_list() == ["Kharkiv", "Kyiv"]
+
+    def test_sort_by_single(self, t):
+        out = t.sort_by("rtt")
+        assert out["rtt"].to_list() == sorted(t["rtt"].to_list())
+
+    def test_sort_by_descending(self, t):
+        out = t.sort_by("rtt", descending=True)
+        assert out["rtt"].to_list() == sorted(t["rtt"].to_list(), reverse=True)
+
+    def test_sort_by_multi_primary_first(self):
+        t = Table.from_dict({"a": ["x", "x", "y"], "b": [2, 1, 0]})
+        out = t.sort_by(["a", "b"])
+        assert out["b"].to_list() == [1, 2, 0]
+
+    def test_sort_by_str_with_none(self):
+        t = Table.from_dict({"s": ["b", None, "a"]})
+        out = t.sort_by("s")
+        # None sorts as the empty string, i.e. first; values stay None.
+        assert out["s"].to_list() == [None, "a", "b"]
+
+    def test_sort_by_empty_names(self, t):
+        with pytest.raises(ValueError):
+            t.sort_by([])
+
+    def test_head(self, t):
+        assert t.head(2).n_rows == 2
+        assert t.head(100).n_rows == 4
+
+
+class TestSampleDescribe:
+    def test_sample_subset(self, t):
+        out = t.sample(2, np.random.default_rng(0))
+        assert out.n_rows == 2
+        assert set(out["city"].to_list()) <= set(t["city"].to_list())
+
+    def test_sample_without_replacement(self, t):
+        out = t.sample(4, np.random.default_rng(1))
+        assert sorted(out["tests"].to_list()) == sorted(t["tests"].to_list())
+
+    def test_sample_caps_at_size(self, t):
+        assert t.sample(100, np.random.default_rng(2)).n_rows == t.n_rows
+
+    def test_sample_invalid(self, t):
+        with pytest.raises(ValueError):
+            t.sample(0, np.random.default_rng(0))
+
+    def test_describe(self, t):
+        d = t.describe()
+        cols = {r["column"]: r for r in d.to_dicts()}
+        assert set(cols) == {"rtt", "tests"}  # str column excluded
+        assert cols["tests"]["mean"] == pytest.approx(65.0)
+        assert cols["rtt"]["min"] == pytest.approx(5.6)
+
+    def test_describe_no_numeric_rejected(self):
+        from repro.util.errors import DataError
+
+        t = Table.from_dict({"s": ["a", "b"]})
+        with pytest.raises(DataError):
+            t.describe()
+
+
+class TestConcat:
+    def test_concat(self, t):
+        out = concat([t, t])
+        assert out.n_rows == 8
+        assert out.column_names == t.column_names
+
+    def test_concat_schema_mismatch(self, t):
+        other = Table.from_dict({"city": ["a"], "rtt": [1.0], "tests": [1.0]})
+        with pytest.raises(DataError):
+            concat([t, other])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(DataError):
+            concat([])
+
+    def test_concat_single(self, t):
+        assert concat([t]).n_rows == t.n_rows

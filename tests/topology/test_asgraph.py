@@ -1,0 +1,105 @@
+"""Tests for the AS graph."""
+
+import pytest
+
+from repro.netbase import ASRegistry, ASRole, AutonomousSystem
+from repro.topology import ASGraph, Link, LinkKind
+from repro.util.errors import TopologyError
+
+
+@pytest.fixture
+def registry():
+    reg = ASRegistry()
+    reg.register(AutonomousSystem(1, "Transit-1", "US", ASRole.TRANSIT))
+    reg.register(AutonomousSystem(2, "Transit-2", "DE", ASRole.TRANSIT))
+    reg.register(AutonomousSystem(10, "Eyeball", "UA", ASRole.EYEBALL))
+    reg.register(AutonomousSystem(20, "Island", "UA", ASRole.EYEBALL))
+    return reg
+
+
+def transit(provider, customer, **kw):
+    defaults = dict(kind=LinkKind.TRANSIT, base_rtt_ms=5.0, capacity_mbps=1000.0)
+    defaults.update(kw)
+    return Link(a=provider, b=customer, **defaults)
+
+
+class TestLink:
+    def test_key_canonical(self):
+        assert transit(5, 3).key == (3, 5)
+        assert transit(3, 5).key == (3, 5)
+
+    def test_other_and_involves(self):
+        l = transit(1, 10)
+        assert l.other(1) == 10
+        assert l.other(10) == 1
+        assert l.involves(1) and not l.involves(99)
+        with pytest.raises(TopologyError):
+            l.other(99)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            transit(1, 1)
+
+    def test_peering_order_enforced(self):
+        with pytest.raises(TopologyError):
+            Link(a=5, b=3, kind=LinkKind.PEERING, base_rtt_ms=1.0, capacity_mbps=1.0)
+
+    def test_attribute_validation(self):
+        with pytest.raises(ValueError):
+            transit(1, 2, base_rtt_ms=-1.0)
+        with pytest.raises(ValueError):
+            transit(1, 2, capacity_mbps=0.0)
+
+
+class TestGraph:
+    def test_add_transit_link(self, registry):
+        g = ASGraph(registry)
+        g.add(transit(1, 10))
+        assert g.providers(10) == {1}
+        assert g.customers(1) == {10}
+        assert g.peers(10) == set()
+        assert g.neighbors(10) == {1}
+        assert g.degree(1) == 1
+        assert g.n_links() == 1
+
+    def test_add_peering_link(self, registry):
+        g = ASGraph(registry)
+        g.add(Link(a=1, b=2, kind=LinkKind.PEERING, base_rtt_ms=5.0, capacity_mbps=1.0))
+        assert g.peers(1) == {2}
+        assert g.peers(2) == {1}
+        assert g.providers(1) == set()
+
+    def test_link_between_either_order(self, registry):
+        g = ASGraph(registry)
+        g.add(transit(1, 10))
+        assert g.link_between(1, 10) is not None
+        assert g.link_between(10, 1) is not None
+        assert g.link_between(1, 2) is None
+
+    def test_unregistered_as_rejected(self, registry):
+        g = ASGraph(registry)
+        with pytest.raises(TopologyError):
+            g.add(transit(1, 999))
+
+    def test_duplicate_link_rejected(self, registry):
+        g = ASGraph(registry)
+        g.add(transit(1, 10))
+        with pytest.raises(TopologyError):
+            g.add(transit(1, 10))
+
+    def test_links_of(self, registry):
+        g = ASGraph(registry)
+        g.add(transit(1, 10))
+        g.add(transit(2, 10))
+        assert len(g.links_of(10)) == 2
+        assert len(g.links_of(1)) == 1
+
+    def test_validate_connected(self, registry):
+        g = ASGraph(registry)
+        g.add(transit(1, 10))
+        g.validate_connected([1, 10])
+        with pytest.raises(TopologyError, match="20"):
+            g.validate_connected([1, 10, 20])
+
+    def test_validate_connected_empty(self, registry):
+        ASGraph(registry).validate_connected([])

@@ -1,0 +1,116 @@
+"""Property-based tests: valley-free validity on random topologies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netbase import ASRegistry, ASRole, AutonomousSystem
+from repro.topology import ASGraph, Link, LinkKind, valley_free_paths
+
+
+@st.composite
+def random_graphs(draw):
+    """A random DAG-ish provider hierarchy plus random peerings."""
+    n = draw(st.integers(4, 12))
+    registry = ASRegistry()
+    for asn in range(1, n + 1):
+        registry.register(
+            AutonomousSystem(asn, f"AS-{asn}", "US", ASRole.TRANSIT)
+        )
+    graph = ASGraph(registry)
+    # Provider edges only point from lower ASN (higher tier) to higher ASN,
+    # guaranteeing no customer-provider cycles.
+    n_edges = draw(st.integers(n - 1, 3 * n))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    added = set()
+    for _ in range(n_edges):
+        a = int(rng.integers(1, n))
+        b = int(rng.integers(a + 1, n + 1))
+        if (a, b) in added or a == b:
+            continue
+        added.add((a, b))
+        kind = LinkKind.PEERING if rng.random() < 0.25 else LinkKind.TRANSIT
+        graph.add(
+            Link(a=a, b=b, kind=kind, base_rtt_ms=1.0, capacity_mbps=100.0)
+        )
+    src = draw(st.integers(1, n))
+    dst = draw(st.integers(1, n))
+    return graph, src, dst
+
+
+def _is_valley_free(graph: ASGraph, asns) -> bool:
+    """Check up* peer? down* by classifying each hop."""
+    phase = 0  # 0 climbing, 1 after peer, 2 descending
+    for x, y in zip(asns, asns[1:]):
+        link = graph.link_between(x, y)
+        if link is None:
+            return False
+        if link.kind is LinkKind.PEERING:
+            step = "peer"
+        elif link.a == y:  # y is x's provider -> climbing
+            step = "up"
+        else:
+            step = "down"
+        if step == "up":
+            if phase != 0:
+                return False
+        elif step == "peer":
+            if phase != 0:
+                return False
+            phase = 1
+        else:
+            phase = 2
+    return True
+
+
+@given(random_graphs())
+@settings(max_examples=80, deadline=None)
+def test_all_paths_valley_free_and_loop_free(case):
+    graph, src, dst = case
+    paths = valley_free_paths(graph, src, dst)
+    for p in paths:
+        assert p.asns[0] == src and p.asns[-1] == dst
+        assert len(set(p.asns)) == len(p.asns)  # loop-free
+        assert _is_valley_free(graph, p.asns), p.asns
+
+
+@given(random_graphs())
+@settings(max_examples=80, deadline=None)
+def test_flags_match_path_structure(case):
+    graph, src, dst = case
+    for p in valley_free_paths(graph, src, dst):
+        used_up = any(
+            graph.link_between(x, y).kind is LinkKind.TRANSIT
+            and graph.link_between(x, y).a == y
+            for x, y in zip(p.asns, p.asns[1:])
+        )
+        used_peer = any(
+            graph.link_between(x, y).kind is LinkKind.PEERING
+            for x, y in zip(p.asns, p.asns[1:])
+        )
+        assert p.used_up == used_up
+        assert p.used_peer == used_peer
+
+
+@given(random_graphs())
+@settings(max_examples=50, deadline=None)
+def test_excluding_all_best_links_never_returns_excluded(case):
+    graph, src, dst = case
+    paths = valley_free_paths(graph, src, dst)
+    if not paths:
+        return
+    excluded = frozenset(l.key for l in paths[0].links(graph))
+    for p in valley_free_paths(graph, src, dst, excluded=excluded):
+        for link in p.links(graph):
+            assert link.key not in excluded
+
+
+@given(random_graphs())
+@settings(max_examples=50, deadline=None)
+def test_max_hops_monotone(case):
+    graph, src, dst = case
+    short = valley_free_paths(graph, src, dst, max_hops=3)
+    longer = valley_free_paths(graph, src, dst, max_hops=6, max_paths=1000)
+    assert {p.asns for p in short} <= {p.asns for p in longer}

@@ -1,0 +1,130 @@
+"""Tests for the default topology."""
+
+import pytest
+
+from repro.netbase import ASRole
+from repro.topology import build_default_topology, valley_free_paths
+from repro.topology.builder import (
+    CASE_STUDY_UA_ASN,
+    COGENT,
+    DEGRADING_BORDER_ASN,
+    HURRICANE_ELECTRIC,
+)
+
+PAPER_TOP10 = [15895, 3255, 25229, 35297, 21488, 21497, 6876, 50581, 39608, 13307]
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_default_topology()
+
+
+class TestInventory:
+    def test_paper_top10_present_with_names(self, topo):
+        for asn in PAPER_TOP10:
+            assert asn in topo.registry
+        assert topo.registry.get(15895).name == "Kyivstar"
+        assert topo.registry.get(6876).name == "TeNeT"
+        assert topo.registry.get(13307).name == "SKIF ISP Ltd."
+
+    def test_case_study_ases_present(self, topo):
+        assert CASE_STUDY_UA_ASN in topo.registry
+        assert topo.registry.get(HURRICANE_ELECTRIC).name == "Hurricane Electric"
+        assert DEGRADING_BORDER_ASN in topo.registry
+        assert topo.registry.get(COGENT).name == "Cogent Networks"
+
+    def test_top10_are_ukrainian_eyeballs(self, topo):
+        for asn in PAPER_TOP10:
+            asys = topo.registry.get(asn)
+            assert asys.is_ukrainian
+            assert asys.role is ASRole.EYEBALL
+
+    def test_borders_are_foreign(self, topo):
+        for asys in topo.registry.with_role(ASRole.BORDER):
+            assert not asys.is_ukrainian
+
+    def test_mlab_sites_exist_outside_ukraine(self, topo):
+        sites = topo.registry.with_role(ASRole.MLAB)
+        assert len(sites) >= 5  # distributed platform
+        for s in sites:
+            assert not s.is_ukrainian  # paper: no NDT servers in Ukraine/Russia
+        assert set(topo.mlab_sites) == {s.asn for s in sites}
+
+
+class TestCoverage:
+    def test_every_city_served_by_3plus_ases(self, topo):
+        for city, asns in topo.coverage.items():
+            assert len(asns) >= 3, f"{city} has only {asns}"
+
+    def test_nationwide_isps_cover_all_cities(self, topo):
+        n_cities = len(topo.gazetteer.city_names())
+        for asn in (15895, 21497):  # Kyivstar, Vodafone
+            assert len(topo.cities_of(asn)) == n_cities
+
+    def test_tenet_serves_odessa_only(self, topo):
+        assert topo.cities_of(6876) == ["Odessa"]
+
+    def test_mariupol_served(self, topo):
+        assert len(topo.coverage["Mariupol"]) >= 3
+
+    def test_client_blocks_allocated_per_coverage(self, topo):
+        for city, asns in topo.coverage.items():
+            for asn in asns:
+                assert topo.iplayer.blocks_for(asn, city), (asn, city)
+
+    def test_primary_city_known_for_each_eyeball(self, topo):
+        for asn in topo.eyeball_asns():
+            assert asn in topo.primary_city
+            assert topo.primary_city[asn] in topo.gazetteer.city_names()
+
+
+class TestConnectivity:
+    def test_every_eyeball_reaches_every_mlab_site(self, topo):
+        for eyeball in topo.eyeball_asns():
+            for site_asn in topo.mlab_sites:
+                paths = valley_free_paths(topo.graph, eyeball, site_asn)
+                assert paths, f"AS{eyeball} cannot reach site AS{site_asn}"
+
+    def test_multihomed_eyeballs_have_multiple_routes(self, topo):
+        paths = valley_free_paths(topo.graph, 15895, 64499)
+        assert len(paths) >= 2
+
+    def test_case_study_as_has_three_foreign_upstreams(self, topo):
+        providers = topo.graph.providers(CASE_STUDY_UA_ASN)
+        foreign = {p for p in providers if not topo.registry.get(p).is_ukrainian}
+        assert foreign == {HURRICANE_ELECTRIC, DEGRADING_BORDER_ASN, 9002}
+
+    def test_war_sensitive_links_tagged_with_real_cities(self, topo):
+        tagged = topo.war_sensitive_links()
+        assert tagged  # some links must be war-sensitive
+        cities = set(topo.gazetteer.city_names())
+        for key, city in tagged.items():
+            assert city in cities
+
+
+class TestSchedules:
+    def test_case_study_degradation_scheduled(self, topo):
+        keys = {s.link_key for s in topo.degradation_schedules}
+        assert tuple(sorted((DEGRADING_BORDER_ASN, CASE_STUDY_UA_ASN))) in keys
+
+    def test_cogent_decline_scheduled(self, topo):
+        cogent_links = [
+            s for s in topo.degradation_schedules if COGENT in s.link_key
+        ]
+        assert len(cogent_links) >= 1
+
+    def test_scheduled_links_exist_in_graph(self, topo):
+        for sched in topo.degradation_schedules:
+            a, b = sched.link_key
+            assert topo.graph.link_between(a, b) is not None
+
+
+class TestDeterminism:
+    def test_two_builds_identical(self):
+        t1 = build_default_topology()
+        t2 = build_default_topology()
+        assert {l.key for l in t1.graph.links()} == {l.key for l in t2.graph.links()}
+        l1 = {l.key: l.base_rtt_ms for l in t1.graph.links()}
+        l2 = {l.key: l.base_rtt_ms for l in t2.graph.links()}
+        assert l1 == l2
+        assert t1.coverage == t2.coverage

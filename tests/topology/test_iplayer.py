@@ -1,0 +1,99 @@
+"""Tests for IP address assignment."""
+
+import pytest
+
+from repro.netbase import ASRegistry, ASRole, AutonomousSystem, IPv4Address
+from repro.topology import IpLayer
+from repro.util.errors import TopologyError
+
+
+@pytest.fixture
+def layer():
+    reg = ASRegistry()
+    reg.register(AutonomousSystem(15895, "Kyivstar", "UA", ASRole.EYEBALL))
+    reg.register(AutonomousSystem(6939, "Hurricane Electric", "US", ASRole.BORDER))
+    return IpLayer(reg)
+
+
+class TestInfrastructure:
+    def test_assigns_distinct_slash16(self, layer):
+        p1 = layer.register_infrastructure(15895)
+        p2 = layer.register_infrastructure(6939)
+        assert p1.length == 16 and p2.length == 16
+        assert p1 != p2
+
+    def test_idempotent(self, layer):
+        assert layer.register_infrastructure(15895) == layer.register_infrastructure(15895)
+
+    def test_unregistered_rejected(self, layer):
+        with pytest.raises(TopologyError):
+            layer.register_infrastructure(999)
+
+    def test_router_ip_within_prefix(self, layer):
+        prefix = layer.register_infrastructure(15895)
+        ip = layer.router_ip(15895, 0)
+        assert prefix.contains(ip)
+        assert ip != prefix.network  # skips the network address
+
+    def test_router_ips_distinct(self, layer):
+        layer.register_infrastructure(15895)
+        ips = {layer.router_ip(15895, i) for i in range(100)}
+        assert len(ips) == 100
+
+    def test_router_ip_bounds(self, layer):
+        layer.register_infrastructure(15895)
+        with pytest.raises(TopologyError):
+            layer.router_ip(15895, -1)
+        with pytest.raises(TopologyError):
+            layer.router_ip(15895, 2**16)
+
+    def test_router_ip_without_infra(self, layer):
+        with pytest.raises(TopologyError):
+            layer.router_ip(6939, 0)
+
+
+class TestClientBlocks:
+    def test_allocate_and_query(self, layer):
+        p = layer.allocate_client_block(15895, "Kyiv")
+        assert p.length == 20
+        assert layer.blocks_for(15895, "Kyiv") == [p]
+        assert layer.blocks_for(15895, "Lviv") == []
+
+    def test_blocks_distinct(self, layer):
+        a = layer.allocate_client_block(15895, "Kyiv")
+        b = layer.allocate_client_block(15895, "Kyiv")
+        c = layer.allocate_client_block(6939, "Lviv")
+        assert len({a, b, c}) == 3
+        assert layer.blocks_for(15895, "Kyiv") == [a, b]
+
+    def test_ground_truth_export(self, layer):
+        p = layer.allocate_client_block(15895, "Kyiv")
+        assert layer.client_blocks() == [(p, 15895, "Kyiv")]
+
+    def test_served_cities(self, layer):
+        layer.allocate_client_block(15895, "Kyiv")
+        layer.allocate_client_block(15895, "Lviv")
+        assert layer.served_cities(15895) == ["Kyiv", "Lviv"]
+
+    def test_unregistered_rejected(self, layer):
+        with pytest.raises(TopologyError):
+            layer.allocate_client_block(999, "Kyiv")
+
+
+class TestAsOfIp:
+    def test_infrastructure_lookup(self, layer):
+        layer.register_infrastructure(15895)
+        assert layer.as_of_ip(layer.router_ip(15895, 7)) == 15895
+
+    def test_client_lookup(self, layer):
+        p = layer.allocate_client_block(6939, "Kyiv")
+        assert layer.as_of_ip(p.address_at(37)) == 6939
+
+    def test_unknown_space(self, layer):
+        assert layer.as_of_ip(IPv4Address.parse("203.0.113.1")) is None
+
+    def test_infra_and_client_spaces_disjoint(self, layer):
+        infra = layer.register_infrastructure(15895)
+        client = layer.allocate_client_block(15895, "Kyiv")
+        assert not infra.contains(client.network)
+        assert not client.contains(infra.network)

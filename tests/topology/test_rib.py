@@ -1,0 +1,65 @@
+"""Tests for RIB snapshots and route churn."""
+
+import pytest
+
+from repro.topology import RouteSelector, StickyRouter, build_default_topology
+from repro.topology.rib import RibSnapshot, compute_churn
+from repro.util import Day, DayGrid
+
+
+@pytest.fixture(scope="module")
+def router():
+    topo = build_default_topology()
+    selector = RouteSelector(topo.graph, lambda link, day: 1.0)
+    return StickyRouter(selector, seed=5, epoch_days=14), topo
+
+
+class TestComputeChurn:
+    def test_healthy_network_low_churn(self, router):
+        sticky, topo = router
+        pairs = [(15895, 64496), (21497, 64500), (6876, 64500)]
+        grid = DayGrid("2022-01-01", "2022-02-23")
+        churn = compute_churn(sticky, pairs, grid)
+        assert len(churn.changes) == len(grid) - 1
+        # Frozen Gumbel choices: only occasional epoch-jitter flips.
+        assert sum(churn.changes) <= len(pairs) * 6
+        assert sum(churn.withdrawals) == 0
+
+    def test_outages_force_churn(self, router):
+        sticky, topo = router
+        pairs = [(15895, 64496)]
+        grid = DayGrid("2022-03-01", "2022-03-10")
+        # The sticky route's access link flaps every other day.
+        path = sticky.route(15895, 64496, Day.of("2022-03-01").ordinal)
+        first_link = path.links(topo.graph)[0].key
+        down_by_day = {
+            Day.of(f"2022-03-{d:02d}").ordinal: frozenset({first_link})
+            for d in range(2, 10, 2)
+        }
+        churn = compute_churn(sticky, pairs, grid, down_by_day)
+        assert sum(churn.changes) >= 4  # failover out and back repeatedly
+
+    def test_total_change_windows(self, router):
+        sticky, _topo = router
+        pairs = [(15895, 64496), (13307, 64500)]
+        grid = DayGrid("2022-01-01", "2022-01-31")
+        churn = compute_churn(sticky, pairs, grid)
+        total = churn.total_changes(Day.of("2022-01-02"), Day.of("2022-01-31"))
+        assert total == sum(churn.changes)
+
+    def test_empty_pairs_rejected(self, router):
+        sticky, _topo = router
+        with pytest.raises(ValueError):
+            compute_churn(sticky, [], DayGrid("2022-01-01", "2022-01-05"))
+
+
+class TestSnapshot:
+    def test_snapshot_accessors(self):
+        snap = RibSnapshot(
+            day=Day.of("2022-01-01"),
+            routes={(1, 2): (1, 3, 2), (4, 5): None},
+        )
+        assert snap.route_for(1, 2) == (1, 3, 2)
+        assert snap.route_for(4, 5) is None
+        assert snap.route_for(9, 9) is None
+        assert snap.n_reachable() == 1

@@ -1,0 +1,88 @@
+"""Tests for topology JSON round-trips."""
+
+import json
+
+import pytest
+
+from repro.netbase import IPv4Address
+from repro.topology import build_default_topology
+from repro.topology.serialize import topology_from_json, topology_to_json
+from repro.util.errors import TopologyError
+
+
+@pytest.fixture(scope="module")
+def roundtrip():
+    original = build_default_topology()
+    return original, topology_from_json(topology_to_json(original))
+
+
+class TestRoundtrip:
+    def test_registry_identical(self, roundtrip):
+        original, restored = roundtrip
+        assert len(original.registry) == len(restored.registry)
+        for a in original.registry:
+            b = restored.registry.get(a.asn)
+            assert (a.name, a.country, a.role) == (b.name, b.country, b.role)
+
+    def test_links_identical(self, roundtrip):
+        original, restored = roundtrip
+        orig = {l.key: l for l in original.graph.links()}
+        rest = {l.key: l for l in restored.graph.links()}
+        assert orig.keys() == rest.keys()
+        for key in orig:
+            a, b = orig[key], rest[key]
+            assert (a.kind, a.base_rtt_ms, a.capacity_mbps, a.city, a.pref) == (
+                b.kind, b.base_rtt_ms, b.capacity_mbps, b.city, b.pref
+            )
+
+    def test_coverage_and_sites(self, roundtrip):
+        original, restored = roundtrip
+        assert original.coverage == restored.coverage
+        assert original.primary_city == restored.primary_city
+        assert set(original.mlab_sites) == set(restored.mlab_sites)
+
+    def test_schedules_identical(self, roundtrip):
+        original, restored = roundtrip
+        assert original.degradation_schedules == restored.degradation_schedules
+
+    def test_iplayer_rederived_identically(self, roundtrip):
+        original, restored = roundtrip
+        assert original.iplayer.client_blocks() == restored.iplayer.client_blocks()
+        probe = original.iplayer.blocks_for(15895, "Kyiv")[0].address_at(5)
+        assert restored.iplayer.as_of_ip(probe) == 15895
+
+    def test_restored_topology_generates(self, roundtrip):
+        from repro.synth import DatasetGenerator, GeneratorConfig
+
+        _original, restored = roundtrip
+        ds = DatasetGenerator(
+            GeneratorConfig(seed=3, scale=0.01), topology=restored
+        ).generate()
+        assert ds.ndt.n_rows > 100
+
+    def test_generation_matches_original_topology(self, roundtrip):
+        from repro.synth import DatasetGenerator, GeneratorConfig
+
+        original, restored = roundtrip
+        a = DatasetGenerator(GeneratorConfig(seed=4, scale=0.01), topology=original).generate()
+        b = DatasetGenerator(GeneratorConfig(seed=4, scale=0.01), topology=restored).generate()
+        assert a.ndt["min_rtt_ms"].to_list() == b.ndt["min_rtt_ms"].to_list()
+        assert a.traces["path"].to_list() == b.traces["path"].to_list()
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(TopologyError):
+            topology_from_json("not json {")
+
+    def test_wrong_version(self):
+        doc = json.loads(topology_to_json(build_default_topology()))
+        doc["version"] = 99
+        with pytest.raises(TopologyError):
+            topology_from_json(json.dumps(doc))
+
+    def test_missing_coverage_rejected(self):
+        doc = json.loads(topology_to_json(build_default_topology()))
+        del doc["coverage"]["Kyiv"]
+        with pytest.raises(TopologyError):
+            topology_from_json(json.dumps(doc))

@@ -1,0 +1,131 @@
+"""Tests for router alias resolution."""
+
+import pytest
+
+from repro.tables import Table
+from repro.traceroute.alias import AliasMap, resolve_aliases, router_level_paths
+from repro.util.errors import AnalysisError
+
+
+def trace_table(rows):
+    """rows: list of (path, as_path) string pairs."""
+    return Table.from_dict(
+        {
+            "test_id": list(range(1, len(rows) + 1)),
+            "path": [r[0] for r in rows],
+            "as_path": [r[1] for r in rows],
+        }
+    )
+
+
+class TestResolve:
+    def test_same_subnet_same_context_merged(self):
+        # Two middle-hop interfaces 10.1.0.5 and 10.1.0.9 share a /27 and the
+        # same (src AS, dst AS) context -> aliases of one router.
+        rows = [
+            ("10.9.0.1|10.1.0.5|100.64.0.2", "64496|3326|15895"),
+            ("10.9.0.1|10.1.0.9|100.64.0.2", "64496|3326|15895"),
+            ("10.9.0.1|10.1.0.5|100.64.0.2", "64496|3326|15895"),
+            ("10.9.0.1|10.1.0.9|100.64.0.2", "64496|3326|15895"),
+        ]
+        amap = resolve_aliases(trace_table(rows))
+        a = int.from_bytes(bytes([10, 1, 0, 5]), "big")
+        b = int.from_bytes(bytes([10, 1, 0, 9]), "big")
+        assert amap.router_of(a) == amap.router_of(b)
+        assert amap.n_merged_interfaces() >= 1
+
+    def test_different_subnets_not_merged(self):
+        rows = [
+            ("10.9.0.1|10.1.0.5|100.64.0.2", "64496|3326|15895"),
+            ("10.9.0.1|10.1.64.9|100.64.0.2", "64496|3326|15895"),
+        ] * 2
+        amap = resolve_aliases(trace_table(rows))
+        a = int.from_bytes(bytes([10, 1, 0, 5]), "big")
+        b = int.from_bytes(bytes([10, 1, 64, 9]), "big")
+        assert amap.router_of(a) != amap.router_of(b)
+
+    def test_same_subnet_different_context_not_merged(self):
+        rows = [
+            ("10.9.0.1|10.1.0.5|100.64.0.2", "64496|3326|15895"),
+            ("10.9.0.1|10.1.0.5|100.64.0.2", "64496|3326|15895"),
+            ("10.8.0.1|10.1.0.9|100.64.9.2", "64500|6849|21497"),
+            ("10.8.0.1|10.1.0.9|100.64.9.2", "64500|6849|21497"),
+        ]
+        amap = resolve_aliases(trace_table(rows))
+        a = int.from_bytes(bytes([10, 1, 0, 5]), "big")
+        b = int.from_bytes(bytes([10, 1, 0, 9]), "big")
+        assert amap.router_of(a) != amap.router_of(b)
+
+    def test_rare_interfaces_excluded(self):
+        rows = [
+            ("10.9.0.1|10.1.0.5|100.64.0.2", "64496|3326|15895"),  # seen once
+            ("10.9.0.1|10.1.0.9|100.64.0.2", "64496|3326|15895"),
+            ("10.9.0.1|10.1.0.9|100.64.0.2", "64496|3326|15895"),
+        ]
+        amap = resolve_aliases(trace_table(rows), min_sightings=2)
+        a = int.from_bytes(bytes([10, 1, 0, 5]), "big")
+        # The once-seen interface stays its own router.
+        assert amap.router_of(a) == a
+
+    def test_aliases_of(self):
+        rows = [
+            ("10.9.0.1|10.1.0.5|100.64.0.2", "64496|3326|15895"),
+            ("10.9.0.1|10.1.0.9|100.64.0.2", "64496|3326|15895"),
+        ] * 2
+        amap = resolve_aliases(trace_table(rows))
+        a = int.from_bytes(bytes([10, 1, 0, 5]), "big")
+        assert len(amap.aliases_of(a)) == 2
+
+    def test_validation(self):
+        t = trace_table([("10.0.0.1|10.0.0.2", "1|2")])
+        with pytest.raises(AnalysisError):
+            resolve_aliases(t, subnet_bits=31)
+
+
+class TestRouterLevelPaths:
+    def test_rewrites_aliases_to_canonical(self):
+        rows = [
+            ("10.9.0.1|10.1.0.5|100.64.0.2", "64496|3326|15895"),
+            ("10.9.0.1|10.1.0.9|100.64.0.2", "64496|3326|15895"),
+        ] * 3
+        out = router_level_paths(trace_table(rows))
+        assert out["path"].nunique() == 1  # the two IP paths were one router path
+
+    def test_non_aliases_stay_distinct(self):
+        rows = [
+            ("10.9.0.1|10.1.0.5|100.64.0.2", "64496|3326|15895"),
+            ("10.9.0.1|10.2.0.5|100.64.0.2", "64496|6849|15895"),
+        ] * 2
+        out = router_level_paths(trace_table(rows))
+        assert out["path"].nunique() == 2
+
+    def test_other_columns_preserved(self):
+        rows = [("10.9.0.1|10.1.0.5|100.64.0.2", "64496|3326|15895")] * 2
+        t = trace_table(rows)
+        out = router_level_paths(t)
+        assert out["test_id"].to_list() == t["test_id"].to_list()
+        assert out.n_rows == t.n_rows
+
+
+class TestOnGeneratedData:
+    def test_router_paths_never_exceed_ip_paths(self, small_dataset):
+        from repro.analysis.paths import path_count_table
+
+        traces = small_dataset.traces
+        ip_table = {r["period"]: r for r in path_count_table(traces).iter_rows()}
+        router = router_level_paths(traces)
+        router_table = {r["period"]: r for r in path_count_table(router).iter_rows()}
+        for period in ip_table:
+            assert (
+                router_table[period]["paths_per_conn"]
+                <= ip_table[period]["paths_per_conn"] + 1e-9
+            )
+
+    def test_wartime_growth_survives_alias_resolution(self, medium_dataset):
+        # The paper's hope: router-level counting refines, not destroys,
+        # the diversity signal.
+        from repro.analysis.paths import path_count_table
+
+        router = router_level_paths(medium_dataset.traces)
+        rows = {r["period"]: r for r in path_count_table(router).iter_rows()}
+        assert rows["wartime"]["paths_per_conn"] > rows["prewar"]["paths_per_conn"]

@@ -1,0 +1,131 @@
+"""Tests for the scamper sidecar's hop generation."""
+
+import numpy as np
+import pytest
+
+from repro.mlab import SiteRegistry
+from repro.topology import build_default_topology, valley_free_paths
+from repro.traceroute import ScamperSidecar
+from repro.util import Day
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_default_topology()
+
+
+@pytest.fixture(scope="module")
+def setup(topo):
+    sites = SiteRegistry.from_topology(topo)
+    site = sites.by_code("waw01")
+    as_path = valley_free_paths(topo.graph, 15895, site.asn)[0].asns
+    client_ip = topo.iplayer.blocks_for(15895, "Kyiv")[0].address_at(100)
+    return site, as_path, client_ip
+
+
+DAY = Day.of("2022-01-15").ordinal
+
+
+def make_sidecar(topo, **kw):
+    return ScamperSidecar(topo, **kw)
+
+
+class TestTrace:
+    def test_endpoints_and_direction(self, topo, setup):
+        site, as_path, client_ip = setup
+        sc = make_sidecar(topo, jitter=0.0)
+        rec = sc.trace(1, client_ip, site.server_ip, as_path, DAY, np.random.default_rng(0))
+        assert rec.hop_ips[0] == site.server_ip
+        assert rec.hop_ips[-1] == client_ip
+        assert rec.hop_asns[0] == site.asn
+        assert rec.hop_asns[-1] == 15895
+
+    def test_as_path_reversed(self, topo, setup):
+        site, as_path, client_ip = setup
+        sc = make_sidecar(topo, jitter=0.0)
+        rec = sc.trace(1, client_ip, site.server_ip, as_path, DAY, np.random.default_rng(0))
+        assert rec.as_path == tuple(reversed(as_path))
+
+    def test_hops_belong_to_claimed_ases(self, topo, setup):
+        site, as_path, client_ip = setup
+        sc = make_sidecar(topo, jitter=0.0)
+        rec = sc.trace(1, client_ip, site.server_ip, as_path, DAY, np.random.default_rng(0))
+        for ip, asn in zip(rec.hop_ips, rec.hop_asns):
+            assert topo.iplayer.as_of_ip(ip) == asn
+
+    def test_client_as_has_two_router_hops(self, topo, setup):
+        site, as_path, client_ip = setup
+        sc = make_sidecar(topo, jitter=0.0)
+        rec = sc.trace(1, client_ip, site.server_ip, as_path, DAY, np.random.default_rng(0))
+        client_hops = [a for a in rec.hop_asns if a == 15895]
+        assert len(client_hops) == 3  # core router + gateway + client itself
+
+    def test_same_day_same_path(self, topo, setup):
+        site, as_path, client_ip = setup
+        sc = make_sidecar(topo, jitter=0.0)
+        a = sc.trace(1, client_ip, site.server_ip, as_path, DAY, np.random.default_rng(0))
+        b = sc.trace(2, client_ip, site.server_ip, as_path, DAY, np.random.default_rng(99))
+        assert a.path_key == b.path_key
+
+    def test_paths_form_small_family_over_54_days(self, topo, setup):
+        # Table 2: a busy connection sees ~2-4 paths per 54-day window, not a
+        # fresh path per test.
+        site, as_path, client_ip = setup
+        sc = make_sidecar(topo, epoch_days=90, jitter=0.0)
+        rng = np.random.default_rng(0)
+        keys = {
+            sc.trace(i, client_ip, site.server_ip, as_path, DAY + i, rng).path_key
+            for i in range(54)
+        }
+        assert 1 <= len(keys) <= 6
+
+    def test_shorter_epochs_more_paths(self, topo, setup):
+        site, as_path, client_ip = setup
+        rng = np.random.default_rng(0)
+
+        def n_paths(epoch_days):
+            sc = make_sidecar(topo, epoch_days=epoch_days, jitter=0.0)
+            return len(
+                {
+                    sc.trace(i, client_ip, site.server_ip, as_path, DAY + i, rng).path_key
+                    for i in range(54)
+                }
+            )
+
+        assert n_paths(9) > n_paths(48)
+
+    def test_jitter_adds_occasional_variant(self, topo, setup):
+        site, as_path, client_ip = setup
+        sc_nojit = make_sidecar(topo, jitter=0.0)
+        sc_jit = make_sidecar(topo, jitter=1.0)
+        rng = np.random.default_rng(1)
+        base = sc_nojit.trace(1, client_ip, site.server_ip, as_path, DAY, rng).path_key
+        jittered = {
+            sc_jit.trace(i, client_ip, site.server_ip, as_path, DAY, rng).path_key
+            for i in range(20)
+        }
+        assert any(k != base for k in jittered)
+
+    def test_different_as_paths_different_ip_paths(self, topo, setup):
+        site, _as_path, client_ip = setup
+        paths = valley_free_paths(topo.graph, 15895, site.asn)
+        assert len(paths) >= 2
+        sc = make_sidecar(topo, jitter=0.0)
+        rng = np.random.default_rng(2)
+        k1 = sc.trace(1, client_ip, site.server_ip, paths[0].asns, DAY, rng).path_key
+        k2 = sc.trace(2, client_ip, site.server_ip, paths[1].asns, DAY, rng).path_key
+        assert k1 != k2
+
+    def test_short_as_path_rejected(self, topo, setup):
+        site, _as_path, client_ip = setup
+        sc = make_sidecar(topo)
+        with pytest.raises(ValueError):
+            sc.trace(1, client_ip, site.server_ip, (15895,), DAY, np.random.default_rng(0))
+
+    def test_invalid_params(self, topo):
+        with pytest.raises(ValueError):
+            ScamperSidecar(topo, epoch_days=0)
+        with pytest.raises(ValueError):
+            ScamperSidecar(topo, ecmp_slots=0)
+        with pytest.raises(ValueError):
+            ScamperSidecar(topo, jitter=1.5)

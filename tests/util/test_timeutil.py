@@ -1,0 +1,136 @@
+"""Tests for day/period/grid machinery."""
+
+import datetime as dt
+
+import pytest
+
+from repro.util import Day, DayGrid, Period, day_range, parse_day
+
+
+class TestDay:
+    def test_of_iso_string(self):
+        d = Day.of("2022-02-24")
+        assert d.iso() == "2022-02-24"
+
+    def test_of_date(self):
+        d = Day.of(dt.date(2022, 2, 24))
+        assert d.iso() == "2022-02-24"
+
+    def test_of_datetime(self):
+        d = Day.of(dt.datetime(2022, 2, 24, 13, 30))
+        assert d.iso() == "2022-02-24"
+
+    def test_of_ordinal_roundtrip(self):
+        d = Day.of("2021-01-01")
+        assert Day.of(d.ordinal) == d
+
+    def test_of_day_identity(self):
+        d = Day.of("2022-01-01")
+        assert Day.of(d) is d
+
+    def test_invalid_types(self):
+        with pytest.raises(TypeError):
+            Day.of(3.5)
+        with pytest.raises(ValueError):
+            Day.of(0)
+        with pytest.raises(ValueError):
+            Day.of("not-a-date")
+
+    def test_ordering_and_subtraction(self):
+        a, b = Day.of("2022-01-01"), Day.of("2022-01-10")
+        assert a < b
+        assert b - a == 9
+
+    def test_plus(self):
+        assert Day.of("2022-02-24").plus(-1).iso() == "2022-02-23"
+        assert Day.of("2022-02-24").plus(54).iso() == "2022-04-19"
+
+    def test_week_start_is_monday(self):
+        # 2022-02-24 was a Thursday; its week starts Monday 2022-02-21.
+        d = Day.of("2022-02-24")
+        assert d.weekday() == 3
+        assert d.week_start().iso() == "2022-02-21"
+        assert d.week_start().weekday() == 0
+
+    def test_str(self):
+        assert str(Day.of("2022-03-10")) == "2022-03-10"
+
+    def test_parse_day_alias(self):
+        assert parse_day("2022-01-02") == Day.of("2022-01-02")
+
+
+class TestDayRange:
+    def test_inclusive(self):
+        days = day_range("2022-01-01", "2022-01-03")
+        assert [d.iso() for d in days] == ["2022-01-01", "2022-01-02", "2022-01-03"]
+
+    def test_single_day(self):
+        assert len(day_range("2022-01-01", "2022-01-01")) == 1
+
+    def test_reversed_raises(self):
+        with pytest.raises(ValueError):
+            day_range("2022-01-02", "2022-01-01")
+
+
+class TestPeriod:
+    def test_paper_prewar_window_is_54_days(self):
+        # Paper: 54 days preceding the invasion (Jan 1 .. Feb 23).
+        p = Period.of("prewar", "2022-01-01", "2022-02-23")
+        assert p.n_days == 54
+
+    def test_paper_wartime_window_is_54_days(self):
+        p = Period.of("wartime", "2022-02-24", "2022-04-18")
+        assert p.n_days == 54
+
+    def test_contains(self):
+        p = Period.of("p", "2022-01-01", "2022-01-31")
+        assert p.contains("2022-01-01")
+        assert p.contains("2022-01-31")
+        assert not p.contains("2022-02-01")
+        assert not p.contains("2021-12-31")
+
+    def test_days_and_iter(self):
+        p = Period.of("p", "2022-01-01", "2022-01-05")
+        assert len(p.days()) == 5
+        assert [d.iso() for d in p][0] == "2022-01-01"
+
+    def test_ordinals_match_days(self):
+        p = Period.of("p", "2022-01-01", "2022-01-05")
+        assert list(p.ordinals()) == [d.ordinal for d in p.days()]
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            Period.of("bad", "2022-01-02", "2022-01-01")
+
+    def test_str_mentions_name_and_bounds(self):
+        s = str(Period.of("prewar", "2022-01-01", "2022-02-23"))
+        assert "prewar" in s and "2022-01-01" in s
+
+
+class TestDayGrid:
+    def test_len(self):
+        g = DayGrid("2022-01-01", "2022-04-18")
+        assert len(g) == 108
+
+    def test_index_roundtrip(self):
+        g = DayGrid("2022-01-01", "2022-01-31")
+        for i, day in enumerate(g.days()):
+            assert g.index_of(day) == i
+            assert g.day_at(i) == day
+
+    def test_out_of_range(self):
+        g = DayGrid("2022-01-01", "2022-01-31")
+        with pytest.raises(ValueError):
+            g.index_of("2022-02-01")
+        with pytest.raises(IndexError):
+            g.day_at(31)
+        with pytest.raises(IndexError):
+            g.day_at(-1)
+
+    def test_reversed_raises(self):
+        with pytest.raises(ValueError):
+            DayGrid("2022-01-02", "2022-01-01")
+
+    def test_iter(self):
+        g = DayGrid("2022-01-01", "2022-01-03")
+        assert [d.iso() for d in g] == ["2022-01-01", "2022-01-02", "2022-01-03"]

@@ -1,0 +1,40 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.util.units import (
+    bytes_per_sec_to_mbps,
+    bytes_to_megabits,
+    mbps_to_bytes_per_sec,
+    megabits_to_bytes,
+    ms_to_seconds,
+    seconds_to_ms,
+)
+
+
+def test_bytes_to_megabits():
+    assert bytes_to_megabits(125_000) == pytest.approx(1.0)
+
+
+def test_megabits_to_bytes():
+    assert megabits_to_bytes(1.0) == pytest.approx(125_000)
+
+
+def test_bytes_megabits_roundtrip():
+    assert megabits_to_bytes(bytes_to_megabits(12345.0)) == pytest.approx(12345.0)
+
+
+def test_mbps_rate_conversion_roundtrip():
+    assert bytes_per_sec_to_mbps(mbps_to_bytes_per_sec(37.34)) == pytest.approx(37.34)
+
+
+def test_100mbps_is_12_5_megabytes_per_sec():
+    assert mbps_to_bytes_per_sec(100.0) == pytest.approx(12_500_000)
+
+
+def test_ms_seconds_roundtrip():
+    assert seconds_to_ms(ms_to_seconds(21.7)) == pytest.approx(21.7)
+
+
+def test_ms_to_seconds():
+    assert ms_to_seconds(1500.0) == pytest.approx(1.5)

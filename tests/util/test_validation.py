@@ -1,0 +1,55 @@
+"""Tests for argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_member,
+    check_nonnegative,
+    check_positive,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", [0, -1, math.nan, math.inf, -math.inf])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.001, math.nan, math.inf])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", bad)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_fraction("f", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, math.nan])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_fraction("f", bad)
+
+
+class TestCheckMember:
+    def test_accepts_member(self):
+        assert check_member("mode", "a", ["a", "b"]) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="mode"):
+            check_member("mode", "c", ["a", "b"])
+
+    def test_works_with_generator(self):
+        assert check_member("n", 2, (i for i in range(3))) == 2

@@ -1,0 +1,49 @@
+"""Tests for the ASCII scatter plot."""
+
+import math
+
+import pytest
+
+from repro.viz import scatter
+
+
+def test_basic_render():
+    out = scatter([1.0, 2.0, 3.0], [1.0, 4.0, 9.0], title="t")
+    assert out.splitlines()[0] == "t"
+    assert any(ch in out for ch in ".oO@")
+
+
+def test_extremes_on_axes():
+    out = scatter([0.0, 10.0], [5.0, 25.0])
+    assert "25.00" in out and "5.00" in out
+    assert "[0.00 .. 10.00]" in out
+
+
+def test_density_darkens():
+    # Many identical points must reach the darkest glyph.
+    out = scatter([1.0] * 50 + [2.0], [1.0] * 50 + [2.0], width=10, height=5)
+    assert "@" in out
+
+
+def test_nan_points_dropped():
+    out = scatter([1.0, math.nan, 3.0], [1.0, 2.0, 3.0])
+    assert "o" in out or "." in out or "@" in out
+
+
+def test_constant_axis_ok():
+    out = scatter([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+    assert "|" in out
+
+
+def test_errors():
+    with pytest.raises(ValueError):
+        scatter([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        scatter([math.nan], [math.nan])
+    with pytest.raises(ValueError):
+        scatter([1.0], [1.0], width=4)
+
+
+def test_labels_shown():
+    out = scatter([1.0, 2.0], [3.0, 4.0], x_label="d_paths", y_label="d_tput")
+    assert "d_paths" in out and "d_tput" in out

@@ -1,0 +1,98 @@
+"""Tests for ASCII chart rendering."""
+
+import math
+
+import pytest
+
+from repro.viz import bar_chart, heatmap, line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart([1.0, 2.0, 3.0, 2.0], title="t")
+        assert out.splitlines()[0] == "t"
+        assert "*" in out
+
+    def test_height_rows(self):
+        out = line_chart([0.0, 1.0], height=5)
+        data_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(data_rows) == 5
+
+    def test_extremes_labeled(self):
+        out = line_chart([2.5, 7.5], y_fmt=".1f")
+        assert "7.5" in out and "2.5" in out
+
+    def test_nan_gap(self):
+        out = line_chart([1.0, math.nan, 2.0])
+        assert "*" in out  # still renders the finite points
+
+    def test_marker_column(self):
+        out = line_chart([1.0] * 10, marker_index=5)
+        assert ":" in out
+
+    def test_constant_series_ok(self):
+        out = line_chart([4.0, 4.0, 4.0])
+        assert "*" in out
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+        with pytest.raises(ValueError):
+            line_chart([math.nan])
+        with pytest.raises(ValueError):
+            line_chart([1.0], height=1)
+
+
+class TestHeatmap:
+    def test_basic(self):
+        out = heatmap(
+            [[5.0, -5.0], [0.0, 2.0]],
+            ["rowA", "rowB"],
+            ["colX", "colY"],
+        )
+        assert "rowA" in out and "colX" in out
+        assert "legend" in out
+
+    def test_absent_cells(self):
+        out = heatmap(
+            [[1.0, 0.0]],
+            ["r"],
+            ["a", "b"],
+            absent=[[False, True]],
+        )
+        assert "■" in out
+
+    def test_positive_negative_encoded_differently(self):
+        pos = heatmap([[10.0]], ["r"], ["c"])
+        neg = heatmap([[-10.0]], ["r"], ["c"])
+        assert "@" in pos and "#" in neg
+
+    def test_all_zero_ok(self):
+        out = heatmap([[0.0]], ["r"], ["c"])
+        assert "legend" in out
+
+    def test_label_mismatch(self):
+        with pytest.raises(ValueError):
+            heatmap([[1.0]], ["a", "b"], ["c"])
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "b"], [10.0, -5.0])
+        assert "#" in out
+        assert "+10.0" in out and "-5.0" in out
+
+    def test_negative_extends_left(self):
+        out = bar_chart(["x"], [-10.0], width=20)
+        line = out.splitlines()[-1]
+        assert "#|" in line
+
+    def test_nan_value(self):
+        out = bar_chart(["x"], [float("nan")])
+        assert "n/a" in out
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
