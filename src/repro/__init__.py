@@ -15,10 +15,13 @@ Layers (bottom-up): :mod:`repro.util`, :mod:`repro.tables`,
 :mod:`repro.stats`, :mod:`repro.netbase`, :mod:`repro.geo`,
 :mod:`repro.conflict`, :mod:`repro.topology`, :mod:`repro.mlab`,
 :mod:`repro.ndt`, :mod:`repro.traceroute`, :mod:`repro.synth`,
-:mod:`repro.analysis`, :mod:`repro.viz`.
+:mod:`repro.faults`, :mod:`repro.analysis`, :mod:`repro.runtime`,
+:mod:`repro.viz`.
 """
 
 from repro.analysis.report import full_report
+from repro.faults import get_profile
+from repro.runtime.run import run_pipeline
 from repro.synth.generator import Dataset, DatasetGenerator, GeneratorConfig, study_periods
 from repro.synth.scenario import Scenario, scenario_config
 from repro.topology.builder import Topology, build_default_topology
@@ -34,6 +37,8 @@ __all__ = [
     "__version__",
     "build_default_topology",
     "full_report",
+    "get_profile",
+    "run_pipeline",
     "scenario_config",
     "study_periods",
 ]

@@ -15,7 +15,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.analysis.common import slice_period
+from repro.analysis.common import clean_ndt, require_columns, slice_period
 from repro.netbase.asn import ASRegistry
 from repro.stats.descriptive import percent_change, ratio_change
 from repro.stats.welch import welch_t_test
@@ -43,10 +43,17 @@ _METRICS = ("tput_mbps", "min_rtt_ms", "loss_rate")
 PAPER_TOP10_ASNS = (15895, 3255, 25229, 35297, 21488, 21497, 6876, 50581, 39608, 13307)
 
 
+def _clean_with_asn(ndt_with_asn: Table, where: str) -> Table:
+    """The common NDT guard, plus the AS attribution column."""
+    require_columns(ndt_with_asn, ("client_asn",), where)
+    return clean_ndt(ndt_with_asn, where)
+
+
 def top_ases(ndt_with_asn: Table, periods: Sequence[str], n: int = 10) -> List[int]:
     """The ``n`` ASes with the most tests across the given periods."""
     if n < 1:
         raise AnalysisError("n must be >= 1")
+    ndt_with_asn = _clean_with_asn(ndt_with_asn, "top_ases")
     counts: Dict[int, int] = {}
     for period in periods:
         sliced = slice_period(ndt_with_asn, period)
@@ -65,6 +72,7 @@ def as_detail_table(
     ndt_with_asn: Table, asns: Sequence[int], periods: Sequence[str] = ("prewar", "wartime")
 ) -> Table:
     """Table 5: mean/median/std of each metric per AS and period, plus counts."""
+    ndt_with_asn = _clean_with_asn(ndt_with_asn, "as_detail_table")
     rows = []
     for asn in asns:
         for period in periods:
@@ -90,6 +98,7 @@ def as_detail_table(
 
 def as_pvalue_table(ndt_with_asn: Table, asns: Sequence[int], registry: ASRegistry) -> Table:
     """Table 6: Welch p-values per AS for each metric (prewar vs wartime)."""
+    ndt_with_asn = _clean_with_asn(ndt_with_asn, "as_pvalue_table")
     rows = []
     for asn in asns:
         pre = _as_slice(ndt_with_asn, asn, "prewar")
@@ -125,6 +134,7 @@ class BaselineFluctuation:
 
 def baseline_fluctuations(ndt_with_asn: Table, n: int = 10) -> BaselineFluctuation:
     """Compute the worst baseline changes over 2021's top-``n`` ASes."""
+    ndt_with_asn = _clean_with_asn(ndt_with_asn, "baseline_fluctuations")
     asns = top_ases(ndt_with_asn, ("baseline_janfeb", "baseline_febapr"), n)
     if not asns:
         raise AnalysisError("no ASes in the baseline periods")
@@ -167,6 +177,7 @@ def as_change_table(
     (+ ``_sig``/``_exceeds``), ``d_rtt_pct`` (+ flags), ``loss_ratio``
     (+ flags).
     """
+    ndt_with_asn = _clean_with_asn(ndt_with_asn, "as_change_table")
     rows = []
     for asn in asns:
         pre = _as_slice(ndt_with_asn, asn, "prewar")

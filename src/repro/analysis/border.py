@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.common import parse_as_path, slice_period
+from repro.analysis.common import clean_traces, parse_as_path, slice_period
 from repro.netbase.asn import ASRegistry
 from repro.tables.schema import DType
 from repro.tables.table import Table
@@ -40,6 +40,7 @@ def border_crossing_counts(traces: Table, registry: ASRegistry) -> Table:
     Output columns: ``border_asn``, ``border_name``, ``ua_asn``,
     ``ua_name``, ``prewar``, ``wartime``, ``delta``.
     """
+    traces = clean_traces(traces, "border_crossing_counts")
     counts: Dict[Tuple[int, int], Dict[str, int]] = {}
     for period in ("prewar", "wartime"):
         sliced = slice_period(traces, period)

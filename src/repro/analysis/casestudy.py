@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.common import parse_as_path
+from repro.analysis.common import clean_ndt, clean_traces, parse_as_path
 from repro.netbase.asn import ASRegistry
 from repro.tables.expr import col
 from repro.tables.join import join
@@ -51,6 +51,8 @@ def inbound_weekly(
     ``share`` (of that week's tests entering ``ua_asn``), ``median_loss``,
     ``median_rtt_ms``.
     """
+    ndt = clean_ndt(ndt, "inbound_weekly")
+    traces = clean_traces(traces, "inbound_weekly")
     merged = join(
         traces.select(["test_id", "as_path", "day", "year"]),
         ndt.select(["test_id", "loss_rate", "min_rtt_ms"]),

@@ -11,7 +11,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.common import slice_period, slice_year
+from repro.analysis.common import clean_ndt, slice_period, slice_year
 from repro.stats.timeseries import daily_aggregate
 from repro.stats.welch import welch_t_test
 from repro.tables.expr import col
@@ -42,6 +42,7 @@ def city_welch_table(
     metric its prewar mean, wartime mean, p-value and significance flag.
     The final row is the national aggregate (labelled ``"National"``).
     """
+    ndt = clean_ndt(ndt, "city_welch_table")
     rows: List[dict] = []
     targets = [(c, c) for c in cities] + [("National", None)]
     for label, city in targets:
@@ -78,7 +79,7 @@ def siege_city_counts(
     """
     if not cities:
         raise AnalysisError("need at least one city")
-    rows = slice_year(ndt, year)
+    rows = slice_year(clean_ndt(ndt, "siege_city_counts"), year)
     grid = DayGrid(f"{year}-01-01", f"{year}-04-18")
     data: dict = {
         "date": [d.iso() for d in grid.days()],

@@ -18,8 +18,11 @@ from repro.util.timeutil import Period
 
 __all__ = [
     "METRICS",
+    "clean_ndt",
+    "clean_traces",
     "client_as_column",
     "parse_as_path",
+    "require_columns",
     "slice_period",
     "slice_year",
     "with_periods",
@@ -32,6 +35,96 @@ METRICS = {
     "tput_mbps": {"label": "MeanTput (Mbps)", "worse": "decrease"},
     "loss_rate": {"label": "LossRate", "worse": "increase"},
 }
+
+
+def require_columns(table: Table, names, where: str) -> None:
+    """Raise a typed AnalysisError (not KeyError) for missing columns."""
+    missing = [n for n in names if n not in table]
+    if missing:
+        raise AnalysisError(
+            f"{where}: table lacks columns {missing}; has {table.column_names}"
+        )
+
+
+def _window_mask(days: np.ndarray) -> np.ndarray:
+    ok = np.zeros(len(days), dtype=bool)
+    for p in study_periods().values():
+        ok |= (days >= p.start.ordinal) & (days <= p.end.ordinal)
+    return ok
+
+
+def _first_occurrence_mask(values: np.ndarray) -> np.ndarray:
+    """True at the first appearance of each value (duplicate-UUID dedup)."""
+    _, first_index = np.unique(values, return_index=True)
+    keep = np.zeros(len(values), dtype=bool)
+    keep[first_index] = True
+    return keep
+
+
+def clean_ndt(ndt: Table, where: str = "analysis") -> Table:
+    """Drop NDT rows no analysis can use; raise AnalysisError if none remain.
+
+    Real extracts carry NULL/negative metrics and clock-skewed timestamps.
+    Every analysis entry point funnels its input through this guard so dirty
+    rows are dropped up front — never propagated as silent NaN and never
+    crashed on with an untyped IndexError/KeyError.  Clean tables pass
+    through unchanged (same rows, same order), so results on clean data are
+    identical with or without the guard.
+    """
+    require_columns(
+        ndt, ("test_id", "day", "tput_mbps", "min_rtt_ms", "loss_rate"), where
+    )
+    tput = ndt.column("tput_mbps").values
+    rtt = ndt.column("min_rtt_ms").values
+    loss = ndt.column("loss_rate").values
+    days = ndt.column("day").values
+    keep = (
+        np.isfinite(tput) & (tput > 0)
+        & np.isfinite(rtt) & (rtt > 0)
+        & np.isfinite(loss) & (loss >= 0.0) & (loss <= 1.0)
+        & _window_mask(days)
+        & _first_occurrence_mask(ndt.column("test_id").values)
+    )
+    if keep.all():
+        return ndt
+    out = ndt.filter(keep)
+    if out.n_rows == 0:
+        raise AnalysisError(f"{where}: no usable NDT rows after dropping dirty data")
+    return out
+
+
+def clean_traces(traces: Table, where: str = "analysis") -> Table:
+    """Drop traceroute rows with truncated/impossible records.
+
+    A usable trace has a non-empty hop list whose length matches ``n_hops``
+    (truncated scamper output leaves them inconsistent), a non-empty AS
+    path, and a timestamp inside a study window.
+    """
+    require_columns(traces, ("test_id", "day", "path", "as_path", "n_hops"), where)
+    paths = traces.column("path").values
+    as_paths = traces.column("as_path").values
+    n_hops = traces.column("n_hops").values
+    days = traces.column("day").values
+    lengths = np.fromiter(
+        (len(p.split("|")) if isinstance(p, str) and p else 0 for p in paths),
+        dtype=np.int64,
+        count=len(paths),
+    )
+    has_as = np.fromiter(
+        (isinstance(a, str) and bool(a) for a in as_paths),
+        dtype=bool,
+        count=len(as_paths),
+    )
+    keep = (
+        (lengths > 0) & (lengths == n_hops) & has_as & _window_mask(days)
+        & _first_occurrence_mask(traces.column("test_id").values)
+    )
+    if keep.all():
+        return traces
+    out = traces.filter(keep)
+    if out.n_rows == 0:
+        raise AnalysisError(f"{where}: no usable traceroute rows after cleaning")
+    return out
 
 
 def slice_period(table: Table, period_name: str) -> Table:

@@ -12,7 +12,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.analysis.common import slice_period
+from repro.analysis.common import clean_ndt, slice_period
 from repro.tables.schema import DType
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
@@ -39,7 +39,7 @@ def metric_histogram(
         raise AnalysisError(f"unknown metric {metric!r}; choose from {sorted(_RANGES)}")
     if bins < 1:
         raise AnalysisError("bins must be >= 1")
-    rows = slice_period(ndt, period)
+    rows = slice_period(clean_ndt(ndt, "metric_histogram"), period)
     if rows.n_rows == 0:
         raise AnalysisError(f"no tests in period {period!r}")
     values = rows.column(metric).values.astype(np.float64)
@@ -64,7 +64,7 @@ def metric_histogram(
 
 def skewness(ndt: Table, metric: str, period: str) -> float:
     """Sample skewness (Fisher-Pearson) of one metric in one period."""
-    rows = slice_period(ndt, period)
+    rows = slice_period(clean_ndt(ndt, "skewness"), period)
     values = rows.column(metric).values.astype(np.float64)
     values = values[~np.isnan(values)]
     if len(values) < 3:

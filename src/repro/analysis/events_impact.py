@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.common import clean_ndt, require_columns
 from repro.conflict.events import EventKind, WarEvent
 from repro.geo.gazetteer import Gazetteer
 from repro.stats.welch import welch_t_test
@@ -61,6 +62,8 @@ def event_impact_table(
     """
     if window_days < 2:
         raise AnalysisError(f"window_days must be >= 2, got {window_days}")
+    require_columns(ndt, ("city",), "event_impact_table")
+    ndt = clean_ndt(ndt, "event_impact_table")
     rows = []
     for event in events:
         cities = _scope_cities(event, gazetteer)

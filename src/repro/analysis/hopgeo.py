@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.analysis.common import clean_ndt, clean_traces
 from repro.netbase.hostnames import HostnameScheme
 from repro.netbase.ipaddr import IPv4Address
 from repro.synth.generator import Dataset
@@ -36,7 +37,10 @@ def _gateway_router_index(dataset: Dataset, path_text: str, client_asn: int) -> 
     hops = path_text.split("|")
     if len(hops) < 3:
         return None
-    gateway = IPv4Address.parse(hops[-2])
+    try:
+        gateway = IPv4Address.parse(hops[-2])
+    except Exception:
+        return None  # unparsable hop — treat as no usable hostname signal
     iplayer = dataset.topology.iplayer
     if iplayer.as_of_ip(gateway) != client_asn:
         return None
@@ -57,9 +61,11 @@ def gateway_city_agreement(
     """
     if scheme is None:
         scheme = default_hostname_scheme(dataset)
+    ndt = clean_ndt(dataset.ndt, "gateway_city_agreement")
+    traces = clean_traces(dataset.traces, "gateway_city_agreement")
     merged = join(
-        dataset.ndt.select(["test_id", "city", "asn"]),
-        dataset.traces.select(["test_id", "path"]),
+        ndt.select(["test_id", "city", "asn"]),
+        traces.select(["test_id", "path"]),
         on="test_id",
     )
     if merged.n_rows == 0:

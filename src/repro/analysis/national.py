@@ -7,7 +7,7 @@ changes are absent in the baseline.
 
 from __future__ import annotations
 
-from repro.analysis.common import slice_year
+from repro.analysis.common import clean_ndt, slice_year
 from repro.tables.schema import DType
 from repro.tables.table import Table
 from repro.stats.timeseries import daily_aggregate
@@ -25,7 +25,7 @@ def national_daily(ndt: Table, year: int) -> Table:
     ``loss_rate``.  Days without tests hold NaN metric means (and 0 tests),
     mirroring gaps in the paper's plots.
     """
-    rows = slice_year(ndt, year)
+    rows = slice_year(clean_ndt(ndt, "national_daily"), year)
     if rows.n_rows == 0:
         raise AnalysisError(f"no tests in year {year}")
     grid = DayGrid(f"{year}-01-01", f"{year}-04-18")

@@ -15,6 +15,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.analysis.common import require_columns
 from repro.analysis.national import national_daily
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
@@ -68,6 +69,7 @@ def detect_metric_anomalies(
     daily: Table, metric: str, threshold: float = 3.5, window: int = 15
 ) -> List[Anomaly]:
     """Days where one metric's robust z-score exceeds ``threshold``."""
+    require_columns(daily, ("date", metric), "detect_metric_anomalies")
     values = np.asarray(daily.column(metric).to_list(), dtype=np.float64)
     dates = daily.column("date").to_list()
     scores = robust_zscores(values, window=window)

@@ -15,7 +15,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.common import slice_period
+from repro.analysis.common import clean_ndt, clean_traces, slice_period
 from repro.analysis.periods import PERIOD_NAMES
 from repro.stats.welch import welch_t_test
 from repro.tables.join import join
@@ -59,6 +59,7 @@ def path_count_table(traces: Table, top_k: int = 1000) -> Table:
     """
     if top_k < 1:
         raise AnalysisError("top_k must be >= 1")
+    traces = clean_traces(traces, "path_count_table")
     rows = []
     for period in PERIOD_NAMES:
         sliced = slice_period(traces, period)
@@ -112,6 +113,8 @@ def _per_connection_deltas(
     count) — removing the more-tests-see-more-paths artifact that would
     otherwise confound the correlation.
     """
+    ndt = clean_ndt(ndt, "path_performance_correlation")
+    traces = clean_traces(traces, "path_performance_correlation")
     merged = join(
         traces.select(["test_id", "client_ip", "server_ip", "path", "day"]),
         ndt.select(["test_id", "tput_mbps", "loss_rate"]),
@@ -199,6 +202,8 @@ def path_performance(
     Output columns: ``d_paths``, ``n_connections``, ``d_tput_mbps``,
     ``d_loss``, ``p_tput``, ``p_loss``.
     """
+    ndt = clean_ndt(ndt, "path_performance")
+    traces = clean_traces(traces, "path_performance")
     merged = join(
         traces.select(["test_id", "client_ip", "server_ip", "path", "day"]),
         ndt.select(["test_id", "tput_mbps", "loss_rate"]),

@@ -13,7 +13,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.analysis.common import slice_period
+from repro.analysis.common import clean_ndt, require_columns, slice_period
 from repro.analysis.periods import PERIOD_NAMES
 from repro.tables.expr import col
 from repro.tables.table import Table
@@ -24,6 +24,8 @@ __all__ = ["cca_mix_stable", "metric_by_cca", "protocol_mix_table"]
 
 def protocol_mix_table(ndt: Table) -> Table:
     """Share of each (protocol, CCA) combination per study period."""
+    require_columns(ndt, ("protocol", "cca"), "protocol_mix_table")
+    ndt = clean_ndt(ndt, "protocol_mix_table")
     rows = []
     for period in PERIOD_NAMES:
         sliced = slice_period(ndt, period)
@@ -65,7 +67,8 @@ def cca_mix_stable(ndt: Table, tolerance: float = 0.05) -> bool:
 
 def metric_by_cca(ndt: Table, metric: str, period: str) -> Table:
     """Mean of one metric per CCA within a period (with counts)."""
-    sliced = slice_period(ndt, period)
+    require_columns(ndt, ("cca", metric), "metric_by_cca")
+    sliced = slice_period(clean_ndt(ndt, "metric_by_cca"), period)
     out = sliced.group_by("cca").aggregate(
         {"mean": (metric, "mean"), "tests": (metric, "count")}
     )

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.analysis.common import slice_period
+from repro.analysis.common import clean_ndt, slice_period
 from repro.geo.gazetteer import Gazetteer
 from repro.stats.descriptive import percent_change
 from repro.tables.expr import col
@@ -41,6 +41,7 @@ def oblast_summary(ndt: Table) -> Table:
     ``loss_rate``, ``count`` — sorted by prewar count descending like the
     paper's table.
     """
+    ndt = clean_ndt(ndt, "oblast_summary")
     parts = []
     for period in ("prewar", "wartime"):
         rows = _labeled(slice_period(ndt, period))
@@ -74,6 +75,7 @@ def oblast_changes(ndt: Table, gazetteer: Gazetteer) -> Table:
     ``d_tput_pct``, ``d_loss_pct``.  Oblasts missing from either period are
     skipped (tiny oblasts may produce no labeled wartime tests).
     """
+    ndt = clean_ndt(ndt, "oblast_changes")
     prewar = _labeled(slice_period(ndt, "prewar"))
     wartime = _labeled(slice_period(ndt, "wartime"))
     pre = {

@@ -2,11 +2,28 @@
 
 Subcommands
 -----------
-``generate``   Generate the synthetic dataset and write NDT/traceroute CSVs.
-``report``     Generate (or load) a dataset and print the full reproduction
-               report — every table and figure of the paper.
+``generate``   Generate the synthetic dataset and write NDT/traceroute CSVs
+               (optionally dirtied with ``--inject-faults``).
+``report``     Run the staged pipeline (generate → inject → ingest → all 18
+               experiments) and print the full reproduction report.  One
+               failing experiment degrades gracefully: the other seventeen
+               still print and the exit code turns nonzero.
 ``experiment`` Run a single experiment (table1, table2, ..., fig9).
 ``scenarios``  Compare key findings across ablation scenarios.
+
+Exit codes
+----------
+0  success; 1 unexpected typed error; 2 usage (argparse);
+3  generation-side failure (generate / inject-faults / ingest);
+4  analysis-side failure (one or more experiments failed).
+
+Fault-tolerance flags (global)
+------------------------------
+``--inject-faults PROFILE``  dirty the dataset like a real M-Lab extract
+                             (profiles: none, default, heavy).
+``--strict``                 raise on malformed rows instead of quarantining.
+``--resume``                 reuse stage checkpoints from a previous run.
+``--checkpoint-dir DIR``     where checkpoints live (results/.checkpoints).
 """
 
 from __future__ import annotations
@@ -15,10 +32,19 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.faults import PROFILES, FaultInjector, get_profile
+from repro.runtime.run import (
+    DEFAULT_CHECKPOINT_DIR,
+    EXIT_ANALYSIS,
+    EXIT_GENERATION,
+    EXIT_OK,
+    run_pipeline,
+)
 from repro.synth.generator import DatasetGenerator, GeneratorConfig
 from repro.synth.scenario import Scenario, scenario_config
 from repro.tables.io import write_csv
 from repro.tables.pretty import format_table
+from repro.util.errors import PipelineError, ReproError
 
 __all__ = ["main"]
 
@@ -39,6 +65,24 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale", type=float, default=0.25,
         help="test-volume multiplier (1.0 = paper scale, ~110k tests)",
+    )
+    parser.add_argument(
+        "--inject-faults", metavar="PROFILE", choices=sorted(PROFILES),
+        default=None,
+        help="dirty the generated tables like a real M-Lab extract "
+        f"(choices: {', '.join(sorted(PROFILES))})",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on malformed rows instead of quarantining them",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse stage checkpoints left by a previous (possibly killed) run",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=DEFAULT_CHECKPOINT_DIR,
+        help="stage checkpoint directory (default: %(default)s)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -66,88 +110,75 @@ def _generate(args) -> "object":
     return DatasetGenerator(config).generate()
 
 
+def _run_pipeline(args, experiments: Optional[Sequence[str]] = None):
+    config = GeneratorConfig(seed=args.seed, scale=args.scale)
+    profile = get_profile(args.inject_faults) if args.inject_faults else None
+    return run_pipeline(
+        config,
+        profile=profile,
+        strict=args.strict,
+        resume=args.resume,
+        checkpoint_dir=args.checkpoint_dir,
+        experiments=experiments,
+    )
+
+
 def _cmd_generate(args) -> int:
-    dataset = _generate(args)
-    write_csv(dataset.ndt, f"{args.out}/ndt_downloads.csv")
-    write_csv(dataset.traces, f"{args.out}/traceroutes.csv")
+    try:
+        dataset = _generate(args)
+        injection = None
+        if args.inject_faults:
+            profile = get_profile(args.inject_faults)
+            if profile.total_rate > 0:
+                dataset, injection = FaultInjector(
+                    profile, seed=args.seed
+                ).inject_dataset(dataset)
+        write_csv(dataset.ndt, f"{args.out}/ndt_downloads.csv")
+        write_csv(dataset.traces, f"{args.out}/traceroutes.csv")
+    except ReproError as exc:
+        print(f"error: generation failed: {exc}", file=sys.stderr)
+        return EXIT_GENERATION
     print(
         f"wrote {dataset.ndt.n_rows} NDT rows and {dataset.traces.n_rows} "
         f"traceroutes under {args.out}/"
     )
-    return 0
+    if injection is not None:
+        print(injection)
+    return EXIT_OK
 
 
 def _cmd_report(args) -> int:
-    from repro.analysis.report import full_report
-
-    print(full_report(_generate(args)))
-    return 0
+    try:
+        run = _run_pipeline(args)
+    except PipelineError as exc:
+        partial = getattr(exc, "partial_run", None)
+        if partial is not None:
+            print(partial.render(), file=sys.stderr)
+        print(f"error: generation failed: {exc}", file=sys.stderr)
+        return EXIT_GENERATION
+    print(run.render())
+    if run.exit_code != EXIT_OK:
+        failed = ", ".join(r.name for r in run.report.failures())
+        print(f"error: experiments failed: {failed}", file=sys.stderr)
+    return run.exit_code
 
 
 def _cmd_experiment(args) -> int:
-    from repro.analysis import report as rpt
-
-    dataset = _generate(args)
-
-    def churn(ds):
-        from repro.analysis.routing_churn import churn_summary, daily_route_churn
-
-        table = daily_route_churn(ds)
-        summary = churn_summary(table, ds)
-        return (
-            format_table(table, max_rows=30)
-            + f"\nmean daily route changes: prewar "
-            f"{summary['prewar_daily_changes']:.1f}, wartime "
-            f"{summary['wartime_daily_changes']:.1f} (x{summary['ratio']:.1f})"
+    try:
+        run = _run_pipeline(args, experiments=[args.name])
+    except PipelineError as exc:
+        print(f"error: generation failed: {exc}", file=sys.stderr)
+        return EXIT_GENERATION
+    if args.name in run.sections:
+        print(run.sections[args.name])
+    for failure in run.report.failures():
+        print(
+            f"error: experiment {failure.name!r} failed: {failure.error}",
+            file=sys.stderr,
         )
-
-    def events(ds):
-        from repro.analysis.events_impact import event_impact_table
-        from repro.conflict import default_timeline
-
-        return format_table(
-            event_impact_table(ds.ndt, default_timeline(), ds.topology.gazetteer),
-            float_fmts={"p_value": ".1e"},
-            float_fmt=".3f",
-        )
-
-    def outages(ds):
-        from repro.analysis.outages import detect_outage_days
-
-        return f"outage-shaped days (2022): {detect_outage_days(ds.ndt)}"
-
-    def hopgeo(ds):
-        from repro.analysis.hopgeo import gateway_city_agreement
-
-        a = gateway_city_agreement(ds)
-        return (
-            f"rDNS vs geo-DB agreement: {a['agree']:.1%} over "
-            f"{a['n_compared']:.0f} tests (geo missing {a['geo_missing']:.1%}, "
-            f"PTR unusable {a['ptr_missing']:.1%})"
-        )
-
-    sections = {
-        "churn": churn,
-        "events": events,
-        "outages": outages,
-        "hopgeo": hopgeo,
-        "table1": rpt._table1,
-        "table2": rpt._table2_fig9,
-        "table3": rpt._tables_3_5_6,
-        "table4": rpt._fig3_table4,
-        "table5": rpt._tables_3_5_6,
-        "table6": rpt._tables_3_5_6,
-        "fig2": rpt._fig2,
-        "fig3": rpt._fig3_table4,
-        "fig4": rpt._fig4,
-        "fig5": rpt._fig5,
-        "fig6": rpt._fig6,
-        "fig7": rpt._figs7_8,
-        "fig8": rpt._figs7_8,
-        "fig9": rpt._table2_fig9,
-    }
-    print(sections[args.name](dataset))
-    return 0
+        if failure.traceback:
+            print(failure.traceback, file=sys.stderr)
+    return run.exit_code
 
 
 def _cmd_scenarios(args) -> int:
@@ -229,7 +260,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "validate": _cmd_validate,
         "topology": _cmd_topology,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        # Last-resort net: no typed error may escape as a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,22 @@
+"""Seeded fault injection: dirty the synthetic tables like real M-Lab data.
+
+The generator emits perfectly clean tables; the real ``ndt.unified_download``
+and ``ndt.scamper1`` extracts are not clean — NULL/negative metrics,
+duplicate test UUIDs, missing geolocation beyond the modeled 11.7%,
+clock-skewed timestamps, truncated scamper hop lists.  This package dirties
+generated tables the same way, deterministically from a seed, so robustness
+is testable: every ``analysis.*`` module must tolerate the dirt or raise a
+typed :class:`~repro.util.errors.AnalysisError`, and the ingest gate must
+quarantine exactly the injected rows.
+"""
+
+from repro.faults.injector import FaultInjector, InjectionSummary
+from repro.faults.profiles import PROFILES, FaultProfile, get_profile
+
+__all__ = [
+    "PROFILES",
+    "FaultInjector",
+    "FaultProfile",
+    "InjectionSummary",
+    "get_profile",
+]

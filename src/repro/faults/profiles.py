@@ -1,0 +1,107 @@
+"""Named fault profiles: how dirty should the injected tables be.
+
+Rates are per-row probabilities.  ``default`` approximates the dirt level
+of a real M-Lab longitudinal extract (a few percent of rows affected,
+geo gaps on top of the modeled 11.7% missing rate); ``heavy`` is a stress
+profile for robustness testing; ``none`` injects nothing (useful to keep
+one CLI code path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.util.errors import DataError
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["PROFILES", "FaultProfile", "get_profile"]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-row corruption rates for one injection pass.
+
+    NDT rows: ``nan_metric_rate`` blanks one metric to NaN (BigQuery NULL),
+    ``negative_metric_rate`` flips one metric negative (broken exporter),
+    ``duplicate_rate`` re-appends rows with their test UUID unchanged,
+    ``geo_drop_rate`` erases the geo labels, ``clock_skew_rate`` shifts the
+    timestamp outside every study window.  Traceroute rows:
+    ``hop_truncation_rate`` cuts the hop list short while leaving the
+    recorded ``n_hops`` stale, and ``duplicate_rate``/``clock_skew_rate``
+    apply as above.
+    """
+
+    name: str
+    nan_metric_rate: float = 0.0
+    negative_metric_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    geo_drop_rate: float = 0.0
+    clock_skew_rate: float = 0.0
+    hop_truncation_rate: float = 0.0
+    # Minimum magnitude of an injected clock skew.  Two years, because the
+    # study windows span both 2021 and 2022: a one-year skew could land a
+    # wartime row inside a baseline window and silently misattribute it
+    # instead of being detectably out-of-window.
+    skew_days: int = 730
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "nan_metric_rate",
+            "negative_metric_rate",
+            "duplicate_rate",
+            "geo_drop_rate",
+            "clock_skew_rate",
+            "hop_truncation_rate",
+        ):
+            check_fraction(field_name, getattr(self, field_name))
+        check_positive("skew_days", self.skew_days)
+
+    @property
+    def total_rate(self) -> float:
+        """Upper bound on the fraction of rows touched (kinds can overlap)."""
+        return min(
+            1.0,
+            self.nan_metric_rate
+            + self.negative_metric_rate
+            + self.duplicate_rate
+            + self.geo_drop_rate
+            + self.clock_skew_rate
+            + self.hop_truncation_rate,
+        )
+
+
+PROFILES: Dict[str, FaultProfile] = {
+    p.name: p
+    for p in (
+        FaultProfile(name="none"),
+        FaultProfile(
+            name="default",
+            nan_metric_rate=0.02,
+            negative_metric_rate=0.01,
+            duplicate_rate=0.015,
+            geo_drop_rate=0.03,
+            clock_skew_rate=0.01,
+            hop_truncation_rate=0.02,
+        ),
+        FaultProfile(
+            name="heavy",
+            nan_metric_rate=0.08,
+            negative_metric_rate=0.05,
+            duplicate_rate=0.06,
+            geo_drop_rate=0.10,
+            clock_skew_rate=0.05,
+            hop_truncation_rate=0.08,
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> FaultProfile:
+    """Look up a named profile, with a typed error listing the options."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise DataError(
+            f"unknown fault profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,106 @@
+"""Per-stage checkpointing keyed by (config hash, seed).
+
+A checkpoint key is derived from the *content* of the run configuration,
+not from CLI spelling: two invocations with the same GeneratorConfig (and
+any extra knobs that change the data, e.g. the fault profile) share
+checkpoints; changing any knob — seed, scale, an ablation flag — silently
+gets a fresh key.  Values are pickled; the store keeps hit/miss counters
+so resume behaviour is assertable in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+from typing import Any, Mapping, Optional
+
+from repro.util.errors import PipelineError
+
+__all__ = ["CheckpointStore", "config_key"]
+
+
+def config_key(config: Any, extra: Optional[Mapping[str, Any]] = None) -> str:
+    """A stable hex key for a run configuration (plus extra knobs).
+
+    ``config`` may be a dataclass (e.g. GeneratorConfig) or any mapping.
+    The key covers every field, so it changes whenever the seed, the scale,
+    or an ablation flag does.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = {
+            "__class__": type(config).__name__,
+            **dataclasses.asdict(config),
+        }
+    elif isinstance(config, Mapping):
+        payload = dict(config)
+    else:
+        raise PipelineError(
+            f"config_key needs a dataclass or mapping, got {type(config).__name__}"
+        )
+    if extra:
+        payload.update({f"extra:{k}": v for k, v in extra.items()})
+    text = repr(sorted(payload.items()))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class CheckpointStore:
+    """Pickle-per-stage storage under ``root/<key>/<stage>.pkl``."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str, stage: str) -> str:
+        safe = stage.replace(os.sep, "_")
+        return os.path.join(self.root, key, f"{safe}.pkl")
+
+    def has(self, key: str, stage: str) -> bool:
+        return os.path.exists(self._path(key, stage))
+
+    def load(self, key: str, stage: str) -> Any:
+        """Load a checkpointed value; counts a hit. Raises if absent/corrupt."""
+        path = self._path(key, stage)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            raise PipelineError(f"no checkpoint for stage {stage!r} at {path}") from None
+        except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+            self.misses += 1
+            raise PipelineError(
+                f"corrupt checkpoint for stage {stage!r} at {path}: {exc}"
+            ) from exc
+        self.hits += 1
+        return value
+
+    def save(self, key: str, stage: str, value: Any) -> str:
+        """Atomically persist a stage value; returns the checkpoint path."""
+        path = self._path(key, stage)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError) as exc:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise PipelineError(f"cannot checkpoint stage {stage!r}: {exc}") from exc
+        return path
+
+    def drop(self, key: str, stage: Optional[str] = None) -> None:
+        """Remove one stage's checkpoint, or every stage under the key."""
+        if stage is not None:
+            path = self._path(key, stage)
+            if os.path.exists(path):
+                os.unlink(path)
+            return
+        key_dir = os.path.join(self.root, key)
+        if os.path.isdir(key_dir):
+            for name in os.listdir(key_dir):
+                os.unlink(os.path.join(key_dir, name))
+            os.rmdir(key_dir)

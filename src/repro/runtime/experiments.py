@@ -1,0 +1,132 @@
+"""The 18 named experiments, runnable individually with graceful degradation.
+
+Each experiment maps a :class:`~repro.synth.generator.Dataset` to the text
+section the paper's report prints for it.  :func:`run_experiments` executes
+any subset through the pipeline runner with ``allow_failure=True``: one
+experiment dying (with its traceback captured in the run report) never
+stops the other seventeen.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.runtime.pipeline import PipelineRunner, RunReport, Stage
+from repro.synth.generator import Dataset
+from repro.tables.pretty import format_table
+from repro.util.errors import PipelineError
+
+__all__ = ["EXPERIMENT_NAMES", "experiment_registry", "run_experiments"]
+
+ExperimentFn = Callable[[Dataset], str]
+
+
+def _churn(ds: Dataset) -> str:
+    from repro.analysis.routing_churn import churn_summary, daily_route_churn
+
+    table = daily_route_churn(ds)
+    summary = churn_summary(table, ds)
+    return (
+        format_table(table, max_rows=30)
+        + f"\nmean daily route changes: prewar "
+        f"{summary['prewar_daily_changes']:.1f}, wartime "
+        f"{summary['wartime_daily_changes']:.1f} (x{summary['ratio']:.1f})"
+    )
+
+
+def _events(ds: Dataset) -> str:
+    from repro.analysis.events_impact import event_impact_table
+    from repro.conflict import default_timeline
+
+    return format_table(
+        event_impact_table(ds.ndt, default_timeline(), ds.topology.gazetteer),
+        float_fmts={"p_value": ".1e"},
+        float_fmt=".3f",
+    )
+
+
+def _outages(ds: Dataset) -> str:
+    from repro.analysis.outages import detect_outage_days
+
+    return f"outage-shaped days (2022): {detect_outage_days(ds.ndt)}"
+
+
+def _hopgeo(ds: Dataset) -> str:
+    from repro.analysis.hopgeo import gateway_city_agreement
+
+    a = gateway_city_agreement(ds)
+    return (
+        f"rDNS vs geo-DB agreement: {a['agree']:.1%} over "
+        f"{a['n_compared']:.0f} tests (geo missing {a['geo_missing']:.1%}, "
+        f"PTR unusable {a['ptr_missing']:.1%})"
+    )
+
+
+def experiment_registry() -> Dict[str, ExperimentFn]:
+    """Name → section function for all 18 experiments, in report order."""
+    from repro.analysis import report as rpt
+
+    return {
+        "fig2": rpt._fig2,
+        "table1": rpt._table1,
+        "fig3": rpt._fig3_table4,
+        "table4": rpt._fig3_table4,
+        "fig4": rpt._fig4,
+        "table2": rpt._table2_fig9,
+        "fig9": rpt._table2_fig9,
+        "table3": rpt._tables_3_5_6,
+        "table5": rpt._tables_3_5_6,
+        "table6": rpt._tables_3_5_6,
+        "fig5": rpt._fig5,
+        "fig6": rpt._fig6,
+        "fig7": rpt._figs7_8,
+        "fig8": rpt._figs7_8,
+        "churn": _churn,
+        "events": _events,
+        "outages": _outages,
+        "hopgeo": _hopgeo,
+    }
+
+
+EXPERIMENT_NAMES: Tuple[str, ...] = (
+    "fig2", "table1", "fig3", "table4", "fig4", "table2", "fig9",
+    "table3", "table5", "table6", "fig5", "fig6", "fig7", "fig8",
+    "churn", "events", "outages", "hopgeo",
+)
+
+
+def run_experiments(
+    dataset: Dataset,
+    names: Optional[Sequence[str]] = None,
+    runner: Optional[PipelineRunner] = None,
+) -> Tuple[Dict[str, str], RunReport]:
+    """Run the named experiments (default: all 18) with degradation.
+
+    Returns the successful sections (name → text) and the run report in
+    which every failed experiment carries its error and traceback.  Shared
+    section functions (e.g. table3/5/6) are computed once and reused.
+    """
+    registry = experiment_registry()
+    names = list(names) if names is not None else list(EXPERIMENT_NAMES)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise PipelineError(
+            f"unknown experiments {unknown}; available: {sorted(registry)}"
+        )
+    runner = runner or PipelineRunner()
+    cache: Dict[ExperimentFn, str] = {}
+
+    def stage_fn(fn: ExperimentFn) -> Callable:
+        def run(_context) -> str:
+            if fn not in cache:
+                cache[fn] = fn(dataset)
+            return cache[fn]
+
+        return run
+
+    stages = [
+        Stage(name=n, fn=stage_fn(registry[n]), allow_failure=True) for n in names
+    ]
+    context, report = runner.run(stages, {})
+    sections = {n: context[n] for n in names if n in context}
+    return sections, report

@@ -1,0 +1,75 @@
+"""Dataset-level ingest gate: quarantine dirty NDT/traceroute rows.
+
+The rules encode what the paper's pipeline silently relied on: metrics are
+positive finite numbers, loss is a fraction, timestamps fall inside the
+study windows, test UUIDs are unique, and a scamper record's hop count
+matches its hop list.  Clean generator output passes untouched; tables
+dirtied like real M-Lab extracts get split into a clean table and a
+quarantine side table that accounts for every dropped row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from repro.synth.generator import Dataset, study_periods
+from repro.tables.validate import (
+    GateResult,
+    Rule,
+    in_range,
+    matches_length,
+    positive,
+    unique,
+    validate_table,
+    within,
+)
+
+__all__ = ["ndt_rules", "sanitize_dataset", "trace_rules"]
+
+
+def _study_windows() -> List[Tuple[int, int]]:
+    return [
+        (p.start.ordinal, p.end.ordinal) for p in study_periods().values()
+    ]
+
+
+def ndt_rules() -> List[Rule]:
+    """Validity rules for the NDT download table."""
+    return [
+        positive("tput_mbps"),
+        positive("min_rtt_ms"),
+        in_range("loss_rate", 0.0, 1.0),
+        within("day", _study_windows()),
+        unique("test_id"),
+    ]
+
+
+def trace_rules() -> List[Rule]:
+    """Validity rules for the traceroute table."""
+    return [
+        matches_length("n_hops", "path"),
+        within("day", _study_windows()),
+        unique("test_id"),
+    ]
+
+
+def sanitize_dataset(
+    dataset: Dataset, strict: bool = False
+) -> Tuple[Dataset, Dict[str, GateResult]]:
+    """Run both tables through the validation gate.
+
+    Returns the dataset rebuilt around the clean tables, plus the per-table
+    :class:`GateResult` (clean/quarantine/report).  Strict mode raises
+    :class:`~repro.util.errors.ValidationFailure` on the first dirty table.
+    """
+    gates = {
+        "ndt": validate_table(dataset.ndt, ndt_rules(), name="ndt", strict=strict),
+        "traces": validate_table(
+            dataset.traces, trace_rules(), name="traces", strict=strict
+        ),
+    }
+    clean = replace(
+        dataset, ndt=gates["ndt"].clean, traces=gates["traces"].clean
+    )
+    return clean, gates

@@ -1,0 +1,254 @@
+"""The staged pipeline executor: retries, checkpoints, and a run report.
+
+A pipeline is a list of named :class:`Stage` objects executed in order over
+a shared context dict.  Each stage gets:
+
+* **seeded retry with exponential backoff** — transient failures (declared
+  via ``retry_on``) are retried up to ``retries`` times with jittered
+  exponential delays drawn from a deterministic per-stage RNG stream, so a
+  flaky run is still a reproducible run;
+* **checkpointing** — stages marked ``checkpoint=True`` persist their
+  return value keyed by (config hash, seed); a resumed run loads the value
+  instead of recomputing it;
+* **timing and error capture** — every attempt's duration and the final
+  traceback land in the :class:`RunReport`;
+* **graceful degradation** — stages marked ``allow_failure=True`` record
+  their failure and let the rest of the pipeline run; fatal stages raise
+  :class:`~repro.util.errors.StageFailure`.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+import time
+import traceback as _tb
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.runtime.checkpoint import CheckpointStore
+from repro.util.errors import PipelineError, StageFailure
+from repro.util.rng import RngHub
+
+__all__ = ["PipelineRunner", "RunReport", "Stage", "StageResult", "StageStatus"]
+
+logger = logging.getLogger(__name__)
+
+
+class StageStatus(enum.Enum):
+    OK = "ok"
+    CACHED = "cached"  # value came from a checkpoint (resume hit)
+    FAILED = "failed"
+    SKIPPED = "skipped"  # an upstream fatal failure prevented the attempt
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named unit of pipeline work.
+
+    ``fn`` receives the shared context dict and returns the stage value,
+    which the runner stores under ``context[name]`` for later stages.
+    """
+
+    name: str
+    fn: Callable[[Dict[str, Any]], Any]
+    retries: int = 0
+    retry_on: Tuple[Type[BaseException], ...] = ()
+    checkpoint: bool = False
+    allow_failure: bool = False
+
+
+@dataclass
+class StageResult:
+    """What happened to one stage: status, attempts, timing, error."""
+
+    name: str
+    status: StageStatus
+    attempts: int = 0
+    duration_s: float = 0.0
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+
+
+@dataclass
+class RunReport:
+    """The full account of one pipeline run."""
+
+    key: str
+    results: List[StageResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(
+            r.status in (StageStatus.OK, StageStatus.CACHED) for r in self.results
+        )
+
+    def failures(self) -> List[StageResult]:
+        return [r for r in self.results if r.status is StageStatus.FAILED]
+
+    def result(self, name: str) -> StageResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise PipelineError(f"no stage {name!r} in run report")
+
+    def summary(self) -> str:
+        lines = [f"run report (key {self.key or '-'}):"]
+        for r in self.results:
+            line = (
+                f"  {r.name:<24s} {r.status.value:<7s} "
+                f"attempts={r.attempts} {r.duration_s:7.2f}s"
+            )
+            if r.error:
+                line += f"  {r.error.splitlines()[0]}"
+            lines.append(line)
+        n_failed = len(self.failures())
+        lines.append(
+            f"  {len(self.results)} stages, "
+            f"{sum(1 for r in self.results if r.status is StageStatus.CACHED)} cached, "
+            f"{n_failed} failed"
+        )
+        return "\n".join(lines)
+
+
+class PipelineRunner:
+    """Executes stages in order over a context dict.
+
+    Parameters
+    ----------
+    checkpoints / key:
+        Where and under which key checkpointable stage values persist.
+        With no store, checkpoint flags are ignored.
+    resume:
+        Load checkpointed values where present instead of recomputing.
+    max_retries / backoff_base / backoff_cap:
+        Defaults for stages that declare ``retry_on`` but no ``retries``.
+        Backoff for attempt *k* is ``backoff_base * 2**(k-1)`` scaled by a
+        jitter in [0.5, 1.5) drawn from a per-stage seeded stream.
+    sleep / clock:
+        Injectable for tests (no real sleeping in the suite).
+    """
+
+    def __init__(
+        self,
+        checkpoints: Optional[CheckpointStore] = None,
+        key: str = "",
+        resume: bool = False,
+        max_retries: int = 2,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 30.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if checkpoints is not None and not key:
+            raise PipelineError("a checkpoint store needs a nonempty run key")
+        self.checkpoints = checkpoints
+        self.key = key
+        self.resume = resume
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._hub = RngHub(seed)
+        self._sleep = sleep
+        self._clock = clock
+
+    def backoff_delays(self, stage_name: str, attempts: int) -> List[float]:
+        """The jittered exponential delays a stage would sleep between retries."""
+        rng = self._hub.fresh(f"backoff:{stage_name}")
+        delays = []
+        for attempt in range(1, attempts + 1):
+            base = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+            delays.append(base * (0.5 + rng.random()))
+        return delays
+
+    # -- execution ----------------------------------------------------------
+    def run(
+        self, stages: Sequence[Stage], context: Optional[Dict[str, Any]] = None
+    ) -> Tuple[Dict[str, Any], RunReport]:
+        """Run every stage; returns the final context and the run report."""
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise PipelineError(f"duplicate stage names: {dupes}")
+        context = context if context is not None else {}
+        report = RunReport(key=self.key)
+        failed_fatal: Optional[StageFailure] = None
+        for stage in stages:
+            if failed_fatal is not None:
+                report.results.append(
+                    StageResult(name=stage.name, status=StageStatus.SKIPPED)
+                )
+                continue
+            result = self._run_stage(stage, context)
+            report.results.append(result)
+            if result.status is StageStatus.FAILED and not stage.allow_failure:
+                failed_fatal = StageFailure(
+                    stage.name, result.attempts, context.pop("__last_error__")
+                )
+        context["__report__"] = report
+        if failed_fatal is not None:
+            failed_fatal.report = report
+            raise failed_fatal
+        return context, report
+
+    def _run_stage(self, stage: Stage, context: Dict[str, Any]) -> StageResult:
+        start = self._clock()
+        if (
+            self.resume
+            and self.checkpoints is not None
+            and stage.checkpoint
+            and self.checkpoints.has(self.key, stage.name)
+        ):
+            value = self.checkpoints.load(self.key, stage.name)
+            context[stage.name] = value
+            logger.info("stage %s: loaded from checkpoint", stage.name)
+            return StageResult(
+                name=stage.name,
+                status=StageStatus.CACHED,
+                attempts=0,
+                duration_s=self._clock() - start,
+            )
+
+        max_attempts = 1 + (stage.retries if stage.retry_on else 0)
+        delays = self.backoff_delays(stage.name, max_attempts - 1)
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, max_attempts + 1):
+            try:
+                value = stage.fn(context)
+            except stage.retry_on as exc:
+                last_exc = exc
+                if attempt < max_attempts:
+                    delay = delays[attempt - 1]
+                    logger.warning(
+                        "stage %s attempt %d/%d failed (%s: %s); retrying in %.2fs",
+                        stage.name, attempt, max_attempts,
+                        type(exc).__name__, exc, delay,
+                    )
+                    self._sleep(delay)
+                    continue
+            except Exception as exc:  # non-retryable: capture and stop
+                last_exc = exc
+            else:
+                context[stage.name] = value
+                if self.checkpoints is not None and stage.checkpoint:
+                    self.checkpoints.save(self.key, stage.name, value)
+                return StageResult(
+                    name=stage.name,
+                    status=StageStatus.OK,
+                    attempts=attempt,
+                    duration_s=self._clock() - start,
+                )
+            break
+        assert last_exc is not None
+        context["__last_error__"] = last_exc
+        return StageResult(
+            name=stage.name,
+            status=StageStatus.FAILED,
+            attempts=attempt,
+            duration_s=self._clock() - start,
+            error=f"{type(last_exc).__name__}: {last_exc}",
+            traceback="".join(
+                _tb.format_exception(type(last_exc), last_exc, last_exc.__traceback__)
+            ),
+        )

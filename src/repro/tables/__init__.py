@@ -14,27 +14,46 @@ columns:
 from repro.tables.column import Column
 from repro.tables.expr import Expr, col
 from repro.tables.groupby import AGGREGATORS, GroupBy
-from repro.tables.io import read_csv, read_jsonl, write_csv, write_jsonl
+from repro.tables.io import (
+    CsvReadResult,
+    read_csv,
+    read_csv_checked,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
 from repro.tables.join import join
 from repro.tables.pretty import format_table
 from repro.tables.schema import DType, Field, Schema
 from repro.tables.table import Table, concat
+from repro.tables.validate import (
+    GateResult,
+    Rule,
+    ValidationReport,
+    validate_table,
+)
 
 __all__ = [
     "AGGREGATORS",
     "Column",
+    "CsvReadResult",
     "DType",
     "Expr",
     "Field",
+    "GateResult",
     "GroupBy",
+    "Rule",
     "Schema",
     "Table",
+    "ValidationReport",
     "col",
     "concat",
     "format_table",
     "join",
     "read_csv",
+    "read_csv_checked",
     "read_jsonl",
+    "validate_table",
     "write_csv",
     "write_jsonl",
 ]

@@ -8,14 +8,26 @@ from __future__ import annotations
 
 import csv
 import json
+import logging
 import os
-from typing import Mapping, Optional
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
 
 from repro.tables.schema import DType
 from repro.tables.table import Table
-from repro.util.errors import DataError
+from repro.util.errors import DataError, ValidationFailure
+from repro.tables.validate import ValidationReport
 
-__all__ = ["read_csv", "read_jsonl", "write_csv", "write_jsonl"]
+__all__ = [
+    "CsvReadResult",
+    "read_csv",
+    "read_csv_checked",
+    "read_jsonl",
+    "write_csv",
+    "write_jsonl",
+]
+
+logger = logging.getLogger(__name__)
 
 _NULL = ""  # CSV representation of a missing string
 
@@ -32,10 +44,41 @@ def write_csv(table: Table, path: str) -> None:
             )
 
 
-def read_csv(path: str, dtypes: Mapping[str, DType]) -> Table:
-    """Read a CSV written by :func:`write_csv`.
+@dataclass
+class CsvReadResult:
+    """A checked CSV read: parsed rows, quarantined raw rows, the report.
 
-    ``dtypes`` must cover every column; CSV carries no type information.
+    ``quarantine`` holds one ``(line, raw, reason)`` row per rejected CSV
+    record: the 1-based line number where the record *started* (quoted
+    fields may span physical lines), the raw record re-encoded as CSV, and
+    why it was rejected.
+    """
+
+    table: Table
+    quarantine: Table
+    report: ValidationReport
+
+
+def _encode_record(record: List[str]) -> str:
+    import io as _io
+
+    buf = _io.StringIO()
+    csv.writer(buf, lineterminator="").writerow(record)
+    return buf.getvalue()
+
+
+def read_csv_checked(
+    path: str, dtypes: Mapping[str, DType], strict: bool = False
+) -> CsvReadResult:
+    """Read a CSV, quarantining malformed records instead of dying on them.
+
+    A record is quarantined when its field count differs from the header's
+    or any cell fails to parse as its declared dtype.  Strict mode raises
+    :class:`ValidationFailure` on the first report with quarantined rows;
+    default mode logs one warning and returns whatever parsed.
+
+    Fully blank records (e.g. trailing blank lines some editors append)
+    are skipped silently — they encode no row at all.
     """
     with open(path, "r", newline="", encoding="utf-8") as fh:
         reader = csv.reader(fh)
@@ -46,26 +89,92 @@ def read_csv(path: str, dtypes: Mapping[str, DType]) -> Table:
         missing = [h for h in header if h not in dtypes]
         if missing:
             raise DataError(f"{path}: no dtype given for columns {missing}")
-        raw = {h: [] for h in header}
-        for lineno, row in enumerate(reader, start=2):
-            if len(row) != len(header):
-                raise DataError(
-                    f"{path}:{lineno}: expected {len(header)} fields, got {len(row)}"
+        field_dtypes = [dtypes[h] for h in header]
+        data: List[List[object]] = [[] for _ in header]
+        bad: List[Tuple[int, str, str]] = []
+        while True:
+            lineno = reader.line_num + 1
+            try:
+                record = next(reader)
+            except StopIteration:
+                break
+            if not record or all(cell == "" for cell in record):
+                # A trailing blank line (or a stray all-empty record)
+                # encodes no row; tolerate it rather than quarantine.
+                continue
+            if len(record) != len(header):
+                bad.append(
+                    (
+                        lineno,
+                        _encode_record(record),
+                        f"expected {len(header)} fields, got {len(record)}",
+                    )
                 )
-            for h, v in zip(header, row):
-                raw[h].append(v)
-    data = {}
-    for h in header:
-        dt = dtypes[h]
-        if dt is DType.STR:
-            data[h] = [None if v == _NULL else v for v in raw[h]]
-        elif dt is DType.INT:
-            data[h] = [int(v) for v in raw[h]]
-        elif dt is DType.FLOAT:
-            data[h] = [float("nan") if v == _NULL else float(v) for v in raw[h]]
-        elif dt is DType.BOOL:
-            data[h] = [v in ("True", "true", "1") for v in raw[h]]
-    return Table.from_dict(data, dtypes={h: dtypes[h] for h in header})
+                continue
+            parsed: List[object] = []
+            reason = None
+            for h, dt, cell in zip(header, field_dtypes, record):
+                try:
+                    parsed.append(dt.parse(cell))
+                except ValueError as exc:
+                    reason = f"column {h!r}: {exc}"
+                    break
+            if reason is not None:
+                bad.append((lineno, _encode_record(record), reason))
+                continue
+            for store, value in zip(data, parsed):
+                store.append(value)
+
+    n_ok = len(data[0]) if data else 0
+    report = ValidationReport(
+        name=path,
+        n_input=n_ok + len(bad),
+        n_passed=n_ok,
+        n_quarantined=len(bad),
+        reasons=_count_reasons(bad),
+    )
+    if bad and strict:
+        raise ValidationFailure(report)
+    if bad:
+        logger.warning("%s", report)
+    table = Table.from_dict(
+        {h: store for h, store in zip(header, data)},
+        dtypes={h: dtypes[h] for h in header},
+    )
+    quarantine = Table.from_dict(
+        {
+            "line": [b[0] for b in bad],
+            "raw": [b[1] for b in bad],
+            "reason": [b[2] for b in bad],
+        },
+        dtypes={"line": DType.INT, "raw": DType.STR, "reason": DType.STR},
+    )
+    return CsvReadResult(table=table, quarantine=quarantine, report=report)
+
+
+def _count_reasons(bad: List[Tuple[int, str, str]]) -> dict:
+    counts: dict = {}
+    for _, _, reason in bad:
+        counts[reason] = counts.get(reason, 0) + 1
+    return counts
+
+
+def read_csv(path: str, dtypes: Mapping[str, DType]) -> Table:
+    """Read a CSV written by :func:`write_csv`, raising on any bad record.
+
+    ``dtypes`` must cover every column; CSV carries no type information.
+    This is the strict entry point: the first malformed record raises a
+    :class:`DataError` naming the offending line.  Use
+    :func:`read_csv_checked` to quarantine bad records instead.
+    """
+    try:
+        return read_csv_checked(path, dtypes, strict=True).table
+    except ValidationFailure as exc:
+        report = exc.report
+        raise DataError(
+            f"{path}: {report.n_quarantined} malformed CSV record(s): "
+            f"{report.top_reasons()}"
+        ) from exc
 
 
 def write_jsonl(table: Table, path: str) -> None:

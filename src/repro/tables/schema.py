@@ -44,6 +44,46 @@ class DType(enum.Enum):
             DType.STR: np.dtype(object),
         }[self]
 
+    def parse(self, text: str):
+        """Parse one CSV cell into this logical type.
+
+        The empty string is the CSV encoding of a missing value: ``None``
+        for STR, NaN for FLOAT.  A missing INT or BOOL has no in-column
+        representation, so it raises — callers decide whether that means
+        "raise DataError" (strict ingest) or "quarantine the row".
+
+        Raises ``ValueError`` on junk so ingest can turn it into a typed,
+        per-row quarantine reason instead of an untyped crash.
+        """
+        if self is DType.STR:
+            return None if text == "" else text
+        if self is DType.FLOAT:
+            return float("nan") if text == "" else float(text)
+        if self is DType.INT:
+            return int(text)
+        if self is DType.BOOL:
+            lowered = text.strip().lower()
+            if lowered in ("true", "1"):
+                return True
+            if lowered in ("false", "0", ""):
+                return False
+            raise ValueError(f"cannot parse {text!r} as bool")
+        raise ValueError(f"unhandled dtype {self!r}")  # pragma: no cover
+
+    def accepts(self, value) -> bool:
+        """Whether a python value already stored in a table fits this type."""
+        if self is DType.STR:
+            return value is None or isinstance(value, str)
+        if self is DType.BOOL:
+            return isinstance(value, (bool, np.bool_))
+        if self is DType.INT:
+            return isinstance(value, (int, np.integer)) and not isinstance(
+                value, (bool, np.bool_)
+            )
+        if self is DType.FLOAT:
+            return isinstance(value, (int, float, np.integer, np.floating))
+        return False  # pragma: no cover
+
 
 @dataclass(frozen=True)
 class Field:
@@ -94,6 +134,26 @@ class Schema:
         if not isinstance(other, Schema):
             return NotImplemented
         return self._fields == other._fields
+
+    def row_issues(self, row) -> List[str]:
+        """Type problems of one row dict against this schema.
+
+        Returns one human-readable reason per violation (missing key or a
+        value of the wrong logical type); an empty list means the row
+        conforms.  Extra keys are ignored — projection is the caller's job.
+        """
+        issues: List[str] = []
+        for f in self._fields:
+            if f.name not in row:
+                issues.append(f"missing field {f.name!r}")
+                continue
+            value = row[f.name]
+            if not f.dtype.accepts(value):
+                issues.append(
+                    f"field {f.name!r} expects {f.dtype.value}, "
+                    f"got {type(value).__name__} {value!r}"
+                )
+        return issues
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{f.name}:{f.dtype.value}" for f in self._fields)

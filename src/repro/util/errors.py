@@ -25,3 +25,42 @@ class CalibrationError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis step cannot proceed (empty period, missing column, ...)."""
+
+
+class PipelineError(ReproError):
+    """The staged pipeline runtime cannot orchestrate a run."""
+
+
+class StageFailure(PipelineError):
+    """A named pipeline stage exhausted its retries and gave up.
+
+    Carries the stage name, attempt count, and the final cause so a run
+    report (or an operator reading a log line) can tell *which* stage of
+    *which* run died and why, without unpacking a raw traceback.
+    """
+
+    def __init__(self, stage: str, attempts: int, cause: BaseException):
+        self.stage = stage
+        self.attempts = attempts
+        self.cause = cause
+        plural = "s" if attempts != 1 else ""
+        super().__init__(
+            f"stage {stage!r} failed after {attempts} attempt{plural}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
+class ValidationFailure(DataError):
+    """Strict-mode ingest rejected a table because rows failed validation.
+
+    ``report`` is the :class:`repro.tables.validate.ValidationReport` that
+    describes every quarantined row.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(
+            f"validation of {report.name!r} failed: "
+            f"{report.n_quarantined}/{report.n_input} rows quarantined "
+            f"({report.top_reasons()})"
+        )

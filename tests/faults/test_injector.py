@@ -1,0 +1,144 @@
+"""Tests for the seeded fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.faults import PROFILES, FaultInjector, FaultProfile, get_profile
+from repro.util.errors import DataError
+
+
+class TestProfiles:
+    def test_builtin_profiles_exist(self):
+        assert {"none", "default", "heavy"} <= set(PROFILES)
+
+    def test_none_profile_is_inert(self):
+        assert get_profile("none").total_rate == 0.0
+
+    def test_heavy_dirtier_than_default(self):
+        assert get_profile("heavy").total_rate > get_profile("default").total_rate
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(DataError, match="heavy"):
+            get_profile("catastrophic")
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultProfile(name="bad", nan_metric_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(name="bad", duplicate_rate=-0.1)
+
+
+class TestInjectNdt:
+    @pytest.fixture(scope="class")
+    def dirty(self, small_dataset):
+        injector = FaultInjector(get_profile("heavy"), seed=99)
+        return injector.inject_ndt(small_dataset.ndt)
+
+    def test_deterministic_per_seed(self, small_dataset):
+        profile = get_profile("default")
+        t1, s1 = FaultInjector(profile, seed=5).inject_ndt(small_dataset.ndt)
+        t2, s2 = FaultInjector(profile, seed=5).inject_ndt(small_dataset.ndt)
+        assert s1.counts == s2.counts
+        assert t1.column("day").to_list() == t2.column("day").to_list()
+        t3, _ = FaultInjector(profile, seed=6).inject_ndt(small_dataset.ndt)
+        assert t1.column("tput_mbps").to_list() != t3.column("tput_mbps").to_list()
+
+    def test_every_ndt_fault_kind_present(self, dirty):
+        _, summary = dirty
+        assert {
+            "ndt:nan-metric",
+            "ndt:negative-metric",
+            "ndt:geo-dropped",
+            "ndt:clock-skew",
+            "ndt:duplicate-uuid",
+        } <= set(summary.counts)
+
+    def test_nan_and_negative_metrics_injected(self, dirty, small_dataset):
+        table, _ = dirty
+        tput = table.column("tput_mbps").values.astype(np.float64)
+        rtt = table.column("min_rtt_ms").values.astype(np.float64)
+        loss = table.column("loss_rate").values.astype(np.float64)
+        n_nan = int(
+            np.isnan(tput).sum() + np.isnan(rtt).sum() + np.isnan(loss).sum()
+        )
+        assert n_nan > 0
+        assert int((tput[~np.isnan(tput)] < 0).sum() + (rtt[~np.isnan(rtt)] < 0).sum()) > 0
+
+    def test_duplicates_appended(self, dirty, small_dataset):
+        table, summary = dirty
+        dup = summary.counts["ndt:duplicate-uuid"]
+        assert table.n_rows == small_dataset.ndt.n_rows + dup
+        ids = table.column("test_id").values
+        assert len(np.unique(ids)) < len(ids)
+
+    def test_geo_labels_dropped_beyond_generator_rate(self, dirty, small_dataset):
+        table, summary = dirty
+        before = sum(1 for v in small_dataset.ndt.column("city").values if v is None)
+        after = sum(1 for v in table.column("city").values if v is None)
+        assert after > before
+
+    def test_clock_skew_leaves_study_windows(self, dirty, small_dataset):
+        from repro.synth.generator import study_periods
+
+        table, summary = dirty
+        days = table.column("day").values.astype(np.int64)
+        inside = np.zeros(len(days), dtype=bool)
+        for p in study_periods().values():
+            inside |= (days >= p.start.ordinal) & (days <= p.end.ordinal)
+        assert int((~inside).sum()) >= summary.counts["ndt:clock-skew"]
+
+    def test_original_table_untouched(self, small_dataset):
+        before = small_dataset.ndt.column("tput_mbps").to_list()
+        FaultInjector(get_profile("heavy"), seed=1).inject_ndt(small_dataset.ndt)
+        assert small_dataset.ndt.column("tput_mbps").to_list() == before
+
+
+class TestInjectTraces:
+    @pytest.fixture(scope="class")
+    def dirty(self, small_dataset):
+        injector = FaultInjector(get_profile("heavy"), seed=99)
+        return injector.inject_traces(small_dataset.traces)
+
+    def test_truncation_breaks_hop_count_agreement(self, dirty):
+        table, summary = dirty
+        n_hops = table.column("n_hops").values.astype(np.int64)
+        paths = table.column("path").values
+        mismatched = sum(
+            1 for count, p in zip(n_hops, paths) if len(p.split("|")) != count
+        )
+        # Duplicates of truncated rows also mismatch, so >= not ==.
+        assert mismatched >= summary.counts["trace:truncated-hops"] > 0
+
+    def test_trace_fault_kinds_present(self, dirty):
+        _, summary = dirty
+        assert {
+            "trace:truncated-hops",
+            "trace:clock-skew",
+            "trace:duplicate-uuid",
+        } <= set(summary.counts)
+
+
+class TestInjectDataset:
+    def test_none_profile_changes_nothing(self, small_dataset):
+        dirty, summary = FaultInjector(get_profile("none"), seed=1).inject_dataset(
+            small_dataset
+        )
+        assert summary.total == 0
+        assert dirty.ndt.n_rows == small_dataset.ndt.n_rows
+        assert dirty.traces.n_rows == small_dataset.traces.n_rows
+
+    def test_summary_merges_both_tables(self, small_dataset):
+        _, summary = FaultInjector(get_profile("heavy"), seed=2).inject_dataset(
+            small_dataset
+        )
+        kinds = set(summary.counts)
+        assert any(k.startswith("ndt:") for k in kinds)
+        assert any(k.startswith("trace:") for k in kinds)
+        assert "corruptions" in str(summary)
+
+    def test_rest_of_dataset_carried_over(self, small_dataset):
+        dirty, _ = FaultInjector(get_profile("default"), seed=3).inject_dataset(
+            small_dataset
+        )
+        assert dirty.topology is small_dataset.topology
+        assert dirty.config is small_dataset.config

@@ -1,0 +1,88 @@
+"""Tests for config-keyed checkpointing."""
+
+import pytest
+
+from repro.runtime.checkpoint import CheckpointStore, config_key
+from repro.synth.generator import GeneratorConfig
+from repro.util.errors import PipelineError
+
+
+class TestConfigKey:
+    def test_stable_across_instances(self):
+        a = GeneratorConfig(seed=7, scale=0.1)
+        b = GeneratorConfig(seed=7, scale=0.1)
+        assert config_key(a) == config_key(b)
+
+    def test_any_field_changes_the_key(self):
+        base = GeneratorConfig(seed=7, scale=0.1)
+        assert config_key(base) != config_key(GeneratorConfig(seed=8, scale=0.1))
+        assert config_key(base) != config_key(GeneratorConfig(seed=7, scale=0.2))
+        assert config_key(base) != config_key(
+            GeneratorConfig(seed=7, scale=0.1, war_enabled=False)
+        )
+
+    def test_extra_knobs_change_the_key(self):
+        config = GeneratorConfig(seed=7, scale=0.1)
+        assert config_key(config) != config_key(
+            config, extra={"fault_profile": "default"}
+        )
+
+    def test_mapping_accepted(self):
+        assert config_key({"seed": 1}) == config_key({"seed": 1})
+        assert config_key({"seed": 1}) != config_key({"seed": 2})
+
+    def test_non_config_rejected(self):
+        with pytest.raises(PipelineError, match="dataclass or mapping"):
+            config_key(42)
+
+    def test_key_is_short_hex(self):
+        key = config_key(GeneratorConfig(seed=7, scale=0.1))
+        assert len(key) == 16
+        int(key, 16)  # parses as hex
+
+
+class TestCheckpointStore:
+    def test_roundtrip_counts_hit(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("k", "generate", {"rows": 3})
+        assert store.has("k", "generate")
+        assert store.load("k", "generate") == {"rows": 3}
+        assert store.hits == 1 and store.misses == 0
+
+    def test_missing_checkpoint_raises_and_counts_miss(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        assert not store.has("k", "generate")
+        with pytest.raises(PipelineError, match="no checkpoint"):
+            store.load("k", "generate")
+        assert store.misses == 1
+
+    def test_corrupt_checkpoint_raises_typed(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.save("k", "generate", [1, 2, 3])
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        with pytest.raises(PipelineError, match="corrupt"):
+            store.load("k", "generate")
+
+    def test_drop_single_stage(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("k", "a", 1)
+        store.save("k", "b", 2)
+        store.drop("k", "a")
+        assert not store.has("k", "a")
+        assert store.has("k", "b")
+
+    def test_drop_whole_key(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("k", "a", 1)
+        store.save("k", "b", 2)
+        store.drop("k")
+        assert not store.has("k", "a")
+        assert not store.has("k", "b")
+
+    def test_keys_isolated(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("k1", "generate", "one")
+        store.save("k2", "generate", "two")
+        assert store.load("k1", "generate") == "one"
+        assert store.load("k2", "generate") == "two"

@@ -1,0 +1,192 @@
+"""Tests for the staged pipeline executor: retries, checkpoints, degradation."""
+
+import pytest
+
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.pipeline import PipelineRunner, Stage, StageStatus
+from repro.util.errors import PipelineError, ReproError, StageFailure
+
+
+def runner(**kwargs):
+    """A runner that never really sleeps (delays recorded on .slept)."""
+    slept = []
+    r = PipelineRunner(sleep=slept.append, **kwargs)
+    r.slept = slept
+    return r
+
+
+class TestBasicExecution:
+    def test_stages_run_in_order_over_shared_context(self):
+        stages = [
+            Stage(name="a", fn=lambda ctx: 1),
+            Stage(name="b", fn=lambda ctx: ctx["a"] + 1),
+        ]
+        context, report = runner().run(stages)
+        assert context["a"] == 1 and context["b"] == 2
+        assert report.ok
+        assert [r.status for r in report.results] == [StageStatus.OK] * 2
+
+    def test_report_records_attempts_and_duration(self):
+        clock = iter(range(100))
+        r = PipelineRunner(sleep=lambda s: None, clock=lambda: next(clock))
+        _, report = r.run([Stage(name="a", fn=lambda ctx: None)])
+        result = report.result("a")
+        assert result.attempts == 1
+        assert result.duration_s >= 0
+
+    def test_duplicate_stage_names_rejected(self):
+        stages = [Stage(name="x", fn=lambda c: 1), Stage(name="x", fn=lambda c: 2)]
+        with pytest.raises(PipelineError, match="duplicate"):
+            runner().run(stages)
+
+    def test_unknown_stage_in_report_raises(self):
+        _, report = runner().run([Stage(name="a", fn=lambda c: 1)])
+        with pytest.raises(PipelineError, match="nope"):
+            report.result("nope")
+
+
+class TestRetry:
+    def test_transient_failure_retried_until_success(self):
+        calls = []
+
+        def flaky(ctx):
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return "done"
+
+        r = runner()
+        _, report = r.run(
+            [Stage(name="a", fn=flaky, retries=3, retry_on=(ValueError,))]
+        )
+        assert report.result("a").status is StageStatus.OK
+        assert report.result("a").attempts == 3
+        assert len(r.slept) == 2  # slept between the three attempts
+
+    def test_backoff_is_exponential_jittered_and_seeded(self):
+        r1 = runner(seed=42, backoff_base=0.25)
+        r2 = runner(seed=42, backoff_base=0.25)
+        d1 = r1.backoff_delays("stage", 4)
+        assert d1 == r2.backoff_delays("stage", 4)  # deterministic per seed
+        assert d1 != runner(seed=43).backoff_delays("stage", 4)
+        for k, delay in enumerate(d1):
+            base = 0.25 * 2**k
+            assert base * 0.5 <= delay < base * 1.5  # jitter in [0.5, 1.5)
+
+    def test_sleeps_match_declared_backoff(self):
+        attempts = []
+
+        def always_fails(ctx):
+            attempts.append(1)
+            raise ValueError("nope")
+
+        r = runner(seed=7)
+        expected = r.backoff_delays("a", 2)
+        with pytest.raises(StageFailure):
+            r.run([Stage(name="a", fn=always_fails, retries=2, retry_on=(ValueError,))])
+        assert r.slept == pytest.approx(expected)
+        assert len(attempts) == 3
+
+    def test_backoff_capped(self):
+        r = runner(backoff_base=10.0, backoff_cap=15.0)
+        assert all(d <= 15.0 * 1.5 for d in r.backoff_delays("a", 6))
+
+    def test_non_retryable_exception_not_retried(self):
+        calls = []
+
+        def fails(ctx):
+            calls.append(1)
+            raise KeyError("boom")
+
+        with pytest.raises(StageFailure):
+            runner().run([Stage(name="a", fn=fails, retries=3, retry_on=(ValueError,))])
+        assert len(calls) == 1
+
+
+class TestFailureModes:
+    def test_fatal_failure_raises_stage_failure_with_report(self):
+        def boom(ctx):
+            raise ValueError("dead")
+
+        stages = [
+            Stage(name="a", fn=lambda c: 1),
+            Stage(name="b", fn=boom),
+            Stage(name="c", fn=lambda c: 3),
+        ]
+        with pytest.raises(StageFailure, match="stage 'b' failed") as excinfo:
+            runner().run(stages)
+        exc = excinfo.value
+        assert isinstance(exc, ReproError)
+        assert exc.stage == "b" and isinstance(exc.cause, ValueError)
+        report = exc.report
+        assert report.result("a").status is StageStatus.OK
+        assert report.result("b").status is StageStatus.FAILED
+        assert report.result("c").status is StageStatus.SKIPPED
+
+    def test_allow_failure_degrades_gracefully(self):
+        def boom(ctx):
+            raise ValueError("dead")
+
+        stages = [
+            Stage(name="a", fn=lambda c: 1),
+            Stage(name="b", fn=boom, allow_failure=True),
+            Stage(name="c", fn=lambda c: 3),
+        ]
+        context, report = runner().run(stages)
+        assert context["c"] == 3 and "b" not in context
+        assert not report.ok
+        failure = report.result("b")
+        assert failure.status is StageStatus.FAILED
+        assert "ValueError: dead" in failure.error
+        assert "Traceback" in failure.traceback
+
+    def test_summary_mentions_failures(self):
+        stages = [
+            Stage(
+                name="b",
+                fn=lambda c: (_ for _ in ()).throw(ValueError("x")),
+                allow_failure=True,
+            )
+        ]
+        _, report = runner().run(stages)
+        text = report.summary()
+        assert "failed" in text and "b" in text
+
+
+class TestCheckpointing:
+    def test_resume_loads_instead_of_recomputing(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        calls = []
+
+        def expensive(ctx):
+            calls.append(1)
+            return "value"
+
+        stage = [Stage(name="gen", fn=expensive, checkpoint=True)]
+        r1 = PipelineRunner(checkpoints=store, key="k", sleep=lambda s: None)
+        r1.run(stage)
+        assert calls == [1]
+
+        r2 = PipelineRunner(
+            checkpoints=store, key="k", resume=True, sleep=lambda s: None
+        )
+        context, report = r2.run(stage)
+        assert calls == [1]  # not recomputed
+        assert context["gen"] == "value"
+        assert report.result("gen").status is StageStatus.CACHED
+        assert store.hits == 1
+
+    def test_without_resume_recomputes_and_overwrites(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        calls = []
+        stage = [
+            Stage(name="gen", fn=lambda c: calls.append(1) or len(calls), checkpoint=True)
+        ]
+        PipelineRunner(checkpoints=store, key="k", sleep=lambda s: None).run(stage)
+        PipelineRunner(checkpoints=store, key="k", sleep=lambda s: None).run(stage)
+        assert len(calls) == 2
+        assert store.hits == 0
+
+    def test_store_requires_key(self, tmp_path):
+        with pytest.raises(PipelineError, match="key"):
+            PipelineRunner(checkpoints=CheckpointStore(str(tmp_path)))

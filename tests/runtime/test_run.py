@@ -1,0 +1,165 @@
+"""Tests for the orchestrated pipeline: resume, degradation, ingest gates."""
+
+import pytest
+
+from repro.faults import get_profile
+from repro.runtime.checkpoint import CheckpointStore, config_key
+from repro.runtime.experiments import EXPERIMENT_NAMES, experiment_registry, run_experiments
+from repro.runtime.pipeline import PipelineRunner, StageStatus
+from repro.runtime.run import EXIT_ANALYSIS, EXIT_GENERATION, EXIT_OK, run_pipeline
+from repro.synth.generator import GeneratorConfig
+from repro.util.errors import PipelineError, StageFailure
+
+CONFIG = GeneratorConfig(seed=3, scale=0.02)
+
+
+def make_runner(tmp_path, config=CONFIG, resume=False):
+    store = CheckpointStore(str(tmp_path))
+    return store, PipelineRunner(
+        checkpoints=store,
+        key=config_key(config),
+        resume=resume,
+        seed=config.seed,
+        sleep=lambda s: None,
+    )
+
+
+class TestRunPipeline:
+    def test_clean_run_is_ok_and_gated(self, tmp_path):
+        _, runner = make_runner(tmp_path)
+        run = run_pipeline(CONFIG, experiments=["fig2"], runner=runner)
+        assert run.exit_code == EXIT_OK
+        assert "Figure 2" in run.sections["fig2"]
+        assert run.dataset is not None
+        for gate in run.gates.values():
+            assert gate.report.clean
+            assert gate.clean.n_rows + gate.quarantine.n_rows == gate.report.n_input
+        assert "run report" in run.render()
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(PipelineError, match="unknown experiments"):
+            run_pipeline(CONFIG, experiments=["fig99"], checkpoint_dir=str(tmp_path))
+
+    def test_killed_after_generate_resumes_from_checkpoint(self, tmp_path):
+        # First run "dies" right after the generate stage: the ingest stage
+        # raises, which aborts the run — but generate's checkpoint survives.
+        store, runner = make_runner(tmp_path)
+        registry_names = []  # no experiments needed to prove the point
+
+        def sabotage(dataset, strict=False):
+            raise ValueError("killed mid-run")
+
+        import repro.runtime.run as run_mod
+
+        original = run_mod.sanitize_dataset
+        run_mod.sanitize_dataset = sabotage
+        try:
+            with pytest.raises(StageFailure, match="ingest"):
+                run_pipeline(CONFIG, experiments=registry_names, runner=runner)
+        finally:
+            run_mod.sanitize_dataset = original
+        assert store.has(config_key(CONFIG), "generate")
+        assert store.hits == 0
+
+        # Second run with --resume must skip regeneration: checkpoint hit.
+        store2, runner2 = make_runner(tmp_path, resume=True)
+        run = run_pipeline(CONFIG, experiments=["fig2"], resume=True, runner=runner2)
+        assert run.exit_code == EXIT_OK
+        assert run.report.result("generate").status is StageStatus.CACHED
+        assert store2.hits == 1
+
+    def test_failing_experiment_degrades_not_aborts(self, tmp_path, monkeypatch):
+        import repro.analysis.report as rpt
+
+        def boom(dataset):
+            raise ValueError("experiment exploded")
+
+        monkeypatch.setattr(rpt, "_fig4", boom)
+        _, runner = make_runner(tmp_path)
+        run = run_pipeline(CONFIG, experiments=["fig2", "fig4"], runner=runner)
+        assert run.exit_code == EXIT_ANALYSIS
+        assert "fig2" in run.sections and "fig4" not in run.sections
+        failure = run.report.result("fig4")
+        assert failure.status is StageStatus.FAILED
+        assert "experiment exploded" in failure.error
+        assert "Traceback" in failure.traceback
+        rendered = run.render()
+        assert "fig4: FAILED" in rendered and "Figure 2" in rendered
+
+    def test_generation_failure_raises_with_partial_run(self, tmp_path, monkeypatch):
+        from repro.synth.generator import DatasetGenerator
+        from repro.util.errors import DataError
+
+        def dead(self):
+            raise DataError("generator broke")
+
+        monkeypatch.setattr(DatasetGenerator, "generate", dead)
+        _, runner = make_runner(tmp_path)
+        with pytest.raises(StageFailure, match="generate") as excinfo:
+            run_pipeline(CONFIG, experiments=["fig2"], runner=runner)
+        partial = excinfo.value.partial_run
+        assert partial.exit_code == EXIT_GENERATION
+        assert partial.report.result("generate").status is StageStatus.FAILED
+        assert partial.report.result("fig2").status is StageStatus.SKIPPED
+
+    def test_faulted_run_quarantines_and_completes(self, tmp_path):
+        _, runner = make_runner(tmp_path)
+        run = run_pipeline(
+            CONFIG,
+            profile=get_profile("default"),
+            experiments=["fig2", "table1"],
+            runner=runner,
+        )
+        assert run.exit_code == EXIT_OK
+        assert run.injection is not None and run.injection.total > 0
+        assert any(not g.report.clean for g in run.gates.values())
+        for gate in run.gates.values():
+            assert gate.clean.n_rows + gate.quarantine.n_rows == gate.report.n_input
+        assert "quarantined" in run.render()
+
+    def test_strict_mode_fails_generation_side_on_dirty_data(self, tmp_path):
+        _, runner = make_runner(tmp_path)
+        with pytest.raises(StageFailure, match="ingest") as excinfo:
+            run_pipeline(
+                CONFIG,
+                profile=get_profile("default"),
+                strict=True,
+                experiments=["fig2"],
+                runner=runner,
+            )
+        assert excinfo.value.partial_run.exit_code == EXIT_GENERATION
+
+
+class TestExperimentRegistry:
+    def test_registry_covers_all_18_names(self):
+        registry = experiment_registry()
+        assert set(registry) == set(EXPERIMENT_NAMES)
+        assert len(EXPERIMENT_NAMES) == 18
+
+    def test_run_experiments_shares_section_functions(self, small_dataset):
+        # table3/5/6 share one section fn; the cache must compute it once.
+        calls = []
+        import repro.analysis.report as rpt
+
+        original = rpt._tables_3_5_6
+
+        def counting(dataset):
+            calls.append(1)
+            return original(dataset)
+
+        rpt._tables_3_5_6 = counting
+        try:
+            sections, report = run_experiments(
+                small_dataset,
+                names=["table3", "table5", "table6"],
+                runner=PipelineRunner(sleep=lambda s: None),
+            )
+        finally:
+            rpt._tables_3_5_6 = original
+        assert report.ok
+        assert len(calls) == 1
+        assert sections["table3"] == sections["table5"] == sections["table6"]
+
+    def test_run_experiments_unknown_name(self, small_dataset):
+        with pytest.raises(PipelineError, match="unknown"):
+            run_experiments(small_dataset, names=["not-a-thing"])

@@ -4,8 +4,16 @@ import math
 
 import pytest
 
-from repro.tables import DType, Table, read_csv, read_jsonl, write_csv, write_jsonl
-from repro.util.errors import DataError
+from repro.tables import (
+    DType,
+    Table,
+    read_csv,
+    read_csv_checked,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from repro.util.errors import DataError, ValidationFailure
 
 
 @pytest.fixture
@@ -62,6 +70,83 @@ class TestCsv:
         path = str(tmp_path / "deep" / "nested" / "t.csv")
         write_csv(t, path)
         assert read_csv(path, DTYPES).n_rows == 3
+
+
+class TestCsvHardening:
+    def test_embedded_newline_roundtrips(self, tmp_path):
+        t = Table.from_dict(
+            {"note": ["line one\nline two", "plain"], "n": [1, 2]},
+            dtypes={"note": DType.STR, "n": DType.INT},
+        )
+        path = str(tmp_path / "t.csv")
+        write_csv(t, path)
+        back = read_csv(path, {"note": DType.STR, "n": DType.INT})
+        assert back["note"].to_list() == ["line one\nline two", "plain"]
+        assert back["n"].to_list() == [1, 2]
+
+    def test_trailing_blank_lines_tolerated(self, tmp_path, t):
+        path = str(tmp_path / "t.csv")
+        write_csv(t, path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n\n")
+        assert read_csv(path, DTYPES).n_rows == 3
+
+    def test_interior_blank_line_tolerated(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n\n3,4\n")
+        back = read_csv(str(path), {"a": DType.INT, "b": DType.INT})
+        assert back["a"].to_list() == [1, 3]
+
+
+class TestReadCsvChecked:
+    def test_bad_records_quarantined_with_line_and_reason(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(
+            "city,tests\n"      # line 1
+            "Kyiv,100\n"        # line 2: ok
+            "Lviv,many\n"       # line 3: unparsable INT
+            "Odesa,1,extra\n"   # line 4: wrong field count
+            "Dnipro,30\n"       # line 5: ok
+        )
+        result = read_csv_checked(
+            str(path), {"city": DType.STR, "tests": DType.INT}
+        )
+        assert result.table["city"].to_list() == ["Kyiv", "Dnipro"]
+        assert result.quarantine.n_rows == 2
+        assert result.quarantine["line"].to_list() == [3, 4]
+        reasons = result.quarantine["reason"].to_list()
+        assert "tests" in reasons[0]
+        assert "expected 2 fields, got 3" in reasons[1]
+        assert result.quarantine["raw"].to_list()[1] == "Odesa,1,extra"
+
+    def test_accounting_invariant(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\nx\n2\n")
+        result = read_csv_checked(str(path), {"a": DType.INT})
+        report = result.report
+        assert report.n_input == result.table.n_rows + result.quarantine.n_rows
+        assert report.n_passed == 2 and report.n_quarantined == 1
+
+    def test_strict_mode_raises(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\nnot-an-int\n")
+        with pytest.raises(ValidationFailure):
+            read_csv_checked(str(path), {"a": DType.INT}, strict=True)
+
+    def test_strict_read_csv_raises_data_error_with_reason(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\nnope\n")
+        with pytest.raises(DataError, match="malformed CSV record"):
+            read_csv(str(path), {"a": DType.INT})
+
+    def test_multiline_field_line_numbers(self, tmp_path):
+        # A quoted field spanning physical lines: the record after it must
+        # still be reported at its own starting line.
+        path = tmp_path / "t.csv"
+        path.write_text('note,n\n"one\ntwo",1\nbad,x\n')
+        result = read_csv_checked(str(path), {"note": DType.STR, "n": DType.INT})
+        assert result.table["note"].to_list() == ["one\ntwo"]
+        assert result.quarantine["line"].to_list() == [4]
 
 
 class TestJsonl:
