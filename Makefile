@@ -1,0 +1,24 @@
+# Developer entry points.  The tier-1 bar (ROADMAP.md) is `make test`;
+# `make lint` runs the same static-analysis gate CI exercises via
+# tests/lint/test_codebase_clean.py.
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test lint lint-json baseline bench
+
+test:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+lint:
+	PYTHONPATH=$(PYTHONPATH) python -m repro lint
+
+lint-json:
+	PYTHONPATH=$(PYTHONPATH) python -m repro lint --format json
+
+# Regenerate lint-baseline.json from current findings.  Only for
+# grandfathering a deliberate exception -- shrink it, don't grow it.
+baseline:
+	PYTHONPATH=$(PYTHONPATH) python -m repro lint --write-baseline
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q benchmarks

@@ -1,0 +1,39 @@
+"""Benchmark guard: a full-codebase lint run stays fast.
+
+The lint gate rides in tier-1 CI, so the analyzer must stay cheap as the
+repo grows.  A cold run over all of ``src/`` currently takes ~1 s; the bound
+here is deliberately generous (20 s) so only a genuine complexity regression
+(e.g. a rule going quadratic in file count or AST size) trips it.
+"""
+
+import time
+from pathlib import Path
+
+from bench_common import emit
+
+from repro.lint.engine import lint_paths
+
+REPO = Path(__file__).resolve().parent.parent
+MAX_SECONDS = 20.0
+
+
+class TestLintPerformance:
+    def test_full_codebase_lint_under_bound(self, results_dir):
+        start = time.perf_counter()
+        run = lint_paths([REPO / "src"], root=REPO)
+        elapsed = time.perf_counter() - start
+
+        per_file = elapsed / max(run.files_checked, 1)
+        emit(
+            results_dir,
+            "lint_perf",
+            f"files checked    {run.files_checked}\n"
+            f"rules            {len(run.rule_ids)}\n"
+            f"total wall       {elapsed:.2f} s (bound {MAX_SECONDS:.0f} s)\n"
+            f"per file         {per_file * 1000:.1f} ms",
+        )
+        assert run.files_checked > 100
+        assert elapsed < MAX_SECONDS, (
+            f"lint of src/ took {elapsed:.1f}s (> {MAX_SECONDS}s); "
+            f"a rule likely regressed in complexity"
+        )

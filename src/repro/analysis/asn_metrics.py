@@ -20,7 +20,7 @@ from repro.netbase.asn import ASRegistry
 from repro.stats.descriptive import percent_change, ratio_change
 from repro.stats.welch import welch_t_test
 from repro.tables.expr import col
-from repro.tables.schema import DType
+from repro.tables.schema import Cols, DType
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
 
@@ -34,7 +34,7 @@ __all__ = [
     "top_ases",
 ]
 
-_METRICS = ("tput_mbps", "min_rtt_ms", "loss_rate")
+_METRICS = (Cols.TPUT, Cols.MIN_RTT, Cols.LOSS_RATE)
 
 #: The ten ASes the paper's Tables 3/5/6 report (its "top-10 most frequently
 #: occurring" over 852k traceroutes — a far larger population than one
@@ -45,7 +45,7 @@ PAPER_TOP10_ASNS = (15895, 3255, 25229, 35297, 21488, 21497, 6876, 50581, 39608,
 
 def _clean_with_asn(ndt_with_asn: Table, where: str) -> Table:
     """The common NDT guard, plus the AS attribution column."""
-    require_columns(ndt_with_asn, ("client_asn",), where)
+    require_columns(ndt_with_asn, (Cols.CLIENT_ASN,), where)
     return clean_ndt(ndt_with_asn, where)
 
 
@@ -57,7 +57,7 @@ def top_ases(ndt_with_asn: Table, periods: Sequence[str], n: int = 10) -> List[i
     counts: Dict[int, int] = {}
     for period in periods:
         sliced = slice_period(ndt_with_asn, period)
-        for asn in sliced.column("client_asn").values:
+        for asn in sliced.column(Cols.CLIENT_ASN).values:
             if asn >= 0:
                 counts[int(asn)] = counts.get(int(asn), 0) + 1
     ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
@@ -65,7 +65,7 @@ def top_ases(ndt_with_asn: Table, periods: Sequence[str], n: int = 10) -> List[i
 
 
 def _as_slice(ndt_with_asn: Table, asn: int, period: str) -> Table:
-    return slice_period(ndt_with_asn, period).filter(col("client_asn") == asn)
+    return slice_period(ndt_with_asn, period).filter(col(Cols.CLIENT_ASN) == asn)
 
 
 def as_detail_table(
@@ -77,7 +77,7 @@ def as_detail_table(
     for asn in asns:
         for period in periods:
             sliced = _as_slice(ndt_with_asn, asn, period)
-            row: dict = {"asn": asn, "period": period, "count": sliced.n_rows}
+            row: dict = {"asn": asn, Cols.PERIOD: period, "count": sliced.n_rows}
             for metric in _METRICS:
                 if sliced.n_rows:
                     values = sliced.column(metric).values
@@ -146,13 +146,13 @@ def baseline_fluctuations(ndt_with_asn: Table, n: int = 10) -> BaselineFluctuati
             continue
         d_counts.append(percent_change(first.n_rows, second.n_rows))
         d_tputs.append(
-            percent_change(first["tput_mbps"].mean(), second["tput_mbps"].mean())
+            percent_change(first[Cols.TPUT].mean(), second[Cols.TPUT].mean())
         )
         d_rtts.append(
-            percent_change(first["min_rtt_ms"].mean(), second["min_rtt_ms"].mean())
+            percent_change(first[Cols.MIN_RTT].mean(), second[Cols.MIN_RTT].mean())
         )
         loss_ratios.append(
-            ratio_change(first["loss_rate"].mean(), second["loss_rate"].mean())
+            ratio_change(first[Cols.LOSS_RATE].mean(), second[Cols.LOSS_RATE].mean())
         )
     if not d_counts:
         raise AnalysisError("baseline periods too sparse for fluctuation estimates")
@@ -184,9 +184,9 @@ def as_change_table(
         war = _as_slice(ndt_with_asn, asn, "wartime")
         if pre.n_rows < 2 or war.n_rows < 2:
             continue
-        tput = welch_t_test(pre["tput_mbps"].values, war["tput_mbps"].values)
-        rtt = welch_t_test(pre["min_rtt_ms"].values, war["min_rtt_ms"].values)
-        loss = welch_t_test(pre["loss_rate"].values, war["loss_rate"].values)
+        tput = welch_t_test(pre[Cols.TPUT].values, war[Cols.TPUT].values)
+        rtt = welch_t_test(pre[Cols.MIN_RTT].values, war[Cols.MIN_RTT].values)
+        loss = welch_t_test(pre[Cols.LOSS_RATE].values, war[Cols.LOSS_RATE].values)
         d_tput = percent_change(tput.mean1, tput.mean2)
         d_rtt = percent_change(rtt.mean1, rtt.mean2)
         loss_ratio = ratio_change(loss.mean1, loss.mean2)

@@ -18,7 +18,7 @@ from repro.analysis.common import clean_ndt, clean_traces, parse_as_path
 from repro.netbase.asn import ASRegistry
 from repro.tables.expr import col
 from repro.tables.join import join
-from repro.tables.schema import DType
+from repro.tables.schema import Cols, DType
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
 from repro.util.timeutil import Day
@@ -55,7 +55,7 @@ def inbound_weekly(
     traces = clean_traces(traces, "inbound_weekly")
     merged = join(
         traces.select(["test_id", "as_path", "day", "year"]),
-        ndt.select(["test_id", "loss_rate", "min_rtt_ms"]),
+        ndt.select(["test_id", Cols.LOSS_RATE, Cols.MIN_RTT]),
         on="test_id",
     ).filter(col("year") == year)
     if merged.n_rows == 0:
@@ -66,8 +66,8 @@ def inbound_weekly(
     weeks: Dict[Tuple[int, int], Dict[str, list]] = {}
     as_path = merged.column("as_path").values
     days = merged.column("day").values
-    loss = merged.column("loss_rate").values
-    rtt = merged.column("min_rtt_ms").values
+    loss = merged.column(Cols.LOSS_RATE).values
+    rtt = merged.column(Cols.MIN_RTT).values
     for i in range(merged.n_rows):
         text = as_path[i]
         if text not in entry_cache:

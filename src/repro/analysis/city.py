@@ -15,7 +15,7 @@ from repro.analysis.common import clean_ndt, slice_period, slice_year
 from repro.stats.timeseries import daily_aggregate
 from repro.stats.welch import welch_t_test
 from repro.tables.expr import col
-from repro.tables.schema import DType
+from repro.tables.schema import Cols, DType
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
 from repro.util.timeutil import DayGrid
@@ -49,7 +49,7 @@ def city_welch_table(
         pre = _city_rows(slice_period(ndt, "prewar"), city)
         war = _city_rows(slice_period(ndt, "wartime"), city)
         row: dict = {"city": label, "n_prewar": pre.n_rows, "n_wartime": war.n_rows}
-        for metric in ("min_rtt_ms", "tput_mbps", "loss_rate"):
+        for metric in (Cols.MIN_RTT, Cols.TPUT, Cols.LOSS_RATE):
             pre_vals = pre.column(metric).values if pre.n_rows else np.array([])
             war_vals = war.column(metric).values if war.n_rows else np.array([])
             row[f"{metric}_prewar"] = (

@@ -10,7 +10,7 @@ from repro.analysis.periods import study_periods
 from repro.netbase.ipaddr import IPv4Address
 from repro.tables.column import Column
 from repro.tables.expr import col
-from repro.tables.schema import DType
+from repro.tables.schema import Cols, DType
 from repro.tables.table import Table
 from repro.topology.iplayer import IpLayer
 from repro.util.errors import AnalysisError
@@ -31,9 +31,9 @@ __all__ = [
 #: The three NDT metrics with their table columns and degradation direction.
 #: ``worse`` is the comparison that means degradation (RTT/loss grow, tput falls).
 METRICS = {
-    "min_rtt_ms": {"label": "MinRTT (ms)", "worse": "increase"},
-    "tput_mbps": {"label": "MeanTput (Mbps)", "worse": "decrease"},
-    "loss_rate": {"label": "LossRate", "worse": "increase"},
+    Cols.MIN_RTT: {"label": "MinRTT (ms)", "worse": "increase"},
+    Cols.TPUT: {"label": "MeanTput (Mbps)", "worse": "decrease"},
+    Cols.LOSS_RATE: {"label": "LossRate", "worse": "increase"},
 }
 
 
@@ -72,11 +72,11 @@ def clean_ndt(ndt: Table, where: str = "analysis") -> Table:
     identical with or without the guard.
     """
     require_columns(
-        ndt, ("test_id", "day", "tput_mbps", "min_rtt_ms", "loss_rate"), where
+        ndt, ("test_id", "day", Cols.TPUT, Cols.MIN_RTT, Cols.LOSS_RATE), where
     )
-    tput = ndt.column("tput_mbps").values
-    rtt = ndt.column("min_rtt_ms").values
-    loss = ndt.column("loss_rate").values
+    tput = ndt.column(Cols.TPUT).values
+    rtt = ndt.column(Cols.MIN_RTT).values
+    loss = ndt.column(Cols.LOSS_RATE).values
     days = ndt.column("day").values
     keep = (
         np.isfinite(tput) & (tput > 0)
@@ -153,7 +153,7 @@ def with_periods(table: Table) -> Table:
         names[mask] = name
     if any(n is None for n in names):
         raise AnalysisError("some rows fall outside every study period")
-    return table.with_column("period", names, DType.STR)
+    return table.with_column(Cols.PERIOD, names, DType.STR)
 
 
 def client_as_column(ndt: Table, iplayer: IpLayer) -> Table:
@@ -166,7 +166,7 @@ def client_as_column(ndt: Table, iplayer: IpLayer) -> Table:
     for ip_text in ndt.column("client_ip").values:
         asn = iplayer.as_of_ip(IPv4Address.parse(ip_text))
         asns.append(-1 if asn is None else asn)
-    return ndt.with_column("client_asn", Column("client_asn", asns, DType.INT))
+    return ndt.with_column(Cols.CLIENT_ASN, Column(Cols.CLIENT_ASN, asns, DType.INT))
 
 
 def parse_as_path(text: str) -> Tuple[int, ...]:

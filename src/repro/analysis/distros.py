@@ -13,7 +13,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.analysis.common import clean_ndt, slice_period
-from repro.tables.schema import DType
+from repro.tables.schema import Cols, DType
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
 
@@ -21,9 +21,9 @@ __all__ = ["metric_histogram", "skewness"]
 
 #: Plot ranges mirroring the paper's figures.
 _RANGES: Dict[str, Tuple[float, float]] = {
-    "min_rtt_ms": (0.0, 100.0),
-    "tput_mbps": (0.0, 200.0),
-    "loss_rate": (0.0, 0.20),
+    Cols.MIN_RTT: (0.0, 100.0),
+    Cols.TPUT: (0.0, 200.0),
+    Cols.LOSS_RATE: (0.0, 0.20),
 }
 
 

@@ -27,10 +27,11 @@ from repro.tables.expr import col
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
 from repro.util.timeutil import Day
+from repro.tables.schema import Cols
 
 __all__ = ["event_impact_table"]
 
-_METRICS = ("min_rtt_ms", "tput_mbps", "loss_rate")
+_METRICS = (Cols.MIN_RTT, Cols.TPUT, Cols.LOSS_RATE)
 
 
 def _scope_cities(event: WarEvent, gazetteer: Gazetteer) -> Optional[List[str]]:

@@ -8,7 +8,7 @@ changes are absent in the baseline.
 from __future__ import annotations
 
 from repro.analysis.common import clean_ndt, slice_year
-from repro.tables.schema import DType
+from repro.tables.schema import Cols, DType
 from repro.tables.table import Table
 from repro.stats.timeseries import daily_aggregate
 from repro.util.errors import AnalysisError
@@ -34,14 +34,14 @@ def national_daily(ndt: Table, year: int) -> Table:
         "date": [d.iso() for d in grid.days()],
         "day": [d.ordinal for d in grid.days()],
         "tests": daily_aggregate(days, days * 0.0, grid, agg="count"),
-        "min_rtt_ms": daily_aggregate(
-            days, rows.column("min_rtt_ms").values, grid, agg="mean"
+        Cols.MIN_RTT: daily_aggregate(
+            days, rows.column(Cols.MIN_RTT).values, grid, agg="mean"
         ),
-        "tput_mbps": daily_aggregate(
-            days, rows.column("tput_mbps").values, grid, agg="mean"
+        Cols.TPUT: daily_aggregate(
+            days, rows.column(Cols.TPUT).values, grid, agg="mean"
         ),
-        "loss_rate": daily_aggregate(
-            days, rows.column("loss_rate").values, grid, agg="mean"
+        Cols.LOSS_RATE: daily_aggregate(
+            days, rows.column(Cols.LOSS_RATE).values, grid, agg="mean"
         ),
     }
     table = Table.from_dict(
@@ -50,9 +50,9 @@ def national_daily(ndt: Table, year: int) -> Table:
             "date": DType.STR,
             "day": DType.INT,
             "tests": DType.FLOAT,
-            "min_rtt_ms": DType.FLOAT,
-            "tput_mbps": DType.FLOAT,
-            "loss_rate": DType.FLOAT,
+            Cols.MIN_RTT: DType.FLOAT,
+            Cols.TPUT: DType.FLOAT,
+            Cols.LOSS_RATE: DType.FLOAT,
         },
     )
     return table

@@ -20,6 +20,7 @@ from repro.analysis.national import national_daily
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
 from repro.util.timeutil import Day
+from repro.tables.schema import Cols
 
 __all__ = ["Anomaly", "detect_metric_anomalies", "detect_outage_days", "robust_zscores"]
 
@@ -106,7 +107,7 @@ def detect_outage_days(
         np.asarray(daily.column("tests").to_list(), dtype=np.float64)
     )
     tput_scores = robust_zscores(
-        np.asarray(daily.column("tput_mbps").to_list(), dtype=np.float64)
+        np.asarray(daily.column(Cols.TPUT).to_list(), dtype=np.float64)
     )
     dates = daily.column("date").to_list()
     return [

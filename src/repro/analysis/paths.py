@@ -19,7 +19,7 @@ from repro.analysis.common import clean_ndt, clean_traces, slice_period
 from repro.analysis.periods import PERIOD_NAMES
 from repro.stats.welch import welch_t_test
 from repro.tables.join import join
-from repro.tables.schema import DType
+from repro.tables.schema import Cols, DType
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
 
@@ -69,7 +69,7 @@ def path_count_table(traces: Table, top_k: int = 1000) -> Table:
         busiest = sorted(stats.values(), key=lambda e: -e["tests"])[:top_k]
         rows.append(
             {
-                "period": period,
+                Cols.PERIOD: period,
                 "n_connections": len(busiest),
                 "paths_per_conn": float(np.mean([e["paths"] for e in busiest])),
                 "tests_per_conn": float(np.mean([e["tests"] for e in busiest])),
@@ -117,7 +117,7 @@ def _per_connection_deltas(
     traces = clean_traces(traces, "path_performance_correlation")
     merged = join(
         traces.select(["test_id", "client_ip", "server_ip", "path", "day"]),
-        ndt.select(["test_id", "tput_mbps", "loss_rate"]),
+        ndt.select(["test_id", Cols.TPUT, Cols.LOSS_RATE]),
         on="test_id",
     )
     per_conn: Dict[ConnKey, Dict[str, dict]] = {}
@@ -126,8 +126,8 @@ def _per_connection_deltas(
         client = sliced.column("client_ip").values
         server = sliced.column("server_ip").values
         path = sliced.column("path").values
-        tput = sliced.column("tput_mbps").values
-        loss = sliced.column("loss_rate").values
+        tput = sliced.column(Cols.TPUT).values
+        loss = sliced.column(Cols.LOSS_RATE).values
         for i in range(sliced.n_rows):
             key = (client[i], server[i])
             entry = per_conn.setdefault(key, {})
@@ -206,7 +206,7 @@ def path_performance(
     traces = clean_traces(traces, "path_performance")
     merged = join(
         traces.select(["test_id", "client_ip", "server_ip", "path", "day"]),
-        ndt.select(["test_id", "tput_mbps", "loss_rate"]),
+        ndt.select(["test_id", Cols.TPUT, Cols.LOSS_RATE]),
         on="test_id",
     )
     per_conn: Dict[ConnKey, Dict[str, dict]] = {}
@@ -215,8 +215,8 @@ def path_performance(
         client = sliced.column("client_ip").values
         server = sliced.column("server_ip").values
         path = sliced.column("path").values
-        tput = sliced.column("tput_mbps").values
-        loss = sliced.column("loss_rate").values
+        tput = sliced.column(Cols.TPUT).values
+        loss = sliced.column(Cols.LOSS_RATE).values
         for i in range(sliced.n_rows):
             key = (client[i], server[i])
             entry = per_conn.setdefault(key, {})

@@ -18,6 +18,7 @@ from repro.analysis.periods import PERIOD_NAMES
 from repro.tables.expr import col
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
+from repro.tables.schema import Cols
 
 __all__ = ["cca_mix_stable", "metric_by_cca", "protocol_mix_table"]
 
@@ -39,7 +40,7 @@ def protocol_mix_table(ndt: Table) -> Table:
         for (proto, cca), count in sorted(combos.items()):
             rows.append(
                 {
-                    "period": period,
+                    Cols.PERIOD: period,
                     "protocol": proto,
                     "cca": cca,
                     "tests": count,
@@ -59,7 +60,7 @@ def cca_mix_stable(ndt: Table, tolerance: float = 0.05) -> bool:
     shares = {}
     for row in mix.iter_rows():
         if row["cca"] == "bbr":
-            shares[row["period"]] = row["share"]
+            shares[row[Cols.PERIOD]] = row["share"]
     if "prewar" not in shares or "wartime" not in shares:
         raise AnalysisError("missing BBR share in a study period")
     return abs(shares["wartime"] - shares["prewar"]) < tolerance

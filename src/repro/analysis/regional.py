@@ -13,16 +13,16 @@ from repro.analysis.common import clean_ndt, slice_period
 from repro.geo.gazetteer import Gazetteer
 from repro.stats.descriptive import percent_change
 from repro.tables.expr import col
-from repro.tables.schema import DType
+from repro.tables.schema import Cols, DType
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
 
 __all__ = ["oblast_changes", "oblast_summary"]
 
 _AGG_SPEC = {
-    "tput_mbps": ("tput_mbps", "mean"),
-    "min_rtt_ms": ("min_rtt_ms", "mean"),
-    "loss_rate": ("loss_rate", "mean"),
+    Cols.TPUT: (Cols.TPUT, "mean"),
+    Cols.MIN_RTT: (Cols.MIN_RTT, "mean"),
+    Cols.LOSS_RATE: (Cols.LOSS_RATE, "mean"),
     "count": ("test_id", "count"),
 }
 
@@ -46,7 +46,7 @@ def oblast_summary(ndt: Table) -> Table:
     for period in ("prewar", "wartime"):
         rows = _labeled(slice_period(ndt, period))
         agg = rows.group_by("oblast").aggregate(_AGG_SPEC)
-        agg = agg.with_column("period", [period] * agg.n_rows, DType.STR)
+        agg = agg.with_column(Cols.PERIOD, [period] * agg.n_rows, DType.STR)
         parts.append(agg)
     from repro.tables.table import concat
 
@@ -60,7 +60,7 @@ def oblast_summary(ndt: Table) -> Table:
         key=lambda i: (
             -prewar_counts.get(merged.row(i)["oblast"], 0),
             merged.row(i)["oblast"],
-            merged.row(i)["period"],
+            merged.row(i)[Cols.PERIOD],
         ),
     )
     import numpy as np
@@ -95,9 +95,9 @@ def oblast_changes(ndt: Table, gazetteer: Gazetteer) -> Table:
                 "zone": gazetteer.oblast(oblast).zone.value,
                 "prewar_count": int(p["count"]),
                 "d_count_pct": percent_change(p["count"], w["count"]),
-                "d_rtt_pct": percent_change(p["min_rtt_ms"], w["min_rtt_ms"]),
-                "d_tput_pct": percent_change(p["tput_mbps"], w["tput_mbps"]),
-                "d_loss_pct": percent_change(p["loss_rate"], w["loss_rate"]),
+                "d_rtt_pct": percent_change(p[Cols.MIN_RTT], w[Cols.MIN_RTT]),
+                "d_tput_pct": percent_change(p[Cols.TPUT], w[Cols.TPUT]),
+                "d_loss_pct": percent_change(p[Cols.LOSS_RATE], w[Cols.LOSS_RATE]),
             }
         )
     if not rows:

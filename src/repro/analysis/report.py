@@ -27,6 +27,7 @@ from repro.tables.pretty import format_table
 from repro.viz.asciichart import line_chart
 from repro.viz.bars import bar_chart
 from repro.viz.heatmap import heatmap
+from repro.tables.schema import Cols
 
 __all__ = ["full_report"]
 
@@ -37,9 +38,9 @@ def _fig2(dataset: Dataset) -> str:
     marker = daily.column("day").to_list().index(invasion_day_ordinal())
     for metric, fmt in (
         ("tests", ".0f"),
-        ("min_rtt_ms", ".1f"),
-        ("tput_mbps", ".1f"),
-        ("loss_rate", ".3f"),
+        (Cols.MIN_RTT, ".1f"),
+        (Cols.TPUT, ".1f"),
+        (Cols.LOSS_RATE, ".3f"),
     ):
         parts.append(
             line_chart(
@@ -51,7 +52,7 @@ def _fig2(dataset: Dataset) -> str:
         )
     baseline = national_daily(dataset.ndt, 2021)
     parts.append("-- 2021 baseline loss_rate (no corresponding change) --")
-    parts.append(line_chart(baseline.column("loss_rate").to_list(), y_fmt=".3f"))
+    parts.append(line_chart(baseline.column(Cols.LOSS_RATE).to_list(), y_fmt=".3f"))
     return "\n".join(parts)
 
 
@@ -69,7 +70,7 @@ def _fig3_table4(dataset: Dataset) -> str:
         "== Table 4: raw oblast metrics ==",
         format_table(
             oblast_summary(dataset.ndt),
-            float_fmts={"loss_rate": ".4f"},
+            float_fmts={Cols.LOSS_RATE: ".4f"},
             float_fmt=".2f",
         ),
     ]
@@ -212,7 +213,7 @@ def _fig6(dataset: Dataset) -> str:
 def _figs7_8(dataset: Dataset) -> str:
     parts = ["== Figures 7-8: metric distributions =="]
     for period in ("prewar", "wartime"):
-        for metric in ("min_rtt_ms", "tput_mbps", "loss_rate"):
+        for metric in (Cols.MIN_RTT, Cols.TPUT, Cols.LOSS_RATE):
             hist = metric_histogram(dataset.ndt, metric, period, bins=12)
             labels = [
                 f"{r['bin_low']:.2f}-{r['bin_high']:.2f}" for r in hist.iter_rows()
@@ -273,7 +274,7 @@ def _extensions(dataset: Dataset) -> str:
         stable = cca_mix_stable(dataset.ndt)
         mix = protocol_mix_table(dataset.ndt)
         bbr = {
-            r["period"]: r["share"] for r in mix.iter_rows() if r["cca"] == "bbr"
+            r[Cols.PERIOD]: r["share"] for r in mix.iter_rows() if r["cca"] == "bbr"
         }
         parts.append(
             f"CCA mix stable across the invasion: {stable} "

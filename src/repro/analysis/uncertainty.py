@@ -20,10 +20,11 @@ from repro.stats.welch import welch_t_test
 from repro.tables.expr import col
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
+from repro.tables.schema import Cols
 
 __all__ = ["city_bootstrap_table"]
 
-_METRICS = ("min_rtt_ms", "tput_mbps", "loss_rate")
+_METRICS = (Cols.MIN_RTT, Cols.TPUT, Cols.LOSS_RATE)
 
 
 def city_bootstrap_table(

@@ -10,12 +10,14 @@ Subcommands
                still print and the exit code turns nonzero.
 ``experiment`` Run a single experiment (table1, table2, ..., fig9).
 ``scenarios``  Compare key findings across ablation scenarios.
+``lint``       Run the repo's static-analysis rules (see docs/LINT.md).
 
 Exit codes
 ----------
 0  success; 1 unexpected typed error; 2 usage (argparse);
 3  generation-side failure (generate / inject-faults / ingest);
-4  analysis-side failure (one or more experiments failed).
+4  analysis-side failure (one or more experiments failed);
+5  lint findings above the baseline (``repro lint``).
 
 Fault-tolerance flags (global)
 ------------------------------
@@ -33,6 +35,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.faults import PROFILES, FaultInjector, get_profile
+from repro.lint import cli as lint_cli
 from repro.runtime.run import (
     DEFAULT_CHECKPOINT_DIR,
     EXIT_ANALYSIS,
@@ -102,6 +105,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("validate", help="generate a dataset and check invariants")
     sub.add_parser("topology", help="print the simulated topology summary")
+
+    lint_cli.configure_parser(sub)
     return parser
 
 
@@ -259,6 +264,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scenarios": _cmd_scenarios,
         "validate": _cmd_validate,
         "topology": _cmd_topology,
+        "lint": lint_cli.cmd_lint,
     }
     try:
         return handlers[args.command](args)

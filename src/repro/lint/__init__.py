@@ -1,0 +1,36 @@
+"""``repro.lint`` — an AST-based static-analysis framework for this repo.
+
+The pipeline's conventions (typed errors, seeded RNG, schema-declared column
+names) were previously enforced only by review.  This package makes them
+machine-checked: a rule registry over Python's ``ast`` module, per-rule
+severity, file/line diagnostics, inline ``# repro-lint: disable=<rule>``
+suppressions, and a checked-in baseline for grandfathered findings.
+
+Entry points
+------------
+:func:`repro.lint.engine.lint_paths`  run rules over files/directories
+:mod:`repro.lint.cli`                 the ``repro lint`` subcommand
+
+See ``docs/LINT.md`` for the rule catalogue and how to add a rule.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.context import FileContext, LintConfig
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.engine import EXIT_LINT_FINDINGS, LintRun, lint_paths
+from repro.lint.registry import Rule, all_rule_ids, build_rules, register
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "EXIT_LINT_FINDINGS",
+    "FileContext",
+    "LintConfig",
+    "LintRun",
+    "Rule",
+    "Severity",
+    "all_rule_ids",
+    "build_rules",
+    "lint_paths",
+    "register",
+]

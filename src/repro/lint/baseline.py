@@ -1,0 +1,91 @@
+"""The checked-in baseline of grandfathered findings.
+
+A baseline entry is the fingerprint of one known finding (rule + path +
+message, no line numbers so unrelated edits don't churn the file).  The lint
+gate fails only on findings *not* in the baseline; shrinking the baseline to
+empty is the goal, growing it needs an explicit ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.util.errors import LintError
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_PATH"]
+
+DEFAULT_BASELINE_PATH = "lint-baseline.json"
+_VERSION = 1
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints, JSON round-trippable."""
+
+    def __init__(self, entries: Iterable[dict] = ()):
+        self._entries: List[dict] = []
+        self._fingerprints = set()
+        for e in entries:
+            self._add(e)
+
+    def _add(self, entry: dict) -> None:
+        missing = {"rule", "path", "message"} - set(entry)
+        if missing:
+            raise LintError(f"baseline entry {entry!r} lacks keys {sorted(missing)}")
+        fp = f"{entry['rule']}::{entry['path']}::{entry['message']}"
+        if fp not in self._fingerprints:
+            self._fingerprints.add(fp)
+            self._entries.append(
+                {"rule": entry["rule"], "path": entry["path"], "message": entry["message"]}
+            )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, diagnostic: Diagnostic) -> bool:
+        return diagnostic.fingerprint() in self._fingerprints
+
+    def new_findings(self, diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+        """The subset of ``diagnostics`` not grandfathered by this baseline."""
+        return [d for d in diagnostics if d not in self]
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: Sequence[Diagnostic]) -> "Baseline":
+        return cls(
+            {"rule": d.rule, "path": d.path, "message": d.message}
+            for d in sorted(diagnostics, key=Diagnostic.sort_key)
+        )
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise LintError(f"baseline {path} is not a {{version, findings}} object")
+        version = payload.get("version")
+        if version != _VERSION:
+            raise LintError(
+                f"baseline {path} has version {version!r}, expected {_VERSION}"
+            )
+        findings = payload["findings"]
+        if not isinstance(findings, list):
+            raise LintError(f"baseline {path}: 'findings' must be a list")
+        return cls(findings)
+
+    def save(self, path) -> None:
+        path = Path(path)
+        payload = {
+            "version": _VERSION,
+            "findings": sorted(
+                self._entries, key=lambda e: (e["path"], e["rule"], e["message"])
+            ),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

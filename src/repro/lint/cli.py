@@ -1,0 +1,97 @@
+"""The ``repro lint`` subcommand.
+
+Exit codes: 0 clean (or every finding baselined), 5 findings above the
+baseline, 1 framework error (bad baseline file, unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import DEFAULT_BASELINE_PATH, Baseline
+from repro.lint.engine import lint_paths
+from repro.lint.registry import build_rules
+from repro.lint.report import render_json, render_text
+
+__all__ = ["configure_parser", "cmd_lint"]
+
+
+def configure_parser(sub: argparse._SubParsersAction) -> None:
+    """Attach the ``lint`` subparser to the main CLI."""
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's static-analysis rules (exit 5 on new findings)",
+        description=(
+            "AST-based static analysis: schema-aware column checking, "
+            "seeded-RNG and typed-error enforcement, forbidden imports, "
+            "float equality, mutable defaults.  See docs/LINT.md."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--baseline", default=DEFAULT_BASELINE_PATH,
+        help="baseline file of grandfathered findings (default: %(default)s)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file; report every finding as new",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="also show baselined findings in text output",
+    )
+
+
+def _selected_rules(spec: Optional[str]) -> Optional[List[str]]:
+    if spec is None:
+        return None
+    return [part.strip() for part in spec.split(",") if part.strip()]
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in build_rules():
+            print(f"{rule.id:18s} {rule.severity.value:7s} {rule.description}")
+        return 0
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        baseline = Baseline.load(args.baseline)
+    run = lint_paths(
+        args.paths,
+        rule_ids=_selected_rules(args.rules),
+        baseline=baseline,
+        root=Path.cwd(),
+    )
+    if args.write_baseline:
+        Baseline.from_diagnostics(run.diagnostics).save(args.baseline)
+        print(
+            f"wrote {len(run.diagnostics)} finding(s) to {args.baseline}; "
+            f"lint now passes until new findings appear"
+        )
+        return 0
+    if args.format == "json":
+        print(render_json(run))
+    else:
+        print(render_text(run, verbose=args.verbose))
+    return run.exit_code

@@ -1,0 +1,105 @@
+"""Per-run configuration and per-file context handed to rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+__all__ = ["FileContext", "LintConfig"]
+
+#: Modules whose import anywhere in ``src/repro`` is a finding, with the
+#: reason shown in the diagnostic.
+DEFAULT_FORBIDDEN_IMPORTS: Mapping[str, str] = {
+    "pandas": "use repro.tables instead of pandas",
+    "requests": "the reproduction must not touch the network",
+    "urllib": "the reproduction must not touch the network",
+    "http": "the reproduction must not touch the network",
+    "socket": "the reproduction must not touch the network",
+    "ftplib": "the reproduction must not touch the network",
+    "smtplib": "the reproduction must not touch the network",
+    "telnetlib": "the reproduction must not touch the network",
+    "xmlrpc": "the reproduction must not touch the network",
+    "aiohttp": "the reproduction must not touch the network",
+    "httpx": "the reproduction must not touch the network",
+}
+
+#: Files (posix-path suffixes) where direct RNG construction is the point.
+DEFAULT_RNG_ALLOWED: Tuple[str, ...] = ("repro/util/rng.py",)
+
+#: Subpackages where raising builtin ``ValueError``/``TypeError``/``KeyError``
+#: is a finding even though the repo-wide convention allows them for argument
+#: validation: these packages have dedicated typed errors (``AnalysisError``,
+#: ``PipelineError``) that run reports and exit codes depend on.
+DEFAULT_TYPED_ERROR_STRICT: Tuple[str, ...] = (
+    "repro/analysis/",
+    "repro/runtime/",
+)
+
+
+def _default_known_columns() -> FrozenSet[str]:
+    from repro.tables.schema import known_columns
+
+    return known_columns()
+
+
+def _default_aggregators() -> FrozenSet[str]:
+    from repro.tables.groupby import AGGREGATORS
+
+    return frozenset(AGGREGATORS)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs shared by every rule in one lint run."""
+
+    known_columns: FrozenSet[str] = field(default_factory=_default_known_columns)
+    aggregators: FrozenSet[str] = field(default_factory=_default_aggregators)
+    forbidden_imports: Mapping[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_FORBIDDEN_IMPORTS)
+    )
+    rng_allowed_files: Tuple[str, ...] = DEFAULT_RNG_ALLOWED
+    typed_error_strict_packages: Tuple[str, ...] = DEFAULT_TYPED_ERROR_STRICT
+
+
+class FileContext:
+    """One parsed source file plus everything a rule needs to inspect it."""
+
+    def __init__(
+        self,
+        path: Path,
+        relpath: str,
+        source: str,
+        tree: ast.AST,
+        config: LintConfig,
+    ):
+        self.path = path
+        self.relpath = relpath  # repo-relative posix path used in diagnostics
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self._parents: Dict[int, ast.AST] = {}
+
+    def matches(self, *suffixes: str) -> bool:
+        """Whether this file's relpath ends with any of the given suffixes."""
+        return any(self.relpath.endswith(s) for s in suffixes)
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this file lives under any of the given path fragments."""
+        return any(p in self.relpath for p in prefixes)
+
+    def enclosing_function(self, node: ast.AST):
+        """The innermost function/lambda containing ``node``, or None."""
+        if not self._parents:
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[id(child)] = parent
+        current = self._parents.get(id(node))
+        while current is not None:
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return current
+            current = self._parents.get(id(current))
+        return None

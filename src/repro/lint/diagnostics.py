@@ -1,0 +1,61 @@
+"""Diagnostics: what a lint rule reports, and how it prints."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Diagnostic", "Severity"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; orderable (``ERROR > WARNING``)."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __lt__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        order = [Severity.WARNING, Severity.ERROR]
+        return order.index(self) < order.index(other)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation at a file/line/column position."""
+
+    rule: str
+    severity: Severity
+    path: str  # repo-relative posix path
+    line: int  # 1-based
+    col: int  # 0-based, as reported by ast
+    message: str
+
+    def fingerprint(self) -> str:
+        """Identity used for baseline matching.
+
+        Deliberately excludes the line/column so unrelated edits that shift
+        code do not churn the baseline file.
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value} [{self.rule}] {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule, self.message)

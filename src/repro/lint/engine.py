@@ -1,0 +1,128 @@
+"""The lint engine: walk files, run rules, apply suppressions and baseline."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.context import FileContext, LintConfig
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import Rule, build_rules
+from repro.lint.suppressions import parse_suppressions
+from repro.util.errors import LintError
+
+__all__ = ["EXIT_LINT_FINDINGS", "LintRun", "iter_python_files", "lint_paths"]
+
+#: Exit code of ``repro lint`` when findings above the baseline remain.
+EXIT_LINT_FINDINGS = 5
+
+#: Rule id used for files the parser rejects (not a registered rule: it can
+#: be suppressed or baselined like any other, but never disabled).
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass
+class LintRun:
+    """Everything one lint invocation produced."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    new: List[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    rule_ids: List[str] = field(default_factory=list)
+    baseline_size: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_LINT_FINDINGS if self.new else 0
+
+    @property
+    def suppressed_by_baseline(self) -> int:
+        return len(self.diagnostics) - len(self.new)
+
+
+def iter_python_files(paths: Sequence) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        elif not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+        else:
+            candidates = []
+        for c in candidates:
+            if "__pycache__" in c.parts:
+                continue
+            seen[c.resolve()] = c
+    return sorted(seen.values())
+
+
+def _relpath(path: Path, root: Optional[Path]) -> str:
+    resolved = path.resolve()
+    for base in ([root.resolve()] if root else []) + [Path.cwd()]:
+        try:
+            return resolved.relative_to(base).as_posix()
+        except ValueError:
+            continue
+    return resolved.as_posix()
+
+
+def lint_file(
+    path: Path,
+    config: LintConfig,
+    rules: Sequence[Rule],
+    root: Optional[Path] = None,
+) -> List[Diagnostic]:
+    """Run every rule over one file, honouring inline suppressions."""
+    relpath = _relpath(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule=PARSE_ERROR_RULE,
+                severity=Severity.ERROR,
+                path=relpath,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path, relpath, source, tree, config)
+    suppressions = parse_suppressions(source)
+    findings: List[Diagnostic] = []
+    for rule in rules:
+        for diag in rule.check(ctx):
+            if not suppressions.is_suppressed(diag.rule, diag.line):
+                findings.append(diag)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence,
+    config: Optional[LintConfig] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Path] = None,
+) -> LintRun:
+    """Lint files/directories and classify findings against the baseline."""
+    config = config or LintConfig()
+    rules = build_rules(rule_ids)
+    baseline = baseline or Baseline()
+    run = LintRun(rule_ids=[r.id for r in rules], baseline_size=len(baseline))
+    for path in iter_python_files(paths):
+        run.files_checked += 1
+        run.diagnostics.extend(lint_file(path, config, rules, root=root))
+    run.diagnostics.sort(key=Diagnostic.sort_key)
+    run.new = baseline.new_findings(run.diagnostics)
+    return run

@@ -1,0 +1,15 @@
+"""Built-in rules.  Importing this package registers every rule.
+
+Add a rule by dropping a module here that defines a ``@register``-decorated
+:class:`repro.lint.registry.Rule` subclass and importing it below — see
+``docs/LINT.md`` for a worked example.
+"""
+
+from repro.lint.rules import (  # noqa: F401
+    float_equality,
+    imports,
+    mutable_defaults,
+    randomness,
+    schema_columns,
+    typed_errors,
+)

@@ -1,0 +1,61 @@
+"""``float-equality``: no ``==``/``!=`` against float literals.
+
+Metric values (throughput, RTT, loss rate) are floats that went through
+arithmetic; comparing them with ``== 0.05`` is order-of-evaluation roulette.
+Flags any equality comparison whose operand is a float literal.
+
+Exception: comparison against the literal ``0.0`` is allowed — an exact-zero
+test is the standard degenerate-denominator guard (there is nothing to be
+"approximately" equal to), and the codebase uses it pervasively for
+``if std == 0.0`` style early-outs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["FloatEqualityRule"]
+
+
+def _is_flagged_float(node: ast.AST) -> bool:
+    # Unwrap a leading unary minus so `-1.5` is seen as a float literal.
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value != 0.0
+    )
+
+
+@register
+class FloatEqualityRule(Rule):
+    id = "float-equality"
+    severity = Severity.ERROR
+    description = (
+        "== / != against a nonzero float literal; compare with a tolerance "
+        "(math.isclose / np.isclose) or restructure"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_flagged_float(left) or _is_flagged_float(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"float literal compared with {symbol}; use a "
+                        f"tolerance (math.isclose) or an inequality",
+                    )
+                    break

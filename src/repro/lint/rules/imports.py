@@ -1,0 +1,46 @@
+"""``forbidden-import``: no pandas, no network modules.
+
+The reproduction is a closed system: its own columnar engine instead of
+pandas, and a synthetic substrate instead of live M-Lab queries.  An import
+of pandas or any network module is always a mistake here (and would break
+the no-new-dependency CI environment).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["ForbiddenImportRule"]
+
+
+@register
+class ForbiddenImportRule(Rule):
+    id = "forbidden-import"
+    severity = Severity.ERROR
+    description = "imports of pandas / network modules are not allowed"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        forbidden = ctx.config.forbidden_imports
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top in forbidden:
+                        yield self.diag(
+                            ctx,
+                            node,
+                            f"forbidden import {alias.name!r}: {forbidden[top]}",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                top = node.module.split(".")[0]
+                if node.level == 0 and top in forbidden:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"forbidden import {node.module!r}: {forbidden[top]}",
+                    )

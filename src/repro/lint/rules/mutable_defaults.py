@@ -1,0 +1,62 @@
+"""``mutable-default``: no mutable default argument values.
+
+A ``def f(rows=[])`` default is created once and shared across calls — a
+classic source of cross-run state that breaks the pipeline's determinism
+guarantees just as surely as unseeded RNG.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    severity = Severity.ERROR
+    description = "mutable default argument (list/dict/set); default to None"
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.diag(
+                        ctx,
+                        default,
+                        f"mutable default argument in {name}(); use None and "
+                        f"create the container inside the function",
+                    )

@@ -1,0 +1,76 @@
+"""Inline ``# repro-lint: disable=...`` suppression comments.
+
+Syntax
+------
+``# repro-lint: disable=rule-a,rule-b``
+    As a trailing comment: suppresses those rules on that physical line.
+    On a line of its own: suppresses those rules on the *next* line.
+``# repro-lint: disable-file=rule-a``
+    Anywhere in the file: suppresses those rules for the whole file.
+``all`` is accepted in place of a rule list and disables every rule.
+
+Comments are found with :mod:`tokenize`, so a ``#`` inside a string literal
+never triggers a (false) suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_\-, ]+)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Which rules are switched off where, for one file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    whole_file: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        for ruleset in (self.whole_file, self.by_line.get(line, ())):
+            if rule in ruleset or "all" in ruleset:
+                return True
+        return False
+
+
+def _parse_rules(raw: str) -> FrozenSet[str]:
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every suppression directive from one file's source."""
+    result = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # The engine only lints files that already parsed with ast, so a
+        # tokenize failure here is a pathological edge; treat as "no
+        # directives" rather than crashing the run.
+        return result
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(tok.string)
+        if not match:
+            continue
+        kind, raw_rules = match.groups()
+        rules = _parse_rules(raw_rules)
+        if not rules:
+            continue
+        if kind == "disable-file":
+            result.whole_file |= rules
+            continue
+        line = tok.start[0]
+        own_line = tok.line[: tok.start[1]].strip() == ""
+        target = line + 1 if own_line else line
+        result.by_line.setdefault(target, set()).update(rules)
+    return result

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.tables.schema import DType, Field, Schema
+from repro.tables.schema import Cols, DType, Field, Schema
 from repro.util.timeutil import Day
 
 __all__ = ["NDT_SCHEMA", "NdtMeasurement"]
@@ -16,22 +16,22 @@ __all__ = ["NDT_SCHEMA", "NdtMeasurement"]
 #: validation tests, never by the reproduced analyses.
 NDT_SCHEMA = Schema(
     [
-        Field("test_id", DType.INT),
-        Field("day", DType.INT),
-        Field("date", DType.STR),
-        Field("year", DType.INT),
-        Field("city", DType.STR),
-        Field("oblast", DType.STR),
-        Field("city_true", DType.STR),
-        Field("asn", DType.INT),
-        Field("client_ip", DType.STR),
-        Field("site", DType.STR),
-        Field("server_ip", DType.STR),
-        Field("protocol", DType.STR),
-        Field("cca", DType.STR),
-        Field("tput_mbps", DType.FLOAT),
-        Field("min_rtt_ms", DType.FLOAT),
-        Field("loss_rate", DType.FLOAT),
+        Field(Cols.TEST_ID, DType.INT),
+        Field(Cols.DAY, DType.INT),
+        Field(Cols.DATE, DType.STR),
+        Field(Cols.YEAR, DType.INT),
+        Field(Cols.CITY, DType.STR),
+        Field(Cols.OBLAST, DType.STR),
+        Field(Cols.CITY_TRUE, DType.STR),
+        Field(Cols.ASN, DType.INT),
+        Field(Cols.CLIENT_IP, DType.STR),
+        Field(Cols.SITE, DType.STR),
+        Field(Cols.SERVER_IP, DType.STR),
+        Field(Cols.PROTOCOL, DType.STR),
+        Field(Cols.CCA, DType.STR),
+        Field(Cols.TPUT, DType.FLOAT),
+        Field(Cols.MIN_RTT, DType.FLOAT),
+        Field(Cols.LOSS_RATE, DType.FLOAT),
     ]
 )
 

@@ -13,6 +13,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.util.errors import NumericsError
 from repro.util.validation import check_fraction, check_positive
 
 __all__ = [
@@ -58,7 +59,7 @@ def sample_truncated_normal(
     """Normal draws resampled until all lie at or above ``low``.
 
     Used where a metric is roughly symmetric but physically bounded below
-    (e.g. per-hop latencies).  Raises ``ArithmeticError`` if the truncation
+    (e.g. per-hop latencies).  Raises ``NumericsError`` if the truncation
     region is so improbable that resampling keeps failing.
     """
     check_positive("std", std)
@@ -68,7 +69,7 @@ def sample_truncated_normal(
         if not bad.any():
             return out
         out[bad] = rng.normal(mean, std, int(bad.sum()))
-    raise ArithmeticError(
+    raise NumericsError(
         f"truncated normal (mean={mean}, std={std}, low={low}) did not fill "
         f"after {max_tries} rounds"
     )
@@ -86,7 +87,7 @@ def sample_beta_loss(
     check_positive("concentration", concentration)
     if mean == 0.0:
         return np.zeros(size)
-    if mean == 1.0:
+    if mean >= 1.0:  # validated to [0, 1]; >= keeps the boundary exact
         return np.ones(size)
     alpha = mean * concentration
     beta = (1.0 - mean) * concentration

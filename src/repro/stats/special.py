@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+from repro.util.errors import NumericsError
+
 __all__ = ["log_beta", "regularized_incomplete_beta"]
 
 _MAX_ITER = 500
@@ -58,7 +60,7 @@ def _betacf(a: float, b: float, x: float) -> float:
         h *= delta
         if abs(delta - 1.0) < _EPS:
             return h
-    raise ArithmeticError(
+    raise NumericsError(
         f"incomplete beta continued fraction did not converge (a={a}, b={b}, x={x})"
     )
 
@@ -74,7 +76,7 @@ def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
         raise ValueError(f"x must be in [0, 1]; got {x}")
     if x == 0.0:
         return 0.0
-    if x == 1.0:
+    if x >= 1.0:  # validated to [0, 1]; >= keeps the boundary exact
         return 1.0
     ln_front = (
         a * math.log(x) + b * math.log1p(-x) - log_beta(a, b)

@@ -45,7 +45,7 @@ from repro.synth.calibration import (
     default_calibration,
 )
 from repro.synth.workload import Workload
-from repro.tables.schema import DType, Field, Schema
+from repro.tables.schema import Cols, DType, Field, Schema
 from repro.tables.table import Table
 from repro.topology.bgp import AsPath, RouteSelector, StickyRouter
 from repro.topology.builder import Topology, build_default_topology
@@ -59,14 +59,14 @@ __all__ = ["Dataset", "DatasetGenerator", "GeneratorConfig", "TRACE_SCHEMA"]
 #: Column layout of the traceroute table (``ndt.scamper1`` analogue).
 TRACE_SCHEMA = Schema(
     [
-        Field("test_id", DType.INT),
-        Field("day", DType.INT),
-        Field("year", DType.INT),
-        Field("client_ip", DType.STR),
-        Field("server_ip", DType.STR),
-        Field("path", DType.STR),
-        Field("as_path", DType.STR),
-        Field("n_hops", DType.INT),
+        Field(Cols.TEST_ID, DType.INT),
+        Field(Cols.DAY, DType.INT),
+        Field(Cols.YEAR, DType.INT),
+        Field(Cols.CLIENT_IP, DType.STR),
+        Field(Cols.SERVER_IP, DType.STR),
+        Field(Cols.PATH, DType.STR),
+        Field(Cols.AS_PATH, DType.STR),
+        Field(Cols.N_HOPS, DType.INT),
     ]
 )
 

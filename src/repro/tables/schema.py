@@ -10,7 +10,123 @@ import numpy as np
 
 from repro.util.errors import DataError
 
-__all__ = ["DType", "Field", "Schema"]
+__all__ = [
+    "Cols",
+    "DERIVED_COLUMNS",
+    "DType",
+    "Field",
+    "NDT_COLUMNS",
+    "Schema",
+    "TRACE_COLUMNS",
+    "known_columns",
+]
+
+
+class Cols:
+    """Canonical column-name constants — the single source of truth.
+
+    Every module that names a dataset column in code should reference these
+    constants (or a name in :data:`DERIVED_COLUMNS`) instead of retyping the
+    string: the ``schema-columns`` lint rule cross-checks ad-hoc string
+    literals at table call sites against :func:`known_columns`, so a typo'd
+    ``"MeanTput "`` fails the lint gate instead of silently corrupting an
+    analysis.
+    """
+
+    # -- NDT download table (repro.ndt.measurement.NDT_SCHEMA) --------------
+    TEST_ID = "test_id"
+    DAY = "day"
+    DATE = "date"
+    YEAR = "year"
+    CITY = "city"
+    OBLAST = "oblast"
+    CITY_TRUE = "city_true"
+    ASN = "asn"
+    CLIENT_IP = "client_ip"
+    SITE = "site"
+    SERVER_IP = "server_ip"
+    PROTOCOL = "protocol"
+    CCA = "cca"
+    TPUT = "tput_mbps"  # the paper's MeanTput
+    MIN_RTT = "min_rtt_ms"  # the paper's MinRTT
+    LOSS_RATE = "loss_rate"  # the paper's LossRate
+
+    # -- traceroute table (repro.synth.generator.TRACE_SCHEMA) --------------
+    PATH = "path"
+    AS_PATH = "as_path"
+    N_HOPS = "n_hops"
+
+    # -- common derived columns ---------------------------------------------
+    PERIOD = "period"
+    REASON = "reason"  # quarantine reason (tables.validate.REASON_COLUMN)
+    CLIENT_ASN = "client_asn"  # AS of the client IP, mapped via the RIB
+
+
+#: Ordered column names of the NDT download table.
+NDT_COLUMNS = (
+    Cols.TEST_ID,
+    Cols.DAY,
+    Cols.DATE,
+    Cols.YEAR,
+    Cols.CITY,
+    Cols.OBLAST,
+    Cols.CITY_TRUE,
+    Cols.ASN,
+    Cols.CLIENT_IP,
+    Cols.SITE,
+    Cols.SERVER_IP,
+    Cols.PROTOCOL,
+    Cols.CCA,
+    Cols.TPUT,
+    Cols.MIN_RTT,
+    Cols.LOSS_RATE,
+)
+
+#: Ordered column names of the traceroute table.
+TRACE_COLUMNS = (
+    Cols.TEST_ID,
+    Cols.DAY,
+    Cols.YEAR,
+    Cols.CLIENT_IP,
+    Cols.SERVER_IP,
+    Cols.PATH,
+    Cols.AS_PATH,
+    Cols.N_HOPS,
+)
+
+#: Column names produced by transforms (aggregation outputs, ``with_column``
+#: additions, report tables).  Any derived name that is later *read* by a
+#: ``col()`` / ``select`` / ``group_by`` / ``aggregate`` call site must be
+#: registered here, or the ``schema-columns`` lint rule flags it as unknown.
+DERIVED_COLUMNS = frozenset(
+    {
+        Cols.PERIOD,  # study-period label added by analysis.common.with_periods
+        Cols.REASON,  # quarantine reason column (tables.validate)
+        Cols.CLIENT_ASN,  # client AS added by analysis.common.client_as_column
+        # analysis.border: per-border-AS loss deltas
+        "border_asn",
+        "border_name",
+        "ua_asn",
+        "prewar",
+        "wartime",
+        "delta",
+        # report tables: aggregate outputs and sort keys
+        "tests",
+        "mean",
+        "d_loss_pct",
+        "share",
+        "median_loss",
+        "significant",
+        # analysis.routing_churn / analysis.uncertainty
+        "changes",
+        "agree",
+    }
+)
+
+
+def known_columns() -> frozenset:
+    """All column names the lint gate accepts at table call sites."""
+    return frozenset(NDT_COLUMNS) | frozenset(TRACE_COLUMNS) | DERIVED_COLUMNS
 
 
 class DType(enum.Enum):

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.tables.schema import DType
+from repro.tables.schema import Cols, DType
 from repro.tables.table import Table
 from repro.util.errors import DataError, ValidationFailure
 
@@ -40,7 +40,7 @@ __all__ = [
 logger = logging.getLogger(__name__)
 
 #: Extra column appended to quarantine tables.
-REASON_COLUMN = "reason"
+REASON_COLUMN = Cols.REASON
 
 
 @dataclass(frozen=True)

@@ -50,6 +50,18 @@ class StageFailure(PipelineError):
         )
 
 
+class NumericsError(ReproError, ArithmeticError):
+    """A numeric routine failed to converge or left its domain.
+
+    Also derives from ``ArithmeticError`` so callers that treated the old
+    untyped raises as arithmetic failures keep working unchanged.
+    """
+
+
+class LintError(ReproError):
+    """The static-analysis framework cannot run (bad baseline, bad rule id)."""
+
+
 class ValidationFailure(DataError):
     """Strict-mode ingest rejected a table because rows failed validation.
 

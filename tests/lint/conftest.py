@@ -1,0 +1,33 @@
+"""Fixtures for the lint suite: run rules over fixture snippets on disk."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.context import LintConfig
+from repro.lint.engine import lint_file
+from repro.lint.registry import build_rules
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Lint one source snippet as if it lived at ``relpath`` in the repo."""
+
+    def run(source, rules=None, relpath="repro/snippet.py", config=None):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return lint_file(
+            path, config or LintConfig(), build_rules(rules), root=tmp_path
+        )
+
+    return run
+
+
+@pytest.fixture
+def small_schema_config():
+    """A hermetic config: tiny known-column and aggregator universes."""
+    return LintConfig(
+        known_columns=frozenset({"min_rtt_ms", "tput_mbps", "day", "tests"}),
+        aggregators=frozenset({"mean", "count"}),
+    )

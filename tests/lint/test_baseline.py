@@ -1,0 +1,87 @@
+"""Baseline load/save round-trip and gating semantics."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import Baseline
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.util.errors import LintError, ReproError
+
+
+def _diag(rule="typed-errors", path="src/repro/x.py", line=3, message="boom"):
+    return Diagnostic(
+        rule=rule,
+        severity=Severity.ERROR,
+        path=path,
+        line=line,
+        col=0,
+        message=message,
+    )
+
+
+class TestRoundTrip:
+    def test_save_then_load_matches(self, tmp_path):
+        diags = [_diag(), _diag(rule="float-equality", message="eq")]
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_diagnostics(diags).save(baseline_path)
+        loaded = Baseline.load(baseline_path)
+        assert len(loaded) == 2
+        assert all(d in loaded for d in diags)
+        assert loaded.new_findings(diags) == []
+
+    def test_line_shift_still_matches(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_diagnostics([_diag(line=3)]).save(baseline_path)
+        shifted = _diag(line=300)
+        assert shifted in Baseline.load(baseline_path)
+
+    def test_written_file_is_stable_json(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_diagnostics([_diag()]).save(baseline_path)
+        payload = json.loads(baseline_path.read_text())
+        assert payload["version"] == 1
+        assert payload["findings"] == [
+            {"rule": "typed-errors", "path": "src/repro/x.py", "message": "boom"}
+        ]
+
+    def test_duplicate_fingerprints_collapse(self):
+        baseline = Baseline.from_diagnostics([_diag(line=1), _diag(line=9)])
+        assert len(baseline) == 1
+
+
+class TestGating:
+    def test_new_findings_filters_known(self):
+        known = _diag()
+        fresh = _diag(message="a new one")
+        baseline = Baseline.from_diagnostics([known])
+        assert baseline.new_findings([known, fresh]) == [fresh]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert len(baseline) == 0
+        assert baseline.new_findings([_diag()]) == [_diag()]
+
+
+class TestErrors:
+    def test_malformed_json_raises_typed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+    def test_entry_missing_keys_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 1, "findings": [{"rule": "x"}]}')
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+    def test_lint_error_is_repro_error(self):
+        # the CLI's last-resort net depends on this
+        assert issubclass(LintError, ReproError)

@@ -1,0 +1,39 @@
+"""The float-equality rule: literal float == flagged, zero guards allowed."""
+
+RULE = ["float-equality"]
+
+
+class TestFlagged:
+    def test_eq_float_literal(self, lint_snippet):
+        diags = lint_snippet("ok = x == 0.5\n", RULE)
+        assert len(diags) == 1
+        assert "==" in diags[0].message
+
+    def test_neq_float_literal_left(self, lint_snippet):
+        diags = lint_snippet("ok = 0.25 != y\n", RULE)
+        assert len(diags) == 1
+        assert "!=" in diags[0].message
+
+    def test_negative_float_literal(self, lint_snippet):
+        assert len(lint_snippet("ok = x == -1.5\n", RULE)) == 1
+
+    def test_chained_comparison(self, lint_snippet):
+        assert len(lint_snippet("ok = a < b == 2.5\n", RULE)) == 1
+
+
+class TestAllowed:
+    def test_exact_zero_guard(self, lint_snippet):
+        # The degenerate-denominator guard: nothing is "close to" zero.
+        assert lint_snippet("if std == 0.0:\n    pass\n", RULE) == []
+
+    def test_not_equal_zero(self, lint_snippet):
+        assert lint_snippet("ok = x != 0.0\n", RULE) == []
+
+    def test_int_literal(self, lint_snippet):
+        assert lint_snippet("ok = n == 1\n", RULE) == []
+
+    def test_inequality(self, lint_snippet):
+        assert lint_snippet("ok = x >= 1.0\n", RULE) == []
+
+    def test_string_equality(self, lint_snippet):
+        assert lint_snippet('ok = s == "1.5"\n', RULE) == []

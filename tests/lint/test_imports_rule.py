@@ -1,0 +1,33 @@
+"""The forbidden-import rule: pandas/network imports flagged, the rest pass."""
+
+RULE = ["forbidden-import"]
+
+
+class TestFlagged:
+    def test_import_pandas(self, lint_snippet):
+        diags = lint_snippet("import pandas as pd\n", RULE)
+        assert len(diags) == 1
+        assert "use repro.tables" in diags[0].message
+
+    def test_from_urllib_submodule(self, lint_snippet):
+        diags = lint_snippet("from urllib.request import urlopen\n", RULE)
+        assert len(diags) == 1
+        assert "network" in diags[0].message
+
+    def test_import_socket(self, lint_snippet):
+        assert len(lint_snippet("import socket\n", RULE)) == 1
+
+    def test_dotted_import(self, lint_snippet):
+        assert len(lint_snippet("import urllib.request\n", RULE)) == 1
+
+
+class TestAllowed:
+    def test_numpy_and_stdlib(self, lint_snippet):
+        source = "import numpy as np\nimport math\nimport json\n"
+        assert lint_snippet(source, RULE) == []
+
+    def test_repro_imports(self, lint_snippet):
+        assert lint_snippet("from repro.tables.table import Table\n", RULE) == []
+
+    def test_relative_import(self, lint_snippet):
+        assert lint_snippet("from . import helpers\n", RULE) == []

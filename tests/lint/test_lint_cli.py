@@ -1,0 +1,100 @@
+"""The ``repro lint`` subcommand: exit codes, JSON output, baseline flags."""
+
+import json
+
+from repro.cli import main
+from repro.lint.engine import EXIT_LINT_FINDINGS
+
+CLEAN = "def f(rows=None):\n    return rows\n"
+DIRTY = "import pandas\n\n\ndef f(rows=[]):\n    return rows\n"
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, "clean.py", CLEAN)
+        assert main(["lint", path, "--no-baseline"]) == 0
+        assert "0 new findings" in capsys.readouterr().out
+
+    def test_seeded_violations_exit_five(self, tmp_path, capsys):
+        path = _write(tmp_path, "dirty.py", DIRTY)
+        assert main(["lint", path, "--no-baseline"]) == EXIT_LINT_FINDINGS
+        out = capsys.readouterr().out
+        assert "forbidden-import" in out
+        assert "mutable-default" in out
+
+    def test_bad_baseline_is_typed_error_exit_one(self, tmp_path, capsys):
+        path = _write(tmp_path, "clean.py", CLEAN)
+        bad = _write(tmp_path, "baseline.json", "{broken")
+        assert main(["lint", path, "--baseline", bad]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_rule_id_exit_one(self, tmp_path, capsys):
+        path = _write(tmp_path, "clean.py", CLEAN)
+        assert main(["lint", path, "--no-baseline", "--rules", "nope"]) == 1
+        assert "unknown rule ids" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_json_document_shape(self, tmp_path, capsys):
+        path = _write(tmp_path, "dirty.py", DIRTY)
+        code = main(["lint", path, "--no-baseline", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == EXIT_LINT_FINDINGS
+        assert payload["exit_code"] == EXIT_LINT_FINDINGS
+        assert payload["files_checked"] == 1
+        assert payload["counts"]["new"] == len(payload["findings"]) == 2
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"forbidden-import", "mutable-default"}
+        first = payload["findings"][0]
+        assert {"rule", "severity", "path", "line", "col", "message"} <= set(first)
+
+    def test_json_clean_is_empty_findings(self, tmp_path, capsys):
+        path = _write(tmp_path, "clean.py", CLEAN)
+        assert main(["lint", path, "--no-baseline", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["counts"]["total"] == 0
+
+
+class TestBaselineFlow:
+    def test_write_baseline_then_gate_passes(self, tmp_path, capsys):
+        path = _write(tmp_path, "dirty.py", DIRTY)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", path, "--baseline", baseline, "--write-baseline"]) == 0
+        # same findings are now grandfathered
+        assert main(["lint", path, "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "(2 baselined)" in out
+        # a new violation still trips the gate
+        dirty2 = DIRTY + "\n\nx = 1 if y == 0.5 else 2\n"
+        path2 = _write(tmp_path, "dirty.py", dirty2)
+        assert main(["lint", path2, "--baseline", baseline]) == EXIT_LINT_FINDINGS
+
+    def test_rule_selection(self, tmp_path, capsys):
+        path = _write(tmp_path, "dirty.py", DIRTY)
+        code = main(
+            ["lint", path, "--no-baseline", "--rules", "forbidden-import"]
+        )
+        assert code == EXIT_LINT_FINDINGS
+        out = capsys.readouterr().out
+        assert "forbidden-import" in out
+        assert "mutable-default" not in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "schema-columns",
+            "unseeded-random",
+            "typed-errors",
+            "forbidden-import",
+            "float-equality",
+            "mutable-default",
+        ):
+            assert rule_id in out

@@ -1,0 +1,35 @@
+"""The mutable-default rule: shared containers flagged, immutables allowed."""
+
+RULE = ["mutable-default"]
+
+
+class TestFlagged:
+    def test_list_literal_default(self, lint_snippet):
+        diags = lint_snippet("def f(rows=[]):\n    return rows\n", RULE)
+        assert len(diags) == 1
+        assert "f()" in diags[0].message
+
+    def test_dict_literal_default(self, lint_snippet):
+        assert len(lint_snippet("def f(opts={}):\n    pass\n", RULE)) == 1
+
+    def test_keyword_only_set_default(self, lint_snippet):
+        assert len(lint_snippet("def f(*, seen=set()):\n    pass\n", RULE)) == 1
+
+    def test_call_constructor_default(self, lint_snippet):
+        assert len(lint_snippet("def f(rows=list()):\n    pass\n", RULE)) == 1
+
+    def test_lambda_default(self, lint_snippet):
+        diags = lint_snippet("g = lambda acc=[]: acc\n", RULE)
+        assert len(diags) == 1
+        assert "<lambda>" in diags[0].message
+
+
+class TestAllowed:
+    def test_none_default(self, lint_snippet):
+        assert lint_snippet("def f(rows=None):\n    pass\n", RULE) == []
+
+    def test_tuple_default(self, lint_snippet):
+        assert lint_snippet("def f(rows=()):\n    pass\n", RULE) == []
+
+    def test_scalar_defaults(self, lint_snippet):
+        assert lint_snippet('def f(n=0, s="x", b=False):\n    pass\n', RULE) == []

@@ -1,0 +1,48 @@
+"""The unseeded-random rule: global RNG flagged, seeded plumbing allowed."""
+
+RULE = ["unseeded-random"]
+
+
+class TestFlagged:
+    def test_stdlib_import(self, lint_snippet):
+        diags = lint_snippet("import random\n", RULE)
+        assert len(diags) == 1
+        assert "stdlib 'random'" in diags[0].message
+
+    def test_stdlib_from_import(self, lint_snippet):
+        assert len(lint_snippet("from random import choice\n", RULE)) == 1
+
+    def test_stdlib_call(self, lint_snippet):
+        diags = lint_snippet("import random\nx = random.random()\n", RULE)
+        # one for the import, one for the call
+        assert len(diags) == 2
+
+    def test_np_random_distribution_call(self, lint_snippet):
+        diags = lint_snippet(
+            "import numpy as np\nx = np.random.uniform(0, 1, 10)\n", RULE
+        )
+        assert len(diags) == 1
+        assert "np.random.uniform" in diags[0].message
+
+    def test_np_random_default_rng(self, lint_snippet):
+        assert len(lint_snippet("rng = np.random.default_rng()\n", RULE)) == 1
+
+    def test_np_random_seed(self, lint_snippet):
+        assert len(lint_snippet("np.random.seed(0)\n", RULE)) == 1
+
+
+class TestAllowed:
+    def test_seeded_generator_construction(self, lint_snippet):
+        source = "rng = np.random.Generator(np.random.PCG64(7))\n"
+        assert lint_snippet(source, RULE) == []
+
+    def test_passing_generator_around(self, lint_snippet):
+        source = """\
+            def draw(rng: np.random.Generator) -> float:
+                return rng.uniform(0.0, 1.0)
+        """
+        assert lint_snippet(source, RULE) == []
+
+    def test_rng_module_is_exempt(self, lint_snippet):
+        source = "import numpy as np\nx = np.random.uniform()\n"
+        assert lint_snippet(source, RULE, relpath="repro/util/rng.py") == []

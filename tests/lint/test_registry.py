@@ -1,0 +1,50 @@
+"""The rule registry: catalogue completeness and registration errors."""
+
+import pytest
+
+from repro.lint.registry import Rule, all_rule_ids, build_rules, register
+from repro.util.errors import LintError
+
+EXPECTED_RULES = {
+    "float-equality",
+    "forbidden-import",
+    "mutable-default",
+    "schema-columns",
+    "typed-errors",
+    "unseeded-random",
+}
+
+
+class TestCatalogue:
+    def test_all_builtin_rules_registered(self):
+        assert EXPECTED_RULES <= set(all_rule_ids())
+
+    def test_build_all(self):
+        rules = build_rules()
+        assert {r.id for r in rules} >= EXPECTED_RULES
+        assert all(r.description for r in rules)
+
+    def test_build_subset_preserves_order(self):
+        rules = build_rules(["typed-errors", "float-equality"])
+        assert [r.id for r in rules] == ["typed-errors", "float-equality"]
+
+
+class TestRegistrationErrors:
+    def test_unknown_id_raises(self):
+        with pytest.raises(LintError, match="unknown rule ids"):
+            build_rules(["does-not-exist"])
+
+    def test_duplicate_id_raises(self):
+        with pytest.raises(LintError, match="duplicate rule id"):
+
+            @register
+            class Duplicate(Rule):
+                id = "typed-errors"
+                description = "clash"
+
+    def test_missing_id_raises(self):
+        with pytest.raises(LintError, match="no id"):
+
+            @register
+            class Nameless(Rule):
+                description = "no id set"

@@ -1,0 +1,65 @@
+"""Inline suppression comments: trailing, next-line, file-level, `all`."""
+
+from repro.lint.suppressions import parse_suppressions
+
+RULE = ["float-equality"]
+
+
+class TestEngineHonoursSuppressions:
+    def test_trailing_comment_suppresses_line(self, lint_snippet):
+        source = "ok = x == 0.5  # repro-lint: disable=float-equality\n"
+        assert lint_snippet(source, RULE) == []
+
+    def test_own_line_comment_suppresses_next_line(self, lint_snippet):
+        source = """\
+            # repro-lint: disable=float-equality
+            ok = x == 0.5
+        """
+        assert lint_snippet(source, RULE) == []
+
+    def test_wrong_rule_id_does_not_suppress(self, lint_snippet):
+        source = "ok = x == 0.5  # repro-lint: disable=unseeded-random\n"
+        assert len(lint_snippet(source, RULE)) == 1
+
+    def test_suppression_only_covers_its_line(self, lint_snippet):
+        source = """\
+            a = x == 0.5  # repro-lint: disable=float-equality
+            b = y == 0.5
+        """
+        diags = lint_snippet(source, RULE)
+        assert len(diags) == 1
+        assert diags[0].line == 2
+
+    def test_disable_file(self, lint_snippet):
+        source = """\
+            # repro-lint: disable-file=float-equality
+            a = x == 0.5
+            b = y == 0.5
+        """
+        assert lint_snippet(source, RULE) == []
+
+    def test_disable_all(self, lint_snippet):
+        source = "ok = x == 0.5  # repro-lint: disable=all\n"
+        assert lint_snippet(source, RULE) == []
+
+    def test_directive_inside_string_is_not_a_suppression(self, lint_snippet):
+        source = (
+            's = "# repro-lint: disable=float-equality"\n'
+            "ok = x == 0.5\n"
+        )
+        assert len(lint_snippet(source, RULE)) == 1
+
+
+class TestParser:
+    def test_multiple_rules_one_directive(self):
+        sup = parse_suppressions(
+            "x = 1  # repro-lint: disable=rule-a, rule-b\n"
+        )
+        assert sup.is_suppressed("rule-a", 1)
+        assert sup.is_suppressed("rule-b", 1)
+        assert not sup.is_suppressed("rule-c", 1)
+
+    def test_no_directives(self):
+        sup = parse_suppressions("x = 1  # a plain comment\n")
+        assert not sup.is_suppressed("rule-a", 1)
+        assert sup.whole_file == set()
