@@ -4,7 +4,7 @@
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint lint-json baseline bench
+.PHONY: test lint lint-json baseline bench bench-engine
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -22,3 +22,8 @@ baseline:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q benchmarks
+
+# Engine perf baseline: vectorized kernels vs the legacy row loops;
+# records before/after timings in BENCH_engine.json.
+bench-engine:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q benchmarks/test_engine_perf.py

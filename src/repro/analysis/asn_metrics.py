@@ -57,9 +57,10 @@ def top_ases(ndt_with_asn: Table, periods: Sequence[str], n: int = 10) -> List[i
     counts: Dict[int, int] = {}
     for period in periods:
         sliced = slice_period(ndt_with_asn, period)
-        for asn in sliced.column(Cols.CLIENT_ASN).values:
-            if asn >= 0:
-                counts[int(asn)] = counts.get(int(asn), 0) + 1
+        asns = sliced.column(Cols.CLIENT_ASN).values
+        uniq, n_tests = np.unique(asns[asns >= 0], return_counts=True)
+        for asn, c in zip(uniq.tolist(), n_tests.tolist()):
+            counts[asn] = counts.get(asn, 0) + c
     ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
     return [asn for asn, _count in ranked[:n]]
 

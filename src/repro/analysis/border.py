@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.analysis.common import clean_traces, parse_as_path, slice_period
 from repro.netbase.asn import ASRegistry
 from repro.tables.schema import DType
@@ -44,16 +46,17 @@ def border_crossing_counts(traces: Table, registry: ASRegistry) -> Table:
     counts: Dict[Tuple[int, int], Dict[str, int]] = {}
     for period in ("prewar", "wartime"):
         sliced = slice_period(traces, period)
-        # Crossings depend only on the AS path: resolve each distinct path once.
-        path_counts: Dict[str, int] = {}
-        for text in sliced.column("as_path").values:
-            path_counts[text] = path_counts.get(text, 0) + 1
-        for text, n in path_counts.items():
-            crossing = _crossing(parse_as_path(text), registry)
+        # Crossings depend only on the AS path: count tests per distinct
+        # path over the dictionary codes, resolve each pool entry once.
+        as_col = sliced.column("as_path")
+        codes = as_col.codes
+        per_path = np.bincount(codes[codes >= 0], minlength=len(as_col.pool))
+        for ci in np.nonzero(per_path)[0]:
+            crossing = _crossing(parse_as_path(as_col.pool[ci]), registry)
             if crossing is None:
                 continue
             entry = counts.setdefault(crossing, {"prewar": 0, "wartime": 0})
-            entry[period] += n
+            entry[period] += int(per_path[ci])
     if not counts:
         raise AnalysisError("no border crossings found in the traces")
     rows = []
@@ -100,12 +103,20 @@ def border_shift_matrix(
     present = [[False for _ in uas] for _ in borders]
     names_b = {}
     names_u = {}
-    for row in crossing_counts.iter_rows():
-        i, j = b_index[row["border_asn"]], u_index[row["ua_asn"]]
-        delta[i][j] = float(row["delta"])
-        present[i][j] = row["prewar"] + row["wartime"] > 0
-        names_b[row["border_asn"]] = row["border_name"]
-        names_u[row["ua_asn"]] = row["ua_name"]
+    for b_asn, b_name, u_asn, u_name, pre, war, d in zip(
+        crossing_counts.column("border_asn").to_list(),
+        crossing_counts.column("border_name").to_list(),
+        crossing_counts.column("ua_asn").to_list(),
+        crossing_counts.column("ua_name").to_list(),
+        crossing_counts.column("prewar").to_list(),
+        crossing_counts.column("wartime").to_list(),
+        crossing_counts.column("delta").to_list(),
+    ):
+        i, j = b_index[b_asn], u_index[u_asn]
+        delta[i][j] = float(d)
+        present[i][j] = pre + war > 0
+        names_b[b_asn] = b_name
+        names_u[u_asn] = u_name
     border_labels = [f"{names_b[b]} ({b})" for b in borders]
     ua_labels = [f"{names_u[u]} ({u})" for u in uas]
     absent = [[not cell for cell in row] for row in present]

@@ -61,35 +61,52 @@ def inbound_weekly(
     if merged.n_rows == 0:
         raise AnalysisError(f"no joined tests in {year}")
 
-    # Resolve each distinct AS path once.
-    entry_cache: Dict[str, Optional[int]] = {}
-    weeks: Dict[Tuple[int, int], Dict[str, list]] = {}
-    as_path = merged.column("as_path").values
-    days = merged.column("day").values
-    loss = merged.column(Cols.LOSS_RATE).values
-    rtt = merged.column(Cols.MIN_RTT).values
-    for i in range(merged.n_rows):
-        text = as_path[i]
-        if text not in entry_cache:
-            entry_cache[text] = _entry_border(parse_as_path(text), ua_asn, registry)
-        border = entry_cache[text]
-        if border is None:
-            continue
-        monday = Day(int(days[i])).week_start().ordinal
-        entry = weeks.setdefault((monday, border), {"loss": [], "rtt": []})
-        entry["loss"].append(loss[i])
-        entry["rtt"].append(rtt[i])
+    # Resolve each distinct AS path once (over the dictionary pool), then
+    # broadcast to rows through the codes.
+    as_col = merged.column("as_path")
+    border_lut = np.full(len(as_col.pool) + 1, -1, dtype=np.int64)
+    for ci, text in enumerate(as_col.pool):
+        border = _entry_border(parse_as_path(text), ua_asn, registry)
+        if border is not None:
+            border_lut[ci] = border
+    borders = border_lut[as_col.codes]
 
-    if not weeks:
+    # Week starts once per distinct day.
+    days = merged.column("day").values.astype(np.int64)
+    uniq_days, day_inv = np.unique(days, return_inverse=True)
+    monday_of = np.array(
+        [Day(int(d)).week_start().ordinal for d in uniq_days], dtype=np.int64
+    )
+    mondays = monday_of[day_inv]
+
+    keep = borders >= 0
+    if not keep.any():
         raise AnalysisError(f"no tests enter AS{ua_asn} in {year}")
+    borders = borders[keep]
+    mondays = mondays[keep]
+    loss = merged.column(Cols.LOSS_RATE).values[keep]
+    rtt = merged.column(Cols.MIN_RTT).values[keep]
+
+    # Group by (week, border AS): one stable lexsort, then run boundaries.
+    order = np.lexsort((borders, mondays))
+    m_sorted = mondays[order]
+    b_sorted = borders[order]
+    boundary = np.empty(len(order), dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (m_sorted[1:] != m_sorted[:-1]) | (b_sorted[1:] != b_sorted[:-1])
+    starts = np.nonzero(boundary)[0]
+    ends = np.append(starts[1:], len(order))
     week_totals: Dict[int, int] = {}
-    for (monday, _border), entry in weeks.items():
-        week_totals[monday] = week_totals.get(monday, 0) + len(entry["loss"])
+    for s, e in zip(starts, ends):
+        monday = int(m_sorted[s])
+        week_totals[monday] = week_totals.get(monday, 0) + int(e - s)
 
     rows: List[dict] = []
-    for (monday, border) in sorted(weeks):
-        entry = weeks[(monday, border)]
-        n = len(entry["loss"])
+    for s, e in zip(starts, ends):
+        monday = int(m_sorted[s])
+        border = int(b_sorted[s])
+        n = int(e - s)
+        seg = order[s:e]
         rows.append(
             {
                 "week": Day(monday).iso(),
@@ -97,8 +114,8 @@ def inbound_weekly(
                 "border_name": registry.name_of(border),
                 "tests": n,
                 "share": n / week_totals[monday],
-                "median_loss": float(np.median(entry["loss"])),
-                "median_rtt_ms": float(np.median(entry["rtt"])),
+                "median_loss": float(np.median(loss[seg])),
+                "median_rtt_ms": float(np.median(rtt[seg])),
             }
         )
     return Table.from_rows(

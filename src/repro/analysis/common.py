@@ -101,20 +101,20 @@ def clean_traces(traces: Table, where: str = "analysis") -> Table:
     path, and a timestamp inside a study window.
     """
     require_columns(traces, ("test_id", "day", "path", "as_path", "n_hops"), where)
-    paths = traces.column("path").values
-    as_paths = traces.column("as_path").values
+    path_col = traces.column("path")
+    as_col = traces.column("as_path")
     n_hops = traces.column("n_hops").values
     days = traces.column("day").values
-    lengths = np.fromiter(
-        (len(p.split("|")) if isinstance(p, str) and p else 0 for p in paths),
-        dtype=np.int64,
-        count=len(paths),
-    )
-    has_as = np.fromiter(
-        (isinstance(a, str) and bool(a) for a in as_paths),
-        dtype=bool,
-        count=len(as_paths),
-    )
+    # hop counts and emptiness are computed once per distinct string in the
+    # dictionary pool, then broadcast through the codes (None -> last slot)
+    pool_len = np.zeros(len(path_col.pool) + 1, dtype=np.int64)
+    for i, p in enumerate(path_col.pool):
+        pool_len[i] = len(p.split("|")) if p else 0
+    lengths = pool_len[path_col.codes]
+    pool_has = np.zeros(len(as_col.pool) + 1, dtype=bool)
+    for i, a in enumerate(as_col.pool):
+        pool_has[i] = bool(a)
+    has_as = pool_has[as_col.codes]
     keep = (
         (lengths > 0) & (lengths == n_hops) & has_as & _window_mask(days)
         & _first_occurrence_mask(traces.column("test_id").values)
@@ -147,13 +147,18 @@ def with_periods(table: Table) -> Table:
     """Add a ``period`` column naming the study window of each row."""
     periods = study_periods()
     days = table.column("day").values
-    names = np.empty(len(days), dtype=object)
+    pool = sorted(periods)
+    code_of = {name: i for i, name in enumerate(pool)}
+    codes = np.full(len(days), -1, dtype=np.int32)
     for name, p in periods.items():
         mask = (days >= p.start.ordinal) & (days <= p.end.ordinal)
-        names[mask] = name
-    if any(n is None for n in names):
+        codes[mask] = code_of[name]
+    if (codes < 0).any():
         raise AnalysisError("some rows fall outside every study period")
-    return table.with_column(Cols.PERIOD, names, DType.STR)
+    period_col = Column.from_codes(
+        Cols.PERIOD, codes, np.array(pool, dtype=object)
+    )
+    return table.with_column(Cols.PERIOD, period_col)
 
 
 def client_as_column(ndt: Table, iplayer: IpLayer) -> Table:
@@ -162,10 +167,14 @@ def client_as_column(ndt: Table, iplayer: IpLayer) -> Table:
     This is the paper's routeviews-style attribution — the analysis derives
     the AS from the address, it does not trust generator metadata.
     """
-    asns = []
-    for ip_text in ndt.column("client_ip").values:
+    ip_col = ndt.column("client_ip")
+    # longest-prefix match once per distinct client IP, broadcast via codes
+    lut = np.empty(len(ip_col.pool) + 1, dtype=np.int64)
+    for i, ip_text in enumerate(ip_col.pool):
         asn = iplayer.as_of_ip(IPv4Address.parse(ip_text))
-        asns.append(-1 if asn is None else asn)
+        lut[i] = -1 if asn is None else asn
+    lut[-1] = -1
+    asns = lut[ip_col.codes]
     return ndt.with_column(Cols.CLIENT_ASN, Column(Cols.CLIENT_ASN, asns, DType.INT))
 
 
@@ -181,4 +190,8 @@ def parse_as_path(text: str) -> Tuple[int, ...]:
 
 def unique_as_paths(traces: Table) -> List[Tuple[int, ...]]:
     """Distinct AS-level paths in a traceroute table."""
-    return [parse_as_path(t) for t in sorted(set(traces.column("as_path").to_list()))]
+    return [
+        parse_as_path(t)
+        for t in traces.column("as_path").unique()
+        if t is not None
+    ]

@@ -12,10 +12,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.analysis.common import clean_ndt, clean_traces
 from repro.netbase.hostnames import HostnameScheme
 from repro.netbase.ipaddr import IPv4Address
 from repro.synth.generator import Dataset
+from repro.tables import kernels
 from repro.tables.join import join
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
@@ -74,23 +77,25 @@ def gateway_city_agreement(
     cities = merged.column("city").values
     asns = merged.column("asn").values
     paths = merged.column("path").values
-    geo_missing = 0
-    ptr_missing = 0
-    compared = 0
-    agreed = 0
-    for i in range(n):
-        hostname_city = None
+    # The hostname city depends only on (path, asn): resolve it once per
+    # distinct pair and broadcast to rows through the group ids.
+    fact = kernels.factorize([merged.column("path"), merged.column("asn")])
+    group_city = np.empty(fact.n_groups, dtype=object)
+    for g in range(fact.n_groups):
+        i = int(fact.first_idx[g])
         index = _gateway_router_index(dataset, paths[i], int(asns[i]))
         if index is not None:
-            hostname_city = scheme.parse_city(scheme.hostname(int(asns[i]), index))
-        if hostname_city is None:
-            ptr_missing += 1
-        if cities[i] is None:
-            geo_missing += 1
-        if hostname_city is None or cities[i] is None:
-            continue
-        compared += 1
-        agreed += hostname_city == cities[i]
+            group_city[g] = scheme.parse_city(scheme.hostname(int(asns[i]), index))
+    hostname_cities = group_city[fact.gids]
+    ptr_null = np.fromiter(
+        (c is None for c in group_city), dtype=bool, count=fact.n_groups
+    )[fact.gids]
+    geo_null = merged.column("city").isnull()
+    both = ~ptr_null & ~geo_null
+    ptr_missing = int(ptr_null.sum())
+    geo_missing = int(geo_null.sum())
+    compared = int(both.sum())
+    agreed = int(np.sum(hostname_cities[both] == cities[both]))
     if compared == 0:
         raise AnalysisError("no test had both a geo label and a usable hostname")
     return {

@@ -18,6 +18,7 @@ import numpy as np
 from repro.analysis.common import clean_ndt, clean_traces, slice_period
 from repro.analysis.periods import PERIOD_NAMES
 from repro.stats.welch import welch_t_test
+from repro.tables import kernels
 from repro.tables.join import join
 from repro.tables.schema import Cols, DType
 from repro.tables.table import Table
@@ -34,20 +35,26 @@ ConnKey = Tuple[str, str]
 
 
 def connection_stats(traces: Table) -> Dict[ConnKey, Dict[str, int]]:
-    """Per-connection test and distinct-path counts for a slice of traces."""
-    stats: Dict[ConnKey, Dict[str, object]] = {}
-    client = traces.column("client_ip").values
-    server = traces.column("server_ip").values
-    path = traces.column("path").values
-    for i in range(traces.n_rows):
-        key = (client[i], server[i])
-        entry = stats.setdefault(key, {"tests": 0, "paths": set()})
-        entry["tests"] += 1
-        entry["paths"].add(path[i])
-    return {
-        key: {"tests": entry["tests"], "paths": len(entry["paths"])}
-        for key, entry in stats.items()
-    }
+    """Per-connection test and distinct-path counts for a slice of traces.
+
+    Vectorized over group ids; the result dict lists connections in first
+    appearance order, matching the old per-row accumulation.
+    """
+    client_col = traces.column("client_ip")
+    server_col = traces.column("server_ip")
+    fact = kernels.factorize([client_col, server_col])
+    tests = kernels.group_count(fact)
+    n_paths = kernels.group_nunique(fact, traces.column("path"))
+    client = client_col.values
+    server = server_col.values
+    stats: Dict[ConnKey, Dict[str, int]] = {}
+    for g in np.argsort(fact.first_idx):
+        i = fact.first_idx[g]
+        stats[(client[i], server[i])] = {
+            "tests": int(tests[g]),
+            "paths": int(n_paths[g]),
+        }
+    return stats
 
 
 def path_count_table(traces: Table, top_k: int = 1000) -> Table:
@@ -103,6 +110,62 @@ def _expected_distinct(path_counts: Sequence[int], depth: int) -> float:
     return expected
 
 
+def _seq_sum(run: np.ndarray) -> float:
+    """Strict left-to-right float accumulation (pairwise-free).
+
+    Per-connection runs are a handful of tests each, so the interpreter
+    cost is negligible; what matters is reproducing the pre-vectorization
+    ``total += v`` loop exactly.
+    """
+    total = 0.0
+    for v in run:
+        total += v
+    return total
+
+
+def _period_connection_stats(sliced: Table) -> Dict[ConnKey, dict]:
+    """Per-connection stats for one period slice, vectorized.
+
+    Returns ``{(client_ip, server_ip): {"tests", "tput", "loss", "paths"}}``
+    where ``paths`` maps each distinct traceroute path to its test count.
+    Connections appear in first-occurrence order and the tput/loss sums
+    accumulate left to right within each run (``_seq_sum``, not numpy's
+    pairwise summation), so the floats match the old ``+=`` loop bit for
+    bit — Figure 9's recorded deltas and p-values depend on it.
+    """
+    client_col = sliced.column("client_ip")
+    server_col = sliced.column("server_ip")
+    fact = kernels.factorize([client_col, server_col])
+    order, starts = kernels.group_sorter(fact)
+    tests = kernels.group_count(fact)
+    tput_sum = kernels.segment_reduce(
+        sliced.column(Cols.TPUT).values, order, starts, _seq_sum
+    )
+    loss_sum = kernels.segment_reduce(
+        sliced.column(Cols.LOSS_RATE).values, order, starts, _seq_sum
+    )
+    client = client_col.values
+    server = server_col.values
+    out: Dict[ConnKey, dict] = {}
+    for g in np.argsort(fact.first_idx):
+        i = fact.first_idx[g]
+        out[(client[i], server[i])] = {
+            "tests": int(tests[g]),
+            "tput": float(tput_sum[g]),
+            "loss": float(loss_sum[g]),
+            "paths": {},
+        }
+    # per-(connection, path) test counts, in path first-appearance order
+    path_col = sliced.column("path")
+    fact3 = kernels.factorize([client_col, server_col, path_col])
+    counts3 = kernels.group_count(fact3)
+    paths = path_col.values
+    for g in np.argsort(fact3.first_idx):
+        i = fact3.first_idx[g]
+        out[(client[i], server[i])]["paths"][paths[i]] = int(counts3[g])
+    return out
+
+
 def _per_connection_deltas(
     ndt: Table, traces: Table, min_tests: int, rarefy: bool = False
 ) -> Dict[str, list]:
@@ -122,22 +185,10 @@ def _per_connection_deltas(
     )
     per_conn: Dict[ConnKey, Dict[str, dict]] = {}
     for period in ("prewar", "wartime"):
-        sliced = slice_period(merged, period)
-        client = sliced.column("client_ip").values
-        server = sliced.column("server_ip").values
-        path = sliced.column("path").values
-        tput = sliced.column(Cols.TPUT).values
-        loss = sliced.column(Cols.LOSS_RATE).values
-        for i in range(sliced.n_rows):
-            key = (client[i], server[i])
-            entry = per_conn.setdefault(key, {})
-            p = entry.setdefault(
-                period, {"tests": 0, "paths": {}, "tput": 0.0, "loss": 0.0}
-            )
-            p["tests"] += 1
-            p["paths"][path[i]] = p["paths"].get(path[i], 0) + 1
-            p["tput"] += tput[i]
-            p["loss"] += loss[i]
+        for key, stats in _period_connection_stats(
+            slice_period(merged, period)
+        ).items():
+            per_conn.setdefault(key, {})[period] = stats
     deltas: Dict[str, list] = {"d_paths": [], "d_tput": [], "d_loss": []}
     for entry in per_conn.values():
         if "prewar" not in entry or "wartime" not in entry:
@@ -211,22 +262,10 @@ def path_performance(
     )
     per_conn: Dict[ConnKey, Dict[str, dict]] = {}
     for period in ("prewar", "wartime"):
-        sliced = slice_period(merged, period)
-        client = sliced.column("client_ip").values
-        server = sliced.column("server_ip").values
-        path = sliced.column("path").values
-        tput = sliced.column(Cols.TPUT).values
-        loss = sliced.column(Cols.LOSS_RATE).values
-        for i in range(sliced.n_rows):
-            key = (client[i], server[i])
-            entry = per_conn.setdefault(key, {})
-            p = entry.setdefault(
-                period, {"tests": 0, "paths": set(), "tput": 0.0, "loss": 0.0}
-            )
-            p["tests"] += 1
-            p["paths"].add(path[i])
-            p["tput"] += tput[i]
-            p["loss"] += loss[i]
+        for key, stats in _period_connection_stats(
+            slice_period(merged, period)
+        ).items():
+            per_conn.setdefault(key, {})[period] = stats
 
     buckets: Dict[int, Dict[str, list]] = {}
     for entry in per_conn.values():

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.analysis.common import clean_ndt, require_columns, slice_period
 from repro.analysis.periods import PERIOD_NAMES
+from repro.tables import kernels
 from repro.tables.expr import col
 from repro.tables.table import Table
 from repro.util.errors import AnalysisError
@@ -32,17 +33,22 @@ def protocol_mix_table(ndt: Table) -> Table:
         sliced = slice_period(ndt, period)
         if sliced.n_rows == 0:
             raise AnalysisError(f"no tests in period {period!r}")
-        combos: Dict[tuple, int] = {}
+        # factorize orders groups by (protocol, cca) ascending — the same
+        # order as sorting the combo dict the old loop built
+        fact = kernels.factorize(
+            [sliced.column("protocol"), sliced.column("cca")]
+        )
+        counts = kernels.group_count(fact)
         protocols = sliced.column("protocol").values
         ccas = sliced.column("cca").values
-        for proto, cca in zip(protocols, ccas):
-            combos[(proto, cca)] = combos.get((proto, cca), 0) + 1
-        for (proto, cca), count in sorted(combos.items()):
+        for g in range(fact.n_groups):
+            i = fact.first_idx[g]
+            count = int(counts[g])
             rows.append(
                 {
                     Cols.PERIOD: period,
-                    "protocol": proto,
-                    "cca": cca,
+                    "protocol": protocols[i],
+                    "cca": ccas[i],
                     "tests": count,
                     "share": count / sliced.n_rows,
                 }
@@ -58,9 +64,13 @@ def cca_mix_stable(ndt: Table, tolerance: float = 0.05) -> bool:
     """
     mix = protocol_mix_table(ndt)
     shares = {}
-    for row in mix.iter_rows():
-        if row["cca"] == "bbr":
-            shares[row[Cols.PERIOD]] = row["share"]
+    for period, cca, share in zip(
+        mix.column(Cols.PERIOD).to_list(),
+        mix.column("cca").to_list(),
+        mix.column("share").to_list(),
+    ):
+        if cca == "bbr":
+            shares[period] = share
     if "prewar" not in shares or "wartime" not in shares:
         raise AnalysisError("missing BBR share in a study period")
     return abs(shares["wartime"] - shares["prewar"]) < tolerance

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.analysis.common import clean_ndt, slice_period
 from repro.geo.gazetteer import Gazetteer
 from repro.stats.descriptive import percent_change
@@ -51,20 +53,22 @@ def oblast_summary(ndt: Table) -> Table:
     from repro.tables.table import concat
 
     merged = concat(parts)
-    prewar_counts: Dict[str, int] = {
-        r["oblast"]: r["count"]
-        for r in parts[0].iter_rows()
-    }
+    prewar_counts: Dict[str, int] = dict(
+        zip(
+            parts[0].column("oblast").to_list(),
+            parts[0].column("count").to_list(),
+        )
+    )
+    oblasts = merged.column("oblast").to_list()
+    period_names = merged.column(Cols.PERIOD).to_list()
     order = sorted(
         range(merged.n_rows),
         key=lambda i: (
-            -prewar_counts.get(merged.row(i)["oblast"], 0),
-            merged.row(i)["oblast"],
-            merged.row(i)[Cols.PERIOD],
+            -prewar_counts.get(oblasts[i], 0),
+            oblasts[i],
+            period_names[i],
         ),
     )
-    import numpy as np
-
     return merged.take(np.asarray(order))
 
 
@@ -80,11 +84,11 @@ def oblast_changes(ndt: Table, gazetteer: Gazetteer) -> Table:
     wartime = _labeled(slice_period(ndt, "wartime"))
     pre = {
         r["oblast"]: r
-        for r in prewar.group_by("oblast").aggregate(_AGG_SPEC).iter_rows()
+        for r in prewar.group_by("oblast").aggregate(_AGG_SPEC).to_dicts()
     }
     war = {
         r["oblast"]: r
-        for r in wartime.group_by("oblast").aggregate(_AGG_SPEC).iter_rows()
+        for r in wartime.group_by("oblast").aggregate(_AGG_SPEC).to_dicts()
     }
     rows = []
     for oblast in sorted(set(pre) & set(war)):
@@ -114,15 +118,21 @@ def zone_average_changes(changes: Table) -> Table:
     from swamping the zone signal.
     """
     buckets = {}
-    for r in changes.iter_rows():
+    for zone, prewar_count, d_rtt, d_tput, d_loss in zip(
+        changes.column("zone").to_list(),
+        changes.column("prewar_count").to_list(),
+        changes.column("d_rtt_pct").to_list(),
+        changes.column("d_tput_pct").to_list(),
+        changes.column("d_loss_pct").to_list(),
+    ):
         entry = buckets.setdefault(
-            r["zone"], {"w": 0.0, "rtt": 0.0, "tput": 0.0, "loss": 0.0, "n": 0}
+            zone, {"w": 0.0, "rtt": 0.0, "tput": 0.0, "loss": 0.0, "n": 0}
         )
-        w = float(r["prewar_count"])
+        w = float(prewar_count)
         entry["w"] += w
-        entry["rtt"] += w * r["d_rtt_pct"]
-        entry["tput"] += w * r["d_tput_pct"]
-        entry["loss"] += w * r["d_loss_pct"]
+        entry["rtt"] += w * d_rtt
+        entry["tput"] += w * d_tput
+        entry["loss"] += w * d_loss
         entry["n"] += 1
     rows = [
         {

@@ -62,8 +62,14 @@ def _fig3_table4(dataset: Dataset) -> str:
     parts = [
         "== Figure 3: per-oblast loss-rate change (wartime vs prewar) ==",
         bar_chart(
-            [f"{r['oblast']} [{r['zone']}]" for r in ranked.iter_rows()],
-            [r["d_loss_pct"] for r in ranked.iter_rows()],
+            [
+                f"{oblast} [{zone}]"
+                for oblast, zone in zip(
+                    ranked.column("oblast").to_list(),
+                    ranked.column("zone").to_list(),
+                )
+            ],
+            ranked.column("d_loss_pct").to_list(),
         ),
         "-- zone averages --",
         format_table(zone_average_changes(changes), float_fmt="+.1f"),
@@ -216,12 +222,16 @@ def _figs7_8(dataset: Dataset) -> str:
         for metric in (Cols.MIN_RTT, Cols.TPUT, Cols.LOSS_RATE):
             hist = metric_histogram(dataset.ndt, metric, period, bins=12)
             labels = [
-                f"{r['bin_low']:.2f}-{r['bin_high']:.2f}" for r in hist.iter_rows()
+                f"{low:.2f}-{high:.2f}"
+                for low, high in zip(
+                    hist.column("bin_low").to_list(),
+                    hist.column("bin_high").to_list(),
+                )
             ]
             parts.append(
                 bar_chart(
                     labels,
-                    [r["fraction"] * 100 for r in hist.iter_rows()],
+                    [f * 100 for f in hist.column("fraction").to_list()],
                     title=f"-- {metric}, {period} (% of tests) --",
                     value_fmt=".1f",
                 )
@@ -274,7 +284,13 @@ def _extensions(dataset: Dataset) -> str:
         stable = cca_mix_stable(dataset.ndt)
         mix = protocol_mix_table(dataset.ndt)
         bbr = {
-            r[Cols.PERIOD]: r["share"] for r in mix.iter_rows() if r["cca"] == "bbr"
+            period: share
+            for period, cca, share in zip(
+                mix.column(Cols.PERIOD).to_list(),
+                mix.column("cca").to_list(),
+                mix.column("share").to_list(),
+            )
+            if cca == "bbr"
         }
         parts.append(
             f"CCA mix stable across the invasion: {stable} "

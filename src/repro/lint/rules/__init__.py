@@ -10,6 +10,7 @@ from repro.lint.rules import (  # noqa: F401
     imports,
     mutable_defaults,
     randomness,
+    row_loops,
     schema_columns,
     typed_errors,
 )

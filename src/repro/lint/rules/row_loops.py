@@ -1,0 +1,109 @@
+"""``row-loop``: analysis code must not iterate tables row by row.
+
+The columnar engine (``tables/kernels.py``) factorizes group keys and
+reduces sorted runs in C; a Python ``for`` over ``.values`` arrays,
+``.iter_rows()`` or ``range(t.n_rows)`` silently reintroduces the
+interpreter into the per-test hot path.  This rule flags those shapes in
+``repro/analysis/`` — the package that runs once per row of a synthetic
+dataset that scales to millions of tests.
+
+Flagged iterables (directly, or nested inside ``zip``/``enumerate``):
+
+* ``x.iter_rows()`` — per-row dict materialisation;
+* ``range(x.n_rows)`` — indexed row loops;
+* a bare ``x.values`` attribute — element-wise iteration over a decoded
+  column (``d.values()`` method calls, i.e. dicts, never match).
+
+Loops that are genuinely per-group or per-distinct-value (over a
+dictionary ``pool``, ``fact.n_groups``, aggregate tables a few rows long)
+are either not matched or carry an inline suppression with a short
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["RowLoopRule"]
+
+#: Packages where per-row Python loops are a finding.
+_HOT_PACKAGES = ("repro/analysis/",)
+
+#: Wrappers looked through when inspecting a loop's iterable.
+_TRANSPARENT_CALLS = frozenset({"zip", "enumerate", "reversed", "sorted"})
+
+
+def _row_iterable_reason(node: ast.AST) -> Optional[Tuple[ast.AST, str]]:
+    """(offending node, reason) if ``node`` yields one element per table row."""
+    # x.iter_rows(...)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "iter_rows"
+    ):
+        return node, "iterates .iter_rows() (one dict per row)"
+    # range(x.n_rows)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+        and any(
+            isinstance(arg, ast.Attribute) and arg.attr == "n_rows"
+            for arg in node.args
+        )
+    ):
+        return node, "loops over range(...n_rows) (one index per row)"
+    # a bare `.values` attribute — the Column/ndarray property, never the
+    # dict method (that would be a Call)
+    if isinstance(node, ast.Attribute) and node.attr == "values":
+        return node, "iterates a .values array element-wise"
+    # zip(a.values, b.values) / enumerate(col.values) / ...
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _TRANSPARENT_CALLS
+    ):
+        for arg in node.args:
+            found = _row_iterable_reason(arg)
+            if found is not None:
+                return found
+    return None
+
+
+@register
+class RowLoopRule(Rule):
+    id = "row-loop"
+    severity = Severity.ERROR
+    description = (
+        "per-row Python loop in analysis/ (.values / .iter_rows() / "
+        "range(n_rows)); use tables.kernels or zip(col.to_list())"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if not ctx.in_package(*_HOT_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iter(ctx, node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    yield from self._check_iter(ctx, gen.iter)
+
+    def _check_iter(self, ctx: FileContext, iter_node: ast.AST) -> Iterator[Diagnostic]:
+        found = _row_iterable_reason(iter_node)
+        if found is None:
+            return
+        offender, reason = found
+        yield self.diag(
+            ctx,
+            offender,
+            f"{reason}; vectorize with tables.kernels (factorize/segment "
+            f"reduce) or iterate column lists via zip(col.to_list())",
+        )

@@ -51,6 +51,7 @@ from repro.topology.bgp import AsPath, RouteSelector, StickyRouter
 from repro.topology.builder import Topology, build_default_topology
 from repro.topology.quality import LinkQualityModel
 from repro.traceroute.scamper import ScamperSidecar
+from repro.util.errors import DataError
 from repro.util.rng import RngHub
 from repro.util.timeutil import Day, DayGrid, Period
 
@@ -412,8 +413,12 @@ class DatasetGenerator:
             for e in intensity.events_of_kind(EventKind.OUTAGE)
         }
 
-        ndt_rows: List[Dict[str, object]] = []
-        trace_rows: List[Dict[str, object]] = []
+        # Columnar accumulation: one list per schema column, appended in
+        # lockstep, handed to Table.from_dict at the end (no row-dict pivot).
+        ndt_data: Dict[str, List[object]] = {n: [] for n in NDT_SCHEMA.names}
+        trace_data: Dict[str, List[object]] = {n: [] for n in TRACE_SCHEMA.names}
+        ndt_stores = [(n, ndt_data[n]) for n in NDT_SCHEMA.names]
+        trace_stores = [(n, trace_data[n]) for n in TRACE_SCHEMA.names]
         n_unroutable = 0
         test_id = 0
 
@@ -537,7 +542,9 @@ class DatasetGenerator:
                             min_rtt_ms=rtt,
                             loss_rate=loss,
                         )
-                        ndt_rows.append(measurement.to_row())
+                        ndt_row = measurement.to_row()
+                        for name, store in ndt_stores:
+                            store.append(ndt_row[name])
                         record = sidecar.trace(
                             test_id,
                             client_ip,
@@ -549,16 +556,16 @@ class DatasetGenerator:
                         trace_row = record.to_row()
                         trace_row["day"] = day.ordinal
                         trace_row["year"] = year
-                        trace_rows.append(trace_row)
+                        for name, store in trace_stores:
+                            store.append(trace_row[name])
 
         ndt_dtypes = {f.name: f.dtype for f in NDT_SCHEMA.fields}
         trace_dtypes = {f.name: f.dtype for f in TRACE_SCHEMA.fields}
+        if not ndt_data["test_id"]:
+            raise DataError("generator produced no routable tests")
         return Dataset(
-            ndt=Table.from_rows(ndt_rows, ndt_dtypes),
-            traces=Table.from_rows(
-                [{k: r[k] for k in TRACE_SCHEMA.names} for r in trace_rows],
-                trace_dtypes,
-            ),
+            ndt=Table.from_dict(ndt_data, ndt_dtypes),
+            traces=Table.from_dict(trace_data, trace_dtypes),
             topology=topo,
             geodb=geodb,
             config=cfg,

@@ -1,0 +1,176 @@
+"""Reference row-at-a-time relational implementations.
+
+These are verbatim snapshots of the pre-vectorization ``GroupBy`` and
+``join`` hot paths: Python dict loops over rows, per-group aggregator
+calls, per-row key tuples.  They are NOT used by the engine anymore — the
+fast paths live in :mod:`repro.tables.kernels` — but they define the
+behavioral contract the kernels must reproduce, so they are kept for:
+
+* the property tests in ``tests/tables/test_kernels.py``, which assert the
+  vectorized engine produces identical tables, and
+* ``benchmarks/test_engine_perf.py``, which records the before/after
+  timings written to ``BENCH_engine.json``.
+
+Do not "optimize" this module; its slowness is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tables.column import Column
+from repro.tables.schema import DType
+from repro.tables.table import Table
+from repro.util.errors import DataError
+
+__all__ = ["legacy_aggregate", "legacy_group_index", "legacy_join", "legacy_sort_by"]
+
+
+def legacy_group_index(table: Table, keys: Sequence[str]) -> Dict[Tuple, np.ndarray]:
+    """Map each distinct key tuple to the row indices holding it (row loop)."""
+    n = table.n_rows
+    key_cols = [table.column(k).values for k in keys]
+    buckets: Dict[Tuple, List[int]] = {}
+    for i in range(n):
+        key = tuple(c[i] for c in key_cols)
+        buckets.setdefault(key, []).append(i)
+    return {k: np.asarray(v, dtype=np.intp) for k, v in buckets.items()}
+
+
+def legacy_aggregate(
+    table: Table, keys: Sequence[str], spec: Mapping[str, Tuple[str, str]]
+) -> Table:
+    """The old ``GroupBy.aggregate``: per-(group x metric) aggregator calls."""
+    from repro.tables.groupby import AGGREGATORS, _INT_AGGS
+
+    group_index = legacy_group_index(table, keys)
+    keys_sorted = sorted(
+        group_index,
+        key=lambda kt: tuple(("" if v is None else v) for v in kt),
+    )
+    out_data: Dict[str, list] = {k: [] for k in keys}
+    for out in spec:
+        out_data[out] = []
+    for key in keys_sorted:
+        idx = group_index[key]
+        for kname, kval in zip(keys, key):
+            out_data[kname].append(kval)
+        for out, (src, agg) in spec.items():
+            vals = table.column(src).values[idx]
+            out_data[out].append(AGGREGATORS[agg](vals))
+
+    cols = []
+    for kname in keys:
+        dtype = table.column(kname).dtype
+        cols.append(Column(kname, out_data[kname], dtype))
+    for out, (_src, agg) in spec.items():
+        if agg == "first":
+            dtype = table.column(spec[out][0]).dtype
+        elif agg in _INT_AGGS:
+            dtype = DType.INT
+        else:
+            dtype = DType.FLOAT
+        cols.append(Column(out, out_data[out], dtype))
+    return Table(cols)
+
+
+def _key_tuples(table: Table, keys: Sequence[str]) -> List[Tuple]:
+    cols = [table.column(k).values for k in keys]
+    return [tuple(c[i] for c in cols) for i in range(table.n_rows)]
+
+
+def legacy_join(
+    left: Table,
+    right: Table,
+    on: Union[str, Sequence[str]],
+    how: str = "inner",
+    suffix: str = "_right",
+) -> Table:
+    """The old hash join: per-row key tuples and Python dict probing."""
+    if isinstance(on, str):
+        on = [on]
+    if not on:
+        raise ValueError("join needs at least one key column")
+    if how not in ("inner", "left"):
+        raise DataError(f"unsupported join type {how!r}; use 'inner' or 'left'")
+    for k in on:
+        ldt, rdt = left.column(k).dtype, right.column(k).dtype
+        if ldt is not rdt:
+            raise DataError(
+                f"join key {k!r} dtype mismatch: left {ldt.value}, right {rdt.value}"
+            )
+
+    right_index: Dict[Tuple, List[int]] = {}
+    for i, key in enumerate(_key_tuples(right, on)):
+        right_index.setdefault(key, []).append(i)
+
+    left_take: List[int] = []
+    right_take: List[int] = []  # -1 marks "no match" for left joins
+    for i, key in enumerate(_key_tuples(left, on)):
+        matches = right_index.get(key)
+        if matches:
+            for j in matches:
+                left_take.append(i)
+                right_take.append(j)
+        elif how == "left":
+            left_take.append(i)
+            right_take.append(-1)
+
+    left_idx = np.asarray(left_take, dtype=np.intp)
+    right_idx = np.asarray(right_take, dtype=np.intp)
+    unmatched = right_idx < 0
+
+    out_cols: List[Column] = []
+    for name in left.column_names:
+        out_cols.append(left.column(name).take(left_idx))
+
+    taken_names = set(left.column_names)
+    for name in right.column_names:
+        if name in on:
+            continue
+        out_name = name if name not in taken_names else f"{name}{suffix}"
+        if out_name in taken_names:
+            raise DataError(f"join output column collision on {out_name!r}")
+        taken_names.add(out_name)
+        src = right.column(name)
+        if not unmatched.any():
+            out_cols.append(src.take(right_idx).rename(out_name))
+            continue
+        if right.n_rows == 0:
+            if src.dtype is DType.STR:
+                vals = np.full(len(left_idx), None, dtype=object)
+                out_cols.append(Column(out_name, vals, DType.STR))
+            else:
+                vals = np.full(len(left_idx), np.nan, dtype=np.float64)
+                out_cols.append(Column(out_name, vals, DType.FLOAT))
+            continue
+        safe_idx = np.where(unmatched, 0, right_idx)
+        if src.dtype is DType.STR:
+            vals = src.values[safe_idx].copy()
+            vals[unmatched] = None
+            out_cols.append(Column(out_name, vals, DType.STR))
+        else:
+            vals = src.values[safe_idx].astype(np.float64)
+            vals[unmatched] = np.nan
+            out_cols.append(Column(out_name, vals, DType.FLOAT))
+    return Table(out_cols)
+
+
+def legacy_sort_by(
+    table: Table, names: Union[str, Sequence[str]], descending: bool = False
+) -> Table:
+    """The old sort, including the ``order[::-1]`` descending-tie bug."""
+    if isinstance(names, str):
+        names = [names]
+    keys = []
+    for n in reversed(names):
+        vals = table.column(n).values
+        if vals.dtype == object:
+            vals = np.array([("" if v is None else v) for v in vals])
+        keys.append(vals)
+    order = np.lexsort(keys)
+    if descending:
+        order = order[::-1]
+    return table.take(order)

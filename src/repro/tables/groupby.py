@@ -1,11 +1,25 @@
-"""Group-by and aggregation over tables."""
+"""Group-by and aggregation over tables.
+
+The grouping itself is vectorized (:func:`repro.tables.kernels.factorize`
+maps key columns to dense group ids; no per-row Python loop).  Aggregation
+runs on two paths:
+
+* exact vectorized kernels for ``count``/``first``/``min``/``max``/
+  ``nunique`` — pure numpy, no per-group Python call;
+* :func:`~repro.tables.kernels.segment_reduce` for everything else
+  (``sum``/``mean``/``median``/``std``/percentiles and custom callables),
+  which calls the :data:`AGGREGATORS` function once per contiguous group
+  run — the slow-path fallback that keeps results bit-identical to the
+  old per-group loop.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Callable, Dict, List, Mapping, Tuple, Union
 
 import numpy as np
 
+from repro.tables import kernels
 from repro.tables.column import Column
 from repro.tables.schema import DType
 from repro.tables.table import Table
@@ -47,7 +61,15 @@ def _agg_max(values: np.ndarray) -> float:
 
 
 def _agg_nunique(values: np.ndarray) -> int:
-    return len(set(values.tolist()))
+    """Distinct values; None/NaN count as ONE value each (NaN canonicalized)."""
+    seen = set()
+    has_nan = False
+    for v in values.tolist():
+        if isinstance(v, float) and v != v:
+            has_nan = True
+        else:
+            seen.add(v)
+    return len(seen) + has_nan
 
 
 def _agg_first(values: np.ndarray):
@@ -82,6 +104,9 @@ AGGREGATORS: Dict[str, Callable[[np.ndarray], object]] = {
 #: Aggregators whose output is integer-typed.
 _INT_AGGS = {"count", "nunique"}
 
+#: Aggregators served by exact vectorized kernels (no per-group Python call).
+_FAST_AGGS = {"count", "first", "min", "max", "nunique"}
+
 
 class GroupBy:
     """A deferred grouping of a table by one or more key columns.
@@ -102,40 +127,42 @@ class GroupBy:
             table.column(k)  # raises on unknown column
         self._table = table
         self._keys = keys
-        self._group_index = self._build_index()
-
-    def _build_index(self) -> Dict[Tuple, np.ndarray]:
-        """Map each distinct key tuple to the row indices holding it."""
-        n = self._table.n_rows
-        key_cols = [self._table.column(k).values for k in self._keys]
-        buckets: Dict[Tuple, List[int]] = {}
-        for i in range(n):
-            key = tuple(c[i] for c in key_cols)
-            buckets.setdefault(key, []).append(i)
-        return {k: np.asarray(v, dtype=np.intp) for k, v in buckets.items()}
+        self._fact = kernels.factorize([table.column(k) for k in keys])
 
     @property
     def n_groups(self) -> int:
-        return len(self._group_index)
+        return self._fact.n_groups
 
     def groups(self) -> Dict[Tuple, Table]:
         """Materialize each group as its own table (small group counts only)."""
-        return {key: self._table.take(idx) for key, idx in self._group_index.items()}
+        order, starts = kernels.group_sorter(self._fact)
+        bounds = np.append(starts, len(order))
+        key_vals = [self._table.column(k).values for k in self._keys]
+        out: Dict[Tuple, Table] = {}
+        for g in range(self._fact.n_groups):
+            idx = order[bounds[g] : bounds[g + 1]]
+            key = tuple(kv[self._fact.first_idx[g]] for kv in key_vals)
+            out[key] = self._table.take(idx)
+        return out
 
-    def aggregate(self, spec: Mapping[str, Tuple[str, str]]) -> Table:
+    def aggregate(
+        self, spec: Mapping[str, Tuple[str, Union[str, Callable]]]
+    ) -> Table:
         """Aggregate each group.
 
         Parameters
         ----------
         spec:
-            ``{output_name: (input_column, aggregator)}`` where aggregator is
-            a key of :data:`AGGREGATORS`.
+            ``{output_name: (input_column, aggregator)}`` where aggregator
+            is a key of :data:`AGGREGATORS` or a custom callable
+            ``ndarray -> scalar`` (custom callables run on the slow path
+            and produce FLOAT output).
         """
         if not spec:
             raise ValueError("aggregate spec must not be empty")
         for out, (src, agg) in spec.items():
             self._table.column(src)
-            if agg not in AGGREGATORS:
+            if not callable(agg) and agg not in AGGREGATORS:
                 raise DataError(
                     f"unknown aggregator {agg!r} for output {out!r}; "
                     f"choose from {sorted(AGGREGATORS)}"
@@ -143,33 +170,41 @@ class GroupBy:
             if out in self._keys:
                 raise DataError(f"output {out!r} collides with a group key")
 
-        keys_sorted = sorted(
-            self._group_index,
-            key=lambda kt: tuple(("" if v is None else v) for v in kt),
-        )
-        out_data: Dict[str, list] = {k: [] for k in self._keys}
-        for out in spec:
-            out_data[out] = []
-        for key in keys_sorted:
-            idx = self._group_index[key]
-            for kname, kval in zip(self._keys, key):
-                out_data[kname].append(kval)
-            for out, (src, agg) in spec.items():
-                vals = self._table.column(src).values[idx]
-                out_data[out].append(AGGREGATORS[agg](vals))
-
-        cols = []
+        fact = self._fact
+        order, starts = kernels.group_sorter(fact)
+        cols: List[Column] = []
         for kname in self._keys:
-            dtype = self._table.column(kname).dtype
-            cols.append(Column(kname, out_data[kname], dtype))
-        for out, (_src, agg) in spec.items():
-            if agg == "first":
-                dtype = self._table.column(spec[out][0]).dtype
-            elif agg in _INT_AGGS:
-                dtype = DType.INT
+            cols.append(self._table.column(kname).take(fact.first_idx))
+        for out, (src, agg) in spec.items():
+            src_col = self._table.column(src)
+            if agg == "count":
+                cols.append(Column(out, kernels.group_count(fact), DType.INT))
+            elif agg == "first":
+                cols.append(src_col.take(fact.first_idx).rename(out))
+            elif agg == "nunique":
+                cols.append(
+                    Column(out, kernels.group_nunique(fact, src_col), DType.INT)
+                )
+            elif agg == "min":
+                cols.append(
+                    Column(
+                        out,
+                        kernels.group_min(src_col.values, order, starts),
+                        DType.FLOAT,
+                    )
+                )
+            elif agg == "max":
+                cols.append(
+                    Column(
+                        out,
+                        kernels.group_max(src_col.values, order, starts),
+                        DType.FLOAT,
+                    )
+                )
             else:
-                dtype = DType.FLOAT
-            cols.append(Column(out, out_data[out], dtype))
+                fn = agg if callable(agg) else AGGREGATORS[agg]
+                results = kernels.segment_reduce(src_col.values, order, starts, fn)
+                cols.append(Column(out, results, DType.FLOAT))
         return Table(cols)
 
     def counts(self, out: str = "count") -> Table:

@@ -13,6 +13,9 @@ import os
 from dataclasses import dataclass
 from typing import List, Mapping, Optional, Tuple
 
+import numpy as np
+
+from repro.tables.column import Column
 from repro.tables.schema import DType
 from repro.tables.table import Table
 from repro.util.errors import DataError, ValidationFailure
@@ -35,13 +38,12 @@ _NULL = ""  # CSV representation of a missing string
 def write_csv(table: Table, path: str) -> None:
     """Write a table as CSV with a header row."""
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    columns = [table.column(n).to_list() for n in table.column_names]
     with open(path, "w", newline="", encoding="utf-8") as fh:
         writer = csv.writer(fh)
         writer.writerow(table.column_names)
-        for row in table.iter_rows():
-            writer.writerow(
-                [_NULL if v is None else v for v in row.values()]
-            )
+        for row in zip(*columns):
+            writer.writerow([_NULL if v is None else v for v in row])
 
 
 @dataclass
@@ -91,6 +93,11 @@ def read_csv_checked(
             raise DataError(f"{path}: no dtype given for columns {missing}")
         field_dtypes = [dtypes[h] for h in header]
         data: List[List[object]] = [[] for _ in header]
+        # STR cells are interned to int codes as they stream in, so the
+        # table is born dictionary-encoded with no object-array pass.
+        interns: List[Optional[dict]] = [
+            {} if dt is DType.STR else None for dt in field_dtypes
+        ]
         bad: List[Tuple[int, str, str]] = []
         while True:
             lineno = reader.line_num + 1
@@ -122,8 +129,17 @@ def read_csv_checked(
             if reason is not None:
                 bad.append((lineno, _encode_record(record), reason))
                 continue
-            for store, value in zip(data, parsed):
-                store.append(value)
+            for store, intern, value in zip(data, interns, parsed):
+                if intern is None:
+                    store.append(value)
+                elif value is None:
+                    store.append(-1)
+                else:
+                    code = intern.get(value)
+                    if code is None:
+                        code = len(intern)
+                        intern[value] = code
+                    store.append(code)
 
     n_ok = len(data[0]) if data else 0
     report = ValidationReport(
@@ -137,10 +153,13 @@ def read_csv_checked(
         raise ValidationFailure(report)
     if bad:
         logger.warning("%s", report)
-    table = Table.from_dict(
-        {h: store for h, store in zip(header, data)},
-        dtypes={h: dtypes[h] for h in header},
-    )
+    cols = []
+    for h, dt, store, intern in zip(header, field_dtypes, data, interns):
+        if intern is None:
+            cols.append(Column(h, np.asarray(store, dtype=dt.numpy_dtype()), dt))
+        else:
+            cols.append(Column.from_interned(h, store, list(intern)))
+    table = Table(cols)
     quarantine = Table.from_dict(
         {
             "line": [b[0] for b in bad],

@@ -107,16 +107,27 @@ DERIVED_COLUMNS = frozenset(
         "border_asn",
         "border_name",
         "ua_asn",
+        "ua_name",
         "prewar",
         "wartime",
         "delta",
         # report tables: aggregate outputs and sort keys
         "tests",
         "mean",
+        "count",
         "d_loss_pct",
+        "d_rtt_pct",
+        "d_tput_pct",
         "share",
         "median_loss",
         "significant",
+        # analysis.regional: oblast-change outputs
+        "zone",
+        "prewar_count",
+        # analysis.distros: histogram bins
+        "bin_low",
+        "bin_high",
+        "fraction",
         # analysis.routing_churn / analysis.uncertainty
         "changes",
         "agree",

@@ -171,22 +171,27 @@ class Table:
         return Table([c.take(indices) for c in self._columns.values()])
 
     def sort_by(self, names: Union[str, Sequence[str]], descending: bool = False) -> "Table":
-        """Stable sort; the first listed column is the primary key."""
+        """Stable sort; the first listed column is the primary key.
+
+        Stability holds in both directions: tied rows keep their original
+        relative order.  Keys are compared as dense ranks (STR columns via
+        their dictionary pool, ``None`` treated as ``""``); descending
+        sorts negate the ranks rather than reversing the permutation, which
+        would flip tie order.
+        """
+        from repro.tables.kernels import sort_ranks
+
         if isinstance(names, str):
             names = [names]
         if not names:
             raise ValueError("sort_by needs at least one column name")
         # np.lexsort sorts by the LAST key as primary; reverse so the first
         # listed column is the primary sort key.
-        keys = []
-        for n in reversed(names):
-            vals = self.column(n).values
-            if vals.dtype == object:
-                vals = np.array([("" if v is None else v) for v in vals])
-            keys.append(vals)
-        order = np.lexsort(keys)
-        if descending:
-            order = order[::-1]
+        keys = [
+            sort_ranks(self.column(n), descending=descending)
+            for n in reversed(names)
+        ]
+        order = np.lexsort(tuple(keys))
         return self.take(order)
 
     def head(self, n: int) -> "Table":
@@ -251,6 +256,7 @@ def concat(parts: Sequence[Table]) -> Table:
             )
     cols = []
     for f in schema.fields:
-        stacked = np.concatenate([t.column(f.name).values for t in parts])
-        cols.append(Column(f.name, stacked, f.dtype))
+        # Column.concat merges dictionary pools for STR columns instead of
+        # decoding and re-encoding object arrays.
+        cols.append(Column.concat([t.column(f.name) for t in parts]))
     return Table(cols)

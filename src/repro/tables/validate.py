@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -229,18 +229,24 @@ def validate_table(
     log = log or logger
     n = table.n_rows
     bad_any = np.zeros(n, dtype=bool)
-    reasons: List[List[str]] = [[] for _ in range(n)]
+    rule_masks: List[Tuple[str, np.ndarray]] = []
     reason_counts: Dict[str, int] = {}
     for rule in rules:
         bad = rule.bad_mask(table)
         count = int(bad.sum())
         if count:
             reason_counts[rule.name] = reason_counts.get(rule.name, 0) + count
-            for i in np.nonzero(bad)[0]:
-                reasons[i].append(rule.name)
+            rule_masks.append((rule.name, bad))
         bad_any |= bad
 
     n_bad = int(bad_any.sum())
+    # reason strings are assembled only for the quarantined rows — no
+    # per-row bookkeeping over the (much larger) clean majority
+    bad_idx = np.nonzero(bad_any)[0]
+    reasons: List[List[str]] = [[] for _ in range(n_bad)]
+    for rule_name, bad in rule_masks:
+        for j in np.nonzero(bad[bad_idx])[0]:
+            reasons[j].append(rule_name)
     report = ValidationReport(
         name=name,
         n_input=n,
@@ -251,7 +257,7 @@ def validate_table(
     clean = table.filter(~bad_any)
     quarantined = table.filter(bad_any)
     reason_values = np.empty(n_bad, dtype=object)
-    reason_values[:] = ["; ".join(reasons[i]) for i in np.nonzero(bad_any)[0]]
+    reason_values[:] = ["; ".join(parts) for parts in reasons]
     quarantine = quarantined.with_column(REASON_COLUMN, reason_values, DType.STR)
 
     if n_bad:

@@ -1,0 +1,99 @@
+"""The row-loop rule: per-row Python loops in analysis/ are findings."""
+
+RULE = ["row-loop"]
+HOT = "repro/analysis/snippet.py"
+
+
+class TestFlagged:
+    def test_for_over_values(self, lint_snippet):
+        diags = lint_snippet(
+            "for v in table.column('x').values:\n    pass\n",
+            RULE,
+            relpath=HOT,
+        )
+        assert len(diags) == 1
+        assert ".values" in diags[0].message
+
+    def test_for_over_iter_rows(self, lint_snippet):
+        diags = lint_snippet(
+            "for r in table.iter_rows():\n    pass\n", RULE, relpath=HOT
+        )
+        assert len(diags) == 1
+        assert "iter_rows" in diags[0].message
+
+    def test_range_n_rows(self, lint_snippet):
+        diags = lint_snippet(
+            "for i in range(table.n_rows):\n    pass\n", RULE, relpath=HOT
+        )
+        assert len(diags) == 1
+        assert "n_rows" in diags[0].message
+
+    def test_zip_of_values(self, lint_snippet):
+        diags = lint_snippet(
+            "for a, b in zip(t.column('x').values, t.column('y').values):\n"
+            "    pass\n",
+            RULE,
+            relpath=HOT,
+        )
+        assert len(diags) == 1
+
+    def test_enumerate_values(self, lint_snippet):
+        diags = lint_snippet(
+            "for i, v in enumerate(col.values):\n    pass\n", RULE, relpath=HOT
+        )
+        assert len(diags) == 1
+
+    def test_comprehension(self, lint_snippet):
+        diags = lint_snippet(
+            "out = [r['x'] for r in table.iter_rows()]\n", RULE, relpath=HOT
+        )
+        assert len(diags) == 1
+
+
+class TestAllowed:
+    def test_outside_analysis_package(self, lint_snippet):
+        # The same loop is fine in cold packages (viz, cli, tests helpers).
+        diags = lint_snippet(
+            "for v in table.column('x').values:\n    pass\n",
+            RULE,
+            relpath="repro/viz/snippet.py",
+        )
+        assert diags == []
+
+    def test_dict_values_method_call(self, lint_snippet):
+        diags = lint_snippet(
+            "for v in mapping.values():\n    pass\n", RULE, relpath=HOT
+        )
+        assert diags == []
+
+    def test_zip_of_to_list(self, lint_snippet):
+        diags = lint_snippet(
+            "for a, b in zip(t.column('x').to_list(), t.column('y').to_list()):\n"
+            "    pass\n",
+            RULE,
+            relpath=HOT,
+        )
+        assert diags == []
+
+    def test_range_n_groups(self, lint_snippet):
+        # Per-group loops (bounded by distinct keys, not rows) are the
+        # intended replacement pattern.
+        diags = lint_snippet(
+            "for g in range(fact.n_groups):\n    pass\n", RULE, relpath=HOT
+        )
+        assert diags == []
+
+    def test_vectorized_use_of_values(self, lint_snippet):
+        diags = lint_snippet(
+            "m = np.mean(t.column('x').values)\n", RULE, relpath=HOT
+        )
+        assert diags == []
+
+    def test_inline_suppression(self, lint_snippet):
+        diags = lint_snippet(
+            "for r in t.iter_rows():  # repro-lint: disable=row-loop\n"
+            "    pass\n",
+            RULE,
+            relpath=HOT,
+        )
+        assert diags == []
