@@ -3,11 +3,26 @@
 # tests/lint/test_codebase_clean.py.
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+OBS_SMOKE_DIR := results/obs-smoke
 
-.PHONY: test lint lint-json baseline bench bench-engine
+.PHONY: test unit obs-smoke lint lint-json baseline bench bench-engine bench-obs
 
-test:
+test: unit obs-smoke
+
+unit:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+# End-to-end observability smoke: a small traced+metered pipeline run via
+# the real CLI, then validate run_report.json against the checked-in
+# schema (docs/run_report.schema.json).  Part of the default `make test`.
+obs-smoke:
+	rm -rf $(OBS_SMOKE_DIR)
+	PYTHONPATH=$(PYTHONPATH) python -m repro --trace --metrics \
+		--obs-dir $(OBS_SMOKE_DIR) --scale 0.02 experiment table1 >/dev/null
+	PYTHONPATH=$(PYTHONPATH) python -m repro obs validate \
+		$(OBS_SMOKE_DIR)/run_report.json
+	PYTHONPATH=$(PYTHONPATH) python -m repro obs summarize \
+		--report $(OBS_SMOKE_DIR)/run_report.json
 
 lint:
 	PYTHONPATH=$(PYTHONPATH) python -m repro lint
@@ -27,3 +42,8 @@ bench:
 # records before/after timings in BENCH_engine.json.
 bench-engine:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q benchmarks/test_engine_perf.py
+
+# Obs overhead baseline: disabled instrumentation must stay under 3% of
+# group-by/join kernel time; records the bound in BENCH_obs.json.
+bench-obs:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q benchmarks/test_obs_overhead.py

@@ -6,6 +6,7 @@ from typing import List
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.asn_metrics import (
     PAPER_TOP10_ASNS,
     as_change_table,
@@ -32,6 +33,7 @@ from repro.tables.schema import Cols
 __all__ = ["full_report"]
 
 
+@obs.traced("analysis.fig2")
 def _fig2(dataset: Dataset) -> str:
     parts: List[str] = ["== Figure 2: daily national means (2022; ':' marks Feb 24) =="]
     daily = national_daily(dataset.ndt, 2022)
@@ -56,6 +58,7 @@ def _fig2(dataset: Dataset) -> str:
     return "\n".join(parts)
 
 
+@obs.traced("analysis.fig3_table4")
 def _fig3_table4(dataset: Dataset) -> str:
     changes = oblast_changes(dataset.ndt, dataset.topology.gazetteer)
     ranked = changes.sort_by("d_loss_pct", descending=True)
@@ -83,6 +86,7 @@ def _fig3_table4(dataset: Dataset) -> str:
     return "\n".join(parts)
 
 
+@obs.traced("analysis.table1")
 def _table1(dataset: Dataset) -> str:
     table = city_welch_table(dataset.ndt)
     return "\n".join(
@@ -103,6 +107,7 @@ def _table1(dataset: Dataset) -> str:
     )
 
 
+@obs.traced("analysis.fig4")
 def _fig4(dataset: Dataset) -> str:
     counts = siege_city_counts(dataset.ndt)
     marker = counts.column("day").to_list().index(invasion_day_ordinal())
@@ -119,6 +124,7 @@ def _fig4(dataset: Dataset) -> str:
     return "\n".join(parts)
 
 
+@obs.traced("analysis.table2_fig9")
 def _table2_fig9(dataset: Dataset) -> str:
     parts = [
         "== Table 2: paths and tests per connection (top-1000) ==",
@@ -138,6 +144,7 @@ def _table2_fig9(dataset: Dataset) -> str:
     return "\n".join(parts)
 
 
+@obs.traced("analysis.tables_3_5_6")
 def _tables_3_5_6(dataset: Dataset) -> str:
     ndt = client_as_column(dataset.ndt, dataset.topology.iplayer)
     registry = dataset.topology.registry
@@ -179,6 +186,7 @@ def _tables_3_5_6(dataset: Dataset) -> str:
     )
 
 
+@obs.traced("analysis.fig5")
 def _fig5(dataset: Dataset) -> str:
     counts = border_crossing_counts(dataset.traces, dataset.topology.registry)
     rows, cols, delta, absent = border_shift_matrix(counts)
@@ -192,6 +200,7 @@ def _fig5(dataset: Dataset) -> str:
     )
 
 
+@obs.traced("analysis.fig6")
 def _fig6(dataset: Dataset) -> str:
     weekly = inbound_weekly(
         dataset.ndt, dataset.traces, dataset.topology.registry
@@ -216,6 +225,7 @@ def _fig6(dataset: Dataset) -> str:
     return "\n".join(parts)
 
 
+@obs.traced("analysis.figs7_8")
 def _figs7_8(dataset: Dataset) -> str:
     parts = ["== Figures 7-8: metric distributions =="]
     for period in ("prewar", "wartime"):
@@ -239,6 +249,7 @@ def _figs7_8(dataset: Dataset) -> str:
     return "\n".join(parts)
 
 
+@obs.traced("analysis.extensions")
 def _extensions(dataset: Dataset) -> str:
     from repro.analysis.events_impact import event_impact_table
     from repro.analysis.outages import detect_outage_days
@@ -303,6 +314,7 @@ def _extensions(dataset: Dataset) -> str:
     return "\n".join(parts)
 
 
+@obs.traced("analysis.full_report")
 def full_report(dataset: Dataset) -> str:
     """Every reproduced table and figure, as one text document."""
     sections = [

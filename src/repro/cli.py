@@ -8,9 +8,12 @@ Subcommands
                experiments) and print the full reproduction report.  One
                failing experiment degrades gracefully: the other seventeen
                still print and the exit code turns nonzero.
+``run``        Alias for ``report`` (the canonical spelling in docs).
 ``experiment`` Run a single experiment (table1, table2, ..., fig9).
 ``scenarios``  Compare key findings across ablation scenarios.
 ``lint``       Run the repo's static-analysis rules (see docs/LINT.md).
+``obs``        Summarize / diff / validate observability artifacts
+               (see docs/OBSERVABILITY.md).
 
 Exit codes
 ----------
@@ -26,16 +29,36 @@ Fault-tolerance flags (global)
 ``--strict``                 raise on malformed rows instead of quarantining.
 ``--resume``                 reuse stage checkpoints from a previous run.
 ``--checkpoint-dir DIR``     where checkpoints live (results/.checkpoints).
+
+Observability flags (global)
+----------------------------
+``--trace``             record nested spans; write ``trace.jsonl`` + the
+                        Chrome ``chrome://tracing`` view under ``--obs-dir``.
+``--trace-out PATH``    JSONL trace path (implies ``--trace``).
+``--metrics``           record counters/histograms; write ``metrics.json``.
+``--metrics-out PATH``  metrics snapshot path (implies ``--metrics``).
+``--obs-dir DIR``       artifact directory (default: results/obs); a traced
+                        or metered run also writes ``run_report.json`` +
+                        ``run_report.txt`` there.
+``--log LEVEL``         log verbosity (debug|info|warn|error); the
+                        ``REPRO_LOG`` env var is honored when absent.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.faults import PROFILES, FaultInjector, get_profile
 from repro.lint import cli as lint_cli
+from repro.obs import cli as obs_cli
+from repro.obs.export import write_chrome_trace, write_spans_jsonl
+from repro.obs.metrics import snapshot_to_json
+from repro.obs.report import build_run_report, write_run_report
+from repro.runtime.checkpoint import config_key
 from repro.runtime.run import (
     DEFAULT_CHECKPOINT_DIR,
     EXIT_ANALYSIS,
@@ -87,12 +110,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint-dir", default=DEFAULT_CHECKPOINT_DIR,
         help="stage checkpoint directory (default: %(default)s)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record spans; write trace.jsonl + Chrome trace under --obs-dir",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="JSONL trace path (implies --trace; default: <obs-dir>/trace.jsonl)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="record counters/histograms; write metrics.json under --obs-dir",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="metrics snapshot path (implies --metrics; "
+        "default: <obs-dir>/metrics.json)",
+    )
+    parser.add_argument(
+        "--obs-dir", default=os.path.join("results", "obs"),
+        help="observability artifact directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--log", default=None, metavar="LEVEL",
+        choices=("debug", "info", "warn", "warning", "error"),
+        help="log verbosity (default: REPRO_LOG env var, else info)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate the dataset and write CSVs")
     gen.add_argument("--out", default="results", help="output directory")
 
     sub.add_parser("report", help="print the full reproduction report")
+    sub.add_parser("run", help="alias for 'report'")
 
     exp = sub.add_parser("experiment", help="run one experiment")
     exp.add_argument("name", choices=_EXPERIMENTS)
@@ -107,7 +157,73 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("topology", help="print the simulated topology summary")
 
     lint_cli.configure_parser(sub)
+    obs_cli.configure_parser(sub)
     return parser
+
+
+def _obs_wanted(args) -> bool:
+    return bool(
+        getattr(args, "trace", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "metrics", False)
+        or getattr(args, "metrics_out", None)
+    )
+
+
+def _run_id(args) -> str:
+    config = GeneratorConfig(seed=args.seed, scale=args.scale)
+    return config_key(
+        config, extra={"faults": args.inject_faults or "none"}
+    )[:8]
+
+
+def _obs_setup(args) -> None:
+    """Enable the requested pillars before the pipeline starts."""
+    obs.set_run_context(run_id=_run_id(args))
+    if not _obs_wanted(args):
+        return
+    trace_on = bool(args.trace or args.trace_out)
+    metrics_on = bool(args.metrics or args.metrics_out)
+    obs.enable(trace=trace_on, metrics=metrics_on)
+
+
+def _obs_finish(args, report, gates=None, injection=None) -> None:
+    """Write the artifacts a traced/metered run promised; print their paths."""
+    if not _obs_wanted(args):
+        return
+    written = []
+    tracer = obs.tracer()
+    if tracer is not None:
+        trace_path = args.trace_out or os.path.join(args.obs_dir, "trace.jsonl")
+        write_spans_jsonl(tracer, trace_path)
+        chrome_path = os.path.join(
+            os.path.dirname(os.path.abspath(trace_path)), "trace_chrome.json"
+        )
+        write_chrome_trace(tracer, chrome_path)
+        written += [trace_path, chrome_path]
+    snapshot = obs.metrics_snapshot() if obs.metrics_enabled() else None
+    if snapshot is not None:
+        metrics_path = args.metrics_out or os.path.join(
+            args.obs_dir, "metrics.json"
+        )
+        os.makedirs(os.path.dirname(os.path.abspath(metrics_path)), exist_ok=True)
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            fh.write(snapshot_to_json(snapshot))
+        written.append(metrics_path)
+    if report is not None:
+        data = build_run_report(
+            report,
+            run_id=_run_id(args),
+            tracer=tracer,
+            metrics_snapshot=snapshot,
+            gates=gates,
+            injection=injection,
+        )
+        paths = write_run_report(data, args.obs_dir)
+        written += [paths["json"], paths["txt"]]
+    obs.disable()
+    for path in written:
+        print(f"obs: wrote {path}", file=sys.stderr)
 
 
 def _generate(args) -> "object":
@@ -153,14 +269,22 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    _obs_setup(args)
     try:
         run = _run_pipeline(args)
     except PipelineError as exc:
         partial = getattr(exc, "partial_run", None)
         if partial is not None:
             print(partial.render(), file=sys.stderr)
+            _obs_finish(
+                args, partial.report,
+                gates=partial.gates, injection=partial.injection,
+            )
+        else:
+            _obs_finish(args, None)
         print(f"error: generation failed: {exc}", file=sys.stderr)
         return EXIT_GENERATION
+    _obs_finish(args, run.report, gates=run.gates, injection=run.injection)
     print(run.render())
     if run.exit_code != EXIT_OK:
         failed = ", ".join(r.name for r in run.report.failures())
@@ -169,11 +293,15 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
+    _obs_setup(args)
     try:
         run = _run_pipeline(args, experiments=[args.name])
     except PipelineError as exc:
+        partial = getattr(exc, "partial_run", None)
+        _obs_finish(args, partial.report if partial is not None else None)
         print(f"error: generation failed: {exc}", file=sys.stderr)
         return EXIT_GENERATION
+    _obs_finish(args, run.report, gates=run.gates, injection=run.injection)
     if args.name in run.sections:
         print(run.sections[args.name])
     for failure in run.report.failures():
@@ -257,17 +385,26 @@ def _cmd_topology(args) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    obs.configure_logging(getattr(args, "log", None))
     handlers = {
         "generate": _cmd_generate,
         "report": _cmd_report,
+        "run": _cmd_report,
         "experiment": _cmd_experiment,
         "scenarios": _cmd_scenarios,
         "validate": _cmd_validate,
         "topology": _cmd_topology,
         "lint": lint_cli.cmd_lint,
+        "obs": obs_cli.cmd_obs,
     }
     try:
         return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout went away (``repro ... | head``); exit quietly like a
+        # well-behaved unix tool.  Redirect to devnull so the interpreter's
+        # shutdown flush doesn't traceback on the dead pipe.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     except ReproError as exc:
         # Last-resort net: no typed error may escape as a traceback.
         print(f"error: {exc}", file=sys.stderr)

@@ -28,6 +28,10 @@ DEFAULT_FORBIDDEN_IMPORTS: Mapping[str, str] = {
 #: Files (posix-path suffixes) where direct RNG construction is the point.
 DEFAULT_RNG_ALLOWED: Tuple[str, ...] = ("repro/util/rng.py",)
 
+#: Path fragments where reading wall/monotonic clocks directly is the point:
+#: the obs clock shim wraps them once, and benchmarks time real work.
+DEFAULT_TIMING_ALLOWED: Tuple[str, ...] = ("repro/obs/", "benchmarks/")
+
 #: Subpackages where raising builtin ``ValueError``/``TypeError``/``KeyError``
 #: is a finding even though the repo-wide convention allows them for argument
 #: validation: these packages have dedicated typed errors (``AnalysisError``,
@@ -61,6 +65,7 @@ class LintConfig:
     )
     rng_allowed_files: Tuple[str, ...] = DEFAULT_RNG_ALLOWED
     typed_error_strict_packages: Tuple[str, ...] = DEFAULT_TYPED_ERROR_STRICT
+    timing_allowed_packages: Tuple[str, ...] = DEFAULT_TIMING_ALLOWED
 
 
 class FileContext:

@@ -6,6 +6,7 @@ Add a rule by dropping a module here that defines a ``@register``-decorated
 """
 
 from repro.lint.rules import (  # noqa: F401
+    bare_timing,
     float_equality,
     imports,
     mutable_defaults,

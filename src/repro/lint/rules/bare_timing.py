@@ -1,0 +1,93 @@
+"""``no-bare-timing``: clock reads go through ``repro.obs``.
+
+Scattered ``time.time()`` / ``time.perf_counter()`` calls are how ad-hoc
+timing creeps back in after an observability layer exists: the readings
+never reach the trace, the metrics registry, or the run report, and tests
+cannot substitute a fake clock.  Outside ``repro/obs/`` (home of the one
+sanctioned shim, :mod:`repro.obs.clock`) and ``benchmarks/`` this rule
+flags
+
+* any use — call or bare reference — of ``time.time``,
+  ``time.perf_counter``, ``time.monotonic``, ``time.process_time`` or
+  their ``_ns`` variants,
+* ``from time import perf_counter``-style imports of those names (the
+  later call sites would otherwise hide behind a bare name).
+
+``time.sleep`` and plain ``import time`` stay legal: sleeping is not
+timing, and the module import is how ``sleep`` arrives.  Measure with
+``obs.span(...)``/``@obs.traced`` and read clocks via
+``repro.obs.clock.monotonic``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import Rule, register
+
+__all__ = ["BareTimingRule"]
+
+#: time-module attributes that read a clock.
+_CLOCK_READS = frozenset(
+    {
+        "time",
+        "perf_counter",
+        "monotonic",
+        "process_time",
+        "time_ns",
+        "perf_counter_ns",
+        "monotonic_ns",
+        "process_time_ns",
+    }
+)
+
+
+@register
+class BareTimingRule(Rule):
+    id = "no-bare-timing"
+    severity = Severity.ERROR
+    description = (
+        "direct time.time()/time.perf_counter() use outside repro/obs/ and "
+        "benchmarks/; use obs.span or repro.obs.clock"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if ctx.in_package(*ctx.config.timing_allowed_packages):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(ctx, node)
+            elif isinstance(node, ast.Attribute):
+                yield from self._check_attribute(ctx, node)
+
+    def _check_import_from(
+        self, ctx: FileContext, node: ast.ImportFrom
+    ) -> Iterator[Diagnostic]:
+        if node.module != "time":
+            return
+        for alias in node.names:
+            if alias.name in _CLOCK_READS:
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"import of time.{alias.name} hides a clock read behind "
+                    f"a bare name; use repro.obs.clock instead",
+                )
+
+    def _check_attribute(
+        self, ctx: FileContext, node: ast.Attribute
+    ) -> Iterator[Diagnostic]:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "time"
+            and node.attr in _CLOCK_READS
+        ):
+            yield self.diag(
+                ctx,
+                node,
+                f"bare time.{node.attr} bypasses the obs layer; time blocks "
+                f"with obs.span(...) or read repro.obs.clock.monotonic",
+            )

@@ -1,0 +1,192 @@
+"""The ``repro obs`` subcommand: inspect observability artifacts offline.
+
+``summarize``  Digest a JSONL trace and/or a ``run_report.json`` into the
+               per-stage table and hottest-span list without rerunning
+               anything.
+``diff``       Compare two metrics snapshots (or the ``metrics`` section
+               of two run reports): counter/gauge deltas and histogram
+               count/sum drift between runs.
+``validate``   Check a ``run_report.json`` against the checked-in schema
+               (``docs/run_report.schema.json``); exit 1 on violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+from repro.obs.export import read_spans_jsonl
+from repro.obs.metrics import diff_snapshots
+from repro.obs.report import render_run_report, validate_run_report
+from repro.util.errors import ReproError
+
+__all__ = ["cmd_obs", "configure_parser"]
+
+
+def configure_parser(sub: argparse._SubParsersAction) -> None:
+    obs = sub.add_parser(
+        "obs",
+        help="summarize / diff / validate observability artifacts",
+        description=(
+            "Offline tools over the artifacts a traced run writes under "
+            "--obs-dir: the JSONL span trace, the metrics snapshot, and "
+            "run_report.json.  See docs/OBSERVABILITY.md."
+        ),
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    summ = obs_sub.add_parser(
+        "summarize", help="per-stage table and hottest spans from artifacts"
+    )
+    summ.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="run_report.json to render (default: none)",
+    )
+    summ.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="JSONL trace to digest (default: none)",
+    )
+    summ.add_argument(
+        "--top", type=int, default=10, help="span count to show (default: 10)"
+    )
+
+    diff = obs_sub.add_parser(
+        "diff", help="metric deltas between two snapshots or run reports"
+    )
+    diff.add_argument("before", help="metrics.json or run_report.json")
+    diff.add_argument("after", help="metrics.json or run_report.json")
+
+    val = obs_sub.add_parser(
+        "validate", help="check run_report.json against the schema"
+    )
+    val.add_argument("report", help="path to run_report.json")
+    val.add_argument(
+        "--schema", default=None,
+        help="schema path (default: docs/run_report.schema.json)",
+    )
+
+
+def _load_json(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        raise ReproError(f"no such file: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from exc
+
+
+def _load_snapshot(path: str) -> Dict[str, Any]:
+    """A metrics snapshot, from either metrics.json or a run report."""
+    data = _load_json(path)
+    if "counters" in data or "histograms" in data:
+        return data
+    if "metrics" in data:
+        return data["metrics"] or {}
+    raise ReproError(
+        f"{path} is neither a metrics snapshot nor a run report "
+        f"(expected 'counters' or 'metrics' keys)"
+    )
+
+
+def _summarize_trace(path: str, top: int) -> str:
+    spans = read_spans_jsonl(path)
+    closed = [s for s in spans if s.get("end_s") is not None]
+    lines: List[str] = [
+        f"trace {path}: {len(spans)} spans "
+        f"({len(spans) - len(closed)} left open)"
+    ]
+    by_name: Dict[str, Dict[str, float]] = {}
+    for s in closed:
+        agg = by_name.setdefault(s["name"], {"n": 0, "total_s": 0.0})
+        agg["n"] += 1
+        agg["total_s"] += s["duration_s"]
+    lines.append(f"{'span name':<36s} {'calls':>6s} {'total_s':>9s} {'mean_ms':>9s}")
+    ranked = sorted(by_name.items(), key=lambda kv: -kv[1]["total_s"])
+    for name, agg in ranked[:top]:
+        mean_ms = agg["total_s"] / agg["n"] * 1000.0
+        lines.append(
+            f"{name:<36s} {int(agg['n']):>6d} {agg['total_s']:>9.4f} "
+            f"{mean_ms:>9.3f}"
+        )
+    if len(ranked) > top:
+        lines.append(f"... {len(ranked) - top} more span names")
+    return "\n".join(lines)
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    if args.report is None and args.trace is None:
+        print(
+            "error: obs summarize needs --report and/or --trace",
+            file=sys.stderr,
+        )
+        return 2
+    parts: List[str] = []
+    if args.report is not None:
+        parts.append(render_run_report(_load_json(args.report)).rstrip("\n"))
+    if args.trace is not None:
+        parts.append(_summarize_trace(args.trace, args.top))
+    print("\n\n".join(parts))
+    return 0
+
+
+def _fmt_value(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    before = _load_snapshot(args.before)
+    after = _load_snapshot(args.after)
+    delta = diff_snapshots(before, after)
+    lines: List[str] = [f"metrics diff: {args.before} -> {args.after}"]
+    changed = False
+    for kind in ("counters", "gauges"):
+        for name, d in delta[kind].items():
+            changed = True
+            lines.append(
+                f"  {kind[:-1]} {name}: {_fmt_value(d['before'])} -> "
+                f"{_fmt_value(d['after'])} ({d['delta']:+g})"
+            )
+    for name, d in delta["histograms"].items():
+        changed = True
+        lines.append(
+            f"  histogram {name}: count {d['count_delta']:+d}, "
+            f"sum {d['sum_delta']:+.6g}"
+        )
+    for name in delta["added"]:
+        changed = True
+        lines.append(f"  added {name}")
+    for name in delta["removed"]:
+        changed = True
+        lines.append(f"  removed {name}")
+    if not changed:
+        lines.append("  (no differences)")
+    print("\n".join(lines))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    data = _load_json(args.report)
+    schema = _load_json(args.schema) if args.schema else None
+    errors = validate_run_report(data, schema)
+    if errors:
+        for err in errors:
+            print(f"schema violation: {err}", file=sys.stderr)
+        return 1
+    stages = len(data.get("stages", []))
+    print(f"{args.report}: valid (schema v{data.get('schema_version')}, "
+          f"{stages} stages)")
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    handlers = {
+        "summarize": _cmd_summarize,
+        "diff": _cmd_diff,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.obs_command](args)

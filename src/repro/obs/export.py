@@ -1,0 +1,105 @@
+"""Trace export: JSONL span records and the Chrome ``chrome://tracing`` view.
+
+Two formats, one source of truth:
+
+* **JSONL** — one :meth:`SpanRecord.to_dict` object per line, in span
+  *start* order.  Greppable, streamable, and what ``repro obs summarize``
+  reads back.
+* **Chrome trace JSON** — the Trace Event Format's complete-event
+  (``"ph": "X"``) encoding, loadable in ``chrome://tracing`` or Perfetto
+  for a flame-graph view of a run.  Times are microseconds relative to
+  the tracer epoch; nesting falls out of the timestamps, so parent ids
+  ride along in ``args`` only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.trace import SpanRecord, Tracer
+
+__all__ = [
+    "read_spans_jsonl",
+    "spans_to_chrome",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]
+
+
+def _records(tracer_or_spans) -> List[SpanRecord]:
+    if isinstance(tracer_or_spans, Tracer):
+        return list(tracer_or_spans.spans)
+    return list(tracer_or_spans)
+
+
+def write_spans_jsonl(tracer_or_spans, path: str) -> int:
+    """Write spans as JSONL (one object per line); returns the span count."""
+    records = _records(tracer_or_spans)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec.to_dict(), sort_keys=True))
+            fh.write("\n")
+    return len(records)
+
+
+def read_spans_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into plain dicts (blank lines skipped)."""
+    out: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def spans_to_chrome(
+    tracer_or_spans, process_name: str = "repro"
+) -> Dict[str, Any]:
+    """The Trace Event Format document for a tracer's spans.
+
+    Open spans (no end time) are exported as zero-duration events so a
+    crashed run's trace still loads.
+    """
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for rec in _records(tracer_or_spans):
+        end_s = rec.end_s if rec.end_s is not None else rec.start_s
+        args: Dict[str, Any] = {k: rec.attrs[k] for k in sorted(rec.attrs)}
+        args["span_id"] = rec.span_id
+        if rec.parent_id is not None:
+            args["parent_id"] = rec.parent_id
+        events.append(
+            {
+                "name": rec.name,
+                "ph": "X",
+                "ts": rec.start_s * 1e6,
+                "dur": (end_s - rec.start_s) * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    tracer_or_spans, path: str, process_name: str = "repro"
+) -> str:
+    """Write the Chrome trace view next to the JSONL export."""
+    doc = spans_to_chrome(tracer_or_spans, process_name=process_name)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True)
+        fh.write("\n")
+    return path

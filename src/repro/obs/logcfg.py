@@ -1,0 +1,134 @@
+"""One logging setup for the whole repo: run-id and stage on every line.
+
+Every module keeps using ``logging.getLogger(__name__)`` (or the
+:func:`get_logger` convenience); what changes is that exactly one place —
+:func:`configure_logging`, called once by the CLI — installs a handler on
+the ``repro`` parent logger with a single format::
+
+    2022-02-24 06:00:00 W [run=1a2b3c4d/ingest] repro.runtime.ingest: ...
+
+The run id and current stage are injected by a :class:`logging.Filter`
+reading module-level context that the pipeline updates via
+:func:`stage_scope`; modules never format them by hand.  Verbosity comes
+from the ``REPRO_LOG`` environment variable (``debug`` / ``info`` /
+``warn`` / ``error``) unless an explicit ``verbosity`` argument wins.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "configure_logging",
+    "current_stage",
+    "get_logger",
+    "set_run_context",
+    "stage_scope",
+]
+
+ENV_VAR = "REPRO_LOG"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warn": logging.WARNING,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+LOG_FORMAT = (
+    "%(asctime)s %(levelname).1s [run=%(run_id)s/%(stage)s] "
+    "%(name)s: %(message)s"
+)
+DATE_FORMAT = "%Y-%m-%d %H:%M:%S"
+
+#: Mutable run context the filter stamps onto every record.
+_context = {"run_id": "-", "stage": "-"}
+
+
+class _RunContextFilter(logging.Filter):
+    """Injects ``run_id`` / ``stage`` fields into every log record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.run_id = _context["run_id"]
+        record.stage = _context["stage"]
+        return True
+
+
+def set_run_context(
+    run_id: Optional[str] = None, stage: Optional[str] = None
+) -> None:
+    """Update the fields stamped onto subsequent log lines."""
+    if run_id is not None:
+        _context["run_id"] = run_id or "-"
+    if stage is not None:
+        _context["stage"] = stage or "-"
+
+
+def current_stage() -> str:
+    """The stage name log lines are currently attributed to (``-`` if none)."""
+    return _context["stage"]
+
+
+@contextmanager
+def stage_scope(stage: str) -> Iterator[None]:
+    """Attribute log lines (and nested scopes) to ``stage`` while inside."""
+    previous = _context["stage"]
+    _context["stage"] = stage or "-"
+    try:
+        yield
+    finally:
+        _context["stage"] = previous
+
+
+def _resolve_level(verbosity: Optional[str]) -> int:
+    raw = verbosity if verbosity is not None else os.environ.get(ENV_VAR, "info")
+    level = _LEVELS.get(str(raw).strip().lower())
+    if level is None:
+        # An env-var typo must not kill a run; fall back loudly.
+        sys.stderr.write(
+            f"repro: unknown {ENV_VAR} level {raw!r}; "
+            f"using 'info' (choices: {', '.join(sorted(set(_LEVELS)))})\n"
+        )
+        return logging.INFO
+    return level
+
+
+def configure_logging(
+    verbosity: Optional[str] = None,
+    run_id: Optional[str] = None,
+    stream=None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree; returns the parent logger.
+
+    Idempotent: calling it again replaces the previously installed
+    handler instead of stacking duplicates, so tests and repeated CLI
+    invocations in one process stay single-line.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(_resolve_level(verbosity))
+    if run_id is not None:
+        set_run_context(run_id=run_id)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT, DATE_FORMAT))
+    handler.addFilter(_RunContextFilter())
+    for old in [h for h in logger.handlers if getattr(h, "_repro_obs", False)]:
+        logger.removeHandler(old)
+    handler._repro_obs = True
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """``logging.getLogger`` with the repo's conventions documented in one place.
+
+    Exists so modules can signal "this logger is wired into the obs
+    format" without importing ``logging`` themselves; the returned logger
+    is the plain stdlib object.
+    """
+    return logging.getLogger(name)

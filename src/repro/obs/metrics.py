@@ -1,0 +1,277 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately boring: plain Python objects, no locks, no
+background threads, and a :meth:`MetricsRegistry.snapshot` that is a
+deterministic JSON-ready dict (names sorted, bucket labels derived from
+the bounds).  Determinism is load-bearing — snapshots are diffed between
+runs (``repro obs diff``) and round-tripped through JSON byte-identically
+in tests, so a metric may only hold ints, floats, and strings.
+
+Naming convention (see ``docs/OBSERVABILITY.md``): dotted lowercase
+``component.measure[_unit]`` — ``ingest.rows_quarantined``,
+``kernel.groupby_ms``, ``checkpoint.hits``.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "DEFAULT_MS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "diff_snapshots",
+]
+
+Number = Union[int, float]
+
+#: Default histogram bounds, tuned for millisecond timings: sub-ms kernel
+#: calls up through multi-minute stages all land in a meaningful bucket.
+DEFAULT_MS_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0, 60000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (rows quarantined, retries, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (n={n})")
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (rows in the current dataset, config scale)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, v: Number) -> None:
+        self.value = v
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max sidecars.
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches
+    everything above the last bound.  Fixed buckets keep snapshots
+    mergeable and diffable: two runs with the same bounds compare
+    bucket-by-bucket.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, bounds: Optional[Iterable[float]] = None):
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(
+            sorted(float(b) for b in (bounds if bounds is not None else DEFAULT_MS_BUCKETS))
+        )
+        if not self.bounds:
+            raise ValueError(f"histogram {self.name!r} needs at least one bound")
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, v: Number) -> None:
+        v = float(v)
+        self.bucket_counts[bisect_left(self.bounds, v)] += 1
+        self.count += 1
+        self.total += v
+        if v < self.vmin:
+            self.vmin = v
+        if v > self.vmax:
+            self.vmax = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        buckets: Dict[str, int] = {}
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            buckets[f"le_{bound:g}"] = n
+        buckets["overflow"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else None,
+            "max": self.vmax if self.count else None,
+            "buckets": buckets,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
+
+
+class _NullMetric:
+    """Accepts every metric operation and records nothing.
+
+    Returned by the ``obs`` facade while metrics are disabled so call
+    sites never branch: ``obs.counter("x").inc()`` is always valid.
+    """
+
+    __slots__ = ()
+
+    name = ""
+    value = 0
+
+    def inc(self, _n: Number = 1) -> None:
+        return None
+
+    def set(self, _v: Number) -> None:
+        return None
+
+    def observe(self, _v: Number) -> None:
+        return None
+
+
+NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric in one run."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create ------------------------------------------------------
+    def _check_name(self, name: str, kind: str) -> None:
+        if not name:
+            raise ValueError("metric name must be a non-empty string")
+        for store, other in (
+            (self._counters, "counter"),
+            (self._gauges, "gauge"),
+            (self._histograms, "histogram"),
+        ):
+            if other != kind and name in store:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other}, "
+                    f"cannot reuse it as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_name(name, "counter")
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_name(name, "gauge")
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, bounds: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        if name not in self._histograms:
+            self._check_name(name, "histogram")
+            self._histograms[name] = Histogram(name, bounds)
+        return self._histograms[name]
+
+    # -- snapshots ----------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A deterministic, JSON-ready view of every metric."""
+        return {
+            "counters": {
+                n: self._counters[n].value for n in sorted(self._counters)
+            },
+            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+            "histograms": {
+                n: self._histograms[n].snapshot()
+                for n in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text of :meth:`snapshot` (byte-stable)."""
+        return snapshot_to_json(self.snapshot())
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+def snapshot_to_json(snapshot: Dict[str, object]) -> str:
+    """The one canonical JSON encoding used for snapshots everywhere.
+
+    Sorted keys + fixed separators means encode(decode(text)) == text —
+    the byte-identity tests and ``repro obs diff`` both rely on it.
+    """
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def diff_snapshots(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """Per-metric deltas between two snapshots.
+
+    Counters and gauges diff numerically; histograms diff on count/sum.
+    Metrics present on only one side appear under ``added``/``removed``.
+    """
+    out: Dict[str, object] = {"counters": {}, "gauges": {}, "histograms": {},
+                              "added": [], "removed": []}
+    for kind in ("counters", "gauges"):
+        b = before.get(kind, {}) or {}
+        a = after.get(kind, {}) or {}
+        for name in sorted(set(b) | set(a)):
+            if name not in b:
+                out["added"].append(f"{kind}.{name}")
+            elif name not in a:
+                out["removed"].append(f"{kind}.{name}")
+            elif a[name] != b[name]:
+                out[kind][name] = {
+                    "before": b[name],
+                    "after": a[name],
+                    "delta": a[name] - b[name],
+                }
+    bh = before.get("histograms", {}) or {}
+    ah = after.get("histograms", {}) or {}
+    for name in sorted(set(bh) | set(ah)):
+        if name not in bh:
+            out["added"].append(f"histograms.{name}")
+        elif name not in ah:
+            out["removed"].append(f"histograms.{name}")
+        else:
+            d_count = ah[name]["count"] - bh[name]["count"]
+            d_sum = ah[name]["sum"] - bh[name]["sum"]
+            if d_count or d_sum:
+                out["histograms"][name] = {
+                    "count_delta": d_count,
+                    "sum_delta": d_sum,
+                }
+    return out

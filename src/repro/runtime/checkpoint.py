@@ -16,6 +16,7 @@ import os
 import pickle
 from typing import Any, Mapping, Optional
 
+from repro import obs
 from repro.util.errors import PipelineError
 
 __all__ = ["CheckpointStore", "config_key"]
@@ -68,13 +69,16 @@ class CheckpointStore:
                 value = pickle.load(fh)
         except FileNotFoundError:
             self.misses += 1
+            obs.counter("checkpoint.misses").inc()
             raise PipelineError(f"no checkpoint for stage {stage!r} at {path}") from None
         except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
             self.misses += 1
+            obs.counter("checkpoint.misses").inc()
             raise PipelineError(
                 f"corrupt checkpoint for stage {stage!r} at {path}: {exc}"
             ) from exc
         self.hits += 1
+        obs.counter("checkpoint.hits").inc()
         return value
 
     def save(self, key: str, stage: str, value: Any) -> str:
@@ -90,6 +94,7 @@ class CheckpointStore:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise PipelineError(f"cannot checkpoint stage {stage!r}: {exc}") from exc
+        obs.counter("checkpoint.saves").inc()
         return path
 
     def drop(self, key: str, stage: Optional[str] = None) -> None:

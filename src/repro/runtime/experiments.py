@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.runtime.pipeline import PipelineRunner, RunReport, Stage
 from repro.synth.generator import Dataset
 from repro.tables.pretty import format_table
@@ -21,6 +22,7 @@ __all__ = ["EXPERIMENT_NAMES", "experiment_registry", "run_experiments"]
 ExperimentFn = Callable[[Dataset], str]
 
 
+@obs.traced("analysis.churn")
 def _churn(ds: Dataset) -> str:
     from repro.analysis.routing_churn import churn_summary, daily_route_churn
 
@@ -34,6 +36,7 @@ def _churn(ds: Dataset) -> str:
     )
 
 
+@obs.traced("analysis.events")
 def _events(ds: Dataset) -> str:
     from repro.analysis.events_impact import event_impact_table
     from repro.conflict import default_timeline
@@ -45,12 +48,14 @@ def _events(ds: Dataset) -> str:
     )
 
 
+@obs.traced("analysis.outages")
 def _outages(ds: Dataset) -> str:
     from repro.analysis.outages import detect_outage_days
 
     return f"outage-shaped days (2022): {detect_outage_days(ds.ndt)}"
 
 
+@obs.traced("analysis.hopgeo")
 def _hopgeo(ds: Dataset) -> str:
     from repro.analysis.hopgeo import gateway_city_agreement
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Tuple
 
+from repro import obs
 from repro.synth.generator import Dataset, study_periods
 from repro.tables.validate import (
     GateResult,
@@ -69,6 +70,14 @@ def sanitize_dataset(
             dataset.traces, trace_rules(), name="traces", strict=strict
         ),
     }
+    for name, gate in gates.items():
+        obs.counter(f"ingest.{name}.rows_quarantined").inc(
+            gate.report.n_quarantined
+        )
+        obs.counter(f"ingest.{name}.rows_clean").inc(gate.clean.n_rows)
+    obs.counter("ingest.rows_quarantined").inc(
+        sum(g.report.n_quarantined for g in gates.values())
+    )
     clean = replace(
         dataset, ndt=gates["ndt"].clean, traces=gates["traces"].clean
     )

@@ -10,29 +10,44 @@ a shared context dict.  Each stage gets:
 * **checkpointing** — stages marked ``checkpoint=True`` persist their
   return value keyed by (config hash, seed); a resumed run loads the value
   instead of recomputing it;
-* **timing and error capture** — every attempt's duration and the final
-  traceback land in the :class:`RunReport`;
+* **timing and error capture** — every attempt's start offset and duration
+  land in the :class:`RunReport` (and in :class:`StageFailure` for fatal
+  stages), so retry latency is first-class data, not log archaeology;
 * **graceful degradation** — stages marked ``allow_failure=True`` record
   their failure and let the rest of the pipeline run; fatal stages raise
   :class:`~repro.util.errors.StageFailure`.
+
+Observability: when ``repro.obs`` is enabled, every stage runs inside a
+``stage.<name>`` span carrying rows in/out, attempts, and status; retries
+bump the ``pipeline.retries`` counter; log lines are attributed to the
+stage via :func:`repro.obs.stage_scope`.  All of it is free when obs is
+off.
 """
 
 from __future__ import annotations
 
 import enum
-import logging
 import time
 import traceback as _tb
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
+from repro import obs
+from repro.obs.clock import monotonic
 from repro.runtime.checkpoint import CheckpointStore
 from repro.util.errors import PipelineError, StageFailure
 from repro.util.rng import RngHub
 
-__all__ = ["PipelineRunner", "RunReport", "Stage", "StageResult", "StageStatus"]
+__all__ = [
+    "PipelineRunner",
+    "RunReport",
+    "Stage",
+    "StageResult",
+    "StageStatus",
+    "value_row_count",
+]
 
-logger = logging.getLogger(__name__)
+logger = obs.get_logger(__name__)
 
 
 class StageStatus(enum.Enum):
@@ -60,7 +75,14 @@ class Stage:
 
 @dataclass
 class StageResult:
-    """What happened to one stage: status, attempts, timing, error."""
+    """What happened to one stage: status, attempts, timing, rows, error.
+
+    ``attempt_durations`` / ``attempt_started`` hold one entry per
+    attempt (including the successful one): elapsed seconds and the start
+    offset from the stage's first attempt.  ``rows_in`` / ``rows_out``
+    are the table/dataset row counts flowing through the stage where the
+    values expose them (``None`` otherwise — e.g. text sections).
+    """
 
     name: str
     status: StageStatus
@@ -68,6 +90,14 @@ class StageResult:
     duration_s: float = 0.0
     error: Optional[str] = None
     traceback: Optional[str] = None
+    attempt_durations: List[float] = field(default_factory=list)
+    attempt_started: List[float] = field(default_factory=list)
+    rows_in: Optional[int] = None
+    rows_out: Optional[int] = None
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
 
 
 @dataclass
@@ -111,6 +141,25 @@ class RunReport:
         return "\n".join(lines)
 
 
+def value_row_count(value: Any) -> Optional[int]:
+    """Row count of a stage value, if it is table- or dataset-shaped.
+
+    Tables expose ``n_rows``; datasets expose ``ndt``/``traces`` tables.
+    Anything else (report sections, scalars) counts as ``None``.
+    """
+    n = getattr(value, "n_rows", None)
+    if isinstance(n, int):
+        return n
+    ndt = getattr(value, "ndt", None)
+    traces = getattr(value, "traces", None)
+    if ndt is not None and traces is not None:
+        n_ndt = getattr(ndt, "n_rows", None)
+        n_traces = getattr(traces, "n_rows", None)
+        if isinstance(n_ndt, int) and isinstance(n_traces, int):
+            return n_ndt + n_traces
+    return None
+
+
 class PipelineRunner:
     """Executes stages in order over a context dict.
 
@@ -139,7 +188,7 @@ class PipelineRunner:
         backoff_cap: float = 30.0,
         seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = monotonic,
     ):
         if checkpoints is not None and not key:
             raise PipelineError("a checkpoint store needs a nonempty run key")
@@ -174,6 +223,7 @@ class PipelineRunner:
         context = context if context is not None else {}
         report = RunReport(key=self.key)
         failed_fatal: Optional[StageFailure] = None
+        rows_flowing: Optional[int] = None
         for stage in stages:
             if failed_fatal is not None:
                 report.results.append(
@@ -181,10 +231,17 @@ class PipelineRunner:
                 )
                 continue
             result = self._run_stage(stage, context)
+            result.rows_in = rows_flowing
+            if result.rows_out is not None:
+                rows_flowing = result.rows_out
             report.results.append(result)
             if result.status is StageStatus.FAILED and not stage.allow_failure:
                 failed_fatal = StageFailure(
-                    stage.name, result.attempts, context.pop("__last_error__")
+                    stage.name,
+                    result.attempts,
+                    context.pop("__last_error__"),
+                    attempt_durations=result.attempt_durations,
+                    attempt_started=result.attempt_started,
                 )
         context["__report__"] = report
         if failed_fatal is not None:
@@ -193,6 +250,17 @@ class PipelineRunner:
         return context, report
 
     def _run_stage(self, stage: Stage, context: Dict[str, Any]) -> StageResult:
+        with obs.span(f"stage.{stage.name}", kind="stage") as span, \
+                obs.stage_scope(stage.name):
+            result = self._run_stage_inner(stage, context)
+            span.set(
+                status=result.status.value,
+                attempts=result.attempts,
+                rows_out=result.rows_out,
+            )
+        return result
+
+    def _run_stage_inner(self, stage: Stage, context: Dict[str, Any]) -> StageResult:
         start = self._clock()
         if (
             self.resume
@@ -208,18 +276,26 @@ class PipelineRunner:
                 status=StageStatus.CACHED,
                 attempts=0,
                 duration_s=self._clock() - start,
+                rows_out=value_row_count(value),
             )
 
         max_attempts = 1 + (stage.retries if stage.retry_on else 0)
+        logger.debug("stage %s: starting (attempt budget %d)", stage.name, max_attempts)
         delays = self.backoff_delays(stage.name, max_attempts - 1)
         last_exc: Optional[BaseException] = None
+        attempt_durations: List[float] = []
+        attempt_started: List[float] = []
         for attempt in range(1, max_attempts + 1):
+            attempt_t0 = self._clock()
+            attempt_started.append(attempt_t0 - start)
             try:
                 value = stage.fn(context)
             except stage.retry_on as exc:
+                attempt_durations.append(self._clock() - attempt_t0)
                 last_exc = exc
                 if attempt < max_attempts:
                     delay = delays[attempt - 1]
+                    obs.counter("pipeline.retries").inc()
                     logger.warning(
                         "stage %s attempt %d/%d failed (%s: %s); retrying in %.2fs",
                         stage.name, attempt, max_attempts,
@@ -228,19 +304,33 @@ class PipelineRunner:
                     self._sleep(delay)
                     continue
             except Exception as exc:  # non-retryable: capture and stop
+                attempt_durations.append(self._clock() - attempt_t0)
                 last_exc = exc
             else:
+                attempt_durations.append(self._clock() - attempt_t0)
                 context[stage.name] = value
                 if self.checkpoints is not None and stage.checkpoint:
                     self.checkpoints.save(self.key, stage.name, value)
+                logger.debug(
+                    "stage %s: ok in %.3fs (attempt %d/%d)",
+                    stage.name, self._clock() - start, attempt, max_attempts,
+                )
                 return StageResult(
                     name=stage.name,
                     status=StageStatus.OK,
                     attempts=attempt,
                     duration_s=self._clock() - start,
+                    attempt_durations=attempt_durations,
+                    attempt_started=attempt_started,
+                    rows_out=value_row_count(value),
                 )
             break
         assert last_exc is not None
+        obs.counter("pipeline.stage_failures").inc()
+        logger.error(
+            "stage %s: failed after %d attempt(s): %s: %s",
+            stage.name, attempt, type(last_exc).__name__, last_exc,
+        )
         context["__last_error__"] = last_exc
         return StageResult(
             name=stage.name,
@@ -251,4 +341,6 @@ class PipelineRunner:
             traceback="".join(
                 _tb.format_exception(type(last_exc), last_exc, last_exc.__traceback__)
             ),
+            attempt_durations=attempt_durations,
+            attempt_started=attempt_started,
         )

@@ -14,6 +14,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.faults.injector import FaultInjector, InjectionSummary
 from repro.faults.profiles import FaultProfile
 from repro.runtime.checkpoint import CheckpointStore, config_key
@@ -115,6 +116,7 @@ def _build_stages(
             ctx["generate"]
         )
         injection_out.append(summary)
+        obs.counter("faults.rows_injected").inc(summary.total)
         return dirty
 
     def ingest(ctx: Dict[str, Any]) -> Dataset:

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Mapping, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.tables import kernels
 from repro.tables.column import Column
 from repro.tables.schema import DType
@@ -171,41 +172,48 @@ class GroupBy:
                 raise DataError(f"output {out!r} collides with a group key")
 
         fact = self._fact
-        order, starts = kernels.group_sorter(fact)
-        cols: List[Column] = []
-        for kname in self._keys:
-            cols.append(self._table.column(kname).take(fact.first_idx))
-        for out, (src, agg) in spec.items():
-            src_col = self._table.column(src)
-            if agg == "count":
-                cols.append(Column(out, kernels.group_count(fact), DType.INT))
-            elif agg == "first":
-                cols.append(src_col.take(fact.first_idx).rename(out))
-            elif agg == "nunique":
-                cols.append(
-                    Column(out, kernels.group_nunique(fact, src_col), DType.INT)
-                )
-            elif agg == "min":
-                cols.append(
-                    Column(
-                        out,
-                        kernels.group_min(src_col.values, order, starts),
-                        DType.FLOAT,
+        with obs.span(
+            "kernel.groupby",
+            metric="kernel.groupby_ms",
+            rows=self._table.n_rows,
+            groups=fact.n_groups,
+            n_aggs=len(spec),
+        ):
+            order, starts = kernels.group_sorter(fact)
+            cols: List[Column] = []
+            for kname in self._keys:
+                cols.append(self._table.column(kname).take(fact.first_idx))
+            for out, (src, agg) in spec.items():
+                src_col = self._table.column(src)
+                if agg == "count":
+                    cols.append(Column(out, kernels.group_count(fact), DType.INT))
+                elif agg == "first":
+                    cols.append(src_col.take(fact.first_idx).rename(out))
+                elif agg == "nunique":
+                    cols.append(
+                        Column(out, kernels.group_nunique(fact, src_col), DType.INT)
                     )
-                )
-            elif agg == "max":
-                cols.append(
-                    Column(
-                        out,
-                        kernels.group_max(src_col.values, order, starts),
-                        DType.FLOAT,
+                elif agg == "min":
+                    cols.append(
+                        Column(
+                            out,
+                            kernels.group_min(src_col.values, order, starts),
+                            DType.FLOAT,
+                        )
                     )
-                )
-            else:
-                fn = agg if callable(agg) else AGGREGATORS[agg]
-                results = kernels.segment_reduce(src_col.values, order, starts, fn)
-                cols.append(Column(out, results, DType.FLOAT))
-        return Table(cols)
+                elif agg == "max":
+                    cols.append(
+                        Column(
+                            out,
+                            kernels.group_max(src_col.values, order, starts),
+                            DType.FLOAT,
+                        )
+                    )
+                else:
+                    fn = agg if callable(agg) else AGGREGATORS[agg]
+                    results = kernels.segment_reduce(src_col.values, order, starts, fn)
+                    cols.append(Column(out, results, DType.FLOAT))
+            return Table(cols)
 
     def counts(self, out: str = "count") -> Table:
         """Shorthand: group sizes."""

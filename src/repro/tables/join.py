@@ -17,6 +17,7 @@ from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.tables import kernels
 from repro.tables.column import NULL_CODE, Column
 from repro.tables.schema import DType
@@ -90,7 +91,23 @@ def join(
             raise DataError(
                 f"join key {k!r} dtype mismatch: left {ldt.value}, right {rdt.value}"
             )
+    with obs.span(
+        "kernel.join",
+        metric="kernel.join_ms",
+        left_rows=left.n_rows,
+        right_rows=right.n_rows,
+        how=how,
+    ):
+        return _join_impl(left, right, on, how, suffix)
 
+
+def _join_impl(
+    left: Table,
+    right: Table,
+    on: Sequence[str],
+    how: str,
+    suffix: str,
+) -> Table:
     n_left, n_right = left.n_rows, right.n_rows
     lids: List[np.ndarray] = []
     rids: List[np.ndarray] = []

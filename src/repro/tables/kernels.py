@@ -30,6 +30,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.tables.column import NULL_CODE, Column
 from repro.tables.schema import DType
 
@@ -119,6 +120,18 @@ def factorize(key_columns: Sequence[Column]) -> Factorized:
     a single group (the legacy dict keyed on NaN objects was unstable
     there; this is the one documented behavioral deviation).
     """
+    with obs.span(
+        "kernel.factorize",
+        metric="kernel.factorize_ms",
+        rows=len(key_columns[0]),
+        n_keys=len(key_columns),
+    ) as span:
+        fact = _factorize_impl(key_columns)
+        span.set(groups=fact.n_groups)
+        return fact
+
+
+def _factorize_impl(key_columns: Sequence[Column]) -> Factorized:
     n = len(key_columns[0])
     if n == 0:
         return Factorized(

@@ -6,6 +6,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Seque
 
 import numpy as np
 
+from repro import obs
 from repro.tables.column import Column
 from repro.tables.expr import Expr
 from repro.tables.schema import DType, Field, Schema
@@ -185,14 +186,20 @@ class Table:
             names = [names]
         if not names:
             raise ValueError("sort_by needs at least one column name")
-        # np.lexsort sorts by the LAST key as primary; reverse so the first
-        # listed column is the primary sort key.
-        keys = [
-            sort_ranks(self.column(n), descending=descending)
-            for n in reversed(names)
-        ]
-        order = np.lexsort(tuple(keys))
-        return self.take(order)
+        with obs.span(
+            "kernel.sort_by",
+            metric="kernel.sort_by_ms",
+            rows=self._n_rows,
+            n_keys=len(names),
+        ):
+            # np.lexsort sorts by the LAST key as primary; reverse so the
+            # first listed column is the primary sort key.
+            keys = [
+                sort_ranks(self.column(n), descending=descending)
+                for n in reversed(names)
+            ]
+            order = np.lexsort(tuple(keys))
+            return self.take(order)
 
     def head(self, n: int) -> "Table":
         return self.take(np.arange(min(n, self._n_rows)))

@@ -37,17 +37,45 @@ class StageFailure(PipelineError):
     Carries the stage name, attempt count, and the final cause so a run
     report (or an operator reading a log line) can tell *which* stage of
     *which* run died and why, without unpacking a raw traceback.
+
+    ``attempt_durations`` / ``attempt_started`` record the elapsed
+    seconds and the start offset (seconds since the first attempt began)
+    of every failed attempt, in order — without them a run report could
+    say a stage "failed after 3 attempts" but not how much wall time the
+    retries burned or how backoff spaced them.
     """
 
-    def __init__(self, stage: str, attempts: int, cause: BaseException):
+    def __init__(
+        self,
+        stage: str,
+        attempts: int,
+        cause: BaseException,
+        attempt_durations=(),
+        attempt_started=(),
+    ):
         self.stage = stage
         self.attempts = attempts
         self.cause = cause
+        self.attempt_durations = tuple(attempt_durations)
+        self.attempt_started = tuple(attempt_started)
         plural = "s" if attempts != 1 else ""
+        detail = ""
+        if self.attempt_durations:
+            total = sum(self.attempt_durations)
+            detail = f" over {total:.2f}s"
         super().__init__(
-            f"stage {stage!r} failed after {attempts} attempt{plural}: "
+            f"stage {stage!r} failed after {attempts} attempt{plural}{detail}: "
             f"{type(cause).__name__}: {cause}"
         )
+
+    def retry_latency_s(self) -> float:
+        """Wall time from first attempt start to last attempt start.
+
+        Zero when there was a single attempt or timing was not recorded.
+        """
+        if len(self.attempt_started) < 2:
+            return 0.0
+        return self.attempt_started[-1] - self.attempt_started[0]
 
 
 class NumericsError(ReproError, ArithmeticError):

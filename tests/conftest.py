@@ -4,10 +4,28 @@ Generation is deterministic, so a single session-scoped dataset keeps the
 suite fast while letting many tests assert against realistic data.
 """
 
+import logging
+
 import pytest
 
 from repro.synth import DatasetGenerator, GeneratorConfig
 from repro.topology import build_default_topology
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    """Undo obs.configure_logging side effects between tests.
+
+    Any test driving the CLI configures the process-global ``repro``
+    logger (handler + ``propagate=False``), which would silently hide
+    records from ``caplog`` in every later test.
+    """
+    logger = logging.getLogger("repro")
+    saved = (list(logger.handlers), logger.level, logger.propagate)
+    yield
+    logger.handlers[:] = saved[0]
+    logger.setLevel(saved[1])
+    logger.propagate = saved[2]
 
 
 @pytest.fixture(scope="session")

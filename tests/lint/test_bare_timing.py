@@ -1,0 +1,60 @@
+"""The no-bare-timing rule: clock reads flagged outside obs/ and benchmarks/."""
+
+RULE = ["no-bare-timing"]
+
+
+class TestFlagged:
+    def test_time_time_call(self, lint_snippet):
+        diags = lint_snippet("import time\nt = time.time()\n", RULE)
+        assert len(diags) == 1
+        assert "time.time" in diags[0].message
+        assert "obs" in diags[0].message
+
+    def test_perf_counter_call(self, lint_snippet):
+        diags = lint_snippet("import time\nt = time.perf_counter()\n", RULE)
+        assert len(diags) == 1
+
+    def test_monotonic_and_process_time(self, lint_snippet):
+        source = "import time\na = time.monotonic()\nb = time.process_time()\n"
+        assert len(lint_snippet(source, RULE)) == 2
+
+    def test_ns_variants(self, lint_snippet):
+        source = "import time\nt = time.perf_counter_ns()\n"
+        assert len(lint_snippet(source, RULE)) == 1
+
+    def test_bare_reference_without_call(self, lint_snippet):
+        # passing the function itself around is still a timing dependency
+        diags = lint_snippet("import time\nclock = time.monotonic\n", RULE)
+        assert len(diags) == 1
+
+    def test_from_import(self, lint_snippet):
+        diags = lint_snippet("from time import perf_counter\n", RULE)
+        assert len(diags) == 1
+        assert "hides a clock read" in diags[0].message
+
+    def test_from_import_multiple_names(self, lint_snippet):
+        diags = lint_snippet("from time import perf_counter, time\n", RULE)
+        assert len(diags) == 2
+
+
+class TestAllowed:
+    def test_plain_import_and_sleep(self, lint_snippet):
+        source = "import time\ntime.sleep(0.1)\n"
+        assert lint_snippet(source, RULE) == []
+
+    def test_from_import_sleep(self, lint_snippet):
+        assert lint_snippet("from time import sleep\n", RULE) == []
+
+    def test_obs_package_is_exempt(self, lint_snippet):
+        source = "import time\nt = time.perf_counter()\n"
+        assert lint_snippet(source, RULE, relpath="repro/obs/clock.py") == []
+
+    def test_benchmarks_are_exempt(self, lint_snippet):
+        source = "import time\nt = time.perf_counter()\n"
+        assert (
+            lint_snippet(source, RULE, relpath="benchmarks/test_speed.py") == []
+        )
+
+    def test_unrelated_time_attribute(self, lint_snippet):
+        # attributes on some other object called `time` never match reads
+        assert lint_snippet("import time\nz = time.timezone\n", RULE) == []

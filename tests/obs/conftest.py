@@ -1,0 +1,34 @@
+"""Obs suite hygiene: every test starts and ends with observability off."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_reset():
+    obs.reset()
+    yield
+    obs.reset()
+    obs.set_run_context(run_id="-", stage="-")
+
+
+class FakeClock:
+    """A deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, start=0.0, step=1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        t = self.now
+        self.now += self.step
+        return t
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()

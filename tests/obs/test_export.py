@@ -1,0 +1,68 @@
+"""Trace export formats: JSONL round-trip and the Chrome trace view."""
+
+import json
+
+from repro.obs.export import (
+    read_spans_jsonl,
+    spans_to_chrome,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.trace import Tracer
+
+
+def make_tracer():
+    ticks = iter(float(i) for i in range(100))
+    tracer = Tracer(clock=ticks.__next__)
+    with tracer.span("outer", rows=10):
+        with tracer.span("inner"):
+            pass
+    return tracer
+
+
+class TestJsonl:
+    def test_write_and_read_round_trip(self, tmp_path):
+        tracer = make_tracer()
+        path = str(tmp_path / "trace.jsonl")
+        assert write_spans_jsonl(tracer, path) == 2
+        loaded = read_spans_jsonl(path)
+        assert [s["name"] for s in loaded] == ["outer", "inner"]
+        assert loaded[0]["attrs"] == {"rows": 10}
+        assert loaded[1]["parent_id"] == loaded[0]["span_id"]
+
+    def test_lines_are_sorted_key_json(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_spans_jsonl(make_tracer(), path)
+        for line in open(path):
+            obj = json.loads(line)
+            assert json.dumps(obj, sort_keys=True) == line.rstrip("\n")
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deep/dir/trace.jsonl")
+        write_spans_jsonl(make_tracer(), path)
+        assert read_spans_jsonl(path)
+
+
+class TestChrome:
+    def test_complete_events_in_microseconds(self):
+        doc = spans_to_chrome(make_tracer())
+        assert doc["displayTimeUnit"] == "ms"
+        meta, outer, inner = doc["traceEvents"]
+        assert meta["ph"] == "M"
+        assert outer["ph"] == "X"
+        assert outer["name"] == "outer"
+        assert outer["ts"] == 1e6  # first tick after the epoch
+        assert outer["dur"] == 3e6  # 3 fake-clock seconds in μs
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+
+    def test_open_span_exported_zero_duration(self):
+        ticks = iter(float(i) for i in range(10))
+        tracer = Tracer(clock=ticks.__next__)
+        tracer.span("crashed")  # never closed
+        doc = spans_to_chrome(tracer)
+        assert doc["traceEvents"][1]["dur"] == 0.0
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(make_tracer(), str(tmp_path / "t.json"))
+        doc = json.loads(open(path).read())
+        assert {e["name"] for e in doc["traceEvents"]} >= {"outer", "inner"}

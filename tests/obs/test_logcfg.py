@@ -1,0 +1,85 @@
+"""Logging config: REPRO_LOG levels, run/stage context fields, idempotency."""
+
+import io
+import logging
+
+from repro import obs
+from repro.obs.logcfg import (
+    configure_logging,
+    current_stage,
+    set_run_context,
+    stage_scope,
+)
+
+
+def fresh_logger(monkeypatch, level=None, env=None):
+    if env is not None:
+        monkeypatch.setenv("REPRO_LOG", env)
+    else:
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+    stream = io.StringIO()
+    logger = configure_logging(level, stream=stream)
+    return logger, stream
+
+
+class TestLevels:
+    def test_default_is_info(self, monkeypatch):
+        logger, _ = fresh_logger(monkeypatch)
+        assert logger.level == logging.INFO
+
+    def test_env_var_sets_level(self, monkeypatch):
+        logger, _ = fresh_logger(monkeypatch, env="debug")
+        assert logger.level == logging.DEBUG
+
+    def test_explicit_verbosity_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        logger, _ = fresh_logger(monkeypatch, level="warn", env="debug")
+        assert logger.level == logging.WARNING
+
+    def test_unknown_env_value_falls_back_to_info(self, monkeypatch, capsys):
+        logger, _ = fresh_logger(monkeypatch, env="shouting")
+        assert logger.level == logging.INFO
+        assert "unknown REPRO_LOG" in capsys.readouterr().err
+
+
+class TestContextFields:
+    def test_run_id_and_stage_in_format(self, monkeypatch):
+        _, stream = fresh_logger(monkeypatch)
+        set_run_context(run_id="cafe01")
+        with stage_scope("ingest"):
+            obs.get_logger("repro.test").info("hello")
+        line = stream.getvalue()
+        assert "[run=cafe01/ingest]" in line
+        assert "repro.test: hello" in line
+        set_run_context(run_id="-")
+
+    def test_stage_scope_nests_and_restores(self, monkeypatch):
+        fresh_logger(monkeypatch)
+        assert current_stage() == "-"
+        with stage_scope("outer"):
+            assert current_stage() == "outer"
+            with stage_scope("inner"):
+                assert current_stage() == "inner"
+            assert current_stage() == "outer"
+        assert current_stage() == "-"
+
+    def test_stage_restored_on_exception(self, monkeypatch):
+        fresh_logger(monkeypatch)
+        try:
+            with stage_scope("doomed"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert current_stage() == "-"
+
+
+class TestIdempotency:
+    def test_reconfigure_replaces_handler(self, monkeypatch):
+        logger, _ = fresh_logger(monkeypatch)
+        logger, _ = fresh_logger(monkeypatch)
+        ours = [h for h in logger.handlers if getattr(h, "_repro_obs", False)]
+        assert len(ours) == 1
+
+    def test_no_propagation_to_root(self, monkeypatch):
+        logger, _ = fresh_logger(monkeypatch)
+        assert logger.propagate is False

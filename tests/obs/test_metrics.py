@@ -1,0 +1,130 @@
+"""The metrics pillar: counters, gauges, histograms, snapshots, diffs."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    snapshot_to_json,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x").inc(-1)
+
+    def test_gauge_sets_and_moves_both_ways(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(-3)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_bucketing_inclusive_upper_edge(self):
+        h = Histogram("h", bounds=[1.0, 10.0])
+        for v in (0.5, 1.0, 5.0, 10.0, 99.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"le_1": 2, "le_10": 2, "overflow": 1}
+        assert snap["count"] == 5
+        assert snap["min"] == 0.5
+        assert snap["max"] == 99.0
+        assert snap["sum"] == pytest.approx(115.5)
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("h", bounds=[1.0]).snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_default_buckets_cover_ms_range(self):
+        h = Histogram("h")
+        assert h.bounds == DEFAULT_MS_BUCKETS
+        assert h.bounds[0] == 0.1 and h.bounds[-1] == 60000.0
+
+    def test_needs_at_least_one_bound(self):
+        with pytest.raises(ValueError, match="at least one bound"):
+            Histogram("h", bounds=[])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_cross_type_name_conflict(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError, match="already registered as a counter"):
+            reg.gauge("a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            MetricsRegistry().counter("")
+
+    def test_snapshot_shape_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.counter("z.late").inc()
+        reg.counter("a.early").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=[1.0]).observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a.early", "z.late"]
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+
+
+class TestJsonRoundTrip:
+    def test_encode_decode_encode_is_byte_identical(self):
+        reg = MetricsRegistry()
+        reg.counter("ingest.rows_quarantined").inc(7)
+        reg.histogram("kernel.groupby_ms").observe(3.25)
+        text = reg.to_json()
+        again = snapshot_to_json(json.loads(text))
+        assert again == text
+
+    def test_trailing_newline_and_no_spaces(self):
+        text = snapshot_to_json(MetricsRegistry().snapshot())
+        assert text.endswith("\n")
+        assert ": " not in text
+
+
+class TestDiff:
+    def test_counter_and_gauge_deltas(self):
+        before = {"counters": {"a": 1, "same": 5}, "gauges": {"g": 2.0},
+                  "histograms": {}}
+        after = {"counters": {"a": 4, "same": 5}, "gauges": {"g": 1.0},
+                 "histograms": {}}
+        d = diff_snapshots(before, after)
+        assert d["counters"] == {"a": {"before": 1, "after": 4, "delta": 3}}
+        assert d["gauges"]["g"]["delta"] == -1.0
+        assert d["added"] == [] and d["removed"] == []
+
+    def test_added_and_removed_metrics(self):
+        before = {"counters": {"gone": 1}, "gauges": {}, "histograms": {}}
+        after = {"counters": {}, "gauges": {},
+                 "histograms": {"h": {"count": 1, "sum": 2.0, "buckets": {}}}}
+        d = diff_snapshots(before, after)
+        assert d["removed"] == ["counters.gone"]
+        assert d["added"] == ["histograms.h"]
+
+    def test_histogram_count_sum_deltas(self):
+        h0 = {"count": 2, "sum": 10.0}
+        h1 = {"count": 5, "sum": 16.0}
+        d = diff_snapshots({"histograms": {"h": h0}}, {"histograms": {"h": h1}})
+        assert d["histograms"]["h"] == {"count_delta": 3, "sum_delta": 6.0}

@@ -1,0 +1,119 @@
+"""The repro obs subcommand, driven through the real CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import write_spans_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import build_run_report, write_run_report
+from repro.obs.trace import Tracer
+from repro.runtime.pipeline import RunReport, StageResult, StageStatus
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    """A matching trace / metrics / run-report triple on disk."""
+    ticks = iter(float(i) for i in range(100))
+    tracer = Tracer(clock=ticks.__next__)
+    with tracer.span("stage.generate"):
+        with tracer.span("kernel.groupby", rows=10):
+            pass
+    trace_path = tmp_path / "trace.jsonl"
+    write_spans_jsonl(tracer, str(trace_path))
+
+    reg = MetricsRegistry()
+    reg.counter("pipeline.retries").inc(2)
+    reg.histogram("kernel.groupby_ms").observe(4.0)
+    metrics_path = tmp_path / "metrics.json"
+    metrics_path.write_text(reg.to_json())
+
+    report = RunReport(
+        key="k1",
+        results=[
+            StageResult(
+                name="generate", status=StageStatus.OK, attempts=1,
+                duration_s=1.0, attempt_durations=[1.0], attempt_started=[0.0],
+                rows_out=100,
+            )
+        ],
+    )
+    data = build_run_report(
+        report, run_id="r1", tracer=tracer, metrics_snapshot=reg.snapshot()
+    )
+    write_run_report(data, str(tmp_path))
+    return tmp_path
+
+
+class TestSummarize:
+    def test_report_and_trace_together(self, artifacts, capsys):
+        rc = main([
+            "obs", "summarize",
+            "--report", str(artifacts / "run_report.json"),
+            "--trace", str(artifacts / "trace.jsonl"),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "run report" in out
+        assert "kernel.groupby" in out
+        assert "2 spans" in out
+
+    def test_needs_at_least_one_input(self, capsys):
+        rc = main(["obs", "summarize"])
+        assert rc == 2
+        assert "needs --report and/or --trace" in capsys.readouterr().err
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["obs", "summarize", "--report", str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_diff_metrics_files(self, artifacts, tmp_path, capsys):
+        reg = MetricsRegistry()
+        reg.counter("pipeline.retries").inc(5)
+        reg.histogram("kernel.groupby_ms").observe(4.0)
+        reg.histogram("kernel.groupby_ms").observe(6.0)
+        after = tmp_path / "after.json"
+        after.write_text(reg.to_json())
+        rc = main(["obs", "diff", str(artifacts / "metrics.json"), str(after)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "counter pipeline.retries: 2 -> 5 (+3)" in out
+        assert "histogram kernel.groupby_ms: count +1" in out
+
+    def test_diff_accepts_run_reports(self, artifacts, capsys):
+        report = str(artifacts / "run_report.json")
+        rc = main(["obs", "diff", report, report])
+        assert rc == 0
+        assert "(no differences)" in capsys.readouterr().out
+
+    def test_diff_rejects_unrelated_json(self, tmp_path, capsys):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"hello": 1}))
+        rc = main(["obs", "diff", str(path), str(path)])
+        assert rc == 1
+        assert "neither a metrics snapshot nor a run report" in (
+            capsys.readouterr().err
+        )
+
+
+class TestValidate:
+    def test_valid_report(self, artifacts, capsys):
+        rc = main(["obs", "validate", str(artifacts / "run_report.json")])
+        assert rc == 0
+        assert "valid (schema v1, 1 stages)" in capsys.readouterr().out
+
+    def test_invalid_report_exits_one(self, artifacts, capsys):
+        path = artifacts / "run_report.json"
+        data = json.loads(path.read_text())
+        data["stages"][0]["status"] = "exploded"
+        del data["totals"]
+        path.write_text(json.dumps(data))
+        rc = main(["obs", "validate", str(path)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "schema violation" in err
+        assert "totals" in err

@@ -1,0 +1,101 @@
+"""Property tests: span trees stay well-formed, snapshots survive JSON."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry, snapshot_to_json
+from repro.obs.trace import Tracer
+
+
+def run_random_nesting(tracer, ops, max_depth=12):
+    """Drive a tracer with a random open/close sequence (well-scoped)."""
+    stack = []
+    for op in ops:
+        if op and len(stack) < max_depth:
+            stack.append(tracer.span(f"s{len(tracer.spans)}"))
+        elif stack:
+            stack.pop().__exit__(None, None, None)
+    while stack:
+        stack.pop().__exit__(None, None, None)
+
+
+class TestSpanTreeWellFormed:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=st.lists(st.booleans(), max_size=200))
+    def test_random_nesting_yields_a_well_formed_tree(self, ops):
+        ticks = iter(range(10_000_000))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        run_random_nesting(tracer, ops)
+
+        by_id = {s.span_id: s for s in tracer.spans}
+        assert tracer.open_spans == []
+        assert sorted(by_id) == list(by_id)  # ids issued in start order
+        for s in tracer.spans:
+            # every interval is closed and non-negative
+            assert s.end_s is not None
+            assert s.start_s <= s.end_s
+            if s.parent_id is not None:
+                parent = by_id[s.parent_id]
+                # every child interval nests inside its parent's
+                assert parent.span_id < s.span_id
+                assert parent.start_s <= s.start_s
+                assert s.end_s <= parent.end_s
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=st.lists(st.booleans(), max_size=120))
+    def test_roots_partition_the_timeline(self, ops):
+        ticks = iter(range(10_000_000))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        run_random_nesting(tracer, ops)
+        roots = tracer.children(None)
+        # roots are disjoint and ordered: each starts after the previous ends
+        for a, b in zip(roots, roots[1:]):
+            assert a.end_s <= b.start_s
+
+
+class TestSnapshotRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        counters=st.dictionaries(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1,
+                max_size=8,
+            ),
+            st.integers(min_value=0, max_value=10**9),
+            max_size=6,
+        ),
+        gauges=st.dictionaries(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1,
+                max_size=8,
+            ),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            max_size=6,
+        ),
+        observations=st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e6, allow_nan=False
+            ),
+            max_size=20,
+        ),
+    )
+    def test_snapshot_json_round_trips_byte_identically(
+        self, counters, gauges, observations
+    ):
+        reg = MetricsRegistry()
+        for name, v in counters.items():
+            reg.counter(f"c.{name}").inc(v)
+        for name, v in gauges.items():
+            reg.gauge(f"g.{name}").set(v)
+        for v in observations:
+            reg.histogram("h.obs").observe(v)
+
+        text = reg.to_json()
+        decoded = json.loads(text)
+        assert snapshot_to_json(decoded) == text
+        # and a second decode/encode cycle stays fixed (idempotent)
+        assert snapshot_to_json(json.loads(snapshot_to_json(decoded))) == text

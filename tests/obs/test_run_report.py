@@ -1,0 +1,165 @@
+"""The run report: assembly, rendering, files, schema validation."""
+
+import json
+
+from repro.obs.report import (
+    build_run_report,
+    render_run_report,
+    validate_run_report,
+    write_run_report,
+)
+from repro.obs.trace import Tracer
+from repro.runtime.pipeline import RunReport, StageResult, StageStatus
+
+
+def make_pipeline_report():
+    return RunReport(
+        key="abc123",
+        results=[
+            StageResult(
+                name="generate",
+                status=StageStatus.OK,
+                attempts=1,
+                duration_s=2.0,
+                attempt_durations=[2.0],
+                attempt_started=[0.0],
+                rows_out=1000,
+            ),
+            StageResult(
+                name="flaky",
+                status=StageStatus.OK,
+                attempts=3,
+                duration_s=1.5,
+                attempt_durations=[0.4, 0.4, 0.7],
+                attempt_started=[0.0, 0.5, 1.0],
+                rows_in=1000,
+                rows_out=990,
+            ),
+            StageResult(
+                name="broken",
+                status=StageStatus.FAILED,
+                attempts=1,
+                duration_s=0.1,
+                attempt_durations=[0.1],
+                attempt_started=[0.0],
+                error="AnalysisError: no tests",
+            ),
+        ],
+    )
+
+
+class TestBuild:
+    def test_totals_and_stage_rows(self):
+        data = build_run_report(make_pipeline_report(), run_id="deadbeef")
+        assert data["run_id"] == "deadbeef"
+        assert data["key"] == "abc123"
+        assert data["ok"] is False
+        t = data["totals"]
+        assert t == {
+            "stages": 3, "ok": 2, "cached": 0, "failed": 1, "skipped": 0,
+            "attempts": 5, "retries": 2, "wall_s": 3.6,
+        }
+        flaky = data["stages"][1]
+        assert flaky["retries"] == 2
+        assert flaky["attempt_durations_s"] == [0.4, 0.4, 0.7]
+        assert flaky["rows_in"] == 1000 and flaky["rows_out"] == 990
+
+    def test_counters_fill_checkpoints_quarantine_faults(self):
+        snapshot = {
+            "counters": {
+                "checkpoint.hits": 2,
+                "checkpoint.misses": 1,
+                "checkpoint.saves": 3,
+                "ingest.rows_quarantined": 17,
+                "faults.rows_injected": 40,
+            },
+            "gauges": {},
+            "histograms": {},
+        }
+        data = build_run_report(
+            make_pipeline_report(), metrics_snapshot=snapshot
+        )
+        assert data["checkpoints"] == {"hits": 2, "misses": 1, "saves": 3}
+        assert data["quarantine"]["rows_quarantined"] == 17
+        assert data["faults"]["rows_injected"] == 40
+        assert data["metrics"] == snapshot
+
+    def test_cached_stages_floor_checkpoint_hits_without_metrics(self):
+        report = RunReport(
+            key="k",
+            results=[
+                StageResult(name="a", status=StageStatus.CACHED, attempts=0)
+            ],
+        )
+        data = build_run_report(report)
+        assert data["checkpoints"]["hits"] == 1
+
+    def test_top_spans_come_from_tracer(self):
+        clock = iter(float(i) for i in range(100)).__next__
+        tracer = Tracer(clock=clock)
+        with tracer.span("slow"):
+            with tracer.span("inner", rows=5):
+                pass
+        data = build_run_report(make_pipeline_report(), tracer=tracer, top_n=1)
+        assert len(data["top_spans"]) == 1
+        assert data["top_spans"][0]["name"] == "slow"
+
+    def test_validates_against_checked_in_schema(self):
+        data = build_run_report(make_pipeline_report(), run_id="r1")
+        assert validate_run_report(data) == []
+
+
+class TestRender:
+    def test_render_lists_stages_attempts_and_totals(self):
+        text = render_run_report(build_run_report(make_pipeline_report()))
+        assert "generate" in text
+        assert "failed" in text
+        assert "attempt 3: 0.700s" in text  # retried stage shows attempts
+        assert "totals: 3 stages" in text
+        assert "AnalysisError" in text
+
+    def test_clean_stage_hides_attempt_lines(self):
+        text = render_run_report(build_run_report(make_pipeline_report()))
+        # the single-attempt OK stage gets no per-attempt breakdown
+        assert "attempt 1: 2.000s" not in text
+
+
+class TestWrite:
+    def test_writes_json_and_txt(self, tmp_path):
+        data = build_run_report(make_pipeline_report(), run_id="r1")
+        paths = write_run_report(data, str(tmp_path))
+        loaded = json.loads((tmp_path / "run_report.json").read_text())
+        assert loaded == data
+        assert (tmp_path / "run_report.txt").read_text().startswith("run report")
+        assert paths["json"].endswith("run_report.json")
+
+    def test_written_json_is_deterministic(self, tmp_path):
+        data = build_run_report(make_pipeline_report(), run_id="r1")
+        write_run_report(data, str(tmp_path / "a"))
+        write_run_report(data, str(tmp_path / "b"))
+        assert (tmp_path / "a/run_report.json").read_bytes() == (
+            tmp_path / "b/run_report.json"
+        ).read_bytes()
+
+
+class TestValidate:
+    def test_missing_required_key_flagged(self):
+        data = build_run_report(make_pipeline_report())
+        del data["totals"]
+        errors = validate_run_report(data)
+        assert any("totals" in e for e in errors)
+
+    def test_unexpected_top_level_key_flagged(self):
+        data = build_run_report(make_pipeline_report())
+        data["surprise"] = 1
+        assert any("surprise" in e for e in validate_run_report(data))
+
+    def test_bad_status_enum_flagged(self):
+        data = build_run_report(make_pipeline_report())
+        data["stages"][0]["status"] = "exploded"
+        assert any("exploded" in e for e in validate_run_report(data))
+
+    def test_negative_attempts_flagged(self):
+        data = build_run_report(make_pipeline_report())
+        data["stages"][0]["attempts"] = -1
+        assert any("minimum" in e for e in validate_run_report(data))

@@ -1,0 +1,133 @@
+"""The tracing pillar: span trees, timing, the facade's on/off behavior."""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+class TestTracer:
+    def test_nested_spans_record_parents(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.find("outer")[0], tracer.find("inner")[0]
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert tracer.children(outer.span_id) == [inner]
+        assert tracer.children(None) == [outer]
+
+    def test_times_are_epoch_relative_and_nested(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)  # epoch consumes the first tick
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.spans
+        assert outer.start_s <= inner.start_s
+        assert inner.end_s <= outer.end_s
+        assert outer.duration_s > inner.duration_s
+
+    def test_duration_zero_while_open(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        span = tracer.span("open")
+        record = tracer.spans[0]
+        assert record.end_s is None
+        assert record.duration_s == 0
+        assert tracer.open_spans == [record]
+        span.__exit__(None, None, None)
+        assert tracer.open_spans == []
+        assert record.duration_s > 0
+
+    def test_attrs_from_kwargs_and_set(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        with tracer.span("s", rows=10) as span:
+            span.set(groups=3)
+        assert tracer.spans[0].attrs == {"rows": 10, "groups": 3}
+
+    def test_exception_recorded_and_reraised(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("bad rows")
+        record = tracer.spans[0]
+        assert record.attrs["error"] == "ValueError: bad rows"
+        assert record.end_s is not None
+
+    def test_leaked_inner_span_does_not_corrupt_stack(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        outer = tracer.span("outer")
+        tracer.span("leaked")  # never closed
+        outer.__exit__(None, None, None)
+        with tracer.span("next"):
+            pass
+        assert tracer.find("next")[0].parent_id is None
+
+    def test_top_spans_sorted_by_duration(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        with tracer.span("slow"):
+            fake_clock.advance(10.0)
+        with tracer.span("fast"):
+            pass
+        top = tracer.top_spans(1)
+        assert [s.name for s in top] == ["slow"]
+        assert len(tracer.top_spans(10)) == 2
+
+    def test_metric_callback_receives_ms(self):
+        seen = []
+        clock = iter([0.0, 1.0, 3.5]).__next__
+        tracer = Tracer(clock=clock, observe=lambda n, ms: seen.append((n, ms)))
+        with tracer.span("k", metric="k_ms"):
+            pass
+        assert seen == [("k_ms", pytest.approx(2500.0))]
+
+
+class TestFacade:
+    def test_disabled_span_is_free_null_object(self):
+        span = obs.span("anything", rows=1)
+        assert span is NULL_SPAN
+        with span as s:
+            s.set(more=2)  # never raises, records nothing
+        assert obs.tracer() is None
+        assert not obs.enabled()
+
+    def test_enable_records_and_disable_stops(self):
+        obs.enable(trace=True, metrics=False)
+        with obs.span("a"):
+            pass
+        assert [s.name for s in obs.tracer().spans] == ["a"]
+        obs.disable()
+        with obs.span("b"):
+            pass
+        assert obs.tracer() is None
+
+    def test_traced_decorator_named_and_bare(self):
+        @obs.traced("analysis.thing")
+        def named():
+            return 41
+
+        @obs.traced
+        def bare():
+            return 1
+
+        assert named() + bare() == 42  # off: straight call-through
+        obs.enable(trace=True, metrics=False)
+        named()
+        bare()
+        names = [s.name for s in obs.tracer().spans]
+        assert "analysis.thing" in names
+        assert any(n.startswith("fn.") for n in names)
+
+    def test_span_metric_feeds_histogram(self):
+        obs.enable(trace=True, metrics=True)
+        with obs.span("kernel.x", metric="kernel.x_ms"):
+            pass
+        snap = obs.metrics_snapshot()
+        assert snap["histograms"]["kernel.x_ms"]["count"] == 1
+
+    def test_metrics_only_span_still_times(self):
+        obs.enable(trace=False, metrics=True)
+        with obs.span("kernel.x", metric="kernel.x_ms"):
+            pass
+        assert obs.tracer() is None
+        assert obs.metrics_snapshot()["histograms"]["kernel.x_ms"]["count"] == 1

@@ -190,3 +190,138 @@ class TestCheckpointing:
     def test_store_requires_key(self, tmp_path):
         with pytest.raises(PipelineError, match="key"):
             PipelineRunner(checkpoints=CheckpointStore(str(tmp_path)))
+
+
+class TestAttemptTiming:
+    def test_successful_stage_records_one_attempt(self):
+        clock = iter(float(i) for i in range(100))
+        r = PipelineRunner(sleep=lambda s: None, clock=clock.__next__)
+        _, report = r.run([Stage(name="a", fn=lambda c: None)])
+        result = report.result("a")
+        assert len(result.attempt_durations) == 1
+        assert len(result.attempt_started) == 1
+        assert result.attempt_started[0] >= 0.0
+        assert result.retries == 0
+
+    def test_retried_stage_records_every_attempt(self):
+        calls = []
+
+        def flaky(ctx):
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        clock = iter(float(i) for i in range(100))
+        r = PipelineRunner(sleep=lambda s: None, clock=clock.__next__)
+        _, report = r.run(
+            [Stage(name="a", fn=flaky, retries=3, retry_on=(ValueError,))]
+        )
+        result = report.result("a")
+        assert len(result.attempt_durations) == 3
+        assert len(result.attempt_started) == 3
+        # start offsets are measured from the stage start, in order
+        assert result.attempt_started[0] >= 0.0
+        assert result.attempt_started == sorted(result.attempt_started)
+        assert result.attempt_started[-1] > result.attempt_started[0]
+        assert result.retries == 2
+
+    def test_stage_failure_carries_attempt_timing(self):
+        def always_fails(ctx):
+            raise ValueError("nope")
+
+        clock = iter(float(i) for i in range(100))
+        r = PipelineRunner(sleep=lambda s: None, clock=clock.__next__)
+        with pytest.raises(StageFailure) as ei:
+            r.run(
+                [Stage(name="a", fn=always_fails, retries=2, retry_on=(ValueError,))]
+            )
+        exc = ei.value
+        assert len(exc.attempt_durations) == 3
+        assert len(exc.attempt_started) == 3
+        assert exc.retry_latency_s() > 0
+        assert "over" in str(exc)
+
+
+class TestRowFlow:
+    class FakeTable:
+        def __init__(self, n):
+            self.n_rows = n
+
+    def test_rows_flow_between_stages(self):
+        stages = [
+            Stage(name="gen", fn=lambda c: self.FakeTable(100)),
+            Stage(name="filter", fn=lambda c: self.FakeTable(90)),
+            Stage(name="render", fn=lambda c: "text section"),
+        ]
+        _, report = runner().run(stages)
+        gen, filt, render = report.results
+        assert gen.rows_in is None and gen.rows_out == 100
+        assert filt.rows_in == 100 and filt.rows_out == 90
+        # text stages expose no rows; the last row count flows past them
+        assert render.rows_in == 90 and render.rows_out is None
+
+    def test_value_row_count_duck_typing(self):
+        from repro.runtime.pipeline import value_row_count
+
+        class FakeDataset:
+            ndt = TestRowFlow.FakeTable(7)
+            traces = TestRowFlow.FakeTable(5)
+
+        assert value_row_count(self.FakeTable(3)) == 3
+        assert value_row_count(FakeDataset()) == 12
+        assert value_row_count("a string") is None
+        assert value_row_count(None) is None
+
+
+class TestObsIntegration:
+    @pytest.fixture(autouse=True)
+    def _reset_obs(self):
+        from repro import obs
+
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_stage_spans_and_counters_recorded(self):
+        from repro import obs
+
+        obs.enable(trace=True, metrics=True)
+        calls = []
+
+        def flaky(ctx):
+            calls.append(1)
+            if len(calls) < 2:
+                raise ValueError("transient")
+            return "ok"
+
+        r = runner()
+        r.run([Stage(name="a", fn=flaky, retries=2, retry_on=(ValueError,))])
+        spans = obs.tracer().find("stage.a")
+        assert len(spans) == 1
+        assert spans[0].attrs["status"] == "ok"
+        assert spans[0].attrs["attempts"] == 2
+        snap = obs.metrics_snapshot()
+        assert snap["counters"]["pipeline.retries"] == 1
+
+    def test_failed_stage_span_marked(self):
+        from repro import obs
+
+        obs.enable(trace=True, metrics=True)
+
+        def boom(ctx):
+            raise ValueError("dead")
+
+        with pytest.raises(StageFailure):
+            runner().run([Stage(name="a", fn=boom)])
+        span = obs.tracer().find("stage.a")[0]
+        assert span.attrs["status"] == "failed"
+        assert span.end_s is not None
+        assert obs.metrics_snapshot()["counters"]["pipeline.stage_failures"] == 1
+
+    def test_pipeline_untraced_when_obs_off(self):
+        from repro import obs
+
+        _, report = runner().run([Stage(name="a", fn=lambda c: 1)])
+        assert report.ok
+        assert obs.tracer() is None
