@@ -5,9 +5,10 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 OBS_SMOKE_DIR := results/obs-smoke
 
-.PHONY: test unit obs-smoke lint lint-json baseline bench bench-engine bench-obs
+.PHONY: test unit obs-smoke bench-compare bench-record lint lint-json \
+	baseline bench bench-engine bench-obs
 
-test: unit obs-smoke
+test: unit obs-smoke bench-compare
 
 unit:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -23,6 +24,21 @@ obs-smoke:
 		$(OBS_SMOKE_DIR)/run_report.json
 	PYTHONPATH=$(PYTHONPATH) python -m repro obs summarize \
 		--report $(OBS_SMOKE_DIR)/run_report.json
+	PYTHONPATH=$(PYTHONPATH) python -m repro obs lineage \
+		$(OBS_SMOKE_DIR)/provenance.json >/dev/null
+
+# Perf-regression gate: unify the checked-in BENCH snapshots and compare
+# against the latest BENCH_history.jsonl record; exits 6 on a slowdown
+# beyond the threshold.  Deterministic (file vs file), so it belongs in
+# the default `make test`.  Refresh the baseline with `make bench-record`.
+bench-compare:
+	PYTHONPATH=$(PYTHONPATH) python -m repro bench compare
+
+# Append the current unified snapshots to the history, keyed by HEAD.
+bench-record:
+	PYTHONPATH=$(PYTHONPATH) python -m repro bench record \
+		--sha $$(git rev-parse --short HEAD) \
+		--ts $$(git show -s --format=%cs HEAD)
 
 lint:
 	PYTHONPATH=$(PYTHONPATH) python -m repro lint

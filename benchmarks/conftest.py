@@ -4,14 +4,29 @@ Scale defaults to 25% of the paper's test volume (override with
 ``REPRO_BENCH_SCALE=1.0`` for a full-scale run).  Every bench writes its
 reproduced table/series as CSV under ``results/`` and prints a
 paper-vs-measured comparison.
+
+Every benchmark test is also timed into the process-wide benchmark
+registry (``repro.obs.bench``) under ``pytest.<module>.<test>`` — so all
+benchmark modules feed the registry for free, on top of whatever named
+rows they record themselves via ``bench_common.timed(..., name=...)``.
+Run with ``REPRO_BENCH_RECORD=1`` (plus ``REPRO_BENCH_SHA`` /
+``REPRO_BENCH_TS`` for the run key) to append the session's records to
+``BENCH_history.jsonl``.
 """
 
+import os
 from pathlib import Path
 
 import pytest
 
 from bench_common import bench_scale
 
+from repro.obs.bench import (
+    append_history,
+    external_run_key,
+    session_registry,
+)
+from repro.obs.clock import monotonic
 from repro.synth import DatasetGenerator, GeneratorConfig
 
 
@@ -33,3 +48,30 @@ def ndt_with_asn(bench_dataset):
     from repro.analysis.common import client_as_column
 
     return client_as_column(bench_dataset.ndt, bench_dataset.topology.iplayer)
+
+
+@pytest.fixture(autouse=True)
+def _register_test_timing(request):
+    """Time every benchmark test into the registry, free of charge."""
+    t0 = monotonic()
+    yield
+    module = getattr(request.module, "__name__", "unknown")
+    session_registry().record(
+        f"pytest.{module}.{request.node.name}", monotonic() - t0
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if os.environ.get("REPRO_BENCH_RECORD") != "1":
+        return
+    registry = session_registry()
+    if not len(registry):
+        return
+    key = external_run_key()
+    record = append_history(
+        registry.as_benchmarks(), key["sha"], key["timestamp"]
+    )
+    print(
+        f"\nbench registry: recorded {len(record['benchmarks'])} entries "
+        f"to BENCH history (sha {key['sha']})"
+    )

@@ -13,24 +13,20 @@ Each comparison also asserts the two implementations produce identical
 tables, so the speedup numbers can never drift away from correctness.
 """
 
-import json
 import platform
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
 
 from bench_common import emit
 
+from repro.obs.bench import baseline_path, session_registry, write_snapshot
 from repro.tables._legacy import legacy_aggregate, legacy_join, legacy_sort_by
 from repro.tables.column import Column
 from repro.tables.join import join
 from repro.tables.schema import DType
 from repro.tables.table import Table
-
-REPO = Path(__file__).resolve().parent.parent
-OUT_PATH = REPO / "BENCH_engine.json"
 
 N_BIG = 1_000_000
 N_MID = 100_000
@@ -209,7 +205,7 @@ class TestEnginePerf:
         assert encode_s + decode_s < MAX_AFTER_SECONDS["encode_decode_1e6"]
 
     def test_zz_write_baseline(self, results, results_dir):
-        """Persist BENCH_engine.json (runs last: named zz, module fixture)."""
+        """Persist the engine snapshot (runs last: named zz, module fixture)."""
         assert results, "no benchmark rows collected"
         payload = {
             "machine": {
@@ -219,7 +215,17 @@ class TestEnginePerf:
             },
             "benchmarks": results,
         }
-        OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        write_snapshot(baseline_path("engine"), payload)
+        # Mirror the rows into the in-process registry under the same
+        # names `repro bench compare` unifies the snapshot to.
+        registry = session_registry()
+        for name, row in results.items():
+            seconds = (
+                row["after_s"]
+                if "after_s" in row
+                else row["encode_s"] + row["decode_s"]
+            )
+            registry.record(f"engine.{name}", seconds, rows=row.get("rows"))
         lines = []
         for name, row in results.items():
             if "speedup" in row:

@@ -19,10 +19,8 @@ The measured numbers land in ``BENCH_obs.json`` at the repo root next to
 for context (tracing on is allowed to cost; it is opt-in).
 """
 
-import json
 import platform
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -30,12 +28,10 @@ import pytest
 from bench_common import emit
 
 from repro import obs
+from repro.obs.bench import baseline_path, session_registry, write_snapshot
 from repro.tables.join import join
 from repro.tables.schema import DType
 from repro.tables.table import Table
-
-REPO = Path(__file__).resolve().parent.parent
-OUT_PATH = REPO / "BENCH_obs.json"
 
 N_ROWS = 300_000
 N_SPAN_CALLS = 100_000
@@ -149,7 +145,7 @@ class TestObsOverhead:
         )
 
     def test_zz_write_baseline(self, results, results_dir):
-        """Persist BENCH_obs.json (runs last: named zz, module fixture)."""
+        """Persist the obs snapshot (runs last: named zz, module fixture)."""
         assert "groupby" in results and "join" in results
         payload = {
             "machine": {
@@ -160,7 +156,14 @@ class TestObsOverhead:
             "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
             "benchmarks": results,
         }
-        OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        write_snapshot(baseline_path("obs"), payload)
+        registry = session_registry()
+        for name in ("groupby", "join"):
+            registry.record(
+                f"obs.{name}_disabled",
+                results[name]["op_s_disabled"],
+                rows=results[name]["rows"],
+            )
         lines = [
             f"disabled span cost: {results['disabled_span_cost_us']:.3f}μs/call"
         ]

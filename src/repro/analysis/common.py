@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.analysis.periods import study_periods
 from repro.netbase.ipaddr import IPv4Address
+from repro.obs.memory import record_table_memory
 from repro.tables.column import Column
 from repro.tables.expr import col
 from repro.tables.schema import Cols, DType
@@ -175,7 +176,9 @@ def client_as_column(ndt: Table, iplayer: IpLayer) -> Table:
         lut[i] = -1 if asn is None else asn
     lut[-1] = -1
     asns = lut[ip_col.codes]
-    return ndt.with_column(Cols.CLIENT_ASN, Column(Cols.CLIENT_ASN, asns, DType.INT))
+    out = ndt.with_column(Cols.CLIENT_ASN, Column(Cols.CLIENT_ASN, asns, DType.INT))
+    record_table_memory("analysis.ndt_with_asn", out)
+    return out
 
 
 def parse_as_path(text: str) -> Tuple[int, ...]:

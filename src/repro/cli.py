@@ -12,15 +12,18 @@ Subcommands
 ``experiment`` Run a single experiment (table1, table2, ..., fig9).
 ``scenarios``  Compare key findings across ablation scenarios.
 ``lint``       Run the repo's static-analysis rules (see docs/LINT.md).
-``obs``        Summarize / diff / validate observability artifacts
-               (see docs/OBSERVABILITY.md).
+``obs``        Summarize / diff / validate observability artifacts, render
+               lineage, account memory (see docs/OBSERVABILITY.md).
+``bench``      Run / compare / record benchmark registry entries against
+               ``BENCH_history.jsonl`` (see docs/OBSERVABILITY.md).
 
 Exit codes
 ----------
 0  success; 1 unexpected typed error; 2 usage (argparse);
 3  generation-side failure (generate / inject-faults / ingest);
 4  analysis-side failure (one or more experiments failed);
-5  lint findings above the baseline (``repro lint``).
+5  lint findings above the baseline (``repro lint``);
+6  performance regression beyond threshold (``repro bench compare``).
 
 Fault-tolerance flags (global)
 ------------------------------
@@ -39,7 +42,7 @@ Observability flags (global)
 ``--metrics-out PATH``  metrics snapshot path (implies ``--metrics``).
 ``--obs-dir DIR``       artifact directory (default: results/obs); a traced
                         or metered run also writes ``run_report.json`` +
-                        ``run_report.txt`` there.
+                        ``run_report.txt`` + ``provenance.json`` there.
 ``--log LEVEL``         log verbosity (debug|info|warn|error); the
                         ``REPRO_LOG`` env var is honored when absent.
 """
@@ -54,8 +57,10 @@ from typing import Optional, Sequence
 from repro import obs
 from repro.faults import PROFILES, FaultInjector, get_profile
 from repro.lint import cli as lint_cli
+from repro.obs import bench as bench_cli
 from repro.obs import cli as obs_cli
 from repro.obs.export import write_chrome_trace, write_spans_jsonl
+from repro.obs.lineage import write_provenance
 from repro.obs.metrics import snapshot_to_json
 from repro.obs.report import build_run_report, write_run_report
 from repro.runtime.checkpoint import config_key
@@ -158,6 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint_cli.configure_parser(sub)
     obs_cli.configure_parser(sub)
+    bench_cli.configure_parser(sub)
     return parser
 
 
@@ -184,7 +190,9 @@ def _obs_setup(args) -> None:
         return
     trace_on = bool(args.trace or args.trace_out)
     metrics_on = bool(args.metrics or args.metrics_out)
-    obs.enable(trace=trace_on, metrics=metrics_on)
+    # Lineage rides along with any observed run: fingerprinting the
+    # handful of tables per stage is cheap next to tracing the stages.
+    obs.enable(trace=trace_on, metrics=metrics_on, lineage=True)
 
 
 def _obs_finish(args, report, gates=None, injection=None) -> None:
@@ -221,6 +229,12 @@ def _obs_finish(args, report, gates=None, injection=None) -> None:
         )
         paths = write_run_report(data, args.obs_dir)
         written += [paths["json"], paths["txt"]]
+    recorder = obs.lineage_recorder()
+    if recorder is not None and len(recorder):
+        recorder.set_run(run_id=_run_id(args))
+        prov_path = os.path.join(args.obs_dir, "provenance.json")
+        write_provenance(recorder, prov_path)
+        written.append(prov_path)
     obs.disable()
     for path in written:
         print(f"obs: wrote {path}", file=sys.stderr)
@@ -396,6 +410,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "topology": _cmd_topology,
         "lint": lint_cli.cmd_lint,
         "obs": obs_cli.cmd_obs,
+        "bench": bench_cli.cmd_bench,
     }
     try:
         return handlers[args.command](args)

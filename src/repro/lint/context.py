@@ -32,6 +32,16 @@ DEFAULT_RNG_ALLOWED: Tuple[str, ...] = ("repro/util/rng.py",)
 #: the obs clock shim wraps them once, and benchmarks time real work.
 DEFAULT_TIMING_ALLOWED: Tuple[str, ...] = ("repro/obs/", "benchmarks/")
 
+#: The one file allowed to name ``BENCH_*.json`` artifacts in code: the
+#: sanctioned snapshot/history writer.  Everyone else goes through it, so
+#: ad-hoc baseline files cannot reappear outside the registry.
+DEFAULT_BENCH_WRITER_FILES: Tuple[str, ...] = ("repro/obs/bench.py",)
+
+#: Files whose table column names are synthetic by design (the bench micro
+#: suite builds throwaway tables), so the schema-columns cross-reference
+#: against the NDT/trace schema does not apply.
+DEFAULT_SCHEMA_EXEMPT_FILES: Tuple[str, ...] = ("repro/obs/bench.py",)
+
 #: Subpackages where raising builtin ``ValueError``/``TypeError``/``KeyError``
 #: is a finding even though the repo-wide convention allows them for argument
 #: validation: these packages have dedicated typed errors (``AnalysisError``,
@@ -66,6 +76,8 @@ class LintConfig:
     rng_allowed_files: Tuple[str, ...] = DEFAULT_RNG_ALLOWED
     typed_error_strict_packages: Tuple[str, ...] = DEFAULT_TYPED_ERROR_STRICT
     timing_allowed_packages: Tuple[str, ...] = DEFAULT_TIMING_ALLOWED
+    bench_writer_files: Tuple[str, ...] = DEFAULT_BENCH_WRITER_FILES
+    schema_exempt_files: Tuple[str, ...] = DEFAULT_SCHEMA_EXEMPT_FILES
 
 
 class FileContext:

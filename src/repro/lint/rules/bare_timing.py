@@ -17,12 +17,20 @@ flags
 timing, and the module import is how ``sleep`` arrives.  Measure with
 ``obs.span(...)``/``@obs.traced`` and read clocks via
 ``repro.obs.clock.monotonic``.
+
+The rule also guards the downstream sink of ad-hoc timing: ``BENCH_*``
+artifact filenames (``BENCH_engine.json``-style literals) anywhere except
+the sanctioned writer, :mod:`repro.obs.bench`.  One-off baseline files are
+how timing data escapes the benchmark registry — route snapshots through
+``repro.obs.bench.write_snapshot`` and history through
+``repro bench record``.  Docstrings may of course *mention* the files.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator
+import re
+from typing import Iterable, Iterator, Set
 
 from repro.lint.context import FileContext
 from repro.lint.diagnostics import Diagnostic, Severity
@@ -44,6 +52,27 @@ _CLOCK_READS = frozenset(
     }
 )
 
+#: A string literal that names a benchmark artifact file.
+_BENCH_ARTIFACT = re.compile(r"BENCH_\w+\.jsonl?$")
+
+
+def _docstring_nodes(tree: ast.AST) -> Set[int]:
+    """ids of Constant nodes that are module/class/function docstrings."""
+    out: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.add(id(body[0].value))
+    return out
+
 
 @register
 class BareTimingRule(Rule):
@@ -51,17 +80,24 @@ class BareTimingRule(Rule):
     severity = Severity.ERROR
     description = (
         "direct time.time()/time.perf_counter() use outside repro/obs/ and "
-        "benchmarks/; use obs.span or repro.obs.clock"
+        "benchmarks/ (use obs.span or repro.obs.clock), and BENCH_* artifact "
+        "filenames outside repro/obs/bench.py (use the benchmark registry)"
     )
 
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
-        if ctx.in_package(*ctx.config.timing_allowed_packages):
-            return
+        timing_exempt = ctx.in_package(*ctx.config.timing_allowed_packages)
+        bench_exempt = ctx.matches(*ctx.config.bench_writer_files)
+        docstrings = (
+            _docstring_nodes(ctx.tree) if not bench_exempt else set()
+        )
         for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.ImportFrom):
-                yield from self._check_import_from(ctx, node)
-            elif isinstance(node, ast.Attribute):
-                yield from self._check_attribute(ctx, node)
+            if not timing_exempt:
+                if isinstance(node, ast.ImportFrom):
+                    yield from self._check_import_from(ctx, node)
+                elif isinstance(node, ast.Attribute):
+                    yield from self._check_attribute(ctx, node)
+            if not bench_exempt:
+                yield from self._check_bench_literal(ctx, node, docstrings)
 
     def _check_import_from(
         self, ctx: FileContext, node: ast.ImportFrom
@@ -90,4 +126,21 @@ class BareTimingRule(Rule):
                 node,
                 f"bare time.{node.attr} bypasses the obs layer; time blocks "
                 f"with obs.span(...) or read repro.obs.clock.monotonic",
+            )
+
+    def _check_bench_literal(
+        self, ctx: FileContext, node: ast.AST, docstrings: Set[int]
+    ) -> Iterator[Diagnostic]:
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and id(node) not in docstrings
+            and _BENCH_ARTIFACT.search(node.value)
+        ):
+            yield self.diag(
+                ctx,
+                node,
+                f"BENCH artifact name {node.value!r} outside the sanctioned "
+                f"writer; go through repro.obs.bench (write_snapshot / "
+                f"repro bench record)",
             )

@@ -10,6 +10,9 @@ lint error instead of a corrupted result.
 String subscripts (``row["min_rtt_ms"]``) also index plain dicts, so they get
 a *near-miss* check only: flagged when the literal is a whitespace/case
 variant of a declared column but not exactly one.
+
+Files listed in ``LintConfig.schema_exempt_files`` (the bench micro suite,
+whose tables are synthetic by design) are skipped entirely.
 """
 
 from __future__ import annotations
@@ -56,7 +59,7 @@ class SchemaColumnsRule(Rule):
 
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
         known = ctx.config.known_columns
-        if not known:
+        if not known or ctx.matches(*ctx.config.schema_exempt_files):
             return
         normalized = {_normalize(k): k for k in known}
         for node in ast.walk(ctx.tree):

@@ -1,29 +1,36 @@
-"""``repro.obs`` — structured tracing, metrics, and run reports.
+"""``repro.obs`` — tracing, metrics, lineage, and run reports.
 
-The three pillars (see ``docs/OBSERVABILITY.md``):
+The pillars (see ``docs/OBSERVABILITY.md``):
 
 * **tracing** — ``obs.span("stage.ingest", rows=...)`` / ``@obs.traced``
   record nested monotonic-clock spans, exported as JSONL and as a Chrome
   ``chrome://tracing`` view;
 * **metrics** — ``obs.counter("ingest.rows_quarantined")``,
   ``obs.histogram("kernel.groupby_ms")``: a process-local registry with
-  deterministic JSON snapshots, diffable between runs;
+  deterministic JSON snapshots, diffable between runs.
+  :mod:`repro.obs.memory` rides on this pillar, publishing per-table
+  byte accounting as ``table.bytes.*`` gauges;
+* **lineage** — :mod:`repro.obs.lineage` fingerprints every table
+  entering/leaving a pipeline stage and folds the stage graph into a
+  deterministic ``provenance.json``;
 * **run report** — :mod:`repro.obs.report` folds the pipeline's stage
   results, the metrics snapshot, and the hottest spans into
   ``run_report.json`` + a rendered text table at pipeline exit.
+  :mod:`repro.obs.bench` tracks performance over time in the same spirit
+  (``BENCH_history.jsonl`` + ``repro bench compare``).
 
 Everything is **off by default** and free when off: ``obs.span`` returns
-a shared no-op, metric handles are null objects, and ``@obs.traced``
-calls straight through — the table-engine hot path pays one module-global
-check.  ``obs.enable(trace=..., metrics=...)`` (wired to ``--trace`` /
-``--metrics`` on the CLI) turns the pillars on independently; a span
-created with ``metric="kernel.groupby_ms"`` feeds that histogram even
-when tracing itself is off, so ``--metrics`` alone still sees kernel
-timings.
+a shared no-op, metric handles are null objects, ``obs.active_lineage()``
+is ``None``, and ``@obs.traced`` calls straight through — the table-engine
+hot path pays one module-global check.  ``obs.enable(trace=...,
+metrics=..., lineage=...)`` (wired to ``--trace`` / ``--metrics`` on the
+CLI) turns the pillars on independently; a span created with
+``metric="kernel.groupby_ms"`` feeds that histogram even when tracing
+itself is off, so ``--metrics`` alone still sees kernel timings.
 
-This package depends on nothing outside the standard library, and no
-repro module below it — it is importable from anywhere in the tree
-without cycles.
+This package depends only on the standard library (plus numpy in the
+lineage/bench submodules, which import lazily), and no repro module
+below it — it is importable from anywhere in the tree without cycles.
 """
 
 from __future__ import annotations
@@ -56,9 +63,11 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "active_lineage",
     "gauge",
     "get_logger",
     "histogram",
+    "lineage_recorder",
     "metrics_enabled",
     "metrics_registry",
     "metrics_snapshot",
@@ -74,13 +83,16 @@ __all__ = [
 class _State:
     """The process-local toggle every instrumented call site checks."""
 
-    __slots__ = ("tracer", "registry", "metrics_on", "clock")
+    __slots__ = ("tracer", "registry", "metrics_on", "clock",
+                 "lineage_rec", "lineage_on")
 
     def __init__(self):
         self.tracer: Optional[Tracer] = None
         self.registry: Optional[MetricsRegistry] = None
         self.metrics_on = False
         self.clock = _clockmod.monotonic
+        self.lineage_rec = None  # LineageRecorder, imported lazily
+        self.lineage_on = False
 
 
 _state = _State()
@@ -96,8 +108,9 @@ def enable(
     trace: bool = True,
     metrics: bool = True,
     clock: Callable[[], float] = None,
+    lineage: bool = False,
 ) -> None:
-    """Turn pillars on (idempotent; an existing tracer/registry is kept)."""
+    """Turn pillars on (idempotent; existing tracer/registry/recorder kept)."""
     if clock is not None:
         _state.clock = clock
     if trace and _state.tracer is None:
@@ -106,18 +119,26 @@ def enable(
         if _state.registry is None:
             _state.registry = MetricsRegistry()
         _state.metrics_on = True
+    if lineage:
+        if _state.lineage_rec is None:
+            from repro.obs.lineage import LineageRecorder
+
+            _state.lineage_rec = LineageRecorder()
+        _state.lineage_on = True
 
 
 def disable() -> None:
-    """Turn both pillars off; recorded data stays readable until :func:`reset`."""
+    """Turn the pillars off; recorded data stays readable until :func:`reset`."""
     _state.tracer = None
     _state.metrics_on = False
+    _state.lineage_on = False
 
 
 def reset() -> None:
-    """Disable and drop all recorded spans and metrics (tests, reruns)."""
+    """Disable and drop all recorded spans, metrics, and lineage (tests)."""
     disable()
     _state.registry = None
+    _state.lineage_rec = None
     _state.clock = _clockmod.monotonic
 
 
@@ -133,6 +154,22 @@ def metrics_enabled() -> bool:
 def tracer() -> Optional[Tracer]:
     """The active tracer, or ``None`` while tracing is disabled."""
     return _state.tracer
+
+
+def active_lineage():
+    """The active lineage recorder, or ``None`` while lineage is off.
+
+    This is the hot-path gate: the pipeline checks ``obs.active_lineage()
+    is not None`` once per run, so runs without lineage never fingerprint.
+    (Named ``active_lineage`` because the bare name ``lineage`` is taken
+    by the :mod:`repro.obs.lineage` submodule.)
+    """
+    return _state.lineage_rec if _state.lineage_on else None
+
+
+def lineage_recorder():
+    """This run's recorder regardless of the on/off flag (export path)."""
+    return _state.lineage_rec
 
 
 def metrics_registry() -> Optional[MetricsRegistry]:

@@ -1,0 +1,560 @@
+"""The benchmark registry: one history, one comparison, one writer.
+
+Before this module, performance numbers lived in disconnected one-off
+snapshots: ``BENCH_engine.json`` (vectorized-engine speedups) and
+``BENCH_obs.json`` (disabled-instrumentation overhead), each written by a
+different benchmark file, with no trend and no gate.  This module unifies
+them:
+
+* :class:`BenchRegistry` — an in-process accumulator benchmarks record
+  wall-clock results into (``benchmarks/bench_common.py`` exposes the
+  shared session instance, so every benchmark module feeds it for free);
+* :func:`append_history` — an **append-only** JSONL history
+  (``BENCH_history.jsonl`` at the repo root): one run record per line,
+  keyed by an *externally supplied* sha/timestamp (``--sha``/``--ts`` or
+  the ``REPRO_BENCH_SHA``/``REPRO_BENCH_TS`` env vars) so the file stays
+  deterministic and diffable — no clock reads at record time;
+* :func:`compare` — noise-tolerant baseline comparison: a benchmark
+  regresses when it slows beyond a configurable threshold (default
+  +20%), and sub-``min_seconds`` timings are ignored entirely because a
+  3ms kernel cannot be compared across runs with a wall clock;
+* :func:`write_snapshot` — the **one sanctioned writer** of
+  ``BENCH_*.json`` files.  The ``no-bare-timing`` lint rule flags
+  ``BENCH_*`` path literals anywhere else, so ad-hoc baseline files
+  cannot quietly reappear.
+
+``repro bench run|compare|record`` is the CLI face (exit code 6 on
+regressions); ``make bench-compare`` wires the comparison into the
+default test flow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "BenchRegistry",
+    "ComparisonResult",
+    "DEFAULT_MIN_SECONDS",
+    "DEFAULT_THRESHOLD",
+    "EXIT_PERF_REGRESSION",
+    "Regression",
+    "append_history",
+    "baseline_path",
+    "cmd_bench",
+    "compare",
+    "configure_parser",
+    "history_path",
+    "load_history",
+    "load_legacy_baselines",
+    "render_comparison",
+    "repo_root",
+    "session_registry",
+    "write_snapshot",
+]
+
+#: ``repro bench compare`` exit code when regressions exceed the threshold
+#: (0-5 are taken: ok, typed error, usage, generation, analysis, lint).
+EXIT_PERF_REGRESSION = 6
+
+#: A benchmark regresses when ``current > baseline * (1 + threshold)``.
+DEFAULT_THRESHOLD = 0.20
+
+#: Timings under this floor (both sides) are never compared: wall-clock
+#: noise on millisecond kernels would fire the gate randomly.
+DEFAULT_MIN_SECONDS = 0.01
+
+_LEGACY_BASENAMES = ("BENCH_engine.json", "BENCH_obs.json")
+_HISTORY_BASENAME = "BENCH_history.jsonl"
+
+
+def repo_root() -> Path:
+    """The repository root in the dev layout (``src/repro/obs/`` → root)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def baseline_path(kind: str, root: Optional[Path] = None) -> Path:
+    """Path of a legacy one-off snapshot: kind ``engine`` or ``obs``."""
+    names = {"engine": _LEGACY_BASENAMES[0], "obs": _LEGACY_BASENAMES[1]}
+    if kind not in names:
+        raise ValueError(f"unknown baseline kind {kind!r}; use engine|obs")
+    return (root or repo_root()) / names[kind]
+
+
+def history_path(root: Optional[Path] = None) -> Path:
+    """Path of the append-only run-record history."""
+    return (root or repo_root()) / _HISTORY_BASENAME
+
+
+class BenchRegistry:
+    """Accumulates ``name -> {seconds, meta...}`` benchmark rows for one run."""
+
+    def __init__(self):
+        self._records: Dict[str, Dict[str, Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, name: str, seconds: float, **meta: Any) -> None:
+        """Record one benchmark timing (last write wins per name)."""
+        if not name:
+            raise ValueError("benchmark name must be non-empty")
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ValueError(f"benchmark {name!r}: negative seconds {seconds}")
+        self._records[name] = {"seconds": seconds, **meta}
+
+    def as_benchmarks(self) -> Dict[str, Dict[str, Any]]:
+        """A name-sorted copy, ready for :func:`append_history`."""
+        return {n: dict(self._records[n]) for n in sorted(self._records)}
+
+
+_session = BenchRegistry()
+
+
+def session_registry() -> BenchRegistry:
+    """The process-wide registry benchmark modules record into."""
+    return _session
+
+
+# -- snapshots and history ---------------------------------------------------
+def write_snapshot(path, payload: Dict[str, Any]) -> str:
+    """Write a ``BENCH_*.json`` snapshot — the one sanctioned writer.
+
+    Keeps the historical human-readable format (indent 2, trailing
+    newline) the legacy baselines used, so migrating the writers does not
+    churn the checked-in files.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return str(path)
+
+
+def _seconds_entry(value: Any) -> Optional[float]:
+    if isinstance(value, dict):
+        value = value.get("seconds")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def load_legacy_baselines(root: Optional[Path] = None) -> Dict[str, Dict[str, Any]]:
+    """Unify the ad-hoc ``BENCH_*.json`` snapshots into registry rows.
+
+    Engine rows keep the vectorized path's time (``after_s``); the
+    encode/decode row sums its two phases; obs rows keep the disabled-path
+    op times.  Missing files are simply skipped, so a fresh clone without
+    recorded baselines still works.
+    """
+    out: Dict[str, Dict[str, Any]] = {}
+    engine = baseline_path("engine", root)
+    if engine.exists():
+        data = json.loads(engine.read_text(encoding="utf-8"))
+        for name, row in data.get("benchmarks", {}).items():
+            if "after_s" in row:
+                out[f"engine.{name}"] = {
+                    "seconds": float(row["after_s"]),
+                    "rows": row.get("rows"),
+                }
+            elif "encode_s" in row:
+                out[f"engine.{name}"] = {
+                    "seconds": float(row["encode_s"]) + float(row["decode_s"]),
+                    "rows": row.get("rows"),
+                }
+    obs_file = baseline_path("obs", root)
+    if obs_file.exists():
+        data = json.loads(obs_file.read_text(encoding="utf-8"))
+        for name, row in data.get("benchmarks", {}).items():
+            if isinstance(row, dict) and "op_s_disabled" in row:
+                out[f"obs.{name}_disabled"] = {
+                    "seconds": float(row["op_s_disabled"]),
+                    "rows": row.get("rows"),
+                }
+    return out
+
+
+def external_run_key() -> Dict[str, str]:
+    """The externally supplied (sha, timestamp) identity for run records."""
+    return {
+        "sha": os.environ.get("REPRO_BENCH_SHA", "unknown"),
+        "timestamp": os.environ.get("REPRO_BENCH_TS", "unknown"),
+    }
+
+
+def append_history(
+    benchmarks: Dict[str, Dict[str, Any]],
+    sha: str,
+    timestamp: str,
+    path=None,
+) -> Dict[str, Any]:
+    """Append one run record to the JSONL history; returns the record.
+
+    The history is append-only by construction: records are only ever
+    written with ``"a"``, and readers tolerate (and report) any manually
+    truncated lines.
+    """
+    record = {
+        "sha": sha,
+        "timestamp": timestamp,
+        "benchmarks": {n: benchmarks[n] for n in sorted(benchmarks)},
+    }
+    path = Path(path) if path is not None else history_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        fh.write("\n")
+    return record
+
+
+def load_history(path=None) -> List[Dict[str, Any]]:
+    """All run records, oldest first; missing file → empty list."""
+    path = Path(path) if path is not None else history_path()
+    if not path.exists():
+        return []
+    out: List[Dict[str, Any]] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            print(
+                f"warning: skipping malformed history line in {path}",
+                file=sys.stderr,
+            )
+    return out
+
+
+# -- comparison --------------------------------------------------------------
+@dataclass(frozen=True)
+class Regression:
+    """One benchmark that slowed beyond the threshold."""
+
+    name: str
+    baseline_s: float
+    current_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current_s / self.baseline_s if self.baseline_s else float("inf")
+
+
+@dataclass
+class ComparisonResult:
+    """Everything one baseline comparison found."""
+
+    threshold: float
+    min_seconds: float
+    regressions: List[Regression] = field(default_factory=list)
+    improvements: List[Regression] = field(default_factory=list)
+    compared: int = 0
+    skipped_noise: List[str] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else EXIT_PERF_REGRESSION
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> ComparisonResult:
+    """Compare two ``name -> seconds|{seconds: ...}`` maps.
+
+    Noise tolerance is explicit: benchmarks where *either* side is under
+    ``min_seconds`` are reported under ``skipped_noise`` and never gate,
+    and a slowdown only counts when it exceeds ``threshold`` (fractional,
+    e.g. 0.2 = +20%).  Symmetric speedups land in ``improvements`` for
+    the report but never fail anything.
+    """
+    result = ComparisonResult(threshold=threshold, min_seconds=min_seconds)
+    for name in sorted(set(current) | set(baseline)):
+        cur_s = _seconds_entry(current.get(name))
+        base_s = _seconds_entry(baseline.get(name))
+        if cur_s is None and base_s is None:
+            continue
+        if base_s is None:
+            result.added.append(name)
+            continue
+        if cur_s is None:
+            result.missing.append(name)
+            continue
+        if cur_s < min_seconds or base_s < min_seconds:
+            result.skipped_noise.append(name)
+            continue
+        result.compared += 1
+        if cur_s > base_s * (1.0 + threshold):
+            result.regressions.append(Regression(name, base_s, cur_s))
+        elif cur_s < base_s / (1.0 + threshold):
+            result.improvements.append(Regression(name, base_s, cur_s))
+    return result
+
+
+def render_comparison(result: ComparisonResult) -> str:
+    """The ``repro bench compare`` text report."""
+    lines = [
+        f"bench compare: {result.compared} compared, threshold "
+        f"+{result.threshold:.0%}, noise floor {result.min_seconds * 1000:g}ms"
+    ]
+    for reg in result.regressions:
+        lines.append(
+            f"  REGRESSION {reg.name}: {reg.baseline_s:.4f}s -> "
+            f"{reg.current_s:.4f}s ({reg.ratio:.2f}x)"
+        )
+    for imp in result.improvements:
+        lines.append(
+            f"  improved   {imp.name}: {imp.baseline_s:.4f}s -> "
+            f"{imp.current_s:.4f}s ({imp.ratio:.2f}x)"
+        )
+    if result.skipped_noise:
+        lines.append(
+            f"  skipped (under noise floor): {', '.join(result.skipped_noise)}"
+        )
+    if result.added:
+        lines.append(f"  new benchmarks (no baseline): {', '.join(result.added)}")
+    if result.missing:
+        lines.append(f"  missing from current run: {', '.join(result.missing)}")
+    lines.append("PASS" if result.ok else "FAIL: performance regressions")
+    return "\n".join(lines)
+
+
+# -- the built-in micro suite ------------------------------------------------
+def run_micro_suite(
+    rows: int = 200_000, repeat: int = 3, registry: Optional[BenchRegistry] = None
+) -> BenchRegistry:
+    """Time the engine's hot relational kernels on a synthetic table.
+
+    This is ``repro bench run``: a fast, self-contained measurement of
+    group-by / join / isin / sort on a dictionary-encoded workload shaped
+    like the NDT tables (a few hundred string keys over many rows).
+    Imports are local so the obs package stays import-light for everyone
+    who never benchmarks.
+    """
+    import numpy as np
+
+    from repro.obs.clock import monotonic
+    from repro.tables.join import join
+    from repro.tables.schema import DType
+    from repro.tables.table import Table
+
+    registry = registry if registry is not None else BenchRegistry()
+    rng = np.random.Generator(np.random.PCG64(20220224))
+    keys = np.array([f"city_{i:03d}" for i in range(300)], dtype=object)
+    big = Table.from_dict(
+        {
+            "k": keys[rng.integers(0, len(keys), rows)].tolist(),
+            "k2": rng.integers(0, 40, rows),
+            "v": rng.normal(50.0, 20.0, rows),
+        },
+        dtypes={"k": DType.STR, "k2": DType.INT, "v": DType.FLOAT},
+    )
+    right = Table.from_dict(
+        {"k": keys.tolist(), "w": rng.normal(0.0, 1.0, len(keys))},
+        dtypes={"k": DType.STR, "w": DType.FLOAT},
+    )
+    allowed = {f"city_{i:03d}" for i in range(0, 300, 7)}
+    suite = {
+        "micro.groupby_mean": lambda: big.group_by("k").aggregate(
+            {"m": ("v", "mean"), "n": ("v", "count")}
+        ),
+        "micro.join_inner": lambda: join(big, right, on="k"),
+        "micro.filter_isin": lambda: big.column("k").isin(allowed),
+        "micro.sort_by": lambda: big.sort_by(["k", "k2"]),
+    }
+    for name, fn in suite.items():
+        best = float("inf")
+        for _ in range(max(1, repeat)):
+            t0 = monotonic()
+            fn()
+            best = min(best, monotonic() - t0)
+        registry.record(name, best, rows=rows, repeat=repeat)
+    return registry
+
+
+# -- CLI ---------------------------------------------------------------------
+def configure_parser(sub: argparse._SubParsersAction) -> None:
+    bench = sub.add_parser(
+        "bench",
+        help="run / compare / record benchmark registry entries",
+        description=(
+            "The benchmark registry over BENCH_history.jsonl: run the "
+            "built-in micro suite, compare current numbers against the "
+            "recorded baseline (exit 6 on regressions beyond the "
+            "threshold), or append a new run record.  See "
+            "docs/OBSERVABILITY.md."
+        ),
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    run = bench_sub.add_parser(
+        "run", help="time the built-in engine micro suite"
+    )
+    run.add_argument(
+        "--rows", type=int, default=200_000,
+        help="synthetic table size (default: %(default)s)",
+    )
+    run.add_argument(
+        "--repeat", type=int, default=3,
+        help="best-of repetitions per benchmark (default: %(default)s)",
+    )
+    run.add_argument(
+        "--json", action="store_true", help="print the rows as JSON"
+    )
+    run.add_argument(
+        "--record", action="store_true",
+        help="append the results to the history (see 'record' for keying)",
+    )
+    _add_key_args(run)
+
+    comp = bench_sub.add_parser(
+        "compare", help="compare current numbers against the recorded baseline"
+    )
+    comp.add_argument(
+        "--current", default=None, metavar="PATH",
+        help="JSON of current numbers (a run record or name->seconds map; "
+        "default: the unified BENCH_engine/BENCH_obs snapshots)",
+    )
+    comp.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="history file holding the baseline (default: BENCH_history.jsonl)",
+    )
+    comp.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="regression threshold as a fraction (default: %(default)s)",
+    )
+    comp.add_argument(
+        "--min-seconds", type=float, default=DEFAULT_MIN_SECONDS,
+        help="noise floor; faster timings never gate (default: %(default)s)",
+    )
+
+    rec = bench_sub.add_parser(
+        "record", help="append a run record to the history"
+    )
+    rec.add_argument(
+        "--input", default=None, metavar="PATH",
+        help="JSON of numbers to record (default: the unified "
+        "BENCH_engine/BENCH_obs snapshots)",
+    )
+    rec.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="history file to append to (default: BENCH_history.jsonl)",
+    )
+    _add_key_args(rec)
+
+
+def _add_key_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sha", default=None,
+        help="run key: commit sha (default: REPRO_BENCH_SHA env, else 'unknown')",
+    )
+    parser.add_argument(
+        "--ts", default=None,
+        help="run key: timestamp (default: REPRO_BENCH_TS env, else 'unknown')",
+    )
+
+
+def _run_key(args) -> Dict[str, str]:
+    key = external_run_key()
+    if getattr(args, "sha", None):
+        key["sha"] = args.sha
+    if getattr(args, "ts", None):
+        key["timestamp"] = args.ts
+    return key
+
+
+def _load_benchmarks_arg(path: Optional[str]) -> Dict[str, Any]:
+    """Current/recorded numbers from a file, or the unified legacy snapshots."""
+    if path is None:
+        return load_legacy_baselines()
+    from repro.util.errors import ReproError
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        raise ReproError(f"no such file: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from exc
+    if "benchmarks" in data:
+        return data["benchmarks"]
+    return data
+
+
+def _cmd_run(args) -> int:
+    registry = run_micro_suite(rows=args.rows, repeat=args.repeat)
+    benchmarks = registry.as_benchmarks()
+    if args.json:
+        print(json.dumps({"benchmarks": benchmarks}, indent=2, sort_keys=True))
+    else:
+        for name, row in benchmarks.items():
+            print(f"{name:<24s} {row['seconds'] * 1000:>10.3f} ms  "
+                  f"(rows={row.get('rows')}, best of {row.get('repeat')})")
+    if args.record:
+        key = _run_key(args)
+        path = history_path()
+        record = append_history(benchmarks, key["sha"], key["timestamp"], path)
+        print(
+            f"recorded {len(record['benchmarks'])} benchmark(s) to "
+            f"{path} (sha {key['sha']})"
+        )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    current = _load_benchmarks_arg(args.current)
+    history = load_history(args.history)
+    if not history:
+        print(
+            "bench compare: no baseline recorded yet "
+            f"({args.history or history_path()}); run 'repro bench record' first",
+            file=sys.stderr,
+        )
+        return 0
+    baseline = history[-1].get("benchmarks", {})
+    result = compare(
+        current, baseline,
+        threshold=args.threshold, min_seconds=args.min_seconds,
+    )
+    print(render_comparison(result))
+    return result.exit_code
+
+
+def _cmd_record(args) -> int:
+    benchmarks = _load_benchmarks_arg(args.input)
+    if not benchmarks:
+        print("bench record: nothing to record (no snapshots found)",
+              file=sys.stderr)
+        return 1
+    key = _run_key(args)
+    path = Path(args.history) if args.history else history_path()
+    record = append_history(benchmarks, key["sha"], key["timestamp"], path)
+    print(
+        f"recorded {len(record['benchmarks'])} benchmark(s) to {path} "
+        f"(sha {key['sha']}, ts {key['timestamp']})"
+    )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "record": _cmd_record,
+    }
+    return handlers[args.bench_command](args)

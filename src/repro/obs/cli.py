@@ -1,24 +1,29 @@
 """The ``repro obs`` subcommand: inspect observability artifacts offline.
 
 ``summarize``  Digest a JSONL trace and/or a ``run_report.json`` into the
-               per-stage table and hottest-span list without rerunning
-               anything.
+               per-stage table, histogram percentiles, and hottest-span
+               list without rerunning anything.
 ``diff``       Compare two metrics snapshots (or the ``metrics`` section
                of two run reports): counter/gauge deltas and histogram
                count/sum drift between runs.
 ``validate``   Check a ``run_report.json`` against the checked-in schema
                (``docs/run_report.schema.json``); exit 1 on violations.
+``lineage``    Render ``provenance.json`` (text or ``--dot`` Graphviz)
+               after checking it against ``docs/provenance.schema.json``.
+``mem``        Generate a dataset at the session's seed/scale and print
+               the per-column memory accounting (top-N columns by bytes).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Any, Dict, List
 
 from repro.obs.export import read_spans_jsonl
-from repro.obs.metrics import diff_snapshots
+from repro.obs.metrics import diff_snapshots, percentile_from_snapshot
 from repro.obs.report import render_run_report, validate_run_report
 from repro.util.errors import ReproError
 
@@ -67,6 +72,34 @@ def configure_parser(sub: argparse._SubParsersAction) -> None:
         help="schema path (default: docs/run_report.schema.json)",
     )
 
+    lin = obs_sub.add_parser(
+        "lineage", help="render provenance.json (schema-checked)"
+    )
+    lin.add_argument(
+        "provenance", nargs="?", default=None, metavar="PATH",
+        help="provenance.json path (default: <obs-dir>/provenance.json)",
+    )
+    lin.add_argument(
+        "--dot", action="store_true",
+        help="emit the DAG as Graphviz DOT instead of text",
+    )
+    lin.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the schema check (render even a malformed document)",
+    )
+
+    mem = obs_sub.add_parser(
+        "mem", help="per-column memory accounting for a generated dataset"
+    )
+    mem.add_argument(
+        "--top", type=int, default=15,
+        help="columns to show, ranked by bytes (default: %(default)s)",
+    )
+    mem.add_argument(
+        "--ingest", action="store_true",
+        help="account the sanitized (post-ingest) tables instead of raw ones",
+    )
+
 
 def _load_json(path: str) -> Dict[str, Any]:
     try:
@@ -79,12 +112,24 @@ def _load_json(path: str) -> Dict[str, Any]:
 
 
 def _load_snapshot(path: str) -> Dict[str, Any]:
-    """A metrics snapshot, from either metrics.json or a run report."""
+    """A metrics snapshot, from either metrics.json or a run report.
+
+    A run report whose ``metrics`` section was trimmed (older producer,
+    hand-filtered file) degrades to an empty snapshot with a warning —
+    the diff still runs over whatever the other side has.
+    """
     data = _load_json(path)
     if "counters" in data or "histograms" in data:
         return data
     if "metrics" in data:
         return data["metrics"] or {}
+    if "stages" in data or "schema_version" in data:
+        print(
+            f"warning: {path} is a run report without a metrics section; "
+            f"treating it as an empty snapshot",
+            file=sys.stderr,
+        )
+        return {}
     raise ReproError(
         f"{path} is neither a metrics snapshot nor a run report "
         f"(expected 'counters' or 'metrics' keys)"
@@ -116,6 +161,29 @@ def _summarize_trace(path: str, top: int) -> str:
     return "\n".join(lines)
 
 
+def _fmt_pct(v: float) -> str:
+    return "nan" if math.isnan(v) else f"{v:.3f}"
+
+
+def _summarize_histograms(snapshot: Dict[str, Any]) -> str:
+    """p50/p95 per histogram (empty histograms report NaN, not zeros)."""
+    histograms = snapshot.get("histograms") or {}
+    lines = [
+        f"{'histogram':<36s} {'count':>6s} {'p50':>10s} {'p95':>10s} {'max':>10s}"
+    ]
+    for name in sorted(histograms):
+        h = histograms[name]
+        p50 = percentile_from_snapshot(h, 50.0)
+        p95 = percentile_from_snapshot(h, 95.0)
+        hmax = h.get("max")
+        lines.append(
+            f"{name:<36s} {int(h.get('count', 0)):>6d} {_fmt_pct(p50):>10s} "
+            f"{_fmt_pct(p95):>10s} "
+            f"{'-' if hmax is None else format(hmax, '.3f'):>10s}"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
     if args.report is None and args.trace is None:
         print(
@@ -125,7 +193,11 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         return 2
     parts: List[str] = []
     if args.report is not None:
-        parts.append(render_run_report(_load_json(args.report)).rstrip("\n"))
+        report = _load_json(args.report)
+        parts.append(render_run_report(report).rstrip("\n"))
+        metrics = report.get("metrics") or {}
+        if metrics.get("histograms"):
+            parts.append(_summarize_histograms(metrics))
     if args.trace is not None:
         parts.append(_summarize_trace(args.trace, args.top))
     print("\n\n".join(parts))
@@ -183,10 +255,63 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lineage(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import lineage as lineage_mod
+
+    path = args.provenance or os.path.join(
+        getattr(args, "obs_dir", os.path.join("results", "obs")),
+        "provenance.json",
+    )
+    data = _load_json(path)
+    rc = 0
+    if not args.no_validate:
+        errors = lineage_mod.validate_provenance(data)
+        for err in errors:
+            print(f"schema violation: {err}", file=sys.stderr)
+        rc = 1 if errors else 0
+    if args.dot:
+        print(lineage_mod.provenance_to_dot(data), end="")
+    else:
+        print(lineage_mod.render_provenance(data))
+    return rc
+
+
+def _cmd_mem(args: argparse.Namespace) -> int:
+    # Lazy imports: the generator only loads when someone actually asks
+    # for the memory view, keeping plain `repro obs` artifact tools light.
+    from repro.obs.memory import render_memory_report, table_memory
+    from repro.synth.generator import DatasetGenerator, GeneratorConfig
+
+    config = GeneratorConfig(
+        seed=getattr(args, "seed", 20220224),
+        scale=getattr(args, "scale", 0.25),
+    )
+    dataset = DatasetGenerator(config).generate()
+    label = "raw"
+    if args.ingest:
+        from repro.runtime.ingest import sanitize_dataset
+
+        dataset, _gates = sanitize_dataset(dataset)
+        label = "ingested"
+    tables = [
+        table_memory(dataset.ndt, name="ndt"),
+        table_memory(dataset.traces, name="traces"),
+    ]
+    print(
+        f"dataset seed {config.seed}, scale {config.scale} ({label} tables)"
+    )
+    print(render_memory_report(tables, top=args.top))
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     handlers = {
         "summarize": _cmd_summarize,
         "diff": _cmd_diff,
         "validate": _cmd_validate,
+        "lineage": _cmd_lineage,
+        "mem": _cmd_mem,
     }
     return handlers[args.obs_command](args)

@@ -1,0 +1,189 @@
+"""Memory accounting: what bytes each table actually holds.
+
+The north star is production scale — millions of users' measurements in
+one process — so "how big is this table, and where did the bytes go" must
+be a first-class question.  This module answers it three ways:
+
+* :func:`column_memory` / :func:`table_memory` break a table down into
+  per-column byte counts via :attr:`repro.tables.column.Column.nbytes`
+  (numpy buffers, dictionary code arrays, pool payloads, decoded caches);
+* :func:`record_value_memory` publishes ``table.bytes.<name>`` /
+  ``table.rows.<name>`` gauges into the metrics registry — called from
+  the pipeline, ingest, and analysis hot paths behind the existing
+  free-when-off gate, so a run without ``--metrics`` pays one boolean
+  check;
+* :func:`peak_rss_bytes` reads the process high-water mark (Linux
+  ``ru_maxrss``) for the ``process.peak_rss_bytes`` gauge, putting
+  columnar accounting next to what the OS actually charged.
+
+``repro obs mem`` (see :mod:`repro.obs.cli`) renders the top-N columns by
+bytes for a freshly built dataset.  Tables are duck-typed — anything with
+``column_names`` / ``column`` / ``n_rows`` works — so obs keeps its
+no-repro-imports layering.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "ColumnMemory",
+    "TableMemory",
+    "column_memory",
+    "peak_rss_bytes",
+    "record_table_memory",
+    "record_value_memory",
+    "render_memory_report",
+    "table_memory",
+]
+
+
+@dataclass(frozen=True)
+class ColumnMemory:
+    """One column's byte accounting."""
+
+    name: str
+    dtype: str
+    nbytes: int
+    breakdown: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TableMemory:
+    """One table's byte accounting, column by column."""
+
+    name: str
+    n_rows: int
+    nbytes: int
+    columns: List[ColumnMemory] = field(default_factory=list)
+
+    @property
+    def bytes_per_row(self) -> float:
+        return self.nbytes / self.n_rows if self.n_rows else 0.0
+
+
+def column_memory(column: Any) -> ColumnMemory:
+    """Byte accounting for one column (see :attr:`Column.nbytes`)."""
+    dtype = getattr(column, "dtype", None)
+    breakdown = {}
+    if hasattr(column, "memory_breakdown"):
+        breakdown = dict(column.memory_breakdown())
+    return ColumnMemory(
+        name=column.name,
+        dtype=str(getattr(dtype, "value", dtype)),
+        nbytes=int(column.nbytes),
+        breakdown=breakdown,
+    )
+
+
+def table_memory(table: Any, name: str = "table") -> TableMemory:
+    """Byte accounting for a whole table, in column order."""
+    columns = [column_memory(table.column(n)) for n in table.column_names]
+    return TableMemory(
+        name=name,
+        n_rows=int(table.n_rows),
+        nbytes=sum(c.nbytes for c in columns),
+        columns=columns,
+    )
+
+
+def peak_rss_bytes() -> int:
+    """The process's peak resident set size in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize so
+    the ``process.peak_rss_bytes`` gauge means the same thing everywhere.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return int(peak)
+
+
+def record_table_memory(name: str, table: Any) -> Optional[TableMemory]:
+    """Publish one table's bytes/rows as gauges; no-op when metrics are off.
+
+    Gauge names: ``table.bytes.<name>``, ``table.rows.<name>`` plus the
+    process-wide ``process.peak_rss_bytes`` high-water mark.  Returns the
+    breakdown when metrics are on (callers may log it), else ``None``.
+    """
+    from repro import obs
+
+    if not obs.metrics_enabled():
+        return None
+    mem = table_memory(table, name=name)
+    obs.gauge(f"table.bytes.{name}").set(mem.nbytes)
+    obs.gauge(f"table.rows.{name}").set(mem.n_rows)
+    obs.gauge("process.peak_rss_bytes").set(peak_rss_bytes())
+    return mem
+
+
+def record_value_memory(name: str, value: Any) -> None:
+    """Record memory for a stage value: a table, or a dataset's tables.
+
+    Dataset-shaped values (``ndt`` + ``traces``) publish one gauge pair
+    per table (``<name>.ndt`` / ``<name>.traces``); non-table values are
+    ignored.  Free when metrics are off (one boolean check).
+    """
+    from repro import obs
+
+    if not obs.metrics_enabled():
+        return
+    if hasattr(value, "column_names") and hasattr(value, "n_rows"):
+        record_table_memory(name, value)
+        return
+    ndt = getattr(value, "ndt", None)
+    traces = getattr(value, "traces", None)
+    if ndt is not None and traces is not None and hasattr(ndt, "column_names"):
+        record_table_memory(f"{name}.ndt", ndt)
+        record_table_memory(f"{name}.traces", traces)
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:,.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{n:,.1f} GiB"
+
+
+def render_memory_report(
+    tables: List[TableMemory], top: int = 15
+) -> str:
+    """The ``repro obs mem`` view: totals per table, top-N columns by bytes."""
+    lines: List[str] = []
+    total = sum(t.nbytes for t in tables)
+    lines.append(
+        f"memory report — {len(tables)} table(s), {_fmt_bytes(total)} total, "
+        f"peak RSS {_fmt_bytes(peak_rss_bytes())}"
+    )
+    for t in tables:
+        lines.append(
+            f"  {t.name:<16s} {t.n_rows:>10,d} rows  {_fmt_bytes(t.nbytes):>12s}"
+            f"  ({t.bytes_per_row:,.1f} B/row)"
+        )
+    ranked: List[tuple] = []
+    for t in tables:
+        for c in t.columns:
+            ranked.append((c.nbytes, f"{t.name}.{c.name}", c))
+    ranked.sort(key=lambda item: (-item[0], item[1]))
+    lines.append(f"top {min(top, len(ranked))} columns by bytes:")
+    lines.append(
+        f"  {'column':<34s} {'dtype':<6s} {'bytes':>12s} {'share':>7s}  detail"
+    )
+    for nbytes, label, c in ranked[:top]:
+        share = nbytes / total if total else 0.0
+        detail = ", ".join(
+            f"{k.replace('_bytes', '')}={_fmt_bytes(v)}"
+            for k, v in sorted(c.breakdown.items())
+            if k.endswith("_bytes") and v
+        )
+        lines.append(
+            f"  {label:<34s} {c.dtype:<6s} {_fmt_bytes(nbytes):>12s} "
+            f"{share:>6.1%}  {detail}"
+        )
+    if len(ranked) > top:
+        lines.append(f"  ... {len(ranked) - top} more columns")
+    return "\n".join(lines)

@@ -26,6 +26,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRIC",
     "diff_snapshots",
+    "percentile_from_snapshot",
 ]
 
 Number = Union[int, float]
@@ -111,7 +112,28 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        """Mean of observed values; NaN (not a misleading 0.0) when empty."""
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (0-100) from the bucket counts.
+
+        Degenerate cases are defined, not guessed: an empty histogram
+        returns NaN (there is no sample to report — previously call sites
+        improvised zeros), and a one-sample histogram returns that sample
+        exactly.  Otherwise the estimate interpolates linearly inside the
+        bucket containing the target rank and is clamped to the observed
+        [min, max], so it can never leave the data's range.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return float("nan")
+        if self.count == 1:
+            return self.vmin
+        return _percentile_from_buckets(
+            q, self.bounds, self.bucket_counts, self.count, self.vmin, self.vmax
+        )
 
     def snapshot(self) -> Dict[str, object]:
         buckets: Dict[str, int] = {}
@@ -128,6 +150,65 @@ class Histogram:
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
+
+
+def _percentile_from_buckets(
+    q: float,
+    bounds: Tuple[float, ...],
+    bucket_counts: List[int],
+    count: int,
+    vmin: float,
+    vmax: float,
+) -> float:
+    """Shared rank-interpolation core for live and snapshotted histograms."""
+    target = q / 100.0 * count
+    cumulative = 0
+    for i, n in enumerate(bucket_counts):
+        if n == 0:
+            continue
+        if cumulative + n >= target:
+            # Interpolate within this bucket: its lower edge is the
+            # previous bound (or the observed min for the first bucket),
+            # its upper edge the bound (or the observed max for overflow).
+            lo = bounds[i - 1] if i > 0 else vmin
+            hi = bounds[i] if i < len(bounds) else vmax
+            lo = max(lo, vmin)
+            hi = min(hi, vmax)
+            fraction = (target - cumulative) / n
+            return min(max(lo + (hi - lo) * fraction, vmin), vmax)
+        cumulative += n
+    return vmax
+
+
+def percentile_from_snapshot(hist_snapshot: Dict[str, object], q: float) -> float:
+    """The q-th percentile of a snapshotted histogram (offline tools).
+
+    Mirrors :meth:`Histogram.percentile` over the JSON shape written into
+    ``metrics.json`` / run reports: NaN for an empty histogram, the single
+    sample for n=1, a clamped bucket interpolation otherwise.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    count = int(hist_snapshot.get("count", 0) or 0)
+    if count == 0:
+        return float("nan")
+    vmin = float(hist_snapshot["min"])
+    vmax = float(hist_snapshot["max"])
+    if count == 1:
+        return vmin
+    buckets = hist_snapshot.get("buckets", {}) or {}
+    bounds: List[float] = []
+    counts: List[int] = []
+    for label, n in buckets.items():
+        if label == "overflow":
+            continue
+        bounds.append(float(label[len("le_"):]))
+        counts.append(int(n))
+    order = sorted(range(len(bounds)), key=bounds.__getitem__)
+    bounds = [bounds[i] for i in order]
+    counts = [counts[i] for i in order]
+    counts.append(int(buckets.get("overflow", 0)))
+    return _percentile_from_buckets(q, tuple(bounds), counts, count, vmin, vmax)
 
 
 class _NullMetric:
@@ -150,6 +231,9 @@ class _NullMetric:
 
     def observe(self, _v: Number) -> None:
         return None
+
+    def percentile(self, _q: float) -> float:
+        return float("nan")
 
 
 NULL_METRIC = _NullMetric()

@@ -30,6 +30,7 @@ __all__ = [
     "build_run_report",
     "default_schema_path",
     "render_run_report",
+    "validate_against_schema",
     "validate_run_report",
     "write_run_report",
 ]
@@ -167,46 +168,67 @@ def _fmt_rows(v: Optional[int]) -> str:
 
 
 def render_run_report(data: Dict[str, Any]) -> str:
-    """The fixed-width text table written to ``run_report.txt``."""
+    """The fixed-width text table written to ``run_report.txt``.
+
+    Tolerates reports with sections trimmed (hand-edited, produced by
+    older versions, or filtered by other tools): a missing section is
+    reported as absent rather than crashing the renderer — ``repro obs
+    summarize`` must be usable on exactly the malformed artifacts one is
+    trying to debug.
+    """
     lines: List[str] = []
     header = f"run report — run {data.get('run_id') or '-'}"
     if data.get("key"):
         header += f" (key {data['key']})"
     lines.append(header)
-    lines.append(
-        f"{'stage':<24s} {'status':<8s} {'att':>3s} {'retry':>5s} "
-        f"{'wall_s':>9s} {'rows_in':>9s} {'rows_out':>9s}  error"
-    )
-    for s in data["stages"]:
+    stages = data.get("stages")
+    if stages:
         lines.append(
-            f"{s['name']:<24s} {s['status']:<8s} {s['attempts']:>3d} "
-            f"{s['retries']:>5d} {s['duration_s']:>9.3f} "
-            f"{_fmt_rows(s['rows_in']):>9s} {_fmt_rows(s['rows_out']):>9s}  "
-            f"{(s['error'] or '').splitlines()[0] if s['error'] else ''}"
+            f"{'stage':<24s} {'status':<8s} {'att':>3s} {'retry':>5s} "
+            f"{'wall_s':>9s} {'rows_in':>9s} {'rows_out':>9s}  error"
         )
-        for i, dur in enumerate(s["attempt_durations_s"]):
-            if s["retries"] or s["status"] == "failed":
-                lines.append(f"{'':<24s}   attempt {i + 1}: {dur:.3f}s")
-    t = data["totals"]
-    lines.append(
-        f"totals: {t['stages']} stages ({t['ok']} ok, {t['cached']} cached, "
-        f"{t['failed']} failed, {t['skipped']} skipped); "
-        f"{t['attempts']} attempts, {t['retries']} retries; "
-        f"wall {t['wall_s']:.3f}s"
-    )
-    c = data["checkpoints"]
-    q = data["quarantine"]
-    f = data["faults"]
-    lines.append(
-        f"checkpoints: {c['hits']} hits / {c['misses']} misses / "
-        f"{c['saves']} saves | quarantined rows: {q['rows_quarantined']} | "
-        f"faults injected: {f['rows_injected']}"
-    )
-    if data["top_spans"]:
-        lines.append(f"top {len(data['top_spans'])} spans:")
-        for i, rec in enumerate(data["top_spans"], 1):
+        for s in stages:
+            error = s.get("error")
             lines.append(
-                f"  {i:>2d}. {rec['name']:<32s} {rec['duration_s']:>9.4f}s"
+                f"{s.get('name', '?'):<24s} {s.get('status', '?'):<8s} "
+                f"{s.get('attempts', 0):>3d} {s.get('retries', 0):>5d} "
+                f"{s.get('duration_s', 0.0):>9.3f} "
+                f"{_fmt_rows(s.get('rows_in')):>9s} "
+                f"{_fmt_rows(s.get('rows_out')):>9s}  "
+                f"{error.splitlines()[0] if error else ''}"
+            )
+            for i, dur in enumerate(s.get("attempt_durations_s", [])):
+                if s.get("retries") or s.get("status") == "failed":
+                    lines.append(f"{'':<24s}   attempt {i + 1}: {dur:.3f}s")
+    else:
+        lines.append("(no stages section in this report)")
+    t = data.get("totals")
+    if t:
+        lines.append(
+            f"totals: {t.get('stages', 0)} stages ({t.get('ok', 0)} ok, "
+            f"{t.get('cached', 0)} cached, {t.get('failed', 0)} failed, "
+            f"{t.get('skipped', 0)} skipped); "
+            f"{t.get('attempts', 0)} attempts, {t.get('retries', 0)} retries; "
+            f"wall {t.get('wall_s', 0.0):.3f}s"
+        )
+    else:
+        lines.append("(no totals section in this report)")
+    c = data.get("checkpoints") or {}
+    q = data.get("quarantine") or {}
+    f = data.get("faults") or {}
+    lines.append(
+        f"checkpoints: {c.get('hits', 0)} hits / {c.get('misses', 0)} misses / "
+        f"{c.get('saves', 0)} saves | "
+        f"quarantined rows: {q.get('rows_quarantined', 0)} | "
+        f"faults injected: {f.get('rows_injected', 0)}"
+    )
+    top_spans = data.get("top_spans") or []
+    if top_spans:
+        lines.append(f"top {len(top_spans)} spans:")
+        for i, rec in enumerate(top_spans, 1):
+            lines.append(
+                f"  {i:>2d}. {rec.get('name', '?'):<32s} "
+                f"{rec.get('duration_s', 0.0):>9.4f}s"
             )
     return "\n".join(lines) + "\n"
 
@@ -288,18 +310,24 @@ def _validate(value: Any, schema: Dict[str, Any], path: str, errors: List[str]) 
             _validate(item, schema["items"], f"{path}[{i}]", errors)
 
 
-def validate_run_report(
-    data: Dict[str, Any], schema: Optional[Dict[str, Any]] = None
-) -> List[str]:
-    """Check a report dict against the JSON schema; returns error strings.
+def validate_against_schema(data: Any, schema: Dict[str, Any]) -> List[str]:
+    """Check any value against a JSON schema; returns error strings.
 
-    Implements the schema subset the checked-in file uses (type,
+    Implements the schema subset the checked-in files use (type,
     required, properties, items, enum, minimum, additionalProperties) so
-    validation needs no third-party dependency.
+    validation needs no third-party dependency.  Shared by the run-report
+    and provenance validators.
     """
-    if schema is None:
-        with open(default_schema_path(), "r", encoding="utf-8") as fh:
-            schema = json.load(fh)
     errors: List[str] = []
     _validate(data, schema, "", errors)
     return errors
+
+
+def validate_run_report(
+    data: Dict[str, Any], schema: Optional[Dict[str, Any]] = None
+) -> List[str]:
+    """Check a report dict against ``docs/run_report.schema.json``."""
+    if schema is None:
+        with open(default_schema_path(), "r", encoding="utf-8") as fh:
+            schema = json.load(fh)
+    return validate_against_schema(data, schema)

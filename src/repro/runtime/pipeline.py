@@ -20,8 +20,11 @@ a shared context dict.  Each stage gets:
 Observability: when ``repro.obs`` is enabled, every stage runs inside a
 ``stage.<name>`` span carrying rows in/out, attempts, and status; retries
 bump the ``pipeline.retries`` counter; log lines are attributed to the
-stage via :func:`repro.obs.stage_scope`.  All of it is free when obs is
-off.
+stage via :func:`repro.obs.stage_scope`.  With lineage on, each stage's
+declared ``inputs`` and its output value are content-fingerprinted into
+the provenance DAG (:mod:`repro.obs.lineage`); with metrics on,
+table-shaped stage values publish ``table.bytes.*`` / ``table.rows.*``
+gauges (:mod:`repro.obs.memory`).  All of it is free when obs is off.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro import obs
 from repro.obs.clock import monotonic
+from repro.obs.memory import record_value_memory
 from repro.runtime.checkpoint import CheckpointStore
 from repro.util.errors import PipelineError, StageFailure
 from repro.util.rng import RngHub
@@ -63,6 +67,9 @@ class Stage:
 
     ``fn`` receives the shared context dict and returns the stage value,
     which the runner stores under ``context[name]`` for later stages.
+    ``inputs`` names the upstream stages this one reads from the context —
+    declared, not inferred, so the lineage recorder gets exact provenance
+    edges instead of guesses.
     """
 
     name: str
@@ -71,6 +78,7 @@ class Stage:
     retry_on: Tuple[Type[BaseException], ...] = ()
     checkpoint: bool = False
     allow_failure: bool = False
+    inputs: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -222,6 +230,9 @@ class PipelineRunner:
             raise PipelineError(f"duplicate stage names: {dupes}")
         context = context if context is not None else {}
         report = RunReport(key=self.key)
+        recorder = obs.active_lineage()
+        if recorder is not None:
+            recorder.set_run(config_key=self.key)
         failed_fatal: Optional[StageFailure] = None
         rows_flowing: Optional[int] = None
         for stage in stages:
@@ -229,12 +240,26 @@ class PipelineRunner:
                 report.results.append(
                     StageResult(name=stage.name, status=StageStatus.SKIPPED)
                 )
+                if recorder is not None:
+                    recorder.record_stage(
+                        stage.name,
+                        inputs={n: None for n in stage.inputs},
+                        status=StageStatus.SKIPPED.value,
+                    )
                 continue
             result = self._run_stage(stage, context)
             result.rows_in = rows_flowing
             if result.rows_out is not None:
                 rows_flowing = result.rows_out
             report.results.append(result)
+            if recorder is not None:
+                recorder.record_stage(
+                    stage.name,
+                    value=context.get(stage.name),
+                    inputs={n: context.get(n) for n in stage.inputs},
+                    status=result.status.value,
+                )
+            record_value_memory(stage.name, context.get(stage.name))
             if result.status is StageStatus.FAILED and not stage.allow_failure:
                 failed_fatal = StageFailure(
                     stage.name,

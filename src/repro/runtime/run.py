@@ -126,9 +126,18 @@ def _build_stages(
         return clean
 
     stages = [Stage(name="generate", fn=generate, checkpoint=True)]
-    if profile is not None and profile.total_rate > 0:
-        stages.append(Stage(name="inject-faults", fn=inject))
-    stages.append(Stage(name="ingest", fn=ingest))
+    injecting = profile is not None and profile.total_rate > 0
+    if injecting:
+        stages.append(
+            Stage(name="inject-faults", fn=inject, inputs=("generate",))
+        )
+    stages.append(
+        Stage(
+            name="ingest",
+            fn=ingest,
+            inputs=("inject-faults",) if injecting else ("generate",),
+        )
+    )
 
     registry = experiment_registry()
     cache: Dict[Any, str] = {}
@@ -143,7 +152,12 @@ def _build_stages(
 
     for name in experiments:
         stages.append(
-            Stage(name=name, fn=experiment_fn(registry[name]), allow_failure=True)
+            Stage(
+                name=name,
+                fn=experiment_fn(registry[name]),
+                allow_failure=True,
+                inputs=("ingest",),
+            )
         )
     return stages
 

@@ -202,6 +202,38 @@ class Column:
         """
         return self._pool
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes of backing storage this column holds right now.
+
+        Numeric columns count their numpy buffer.  STR columns count the
+        int32 code array, the pool's pointer array, and the UTF-8 payload
+        of every pooled string — plus the decoded object-array cache when
+        it has been materialized.  The sum is what the memory-accounting
+        layer (``repro.obs.memory``) reports per table.
+        """
+        if self._dtype is DType.STR:
+            total = int(self._codes.nbytes) + int(self._pool.nbytes)
+            total += sum(len(s.encode("utf-8")) for s in self._pool)
+            if self._decoded is not None:
+                total += int(self._decoded.nbytes)
+            return total
+        return int(self._data.nbytes)
+
+    def memory_breakdown(self) -> dict:
+        """Component bytes behind :attr:`nbytes` (keys sorted, JSON-ready)."""
+        if self._dtype is DType.STR:
+            return {
+                "codes_bytes": int(self._codes.nbytes),
+                "decoded_cache_bytes": (
+                    int(self._decoded.nbytes) if self._decoded is not None else 0
+                ),
+                "pool_bytes": int(self._pool.nbytes)
+                + sum(len(s.encode("utf-8")) for s in self._pool),
+                "pool_size": int(len(self._pool)),
+            }
+        return {"data_bytes": int(self._data.nbytes)}
+
     def rename(self, name: str) -> "Column":
         if self._dtype is DType.STR:
             return Column.from_codes(name, self._codes, self._pool)

@@ -15,6 +15,7 @@ from typing import List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.memory import record_table_memory
 from repro.tables.column import Column
 from repro.tables.schema import DType
 from repro.tables.table import Table
@@ -160,6 +161,7 @@ def read_csv_checked(
         else:
             cols.append(Column.from_interned(h, store, list(intern)))
     table = Table(cols)
+    record_table_memory(f"read_csv.{os.path.basename(path)}", table)
     quarantine = Table.from_dict(
         {
             "line": [b[0] for b in bad],

@@ -317,7 +317,14 @@ def group_percentile(
     base = starts[good]
     vlo = svals[base + lo]
     vhi = svals[base + hi]
-    out[good] = vlo + (pos - lo) * (vhi - vlo)
+    # numpy's two-sided lerp: interpolate from the nearer endpoint so the
+    # result is bit-identical to np.nanpercentile even at subnormal edges
+    t = pos - lo
+    diff = vhi - vlo
+    interp = vlo + t * diff
+    upper = t >= 0.5
+    interp[upper] = vhi[upper] - (1.0 - t[upper]) * diff[upper]
+    out[good] = interp
     return out
 
 

@@ -239,6 +239,15 @@ class Table:
             raise DataError("describe: no numeric columns")
         return Table.from_rows(rows)
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of backing storage across all columns."""
+        return sum(c.nbytes for c in self._columns.values())
+
+    def memory_usage(self) -> Dict[str, int]:
+        """Per-column bytes, in column order (see :attr:`Column.nbytes`)."""
+        return {name: c.nbytes for name, c in self._columns.items()}
+
     def group_by(self, keys: Union[str, Sequence[str]]) -> "GroupBy":
         """Start a group-by; see :class:`repro.tables.groupby.GroupBy`."""
         from repro.tables.groupby import GroupBy

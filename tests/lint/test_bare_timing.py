@@ -1,4 +1,5 @@
-"""The no-bare-timing rule: clock reads flagged outside obs/ and benchmarks/."""
+"""The no-bare-timing rule: clock reads flagged outside obs/ and benchmarks/,
+and BENCH_* artifact literals flagged outside the sanctioned writer."""
 
 RULE = ["no-bare-timing"]
 
@@ -58,3 +59,46 @@ class TestAllowed:
     def test_unrelated_time_attribute(self, lint_snippet):
         # attributes on some other object called `time` never match reads
         assert lint_snippet("import time\nz = time.timezone\n", RULE) == []
+
+
+class TestBenchArtifactLiterals:
+    def test_bench_json_literal_flagged(self, lint_snippet):
+        diags = lint_snippet('path = "BENCH_engine.json"\n', RULE)
+        assert len(diags) == 1
+        assert "sanctioned writer" in diags[0].message
+        assert "repro.obs.bench" in diags[0].message
+
+    def test_bench_history_jsonl_flagged(self, lint_snippet):
+        diags = lint_snippet('path = root / "BENCH_history.jsonl"\n', RULE)
+        assert len(diags) == 1
+
+    def test_flagged_even_inside_timing_exempt_packages(self, lint_snippet):
+        # benchmarks/ may read clocks freely but may NOT invent BENCH files
+        diags = lint_snippet(
+            'out = "BENCH_mine.json"\n', RULE, relpath="benchmarks/test_x.py"
+        )
+        assert len(diags) == 1
+
+    def test_sanctioned_writer_is_exempt(self, lint_snippet):
+        assert (
+            lint_snippet(
+                'names = ("BENCH_engine.json", "BENCH_obs.json")\n',
+                RULE,
+                relpath="repro/obs/bench.py",
+            )
+            == []
+        )
+
+    def test_docstring_mentions_are_allowed(self, lint_snippet):
+        source = (
+            '"""This module reads BENCH_history.jsonl for trends."""\n'
+            "def f():\n"
+            '    """Compares against BENCH_engine.json."""\n'
+            "    return 1\n"
+        )
+        assert lint_snippet(source, RULE) == []
+
+    def test_prose_mentioning_bench_mid_string_not_flagged(self, lint_snippet):
+        # the pattern anchors on the filename at the end of the literal
+        source = 'msg = "see BENCH_history.jsonl for details"\n'
+        assert lint_snippet(source, RULE) == []

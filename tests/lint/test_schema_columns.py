@@ -101,3 +101,20 @@ class TestAllowed:
         # Default config pulls known_columns from tables/schema.py.
         source = 'mask = col("loss_rate") > 0.01\nt.group_by("period")\n'
         assert lint_snippet(source, RULE) == []
+
+    def test_schema_exempt_files_skipped(self, lint_snippet, small_schema_config):
+        # the bench micro suite's synthetic tables are exempt by config
+        source = 't.group_by("k").aggregate({"m": ("v", "mean")})\n'
+        assert (
+            lint_snippet(
+                source,
+                RULE,
+                relpath="repro/obs/bench.py",
+                config=small_schema_config,
+            )
+            == []
+        )
+        # the same snippet anywhere else still flags
+        assert (
+            lint_snippet(source, RULE, config=small_schema_config) != []
+        )

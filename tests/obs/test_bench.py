@@ -1,0 +1,205 @@
+"""The benchmark registry: history, comparison semantics, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    DEFAULT_MIN_SECONDS,
+    EXIT_PERF_REGRESSION,
+    BenchRegistry,
+    append_history,
+    compare,
+    load_history,
+    load_legacy_baselines,
+    render_comparison,
+    write_snapshot,
+)
+
+
+class TestRegistry:
+    def test_record_and_sorted_export(self):
+        reg = BenchRegistry()
+        reg.record("z.late", 2.0, rows=10)
+        reg.record("a.early", 1.0)
+        out = reg.as_benchmarks()
+        assert list(out) == ["a.early", "z.late"]
+        assert out["z.late"] == {"seconds": 2.0, "rows": 10}
+
+    def test_last_write_wins(self):
+        reg = BenchRegistry()
+        reg.record("x", 5.0)
+        reg.record("x", 1.0)
+        assert reg.as_benchmarks()["x"]["seconds"] == 1.0
+
+    def test_rejects_bad_rows(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            BenchRegistry().record("", 1.0)
+        with pytest.raises(ValueError, match="negative"):
+            BenchRegistry().record("x", -1.0)
+
+
+class TestHistory:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history({"a": {"seconds": 1.0}}, "abc1234", "2026-08-06", path)
+        append_history({"a": {"seconds": 1.1}}, "def5678", "2026-08-07", path)
+        records = load_history(path)
+        assert [r["sha"] for r in records] == ["abc1234", "def5678"]
+        assert records[-1]["benchmarks"]["a"]["seconds"] == 1.1
+        # append-only: two runs, two lines
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+    def test_malformed_line_skipped_with_warning(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history({"a": 1.0}, "s", "t", path)
+        with open(path, "a") as fh:
+            fh.write("{truncated\n")
+        assert len(load_history(path)) == 1
+        assert "malformed" in capsys.readouterr().err
+
+    def test_record_is_compact_single_line_json(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        rec = append_history({"a": {"seconds": 1.0}}, "s", "t", path)
+        line = path.read_text().splitlines()[0]
+        assert json.loads(line) == rec
+        assert ": " not in line and "\n" not in line
+
+
+class TestCompare:
+    def test_regression_beyond_threshold_fails(self):
+        result = compare({"a": 1.3}, {"a": 1.0}, threshold=0.2)
+        assert not result.ok
+        assert result.exit_code == EXIT_PERF_REGRESSION
+        assert result.regressions[0].ratio == pytest.approx(1.3)
+
+    def test_within_threshold_passes(self):
+        result = compare({"a": 1.15}, {"a": 1.0}, threshold=0.2)
+        assert result.ok and result.compared == 1
+
+    def test_improvement_never_fails(self):
+        result = compare({"a": 0.5}, {"a": 1.0}, threshold=0.2)
+        assert result.ok
+        assert [i.name for i in result.improvements] == ["a"]
+
+    def test_noise_floor_skips_fast_benchmarks(self):
+        # a 3ms kernel 10x slower is still under the floor -> never gates
+        result = compare({"a": 0.003}, {"a": 0.0003})
+        assert result.ok
+        assert result.skipped_noise == ["a"]
+        assert result.compared == 0
+        assert DEFAULT_MIN_SECONDS == 0.01
+
+    def test_added_and_missing_are_reported_not_gated(self):
+        result = compare({"new": 5.0}, {"gone": 5.0})
+        assert result.ok
+        assert result.added == ["new"] and result.missing == ["gone"]
+
+    def test_accepts_seconds_or_row_dicts(self):
+        result = compare(
+            {"a": {"seconds": 2.0, "rows": 10}}, {"a": 1.0}, threshold=0.2
+        )
+        assert len(result.regressions) == 1
+
+    def test_render_mentions_everything(self):
+        result = compare(
+            {"slow": 2.0, "fast": 0.4, "tiny": 0.001, "new": 1.0},
+            {"slow": 1.0, "fast": 1.0, "tiny": 0.001, "gone": 1.0},
+        )
+        text = render_comparison(result)
+        assert "REGRESSION slow" in text
+        assert "improved   fast" in text
+        assert "tiny" in text and "new" in text and "gone" in text
+        assert text.endswith("FAIL: performance regressions")
+
+
+class TestLegacyUnification:
+    def test_engine_and_obs_snapshots_unify(self, tmp_path):
+        write_snapshot(
+            tmp_path / "BENCH_engine.json",
+            {"benchmarks": {
+                "groupby_mean_1e6": {"rows": 10, "after_s": 0.5, "before_s": 2.0},
+                "encode_decode_1e6": {"rows": 10, "encode_s": 0.2, "decode_s": 0.1},
+            }},
+        )
+        write_snapshot(
+            tmp_path / "BENCH_obs.json",
+            {"benchmarks": {"groupby": {"rows": 10, "op_s_disabled": 0.4}}},
+        )
+        rows = load_legacy_baselines(tmp_path)
+        assert rows["engine.groupby_mean_1e6"]["seconds"] == 0.5
+        assert rows["engine.encode_decode_1e6"]["seconds"] == pytest.approx(0.3)
+        assert rows["obs.groupby_disabled"]["seconds"] == 0.4
+
+    def test_missing_snapshots_are_fine(self, tmp_path):
+        assert load_legacy_baselines(tmp_path) == {}
+
+    def test_write_snapshot_format(self, tmp_path):
+        path = write_snapshot(tmp_path / "BENCH_x.json", {"benchmarks": {}})
+        text = open(path).read()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"benchmarks": {}}
+
+
+class TestCli:
+    def _current(self, tmp_path, seconds):
+        path = tmp_path / "current.json"
+        path.write_text(json.dumps({"benchmarks": {"engine.op": {"seconds": seconds}}}))
+        return str(path)
+
+    def _history(self, tmp_path, seconds=1.0):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history({"engine.op": {"seconds": seconds}}, "abc", "2026-08-06", path)
+        return str(path)
+
+    def test_compare_pass_exit_zero(self, tmp_path, capsys):
+        rc = main([
+            "bench", "compare",
+            "--current", self._current(tmp_path, 1.05),
+            "--history", self._history(tmp_path),
+        ])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_injected_slowdown_exits_six(self, tmp_path, capsys):
+        rc = main([
+            "bench", "compare",
+            "--current", self._current(tmp_path, 1.25),
+            "--history", self._history(tmp_path),
+            "--threshold", "0.2",
+        ])
+        assert rc == EXIT_PERF_REGRESSION
+        assert "REGRESSION engine.op" in capsys.readouterr().out
+
+    def test_compare_without_history_warns_and_passes(self, tmp_path, capsys):
+        rc = main([
+            "bench", "compare",
+            "--current", self._current(tmp_path, 1.0),
+            "--history", str(tmp_path / "absent.jsonl"),
+        ])
+        assert rc == 0
+        assert "no baseline recorded yet" in capsys.readouterr().err
+
+    def test_record_appends_with_explicit_key(self, tmp_path, capsys):
+        history = tmp_path / "BENCH_history.jsonl"
+        rc = main([
+            "bench", "record",
+            "--input", self._current(tmp_path, 1.0),
+            "--history", str(history),
+            "--sha", "abc1234", "--ts", "2026-08-06",
+        ])
+        assert rc == 0
+        records = load_history(history)
+        assert records[-1]["sha"] == "abc1234"
+        assert records[-1]["timestamp"] == "2026-08-06"
+
+    def test_run_times_the_micro_suite(self, capsys):
+        rc = main(["bench", "run", "--rows", "2000", "--repeat", "1", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "micro.groupby_mean" in data["benchmarks"]
+        assert data["benchmarks"]["micro.sort_by"]["seconds"] >= 0

@@ -1,0 +1,240 @@
+"""The lineage pillar: fingerprints, the recorder, and provenance.json."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs.lineage import (
+    LineageRecorder,
+    PROVENANCE_SCHEMA_VERSION,
+    fingerprint_column,
+    fingerprint_table,
+    fingerprint_value,
+    provenance_to_dot,
+    provenance_to_json,
+    render_provenance,
+    validate_provenance,
+    write_provenance,
+)
+from repro.tables.schema import DType
+from repro.tables.table import Table
+
+
+def make_table(ids, names, values):
+    return Table.from_dict(
+        {"a": list(ids), "b": list(names), "c": list(values)},
+        dtypes={"a": DType.INT, "b": DType.STR, "c": DType.FLOAT},
+    )
+
+
+class TestColumnFingerprint:
+    def test_equal_columns_hash_equal(self):
+        t1 = make_table([1, 2], ["x", "y"], [0.5, 1.5])
+        t2 = make_table([1, 2], ["x", "y"], [0.5, 1.5])
+        for name in t1.column_names:
+            assert fingerprint_column(t1.column(name)) == fingerprint_column(
+                t2.column(name)
+            )
+
+    def test_value_change_changes_fingerprint(self):
+        t1 = make_table([1, 2], ["x", "y"], [0.5, 1.5])
+        t2 = make_table([1, 2], ["x", "y"], [0.5, 1.501])
+        assert fingerprint_column(t1.column("c")) != fingerprint_column(
+            t2.column("c")
+        )
+
+    def test_order_sensitive(self):
+        t1 = make_table([1, 2], ["x", "y"], [0.5, 1.5])
+        t2 = make_table([2, 1], ["y", "x"], [1.5, 0.5])
+        assert fingerprint_column(t1.column("b")) != fingerprint_column(
+            t2.column("b")
+        )
+
+    def test_superset_pool_canonicalized(self):
+        # filter() keeps the parent's (superset) string pool; the logical
+        # content is equal, so the fingerprint must be too
+        t = make_table([1, 2, 3], ["x", "y", "z"], [1.0, 2.0, 3.0])
+        filtered = t.filter(np.array([True, False, True]))
+        rebuilt = make_table([1, 3], ["x", "z"], [1.0, 3.0])
+        assert fingerprint_column(filtered.column("b")) == fingerprint_column(
+            rebuilt.column("b")
+        )
+        assert (
+            fingerprint_table(filtered)["fingerprint"]
+            == fingerprint_table(rebuilt)["fingerprint"]
+        )
+
+    def test_str_null_distinguished_from_empty(self):
+        t1 = make_table([1], [None], [1.0])
+        t2 = make_table([1], [""], [1.0])
+        assert fingerprint_column(t1.column("b")) != fingerprint_column(
+            t2.column("b")
+        )
+
+
+class TestTableFingerprint:
+    def test_shape_has_columns_and_rows(self):
+        fp = fingerprint_table(make_table([1], ["x"], [1.0]))
+        assert fp["n_rows"] == 1
+        assert sorted(fp["columns"]) == ["a", "b", "c"]
+        assert all(len(v) == 16 for v in fp["columns"].values())
+
+    def test_rename_changes_combined_but_not_content(self):
+        t1 = make_table([1, 2], ["x", "y"], [0.5, 1.5])
+        t2 = t1.rename({"c": "loss_rate"})
+        f1, f2 = fingerprint_table(t1), fingerprint_table(t2)
+        assert f1["fingerprint"] != f2["fingerprint"]
+        assert f1["columns"]["c"] == f2["columns"]["loss_rate"]
+
+    def test_non_table_values_have_no_fingerprint(self):
+        assert fingerprint_value("a report string") is None
+        assert fingerprint_value(42) is None
+
+    def test_dataset_shaped_value(self):
+        class DS:
+            ndt = make_table([1], ["x"], [1.0])
+            traces = make_table([2], ["y"], [2.0])
+
+        fp = fingerprint_value(DS())
+        assert sorted(fp["tables"]) == ["ndt", "traces"]
+        assert fp["n_rows"] == 2
+
+
+class TestRecorder:
+    def test_records_stage_graph_with_cached_inputs(self):
+        rec = LineageRecorder()
+        rec.set_run(run_id="r1", config_key="k1")
+        t = make_table([1, 2], ["x", "y"], [0.5, 1.5])
+        rec.record_stage("generate", value=t)
+        rec.record_stage("ingest", value=t, inputs={"generate": t})
+        data = rec.to_provenance()
+        assert data["schema_version"] == PROVENANCE_SCHEMA_VERSION
+        assert [s["stage"] for s in data["stages"]] == ["generate", "ingest"]
+        ingest = data["stages"][1]
+        assert (
+            ingest["inputs"]["generate"]["fingerprint"]
+            == data["stages"][0]["output"]["fingerprint"]
+        )
+        assert validate_provenance(data) == []
+
+    def test_skipped_stage_and_none_inputs(self):
+        rec = LineageRecorder()
+        rec.record_stage("fig5", inputs={"ingest": None}, status="skipped")
+        data = rec.to_provenance()
+        assert data["stages"][0]["output"] is None
+        assert data["stages"][0]["inputs"]["ingest"] is None
+        assert validate_provenance(data) == []
+
+    def test_bad_status_fails_schema(self):
+        rec = LineageRecorder()
+        rec.record_stage("x", status="exploded")
+        assert validate_provenance(rec.to_provenance()) != []
+
+    def test_write_and_render(self, tmp_path):
+        rec = LineageRecorder()
+        rec.set_run(run_id="r1")
+        rec.record_stage("generate", value=make_table([1], ["x"], [1.0]))
+        path = write_provenance(rec, str(tmp_path / "provenance.json"))
+        data = json.loads(open(path).read())
+        text = render_provenance(data)
+        assert "generate" in text and "1 rows" in text
+        dot = provenance_to_dot(data)
+        assert dot.startswith("digraph provenance {")
+        assert '"generate"' in dot
+
+
+IDS = st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=30)
+
+
+@st.composite
+def table_data(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    ids = draw(st.lists(st.integers(-100, 100), min_size=n, max_size=n))
+    names = draw(
+        st.lists(
+            st.one_of(st.none(), st.text(max_size=6)), min_size=n, max_size=n
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(allow_nan=False, width=32), min_size=n, max_size=n
+        )
+    )
+    return ids, names, values
+
+
+class TestDeterminismProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data=table_data())
+    def test_byte_identical_inputs_give_byte_identical_provenance(self, data):
+        docs = []
+        for _ in range(2):
+            rec = LineageRecorder()
+            rec.set_run(run_id="r", config_key="k")
+            t = make_table(*data)
+            rec.record_stage("generate", value=t)
+            rec.record_stage("ingest", value=t, inputs={"generate": t})
+            docs.append(provenance_to_json(rec.to_provenance()))
+        assert docs[0] == docs[1]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=table_data(),
+        cell=st.integers(min_value=0, max_value=10**9),
+    )
+    def test_single_cell_mutation_changes_only_affected_fingerprints(
+        self, data, cell
+    ):
+        ids, names, values = data
+        row = cell % len(ids)
+        mutated = list(ids)
+        mutated[row] = mutated[row] + 1
+        f0 = fingerprint_table(make_table(ids, names, values))
+        f1 = fingerprint_table(make_table(mutated, names, values))
+        assert f0["fingerprint"] != f1["fingerprint"]
+        assert f0["columns"]["a"] != f1["columns"]["a"]
+        # untouched columns keep their fingerprints exactly
+        assert f0["columns"]["b"] == f1["columns"]["b"]
+        assert f0["columns"]["c"] == f1["columns"]["c"]
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=table_data(), mask_seed=st.integers(0, 2**31 - 1))
+    def test_filtered_table_matches_rebuilt_equal_table(self, data, mask_seed):
+        ids, names, values = data
+        rng = np.random.Generator(np.random.PCG64(mask_seed))
+        mask = rng.random(len(ids)) < 0.5
+        if not mask.any():
+            mask[0] = True
+        filtered = make_table(ids, names, values).filter(mask)
+        rebuilt = make_table(
+            [v for v, m in zip(ids, mask) if m],
+            [v for v, m in zip(names, mask) if m],
+            [v for v, m in zip(values, mask) if m],
+        )
+        assert (
+            fingerprint_table(filtered)["fingerprint"]
+            == fingerprint_table(rebuilt)["fingerprint"]
+        )
+
+
+class TestObsGating:
+    def test_off_by_default(self):
+        assert obs.active_lineage() is None
+
+    def test_enable_lineage_and_disable_keeps_recorder(self):
+        obs.enable(trace=False, metrics=False, lineage=True)
+        rec = obs.active_lineage()
+        assert rec is not None
+        rec.record_stage("generate", value=make_table([1], ["x"], [1.0]))
+        obs.disable()
+        assert obs.active_lineage() is None
+        assert len(obs.lineage_recorder()) == 1  # export path still works
+
+    def test_reset_drops_recorder(self):
+        obs.enable(lineage=True)
+        obs.reset()
+        assert obs.lineage_recorder() is None

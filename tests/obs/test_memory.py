@@ -1,0 +1,107 @@
+"""Memory accounting: per-column bytes, gauges, and the rendered report."""
+
+import numpy as np
+
+from repro import obs
+from repro.obs.memory import (
+    column_memory,
+    peak_rss_bytes,
+    record_table_memory,
+    record_value_memory,
+    render_memory_report,
+    table_memory,
+)
+from repro.tables.schema import DType
+from repro.tables.table import Table
+
+
+def make_table(n=1000):
+    return Table.from_dict(
+        {
+            "a": list(range(n)),
+            "b": [f"name_{i % 7}" for i in range(n)],
+            "c": [float(i) for i in range(n)],
+        },
+        dtypes={"a": DType.INT, "b": DType.STR, "c": DType.FLOAT},
+    )
+
+
+class TestAccounting:
+    def test_numeric_columns_match_numpy_buffers_exactly(self):
+        t = make_table(1000)
+        assert t.column("a").nbytes == t.column("a").values.nbytes
+        assert t.column("c").nbytes == t.column("c").values.nbytes
+
+    def test_str_column_covers_codes_and_pool(self):
+        t = make_table(1000)
+        col = t.column("b")
+        mem = column_memory(col)
+        assert mem.breakdown["codes_bytes"] == col.codes.nbytes
+        assert mem.breakdown["pool_bytes"] >= col.pool.nbytes
+        assert mem.nbytes >= mem.breakdown["codes_bytes"]
+
+    def test_table_memory_sums_columns(self):
+        t = make_table(500)
+        mem = table_memory(t, name="t")
+        assert mem.n_rows == 500
+        assert mem.nbytes == sum(c.nbytes for c in mem.columns)
+        assert mem.nbytes == t.nbytes
+        # acceptance bar: within 5% of the raw numpy buffer sizes
+        raw = sum(
+            t.column(n).values.nbytes if t.column(n).codes is None
+            else t.column(n).codes.nbytes for n in t.column_names
+        )
+        assert mem.nbytes >= raw
+        assert t.memory_usage() == {
+            c.name: c.nbytes for c in mem.columns
+        }
+
+    def test_bytes_per_row_zero_rows(self):
+        t = make_table(1).filter(np.array([False]))
+        assert table_memory(t).bytes_per_row == 0.0
+
+    def test_peak_rss_positive(self):
+        assert peak_rss_bytes() > 0
+
+
+class TestGauges:
+    def test_off_by_default_returns_none(self):
+        assert record_table_memory("x", make_table(10)) is None
+        record_value_memory("x", make_table(10))  # no-op, no crash
+
+    def test_gauges_published_when_metrics_on(self):
+        obs.enable(trace=False, metrics=True)
+        mem = record_table_memory("ingest", make_table(100))
+        assert mem is not None
+        snap = obs.metrics_snapshot()
+        assert snap["gauges"]["table.bytes.ingest"] == mem.nbytes
+        assert snap["gauges"]["table.rows.ingest"] == 100
+        assert snap["gauges"]["process.peak_rss_bytes"] > 0
+
+    def test_dataset_shaped_value_publishes_both_tables(self):
+        obs.enable(trace=False, metrics=True)
+
+        class DS:
+            ndt = make_table(10)
+            traces = make_table(20)
+
+        record_value_memory("generate", DS())
+        snap = obs.metrics_snapshot()
+        assert snap["gauges"]["table.rows.generate.ndt"] == 10
+        assert snap["gauges"]["table.rows.generate.traces"] == 20
+
+    def test_non_table_value_ignored(self):
+        obs.enable(trace=False, metrics=True)
+        record_value_memory("report", "just text")
+        assert obs.metrics_snapshot()["gauges"] == {}
+
+
+class TestRender:
+    def test_report_lists_tables_and_top_columns(self):
+        report = render_memory_report(
+            [table_memory(make_table(100), name="ndt")], top=2
+        )
+        assert "1 table(s)" in report
+        assert "ndt" in report
+        assert "top 2 columns by bytes" in report
+        assert "more columns" in report  # 3 columns, top 2 shown

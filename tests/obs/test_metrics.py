@@ -1,16 +1,19 @@
 """The metrics pillar: counters, gauges, histograms, snapshots, diffs."""
 
 import json
+import math
 
 import pytest
 
 from repro.obs.metrics import (
     DEFAULT_MS_BUCKETS,
+    NULL_METRIC,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     diff_snapshots,
+    percentile_from_snapshot,
     snapshot_to_json,
 )
 
@@ -58,6 +61,63 @@ class TestHistogram:
     def test_needs_at_least_one_bound(self):
         with pytest.raises(ValueError, match="at least one bound"):
             Histogram("h", bounds=[])
+
+
+class TestPercentile:
+    def test_empty_is_nan_not_zero(self):
+        # call sites used to improvise zeros for empty histograms
+        h = Histogram("h", bounds=[1.0])
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.mean)
+
+    def test_single_sample_is_the_sample(self):
+        h = Histogram("h", bounds=[1.0, 10.0])
+        h.observe(3.7)
+        for q in (0, 50, 95, 100):
+            assert h.percentile(q) == 3.7
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram("h", bounds=[10.0, 20.0])
+        for v in (2.0, 4.0, 12.0, 14.0):
+            h.observe(v)
+        p50 = h.percentile(50)
+        assert 2.0 <= p50 <= 10.0  # rank 2 falls in the first bucket
+
+    def test_clamped_to_observed_range(self):
+        h = Histogram("h", bounds=[100.0])
+        h.observe(3.0)
+        h.observe(5.0)
+        for q in (0, 1, 99, 100):
+            assert 3.0 <= h.percentile(q) <= 5.0
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram("h", bounds=[1.0])
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            h.percentile(101)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            h.percentile(-0.1)
+
+    def test_snapshot_parity_with_live_histogram(self):
+        h = Histogram("h", bounds=[1.0, 10.0, 100.0])
+        for v in (0.5, 2.0, 3.0, 15.0, 40.0, 120.0):
+            h.observe(v)
+        snap = h.snapshot()
+        for q in (5, 25, 50, 75, 95):
+            assert percentile_from_snapshot(snap, q) == pytest.approx(
+                h.percentile(q)
+            )
+
+    def test_snapshot_degenerate_cases(self):
+        assert math.isnan(
+            percentile_from_snapshot({"count": 0, "buckets": {}}, 50)
+        )
+        one = {"count": 1, "min": 7.0, "max": 7.0, "buckets": {"le_10": 1}}
+        assert percentile_from_snapshot(one, 95) == 7.0
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile_from_snapshot(one, 200)
+
+    def test_null_metric_percentile_is_nan(self):
+        assert math.isnan(NULL_METRIC.percentile(50))
 
 
 class TestRegistry:

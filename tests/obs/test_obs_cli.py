@@ -100,6 +100,96 @@ class TestDiff:
         )
 
 
+class TestGracefulDegradation:
+    """Trimmed artifacts (older producers, hand-filtered files) still render."""
+
+    def test_summarize_report_missing_sections(self, tmp_path, capsys):
+        path = tmp_path / "run_report.json"
+        path.write_text(json.dumps({"schema_version": 1, "run_id": "r1"}))
+        rc = main(["obs", "summarize", "--report", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(no stages section in this report)" in out
+        assert "(no totals section in this report)" in out
+
+    def test_summarize_appends_histogram_percentiles(self, artifacts, capsys):
+        rc = main([
+            "obs", "summarize", "--report", str(artifacts / "run_report.json")
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kernel.groupby_ms" in out
+        assert "p50" in out and "p95" in out
+
+    def test_diff_report_without_metrics_degrades(
+        self, artifacts, tmp_path, capsys
+    ):
+        trimmed = tmp_path / "trimmed.json"
+        data = json.loads((artifacts / "run_report.json").read_text())
+        del data["metrics"]
+        trimmed.write_text(json.dumps(data))
+        rc = main([
+            "obs", "diff", str(trimmed), str(artifacts / "run_report.json")
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "without a metrics section" in captured.err
+        assert "added" in captured.out  # everything appears on the after side
+
+
+class TestLineage:
+    def _provenance(self, tmp_path, status="ok"):
+        from repro.obs.lineage import LineageRecorder, write_provenance
+        from repro.tables.schema import DType
+        from repro.tables.table import Table
+
+        t = Table.from_dict(
+            {"day": [1, 2]}, dtypes={"day": DType.INT}
+        )
+        rec = LineageRecorder()
+        rec.set_run(run_id="r1", config_key="k1")
+        rec.record_stage("generate", value=t, status=status)
+        return write_provenance(rec, str(tmp_path / "provenance.json"))
+
+    def test_render_validated(self, tmp_path, capsys):
+        path = self._provenance(tmp_path)
+        rc = main(["obs", "lineage", path])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "provenance — run r1" in out
+        assert "generate" in out
+
+    def test_invalid_document_exits_one(self, tmp_path, capsys):
+        path = self._provenance(tmp_path, status="exploded")
+        rc = main(["obs", "lineage", path])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "schema violation" in captured.err
+
+    def test_no_validate_renders_anyway(self, tmp_path, capsys):
+        path = self._provenance(tmp_path, status="exploded")
+        rc = main(["obs", "lineage", path, "--no-validate"])
+        assert rc == 0
+        assert "generate" in capsys.readouterr().out
+
+    def test_dot_output(self, tmp_path, capsys):
+        path = self._provenance(tmp_path)
+        rc = main(["obs", "lineage", path, "--dot"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.startswith("digraph provenance {")
+
+
+class TestMem:
+    def test_mem_renders_memory_report(self, capsys):
+        rc = main(["--scale", "0.02", "obs", "mem", "--top", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "memory report" in out
+        assert "top 3 columns by bytes" in out
+        assert "ndt" in out and "traces" in out
+
+
 class TestValidate:
     def test_valid_report(self, artifacts, capsys):
         rc = main(["obs", "validate", str(artifacts / "run_report.json")])
