@@ -6,9 +6,9 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 OBS_SMOKE_DIR := results/obs-smoke
 
 .PHONY: test unit obs-smoke bench-compare bench-record lint lint-json \
-	baseline bench bench-engine bench-obs
+	baseline bench bench-engine bench-obs bench-storage chaos
 
-test: unit obs-smoke bench-compare
+test: unit obs-smoke bench-compare chaos
 
 unit:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -63,3 +63,14 @@ bench-engine:
 # group-by/join kernel time; records the bound in BENCH_obs.json.
 bench-obs:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q benchmarks/test_obs_overhead.py
+
+# Storage overhead baseline: atomic+checksummed CSV commit vs a bare
+# write; must stay under 5%; records the numbers in BENCH_storage.json.
+bench-storage:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q benchmarks/test_storage_overhead.py
+
+# The crash matrix (docs/ROBUSTNESS.md): kill a pipeline run at every
+# announced crash point, resume it, and require byte-identical outputs.
+# Exits 7 on any unrecovered crash.  Part of the default `make test`.
+chaos:
+	PYTHONPATH=$(PYTHONPATH) python -m repro chaos

@@ -16,6 +16,9 @@ Subcommands
                lineage, account memory (see docs/OBSERVABILITY.md).
 ``bench``      Run / compare / record benchmark registry entries against
                ``BENCH_history.jsonl`` (see docs/OBSERVABILITY.md).
+``chaos``      Crash-matrix harness: kill a pipeline run at every announced
+               mid-commit crash point, resume, verify byte-identical
+               outputs (see docs/ROBUSTNESS.md).
 
 Exit codes
 ----------
@@ -23,7 +26,8 @@ Exit codes
 3  generation-side failure (generate / inject-faults / ingest);
 4  analysis-side failure (one or more experiments failed);
 5  lint findings above the baseline (``repro lint``);
-6  performance regression beyond threshold (``repro bench compare``).
+6  performance regression beyond threshold (``repro bench compare``);
+7  unrecovered crash in the crash matrix (``repro chaos``).
 
 Fault-tolerance flags (global)
 ------------------------------
@@ -54,8 +58,9 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from repro import obs
+from repro import obs, storage
 from repro.faults import PROFILES, FaultInjector, get_profile
+from repro.faults import chaos as chaos_cli
 from repro.lint import cli as lint_cli
 from repro.obs import bench as bench_cli
 from repro.obs import cli as obs_cli
@@ -164,6 +169,7 @@ def _build_parser() -> argparse.ArgumentParser:
     lint_cli.configure_parser(sub)
     obs_cli.configure_parser(sub)
     bench_cli.configure_parser(sub)
+    chaos_cli.configure_parser(sub)
     return parser
 
 
@@ -214,9 +220,9 @@ def _obs_finish(args, report, gates=None, injection=None) -> None:
         metrics_path = args.metrics_out or os.path.join(
             args.obs_dir, "metrics.json"
         )
-        os.makedirs(os.path.dirname(os.path.abspath(metrics_path)), exist_ok=True)
-        with open(metrics_path, "w", encoding="utf-8") as fh:
-            fh.write(snapshot_to_json(snapshot))
+        storage.commit_text(
+            metrics_path, snapshot_to_json(snapshot), label="obs.metrics"
+        )
         written.append(metrics_path)
     if report is not None:
         data = build_run_report(
@@ -411,6 +417,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": lint_cli.cmd_lint,
         "obs": obs_cli.cmd_obs,
         "bench": bench_cli.cmd_bench,
+        "chaos": chaos_cli.cmd_chaos,
     }
     try:
         return handlers[args.command](args)

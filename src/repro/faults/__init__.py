@@ -8,15 +8,41 @@ generated tables the same way, deterministically from a seed, so robustness
 is testable: every ``analysis.*`` module must tolerate the dirt or raise a
 typed :class:`~repro.util.errors.AnalysisError`, and the ingest gate must
 quarantine exactly the injected rows.
+
+The package also owns the *filesystem* fault surface (the other half of
+the durability story, ``docs/ROBUSTNESS.md``):
+
+* :mod:`repro.faults.crashpoints` — named deterministic crash points
+  (``REPRO_CRASH_AT``) raising :class:`SimulatedCrash` mid-commit;
+* :mod:`repro.faults.fs` — :class:`FaultyFS`, a seeded chaos filesystem
+  injecting torn writes, short reads, and transient ``EIO``/``ENOSPC``
+  under :mod:`repro.storage`;
+* :mod:`repro.faults.chaos` — the crash-matrix harness behind
+  ``repro chaos`` / ``make chaos``: kill at every registered crash
+  point, resume, and verify output fingerprints byte-identical.
 """
 
+from repro.faults.crashpoints import (
+    CRASH_ENV_VAR,
+    SimulatedCrash,
+    crash_point,
+    crash_spec_scope,
+    record_crash_points,
+    set_crash_spec,
+)
 from repro.faults.injector import FaultInjector, InjectionSummary
 from repro.faults.profiles import PROFILES, FaultProfile, get_profile
 
 __all__ = [
+    "CRASH_ENV_VAR",
     "PROFILES",
     "FaultInjector",
     "FaultProfile",
     "InjectionSummary",
+    "SimulatedCrash",
+    "crash_point",
+    "crash_spec_scope",
     "get_profile",
+    "record_crash_points",
+    "set_crash_spec",
 ]

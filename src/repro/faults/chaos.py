@@ -1,0 +1,340 @@
+"""The crash-matrix harness: kill at every crash point, resume, compare.
+
+This is the end-to-end proof behind ``docs/ROBUSTNESS.md``: for **every**
+crash point a fault-free pipeline run announces (each distinct on-disk
+state of every atomic commit, plus each post-checkpoint stage boundary),
+the harness
+
+1. re-runs the pipeline with that point armed, so the "process" dies
+   (:class:`~repro.faults.crashpoints.SimulatedCrash`) at exactly that
+   state — torn temp files, stale sidecars, half-committed generations
+   and all;
+2. restarts with ``resume=True`` in the same working directory, letting
+   checkpoint recovery and atomic-commit semantics do their job;
+3. asserts the resumed run's durable outputs — the per-stage lineage
+   fingerprints *and* the sha256 of every written artifact — are
+   byte-identical to the fault-free baseline.
+
+A single surviving difference fails the matrix: crash-safety is not
+"usually recovers", it is "the bytes are the same".  ``repro chaos`` is
+the CLI face (exit code :data:`EXIT_CHAOS` on any failure) and
+``make chaos`` wires it into the default test flow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs, storage
+from repro.faults.crashpoints import (
+    SimulatedCrash,
+    crash_spec_scope,
+    record_crash_points,
+)
+from repro.obs.lineage import write_provenance
+from repro.runtime.run import run_pipeline
+from repro.synth.generator import GeneratorConfig
+from repro.tables.io import write_csv
+
+__all__ = [
+    "DEFAULT_EXPERIMENTS",
+    "DEFAULT_SCALE",
+    "EXIT_CHAOS",
+    "ChaosResult",
+    "CrashCase",
+    "cmd_chaos",
+    "configure_parser",
+    "run_crash_matrix",
+]
+
+logger = logging.getLogger(__name__)
+
+#: ``repro chaos`` exit code on any unrecovered crash (0-6 are taken).
+EXIT_CHAOS = 7
+
+#: Matrix defaults: a small-but-real pipeline, one representative table.
+DEFAULT_SCALE = 0.02
+DEFAULT_EXPERIMENTS = ("table1",)
+
+
+@dataclass
+class CrashCase:
+    """One point of the matrix: crash there, resume, compare bytes."""
+
+    point: str
+    crashed: bool = False
+    resumed_ok: bool = False
+    identical: bool = False
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.crashed and self.resumed_ok and self.identical
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        extra = f" — {self.detail}" if self.detail else ""
+        return f"[{status}] {self.point}{extra}"
+
+
+@dataclass
+class ChaosResult:
+    """Everything one crash-matrix run established."""
+
+    #: Every distinct point the baseline announced (the full registry).
+    announced: List[str] = field(default_factory=list)
+    #: The points actually exercised (after filter/truncation).
+    points: List[str] = field(default_factory=list)
+    cases: List[CrashCase] = field(default_factory=list)
+    baseline_fingerprints: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.cases) and all(c.ok for c in self.cases)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else EXIT_CHAOS
+
+    def failures(self) -> List[CrashCase]:
+        return [c for c in self.cases if not c.ok]
+
+    def render(self) -> str:
+        lines = [
+            f"chaos matrix: {len(self.cases)} crash point(s) exercised, "
+            f"{len(self.failures())} failure(s)"
+        ]
+        for case in self.cases:
+            lines.append(f"  {case}")
+        lines.append(
+            "PASS: every killed run resumed to byte-identical outputs"
+            if self.ok
+            else "FAIL: crash/resume broke byte-identity"
+        )
+        return "\n".join(lines)
+
+
+# -- one pipeline run with durable outputs -----------------------------------
+def _artifact_digest(path: str) -> str:
+    return hashlib.sha256(storage.read_bytes(path)).hexdigest()
+
+
+def _one_run(
+    workdir: str,
+    config: GeneratorConfig,
+    experiments: Sequence[str],
+    resume: bool,
+) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """Run the pipeline and write its durable artifacts under ``workdir``.
+
+    Returns ``(stage -> lineage fingerprint, artifact -> sha256)`` — the
+    two byte-identity oracles the matrix compares.  Fingerprints (not the
+    raw ``provenance.json`` bytes) are the stage oracle because a resumed
+    run legitimately differs in stage *status* (``cached`` vs ``ok``)
+    while its data must not.
+    """
+    run = run_pipeline(
+        config,
+        profile=None,
+        strict=False,
+        resume=resume,
+        checkpoint_dir=os.path.join(workdir, "checkpoints"),
+        experiments=list(experiments),
+    )
+    recorder = obs.lineage_recorder()
+    fingerprints: Dict[str, str] = {}
+    if recorder is not None:
+        for node in recorder.to_provenance()["stages"]:
+            out = node.get("output")
+            if out:
+                fingerprints[node["stage"]] = out["fingerprint"]
+        write_provenance(recorder, os.path.join(workdir, "provenance.json"))
+    results = os.path.join(workdir, "results")
+    write_csv(run.dataset.ndt, os.path.join(results, "ndt.csv"))
+    write_csv(run.dataset.traces, os.path.join(results, "traces.csv"))
+    digests = {
+        name: _artifact_digest(os.path.join(results, name))
+        for name in ("ndt.csv", "traces.csv")
+    }
+    return fingerprints, digests
+
+
+def _observed_run(
+    workdir: str,
+    config: GeneratorConfig,
+    experiments: Sequence[str],
+    resume: bool,
+) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """:func:`_one_run` under a fresh lineage recorder, cleaned up after."""
+    obs.reset()
+    obs.enable(trace=False, metrics=False, lineage=True)
+    try:
+        return _one_run(workdir, config, experiments, resume)
+    finally:
+        obs.reset()
+
+
+def _dedupe(points: Sequence[str]) -> List[str]:
+    seen = set()
+    out = []
+    for p in points:
+        if p not in seen:
+            seen.add(p)
+            out.append(p)
+    return out
+
+
+# -- the matrix ---------------------------------------------------------------
+def run_crash_matrix(
+    seed: int = 20220224,
+    scale: float = DEFAULT_SCALE,
+    experiments: Sequence[str] = DEFAULT_EXPERIMENTS,
+    workdir: Optional[str] = None,
+    max_points: Optional[int] = None,
+    point_filter: Optional[Callable[[str], bool]] = None,
+) -> ChaosResult:
+    """Exercise every discovered crash point; verify byte-identical recovery.
+
+    The matrix is *empirical*: a fault-free baseline run both produces the
+    reference fingerprints and records which crash points the workload
+    actually announces, so new commit sites join the matrix the moment
+    they exist — there is no hand-maintained point list to forget.
+
+    ``max_points`` truncates the matrix (for quick smoke tests);
+    ``point_filter`` keeps only points it returns True for.  Both are
+    logged, so a capped run can never masquerade as full coverage.
+    """
+    config = GeneratorConfig(seed=seed, scale=scale)
+    own_tmp = workdir is None
+    workdir = workdir if workdir is not None else tempfile.mkdtemp(
+        prefix="repro-chaos-"
+    )
+    try:
+        base_dir = os.path.join(workdir, "baseline")
+        with record_crash_points() as announced:
+            base_fps, base_digests = _observed_run(
+                base_dir, config, experiments, resume=False
+            )
+        registry = _dedupe(announced)
+        points = list(registry)
+        logger.info("chaos: baseline announced %d crash point(s)", len(points))
+        if point_filter is not None:
+            points = [p for p in points if point_filter(p)]
+            logger.info("chaos: point filter kept %d point(s)", len(points))
+        if max_points is not None and len(points) > max_points:
+            logger.warning(
+                "chaos: truncating matrix to %d of %d point(s) — "
+                "NOT full coverage", max_points, len(points),
+            )
+            points = points[:max_points]
+
+        cases: List[CrashCase] = []
+        for i, point in enumerate(points):
+            case = CrashCase(point=point)
+            case_dir = os.path.join(workdir, f"case-{i:03d}")
+            try:
+                with crash_spec_scope(point):
+                    _observed_run(case_dir, config, experiments, resume=False)
+                case.detail = "armed crash point never fired"
+            except SimulatedCrash:
+                case.crashed = True
+            except Exception as exc:  # noqa: BLE001 — collateral is a finding
+                case.detail = (
+                    f"crash run died of {type(exc).__name__} instead: {exc}"
+                )
+            if case.crashed:
+                try:
+                    fps, digests = _observed_run(
+                        case_dir, config, experiments, resume=True
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    case.detail = (
+                        f"resume failed: {type(exc).__name__}: {exc}"
+                    )
+                else:
+                    case.resumed_ok = True
+                    case.identical = (
+                        fps == base_fps and digests == base_digests
+                    )
+                    if not case.identical:
+                        bad_stages = sorted(
+                            s for s in set(base_fps) | set(fps)
+                            if base_fps.get(s) != fps.get(s)
+                        )
+                        bad_files = sorted(
+                            a for a in set(base_digests) | set(digests)
+                            if base_digests.get(a) != digests.get(a)
+                        )
+                        case.detail = (
+                            f"diverged after resume: stages {bad_stages}, "
+                            f"artifacts {bad_files}"
+                        )
+            logger.info("chaos: %s", case)
+            cases.append(case)
+        return ChaosResult(
+            announced=registry,
+            points=points,
+            cases=cases,
+            baseline_fingerprints=base_fps,
+        )
+    finally:
+        if own_tmp:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+# -- CLI ----------------------------------------------------------------------
+def configure_parser(sub) -> None:
+    chaos = sub.add_parser(
+        "chaos",
+        help="crash at every commit point, resume, verify byte-identity",
+        description=(
+            "The crash-matrix harness (docs/ROBUSTNESS.md): run a small "
+            "pipeline once fault-free, then once per announced crash "
+            "point with a simulated mid-commit crash, resume each killed "
+            "run, and verify the recovered outputs are byte-identical to "
+            f"the baseline.  Exits {EXIT_CHAOS} on any failure."
+        ),
+    )
+    chaos.add_argument(
+        "--chaos-scale", type=float, default=DEFAULT_SCALE, metavar="S",
+        help="pipeline scale for the matrix runs (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--experiments", nargs="*", default=list(DEFAULT_EXPERIMENTS),
+        help="experiments the matrix pipeline runs (default: %(default)s)",
+    )
+    chaos.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="keep matrix state here instead of a deleted temp dir",
+    )
+    chaos.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="truncate the matrix to its first N points (smoke runs)",
+    )
+    chaos.add_argument(
+        "--match", default=None, metavar="SUBSTR",
+        help="only exercise crash points containing this substring",
+    )
+
+
+def cmd_chaos(args) -> int:
+    point_filter = None
+    if args.match:
+        substr = args.match
+        point_filter = lambda p: substr in p  # noqa: E731
+    result = run_crash_matrix(
+        seed=args.seed,
+        scale=args.chaos_scale,
+        experiments=args.experiments,
+        workdir=args.workdir,
+        max_points=args.max_points,
+        point_filter=point_filter,
+    )
+    print(result.render())
+    return result.exit_code

@@ -1,0 +1,123 @@
+"""Deterministic crash points: die at a *named* place, on demand.
+
+The storage commit path (and the pipeline's stage boundaries) announce
+named points — ``checkpoint.generate:before-rename``,
+``provenance:mid-write``, ``stage.ingest:done`` — via :func:`crash_point`.
+With no spec active the call is a dict lookup and a return; with a spec
+(``REPRO_CRASH_AT=<pattern>`` in the environment, or
+:func:`set_crash_spec` in-process) a matching point raises
+:class:`SimulatedCrash`, which derives from ``BaseException`` so no
+``except Exception`` handler between the commit path and the top of the
+process can accidentally swallow the "kill".
+
+The crash-matrix harness discovers the registry empirically:
+:func:`record_crash_points` collects every point a fault-free run
+announces, and the matrix then re-runs the pipeline once per recorded
+point.  New artifacts therefore join the matrix automatically the moment
+their writer goes through :mod:`repro.storage` — there is no second list
+to keep in sync.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import fnmatch
+import os
+from typing import Iterator, List, Optional
+
+__all__ = [
+    "CRASH_ENV_VAR",
+    "SimulatedCrash",
+    "crash_point",
+    "crash_spec",
+    "crash_spec_scope",
+    "record_crash_points",
+    "set_crash_spec",
+]
+
+CRASH_ENV_VAR = "REPRO_CRASH_AT"
+
+
+class SimulatedCrash(BaseException):
+    """The process "died" at a crash point.
+
+    Deliberately *not* a :class:`ReproError` (nor even an ``Exception``):
+    a real ``kill -9`` is not catchable, so nothing short of the harness
+    may treat a simulated one as handleable either.
+    """
+
+    def __init__(self, point: str):
+        self.point = point
+        super().__init__(f"simulated crash at {point!r}")
+
+
+class _State:
+    __slots__ = ("spec", "recorders")
+
+    def __init__(self):
+        self.spec: Optional[str] = None
+        self.recorders: List[List[str]] = []
+
+
+_state = _State()
+
+
+def set_crash_spec(pattern: Optional[str]) -> Optional[str]:
+    """Arm (or with ``None`` disarm) the in-process crash spec.
+
+    Returns the previous spec.  ``pattern`` matches a point name when it
+    equals it, is a substring of it, or matches it as an ``fnmatch`` glob
+    — ``checkpoint.generate:*`` kills every phase of that commit.
+    """
+    previous = _state.spec
+    _state.spec = pattern
+    return previous
+
+
+def crash_spec() -> Optional[str]:
+    """The active spec: the in-process one, else the environment's."""
+    if _state.spec is not None:
+        return _state.spec
+    return os.environ.get(CRASH_ENV_VAR) or None
+
+
+@contextlib.contextmanager
+def crash_spec_scope(pattern: Optional[str]) -> Iterator[None]:
+    """Arm a crash spec for the duration of a block (harness use)."""
+    previous = set_crash_spec(pattern)
+    try:
+        yield
+    finally:
+        set_crash_spec(previous)
+
+
+def _matches(spec: str, name: str) -> bool:
+    return spec == name or spec in name or fnmatch.fnmatch(name, spec)
+
+
+def crash_point(name: str) -> None:
+    """Announce a named point; raise :class:`SimulatedCrash` if armed.
+
+    Recording (when active) happens *before* the crash check, so a
+    recorded probe run and an armed run agree on which points exist.
+    """
+    for sink in _state.recorders:
+        sink.append(name)
+    spec = crash_spec()
+    if spec is not None and _matches(spec, name):
+        raise SimulatedCrash(name)
+
+
+@contextlib.contextmanager
+def record_crash_points() -> Iterator[List[str]]:
+    """Collect every crash point announced inside the block, in hit order.
+
+    Duplicates are preserved (a point hit twice appears twice); the
+    harness dedupes while keeping first-hit order.
+    """
+    sink: List[str] = []
+    _state.recorders.append(sink)
+    try:
+        yield sink
+    finally:
+        _state.recorders.remove(sink)

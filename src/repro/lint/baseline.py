@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 from typing import Iterable, List, Sequence
 
+from repro import storage
 from repro.lint.diagnostics import Diagnostic
 from repro.util.errors import LintError
 
@@ -88,4 +89,8 @@ class Baseline:
                 self._entries, key=lambda e: (e["path"], e["rule"], e["message"])
             ),
         }
-        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        storage.commit_text(
+            str(path),
+            json.dumps(payload, indent=2) + "\n",
+            label="lint.baseline",
+        )

@@ -42,6 +42,11 @@ DEFAULT_BENCH_WRITER_FILES: Tuple[str, ...] = ("repro/obs/bench.py",)
 #: against the NDT/trace schema does not apply.
 DEFAULT_SCHEMA_EXEMPT_FILES: Tuple[str, ...] = ("repro/obs/bench.py",)
 
+#: Where unprotected file writes are the implementation, not a violation:
+#: the storage layer itself is the one place allowed to call bare
+#: ``open(..., "w")`` — everyone else commits through it.
+DEFAULT_STORAGE_WRITER_FILES: Tuple[str, ...] = ("repro/storage/",)
+
 #: Subpackages where raising builtin ``ValueError``/``TypeError``/``KeyError``
 #: is a finding even though the repo-wide convention allows them for argument
 #: validation: these packages have dedicated typed errors (``AnalysisError``,
@@ -78,6 +83,7 @@ class LintConfig:
     timing_allowed_packages: Tuple[str, ...] = DEFAULT_TIMING_ALLOWED
     bench_writer_files: Tuple[str, ...] = DEFAULT_BENCH_WRITER_FILES
     schema_exempt_files: Tuple[str, ...] = DEFAULT_SCHEMA_EXEMPT_FILES
+    storage_writer_files: Tuple[str, ...] = DEFAULT_STORAGE_WRITER_FILES
 
 
 class FileContext:

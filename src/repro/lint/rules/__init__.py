@@ -14,4 +14,5 @@ from repro.lint.rules import (  # noqa: F401
     row_loops,
     schema_columns,
     typed_errors,
+    unsafe_write,
 )

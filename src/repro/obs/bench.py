@@ -32,11 +32,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import os
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
+
+from repro import storage
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "BenchRegistry",
@@ -70,7 +75,9 @@ DEFAULT_THRESHOLD = 0.20
 #: noise on millisecond kernels would fire the gate randomly.
 DEFAULT_MIN_SECONDS = 0.01
 
-_LEGACY_BASENAMES = ("BENCH_engine.json", "BENCH_obs.json")
+_LEGACY_BASENAMES = (
+    "BENCH_engine.json", "BENCH_obs.json", "BENCH_storage.json"
+)
 _HISTORY_BASENAME = "BENCH_history.jsonl"
 
 
@@ -80,10 +87,16 @@ def repo_root() -> Path:
 
 
 def baseline_path(kind: str, root: Optional[Path] = None) -> Path:
-    """Path of a legacy one-off snapshot: kind ``engine`` or ``obs``."""
-    names = {"engine": _LEGACY_BASENAMES[0], "obs": _LEGACY_BASENAMES[1]}
+    """Path of a one-off snapshot: kind ``engine``, ``obs`` or ``storage``."""
+    names = {
+        "engine": _LEGACY_BASENAMES[0],
+        "obs": _LEGACY_BASENAMES[1],
+        "storage": _LEGACY_BASENAMES[2],
+    }
     if kind not in names:
-        raise ValueError(f"unknown baseline kind {kind!r}; use engine|obs")
+        raise ValueError(
+            f"unknown baseline kind {kind!r}; use engine|obs|storage"
+        )
     return (root or repo_root()) / names[kind]
 
 
@@ -129,11 +142,16 @@ def write_snapshot(path, payload: Dict[str, Any]) -> str:
 
     Keeps the historical human-readable format (indent 2, trailing
     newline) the legacy baselines used, so migrating the writers does not
-    churn the checked-in files.
+    churn the checked-in files.  Commits atomically through
+    :mod:`repro.storage` — a crash mid-write leaves the previous snapshot,
+    never a torn JSON file.
     """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    storage.commit_text(
+        str(path),
+        json.dumps(payload, indent=2) + "\n",
+        label=f"bench.{path.name}",
+    )
     return str(path)
 
 
@@ -150,8 +168,9 @@ def load_legacy_baselines(root: Optional[Path] = None) -> Dict[str, Dict[str, An
 
     Engine rows keep the vectorized path's time (``after_s``); the
     encode/decode row sums its two phases; obs rows keep the disabled-path
-    op times.  Missing files are simply skipped, so a fresh clone without
-    recorded baselines still works.
+    op times; storage rows keep the committed-path times (the durability
+    cost the 5% budget bounds).  Missing files are simply skipped, so a
+    fresh clone without recorded baselines still works.
     """
     out: Dict[str, Dict[str, Any]] = {}
     engine = baseline_path("engine", root)
@@ -177,6 +196,15 @@ def load_legacy_baselines(root: Optional[Path] = None) -> Dict[str, Dict[str, An
                     "seconds": float(row["op_s_disabled"]),
                     "rows": row.get("rows"),
                 }
+    storage_file = baseline_path("storage", root)
+    if storage_file.exists():
+        data = json.loads(storage_file.read_text(encoding="utf-8"))
+        for name, row in data.get("benchmarks", {}).items():
+            if isinstance(row, dict) and "committed_s" in row:
+                out[f"storage.{name}_committed"] = {
+                    "seconds": float(row["committed_s"]),
+                    "rows": row.get("rows"),
+                }
     return out
 
 
@@ -196,9 +224,10 @@ def append_history(
 ) -> Dict[str, Any]:
     """Append one run record to the JSONL history; returns the record.
 
-    The history is append-only by construction: records are only ever
-    written with ``"a"``, and readers tolerate (and report) any manually
-    truncated lines.
+    The history is append-only by construction: records only ever reach
+    the file through :func:`repro.storage.append_text` (one write of a
+    complete line, then fsync), and readers tolerate — skip and warn on —
+    any torn tail a crash mid-append may still leave.
     """
     record = {
         "sha": sha,
@@ -206,30 +235,47 @@ def append_history(
         "benchmarks": {n: benchmarks[n] for n in sorted(benchmarks)},
     }
     path = Path(path) if path is not None else history_path()
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
-        fh.write("\n")
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    storage.append_text(str(path), line, label=f"bench-history.{path.name}")
     return record
 
 
 def load_history(path=None) -> List[Dict[str, Any]]:
-    """All run records, oldest first; missing file → empty list."""
+    """All run records, oldest first; missing file → empty list.
+
+    A torn tail — the partial last line a crash mid-append can leave —
+    is skipped with a warning and counted (``bench.history_torn_lines``),
+    never parsed into a half-record baseline.
+    """
+    from repro import obs
+
     path = Path(path) if path is not None else history_path()
     if not path.exists():
         return []
     out: List[Dict[str, Any]] = []
-    for line in path.read_text(encoding="utf-8").splitlines():
+    lines = storage.read_text(str(path)).splitlines()
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
         try:
-            out.append(json.loads(line))
-        except json.JSONDecodeError:
-            print(
-                f"warning: skipping malformed history line in {path}",
-                file=sys.stderr,
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            obs.counter("bench.history_torn_lines").inc()
+            logger.warning(
+                "%s:%d: skipping malformed history line (%s)%s",
+                path, lineno, exc,
+                " — torn tail from an interrupted append"
+                if lineno == len(lines) else "",
             )
+            continue
+        if not isinstance(record, dict):
+            obs.counter("bench.history_torn_lines").inc()
+            logger.warning(
+                "%s:%d: skipping non-object history line", path, lineno
+            )
+            continue
+        out.append(record)
     return out
 
 

@@ -18,6 +18,7 @@ import json
 import os
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro import storage
 from repro.obs.trace import SpanRecord, Tracer
 
 __all__ = [
@@ -35,13 +36,10 @@ def _records(tracer_or_spans) -> List[SpanRecord]:
 
 
 def write_spans_jsonl(tracer_or_spans, path: str) -> int:
-    """Write spans as JSONL (one object per line); returns the span count."""
+    """Write spans as JSONL (one object per line, atomic); returns the count."""
     records = _records(tracer_or_spans)
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        for rec in records:
-            fh.write(json.dumps(rec.to_dict(), sort_keys=True))
-            fh.write("\n")
+    lines = [json.dumps(rec.to_dict(), sort_keys=True) + "\n" for rec in records]
+    storage.commit_text(path, "".join(lines), label="trace.spans")
     return len(records)
 
 
@@ -98,8 +96,9 @@ def write_chrome_trace(
 ) -> str:
     """Write the Chrome trace view next to the JSONL export."""
     doc = spans_to_chrome(tracer_or_spans, process_name=process_name)
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, sort_keys=True)
-        fh.write("\n")
+    storage.commit_text(
+        path,
+        json.dumps(doc, sort_keys=True) + "\n",
+        label="trace.chrome",
+    )
     return path

@@ -37,6 +37,8 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro import storage
+
 __all__ = [
     "LineageRecorder",
     "PROVENANCE_SCHEMA_VERSION",
@@ -239,10 +241,18 @@ def provenance_to_json(data: Dict[str, Any]) -> str:
 
 
 def write_provenance(recorder: LineageRecorder, path: str) -> str:
-    """Write ``provenance.json`` (canonical form); returns the path."""
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(provenance_to_json(recorder.to_provenance()))
+    """Write ``provenance.json`` (canonical form, atomic); returns the path.
+
+    Provenance is the oracle the crash-matrix harness compares against, so
+    it gets the full commit discipline: temp file, fsync, rename, checksum
+    sidecar.  A killed run leaves either the previous document or none.
+    """
+    storage.commit_text(
+        path,
+        provenance_to_json(recorder.to_provenance()),
+        label="lineage.provenance",
+        sidecar=True,
+    )
     return path
 
 

@@ -23,6 +23,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro import storage
 from repro.obs.trace import Tracer
 
 __all__ = [
@@ -234,15 +235,22 @@ def render_run_report(data: Dict[str, Any]) -> str:
 
 
 def write_run_report(data: Dict[str, Any], out_dir: str) -> Dict[str, str]:
-    """Write ``run_report.json`` + ``run_report.txt``; returns their paths."""
-    os.makedirs(out_dir, exist_ok=True)
+    """Write ``run_report.json`` + ``run_report.txt``; returns their paths.
+
+    Both files commit atomically through :mod:`repro.storage`, so a crash
+    mid-report leaves the previous run's report (or nothing), never half a
+    JSON document a dashboard would choke on.
+    """
     json_path = os.path.join(out_dir, "run_report.json")
     txt_path = os.path.join(out_dir, "run_report.txt")
-    with open(json_path, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    with open(txt_path, "w", encoding="utf-8") as fh:
-        fh.write(render_run_report(data))
+    storage.commit_text(
+        json_path,
+        json.dumps(data, indent=2, sort_keys=True) + "\n",
+        label="report.run_report.json",
+    )
+    storage.commit_text(
+        txt_path, render_run_report(data), label="report.run_report.txt"
+    )
     return {"json": json_path, "txt": txt_path}
 
 

@@ -6,20 +6,43 @@ any extra knobs that change the data, e.g. the fault profile) share
 checkpoints; changing any knob — seed, scale, an ablation flag — silently
 gets a fresh key.  Values are pickled; the store keeps hit/miss counters
 so resume behaviour is assertable in tests.
+
+Durability (``docs/ROBUSTNESS.md``): values are committed through
+:mod:`repro.storage` as framed, checksummed **generations** —
+``<stage>.g0001``, ``.g0002``, ... — with atomic write→fsync→rename and
+the newest ``keep`` generations retained.  A truncated or bit-rotten
+generation is *detected*, quarantined, and skipped in favour of the
+previous one; only when every generation is corrupt does :meth:`load`
+raise a typed :class:`~repro.util.errors.CheckpointCorruptError`, which
+the pipeline's resume path treats as "recompute the stage", never as a
+crash.  Legacy bare-pickle ``<stage>.pkl`` files from older runs are
+still read (and verified as well as a raw pickle can be).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import os
 import pickle
 from typing import Any, Mapping, Optional
 
-from repro import obs
-from repro.util.errors import PipelineError
+from repro import obs, storage
+from repro.util.errors import (
+    ArtifactCorruptError,
+    CheckpointCorruptError,
+    PipelineError,
+    StorageError,
+)
 
-__all__ = ["CheckpointStore", "config_key"]
+__all__ = ["CHECKPOINT_KIND", "CheckpointStore", "config_key"]
+
+#: Container kind stamped into every checkpoint frame.
+CHECKPOINT_KIND = "checkpoint/pickle"
+
+#: How many generations of each stage checkpoint survive by default.
+DEFAULT_KEEP = 3
 
 
 def config_key(config: Any, extra: Optional[Mapping[str, Any]] = None) -> str:
@@ -47,65 +70,131 @@ def config_key(config: Any, extra: Optional[Mapping[str, Any]] = None) -> str:
 
 
 class CheckpointStore:
-    """Pickle-per-stage storage under ``root/<key>/<stage>.pkl``."""
+    """Generation-kept, checksummed storage under ``root/<key>/<stage>.g*``."""
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, keep: int = DEFAULT_KEEP):
         self.root = root
+        self.keep = keep
         self.hits = 0
         self.misses = 0
 
-    def _path(self, key: str, stage: str) -> str:
+    def _base(self, key: str, stage: str) -> str:
         safe = stage.replace(os.sep, "_")
-        return os.path.join(self.root, key, f"{safe}.pkl")
+        return os.path.join(self.root, key, safe)
+
+    def _legacy_path(self, key: str, stage: str) -> str:
+        return f"{self._base(key, stage)}.pkl"
+
+    def _generations(self, key: str, stage: str) -> storage.GenerationStore:
+        return storage.GenerationStore(
+            self._base(key, stage),
+            CHECKPOINT_KIND,
+            keep=self.keep,
+            label=f"checkpoint.{stage}",
+        )
 
     def has(self, key: str, stage: str) -> bool:
-        return os.path.exists(self._path(key, stage))
+        """Whether any checkpoint file (of any generation) exists.
+
+        Existence is deliberately cheap and unverified; :meth:`load` does
+        the integrity work and decides what is actually usable.
+        """
+        if len(self._generations(key, stage)):
+            return True
+        return storage.get_fs().exists(self._legacy_path(key, stage))
+
+    def _unpickle(self, payload: bytes, stage: str, path: str) -> Any:
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:  # pickle raises wildly varied types
+            raise CheckpointCorruptError(
+                path, f"checkpoint for stage {stage!r} does not unpickle: {exc}"
+            ) from exc
 
     def load(self, key: str, stage: str) -> Any:
-        """Load a checkpointed value; counts a hit. Raises if absent/corrupt."""
-        path = self._path(key, stage)
+        """Load the newest intact generation; counts a hit.
+
+        Raises :class:`PipelineError` when no checkpoint exists at all and
+        :class:`CheckpointCorruptError` when files exist but every one is
+        corrupt — a typed signal the pipeline maps to "recompute", never a
+        raw deserialization error.
+        """
+        gens = self._generations(key, stage)
         try:
-            with open(path, "rb") as fh:
-                value = pickle.load(fh)
-        except FileNotFoundError:
+            loaded = gens.load_latest_intact()
+        except ArtifactCorruptError as exc:
             self.misses += 1
             obs.counter("checkpoint.misses").inc()
-            raise PipelineError(f"no checkpoint for stage {stage!r} at {path}") from None
-        except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
-            self.misses += 1
-            obs.counter("checkpoint.misses").inc()
-            raise PipelineError(
-                f"corrupt checkpoint for stage {stage!r} at {path}: {exc}"
+            obs.counter("checkpoint.corrupt").inc()
+            raise CheckpointCorruptError(
+                exc.path,
+                f"corrupt checkpoint for stage {stage!r}: {exc.reason}",
+                quarantined_to=exc.quarantined_to,
             ) from exc
-        self.hits += 1
-        obs.counter("checkpoint.hits").inc()
-        return value
+        if loaded is not None:
+            payload, _gen = loaded
+            value = self._unpickle(payload, stage, gens.base)
+            self.hits += 1
+            obs.counter("checkpoint.hits").inc()
+            return value
+
+        legacy = self._legacy_path(key, stage)
+        fs = storage.get_fs()
+        if fs.exists(legacy):
+            try:
+                payload = storage.read_bytes(legacy)
+                value = pickle.loads(payload)
+            except Exception as exc:
+                self.misses += 1
+                obs.counter("checkpoint.misses").inc()
+                obs.counter("checkpoint.corrupt").inc()
+                moved = storage.quarantine_file(legacy, "legacy pickle unreadable")
+                raise CheckpointCorruptError(
+                    legacy,
+                    f"corrupt checkpoint for stage {stage!r}: {exc}",
+                    quarantined_to=moved,
+                ) from exc
+            self.hits += 1
+            obs.counter("checkpoint.hits").inc()
+            return value
+
+        self.misses += 1
+        obs.counter("checkpoint.misses").inc()
+        raise PipelineError(
+            f"no checkpoint for stage {stage!r} at {gens.base}.g*"
+        )
 
     def save(self, key: str, stage: str, value: Any) -> str:
-        """Atomically persist a stage value; returns the checkpoint path."""
-        path = self._path(key, stage)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        """Durably persist a new generation; returns the checkpoint path.
+
+        The commit is atomic (temp file, fsync, rename, directory fsync)
+        and checksummed, so a crash at any byte leaves either the previous
+        generation or a detectably-partial temp file — never a torn
+        checkpoint a resume would trust.
+        """
         try:
-            with open(tmp, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except (OSError, pickle.PicklingError) as exc:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
+            buf = io.BytesIO()
+            pickle.dump(value, buf, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise PipelineError(f"cannot checkpoint stage {stage!r}: {exc}") from exc
+        try:
+            path = self._generations(key, stage).commit(buf.getvalue())
+        except StorageError as exc:
             raise PipelineError(f"cannot checkpoint stage {stage!r}: {exc}") from exc
         obs.counter("checkpoint.saves").inc()
         return path
 
     def drop(self, key: str, stage: Optional[str] = None) -> None:
         """Remove one stage's checkpoint, or every stage under the key."""
+        fs = storage.get_fs()
         if stage is not None:
-            path = self._path(key, stage)
-            if os.path.exists(path):
-                os.unlink(path)
+            self._generations(key, stage).drop()
+            legacy = self._legacy_path(key, stage)
+            if fs.exists(legacy):
+                fs.remove(legacy)
             return
         key_dir = os.path.join(self.root, key)
         if os.path.isdir(key_dir):
-            for name in os.listdir(key_dir):
-                os.unlink(os.path.join(key_dir, name))
+            for name in fs.listdir(key_dir):
+                fs.remove(os.path.join(key_dir, name))
             os.rmdir(key_dir)

@@ -36,10 +36,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro import obs
+from repro.faults.crashpoints import crash_point
 from repro.obs.clock import monotonic
 from repro.obs.memory import record_value_memory
 from repro.runtime.checkpoint import CheckpointStore
-from repro.util.errors import PipelineError, StageFailure
+from repro.util.errors import CheckpointCorruptError, PipelineError, StageFailure
 from repro.util.rng import RngHub
 
 __all__ = [
@@ -293,16 +294,25 @@ class PipelineRunner:
             and stage.checkpoint
             and self.checkpoints.has(self.key, stage.name)
         ):
-            value = self.checkpoints.load(self.key, stage.name)
-            context[stage.name] = value
-            logger.info("stage %s: loaded from checkpoint", stage.name)
-            return StageResult(
-                name=stage.name,
-                status=StageStatus.CACHED,
-                attempts=0,
-                duration_s=self._clock() - start,
-                rows_out=value_row_count(value),
-            )
+            try:
+                value = self.checkpoints.load(self.key, stage.name)
+            except CheckpointCorruptError as exc:
+                # Corruption is detected, quarantined, and *recovered from*:
+                # the stage simply recomputes, exactly as on a cache miss.
+                logger.warning(
+                    "stage %s: checkpoint corrupt (%s); recomputing",
+                    stage.name, exc,
+                )
+            else:
+                context[stage.name] = value
+                logger.info("stage %s: loaded from checkpoint", stage.name)
+                return StageResult(
+                    name=stage.name,
+                    status=StageStatus.CACHED,
+                    attempts=0,
+                    duration_s=self._clock() - start,
+                    rows_out=value_row_count(value),
+                )
 
         max_attempts = 1 + (stage.retries if stage.retry_on else 0)
         logger.debug("stage %s: starting (attempt budget %d)", stage.name, max_attempts)
@@ -336,6 +346,7 @@ class PipelineRunner:
                 context[stage.name] = value
                 if self.checkpoints is not None and stage.checkpoint:
                     self.checkpoints.save(self.key, stage.name, value)
+                crash_point(f"stage.{stage.name}:done")
                 logger.debug(
                     "stage %s: ok in %.3fs (attempt %d/%d)",
                     stage.name, self._clock() - start, attempt, max_attempts,

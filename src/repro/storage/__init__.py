@@ -1,0 +1,68 @@
+"""``repro.storage`` — the single sanctioned writer/reader for artifacts.
+
+Everything the pipeline persists — checkpoints, CSV/JSONL tables,
+``provenance.json``, run reports, benchmark snapshots and history — goes
+through this package, which supplies the durability guarantees the
+long-batch and always-on roadmap items assume (``docs/ROBUSTNESS.md``):
+
+* **atomic commits** (:mod:`~repro.storage.atomic`): write → fsync →
+  rename → fsync(dir); readers never observe a torn file;
+* **verified integrity** (:mod:`~repro.storage.container` +
+  sidecar checksums in :mod:`~repro.storage.artifacts`): truncation and
+  bit-rot raise typed :class:`~repro.util.errors.ArtifactCorruptError`
+  and quarantine the evidence, never feed garbage downstream;
+* **generation-keeping** (:mod:`~repro.storage.generations`): checkpoints
+  retain the last N generations and recover to the newest intact one;
+* **a chaos seam** (:mod:`~repro.storage.vfs`): every byte moves through
+  the active filesystem, which :mod:`repro.faults.fs` can replace with a
+  fault-injecting one, and every commit phase announces a crash point to
+  :mod:`repro.faults.crashpoints` for the crash-matrix harness.
+
+The ``unsafe-artifact-write`` lint rule enforces the monopoly: bare
+``open(..., "w"/"a")`` on artifact paths outside this package is a
+finding.
+"""
+
+from repro.storage.artifacts import (
+    SIDECAR_SUFFIX,
+    append_text,
+    commit_bytes,
+    commit_framed,
+    commit_json,
+    commit_text,
+    quarantine_file,
+    read_bytes,
+    read_framed,
+    read_text,
+    read_text_verified,
+    sidecar_path,
+    verify_sidecar,
+    write_sidecar,
+)
+from repro.storage.container import decode_frame, encode_frame
+from repro.storage.generations import GenerationStore
+from repro.storage.vfs import LocalFS, fs_scope, get_fs, set_fs
+
+__all__ = [
+    "GenerationStore",
+    "LocalFS",
+    "SIDECAR_SUFFIX",
+    "append_text",
+    "commit_bytes",
+    "commit_framed",
+    "commit_json",
+    "commit_text",
+    "decode_frame",
+    "encode_frame",
+    "fs_scope",
+    "get_fs",
+    "quarantine_file",
+    "read_bytes",
+    "read_framed",
+    "read_text",
+    "read_text_verified",
+    "sidecar_path",
+    "set_fs",
+    "verify_sidecar",
+    "write_sidecar",
+]

@@ -1,0 +1,277 @@
+"""The sanctioned writer/reader for every on-disk artifact.
+
+Two durability tiers, one commit discipline:
+
+* **framed** artifacts (checkpoints and other internal binaries) are
+  wrapped in the checksummed container (:mod:`repro.storage.container`),
+  so *any* truncation or bit-flip is detected on read;
+* **plain** artifacts that must stay externally readable (CSV, JSONL,
+  ``provenance.json``, run reports) are committed atomically and — where
+  the caller asks — guarded by a ``<name>.sha256`` sidecar the readers
+  verify.
+
+Orthogonally, every commit picks a durability tier: ``durable=True``
+(write–fsync–rename — survives power loss; checkpoints, histories) or
+``durable=False`` (atomic rename only — torn-file-proof against process
+crashes, with the sidecar *detecting* the rare power-loss window; bulk
+recomputable outputs like results CSVs).
+
+Corrupt files are never half-trusted: verification failure raises
+:class:`~repro.util.errors.ArtifactCorruptError` *and* moves the file to
+``<name>.corrupt-<k>`` next to the original, so a retrying run cannot
+keep tripping over the same bad bytes and the evidence survives for
+forensics.  Recovery events are counted under ``storage.*`` metrics.
+
+The ``unsafe-artifact-write`` lint rule pins this module (plus the rest
+of ``repro/storage/``) as the only place bare ``open(..., "w"/"a")`` may
+touch artifact paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Optional, Tuple
+
+from repro.storage import vfs
+from repro.storage.atomic import atomic_append_bytes, atomic_write_bytes
+from repro.storage.container import decode_frame, encode_frame
+from repro.util.errors import ArtifactCorruptError
+
+__all__ = [
+    "SIDECAR_SUFFIX",
+    "append_text",
+    "commit_bytes",
+    "commit_framed",
+    "commit_json",
+    "commit_text",
+    "quarantine_file",
+    "read_bytes",
+    "read_framed",
+    "read_text",
+    "read_text_verified",
+    "sidecar_path",
+    "verify_sidecar",
+    "write_sidecar",
+]
+
+SIDECAR_SUFFIX = ".sha256"
+
+
+def _counter(name: str):
+    from repro import obs
+
+    return obs.counter(name)
+
+
+# -- raw reads (short-read tolerant, fs-routed) ------------------------------
+def read_bytes(path: str, fs: Optional[vfs.LocalFS] = None) -> bytes:
+    """Read a whole file through the active filesystem.
+
+    Loops until EOF, so an injected short read degrades to extra
+    syscalls, never to silently truncated data.
+    """
+    fs = fs if fs is not None else vfs.get_fs()
+    chunks = []
+    with fs.open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(1 << 20)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def read_text(path: str, fs: Optional[vfs.LocalFS] = None) -> str:
+    return read_bytes(path, fs=fs).decode("utf-8")
+
+
+# -- quarantine --------------------------------------------------------------
+def quarantine_file(
+    path: str, reason: str, fs: Optional[vfs.LocalFS] = None
+) -> Optional[str]:
+    """Move a corrupt file aside to ``<path>.corrupt-<k>``; returns the spot.
+
+    Best-effort by design: if even the rename fails (the disk is going
+    away under us), the caller's :class:`ArtifactCorruptError` still
+    propagates — quarantine failing must never mask corruption.
+    """
+    fs = fs if fs is not None else vfs.get_fs()
+    try:
+        for k in range(1000):
+            target = f"{path}.corrupt-{k}"
+            if not fs.exists(target):
+                fs.replace(path, target)
+                _counter("storage.quarantined").inc()
+                return target
+    except OSError:
+        pass
+    return None
+
+
+# -- framed artifacts --------------------------------------------------------
+def commit_framed(
+    path: str,
+    payload: bytes,
+    kind: str,
+    label: Optional[str] = None,
+    fs: Optional[vfs.LocalFS] = None,
+) -> str:
+    """Commit ``payload`` wrapped in the checksummed container."""
+    return atomic_write_bytes(path, encode_frame(payload, kind), label=label, fs=fs)
+
+
+def read_framed(
+    path: str,
+    expect_kind: Optional[str] = None,
+    quarantine: bool = True,
+    fs: Optional[vfs.LocalFS] = None,
+) -> Tuple[bytes, str]:
+    """Read and verify a framed artifact; returns ``(payload, kind)``.
+
+    On any integrity violation the file is quarantined (unless disabled)
+    and a typed :class:`ArtifactCorruptError` carries both the reason and
+    the quarantine location.
+    """
+    fs = fs if fs is not None else vfs.get_fs()
+    data = read_bytes(path, fs=fs)
+    try:
+        payload, kind = decode_frame(data, expect_kind=expect_kind, path=path)
+    except ArtifactCorruptError as exc:
+        _counter("storage.corrupt_detected").inc()
+        moved = quarantine_file(path, exc.reason, fs=fs) if quarantine else None
+        raise ArtifactCorruptError(path, exc.reason, quarantined_to=moved) from None
+    return payload, kind
+
+
+# -- plain artifacts with optional sidecar checksums -------------------------
+def sidecar_path(path: str) -> str:
+    return f"{path}{SIDECAR_SUFFIX}"
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def write_sidecar(
+    path: str, data: bytes, fs: Optional[vfs.LocalFS] = None,
+    durable: bool = True,
+) -> str:
+    """Commit the ``.sha256`` sidecar recording ``data``'s digest."""
+    line = f"{_digest(data)}  {os.path.basename(path)}\n".encode("ascii")
+    return atomic_write_bytes(
+        sidecar_path(path), line, label=f"{os.path.basename(path)}.sha256",
+        fs=fs, durable=durable,
+    )
+
+
+def verify_sidecar(
+    path: str,
+    data: Optional[bytes] = None,
+    quarantine: bool = True,
+    fs: Optional[vfs.LocalFS] = None,
+) -> bytes:
+    """Verify ``path`` against its sidecar (when one exists); returns bytes.
+
+    Missing sidecar → the file is read and returned unverified (plain
+    artifacts predating the storage layer stay readable).  A digest
+    mismatch quarantines the data file and raises
+    :class:`ArtifactCorruptError`; the stale sidecar is removed so the
+    quarantined artifact's replacement starts clean.
+    """
+    fs = fs if fs is not None else vfs.get_fs()
+    if data is None:
+        data = read_bytes(path, fs=fs)
+    side = sidecar_path(path)
+    if not fs.exists(side):
+        return data
+    recorded = read_text(side, fs=fs).split()
+    if not recorded or len(recorded[0]) != 64:
+        reason = f"unparseable checksum sidecar {side}"
+        _counter("storage.corrupt_detected").inc()
+        moved = quarantine_file(path, reason, fs=fs) if quarantine else None
+        raise ArtifactCorruptError(path, reason, quarantined_to=moved)
+    if recorded[0] != _digest(data):
+        reason = "sha256 sidecar mismatch (torn write or bit-rot)"
+        _counter("storage.corrupt_detected").inc()
+        moved = quarantine_file(path, reason, fs=fs) if quarantine else None
+        try:
+            fs.remove(side)
+        except OSError:
+            pass
+        raise ArtifactCorruptError(path, reason, quarantined_to=moved)
+    return data
+
+
+def commit_bytes(
+    path: str,
+    data: bytes,
+    label: Optional[str] = None,
+    sidecar: bool = False,
+    fs: Optional[vfs.LocalFS] = None,
+    durable: bool = True,
+) -> str:
+    """Commit a plain artifact atomically, optionally with a sidecar digest.
+
+    The sidecar lands *after* the data file: a crash between the two
+    leaves a new file with a stale sidecar, which verification flags —
+    detection errs toward a false alarm, never a false pass.
+
+    ``durable=False`` selects the cheap commit tier (atomic rename, no
+    fsync) for recomputable artifacts; pair it with ``sidecar=True`` so
+    the power-loss window a skipped fsync leaves open stays *detectable*
+    on read.
+    """
+    atomic_write_bytes(path, data, label=label, fs=fs, durable=durable)
+    if sidecar:
+        write_sidecar(path, data, fs=fs, durable=durable)
+    return path
+
+
+def commit_text(
+    path: str,
+    text: str,
+    label: Optional[str] = None,
+    sidecar: bool = False,
+    fs: Optional[vfs.LocalFS] = None,
+    durable: bool = True,
+) -> str:
+    return commit_bytes(
+        path, text.encode("utf-8"), label=label, sidecar=sidecar, fs=fs,
+        durable=durable,
+    )
+
+
+def commit_json(
+    path: str,
+    obj: Any,
+    indent: Optional[int] = None,
+    sort_keys: bool = True,
+    label: Optional[str] = None,
+    sidecar: bool = False,
+    fs: Optional[vfs.LocalFS] = None,
+    durable: bool = True,
+) -> str:
+    """Commit a JSON artifact in the repo's canonical encodings."""
+    if indent is None:
+        text = json.dumps(obj, sort_keys=sort_keys, separators=(",", ":")) + "\n"
+    else:
+        text = json.dumps(obj, sort_keys=sort_keys, indent=indent) + "\n"
+    return commit_text(
+        path, text, label=label, sidecar=sidecar, fs=fs, durable=durable
+    )
+
+
+def append_text(
+    path: str, text: str, label: Optional[str] = None, fs: Optional[vfs.LocalFS] = None
+) -> str:
+    """Durably append one text record (the atomic append path)."""
+    return atomic_append_bytes(path, text.encode("utf-8"), label=label, fs=fs)
+
+
+def read_text_verified(
+    path: str, quarantine: bool = True, fs: Optional[vfs.LocalFS] = None
+) -> str:
+    """Read a plain text artifact, verifying its sidecar when present."""
+    return verify_sidecar(path, quarantine=quarantine, fs=fs).decode("utf-8")

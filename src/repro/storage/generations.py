@@ -1,0 +1,154 @@
+"""Generation-keeping for replaceable artifacts (checkpoints first).
+
+A :class:`GenerationStore` never overwrites in place: each commit writes
+``<base>.g<NNNN>`` as a framed, checksummed artifact, then prunes down to
+the newest ``keep`` generations.  Reads walk newest → oldest, quarantine
+any generation that fails verification, and return the newest *intact*
+value — so a crash mid-commit (or bit-rot in the latest file) costs one
+generation of work, not the whole resume.  ``storage.recovered_generations``
+counts every fallback, so silent degradation is visible in the metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Optional, Tuple
+
+from repro.storage import vfs
+from repro.storage.artifacts import commit_framed, read_framed
+from repro.util.errors import ArtifactCorruptError
+
+__all__ = ["GenerationStore"]
+
+_GEN_RE = re.compile(r"\.g(\d{4,})$")
+
+
+def _counter(name: str):
+    from repro import obs
+
+    return obs.counter(name)
+
+
+class GenerationStore:
+    """Numbered, checksummed generations of one logical artifact.
+
+    Parameters
+    ----------
+    base:
+        The artifact's base path; generation files are ``<base>.g0001``,
+        ``<base>.g0002``, ...
+    kind:
+        The container kind stamped into (and demanded from) every frame.
+    keep:
+        How many newest generations survive a commit (≥ 1).
+    """
+
+    def __init__(
+        self,
+        base: str,
+        kind: str,
+        keep: int = 3,
+        label: Optional[str] = None,
+        fs: Optional[vfs.LocalFS] = None,
+    ):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.base = base
+        self.kind = kind
+        self.keep = keep
+        self.label = label or os.path.basename(base)
+        self._fs = fs
+
+    def _get_fs(self) -> vfs.LocalFS:
+        return self._fs if self._fs is not None else vfs.get_fs()
+
+    def _gen_path(self, gen: int) -> str:
+        return f"{self.base}.g{gen:04d}"
+
+    def generations(self) -> List[int]:
+        """Existing generation numbers, oldest first."""
+        fs = self._get_fs()
+        parent = os.path.dirname(self.base) or "."
+        prefix = os.path.basename(self.base)
+        if not fs.exists(parent):
+            return []
+        out = []
+        for name in fs.listdir(parent):
+            if not name.startswith(prefix):
+                continue
+            m = _GEN_RE.search(name)
+            if m and name == f"{prefix}.g{int(m.group(1)):04d}":
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return len(self.generations())
+
+    def commit(self, payload: bytes) -> str:
+        """Write the next generation and prune old ones; returns its path."""
+        fs = self._get_fs()
+        gens = self.generations()
+        next_gen = (gens[-1] + 1) if gens else 1
+        path = commit_framed(
+            self._gen_path(next_gen),
+            payload,
+            self.kind,
+            label=self.label,
+            fs=fs,
+        )
+        for old in gens[: max(0, len(gens) + 1 - self.keep)]:
+            try:
+                fs.remove(self._gen_path(old))
+            except OSError:
+                pass
+        return path
+
+    def load_latest_intact(self) -> Optional[Tuple[bytes, int]]:
+        """The newest verifiable payload as ``(payload, generation)``.
+
+        Corrupt generations are quarantined and skipped (counted under
+        ``storage.recovered_generations`` when an older intact one saves
+        the read).  Returns ``None`` when no generation exists at all;
+        raises :class:`ArtifactCorruptError` when generations exist but
+        *every one* is corrupt — the caller decides whether that means a
+        clean re-run or a hard stop.
+        """
+        gens = self.generations()
+        if not gens:
+            return None
+        last_error: Optional[ArtifactCorruptError] = None
+        fell_back = False
+        for gen in reversed(gens):
+            try:
+                payload, _kind = read_framed(
+                    self._gen_path(gen), expect_kind=self.kind, fs=self._get_fs()
+                )
+            except (ArtifactCorruptError, OSError) as exc:
+                if isinstance(exc, ArtifactCorruptError):
+                    last_error = exc
+                else:
+                    last_error = ArtifactCorruptError(
+                        self._gen_path(gen), f"unreadable: {exc}"
+                    )
+                fell_back = True
+                continue
+            if fell_back:
+                _counter("storage.recovered_generations").inc()
+            return payload, gen
+        assert last_error is not None
+        raise ArtifactCorruptError(
+            self.base,
+            f"all {len(gens)} generation(s) corrupt; newest failure: "
+            f"{last_error.reason}",
+            quarantined_to=last_error.quarantined_to,
+        )
+
+    def drop(self) -> None:
+        """Remove every generation (quarantined copies are kept)."""
+        fs = self._get_fs()
+        for gen in self.generations():
+            try:
+                fs.remove(self._gen_path(gen))
+            except OSError:
+                pass

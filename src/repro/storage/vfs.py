@@ -1,0 +1,96 @@
+"""The filesystem seam every storage operation routes through.
+
+:class:`LocalFS` is a thin, complete wrapper over the ``os`` /
+``builtins.open`` calls the storage layer needs.  Its value is the seam:
+the chaos harness (:mod:`repro.faults.fs`) substitutes a fault-injecting
+implementation via :func:`set_fs` / :func:`fs_scope`, so torn writes,
+short reads, and transient ``EIO``/``ENOSPC`` exercise the *real* commit
+path rather than a mock of it.
+
+Every durability-relevant primitive is explicit: ``fsync`` on file
+descriptors, ``fsync_dir`` on directories (required for the rename to
+itself be durable on POSIX), ``replace`` for the atomic publish.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import IO, Iterator, List
+
+__all__ = ["LocalFS", "fs_scope", "get_fs", "set_fs"]
+
+
+class LocalFS:
+    """The real filesystem.  One method per primitive the commit path uses."""
+
+    def open(self, path: str, mode: str = "r", **kwargs) -> IO:
+        return open(path, mode, **kwargs)  # repro-lint: disable=unsafe-artifact-write
+
+    def fsync(self, fileobj: IO) -> None:
+        """Flush python buffers and force the file's bytes to stable storage."""
+        fileobj.flush()
+        os.fsync(fileobj.fileno())
+
+    def fsync_dir(self, path: str) -> None:
+        """Force a directory entry update (a rename) to stable storage.
+
+        Best-effort: platforms/filesystems that cannot open a directory
+        read-only (or reject fsync on one) skip silently — the rename is
+        still atomic, just not yet durable, which matches the pre-existing
+        guarantee everywhere fsync is unsupported.
+        """
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.unlink(path)
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def listdir(self, path: str) -> List[str]:
+        return os.listdir(path)
+
+    def size(self, path: str) -> int:
+        return os.path.getsize(path)
+
+
+_fs = LocalFS()
+
+
+def get_fs() -> LocalFS:
+    """The active filesystem every storage operation routes through."""
+    return _fs
+
+
+def set_fs(fs: LocalFS) -> LocalFS:
+    """Install a filesystem implementation; returns the previous one."""
+    global _fs
+    previous = _fs
+    _fs = fs if fs is not None else LocalFS()
+    return previous
+
+
+@contextlib.contextmanager
+def fs_scope(fs: LocalFS) -> Iterator[LocalFS]:
+    """Temporarily route storage through ``fs`` (tests, chaos runs)."""
+    previous = set_fs(fs)
+    try:
+        yield fs
+    finally:
+        set_fs(previous)

@@ -2,11 +2,21 @@
 
 Benchmarks dump every reproduced table/figure series to CSV under
 ``results/`` so the numbers in EXPERIMENTS.md can be re-derived.
+
+Durability (``docs/ROBUSTNESS.md``): the files stay plain CSV/JSONL —
+externally readable — but every write commits through
+:mod:`repro.storage` (same-directory temp + atomic rename, the cheap
+``durable=False`` tier for recomputable bulk outputs) with a ``.sha256``
+sidecar, and every read verifies the sidecar when one exists: a torn or
+bit-rotten table raises a typed
+:class:`~repro.util.errors.ArtifactCorruptError` and quarantines the
+file instead of quietly feeding partial rows into an analysis.
 """
 
 from __future__ import annotations
 
 import csv
+import io as _io
 import json
 import logging
 import os
@@ -15,6 +25,7 @@ from typing import List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import storage
 from repro.obs.memory import record_table_memory
 from repro.tables.column import Column
 from repro.tables.schema import DType
@@ -37,14 +48,19 @@ _NULL = ""  # CSV representation of a missing string
 
 
 def write_csv(table: Table, path: str) -> None:
-    """Write a table as CSV with a header row."""
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    """Write a table as CSV with a header row (atomic, checksummed)."""
     columns = [table.column(n).to_list() for n in table.column_names]
-    with open(path, "w", newline="", encoding="utf-8") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(table.column_names)
-        for row in zip(*columns):
-            writer.writerow([_NULL if v is None else v for v in row])
+    buf = _io.StringIO(newline="")
+    writer = csv.writer(buf, lineterminator="\r\n")
+    writer.writerow(table.column_names)
+    for row in zip(*columns):
+        writer.writerow([_NULL if v is None else v for v in row])
+    # durable=False: tables are recomputable bulk outputs — atomic rename
+    # keeps them torn-file-proof, the sidecar detects the power-loss window.
+    storage.commit_text(
+        path, buf.getvalue(),
+        label=f"csv.{os.path.basename(path)}", sidecar=True, durable=False,
+    )
 
 
 @dataclass
@@ -63,11 +79,22 @@ class CsvReadResult:
 
 
 def _encode_record(record: List[str]) -> str:
-    import io as _io
-
     buf = _io.StringIO()
     csv.writer(buf, lineterminator="").writerow(record)
     return buf.getvalue()
+
+
+def _open_verified_text(path: str):
+    """A text stream over ``path``, sidecar-verified when a sidecar exists.
+
+    Reading goes through the storage layer (short-read tolerant, routed
+    through the active — possibly chaos — filesystem); a checksum
+    mismatch quarantines the file and raises
+    :class:`~repro.util.errors.ArtifactCorruptError` before a single row
+    is parsed.
+    """
+    text = storage.read_text_verified(path)
+    return _io.StringIO(text, newline="")
 
 
 def read_csv_checked(
@@ -83,7 +110,7 @@ def read_csv_checked(
     Fully blank records (e.g. trailing blank lines some editors append)
     are skipped silently — they encode no row at all.
     """
-    with open(path, "r", newline="", encoding="utf-8") as fh:
+    with _open_verified_text(path) as fh:
         reader = csv.reader(fh)
         try:
             header = next(reader)
@@ -199,22 +226,25 @@ def read_csv(path: str, dtypes: Mapping[str, DType]) -> Table:
 
 
 def write_jsonl(table: Table, path: str) -> None:
-    """Write a table as one JSON object per line (types round-trip)."""
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        for row in table.iter_rows():
-            clean = {}
-            for k, v in row.items():
-                if hasattr(v, "item"):  # numpy scalar -> python scalar
-                    v = v.item()
-                clean[k] = v
-            fh.write(json.dumps(clean) + "\n")
+    """Write a table as one JSON object per line (atomic, checksummed)."""
+    lines: List[str] = []
+    for row in table.iter_rows():
+        clean = {}
+        for k, v in row.items():
+            if hasattr(v, "item"):  # numpy scalar -> python scalar
+                v = v.item()
+            clean[k] = v
+        lines.append(json.dumps(clean) + "\n")
+    storage.commit_text(
+        path, "".join(lines),
+        label=f"jsonl.{os.path.basename(path)}", sidecar=True, durable=False,
+    )
 
 
 def read_jsonl(path: str, dtypes: Optional[Mapping[str, DType]] = None) -> Table:
     """Read a JSON-lines file written by :func:`write_jsonl`."""
     rows = []
-    with open(path, "r", encoding="utf-8") as fh:
+    with _io.StringIO(storage.read_text_verified(path)) as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:

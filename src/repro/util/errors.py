@@ -78,6 +78,46 @@ class StageFailure(PipelineError):
         return self.attempt_started[-1] - self.attempt_started[0]
 
 
+class StorageError(ReproError):
+    """The artifact storage layer cannot read or write an on-disk artifact.
+
+    Raised for I/O failures on the sanctioned write path (temp-file
+    creation, fsync, rename).  Transient injected faults (``EIO`` /
+    ``ENOSPC`` from the chaos filesystem) surface as this type, so the
+    runtime's retry machinery can declare it in ``retry_on``.
+    """
+
+
+class ArtifactCorruptError(StorageError):
+    """An on-disk artifact failed integrity verification.
+
+    Torn writes, truncation, and bit-rot are *detected*, never silently
+    accepted: a framed artifact with a bad magic, a short payload, or a
+    checksum mismatch raises this type.  ``path`` is the offending file
+    and ``quarantined_to`` is where the storage layer moved it (``None``
+    when quarantine was disabled or impossible).
+    """
+
+    def __init__(self, path, reason: str, quarantined_to=None):
+        self.path = str(path)
+        self.reason = reason
+        self.quarantined_to = quarantined_to
+        msg = f"corrupt artifact {self.path}: {reason}"
+        if quarantined_to:
+            msg += f" (quarantined to {quarantined_to})"
+        super().__init__(msg)
+
+
+class CheckpointCorruptError(ArtifactCorruptError, PipelineError):
+    """Every generation of a stage checkpoint failed verification.
+
+    Also derives from :class:`PipelineError` so callers that treated the
+    old untyped "corrupt checkpoint" failures as pipeline errors keep
+    working; the pipeline itself catches this type on the resume path and
+    falls back to a clean re-run of the stage.
+    """
+
+
 class NumericsError(ReproError, ArithmeticError):
     """A numeric routine failed to converge or left its domain.
 

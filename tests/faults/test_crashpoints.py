@@ -1,0 +1,94 @@
+"""Tests for named crash points: matching, env spec, recording."""
+
+import pytest
+
+from repro.faults.crashpoints import (
+    CRASH_ENV_VAR,
+    SimulatedCrash,
+    crash_point,
+    crash_spec_scope,
+    record_crash_points,
+    set_crash_spec,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    set_crash_spec(None)
+
+
+class TestMatching:
+    def test_no_spec_is_a_noop(self):
+        crash_point("anything:anywhere")  # must not raise
+
+    def test_exact_match_crashes(self):
+        with crash_spec_scope("a:before-rename"):
+            with pytest.raises(SimulatedCrash) as exc:
+                crash_point("a:before-rename")
+        assert exc.value.point == "a:before-rename"
+
+    def test_substring_matches(self):
+        with crash_spec_scope("before-rename"):
+            with pytest.raises(SimulatedCrash):
+                crash_point("checkpoint.generate:before-rename")
+
+    def test_glob_matches(self):
+        with crash_spec_scope("checkpoint.*:mid-write"):
+            with pytest.raises(SimulatedCrash):
+                crash_point("checkpoint.generate:mid-write")
+            crash_point("csv.ndt.csv:mid-write")  # different label: no crash
+
+    def test_non_matching_point_passes(self):
+        with crash_spec_scope("a:mid-write"):
+            crash_point("b:mid-write".replace("b", "zzz"))
+
+    def test_simulated_crash_is_not_an_exception(self):
+        # `except Exception` must never swallow a simulated kill.
+        assert not issubclass(SimulatedCrash, Exception)
+        assert issubclass(SimulatedCrash, BaseException)
+
+
+class TestSpecSources:
+    def test_env_var_arms(self, monkeypatch):
+        monkeypatch.setenv(CRASH_ENV_VAR, "stage.ingest:done")
+        with pytest.raises(SimulatedCrash):
+            crash_point("stage.ingest:done")
+
+    def test_empty_env_var_is_disarmed(self, monkeypatch):
+        monkeypatch.setenv(CRASH_ENV_VAR, "")
+        crash_point("stage.ingest:done")
+
+    def test_in_process_spec_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(CRASH_ENV_VAR, "stage.ingest:done")
+        with crash_spec_scope("something-else-entirely"):
+            crash_point("stage.ingest:done")  # env spec masked
+
+    def test_scope_restores_previous(self):
+        set_crash_spec("outer")
+        with crash_spec_scope("inner"):
+            pass
+        with pytest.raises(SimulatedCrash):
+            crash_point("outer")
+
+
+class TestRecording:
+    def test_records_in_hit_order_with_duplicates(self):
+        with record_crash_points() as points:
+            crash_point("a:before-write")
+            crash_point("a:after-rename")
+            crash_point("a:before-write")
+        assert points == ["a:before-write", "a:after-rename", "a:before-write"]
+
+    def test_recording_sees_the_crashing_point(self):
+        with record_crash_points() as points:
+            with crash_spec_scope("a:mid-write"):
+                with pytest.raises(SimulatedCrash):
+                    crash_point("a:mid-write")
+        assert points == ["a:mid-write"]
+
+    def test_sink_detached_outside_block(self):
+        with record_crash_points() as points:
+            crash_point("inside")
+        crash_point("outside")
+        assert points == ["inside"]

@@ -1,0 +1,105 @@
+"""Tests for the chaos filesystem under the real storage commit path."""
+
+import errno
+import os
+
+import pytest
+
+from repro import storage
+from repro.faults.crashpoints import SimulatedCrash
+from repro.faults.fs import FaultyFS
+from repro.util.errors import StorageError
+
+
+class TestTornWrites:
+    def test_torn_write_persists_prefix_then_crashes(self, tmp_path):
+        fs = FaultyFS(torn_write_at=4)
+        path = str(tmp_path / "raw.bin")
+        fh = fs.open(path, "wb")
+        with pytest.raises(SimulatedCrash, match="torn-write after 4 bytes"):
+            fh.write(b"0123456789")
+        fh.close()
+        assert os.path.getsize(path) == 4
+
+    def test_torn_write_is_one_shot(self, tmp_path):
+        fs = FaultyFS(torn_write_at=1)
+        path = str(tmp_path / "raw.bin")
+        with pytest.raises(SimulatedCrash):
+            with fs.open(path, "wb") as fh:
+                fh.write(b"abc")
+        with fs.open(path, "wb") as fh:  # disarmed now
+            fh.write(b"abc")
+        assert os.path.getsize(path) == 3
+
+    def test_torn_write_through_commit_leaves_no_artifact(self, tmp_path):
+        path = str(tmp_path / "a.bin")
+        fs = FaultyFS(torn_write_at=3)
+        with pytest.raises(SimulatedCrash):
+            storage.commit_bytes(path, b"0123456789", fs=fs)
+        assert not os.path.exists(path)  # only a torn temp file remains
+        storage.commit_bytes(path, b"0123456789", fs=fs)
+        assert storage.read_bytes(path) == b"0123456789"
+
+
+class TestShortReads:
+    def test_short_reads_never_truncate_storage_reads(self, tmp_path):
+        path = str(tmp_path / "big.bin")
+        payload = bytes(range(256)) * 512  # 128 KiB
+        storage.commit_bytes(path, payload)
+        fs = FaultyFS(short_read_rate=1.0, seed=7)
+        assert storage.read_bytes(path, fs=fs) == payload
+        assert fs.short_reads_injected > 0
+
+
+class TestInjectedErrors:
+    def test_deterministic_across_same_seed(self, tmp_path):
+        def run(seed):
+            fs = FaultyFS(error_rate=0.5, error_ops=("write",), seed=seed)
+            outcomes = []
+            for i in range(20):
+                try:
+                    storage.commit_bytes(
+                        str(tmp_path / f"f{seed}-{i}.bin"), b"x", fs=fs
+                    )
+                    outcomes.append("ok")
+                except StorageError:
+                    outcomes.append("err")
+            return outcomes
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)  # different seed, different fault schedule
+
+    def test_error_budget_bounds_failures(self, tmp_path):
+        fs = FaultyFS(error_rate=1.0, error_budget=2, error_ops=("write",))
+        failures = 0
+        for i in range(10):
+            try:
+                storage.commit_bytes(str(tmp_path / f"f{i}.bin"), b"x", fs=fs)
+            except StorageError:
+                failures += 1
+        assert failures == 2
+        assert fs.errors_injected == 2
+
+    def test_injected_errno_is_realistic(self, tmp_path):
+        fs = FaultyFS(error_rate=1.0, error_ops=("write",), errnos=(errno.ENOSPC,))
+        with pytest.raises(StorageError, match="ENOSPC"):
+            storage.commit_bytes(str(tmp_path / "f.bin"), b"x", fs=fs)
+
+    def test_ops_not_listed_never_fail(self, tmp_path):
+        fs = FaultyFS(error_rate=1.0, error_ops=("replace",))
+        path = str(tmp_path / "f.bin")
+        with open(path, "wb") as fh:
+            fh.write(b"data")
+        assert storage.read_bytes(path, fs=fs) == b"data"
+
+
+class TestFsScope:
+    def test_scope_installs_and_restores(self, tmp_path):
+        faulty = FaultyFS(error_rate=1.0, error_ops=("write",))
+        before = storage.get_fs()
+        with storage.fs_scope(faulty):
+            assert storage.get_fs() is faulty
+            with pytest.raises(StorageError):
+                storage.commit_bytes(str(tmp_path / "f.bin"), b"x")
+        assert storage.get_fs() is before
+        storage.commit_bytes(str(tmp_path / "f.bin"), b"x")

@@ -54,13 +54,27 @@ class TestHistory:
     def test_missing_file_is_empty(self, tmp_path):
         assert load_history(tmp_path / "nope.jsonl") == []
 
-    def test_malformed_line_skipped_with_warning(self, tmp_path, capsys):
+    def test_malformed_line_skipped_with_warning(self, tmp_path, caplog):
         path = tmp_path / "BENCH_history.jsonl"
         append_history({"a": 1.0}, "s", "t", path)
         with open(path, "a") as fh:
             fh.write("{truncated\n")
-        assert len(load_history(path)) == 1
-        assert "malformed" in capsys.readouterr().err
+        with caplog.at_level("WARNING", logger="repro.obs.bench"):
+            assert len(load_history(path)) == 1
+        assert "malformed" in caplog.text
+        assert "torn tail" in caplog.text
+
+    def test_torn_tail_skipped_but_earlier_records_survive(self, tmp_path, caplog):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history({"a": 1.0}, "s1", "t1", path)
+        append_history({"b": 2.0}, "s2", "t2", path)
+        # Simulate a crash mid-append: chop the last record in half.
+        text = path.read_text()
+        path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        with caplog.at_level("WARNING", logger="repro.obs.bench"):
+            records = load_history(path)
+        assert [r["sha"] for r in records] == ["s1"]
+        assert "torn tail" in caplog.text
 
     def test_record_is_compact_single_line_json(self, tmp_path):
         path = tmp_path / "BENCH_history.jsonl"

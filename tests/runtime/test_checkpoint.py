@@ -86,3 +86,92 @@ class TestCheckpointStore:
         store.save("k2", "generate", "two")
         assert store.load("k1", "generate") == "one"
         assert store.load("k2", "generate") == "two"
+
+
+class TestGenerationRecovery:
+    """The generation-kept store: fallback, typed corruption, legacy files."""
+
+    def test_saves_are_numbered_generations(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        assert store.save("k", "gen", 1).endswith(".g0001")
+        assert store.save("k", "gen", 2).endswith(".g0002")
+        assert store.load("k", "gen") == 2
+
+    def test_keep_bounds_generation_count(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep=2)
+        paths = [store.save("k", "gen", i) for i in range(5)]
+        import os
+
+        survivors = [p for p in paths if os.path.exists(p)]
+        assert len(survivors) == 2
+        assert store.load("k", "gen") == 4
+
+    def test_corrupt_newest_falls_back_to_previous(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save("k", "gen", "older")
+        newest = store.save("k", "gen", "newest")
+        with open(newest, "r+b") as fh:
+            fh.write(b"XXXX")
+        assert store.load("k", "gen") == "older"
+        assert store.hits == 1
+
+    def test_all_corrupt_raises_checkpoint_corrupt(self, tmp_path):
+        from repro.util.errors import CheckpointCorruptError
+
+        store = CheckpointStore(str(tmp_path))
+        for value in ("a", "b"):
+            path = store.save("k", "gen", value)
+            with open(path, "r+b") as fh:
+                fh.write(b"XXXX")
+        with pytest.raises(CheckpointCorruptError, match="corrupt checkpoint"):
+            store.load("k", "gen")
+        assert store.misses == 1
+
+    def test_checkpoint_corrupt_is_a_pipeline_error(self):
+        from repro.util.errors import CheckpointCorruptError
+
+        assert issubclass(CheckpointCorruptError, PipelineError)
+
+    def test_unpicklable_generation_is_corrupt_not_crash(self, tmp_path):
+        from repro import storage
+        from repro.runtime.checkpoint import CHECKPOINT_KIND
+        from repro.util.errors import CheckpointCorruptError
+
+        store = CheckpointStore(str(tmp_path))
+        # A frame that verifies but whose payload is not a pickle.
+        base = store.save("k", "gen", "x")[: -len(".g0001")]
+        gens = storage.GenerationStore(base, CHECKPOINT_KIND)
+        gens.commit(b"not a pickle at all")
+        with pytest.raises(CheckpointCorruptError, match="does not unpickle"):
+            store.load("k", "gen")
+
+    def test_legacy_pickle_still_loads(self, tmp_path):
+        import os
+        import pickle
+
+        store = CheckpointStore(str(tmp_path))
+        legacy_dir = tmp_path / "k"
+        os.makedirs(legacy_dir)
+        with open(legacy_dir / "gen.pkl", "wb") as fh:
+            pickle.dump({"rows": 9}, fh)
+        assert store.has("k", "gen")
+        assert store.load("k", "gen") == {"rows": 9}
+
+    def test_corrupt_legacy_pickle_quarantined(self, tmp_path):
+        import os
+
+        from repro.util.errors import CheckpointCorruptError
+
+        store = CheckpointStore(str(tmp_path))
+        legacy_dir = tmp_path / "k"
+        os.makedirs(legacy_dir)
+        with open(legacy_dir / "gen.pkl", "wb") as fh:
+            fh.write(b"definitely not a pickle")
+        with pytest.raises(CheckpointCorruptError, match="corrupt checkpoint"):
+            store.load("k", "gen")
+        assert any(".corrupt-" in n for n in os.listdir(legacy_dir))
+
+    def test_unpicklable_value_raises_on_save(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        with pytest.raises(PipelineError, match="cannot checkpoint"):
+            store.save("k", "gen", lambda: None)

@@ -325,3 +325,48 @@ class TestObsIntegration:
         _, report = runner().run([Stage(name="a", fn=lambda c: 1)])
         assert report.ok
         assert obs.tracer() is None
+
+
+class TestResumeRecovery:
+    def test_corrupt_checkpoint_recomputes_instead_of_dying(self, tmp_path):
+        import glob
+        import os
+
+        store = CheckpointStore(str(tmp_path))
+        calls = []
+        stage = [
+            Stage(name="gen", fn=lambda c: calls.append(1) or "value", checkpoint=True)
+        ]
+        PipelineRunner(checkpoints=store, key="k", sleep=lambda s: None).run(stage)
+        for path in glob.glob(os.path.join(str(tmp_path), "k", "gen.g*")):
+            with open(path, "r+b") as fh:
+                fh.write(b"XXXX")
+
+        r2 = PipelineRunner(
+            checkpoints=store, key="k", resume=True, sleep=lambda s: None
+        )
+        context, report = r2.run(stage)
+        assert calls == [1, 1]  # recomputed, not crashed
+        assert context["gen"] == "value"
+        assert report.result("gen").status is StageStatus.OK
+
+    def test_recompute_after_corruption_rewrites_checkpoint(self, tmp_path):
+        import glob
+        import os
+
+        store = CheckpointStore(str(tmp_path))
+        stage = [Stage(name="gen", fn=lambda c: "value", checkpoint=True)]
+        PipelineRunner(checkpoints=store, key="k", sleep=lambda s: None).run(stage)
+        for path in glob.glob(os.path.join(str(tmp_path), "k", "gen.g*")):
+            with open(path, "r+b") as fh:
+                fh.write(b"XXXX")
+        PipelineRunner(
+            checkpoints=store, key="k", resume=True, sleep=lambda s: None
+        ).run(stage)
+
+        # The rewritten generation must now satisfy a fresh resume.
+        r3 = PipelineRunner(
+            checkpoints=store, key="k", resume=True, sleep=lambda s: None
+        )
+        _, report = r3.run(stage)
+        assert report.result("gen").status is StageStatus.CACHED

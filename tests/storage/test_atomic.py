@@ -1,0 +1,152 @@
+"""Tests for the atomic commit primitives and crash-point semantics."""
+
+import os
+
+import pytest
+
+from repro import storage
+from repro.faults.crashpoints import SimulatedCrash, crash_spec_scope
+from repro.faults.fs import FaultyFS
+from repro.storage.atomic import atomic_append_bytes, atomic_write_bytes
+from repro.util.errors import ArtifactCorruptError, StorageError
+
+
+class TestAtomicWrite:
+    def test_creates_file_and_parents(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "a.bin")
+        atomic_write_bytes(path, b"data")
+        with open(path, "rb") as fh:
+            assert fh.read() == b"data"
+
+    def test_overwrites_atomically(self, tmp_path):
+        path = str(tmp_path / "a.bin")
+        atomic_write_bytes(path, b"old")
+        atomic_write_bytes(path, b"new")
+        with open(path, "rb") as fh:
+            assert fh.read() == b"new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        atomic_write_bytes(str(tmp_path / "a.bin"), b"data")
+        assert sorted(os.listdir(tmp_path)) == ["a.bin"]
+
+    @pytest.mark.parametrize(
+        "point", ["lbl:before-write", "lbl:mid-write", "lbl:before-rename"]
+    )
+    def test_crash_before_publish_leaves_old_content(self, tmp_path, point):
+        path = str(tmp_path / "a.bin")
+        atomic_write_bytes(path, b"old", label="lbl")
+        with crash_spec_scope(point):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(path, b"new", label="lbl")
+        with open(path, "rb") as fh:
+            assert fh.read() == b"old"
+
+    def test_crash_after_rename_leaves_new_content(self, tmp_path):
+        path = str(tmp_path / "a.bin")
+        atomic_write_bytes(path, b"old", label="lbl")
+        with crash_spec_scope("lbl:after-rename"):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(path, b"new", label="lbl")
+        with open(path, "rb") as fh:
+            assert fh.read() == b"new"
+
+    def test_crash_mid_write_leaves_torn_temp_only(self, tmp_path):
+        path = str(tmp_path / "a.bin")
+        with crash_spec_scope("lbl:mid-write"):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(path, b"0123456789", label="lbl")
+        assert not os.path.exists(path)
+        (tmp,) = os.listdir(tmp_path)
+        assert ".tmp." in tmp
+        assert os.path.getsize(tmp_path / tmp) == 5  # first half only
+
+    def test_injected_oserror_becomes_storage_error(self, tmp_path):
+        fs = FaultyFS(error_rate=1.0, error_ops=("write",), seed=1)
+        with pytest.raises(StorageError, match="cannot commit"):
+            atomic_write_bytes(str(tmp_path / "a.bin"), b"data", fs=fs)
+        assert not os.path.exists(tmp_path / "a.bin")
+
+    def test_label_defaults_to_basename(self, tmp_path):
+        path = str(tmp_path / "named.bin")
+        with crash_spec_scope("named.bin:before-rename"):
+            with pytest.raises(SimulatedCrash):
+                atomic_write_bytes(path, b"x")
+
+
+class TestAtomicAppend:
+    def test_appends_records_in_order(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        atomic_append_bytes(path, b"one\n")
+        atomic_append_bytes(path, b"two\n")
+        with open(path, "rb") as fh:
+            assert fh.read() == b"one\ntwo\n"
+
+    def test_crash_before_append_preserves_existing(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        atomic_append_bytes(path, b"one\n", label="log")
+        with crash_spec_scope("log:before-append"):
+            with pytest.raises(SimulatedCrash):
+                atomic_append_bytes(path, b"two\n", label="log")
+        with open(path, "rb") as fh:
+            assert fh.read() == b"one\n"
+
+    def test_injected_error_becomes_storage_error(self, tmp_path):
+        fs = FaultyFS(error_rate=1.0, error_ops=("write",), seed=1)
+        with pytest.raises(StorageError, match="cannot append"):
+            atomic_append_bytes(str(tmp_path / "log.jsonl"), b"x\n", fs=fs)
+
+
+class TestDurabilityTiers:
+    def test_cheap_tier_never_calls_fsync(self, tmp_path):
+        # durable=False is the whole point of the tier: a filesystem where
+        # every fsync explodes must not even notice the commit.
+        fs = FaultyFS(error_rate=1.0, error_ops=("fsync",), seed=1)
+        path = str(tmp_path / "a.csv")
+        with pytest.raises(StorageError):
+            storage.commit_text(path, "data", fs=fs, durable=True)
+        storage.commit_text(path, "data", fs=fs, durable=False, sidecar=True)
+        assert storage.read_text_verified(path, fs=fs) == "data"
+
+    def test_cheap_tier_is_still_atomic(self, tmp_path):
+        path = str(tmp_path / "a.csv")
+        storage.commit_text(path, "old", label="lbl", durable=False)
+        with crash_spec_scope("lbl:mid-write"):
+            with pytest.raises(SimulatedCrash):
+                storage.commit_text(path, "new", label="lbl", durable=False)
+        with open(path, "rb") as fh:
+            assert fh.read() == b"old"
+
+    def test_cheap_tier_announces_the_same_crash_points(self, tmp_path):
+        from repro.faults.crashpoints import record_crash_points
+
+        def points_for(durable):
+            with record_crash_points() as pts:
+                storage.commit_text(
+                    str(tmp_path / "a.csv"), "x", label="lbl", durable=durable
+                )
+            return pts
+
+        assert points_for(True) == points_for(False)
+
+
+class TestSidecarCommit:
+    def test_commit_with_sidecar_verifies(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        storage.commit_text(path, "a,b\n1,2\n", sidecar=True)
+        assert storage.read_text_verified(path) == "a,b\n1,2\n"
+
+    def test_crash_between_data_and_sidecar_is_false_alarm(self, tmp_path):
+        # The data file is committed, the sidecar still records the old
+        # digest: verification must flag it (and never the reverse).
+        path = str(tmp_path / "t.csv")
+        storage.commit_text(path, "old", label="t", sidecar=True)
+        with crash_spec_scope("t.csv.sha256:before-write"):
+            with pytest.raises(SimulatedCrash):
+                storage.commit_text(path, "new", label="t", sidecar=True)
+        with pytest.raises(ArtifactCorruptError, match="sidecar mismatch"):
+            storage.read_text_verified(path)
+
+    def test_missing_sidecar_reads_unverified(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        storage.commit_text(path, "plain", sidecar=False)
+        assert storage.read_text_verified(path) == "plain"

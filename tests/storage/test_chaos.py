@@ -1,0 +1,60 @@
+"""End-to-end crash/resume verification on a trimmed matrix.
+
+``make chaos`` runs the full matrix (every announced point); this test
+keeps the suite fast by exercising one representative point per *phase
+class* — the distinct on-disk states a crash can leave — plus the stage
+boundary.  Byte-identity is still the bar: the resumed run's lineage
+fingerprints and artifact digests must equal the fault-free baseline's.
+"""
+
+import pytest
+
+from repro.faults.chaos import run_crash_matrix
+
+# One representative per distinct crash shape:
+#   mid-write      -> torn temp file, old artifact intact
+#   before-rename  -> complete temp file, never published
+#   after-rename   -> new artifact published, trailing work unfinished
+#   sha256 gap     -> data file new, checksum sidecar stale
+#   stage done     -> checkpoint durable, rest of pipeline dead
+SELECTED_POINTS = frozenset(
+    {
+        "checkpoint.generate:mid-write",
+        "checkpoint.generate:before-rename",
+        "stage.generate:done",
+        "csv.ndt.csv:after-rename",
+        "ndt.csv.sha256:before-rename",
+    }
+)
+
+
+@pytest.mark.slow
+def test_crash_matrix_recovers_byte_identical(tmp_path):
+    result = run_crash_matrix(
+        scale=0.02,
+        experiments=("table1",),
+        workdir=str(tmp_path),
+        point_filter=lambda p: p in SELECTED_POINTS,
+    )
+    assert len(result.cases) == len(SELECTED_POINTS)
+    for case in result.cases:
+        assert case.crashed, f"{case.point}: armed crash never fired"
+        assert case.resumed_ok, f"{case.point}: {case.detail}"
+        assert case.identical, f"{case.point}: {case.detail}"
+    assert result.ok
+    assert result.exit_code == 0
+    # The baseline itself recorded real lineage.
+    assert "generate" in result.baseline_fingerprints
+
+
+def test_selected_points_exist_in_the_full_registry(tmp_path):
+    # Guard the guard: if a refactor renames crash points, the trimmed
+    # matrix must fail loudly rather than silently filter to nothing.
+    result = run_crash_matrix(
+        scale=0.02,
+        experiments=("table1",),
+        workdir=str(tmp_path),
+        max_points=0,
+    )
+    missing = SELECTED_POINTS - set(result.announced)
+    assert not missing, f"renamed/removed crash points: {sorted(missing)}"

@@ -1,0 +1,97 @@
+"""Tests for the framed artifact container (magic/version/kind/checksum)."""
+
+import struct
+
+import pytest
+
+from repro.storage.container import (
+    FORMAT_VERSION,
+    MAGIC,
+    TRAILER_MAGIC,
+    decode_frame,
+    encode_frame,
+    frame_overhead,
+)
+from repro.util.errors import ArtifactCorruptError
+
+PAYLOAD = b"the ukrainian internet under attack"
+KIND = "checkpoint/pickle"
+
+
+class TestRoundTrip:
+    def test_roundtrip_payload_and_kind(self):
+        frame = encode_frame(PAYLOAD, KIND)
+        payload, kind = decode_frame(frame)
+        assert payload == PAYLOAD
+        assert kind == KIND
+
+    def test_empty_payload_roundtrips(self):
+        payload, kind = decode_frame(encode_frame(b"", "empty"))
+        assert payload == b""
+        assert kind == "empty"
+
+    def test_frame_overhead_is_exact(self):
+        frame = encode_frame(PAYLOAD, KIND)
+        assert len(frame) == len(PAYLOAD) + frame_overhead(KIND)
+
+    def test_layout_starts_with_magic_and_version(self):
+        frame = encode_frame(PAYLOAD, KIND)
+        assert frame[:4] == MAGIC
+        assert struct.unpack(">H", frame[4:6]) == (FORMAT_VERSION,)
+
+    def test_trailer_magic_present(self):
+        frame = encode_frame(PAYLOAD, KIND)
+        assert frame[-36:-32] == TRAILER_MAGIC
+
+    def test_expect_kind_accepts_match(self):
+        frame = encode_frame(PAYLOAD, KIND)
+        assert decode_frame(frame, expect_kind=KIND)[0] == PAYLOAD
+
+    def test_oversized_kind_rejected_at_encode(self):
+        with pytest.raises(ValueError, match="kind too long"):
+            encode_frame(b"x", "k" * 70000)
+
+
+class TestDetection:
+    def test_kind_mismatch_detected(self):
+        frame = encode_frame(PAYLOAD, KIND)
+        with pytest.raises(ArtifactCorruptError, match="kind mismatch"):
+            decode_frame(frame, expect_kind="spill/arrow")
+
+    def test_bad_magic_detected(self):
+        frame = b"XXXX" + encode_frame(PAYLOAD, KIND)[4:]
+        with pytest.raises(ArtifactCorruptError, match="bad magic"):
+            decode_frame(frame)
+
+    def test_future_version_refused(self):
+        frame = bytearray(encode_frame(PAYLOAD, KIND))
+        frame[4:6] = struct.pack(">H", FORMAT_VERSION + 1)
+        with pytest.raises(ArtifactCorruptError, match="unsupported format"):
+            decode_frame(bytes(frame))
+
+    def test_truncation_at_every_byte_detected(self):
+        frame = encode_frame(PAYLOAD, KIND)
+        for cut in range(len(frame)):
+            with pytest.raises(ArtifactCorruptError):
+                decode_frame(frame[:cut])
+
+    def test_trailing_garbage_detected(self):
+        frame = encode_frame(PAYLOAD, KIND)
+        with pytest.raises(ArtifactCorruptError, match="length mismatch"):
+            decode_frame(frame + b"\x00")
+
+    def test_every_single_bit_flip_detected(self):
+        # The frame is small enough to be exhaustive: flip each bit of
+        # each byte and demand detection.  This is the "every byte of the
+        # file is covered" claim, proven literally.
+        frame = encode_frame(b"payload", "k")
+        for i in range(len(frame)):
+            for bit in range(8):
+                mutated = bytearray(frame)
+                mutated[i] ^= 1 << bit
+                with pytest.raises(ArtifactCorruptError):
+                    decode_frame(bytes(mutated))
+
+    def test_error_names_the_path(self):
+        with pytest.raises(ArtifactCorruptError, match="results/x.ckpt"):
+            decode_frame(b"garbage-too-short-no", path="results/x.ckpt")

@@ -1,0 +1,119 @@
+"""Property tests: *any* corruption of *any* artifact type is detected.
+
+Two artifact tiers, one claim each:
+
+* framed artifacts (checkpoint generations): truncation at every byte
+  offset and a bit-flip at any (offset, bit) — exhaustively at frame
+  boundaries, hypothesis-driven in between — always raise
+  :class:`ArtifactCorruptError` and quarantine the file;
+* plain artifacts with a ``.sha256`` sidecar (CSV/JSONL/provenance):
+  any truncation or bit-flip of the data file fails verification.
+
+"Detected" here means *through the real read path* (``read_framed`` /
+``read_text_verified``), including the quarantine side effect — not just
+the codec in isolation.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import storage
+from repro.storage.container import encode_frame, frame_overhead
+from repro.util.errors import ArtifactCorruptError
+
+KIND = "test/payload"
+
+
+def _write_raw(path, data: bytes) -> None:
+    # Deliberately bypasses the storage layer: we are *planting* a corrupt
+    # file, not committing an artifact.
+    with open(path, "wb") as fh:
+        fh.write(data)
+
+
+class TestFramedCorruptionDetection:
+    @given(payload=st.binary(min_size=0, max_size=200), cut=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_truncation_detected(self, tmp_path_factory, payload, cut):
+        frame = encode_frame(payload, KIND)
+        offset = cut.draw(st.integers(0, len(frame) - 1), label="truncate_at")
+        tmp_path = tmp_path_factory.mktemp("trunc")
+        path = str(tmp_path / "a.bin")
+        _write_raw(path, frame[:offset])
+        with pytest.raises(ArtifactCorruptError):
+            storage.read_framed(path, expect_kind=KIND)
+        assert not os.path.exists(path), "corrupt file must be quarantined"
+        assert os.path.exists(path + ".corrupt-0")
+
+    @given(payload=st.binary(min_size=1, max_size=200), flip=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_bit_flip_detected(self, tmp_path_factory, payload, flip):
+        frame = bytearray(encode_frame(payload, KIND))
+        offset = flip.draw(st.integers(0, len(frame) - 1), label="offset")
+        bit = flip.draw(st.integers(0, 7), label="bit")
+        frame[offset] ^= 1 << bit
+        tmp_path = tmp_path_factory.mktemp("flip")
+        path = str(tmp_path / "a.bin")
+        _write_raw(path, bytes(frame))
+        with pytest.raises(ArtifactCorruptError):
+            storage.read_framed(path, expect_kind=KIND)
+        assert os.path.exists(path + ".corrupt-0")
+
+    def test_every_frame_boundary_truncation_detected(self, tmp_path):
+        # The structural offsets, exhaustively: end of magic, version,
+        # kind length, kind, payload length, payload, trailer magic, and
+        # each digest byte.
+        payload = b"boundary-check"
+        frame = encode_frame(payload, KIND)
+        k = len(KIND.encode())
+        boundaries = [
+            0, 1, 4, 6, 8, 8 + k, 16 + k,
+            16 + k + len(payload),
+            16 + k + len(payload) + 4,
+            len(frame) - 1,
+        ]
+        assert frame_overhead(KIND) + len(payload) == len(frame)
+        for i, cut in enumerate(boundaries):
+            path = str(tmp_path / f"b{i}.bin")
+            _write_raw(path, frame[:cut])
+            with pytest.raises(ArtifactCorruptError):
+                storage.read_framed(path, expect_kind=KIND)
+
+
+class TestSidecarCorruptionDetection:
+    @given(text=st.text(min_size=1, max_size=200), mutate=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_data_bit_flip_detected(self, tmp_path_factory, text, mutate):
+        tmp_path = tmp_path_factory.mktemp("side")
+        path = str(tmp_path / "t.csv")
+        storage.commit_text(path, text, sidecar=True)
+        data = bytearray(storage.read_bytes(path))
+        offset = mutate.draw(st.integers(0, len(data) - 1), label="offset")
+        bit = mutate.draw(st.integers(0, 7), label="bit")
+        data[offset] ^= 1 << bit
+        _write_raw(path, bytes(data))
+        with pytest.raises(ArtifactCorruptError, match="sidecar mismatch"):
+            storage.read_text_verified(path)
+        assert os.path.exists(path + ".corrupt-0")
+
+    @given(text=st.text(min_size=2, max_size=200), cut=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_truncation_detected(self, tmp_path_factory, text, cut):
+        tmp_path = tmp_path_factory.mktemp("side")
+        path = str(tmp_path / "t.csv")
+        storage.commit_text(path, text, sidecar=True)
+        data = storage.read_bytes(path)
+        offset = cut.draw(st.integers(0, len(data) - 1), label="truncate_at")
+        _write_raw(path, data[:offset])
+        with pytest.raises(ArtifactCorruptError, match="sidecar mismatch"):
+            storage.read_text_verified(path)
+
+    def test_garbage_sidecar_is_corruption_not_crash(self, tmp_path):
+        path = str(tmp_path / "t.csv")
+        storage.commit_text(path, "data", sidecar=True)
+        _write_raw(storage.sidecar_path(path), b"not a digest at all\n")
+        with pytest.raises(ArtifactCorruptError, match="unparseable"):
+            storage.read_text_verified(path)

@@ -1,0 +1,105 @@
+"""Tests for generation-keeping: numbered commits, pruning, recovery."""
+
+import os
+
+import pytest
+
+from repro.storage import GenerationStore
+from repro.util.errors import ArtifactCorruptError
+
+KIND = "test/blob"
+
+
+def _store(tmp_path, keep=3):
+    return GenerationStore(str(tmp_path / "ckpt"), KIND, keep=keep)
+
+
+class TestCommit:
+    def test_generations_number_upward(self, tmp_path):
+        store = _store(tmp_path)
+        store.commit(b"one")
+        store.commit(b"two")
+        assert store.generations() == [1, 2]
+
+    def test_commit_path_embeds_generation(self, tmp_path):
+        store = _store(tmp_path)
+        assert store.commit(b"one").endswith(".g0001")
+        assert store.commit(b"two").endswith(".g0002")
+
+    def test_keep_prunes_oldest(self, tmp_path):
+        store = _store(tmp_path, keep=2)
+        for i in range(5):
+            store.commit(f"gen{i}".encode())
+        assert store.generations() == [4, 5]
+
+    def test_numbering_survives_pruning(self, tmp_path):
+        # After pruning to [4, 5] the next commit must be 6, not 3 — a
+        # resumed writer may never reuse a number a reader might hold.
+        store = _store(tmp_path, keep=2)
+        for i in range(5):
+            store.commit(f"gen{i}".encode())
+        store.commit(b"next")
+        assert store.generations() == [5, 6]
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            GenerationStore(str(tmp_path / "x"), KIND, keep=0)
+
+
+class TestRecovery:
+    def test_loads_newest(self, tmp_path):
+        store = _store(tmp_path)
+        store.commit(b"one")
+        store.commit(b"two")
+        assert store.load_latest_intact() == (b"two", 2)
+
+    def test_empty_store_returns_none(self, tmp_path):
+        assert _store(tmp_path).load_latest_intact() is None
+
+    def test_corrupt_newest_falls_back(self, tmp_path):
+        store = _store(tmp_path)
+        store.commit(b"good")
+        bad = store.commit(b"doomed")
+        with open(bad, "r+b") as fh:
+            fh.seek(10)
+            fh.write(b"\xff\xff\xff")
+        assert store.load_latest_intact() == (b"good", 1)
+        # the corrupt generation was quarantined, not left to re-trip
+        assert any(".corrupt-" in n for n in os.listdir(tmp_path))
+
+    def test_truncated_newest_falls_back(self, tmp_path):
+        store = _store(tmp_path)
+        store.commit(b"good")
+        bad = store.commit(b"doomed-by-truncation")
+        size = os.path.getsize(bad)
+        with open(bad, "r+b") as fh:
+            fh.truncate(size // 2)
+        assert store.load_latest_intact() == (b"good", 1)
+
+    def test_all_corrupt_raises_typed(self, tmp_path):
+        store = _store(tmp_path)
+        for payload in (b"one", b"two"):
+            path = store.commit(payload)
+            with open(path, "r+b") as fh:
+                fh.write(b"XXXX")
+        with pytest.raises(ArtifactCorruptError, match="all 2 generation"):
+            store.load_latest_intact()
+
+    def test_wrong_kind_treated_as_corrupt(self, tmp_path):
+        base = str(tmp_path / "ckpt")
+        GenerationStore(base, "kind/a").commit(b"payload")
+        with pytest.raises(ArtifactCorruptError):
+            GenerationStore(base, "kind/b").load_latest_intact()
+
+
+class TestDrop:
+    def test_drop_removes_generations_keeps_quarantine(self, tmp_path):
+        store = _store(tmp_path)
+        store.commit(b"one")
+        bad = store.commit(b"two")
+        with open(bad, "r+b") as fh:
+            fh.write(b"XXXX")
+        store.load_latest_intact()  # quarantines g0002
+        store.drop()
+        assert store.generations() == []
+        assert any(".corrupt-" in n for n in os.listdir(tmp_path))

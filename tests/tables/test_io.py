@@ -1,8 +1,11 @@
 """Tests for CSV / JSONL round-trips."""
 
 import math
+import os
 
 import pytest
+
+from repro import storage
 
 from repro.tables import (
     DType,
@@ -89,6 +92,10 @@ class TestCsvHardening:
         write_csv(t, path)
         with open(path, "a", encoding="utf-8") as fh:
             fh.write("\n\n")
+        # The hand-edit invalidates the checksum sidecar; removing it opts
+        # the file out of verification (docs/ROBUSTNESS.md), which is what
+        # an external editor touching the CSV amounts to.
+        os.remove(storage.sidecar_path(path))
         assert read_csv(path, DTYPES).n_rows == 3
 
     def test_interior_blank_line_tolerated(self, tmp_path):
