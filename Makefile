@@ -6,9 +6,9 @@ PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 OBS_SMOKE_DIR := results/obs-smoke
 
 .PHONY: test unit obs-smoke bench-compare bench-record lint lint-json \
-	baseline bench bench-engine bench-obs bench-storage chaos
+	lint-fast flow baseline bench bench-engine bench-obs bench-storage chaos
 
-test: unit obs-smoke bench-compare chaos
+test: unit obs-smoke bench-compare flow chaos
 
 unit:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -45,6 +45,18 @@ lint:
 
 lint-json:
 	PYTHONPATH=$(PYTHONPATH) python -m repro lint --format json
+
+# Inner-loop lint: only files changed vs HEAD (modified, staged, or
+# untracked), fanned out across the process pool.  Findings are identical
+# to a full run restricted to those files.
+lint-fast:
+	PYTHONPATH=$(PYTHONPATH) python -m repro lint --changed-only --jobs 0
+
+# Whole-program flow gate: per-file rules plus the cross-module pass
+# (stage contracts, kernel purity, effects.json).  Exits 5 on any
+# above-baseline finding.  Part of the default `make test`.
+flow:
+	PYTHONPATH=$(PYTHONPATH) python -m repro lint --flow
 
 # Regenerate lint-baseline.json from current findings.  Only for
 # grandfathering a deliberate exception -- shrink it, don't grow it.

@@ -1,27 +1,44 @@
-"""Benchmark guard: a full-codebase lint run stays fast.
+"""Benchmark guard: full-codebase lint runs (per-file and flow) stay fast.
 
 The lint gate rides in tier-1 CI, so the analyzer must stay cheap as the
 repo grows.  A cold run over all of ``src/`` currently takes ~1 s; the bound
 here is deliberately generous (20 s) so only a genuine complexity regression
 (e.g. a rule going quadratic in file count or AST size) trips it.
+
+Two additions ride in the same budget:
+
+* the per-file pass can fan out over a forked process pool (``jobs=``);
+  serial vs parallel wall times are recorded side by side.  On a
+  single-CPU box the pool costs fork overhead and wins nothing — the
+  guard therefore asserts parity of *findings*, not a speedup, and the
+  recorded numbers document whatever the current host delivers.
+* the whole-program flow pass caches per-file summaries by content hash;
+  a warm run must skip re-parsing (cache hits == files) and fit in the
+  same overall budget.
 """
 
+import multiprocessing
 import time
 from pathlib import Path
 
 from bench_common import emit
 
 from repro.lint.engine import lint_paths
+from repro.lint.flow import analyze_paths
 
 REPO = Path(__file__).resolve().parent.parent
 MAX_SECONDS = 20.0
 
 
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
 class TestLintPerformance:
     def test_full_codebase_lint_under_bound(self, results_dir):
-        start = time.perf_counter()
-        run = lint_paths([REPO / "src"], root=REPO)
-        elapsed = time.perf_counter() - start
+        run, elapsed = _timed(lambda: lint_paths([REPO / "src"], root=REPO))
 
         per_file = elapsed / max(run.files_checked, 1)
         emit(
@@ -37,3 +54,48 @@ class TestLintPerformance:
             f"lint of src/ took {elapsed:.1f}s (> {MAX_SECONDS}s); "
             f"a rule likely regressed in complexity"
         )
+
+    def test_parallel_rule_pass_parity_and_timing(self, results_dir):
+        serial, t_serial = _timed(
+            lambda: lint_paths([REPO / "src"], root=REPO, jobs=1)
+        )
+        parallel, t_parallel = _timed(
+            lambda: lint_paths([REPO / "src"], root=REPO, jobs=0)
+        )
+        emit(
+            results_dir,
+            "lint_parallel",
+            f"cpus             {multiprocessing.cpu_count()}\n"
+            f"workers          {parallel.jobs}\n"
+            f"serial wall      {t_serial:.2f} s\n"
+            f"parallel wall    {t_parallel:.2f} s\n"
+            f"speedup          {t_serial / max(t_parallel, 1e-9):.2f}x",
+        )
+        # The contract is determinism, not speed: a 1-CPU host makes any
+        # speedup assertion dishonest, so findings parity is the guard.
+        assert parallel.diagnostics == serial.diagnostics
+        assert t_parallel < MAX_SECONDS
+
+    def test_flow_pass_cold_and_warm_under_bound(self, results_dir, tmp_path):
+        cache = tmp_path / "flow-cache.json"
+        cold, t_cold = _timed(
+            lambda: analyze_paths([REPO / "src"], root=REPO, cache_path=cache)
+        )
+        warm, t_warm = _timed(
+            lambda: analyze_paths([REPO / "src"], root=REPO, cache_path=cache)
+        )
+        emit(
+            results_dir,
+            "lint_flow",
+            f"files analyzed   {cold.files_analyzed}\n"
+            f"functions        {len(cold.project.functions)}\n"
+            f"cold wall        {t_cold:.2f} s\n"
+            f"warm wall        {t_warm:.2f} s\n"
+            f"warm cache hits  {warm.cache_hits}/{warm.files_analyzed}",
+        )
+        assert cold.files_analyzed > 100
+        assert warm.cache_hits == warm.files_analyzed
+        assert warm.cache_misses == 0
+        assert warm.report == cold.report
+        assert t_cold < MAX_SECONDS
+        assert t_warm < MAX_SECONDS

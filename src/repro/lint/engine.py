@@ -1,11 +1,22 @@
-"""The lint engine: walk files, run rules, apply suppressions and baseline."""
+"""The lint engine: walk files, run rules, apply suppressions and baseline.
+
+Two passes share this entry point.  The per-file rule pass runs every
+registered rule over each file independently — embarrassingly parallel, so
+``jobs > 1`` fans it out across a forked process pool (results are merged
+and re-sorted, so diagnostic order is identical at any worker count).  The
+optional whole-program flow pass (``flow=True``) runs afterwards over the
+same file list and feeds its findings through the same suppression,
+baseline, and fingerprint machinery.
+"""
 
 from __future__ import annotations
 
 import ast
+import multiprocessing
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.lint.baseline import Baseline
 from repro.lint.context import FileContext, LintConfig
@@ -14,7 +25,13 @@ from repro.lint.registry import Rule, build_rules
 from repro.lint.suppressions import parse_suppressions
 from repro.util.errors import LintError
 
-__all__ = ["EXIT_LINT_FINDINGS", "LintRun", "iter_python_files", "lint_paths"]
+__all__ = [
+    "EXIT_LINT_FINDINGS",
+    "LintRun",
+    "changed_python_files",
+    "iter_python_files",
+    "lint_paths",
+]
 
 #: Exit code of ``repro lint`` when findings above the baseline remain.
 EXIT_LINT_FINDINGS = 5
@@ -33,6 +50,11 @@ class LintRun:
     files_checked: int = 0
     rule_ids: List[str] = field(default_factory=list)
     baseline_size: int = 0
+    jobs: int = 1
+    #: populated when the whole-program pass ran: the effects.json "summary"
+    #: block, and the full FlowResult for callers that want the report/graph.
+    flow_summary: Optional[Dict[str, Any]] = None
+    flow_result: Optional[Any] = None
 
     @property
     def exit_code(self) -> int:
@@ -108,21 +130,127 @@ def lint_file(
     return findings
 
 
+def changed_python_files(root: Optional[Path] = None) -> List[Path]:
+    """The .py files git considers changed: modified, staged, or untracked.
+
+    Backs ``repro lint --changed-only``.  Deleted files are naturally
+    excluded (they no longer exist on disk).  Raises :class:`LintError`
+    when git is unavailable or the directory is not a work tree.
+    """
+    base = (root or Path.cwd()).resolve()
+    commands = (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "diff", "--name-only", "--cached"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    names: set = set()
+    for cmd in commands:
+        try:
+            proc = subprocess.run(
+                cmd, cwd=base, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise LintError(
+                f"--changed-only needs a git work tree ({' '.join(cmd)} "
+                f"failed in {base})"
+            ) from exc
+        names.update(line.strip() for line in proc.stdout.splitlines())
+    return sorted(
+        base / name
+        for name in names
+        if name.endswith(".py") and (base / name).is_file()
+    )
+
+
+# Forked workers inherit their rule set and config through this module-level
+# slot (filled by the pool initializer) instead of re-pickling them per task.
+_WORKER: Dict[str, Any] = {}
+
+
+def _pool_init(config: LintConfig, rule_ids: Optional[Sequence[str]],
+               root: Optional[Path]) -> None:
+    _WORKER["config"] = config
+    _WORKER["rules"] = build_rules(rule_ids)
+    _WORKER["root"] = root
+
+
+def _pool_lint_one(path_str: str) -> List[Diagnostic]:
+    return lint_file(
+        Path(path_str), _WORKER["config"], _WORKER["rules"],
+        root=_WORKER["root"],
+    )
+
+
+def _lint_files_parallel(
+    files: Sequence[Path],
+    config: LintConfig,
+    rule_ids: Optional[Sequence[str]],
+    root: Optional[Path],
+    jobs: int,
+) -> List[Diagnostic]:
+    """Fan the per-file pass across a forked pool; order-stable by design.
+
+    ``pool.map`` returns results in input order and the caller re-sorts by
+    :meth:`Diagnostic.sort_key`, so output is bit-identical to a serial run
+    at any worker count.
+    """
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(
+        processes=jobs,
+        initializer=_pool_init,
+        initargs=(config, rule_ids, root),
+    ) as pool:
+        per_file = pool.map(_pool_lint_one, [str(p) for p in files])
+    return [diag for file_diags in per_file for diag in file_diags]
+
+
 def lint_paths(
     paths: Sequence,
     config: Optional[LintConfig] = None,
     rule_ids: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
     root: Optional[Path] = None,
+    jobs: int = 1,
+    flow: bool = False,
+    flow_cache: Optional[Path] = None,
 ) -> LintRun:
-    """Lint files/directories and classify findings against the baseline."""
+    """Lint files/directories and classify findings against the baseline.
+
+    ``jobs`` > 1 runs the per-file rule pass in a forked process pool
+    (``jobs=0`` means one worker per CPU); diagnostics are deterministic
+    regardless.  ``flow=True`` additionally runs the whole-program pass
+    (stage contracts, kernel purity) over the same files, with
+    ``flow_cache`` enabling its content-hash summary cache.
+    """
     config = config or LintConfig()
     rules = build_rules(rule_ids)
     baseline = baseline or Baseline()
-    run = LintRun(rule_ids=[r.id for r in rules], baseline_size=len(baseline))
-    for path in iter_python_files(paths):
-        run.files_checked += 1
-        run.diagnostics.extend(lint_file(path, config, rules, root=root))
+    if jobs == 0:
+        jobs = multiprocessing.cpu_count()
+    run = LintRun(
+        rule_ids=[r.id for r in rules],
+        baseline_size=len(baseline),
+        jobs=max(jobs, 1),
+    )
+    files = iter_python_files(paths)
+    run.files_checked = len(files)
+    if run.jobs > 1 and len(files) > 1 and "fork" in (
+        multiprocessing.get_all_start_methods()
+    ):
+        run.diagnostics.extend(
+            _lint_files_parallel(files, config, rule_ids, root, run.jobs)
+        )
+    else:
+        for path in files:
+            run.diagnostics.extend(lint_file(path, config, rules, root=root))
+    if flow:
+        # Imported lazily: the flow package imports engine helpers back.
+        from repro.lint.flow import analyze_paths
+
+        result = analyze_paths(paths, root=root, cache_path=flow_cache)
+        run.diagnostics.extend(result.diagnostics)
+        run.flow_summary = dict(result.report.get("summary", {}))
+        run.flow_result = result
     run.diagnostics.sort(key=Diagnostic.sort_key)
     run.new = baseline.new_findings(run.diagnostics)
     return run

@@ -1,0 +1,109 @@
+"""Orchestration: files → summaries (cached) → project → findings + report.
+
+This is the whole-program pass behind ``repro lint --flow``.  It reuses
+the per-file machinery of the lint engine (file discovery, repo-relative
+paths, inline suppressions) so flow diagnostics behave exactly like rule
+diagnostics: same fingerprints, same baseline, same ``disable=`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.flow.cache import FlowCache, content_hash
+from repro.lint.flow.callgraph import Project
+from repro.lint.flow.contracts import check_contracts
+from repro.lint.flow.effects import (
+    DEFAULT_KERNEL_PACKAGES,
+    EffectAnalysis,
+    check_kernel_purity,
+    infer_effects,
+)
+from repro.lint.flow.report import (
+    build_effects_report,
+    render_effects_explain,
+)
+from repro.lint.flow.summarize import ModuleSummary, summarize_source
+from repro.lint.suppressions import parse_suppressions
+
+__all__ = ["FlowResult", "analyze_paths"]
+
+
+@dataclass
+class FlowResult:
+    """Everything one whole-program analysis produced."""
+
+    project: Project
+    analysis: EffectAnalysis
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    report: Dict[str, Any] = field(default_factory=dict)
+    files_analyzed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def explain(self, needle: str) -> str:
+        return render_effects_explain(self.analysis, needle)
+
+
+def analyze_paths(
+    paths: Sequence,
+    root: Optional[Path] = None,
+    cache_path: Optional[Path] = None,
+    kernel_packages: Iterable[str] = DEFAULT_KERNEL_PACKAGES,
+) -> FlowResult:
+    """Run the whole-program flow analysis over files/directories.
+
+    ``cache_path`` (optional) enables the content-hash summary cache; pass
+    the same path across runs to make warm runs skip re-parsing.
+    """
+    # Imported here, not at module top: the engine imports this package
+    # lazily from inside lint_paths, so by now it is fully initialized.
+    from repro.lint.engine import _relpath, iter_python_files
+
+    files = iter_python_files(paths)
+    cache = FlowCache(cache_path)
+    summaries: List[ModuleSummary] = []
+    suppressions = {}
+    for path in files:
+        relpath = _relpath(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            continue  # the per-file pass already reported unreadable files
+        digest = content_hash(source)
+        summary = cache.get(relpath, digest)
+        if summary is None:
+            try:
+                summary = summarize_source(source, relpath, digest)
+            except SyntaxError:
+                continue  # ditto for parse errors
+            cache.put(summary)
+        summaries.append(summary)
+        suppressions[relpath] = parse_suppressions(source)
+    cache.save()
+
+    project = Project(summaries)
+    analysis = infer_effects(project)
+    raw_findings = check_contracts(project)
+    raw_findings += check_kernel_purity(analysis, kernel_packages)
+    diagnostics = [
+        d for d in raw_findings
+        if not (
+            d.path in suppressions
+            and suppressions[d.path].is_suppressed(d.rule, d.line)
+        )
+    ]
+    diagnostics.sort(key=Diagnostic.sort_key)
+    report = build_effects_report(analysis, contract_findings=len(diagnostics))
+    return FlowResult(
+        project=project,
+        analysis=analysis,
+        diagnostics=diagnostics,
+        report=report,
+        files_analyzed=len(summaries),
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+    )

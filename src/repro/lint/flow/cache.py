@@ -1,0 +1,98 @@
+"""Content-hash summary cache: warm flow runs skip re-parsing clean files.
+
+One JSON file maps relpath → (sha256 of source, serialized ModuleSummary).
+A file whose hash matches is deserialized instead of re-parsed — the
+per-file AST walk is the dominant cost of the flow pass, so a warm run
+over an unchanged tree does only the (cheap) linking and fixpoint work
+and stays well inside the lint perf budget.
+
+The cache is advisory: a missing, corrupt, or version-skewed file is
+treated as empty, never an error.  Writes go through ``repro.storage``
+like every other artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro import storage
+from repro.lint.flow.summarize import SUMMARY_VERSION, ModuleSummary
+
+__all__ = ["DEFAULT_CACHE_PATH", "FlowCache", "content_hash"]
+
+DEFAULT_CACHE_PATH = "results/.lint-cache/flow-cache.json"
+_CACHE_VERSION = 1
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class FlowCache:
+    """relpath → cached ModuleSummary, keyed by source content hash."""
+
+    def __init__(self, path: Optional[Path] = None):
+        self.path = Path(path) if path is not None else None
+        self._entries: Dict[str, Dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if self.path is not None:
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        if not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return  # advisory cache: unreadable == empty
+        if (
+            not isinstance(payload, dict)
+            or payload.get("cache_version") != _CACHE_VERSION
+            or payload.get("summary_version") != SUMMARY_VERSION
+        ):
+            return
+        entries = payload.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, relpath: str, source_hash: str) -> Optional[ModuleSummary]:
+        entry = self._entries.get(relpath)
+        if entry is None or entry.get("sha256") != source_hash:
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_json(entry["summary"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, summary: ModuleSummary) -> None:
+        self._entries[summary.relpath] = {
+            "sha256": summary.source_hash,
+            "summary": summary.to_json(),
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist if backed by a path and anything changed."""
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "cache_version": _CACHE_VERSION,
+            "summary_version": SUMMARY_VERSION,
+            "files": self._entries,
+        }
+        storage.commit_text(
+            str(self.path),
+            json.dumps(payload, sort_keys=True) + "\n",
+            label="lint.flowcache",
+        )
+        self._dirty = False

@@ -1,0 +1,160 @@
+"""Link per-file summaries into a project: symbol table + call graph.
+
+Resolution happens in two layers.  The summarizer already pinned every call
+to either a ``project`` qualname (same-file definition, ``self.`` method)
+or an ``absolute`` dotted path through the module's import table
+(``repro.obs.get_logger``, ``numpy.unique``).  This module finishes the
+job across files:
+
+* absolute paths into the project are resolved against the real module
+  summaries, following re-export chains (``from repro.lint.engine import
+  lint_paths`` in a package ``__init__`` makes ``repro.lint.lint_paths``
+  an alias) up to a fixed depth;
+* ``Class(...)`` constructions resolve to ``Class.__init__`` when one is
+  defined, and ``Class.method`` paths to the method;
+* everything else (stdlib, numpy, genuinely dynamic) stays an external or
+  unresolved edge — recorded, never guessed at.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.flow.summarize import FunctionInfo, ModuleSummary, StageSite
+
+__all__ = ["Project"]
+
+#: How many re-export hops to follow before declaring an alias dynamic.
+_MAX_ALIAS_HOPS = 12
+
+
+class Project:
+    """All module summaries, linked: symbol table, call graph, stage sites."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]):
+        self.modules: Dict[str, ModuleSummary] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        for summary in summaries:
+            self.modules[summary.module] = summary
+            self.functions.update(summary.functions)
+        #: caller qualname → sorted callee qualnames (project-internal only)
+        self.calls: Dict[str, Tuple[str, ...]] = {}
+        #: callee qualname → sorted caller qualnames
+        self.callers: Dict[str, Tuple[str, ...]] = {}
+        self._link()
+
+    # -- symbol resolution ---------------------------------------------------
+    def resolve(self, dotted: str) -> Optional[str]:
+        """Project function qualname for an absolute dotted path, if any.
+
+        Follows re-export alias chains through package ``__init__`` import
+        tables and resolves class constructions to ``__init__``.
+        """
+        seen: Set[str] = set()
+        path = dotted
+        for _ in range(_MAX_ALIAS_HOPS):
+            if path in seen:
+                return None
+            seen.add(path)
+            hit = self._resolve_once(path)
+            if hit is None:
+                return None
+            kind, value = hit
+            if kind == "function":
+                return value
+            path = value  # alias hop: try again with the re-export target
+        return None
+
+    def _resolve_once(self, dotted: str) -> Optional[Tuple[str, str]]:
+        """One resolution step: ('function', qualname) or ('alias', target)."""
+        if dotted in self.functions:
+            return "function", dotted
+        init = f"{dotted}.__init__"
+        if init in self.functions:
+            return "function", init
+        # Split into the longest module prefix we know and a symbol path.
+        module, symbol = self._split_module(dotted)
+        if module is None or not symbol:
+            return None
+        summary = self.modules[module]
+        head = symbol.split(".", 1)[0]
+        rest = symbol[len(head):].lstrip(".")
+        if head in summary.imports:
+            target = summary.imports[head] + (("." + rest) if rest else "")
+            return "alias", target
+        return None
+
+    def _split_module(self, dotted: str) -> Tuple[Optional[str], str]:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            module = ".".join(parts[:cut])
+            if module in self.modules:
+                return module, ".".join(parts[cut:])
+        return None, dotted
+
+    # -- linking --------------------------------------------------------------
+    def _link(self) -> None:
+        calls: Dict[str, Set[str]] = defaultdict(set)
+        callers: Dict[str, Set[str]] = defaultdict(set)
+        for qual, info in self.functions.items():
+            for call in info.calls:
+                target: Optional[str] = None
+                if call.kind == "project":
+                    target = self._resolve_project_ref(call.target)
+                elif call.kind == "absolute":
+                    target = self.resolve(call.target)
+                if target is not None and target in self.functions:
+                    calls[qual].add(target)
+                    callers[target].add(qual)
+        self.calls = {q: tuple(sorted(c)) for q, c in calls.items()}
+        self.callers = {q: tuple(sorted(c)) for q, c in callers.items()}
+
+    def _resolve_project_ref(self, target: str) -> Optional[str]:
+        """A summarizer 'project' ref: exact, constructor, or method hop."""
+        if target in self.functions:
+            return target
+        init = f"{target}.__init__"
+        if init in self.functions:
+            return init
+        return None
+
+    # -- queries ---------------------------------------------------------------
+    def callees_of(self, qualname: str) -> Tuple[str, ...]:
+        return self.calls.get(qualname, ())
+
+    def callers_of(self, qualname: str) -> Tuple[str, ...]:
+        return self.callers.get(qualname, ())
+
+    def stage_sites(self) -> List[StageSite]:
+        sites: List[StageSite] = []
+        for module in sorted(self.modules):
+            sites.extend(self.modules[module].stage_sites)
+        return sites
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive closure over project call edges."""
+        seen: Set[str] = set()
+        frontier = [r for r in roots if r in self.functions]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.calls.get(current, ()))
+        return seen
+
+    def find_function(self, needle: str) -> List[FunctionInfo]:
+        """Functions whose qualname equals or ends with ``needle``.
+
+        Supports ``repro lint effects <function>``: a bare name matches by
+        suffix, a dotted path must match whole trailing components.
+        """
+        if needle in self.functions:
+            return [self.functions[needle]]
+        suffix = "." + needle
+        hits = [
+            info for qual, info in self.functions.items()
+            if qual.endswith(suffix)
+        ]
+        return sorted(hits, key=lambda i: i.qualname)

@@ -1,0 +1,159 @@
+"""Stage-contract verification: declared ``inputs`` vs actual context reads.
+
+A :class:`~repro.runtime.pipeline.Stage` declares the upstream stages it
+reads (``inputs=...``); :mod:`repro.obs.lineage` turns those declarations
+into the edges of ``provenance.json``.  Nothing checked them until now —
+a drifted declaration silently produces *wrong provenance* while the
+pipeline keeps running.  This pass closes the loop:
+
+``undeclared-input``
+    the stage's ``fn`` body reads ``context["x"]`` (or ``.get("x", ...)``)
+    but ``"x"`` is not declared — the lineage DAG is missing an edge.
+``unused-declared-input``
+    a declared input is never read — the lineage DAG carries a fake edge.
+``unknown-stage-key``
+    a declared or read key names no stage constructed anywhere in the
+    project (and is not a runner-internal key) — probably a typo.  Only
+    checked while every stage name in the project is a literal; one
+    dynamically named stage reopens the name universe and stands the
+    check down.
+
+Reads are split by strength: ``context["x"]`` is a *hard* read (raises if
+the key is absent, so it happens on every execution) while
+``context.get("x", ...)`` is a *soft* read that tolerates absence.
+Conditional declarations (``inputs=(a,) if flag else (b,)``) are checked
+per arm: a hard read must appear in **every** arm — an arm that omits it
+drops a real lineage edge whenever that arm is taken — while a soft read
+only needs to appear in the union.  Sites whose ``fn`` is a runtime value
+(factory results, registry lookups) are checked only for unknown keys,
+since their bodies cannot be found statically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.flow.callgraph import Project
+from repro.lint.flow.summarize import FunctionInfo, StageSite
+
+__all__ = ["check_contracts", "known_stage_names"]
+
+#: Context keys the runner itself owns; stage fns may not touch them, but
+#: they are not "unknown stages" either.
+RUNNER_INTERNAL_KEYS: Tuple[str, ...] = ("__report__", "__last_error__")
+
+
+def known_stage_names(project: Project) -> Set[str]:
+    """Every literal stage name constructed anywhere in the project."""
+    return {
+        site.name for site in project.stage_sites() if site.name is not None
+    }
+
+
+def _context_param(info: FunctionInfo) -> Optional[str]:
+    """The parameter a stage fn receives the context dict through."""
+    if info.is_method and info.params and info.params[0] == "self":
+        rest = info.params[1:]
+        return rest[0] if rest else None
+    return info.params[0] if info.params else None
+
+
+def _site_label(site: StageSite) -> str:
+    return f"stage {site.name!r}" if site.name is not None else "stage"
+
+
+def check_contracts(project: Project) -> List[Diagnostic]:
+    """Verify every ``Stage(...)`` site's declared inputs against reality."""
+    known = known_stage_names(project)
+    any_dynamic_names = any(
+        site.name is None for site in project.stage_sites()
+    )
+    findings: List[Diagnostic] = []
+    for site in project.stage_sites():
+        findings.extend(
+            _check_site(project, site, known, any_dynamic_names)
+        )
+    return findings
+
+
+def _check_site(
+    project: Project,
+    site: StageSite,
+    known: Set[str],
+    any_dynamic_names: bool,
+) -> Iterable[Diagnostic]:
+    declared = set(site.inputs)
+    arms = [set(arm) for arm in site.input_arms] or [declared]
+    info = project.functions.get(site.fn_target) if site.fn_target else None
+    reads: Optional[Set[str]] = None
+    hard: Set[str] = set()
+    if info is not None:
+        param = _context_param(info)
+        if param is not None:
+            if param in info.dynamic_reads:
+                reads = None  # non-literal keys: reads are unknowable
+            else:
+                hard = set(info.subscript_reads.get(param, ()))
+                reads = hard | set(info.get_reads.get(param, ()))
+
+    def diag(rule: str, message: str, severity=Severity.ERROR) -> Diagnostic:
+        return Diagnostic(
+            rule=rule,
+            severity=severity,
+            path=site.relpath,
+            line=site.line,
+            col=site.col,
+            message=message,
+        )
+
+    if reads is not None:
+        for key in sorted(reads - declared):
+            if key in RUNNER_INTERNAL_KEYS:
+                yield diag(
+                    "undeclared-input",
+                    f"{_site_label(site)} fn reads runner-internal context "
+                    f"key {key!r}",
+                )
+                continue
+            yield diag(
+                "undeclared-input",
+                f"{_site_label(site)} fn reads context[{key!r}] but does not "
+                f"declare it in inputs=; the lineage DAG is missing this edge",
+            )
+        if len(arms) > 1 and not site.inputs_dynamic:
+            # A hard read happens on every execution, so every conditional
+            # arm of the declaration must carry it.
+            for key in sorted(hard & declared):
+                if any(key not in arm for arm in arms):
+                    yield diag(
+                        "undeclared-input",
+                        f"{_site_label(site)} fn always reads "
+                        f"context[{key!r}] but a conditional arm of inputs= "
+                        f"omits it; the lineage DAG drops this edge whenever "
+                        f"that arm is taken",
+                    )
+        if not site.inputs_dynamic:
+            for key in sorted(declared - reads):
+                yield diag(
+                    "unused-declared-input",
+                    f"{_site_label(site)} declares input {key!r} but its fn "
+                    f"never reads context[{key!r}]; the lineage DAG carries "
+                    f"a spurious edge",
+                    severity=Severity.WARNING,
+                )
+
+    if not any_dynamic_names:
+        # Only meaningful when every stage name is literal: then the
+        # stage-name universe is closed and unmatched keys are provable
+        # typos.  One dynamically named stage anywhere reopens it — any key
+        # could name a runtime-built stage — so the check stands down
+        # entirely (a typo'd declared input still surfaces as the
+        # undeclared-input / unused-declared-input pair).
+        candidates = declared | (reads or set())
+        for key in sorted(candidates - known - set(RUNNER_INTERNAL_KEYS)):
+            yield diag(
+                "unknown-stage-key",
+                f"{_site_label(site)} references context key {key!r} which "
+                f"is not the name of any statically constructed stage",
+            )

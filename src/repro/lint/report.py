@@ -26,6 +26,15 @@ def render_text(run: LintRun, verbose: bool = False) -> str:
     if run.suppressed_by_baseline:
         summary += f" ({run.suppressed_by_baseline} baselined)"
     lines.append(summary)
+    if run.flow_summary:
+        fs = run.flow_summary
+        lines.append(
+            f"flow: {fs.get('functions', 0)} functions analyzed, "
+            f"{fs.get('parallel_safe', 0)} parallel-safe, "
+            f"{fs.get('stage_sites', 0)} stage sites, "
+            f"{fs.get('contract_findings', 0)} flow finding"
+            f"{'s' if fs.get('contract_findings', 0) != 1 else ''}"
+        )
     return "\n".join(lines)
 
 
@@ -43,4 +52,6 @@ def render_json(run: LintRun) -> str:
         "findings": [d.to_json() for d in run.new],
         "exit_code": run.exit_code,
     }
+    if run.flow_summary is not None:
+        payload["flow"] = dict(run.flow_summary)
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -135,7 +135,10 @@ def _build_stages(
         Stage(
             name="ingest",
             fn=ingest,
-            inputs=("inject-faults",) if injecting else ("generate",),
+            # ingest always evaluates ctx["generate"] (the .get default is
+            # eager), so the generate edge must survive the injecting arm or
+            # provenance.json drops it.
+            inputs=("inject-faults", "generate") if injecting else ("generate",),
         )
     )
 

@@ -1,0 +1,59 @@
+"""Fixtures for the whole-program flow suite: build tiny project trees."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.flow import analyze_paths
+from repro.lint.flow.callgraph import Project
+from repro.lint.flow.summarize import summarize_source
+
+
+@pytest.fixture
+def flow_tree(tmp_path):
+    """Write a {relpath: source} mapping into a temp tree; returns its root."""
+
+    def build(files):
+        for rel, src in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(src), encoding="utf-8")
+        return tmp_path
+
+    return build
+
+
+@pytest.fixture
+def flow_analyze(flow_tree):
+    """Run the full flow analysis over a fixture tree."""
+
+    def run(files, **kwargs):
+        root = flow_tree(files)
+        return analyze_paths([root], root=root, **kwargs)
+
+    return run
+
+
+@pytest.fixture
+def project_of(flow_tree):
+    """Link a fixture tree into a Project without running the checkers."""
+
+    def build(files):
+        root = flow_tree(files)
+        summaries = []
+        for rel, _ in files.items():
+            source = (root / rel).read_text(encoding="utf-8")
+            summaries.append(summarize_source(source, rel))
+        return Project(summaries)
+
+    return build
+
+
+@pytest.fixture
+def summarize():
+    """Summarize one dedented snippet at a chosen repo-relative path."""
+
+    def run(source, relpath="repro/mod.py"):
+        return summarize_source(textwrap.dedent(source), relpath)
+
+    return run

@@ -1,0 +1,87 @@
+"""The content-hash summary cache: warm hits, invalidation, corruption."""
+
+import json
+
+from repro.lint.flow.cache import FlowCache, content_hash
+from repro.lint.flow.summarize import summarize_source
+
+SRC = "def f():\n    return 1\n"
+
+
+class TestFlowCache:
+    def test_round_trip_hit(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = FlowCache(path)
+        summary = summarize_source(SRC, "repro/a.py", content_hash(SRC))
+        cache.put(summary)
+        cache.save()
+
+        warm = FlowCache(path)
+        got = warm.get("repro/a.py", content_hash(SRC))
+        assert got == summary
+        assert warm.hits == 1 and warm.misses == 0
+
+    def test_content_change_misses(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = FlowCache(path)
+        cache.put(summarize_source(SRC, "repro/a.py", content_hash(SRC)))
+        cache.save()
+
+        warm = FlowCache(path)
+        assert warm.get("repro/a.py", content_hash(SRC + "# edited\n")) is None
+        assert warm.misses == 1
+
+    def test_corrupt_cache_is_empty_not_fatal(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json", encoding="utf-8")
+        cache = FlowCache(path)
+        assert cache.get("repro/a.py", content_hash(SRC)) is None
+
+    def test_version_skew_discards(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = FlowCache(path)
+        cache.put(summarize_source(SRC, "repro/a.py", content_hash(SRC)))
+        cache.save()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["summary_version"] = -1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+        warm = FlowCache(path)
+        assert warm.get("repro/a.py", content_hash(SRC)) is None
+
+    def test_pathless_cache_is_inert(self):
+        cache = FlowCache(None)
+        cache.put(summarize_source(SRC, "repro/a.py", content_hash(SRC)))
+        cache.save()  # must not raise or write anywhere
+        assert cache.get("repro/a.py", "other") is None
+
+
+class TestAnalyzerIntegration:
+    def test_warm_run_hits_for_every_file(self, flow_analyze, tmp_path):
+        files = {
+            "repro/a.py": "def f():\n    return 1\n",
+            "repro/b.py": "def g():\n    return 2\n",
+        }
+        cache_path = tmp_path / "flow-cache.json"
+        cold = flow_analyze(files, cache_path=cache_path)
+        assert cold.cache_hits == 0 and cold.cache_misses == 2
+
+        warm = flow_analyze(files, cache_path=cache_path)
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert warm.report == cold.report
+
+    def test_edited_file_reanalyzed(self, flow_tree, tmp_path):
+        from repro.lint.flow import analyze_paths
+
+        files = {"repro/a.py": "def f():\n    return 1\n"}
+        root = flow_tree(files)
+        cache_path = tmp_path / "flow-cache.json"
+        analyze_paths([root], root=root, cache_path=cache_path)
+
+        (root / "repro/a.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n",
+            encoding="utf-8",
+        )
+        result = analyze_paths([root], root=root, cache_path=cache_path)
+        assert result.cache_misses == 1
+        assert result.analysis.effects_of("repro.a.f") == {"reads-clock"}

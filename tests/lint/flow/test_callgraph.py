@@ -1,0 +1,184 @@
+"""Cross-file linking: aliases, re-exports, methods, cycles, decorators."""
+
+
+class TestLinking:
+    def test_cross_module_call(self, project_of):
+        project = project_of(
+            {
+                "repro/a.py": """
+                    from repro.b import helper
+
+                    def caller():
+                        return helper()
+                    """,
+                "repro/b.py": """
+                    def helper():
+                        return 1
+                    """,
+            }
+        )
+        assert project.callees_of("repro.a.caller") == ("repro.b.helper",)
+        assert project.callers_of("repro.b.helper") == ("repro.a.caller",)
+
+    def test_reexport_chain_through_package_init(self, project_of):
+        project = project_of(
+            {
+                "repro/pkg/__init__.py": """
+                    from repro.pkg.impl import helper
+                    """,
+                "repro/pkg/impl.py": """
+                    def helper():
+                        return 1
+                    """,
+                "repro/user.py": """
+                    from repro.pkg import helper
+
+                    def caller():
+                        return helper()
+                    """,
+            }
+        )
+        assert project.callees_of("repro.user.caller") == (
+            "repro.pkg.impl.helper",
+        )
+
+    def test_aliased_import(self, project_of):
+        project = project_of(
+            {
+                "repro/a.py": """
+                    import repro.b as bee
+
+                    def caller():
+                        return bee.helper()
+                    """,
+                "repro/b.py": """
+                    def helper():
+                        return 1
+                    """,
+            }
+        )
+        assert project.callees_of("repro.a.caller") == ("repro.b.helper",)
+
+    def test_class_construction_resolves_to_init(self, project_of):
+        project = project_of(
+            {
+                "repro/a.py": """
+                    from repro.b import Widget
+
+                    def caller():
+                        return Widget(3)
+                    """,
+                "repro/b.py": """
+                    class Widget:
+                        def __init__(self, n):
+                            self.n = n
+                    """,
+            }
+        )
+        assert project.callees_of("repro.a.caller") == (
+            "repro.b.Widget.__init__",
+        )
+
+    def test_method_calls_via_self(self, project_of):
+        project = project_of(
+            {
+                "repro/a.py": """
+                    class Runner:
+                        def run(self):
+                            return self.step()
+
+                        def step(self):
+                            return 1
+                    """,
+            }
+        )
+        assert project.callees_of("repro.a.Runner.run") == (
+            "repro.a.Runner.step",
+        )
+
+    def test_cycles_link_both_ways(self, project_of):
+        project = project_of(
+            {
+                "repro/a.py": """
+                    def even(n):
+                        return n == 0 or odd(n - 1)
+
+                    def odd(n):
+                        return n != 0 and even(n - 1)
+                    """,
+            }
+        )
+        assert project.callees_of("repro.a.even") == ("repro.a.odd",)
+        assert project.callees_of("repro.a.odd") == ("repro.a.even",)
+
+    def test_decorated_function_still_linked(self, project_of):
+        project = project_of(
+            {
+                "repro/a.py": """
+                    import functools
+
+                    def helper():
+                        return 1
+
+                    @functools.lru_cache(maxsize=None)
+                    def caller():
+                        return helper()
+                    """,
+            }
+        )
+        assert project.callees_of("repro.a.caller") == ("repro.a.helper",)
+
+    def test_external_calls_never_guessed(self, project_of):
+        project = project_of(
+            {
+                "repro/a.py": """
+                    import numpy as np
+
+                    def caller(x):
+                        return np.mean(x)
+                    """,
+            }
+        )
+        assert project.callees_of("repro.a.caller") == ()
+
+
+class TestQueries:
+    def test_reachable_from_follows_edges(self, project_of):
+        project = project_of(
+            {
+                "repro/a.py": """
+                    def top():
+                        return mid()
+
+                    def mid():
+                        return leaf()
+
+                    def leaf():
+                        return 1
+
+                    def orphan():
+                        return 2
+                    """,
+            }
+        )
+        reach = project.reachable_from(["repro.a.top"])
+        assert reach == {"repro.a.top", "repro.a.mid", "repro.a.leaf"}
+
+    def test_find_function_by_suffix(self, project_of):
+        project = project_of(
+            {
+                "repro/a.py": """
+                    def helper():
+                        return 1
+                    """,
+                "repro/b.py": """
+                    def helper():
+                        return 2
+                    """,
+            }
+        )
+        hits = project.find_function("helper")
+        assert [i.qualname for i in hits] == ["repro.a.helper", "repro.b.helper"]
+        assert [
+            i.qualname for i in project.find_function("repro.a.helper")
+        ] == ["repro.a.helper"]

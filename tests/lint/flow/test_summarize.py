@@ -1,0 +1,304 @@
+"""Per-file summarizer: calls, direct effects, reads, stage sites."""
+
+from repro.lint.flow.summarize import ModuleSummary, module_name_for
+
+
+class TestModuleNames:
+    def test_src_prefix_and_extension_stripped(self):
+        assert module_name_for("src/repro/tables/kernels.py") == (
+            "repro.tables.kernels"
+        )
+
+    def test_init_is_its_package(self):
+        assert module_name_for("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_no_src_prefix(self):
+        assert module_name_for("repro/stats/welch.py") == "repro.stats.welch"
+
+
+class TestCallExtraction:
+    def test_sibling_call_is_project_ref(self, summarize):
+        s = summarize(
+            """
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+            """
+        )
+        calls = s.functions["repro.mod.caller"].calls
+        assert [(c.kind, c.target) for c in calls] == [
+            ("project", "repro.mod.helper")
+        ]
+
+    def test_imported_call_resolves_through_alias(self, summarize):
+        s = summarize(
+            """
+            from repro.stats import welch_t as wt
+
+            def caller():
+                return wt(1, 2)
+            """
+        )
+        (call,) = s.functions["repro.mod.caller"].calls
+        assert call.kind == "absolute"
+        assert call.target == "repro.stats.welch_t"
+
+    def test_self_method_call_pins_to_class(self, summarize):
+        s = summarize(
+            """
+            class Box:
+                def a(self):
+                    return self.b()
+
+                def b(self):
+                    return 1
+            """
+        )
+        (call,) = s.functions["repro.mod.Box.a"].calls
+        assert call.kind == "project"
+        assert call.target == "repro.mod.Box.b"
+
+    def test_local_variable_call_is_dynamic(self, summarize):
+        s = summarize(
+            """
+            def caller(fn):
+                return fn()
+            """
+        )
+        (call,) = s.functions["repro.mod.caller"].calls
+        assert call.kind == "dynamic"
+
+
+class TestDirectEffects:
+    def _effects(self, summarize, body, name="f"):
+        s = summarize(body)
+        return {
+            e.effect
+            for e in s.functions[f"repro.mod.{name}"].direct_effects
+        }
+
+    def test_clock_reads(self, summarize):
+        src = """
+            import time
+
+            def f():
+                return time.perf_counter()
+            """
+        assert self._effects(summarize, src) == {"reads-clock"}
+
+    def test_unseeded_numpy_random(self, summarize):
+        src = """
+            import numpy as np
+
+            def f():
+                return np.random.random(3)
+            """
+        assert self._effects(summarize, src) == {"rng"}
+
+    def test_seeded_generator_construction_is_clean(self, summarize):
+        src = """
+            import numpy as np
+
+            def f(seed):
+                return np.random.Generator(np.random.PCG64(seed))
+            """
+        assert self._effects(summarize, src) == set()
+
+    def test_open_for_write_vs_read(self, summarize):
+        src = """
+            def f(path):
+                with open(path, "w") as fh:
+                    fh.write("x")
+
+            def g(path):
+                with open(path) as fh:
+                    return fh.read()
+            """
+        s = summarize(src)
+        assert {
+            e.effect for e in s.functions["repro.mod.f"].direct_effects
+        } == {"filesystem-write"}
+        assert s.functions["repro.mod.g"].direct_effects == ()
+
+    def test_module_alias_method_names_are_not_mutation(self, summarize):
+        # np.append / np.sort are functions from numpy, not mutations of np.
+        src = """
+            import numpy as np
+
+            def f(x):
+                y = np.append(x, 1)
+                return np.sort(y)
+            """
+        assert self._effects(summarize, src) == set()
+
+    def test_mutating_module_level_list_is_global_mutation(self, summarize):
+        src = """
+            REGISTRY = []
+
+            def f(item):
+                REGISTRY.append(item)
+            """
+        assert self._effects(summarize, src) == {"global-mutation"}
+
+    def test_mutating_closed_over_state_is_global_mutation(self, summarize):
+        src = """
+            def outer():
+                cache = {}
+
+                def f(k, v):
+                    cache[k] = v
+
+                return f
+            """
+        assert self._effects(summarize, src, name="outer.f") == {
+            "global-mutation"
+        }
+
+    def test_global_statement_store(self, summarize):
+        src = """
+            COUNT = 0
+
+            def f():
+                global COUNT
+                COUNT = 1
+            """
+        assert self._effects(summarize, src) == {"global-mutation"}
+
+    def test_os_environ_store(self, summarize):
+        src = """
+            import os
+
+            def f():
+                os.environ["X"] = "1"
+            """
+        assert self._effects(summarize, src) == {"global-mutation"}
+
+    def test_local_rebinding_shadows_module_state(self, summarize):
+        # ``rows`` is stored in the function body, so Python scoping makes it
+        # local from line one — mutating it is not global mutation, even
+        # though the mutation line precedes the binding line.
+        src = """
+            rows = []
+
+            def f(flag):
+                if flag:
+                    rows.append(1)
+                rows = [2]
+                return rows
+            """
+        assert self._effects(summarize, src) == set()
+
+
+class TestReads:
+    def test_hard_and_soft_reads_split(self, summarize):
+        s = summarize(
+            """
+            def f(ctx):
+                a = ctx["alpha"]
+                b = ctx.get("beta", None)
+                return a, b
+            """
+        )
+        info = s.functions["repro.mod.f"]
+        assert info.subscript_reads == {"ctx": ("alpha",)}
+        assert info.get_reads == {"ctx": ("beta",)}
+
+    def test_eager_get_default_is_hard_read(self, summarize):
+        s = summarize(
+            """
+            def f(ctx):
+                return ctx.get("a", ctx["b"])
+            """
+        )
+        info = s.functions["repro.mod.f"]
+        assert info.subscript_reads == {"ctx": ("b",)}
+        assert info.get_reads == {"ctx": ("a",)}
+
+    def test_dynamic_key_marks_reads_unknowable(self, summarize):
+        s = summarize(
+            """
+            def f(ctx, k):
+                return ctx[k]
+            """
+        )
+        assert "ctx" in s.functions["repro.mod.f"].dynamic_reads
+
+
+class TestStageSites:
+    def test_literal_site(self, summarize):
+        s = summarize(
+            """
+            from repro.runtime.pipeline import Stage
+
+            def fit(ctx):
+                return ctx["load"]
+
+            STAGES = [Stage(name="fit", fn=fit, inputs=("load",))]
+            """
+        )
+        (site,) = s.stage_sites
+        assert site.name == "fit"
+        assert site.fn_target == "repro.mod.fit"
+        assert site.inputs == ("load",)
+        assert site.input_arms == (("load",),)
+        assert not site.inputs_dynamic
+
+    def test_conditional_inputs_keep_their_arms(self, summarize):
+        s = summarize(
+            """
+            from repro.runtime.pipeline import Stage
+
+            def fit(ctx):
+                return ctx["a"]
+
+            flag = True
+            SITE = Stage(name="fit", fn=fit,
+                         inputs=("a",) if flag else ("a", "b"))
+            """
+        )
+        (site,) = s.stage_sites
+        assert site.inputs == ("a", "b")
+        assert site.input_arms == (("a",), ("a", "b"))
+
+    def test_other_stage_classes_are_ignored(self, summarize):
+        s = summarize(
+            """
+            from somewhere.else_ import Stage
+
+            SITE = Stage(name="x", fn=None)
+            """
+        )
+        assert s.stage_sites == ()
+
+    def test_dynamic_name_recorded_as_none(self, summarize):
+        s = summarize(
+            """
+            from repro.runtime.pipeline import Stage
+
+            def build(n, fn):
+                return Stage(name=n, fn=fn, inputs=("ingest",))
+            """
+        )
+        (site,) = s.stage_sites
+        assert site.name is None
+        assert site.inputs == ("ingest",)
+
+
+class TestJsonRoundTrip:
+    def test_summary_survives_json(self, summarize):
+        s = summarize(
+            """
+            from repro.runtime.pipeline import Stage
+            import time
+
+            def fit(ctx):
+                t = time.time()
+                return ctx["load"], ctx.get("opt", None), t
+
+            SITE = Stage(name="fit", fn=fit, inputs=("load",))
+            """
+        )
+        restored = ModuleSummary.from_json(s.to_json())
+        assert restored == s

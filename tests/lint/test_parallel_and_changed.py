@@ -1,0 +1,126 @@
+"""Engine-level tests for the forked rule pass and git-aware file selection."""
+
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.lint.baseline import Baseline
+from repro.lint.engine import EXIT_LINT_FINDINGS, changed_python_files, lint_paths
+from repro.util.errors import LintError
+
+DIRTY_FILES = {
+    "repro/a.py": "import pandas\n",
+    "repro/b.py": "def f(rows=[]):\n    return rows\n",
+    "repro/c.py": """
+        import random
+
+        def g():
+            return random.random()
+        """,
+    "repro/d.py": "def h():\n    return 1\n",
+}
+
+
+def _write_tree(tmp_path, files):
+    for rel, src in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src), encoding="utf-8")
+    return tmp_path
+
+
+class TestParallelParity:
+    def test_findings_identical_at_any_worker_count(self, tmp_path):
+        root = _write_tree(tmp_path, DIRTY_FILES)
+        serial = lint_paths([root], baseline=Baseline(), root=root, jobs=1)
+        assert serial.diagnostics, "fixture should produce findings"
+        for jobs in (2, 4):
+            parallel = lint_paths(
+                [root], baseline=Baseline(), root=root, jobs=jobs
+            )
+            assert parallel.diagnostics == serial.diagnostics
+            assert parallel.new == serial.new
+            assert parallel.files_checked == serial.files_checked
+
+    def test_jobs_zero_means_auto(self, tmp_path):
+        root = _write_tree(tmp_path, DIRTY_FILES)
+        run = lint_paths([root], baseline=Baseline(), root=root, jobs=0)
+        assert run.jobs >= 1
+        assert run.diagnostics
+
+
+class TestChangedOnly:
+    def _git(self, cwd, *argv):
+        subprocess.run(
+            ["git", *argv], cwd=cwd, check=True, capture_output=True
+        )
+
+    @pytest.fixture
+    def git_repo(self, tmp_path):
+        root = _write_tree(tmp_path, {"repro/tracked.py": "def t():\n    pass\n"})
+        self._git(root, "init", "-q")
+        self._git(root, "config", "user.email", "t@example.com")
+        self._git(root, "config", "user.name", "t")
+        self._git(root, "add", "-A")
+        self._git(root, "commit", "-qm", "seed")
+        return root
+
+    def test_clean_tree_reports_nothing(self, git_repo):
+        assert changed_python_files(git_repo) == []
+
+    def test_modified_staged_and_untracked_found(self, git_repo):
+        (git_repo / "repro/tracked.py").write_text("def t():\n    return 2\n")
+        (git_repo / "repro/staged.py").write_text("def s():\n    pass\n")
+        self._git(git_repo, "add", "repro/staged.py")
+        (git_repo / "repro/fresh.py").write_text("def u():\n    pass\n")
+        (git_repo / "notes.txt").write_text("not python\n")
+
+        changed = changed_python_files(git_repo)
+        names = [p.name for p in changed]
+        assert names == ["fresh.py", "staged.py", "tracked.py"]
+
+    def test_outside_a_repo_raises_typed_error(self, tmp_path):
+        bare = tmp_path / "bare"
+        bare.mkdir()
+        with pytest.raises(LintError):
+            changed_python_files(bare)
+
+
+class TestChangedOnlyCli:
+    """--changed-only restricts to changed files under the lint roots."""
+
+    def _git(self, cwd, *argv):
+        subprocess.run(
+            ["git", *argv], cwd=cwd, check=True, capture_output=True
+        )
+
+    @pytest.fixture
+    def repo(self, tmp_path, monkeypatch):
+        _write_tree(tmp_path, {"src/repro/mod.py": "def ok():\n    pass\n"})
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "config", "user.email", "t@example.com")
+        self._git(tmp_path, "config", "user.name", "t")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_clean_tree_short_circuits(self, repo, capsys):
+        assert main(["lint", "--changed-only", "--no-baseline"]) == 0
+        assert "0 files changed" in capsys.readouterr().out
+
+    def test_changes_outside_roots_are_ignored(self, repo, capsys):
+        # A dirty test file must not fail the inner loop: tests/ is not a
+        # lint root, so only src/ changes count.
+        (repo / "tests").mkdir()
+        (repo / "tests/test_x.py").write_text("import pandas\n")
+        assert main(["lint", "--changed-only", "--no-baseline"]) == 0
+        assert "0 files changed" in capsys.readouterr().out
+
+    def test_changed_file_under_root_is_linted(self, repo, capsys):
+        (repo / "src/repro/mod.py").write_text("import pandas\n")
+        code = main(["lint", "--changed-only", "--no-baseline"])
+        assert code == EXIT_LINT_FINDINGS
+        assert "forbidden-import" in capsys.readouterr().out
