@@ -22,9 +22,11 @@ import pytest
 from bench_common import emit
 
 from repro.obs.bench import baseline_path, session_registry, write_snapshot
+from repro.tables import col
 from repro.tables._legacy import legacy_aggregate, legacy_join, legacy_sort_by
 from repro.tables.column import Column
 from repro.tables.join import join
+from repro.tables.plan import global_plan_cache
 from repro.tables.schema import DType
 from repro.tables.table import Table
 
@@ -33,6 +35,12 @@ N_MID = 100_000
 
 #: Required speedup for the headline case (group-by at 10^6 rows).
 MIN_GROUPBY_SPEEDUP = 5.0
+#: Multi-key group-by must beat the row loop by this much (batched kernels).
+MIN_MULTIKEY_SPEEDUP = 3.0
+#: Fused filter->aggregate vs eager filter-then-aggregate on a wide table.
+MIN_FUSED_SPEEDUP = 1.5
+#: Second collect of a cached plan vs a cold execution.
+MIN_REUSE_SPEEDUP = 3.0
 #: Generous absolute bounds on the vectorized path (regression guards).
 MAX_AFTER_SECONDS = {
     "groupby_mean_1e6": 3.0,
@@ -41,6 +49,9 @@ MAX_AFTER_SECONDS = {
     "filter_isin_1e6": 2.0,
     "sort_by_1e6": 5.0,
     "encode_decode_1e6": 6.0,
+    "plan_fused_filter_agg": 2.0,
+    "groupby_multikey_fused": 2.0,
+    "subplan_reuse": 1.0,
 }
 
 
@@ -81,6 +92,23 @@ def big_table():
         },
         dtypes={"k": DType.STR, "k2": DType.INT, "v": DType.FLOAT},
     )
+
+
+@pytest.fixture(scope="module")
+def wide_table():
+    """The planner workload: 16 value columns so projection matters."""
+    rng = np.random.Generator(np.random.PCG64(20220301))
+    cities = np.array([f"city_{i:03d}" for i in range(300)], dtype=object)
+    data = {
+        "k": cities[rng.integers(0, len(cities), N_MID)].tolist(),
+        "k2": rng.integers(0, 40, N_MID),
+    }
+    dtypes = {"k": DType.STR, "k2": DType.INT}
+    for j in range(16):
+        name = f"v{j:02d}"
+        data[name] = rng.normal(50.0, 20.0, N_MID)
+        dtypes[name] = DType.FLOAT
+    return Table.from_dict(data, dtypes=dtypes)
 
 
 @pytest.fixture(scope="module")
@@ -126,6 +154,10 @@ class TestEnginePerf:
             "speedup": before / after,
         }
         assert after < MAX_AFTER_SECONDS["groupby_multikey_1e5"]
+        assert before / after >= MIN_MULTIKEY_SPEEDUP, (
+            f"multi-key group-by sped up only {before / after:.1f}x "
+            f"(need >= {MIN_MULTIKEY_SPEEDUP}x)"
+        )
 
     def test_join_inner_1e5(self, big_table, results):
         left = big_table.head(N_MID).select(["k", "k2", "v"])
@@ -203,6 +235,82 @@ class TestEnginePerf:
             "object_pointer_bytes": len(raw) * 8,
         }
         assert encode_s + decode_s < MAX_AFTER_SECONDS["encode_decode_1e6"]
+
+    def test_plan_fused_filter_agg(self, wide_table, results):
+        """Fused filter->aggregate gathers only the needed columns; the
+        eager route materializes all 16 value columns through the filter."""
+        pred = (col("v00") > 40.0) & (col("v00") <= 80.0)
+        spec = {"m": ("v01", "mean"), "s": ("v01", "sum"), "n": ("v01", "count")}
+        before, eager = _timed(
+            lambda: wide_table.filter(pred).group_by("k").aggregate(spec)
+        )
+        plan = wide_table.lazy().filter(pred).group_by("k").aggregate(spec)
+        after, fused = _timed(lambda: plan.collect(reuse=False))
+        _assert_identical(fused, eager)
+        results["plan_fused_filter_agg"] = {
+            "rows": N_MID,
+            "groups": fused.n_rows,
+            "before_s": before,
+            "after_s": after,
+            "speedup": before / after,
+        }
+        assert after < MAX_AFTER_SECONDS["plan_fused_filter_agg"]
+        assert before / after >= MIN_FUSED_SPEEDUP, (
+            f"fused filter->agg sped up only {before / after:.2f}x "
+            f"(need >= {MIN_FUSED_SPEEDUP}x)"
+        )
+
+    def test_groupby_multikey_fused(self, wide_table, results):
+        """The multi-key fast path under a fused filter: codes sorted once,
+        segment structure reused across the batched aggregators."""
+        pred = col("v00") > 30.0
+        spec = {"m": ("v01", "mean"), "sd": ("v01", "std"), "p": ("v01", "p95")}
+        before, eager = _timed(
+            lambda: wide_table.filter(pred).group_by(["k", "k2"]).aggregate(spec)
+        )
+        plan = (
+            wide_table.lazy()
+            .filter(pred)
+            .group_by(["k", "k2"])
+            .aggregate(spec)
+        )
+        after, fused = _timed(lambda: plan.collect(reuse=False))
+        _assert_identical(fused, eager)
+        results["groupby_multikey_fused"] = {
+            "rows": N_MID,
+            "groups": fused.n_rows,
+            "before_s": before,
+            "after_s": after,
+            "speedup": before / after,
+        }
+        assert after < MAX_AFTER_SECONDS["groupby_multikey_fused"]
+
+    def test_subplan_reuse(self, wide_table, results):
+        """Second collect of a content-identical plan is a cache hit."""
+        pred = col("v02") > 50.0
+        spec = {"m": ("v03", "mean"), "n": ("v03", "count")}
+        plan = wide_table.lazy().filter(pred).group_by("k").aggregate(spec)
+
+        def cold():
+            global_plan_cache().clear()
+            return plan.collect()
+
+        before, first = _timed(cold)
+        plan.collect()  # prime
+        after, warm = _timed(lambda: plan.collect())
+        _assert_identical(warm, first)
+        results["subplan_reuse"] = {
+            "rows": N_MID,
+            "before_s": before,
+            "after_s": after,
+            "speedup": before / after,
+        }
+        global_plan_cache().clear()
+        assert after < MAX_AFTER_SECONDS["subplan_reuse"]
+        assert before / after >= MIN_REUSE_SPEEDUP, (
+            f"plan-cache hit sped up only {before / after:.1f}x "
+            f"(need >= {MIN_REUSE_SPEEDUP}x)"
+        )
 
     def test_zz_write_baseline(self, results, results_dir):
         """Persist the engine snapshot (runs last: named zz, module fixture)."""

@@ -11,7 +11,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.common import clean_ndt, slice_period, slice_year
+from repro.analysis.common import clean_ndt, period_predicate, slice_year
 from repro.stats.timeseries import daily_aggregate
 from repro.stats.welch import welch_t_test
 from repro.tables.expr import col
@@ -26,11 +26,16 @@ __all__ = ["city_welch_table", "siege_city_counts", "PAPER_CITIES"]
 PAPER_CITIES = ["Kyiv", "Kharkiv", "Mariupol", "Lviv"]
 
 
-def _city_rows(ndt: Table, city: Optional[str]) -> Table:
-    """Tests for one city (geo label), or all 2022 tests for National."""
-    if city is None:
-        return ndt
-    return ndt.filter(col("city") == city)
+def _period_city_rows(ndt: Table, period: str, city: Optional[str]) -> Table:
+    """One period's tests for one city (or all of them for National).
+
+    A lazy chain: the period and city filters fuse into a single mask
+    pass, and repeated targets over the same input hit the plan cache.
+    """
+    plan = ndt.lazy().filter(period_predicate(period))
+    if city is not None:
+        plan = plan.filter(col("city") == city)
+    return plan.collect()
 
 
 def city_welch_table(
@@ -46,8 +51,8 @@ def city_welch_table(
     rows: List[dict] = []
     targets = [(c, c) for c in cities] + [("National", None)]
     for label, city in targets:
-        pre = _city_rows(slice_period(ndt, "prewar"), city)
-        war = _city_rows(slice_period(ndt, "wartime"), city)
+        pre = _period_city_rows(ndt, "prewar", city)
+        war = _period_city_rows(ndt, "wartime", city)
         row: dict = {"city": label, "n_prewar": pre.n_rows, "n_wartime": war.n_rows}
         for metric in (Cols.MIN_RTT, Cols.TPUT, Cols.LOSS_RATE):
             pre_vals = pre.column(metric).values if pre.n_rows else np.array([])
@@ -87,8 +92,13 @@ def siege_city_counts(
     }
     dtypes = {"date": DType.STR, "day": DType.INT}
     for city in cities:
-        city_rows = rows.filter(col("city") == city)
-        days = city_rows.column("day").values
+        city_days = (
+            rows.lazy()
+            .filter(col("city") == city)
+            .select(["day"])
+            .collect()
+        )
+        days = city_days.column("day").values
         data[city] = daily_aggregate(days, days * 0.0, grid, agg="count")
         dtypes[city] = DType.FLOAT
     return Table.from_dict(data, dtypes)

@@ -23,10 +23,12 @@ __all__ = [
     "clean_traces",
     "client_as_column",
     "parse_as_path",
+    "period_predicate",
     "require_columns",
     "slice_period",
     "slice_year",
     "with_periods",
+    "year_predicate",
 ]
 
 #: The three NDT metrics with their table columns and degradation direction.
@@ -128,20 +130,35 @@ def clean_traces(traces: Table, where: str = "analysis") -> Table:
     return out
 
 
-def slice_period(table: Table, period_name: str) -> Table:
-    """Rows of a table (NDT or traceroute) within one named study window."""
+def period_predicate(period_name: str):
+    """The day-window predicate of one named study period.
+
+    Shared by the eager :func:`slice_period` and the lazy analysis chains,
+    so both paths filter on structurally identical expressions (which is
+    also what lets the plan cache recognize repeated period slices).
+    """
     periods = study_periods()
     if period_name not in periods:
         raise AnalysisError(
             f"unknown period {period_name!r}; choose from {sorted(periods)}"
         )
     p: Period = periods[period_name]
-    return table.filter(col("day").between(p.start.ordinal, p.end.ordinal))
+    return col("day").between(p.start.ordinal, p.end.ordinal)
+
+
+def year_predicate(year: int):
+    """Predicate selecting one calendar year (column ``year``)."""
+    return col("year") == year
+
+
+def slice_period(table: Table, period_name: str) -> Table:
+    """Rows of a table (NDT or traceroute) within one named study window."""
+    return table.filter(period_predicate(period_name))
 
 
 def slice_year(table: Table, year: int) -> Table:
     """Rows belonging to one calendar year (column ``year``)."""
-    return table.filter(col("year") == year)
+    return table.filter(year_predicate(year))
 
 
 def with_periods(table: Table) -> Table:

@@ -7,7 +7,7 @@ changes are absent in the baseline.
 
 from __future__ import annotations
 
-from repro.analysis.common import clean_ndt, slice_year
+from repro.analysis.common import clean_ndt, year_predicate
 from repro.tables.schema import Cols, DType
 from repro.tables.table import Table
 from repro.stats.timeseries import daily_aggregate
@@ -25,7 +25,16 @@ def national_daily(ndt: Table, year: int) -> Table:
     ``loss_rate``.  Days without tests hold NaN metric means (and 0 tests),
     mirroring gaps in the paper's plots.
     """
-    rows = slice_year(clean_ndt(ndt, "national_daily"), year)
+    # One lazy chain: the year filter and the projection onto the four
+    # columns the daily series read are pushed together, so only those
+    # columns are materialized for the sliced year.
+    rows = (
+        clean_ndt(ndt, "national_daily")
+        .lazy()
+        .filter(year_predicate(year))
+        .select(["day", Cols.MIN_RTT, Cols.TPUT, Cols.LOSS_RATE])
+        .collect()
+    )
     if rows.n_rows == 0:
         raise AnalysisError(f"no tests in year {year}")
     grid = DayGrid(f"{year}-01-01", f"{year}-04-18")

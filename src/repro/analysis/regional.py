@@ -11,7 +11,7 @@ from typing import Dict
 
 import numpy as np
 
-from repro.analysis.common import clean_ndt, slice_period
+from repro.analysis.common import clean_ndt, period_predicate
 from repro.geo.gazetteer import Gazetteer
 from repro.stats.descriptive import percent_change
 from repro.tables.expr import col
@@ -29,11 +29,24 @@ _AGG_SPEC = {
 }
 
 
-def _labeled(ndt: Table) -> Table:
-    out = ndt.filter(col("oblast").notnull())
-    if out.n_rows == 0:
+def _period_oblast_agg(ndt: Table, period: str) -> Table:
+    """Per-oblast aggregates of one study period's geo-labeled tests.
+
+    Runs as one lazy chain: the optimizer fuses the period and label
+    filters into the aggregation, so the filtered intermediate is never
+    materialized, and the shared plan cache lets ``oblast_summary`` and
+    ``oblast_changes`` reuse each other's aggregates over the same input.
+    """
+    agg = (
+        ndt.lazy()
+        .filter(period_predicate(period))
+        .filter(col("oblast").notnull())
+        .group_by("oblast")
+        .aggregate(_AGG_SPEC)
+    ).collect()
+    if agg.n_rows == 0:
         raise AnalysisError("no geo-labeled tests")
-    return out
+    return agg
 
 
 def oblast_summary(ndt: Table) -> Table:
@@ -46,8 +59,7 @@ def oblast_summary(ndt: Table) -> Table:
     ndt = clean_ndt(ndt, "oblast_summary")
     parts = []
     for period in ("prewar", "wartime"):
-        rows = _labeled(slice_period(ndt, period))
-        agg = rows.group_by("oblast").aggregate(_AGG_SPEC)
+        agg = _period_oblast_agg(ndt, period)
         agg = agg.with_column(Cols.PERIOD, [period] * agg.n_rows, DType.STR)
         parts.append(agg)
     from repro.tables.table import concat
@@ -80,16 +92,8 @@ def oblast_changes(ndt: Table, gazetteer: Gazetteer) -> Table:
     skipped (tiny oblasts may produce no labeled wartime tests).
     """
     ndt = clean_ndt(ndt, "oblast_changes")
-    prewar = _labeled(slice_period(ndt, "prewar"))
-    wartime = _labeled(slice_period(ndt, "wartime"))
-    pre = {
-        r["oblast"]: r
-        for r in prewar.group_by("oblast").aggregate(_AGG_SPEC).to_dicts()
-    }
-    war = {
-        r["oblast"]: r
-        for r in wartime.group_by("oblast").aggregate(_AGG_SPEC).to_dicts()
-    }
+    pre = {r["oblast"]: r for r in _period_oblast_agg(ndt, "prewar").to_dicts()}
+    war = {r["oblast"]: r for r in _period_oblast_agg(ndt, "wartime").to_dicts()}
     rows = []
     for oblast in sorted(set(pre) & set(war)):
         p, w = pre[oblast], war[oblast]

@@ -19,6 +19,8 @@ Subcommands
 ``chaos``      Crash-matrix harness: kill a pipeline run at every announced
                mid-commit crash point, resume, verify byte-identical
                outputs (see docs/ROBUSTNESS.md).
+``plan``       Inspect lazy query plans: before/after optimizer trees for
+               representative chains (see docs/TABLES.md).
 
 Exit codes
 ----------
@@ -79,6 +81,7 @@ from repro.runtime.run import (
 from repro.synth.generator import DatasetGenerator, GeneratorConfig
 from repro.synth.scenario import Scenario, scenario_config
 from repro.tables.io import write_csv
+from repro.tables.plan import cli as plan_cli
 from repro.tables.pretty import format_table
 from repro.util.errors import PipelineError, ReproError
 
@@ -170,6 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_cli.configure_parser(sub)
     bench_cli.configure_parser(sub)
     chaos_cli.configure_parser(sub)
+    plan_cli.configure_parser(sub)
     return parser
 
 
@@ -418,6 +422,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "obs": obs_cli.cmd_obs,
         "bench": bench_cli.cmd_bench,
         "chaos": chaos_cli.cmd_chaos,
+        "plan": plan_cli.cmd_plan,
     }
     try:
         return handlers[args.command](args)

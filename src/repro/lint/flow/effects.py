@@ -59,6 +59,13 @@ SEAMS: Dict[str, Tuple[str, ...]] = {
 DEFAULT_KERNEL_PACKAGES: Tuple[str, ...] = (
     "repro/tables/kernels.py",
     "repro/stats/",
+    # The lazy layer executes kernels: expression evaluation, the plan
+    # nodes/optimizer and the executor must stay effect-free (obs is a
+    # sanctioned seam) or optimized plans could diverge from eager runs.
+    "repro/tables/expr.py",
+    "repro/tables/plan/nodes.py",
+    "repro/tables/plan/optimizer.py",
+    "repro/tables/plan/executor.py",
 )
 
 

@@ -1,9 +1,12 @@
 """``schema-columns``: column-name string literals must be declared.
 
 Cross-references every string literal at a table call site — ``col("x")``,
+the expression-AST leaf constructors (``Comparison``/``IsIn``/``IsNull``),
 ``.column/select/group_by/sort_by/drop/with_column/rename(...)`` and the
 source/aggregator slots of ``.aggregate({out: (src, how)})`` — against
-:func:`repro.tables.schema.known_columns`.  A typo'd ``"MeanTput "`` (the
+:func:`repro.tables.schema.known_columns`.  Lazy chains need no special
+casing: ``ast.walk`` reaches a ``col("tput_mbps")`` nested inside
+``t.lazy().filter(...)`` exactly as it does the eager spelling.  A typo'd ``"MeanTput "`` (the
 trailing-space kind that silently empties a BigQuery-style extract) becomes a
 lint error instead of a corrupted result.
 
@@ -32,6 +35,12 @@ _READ_METHODS = ("column", "group_by", "select", "sort_by", "drop")
 #: names must also be declared (``DERIVED_COLUMNS``) so every column the
 #: pipeline can produce is registered in one place.
 _WRITE_METHODS = ("with_column", "rename")
+#: Expression-AST leaf constructors whose first argument is a column name.
+#: ``col("x")`` is the idiomatic spelling, but the node classes are public
+#: (``repro.tables.expr``), so a typo'd column inside a directly built
+#: ``Comparison``/``IsIn``/``IsNull`` — e.g. deep in a lazy chain — must be
+#: caught the same way.
+_EXPR_LEAVES = ("Comparison", "IsIn", "IsNull")
 
 
 def _string_args(node: ast.AST) -> Iterator[Tuple[ast.AST, str]]:
@@ -73,8 +82,22 @@ class SchemaColumnsRule(Rule):
         self, ctx: FileContext, call: ast.Call, known
     ) -> Iterator[Diagnostic]:
         func = call.func
-        if isinstance(func, ast.Name) and func.id == "col" and call.args:
+        # ``col("x")`` and the expression-AST leaves name columns in their
+        # first argument whether called bare or via an attribute path
+        # (``expr.col`` / ``expr.Comparison``); lazy chains nest these
+        # inside .filter(...) calls, which ast.walk reaches the same way.
+        callee = None
+        if isinstance(func, ast.Name):
+            callee = func.id
+        elif isinstance(func, ast.Attribute):
+            callee = func.attr
+        if callee == "col" and call.args:
             yield from self._check_names(ctx, _string_args(call.args[0]), known, "col()")
+            return
+        if callee in _EXPR_LEAVES and call.args:
+            yield from self._check_names(
+                ctx, _string_args(call.args[0]), known, f"{callee}()"
+            )
             return
         if not isinstance(func, ast.Attribute):
             return

@@ -23,6 +23,7 @@ from repro.tables.io import (
     write_jsonl,
 )
 from repro.tables.join import join
+from repro.tables.plan import Plan, PlanNode, global_plan_cache
 from repro.tables.pretty import format_table
 from repro.tables.schema import DType, Field, Schema
 from repro.tables.table import Table, concat
@@ -42,6 +43,8 @@ __all__ = [
     "Field",
     "GateResult",
     "GroupBy",
+    "Plan",
+    "PlanNode",
     "Rule",
     "Schema",
     "Table",
@@ -49,6 +52,7 @@ __all__ = [
     "col",
     "concat",
     "format_table",
+    "global_plan_cache",
     "join",
     "read_csv",
     "read_csv_checked",

@@ -437,9 +437,21 @@ class Column:
         """Membership test; NaN in ``allowed`` matches NaN values (FLOAT)."""
         allowed_set = set(allowed)
         if self._dtype is DType.STR:
+            # Encode the allowed strings against the sorted pool with one
+            # searchsorted instead of probing the set per pool entry; only
+            # str members can match dictionary values.
+            strs = np.array(
+                sorted(a for a in allowed_set if isinstance(a, str)),
+                dtype=object,
+            )
             lut = np.empty(len(self._pool) + 1, dtype=bool)
-            for i, v in enumerate(self._pool):
-                lut[i] = v in allowed_set
+            if len(strs) and len(self._pool):
+                pos = np.minimum(
+                    np.searchsorted(strs, self._pool), len(strs) - 1
+                )
+                lut[:-1] = strs[pos] == self._pool
+            else:
+                lut[:-1] = False
             lut[len(self._pool)] = None in allowed_set
             return lut[self._codes]
         nums = []

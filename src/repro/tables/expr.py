@@ -1,65 +1,379 @@
-"""Predicate expressions for filtering tables.
+"""Introspectable predicate expressions for filtering tables.
 
-``col("loss") > 0.05`` builds an :class:`Expr` tree that, evaluated against a
-table, yields a boolean mask.  Expressions compose with ``&``, ``|`` and
+``col("loss") > 0.05`` builds an :class:`Expr` tree that, evaluated against
+a table, yields a boolean mask.  Expressions compose with ``&``, ``|`` and
 ``~``, mirroring the WHERE clauses of the paper's BigQuery queries.
+
+Unlike the original closure-based implementation, every expression is a
+small AST node (:class:`Comparison`, :class:`And`, :class:`Or`,
+:class:`Not`, :class:`IsIn`, :class:`IsNull`) with
+
+* **structural equality and hashing** — two independently built
+  ``col("day") > 3`` expressions compare equal and hash equal, which is
+  what lets the plan optimizer key common-subplan reuse on expression
+  content (:meth:`Expr.key` is the canonical structural key);
+* **introspection** — :meth:`Expr.columns` reports every column the
+  predicate reads, which is what predicate pushdown and projection
+  pruning in :mod:`repro.tables.plan` decide on;
+* **shared evaluation** — both the eager path (``Table.filter``) and the
+  lazy executor call the same :meth:`Expr.evaluate`, so optimized plans
+  cannot drift from eager semantics.
+
+``IsIn`` encodes its allowed set once at construction (split into sorted
+strings / numerics / sentinels) and re-encodes against each column's
+dictionary pool with one vectorized ``searchsorted`` — the per-evaluation
+Python loop over the pool is gone.  An optional per-plan-execution cache
+memoizes the pool lookup table so repeated evaluation over slices sharing
+a pool pays for the encoding once.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, Iterable, Optional, Tuple
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.tables.table import Table
 
-__all__ = ["Expr", "col"]
+__all__ = [
+    "And",
+    "Comparison",
+    "Expr",
+    "IsIn",
+    "IsNull",
+    "Not",
+    "Or",
+    "col",
+]
+
+def _value_key(value: Any) -> Any:
+    """A hashable stand-in for a comparison operand.
+
+    Scalars hash as themselves; unhashable operands (arrays, columns) fall
+    back to object identity, which keeps :meth:`Expr.key` total without
+    pretending two distinct arrays are structurally equal.
+    """
+    try:
+        hash(value)
+    except TypeError:
+        return ("id", id(value))
+    return value
 
 
 class Expr:
-    """A lazily evaluated boolean predicate over table rows."""
+    """A lazily evaluated boolean predicate over table rows.
 
-    def __init__(self, fn: Callable[["Table"], np.ndarray], description: str):
-        self._fn = fn
-        self._description = description
+    Subclasses are immutable AST nodes.  Equality and hashing are
+    structural (via :meth:`key`), so expressions can serve as dict/set
+    keys — the subplan-reuse cache depends on this.
+    """
 
-    def evaluate(self, table: "Table") -> np.ndarray:
-        """Return a boolean mask with one entry per row of ``table``."""
-        mask = self._fn(table)
+    __slots__ = ()
+
+    # -- structure ---------------------------------------------------------
+    def key(self) -> Tuple:
+        """Canonical hashable structural key (drives ``==`` and ``hash``)."""
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        """Every column name this predicate reads."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Child expressions (empty for leaves)."""
+        return ()
+
+    @property
+    def description(self) -> str:
+        """Human-readable WHERE-clause rendering (used by plan explain)."""
+        raise NotImplementedError
+
+    # -- evaluation --------------------------------------------------------
+    def evaluate(
+        self, table: "Table", cache: Optional[Dict] = None
+    ) -> np.ndarray:
+        """Return a boolean mask with one entry per row of ``table``.
+
+        ``cache`` (optional) memoizes per-expression encodings — the plan
+        executor passes one dict per plan execution so e.g. an ``IsIn``
+        pool LUT is built once however many slices it is evaluated over.
+        """
+        mask = self._evaluate(table, cache if cache is not None else {})
         return np.asarray(mask, dtype=bool)
 
+    def _evaluate(self, table: "Table", cache: Dict) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- composition -------------------------------------------------------
     def __and__(self, other: "Expr") -> "Expr":
-        return Expr(
-            lambda t: self.evaluate(t) & other.evaluate(t),
-            f"({self._description} AND {other._description})",
-        )
+        return And(self, other)
 
     def __or__(self, other: "Expr") -> "Expr":
-        return Expr(
-            lambda t: self.evaluate(t) | other.evaluate(t),
-            f"({self._description} OR {other._description})",
-        )
+        return Or(self, other)
 
     def __invert__(self) -> "Expr":
-        return Expr(lambda t: ~self.evaluate(t), f"(NOT {self._description})")
+        return Not(self)
+
+    # -- identity ----------------------------------------------------------
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self.key())
 
     def __repr__(self) -> str:
-        return f"Expr[{self._description}]"
+        return f"Expr[{self.description}]"
+
+
+class Comparison(Expr):
+    """``column <op> value`` for ``op`` in ==, !=, <, <=, >, >=."""
+
+    __slots__ = ("column", "op", "value")
+
+    def __init__(self, column: str, op: str, value: Any):
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def key(self) -> Tuple:
+        return ("cmp", self.column, self.op, _value_key(self.value))
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset((self.column,))
+
+    @property
+    def description(self) -> str:
+        return f"{self.column} {self.op} {self.value!r}"
+
+    def _evaluate(self, table: "Table", cache: Dict) -> np.ndarray:
+        return table.column(self.column)._cmp(self.value, self.op)
+
+
+class And(Expr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def key(self) -> Tuple:
+        return ("and", self.left.key(), self.right.key())
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    @property
+    def description(self) -> str:
+        return f"({self.left.description} AND {self.right.description})"
+
+    def _evaluate(self, table: "Table", cache: Dict) -> np.ndarray:
+        return self.left._evaluate(table, cache) & self.right._evaluate(
+            table, cache
+        )
+
+
+class Or(Expr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def key(self) -> Tuple:
+        return ("or", self.left.key(), self.right.key())
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    @property
+    def description(self) -> str:
+        return f"({self.left.description} OR {self.right.description})"
+
+    def _evaluate(self, table: "Table", cache: Dict) -> np.ndarray:
+        return self.left._evaluate(table, cache) | self.right._evaluate(
+            table, cache
+        )
+
+
+class Not(Expr):
+    __slots__ = ("child",)
+
+    def __init__(self, child: Expr):
+        object.__setattr__(self, "child", child)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def key(self) -> Tuple:
+        return ("not", self.child.key())
+
+    def columns(self) -> FrozenSet[str]:
+        return self.child.columns()
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.child,)
+
+    @property
+    def description(self) -> str:
+        return f"(NOT {self.child.description})"
+
+    def _evaluate(self, table: "Table", cache: Dict) -> np.ndarray:
+        return ~np.asarray(self.child._evaluate(table, cache), dtype=bool)
+
+
+class IsIn(Expr):
+    """Membership test against a fixed allowed set.
+
+    The allowed values are split once at construction: sorted distinct
+    strings (for dictionary-pool encoding), numeric values, and the
+    ``None``/NaN sentinels.  Evaluation against a STR column is one
+    ``searchsorted`` of the pre-sorted strings into the pool — O(|allowed|
+    log |pool|) — instead of the old per-evaluation Python loop over the
+    pool.  The pool LUT is memoized in the per-execution cache keyed by
+    pool identity, so slices sharing a dictionary pay once.
+    """
+
+    __slots__ = ("column", "allowed", "_strs", "_nums", "_none", "_nan")
+
+    def __init__(self, column: str, allowed: Iterable[Any]):
+        allowed_t = tuple(allowed)
+        strs = sorted({v for v in allowed_t if isinstance(v, str)})
+        none_ok = any(v is None for v in allowed_t)
+        nums = []
+        has_nan = False
+        seen = set()
+        for v in allowed_t:
+            if isinstance(v, (float, np.floating)) and np.isnan(v):
+                has_nan = True
+            elif isinstance(
+                v, (bool, np.bool_, int, np.integer, float, np.floating)
+            ):
+                if v not in seen:
+                    seen.add(v)
+                    nums.append(v)
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "allowed", allowed_t)
+        object.__setattr__(self, "_strs", tuple(strs))
+        object.__setattr__(self, "_nums", tuple(nums))
+        object.__setattr__(self, "_none", none_ok)
+        object.__setattr__(self, "_nan", has_nan)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def key(self) -> Tuple:
+        return ("isin", self.column, self._strs, self._nums, self._none, self._nan)
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset((self.column,))
+
+    @property
+    def description(self) -> str:
+        return f"{self.column} IN {list(self.allowed)!r}"
+
+    def _pool_lut(self, pool: np.ndarray, cache: Dict) -> np.ndarray:
+        """Boolean LUT over ``pool`` (+1 slot for None), memoized in cache."""
+        memo_key = (self.key(), id(pool))
+        lut = cache.get(memo_key)
+        if lut is None:
+            lut = np.zeros(len(pool) + 1, dtype=bool)
+            if self._strs:
+                wanted = np.empty(len(self._strs), dtype=object)
+                wanted[:] = list(self._strs)
+                idx = np.searchsorted(pool, wanted)
+                in_range = idx < len(pool)
+                hit = np.zeros(len(wanted), dtype=bool)
+                hit[in_range] = pool[idx[in_range]] == wanted[in_range]
+                lut[idx[hit]] = True
+            lut[len(pool)] = self._none
+            cache[memo_key] = lut
+        return lut
+
+    def _evaluate(self, table: "Table", cache: Dict) -> np.ndarray:
+        from repro.tables.schema import DType
+
+        column = table.column(self.column)
+        if column.dtype is DType.STR:
+            return self._pool_lut(column.pool, cache)[column.codes]
+        values = column.values
+        if self._nums:
+            result = np.isin(values, np.asarray(self._nums))
+        else:
+            result = np.zeros(len(values), dtype=bool)
+        if self._nan and column.dtype is DType.FLOAT:
+            result |= np.isnan(values)
+        return result
+
+
+class IsNull(Expr):
+    __slots__ = ("column",)
+
+    def __init__(self, column: str):
+        object.__setattr__(self, "column", column)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def key(self) -> Tuple:
+        return ("isnull", self.column)
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset((self.column,))
+
+    @property
+    def description(self) -> str:
+        return f"{self.column} IS NULL"
+
+    def _evaluate(self, table: "Table", cache: Dict) -> np.ndarray:
+        return table.column(self.column).isnull()
 
 
 class _ColumnRef:
-    """A reference to a column by name, from which predicates are built."""
+    """A reference to a column by name, from which predicates are built.
+
+    ``==`` and friends BUILD :class:`Comparison` expressions (they do not
+    compare references); structural identity of the reference itself lives
+    in :meth:`key` and ``hash`` — ``hash(col("a")) == hash(col("a"))``.
+    """
+
+    __slots__ = ("_name",)
 
     def __init__(self, name: str):
         self._name = name
 
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def key(self) -> Tuple:
+        return ("col", self._name)
+
     def _binary(self, op: str, other: Any) -> Expr:
-        name = self._name
-        return Expr(
-            lambda t: t.column(name)._cmp(other, op),
-            f"{name} {op} {other!r}",
-        )
+        return Comparison(self._name, op, other)
 
     def __eq__(self, other: Any) -> Expr:  # type: ignore[override]
         return self._binary("==", other)
@@ -79,23 +393,27 @@ class _ColumnRef:
     def __ge__(self, other: Any) -> Expr:
         return self._binary(">=", other)
 
+    def __hash__(self) -> int:
+        # ``__eq__`` builds predicates, so hashing is by structural key;
+        # set/dict membership treats equal-named refs as one entry (the
+        # predicate an equality probe returns is truthy).
+        return hash(self.key())
+
     def isin(self, allowed: Iterable[Any]) -> Expr:
-        name = self._name
-        allowed = list(allowed)
-        return Expr(lambda t: t.column(name).isin(allowed), f"{name} IN {allowed!r}")
+        return IsIn(self._name, allowed)
 
     def between(self, lo: Any, hi: Any) -> Expr:
         """Inclusive range predicate: ``lo <= col <= hi``."""
         return (self >= lo) & (self <= hi)
 
     def isnull(self) -> Expr:
-        name = self._name
-        return Expr(lambda t: t.column(name).isnull(), f"{name} IS NULL")
+        return IsNull(self._name)
 
     def notnull(self) -> Expr:
-        return ~self.isnull()
+        return Not(IsNull(self._name))
 
-    __hash__ = None  # type: ignore[assignment]
+    def __repr__(self) -> str:
+        return f"col({self._name!r})"
 
 
 def col(name: str) -> _ColumnRef:

@@ -2,15 +2,21 @@
 
 The grouping itself is vectorized (:func:`repro.tables.kernels.factorize`
 maps key columns to dense group ids; no per-row Python loop).  Aggregation
-runs on two paths:
+runs on three paths:
 
 * exact vectorized kernels for ``count``/``first``/``min``/``max``/
   ``nunique`` — pure numpy, no per-group Python call;
-* :func:`~repro.tables.kernels.segment_reduce` for everything else
-  (``sum``/``mean``/``median``/``std``/percentiles and custom callables),
-  which calls the :data:`AGGREGATORS` function once per contiguous group
-  run — the slow-path fallback that keeps results bit-identical to the
-  old per-group loop.
+* :func:`~repro.tables.kernels.group_reduce_batched` for the remaining
+  named aggregators (``sum``/``mean``/``median``/``std``/percentiles) —
+  groups are batched by size class and reduced with one ``axis=1`` numpy
+  call per class, bit-identical to the legacy per-group calls;
+* :func:`~repro.tables.kernels.segment_reduce` for custom callables,
+  which runs the function once per contiguous group run — the fallback
+  that keeps arbitrary aggregators bit-identical to the old loop.
+
+``GroupBy.aggregate`` itself routes through the plan layer (a
+``GroupByAgg`` node over a ``Scan``), so eager and lazy aggregation share
+one executor; :func:`aggregate_impl` is the actual engine entry point.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from repro.tables.schema import DType
 from repro.tables.table import Table
 from repro.util.errors import DataError
 
-__all__ = ["AGGREGATORS", "GroupBy"]
+__all__ = ["AGGREGATORS", "GroupBy", "aggregate_impl"]
 
 
 def _agg_count(values: np.ndarray) -> int:
@@ -109,6 +115,82 @@ _INT_AGGS = {"count", "nunique"}
 _FAST_AGGS = {"count", "first", "min", "max", "nunique"}
 
 
+def aggregate_impl(table, keys, spec_items, fact=None):
+    """Aggregate ``table`` grouped by ``keys`` over ``[(out, src, how), ...]``.
+
+    The engine entry point shared by eager ``GroupBy.aggregate`` and the
+    plan executor (``GroupByAgg`` / ``FusedFilterAgg`` nodes).  ``fact``
+    lets an already-built :class:`GroupBy` reuse its factorization.
+    """
+    spec_items = list(spec_items)
+    if not spec_items:
+        raise ValueError("aggregate spec must not be empty")
+    for out, src, agg in spec_items:
+        table.column(src)
+        if not callable(agg) and agg not in AGGREGATORS:
+            raise DataError(
+                f"unknown aggregator {agg!r} for output {out!r}; "
+                f"choose from {sorted(AGGREGATORS)}"
+            )
+        if out in keys:
+            raise DataError(f"output {out!r} collides with a group key")
+
+    if fact is None:
+        fact = kernels.factorize([table.column(k) for k in keys])
+    with obs.span(
+        "kernel.groupby",
+        metric="kernel.groupby_ms",
+        rows=table.n_rows,
+        groups=fact.n_groups,
+        n_aggs=len(spec_items),
+    ):
+        order, starts = kernels.group_sorter(fact)
+        cols: List[Column] = []
+        for kname in keys:
+            cols.append(table.column(kname).take(fact.first_idx))
+        for out, src, agg in spec_items:
+            src_col = table.column(src)
+            if agg == "count":
+                cols.append(Column(out, kernels.group_count(fact), DType.INT))
+            elif agg == "first":
+                cols.append(src_col.take(fact.first_idx).rename(out))
+            elif agg == "nunique":
+                cols.append(
+                    Column(out, kernels.group_nunique(fact, src_col), DType.INT)
+                )
+            elif agg == "min":
+                cols.append(
+                    Column(
+                        out,
+                        kernels.group_min(src_col.values, order, starts),
+                        DType.FLOAT,
+                    )
+                )
+            elif agg == "max":
+                cols.append(
+                    Column(
+                        out,
+                        kernels.group_max(src_col.values, order, starts),
+                        DType.FLOAT,
+                    )
+                )
+            elif not callable(agg) and agg in kernels.BATCHED_AGGS:
+                cols.append(
+                    Column(
+                        out,
+                        kernels.group_reduce_batched(
+                            src_col.values, order, starts, agg
+                        ),
+                        DType.FLOAT,
+                    )
+                )
+            else:
+                fn = agg if callable(agg) else AGGREGATORS[agg]
+                results = kernels.segment_reduce(src_col.values, order, starts, fn)
+                cols.append(Column(out, results, DType.FLOAT))
+        return Table(cols)
+
+
 class GroupBy:
     """A deferred grouping of a table by one or more key columns.
 
@@ -159,61 +241,13 @@ class GroupBy:
             ``ndarray -> scalar`` (custom callables run on the slow path
             and produce FLOAT output).
         """
-        if not spec:
-            raise ValueError("aggregate spec must not be empty")
-        for out, (src, agg) in spec.items():
-            self._table.column(src)
-            if not callable(agg) and agg not in AGGREGATORS:
-                raise DataError(
-                    f"unknown aggregator {agg!r} for output {out!r}; "
-                    f"choose from {sorted(AGGREGATORS)}"
-                )
-            if out in self._keys:
-                raise DataError(f"output {out!r} collides with a group key")
+        from repro.tables.plan import executor as plan_executor
+        from repro.tables.plan.nodes import GroupByAgg, Scan, spec_as_items
 
-        fact = self._fact
-        with obs.span(
-            "kernel.groupby",
-            metric="kernel.groupby_ms",
-            rows=self._table.n_rows,
-            groups=fact.n_groups,
-            n_aggs=len(spec),
-        ):
-            order, starts = kernels.group_sorter(fact)
-            cols: List[Column] = []
-            for kname in self._keys:
-                cols.append(self._table.column(kname).take(fact.first_idx))
-            for out, (src, agg) in spec.items():
-                src_col = self._table.column(src)
-                if agg == "count":
-                    cols.append(Column(out, kernels.group_count(fact), DType.INT))
-                elif agg == "first":
-                    cols.append(src_col.take(fact.first_idx).rename(out))
-                elif agg == "nunique":
-                    cols.append(
-                        Column(out, kernels.group_nunique(fact, src_col), DType.INT)
-                    )
-                elif agg == "min":
-                    cols.append(
-                        Column(
-                            out,
-                            kernels.group_min(src_col.values, order, starts),
-                            DType.FLOAT,
-                        )
-                    )
-                elif agg == "max":
-                    cols.append(
-                        Column(
-                            out,
-                            kernels.group_max(src_col.values, order, starts),
-                            DType.FLOAT,
-                        )
-                    )
-                else:
-                    fn = agg if callable(agg) else AGGREGATORS[agg]
-                    results = kernels.segment_reduce(src_col.values, order, starts, fn)
-                    cols.append(Column(out, results, DType.FLOAT))
-            return Table(cols)
+        node = GroupByAgg(
+            Scan(self._table), tuple(self._keys), spec_as_items(spec)
+        )
+        return plan_executor.execute(node, fact_hint=self._fact)
 
     def counts(self, out: str = "count") -> Table:
         """Shorthand: group sizes."""

@@ -24,7 +24,7 @@ from repro.tables.schema import DType
 from repro.tables.table import Table
 from repro.util.errors import DataError
 
-__all__ = ["join"]
+__all__ = ["join", "run_join"]
 
 
 def _shared_key_ids(
@@ -79,8 +79,24 @@ def join(
     suffix:
         Appended to right-side non-key columns whose names collide.
     """
+    from repro.tables.plan import executor as plan_executor
+    from repro.tables.plan.nodes import Join, Scan
+
     if isinstance(on, str):
         on = [on]
+    node = Join(Scan(left), Scan(right), on, how, suffix)
+    return plan_executor.execute(node)
+
+
+def run_join(
+    left: Table,
+    right: Table,
+    on: Sequence[str],
+    how: str,
+    suffix: str,
+) -> Table:
+    """Validated join execution — the engine entry point the plan
+    executor's ``Join`` node dispatches to."""
     if not on:
         raise ValueError("join needs at least one key column")
     if how not in ("inner", "left"):

@@ -35,6 +35,7 @@ from repro.tables.column import NULL_CODE, Column
 from repro.tables.schema import DType
 
 __all__ = [
+    "BATCHED_AGGS",
     "Factorized",
     "factorize",
     "group_sorter",
@@ -48,6 +49,7 @@ __all__ = [
     "group_std",
     "group_percentile",
     "group_nunique",
+    "group_reduce_batched",
     "sort_ranks",
 ]
 
@@ -348,6 +350,81 @@ def group_nunique(fact: Factorized, col: Column) -> np.ndarray:
 
 def _run_lengths(starts: np.ndarray, n: int) -> np.ndarray:
     return np.diff(np.append(starts, n))
+
+
+#: Named aggregators served by :func:`group_reduce_batched` — the
+#: size-class-batched kernel that is bit-identical to the legacy
+#: per-group numpy calls (unlike the reduceat throughput kernels above).
+BATCHED_AGGS = ("sum", "mean", "median", "std", "p25", "p75", "p90", "p95", "p99")
+
+_PERCENTILE_Q = {"p25": 25.0, "p75": 75.0, "p90": 90.0, "p95": 95.0, "p99": 99.0}
+
+
+def _size_classes(lengths: np.ndarray):
+    """Yield ``(size, group_indices)`` for each distinct run length."""
+    for size in np.unique(lengths):
+        yield int(size), np.nonzero(lengths == size)[0]
+
+
+def group_reduce_batched(
+    values: np.ndarray,
+    order: np.ndarray,
+    starts: np.ndarray,
+    how: str,
+) -> np.ndarray:
+    """Per-group reduction, batched by group size class — bit-identical to
+    calling the legacy :data:`~repro.tables.groupby.AGGREGATORS` function
+    once per group run.
+
+    Groups sharing a run length are stacked into one ``(g, L)`` matrix and
+    reduced with a single ``axis=1`` numpy call, turning O(groups) Python
+    calls into O(distinct sizes).  Identity holds because numpy's axis-1
+    reductions evaluate each row exactly as the 1-D call would:
+
+    * ``sum``/``mean`` — ``np.nansum``/``np.nanmean`` over the raw runs
+      (NaNs stay in place, zeroed/dropped the same way per row);
+    * ``std``/``median``/percentiles — each run's NaNs are first
+      stable-partitioned to its end (the 1-D ``nanmedian``/
+      ``nanpercentile`` paths compact NaNs the same way, and ``np.std``/
+      order statistics are order-invariant on the remaining multiset),
+      then groups are re-batched by *valid* count.  ``std`` with fewer
+      than 2 valid values and ``median``/percentiles with none yield NaN,
+      matching the legacy aggregators.
+    """
+    if how not in BATCHED_AGGS:
+        raise ValueError(f"no batched kernel for {how!r}; use segment_reduce")
+    n_groups = len(starts)
+    out = np.full(n_groups, np.nan, dtype=np.float64)
+    if n_groups == 0:
+        return out
+    sorted_vals = values.astype(np.float64)[order]
+    n = len(sorted_vals)
+    lengths = _run_lengths(starts, n)
+    if how in ("sum", "mean"):
+        reducer = np.nansum if how == "sum" else np.nanmean
+        for size, rows in _size_classes(lengths):
+            m = sorted_vals[starts[rows][:, None] + np.arange(size)]
+            out[rows] = reducer(m, axis=1)
+        return out
+    # NaN-compacting path: stable-partition each run's NaNs to its end so
+    # the valid prefix keeps row order, then batch groups by valid count.
+    nan = np.isnan(sorted_vals)
+    gids_sorted = np.repeat(np.arange(n_groups, dtype=np.int64), lengths)
+    part = np.argsort(gids_sorted * 2 + nan, kind="stable")
+    packed = sorted_vals[part]
+    n_valid = lengths - np.add.reduceat(nan.astype(np.int64), starts)
+    q = _PERCENTILE_Q.get(how)
+    for size, rows in _size_classes(n_valid):
+        if size == 0 or (how == "std" and size < 2):
+            continue
+        m = packed[starts[rows][:, None] + np.arange(size)]
+        if how == "std":
+            out[rows] = np.std(m, axis=1, ddof=1)
+        elif how == "median":
+            out[rows] = np.median(m, axis=1)
+        else:
+            out[rows] = np.percentile(m, q, axis=1)
+    return out
 
 
 def sort_ranks(col: Column, descending: bool = False) -> np.ndarray:

@@ -1,0 +1,47 @@
+"""Logical query plans over the columnar engine.
+
+``repro.tables.plan`` holds the lazy layer introduced on top of the
+eager ``Table`` API: plan nodes (:mod:`.nodes`), the rewrite-rule
+optimizer (:mod:`.optimizer`), the executing backend plus reuse cache
+(:mod:`.executor`), and the user-facing ``Table.lazy()`` wrapper
+(:mod:`.lazy`).  See ``docs/TABLES.md`` ("Lazy plans and the
+optimizer") for the semantics guarantees.
+"""
+
+from repro.tables.plan.executor import PlanCache, execute, global_plan_cache
+from repro.tables.plan.lazy import LazyGroupBy, Plan, lazy_scan
+from repro.tables.plan.nodes import (
+    Filter,
+    FusedFilterAgg,
+    GroupByAgg,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    render,
+    spec_as_items,
+    walk,
+)
+from repro.tables.plan.optimizer import optimize
+
+__all__ = [
+    "Filter",
+    "FusedFilterAgg",
+    "GroupByAgg",
+    "Join",
+    "LazyGroupBy",
+    "Plan",
+    "PlanCache",
+    "PlanNode",
+    "Project",
+    "Scan",
+    "Sort",
+    "execute",
+    "global_plan_cache",
+    "lazy_scan",
+    "optimize",
+    "render",
+    "spec_as_items",
+    "walk",
+]

@@ -1,0 +1,415 @@
+"""Logical plan nodes: the relational algebra behind lazy tables.
+
+A plan is an immutable tree of nodes — :class:`Scan`, :class:`Filter`,
+:class:`Project`, :class:`Sort`, :class:`GroupByAgg`, :class:`Join`, plus
+the optimizer-produced :class:`FusedFilterAgg`.  Nodes carry three views
+of their identity:
+
+* :meth:`PlanNode.key` — a canonical hashable structural key (scans by
+  table object identity).  Drives ``==``/``hash`` and plan dedup inside
+  one process.
+* :meth:`PlanNode.fingerprint` — a content fingerprint: the scan's table
+  content (via :func:`repro.obs.lineage.fingerprint_table`, memoized by
+  the executor's cache) combined with every operator's parameters.  Two
+  plans with the same fingerprint produce byte-identical results, which
+  is what keys common-subplan reuse.  Returns ``None`` when any part is
+  uncacheable (raw mask arrays, callable aggregators).
+* :meth:`PlanNode.label` — the one-line rendering ``repro plan explain``
+  prints per tree level.
+
+:meth:`PlanNode.output_columns` infers the output schema's column names
+(``None`` when unknown); the optimizer's pushdown and pruning rules gate
+on it so a rewrite can never change which column a predicate resolves to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.tables.expr import Expr
+
+__all__ = [
+    "Filter",
+    "FusedFilterAgg",
+    "GroupByAgg",
+    "Join",
+    "PlanNode",
+    "Project",
+    "Scan",
+    "Sort",
+    "render",
+    "spec_as_items",
+    "walk",
+]
+
+#: ``{out: (src, how)}`` mapping flattened into ordered hashable triples.
+SpecItems = Tuple[Tuple[str, str, Any], ...]
+
+
+def spec_as_items(spec) -> SpecItems:
+    """Normalize an aggregate spec mapping into ``((out, src, how), ...)``."""
+    return tuple((out, src, how) for out, (src, how) in spec.items())
+
+
+def _spec_key(spec: SpecItems) -> Tuple:
+    out = []
+    for name, src, how in spec:
+        out.append((name, src, how if isinstance(how, str) else ("id", id(how))))
+    return tuple(out)
+
+
+def _spec_cacheable(spec: SpecItems) -> bool:
+    return all(isinstance(how, str) for _, _, how in spec)
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()[:16]
+
+
+class PlanNode:
+    """Base class: an immutable logical operator with structural identity."""
+
+    __slots__ = ()
+
+    #: Operator name (used in span names, counters and explain output).
+    op: str = "node"
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        return ()
+
+    def key(self) -> Tuple:
+        raise NotImplementedError
+
+    def fingerprint(
+        self, table_fp: Callable[[Any], Optional[str]]
+    ) -> Optional[str]:
+        """Content fingerprint (see module docstring); None = uncacheable."""
+        raise NotImplementedError
+
+    def output_columns(self) -> Optional[List[str]]:
+        """Column names this node produces, or None when not inferable."""
+        raise NotImplementedError
+
+    def label(self) -> str:
+        return self.op
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, PlanNode):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.label()})"
+
+
+class Scan(PlanNode):
+    """A leaf: an in-memory table."""
+
+    __slots__ = ("table",)
+    op = "scan"
+
+    def __init__(self, table):
+        object.__setattr__(self, "table", table)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("plan nodes are immutable")
+
+    def key(self) -> Tuple:
+        return ("scan", id(self.table))
+
+    def fingerprint(self, table_fp) -> Optional[str]:
+        return table_fp(self.table)
+
+    def output_columns(self) -> Optional[List[str]]:
+        return list(self.table.column_names)
+
+    def label(self) -> str:
+        t = self.table
+        return f"scan [{t.n_rows} rows x {len(t.column_names)} cols]"
+
+
+class Filter(PlanNode):
+    """Keep rows matching a predicate (an :class:`Expr` or a raw mask)."""
+
+    __slots__ = ("child", "predicate")
+    op = "filter"
+
+    def __init__(self, child: PlanNode, predicate):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "predicate", predicate)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("plan nodes are immutable")
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _predicate_key(self) -> Tuple:
+        if isinstance(self.predicate, Expr):
+            return self.predicate.key()
+        return ("mask", id(self.predicate))
+
+    def key(self) -> Tuple:
+        return ("filter", self.child.key(), self._predicate_key())
+
+    def fingerprint(self, table_fp) -> Optional[str]:
+        if not isinstance(self.predicate, Expr):
+            return None
+        child = self.child.fingerprint(table_fp)
+        if child is None:
+            return None
+        return _digest("filter", child, repr(self.predicate.key()))
+
+    def output_columns(self) -> Optional[List[str]]:
+        return self.child.output_columns()
+
+    def label(self) -> str:
+        if isinstance(self.predicate, Expr):
+            return f"filter {self.predicate.description}"
+        return "filter <mask>"
+
+
+class Project(PlanNode):
+    """Keep a subset of columns, in the given order."""
+
+    __slots__ = ("child", "names")
+    op = "project"
+
+    def __init__(self, child: PlanNode, names):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "names", tuple(names))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("plan nodes are immutable")
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def key(self) -> Tuple:
+        return ("project", self.child.key(), self.names)
+
+    def fingerprint(self, table_fp) -> Optional[str]:
+        child = self.child.fingerprint(table_fp)
+        if child is None:
+            return None
+        return _digest("project", child, repr(self.names))
+
+    def output_columns(self) -> Optional[List[str]]:
+        return list(self.names)
+
+    def label(self) -> str:
+        return f"project [{', '.join(self.names)}]"
+
+
+class Sort(PlanNode):
+    """Stable sort by one or more key columns."""
+
+    __slots__ = ("child", "names", "descending")
+    op = "sort"
+
+    def __init__(self, child: PlanNode, names, descending: bool = False):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "names", tuple(names))
+        object.__setattr__(self, "descending", bool(descending))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("plan nodes are immutable")
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def key(self) -> Tuple:
+        return ("sort", self.child.key(), self.names, self.descending)
+
+    def fingerprint(self, table_fp) -> Optional[str]:
+        child = self.child.fingerprint(table_fp)
+        if child is None:
+            return None
+        return _digest("sort", child, repr((self.names, self.descending)))
+
+    def output_columns(self) -> Optional[List[str]]:
+        return self.child.output_columns()
+
+    def label(self) -> str:
+        arrow = "desc" if self.descending else "asc"
+        return f"sort [{', '.join(self.names)}] {arrow}"
+
+
+class GroupByAgg(PlanNode):
+    """Group by key columns and aggregate: ``((out, src, how), ...)``."""
+
+    __slots__ = ("child", "keys", "spec")
+    op = "groupby"
+
+    def __init__(self, child: PlanNode, keys, spec: SpecItems):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "keys", tuple(keys))
+        object.__setattr__(self, "spec", tuple(spec))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("plan nodes are immutable")
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def key(self) -> Tuple:
+        return ("groupby", self.child.key(), self.keys, _spec_key(self.spec))
+
+    def fingerprint(self, table_fp) -> Optional[str]:
+        if not _spec_cacheable(self.spec):
+            return None
+        child = self.child.fingerprint(table_fp)
+        if child is None:
+            return None
+        return _digest("groupby", child, repr((self.keys, self.spec)))
+
+    def output_columns(self) -> Optional[List[str]]:
+        return list(self.keys) + [out for out, _, _ in self.spec]
+
+    def label(self) -> str:
+        aggs = ", ".join(
+            f"{out}={how if isinstance(how, str) else '<fn>'}({src})"
+            for out, src, how in self.spec
+        )
+        return f"groupby [{', '.join(self.keys)}] {{{aggs}}}"
+
+
+class FusedFilterAgg(PlanNode):
+    """Optimizer-fused filter→aggregate: mask, gather only the needed
+    columns, then aggregate — the filtered intermediate is never built."""
+
+    __slots__ = ("child", "predicate", "keys", "spec")
+    op = "fused_filter_agg"
+
+    def __init__(self, child: PlanNode, predicate: Expr, keys, spec: SpecItems):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "keys", tuple(keys))
+        object.__setattr__(self, "spec", tuple(spec))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("plan nodes are immutable")
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def key(self) -> Tuple:
+        return (
+            "fused_filter_agg",
+            self.child.key(),
+            self.predicate.key(),
+            self.keys,
+            _spec_key(self.spec),
+        )
+
+    def fingerprint(self, table_fp) -> Optional[str]:
+        if not _spec_cacheable(self.spec):
+            return None
+        child = self.child.fingerprint(table_fp)
+        if child is None:
+            return None
+        return _digest(
+            "fused_filter_agg",
+            child,
+            repr(self.predicate.key()),
+            repr((self.keys, self.spec)),
+        )
+
+    def output_columns(self) -> Optional[List[str]]:
+        return list(self.keys) + [out for out, _, _ in self.spec]
+
+    def label(self) -> str:
+        aggs = ", ".join(
+            f"{out}={how if isinstance(how, str) else '<fn>'}({src})"
+            for out, src, how in self.spec
+        )
+        return (
+            f"fused filter+groupby [{', '.join(self.keys)}] {{{aggs}}} "
+            f"where {self.predicate.description}"
+        )
+
+
+class Join(PlanNode):
+    """Hash join of two plans on equal key columns."""
+
+    __slots__ = ("left", "right", "on", "how", "suffix")
+    op = "join"
+
+    def __init__(self, left: PlanNode, right: PlanNode, on, how, suffix):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "on", tuple(on))
+        object.__setattr__(self, "how", how)
+        object.__setattr__(self, "suffix", suffix)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("plan nodes are immutable")
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def key(self) -> Tuple:
+        return (
+            "join",
+            self.left.key(),
+            self.right.key(),
+            self.on,
+            self.how,
+            self.suffix,
+        )
+
+    def fingerprint(self, table_fp) -> Optional[str]:
+        left = self.left.fingerprint(table_fp)
+        right = self.right.fingerprint(table_fp)
+        if left is None or right is None:
+            return None
+        return _digest(
+            "join", left, right, repr((self.on, self.how, self.suffix))
+        )
+
+    def output_columns(self) -> Optional[List[str]]:
+        left = self.left.output_columns()
+        right = self.right.output_columns()
+        if left is None or right is None:
+            return None
+        out = list(left)
+        taken = set(left)
+        for name in right:
+            if name in self.on:
+                continue
+            out_name = name if name not in taken else f"{name}{self.suffix}"
+            taken.add(out_name)
+            out.append(out_name)
+        return out
+
+    def label(self) -> str:
+        return f"join {self.how} on [{', '.join(self.on)}]"
+
+
+def render(node: PlanNode, indent: int = 0) -> str:
+    """Multi-line tree rendering (root first, children indented)."""
+    lines = ["  " * indent + node.label()]
+    for child in node.children():
+        lines.append(render(child, indent + 1))
+    return "\n".join(lines)
+
+
+def walk(node: PlanNode):
+    """Yield every node in the tree, root first (pre-order)."""
+    yield node
+    for child in node.children():
+        yield from walk(child)

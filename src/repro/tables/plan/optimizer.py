@@ -1,0 +1,189 @@
+"""Rule-based logical-plan optimizer: pushdown, pruning, fusion.
+
+Four rewrite rules, each only applied when it provably preserves the
+eager semantics byte-for-byte (the hypothesis suite in
+``tests/tables/test_plan_properties.py`` pins this down):
+
+``filter-fusion``
+    ``Filter(Filter(c, p1), p2) -> Filter(c, p1 & p2)``.  Predicates are
+    row-wise, so evaluating ``p2`` against the unfiltered child yields
+    the same per-row booleans and the conjunction selects the same rows
+    in the same order — one mask pass instead of two materializations.
+``predicate-pushdown``
+    Filters move below ``Sort`` (stable sort of the filtered subset
+    equals the filtered subsequence of the stable-sorted whole) and into
+    the left side of a ``Join`` when every predicate column resolves to
+    a left column (join output is left-major and pools are shared, so
+    the bytes cannot change) — rows drop before the expensive operator.
+``projection-pruning``
+    ``Project(Filter(c, p), names) -> Filter(Project(c, names), p)``
+    when ``p`` only reads projected columns, so the filter materializes
+    only the surviving columns; nested projects collapse.
+``filter-agg-fusion``
+    ``GroupByAgg(Filter(c, p), keys, spec) -> FusedFilterAgg(...)``: the
+    executor masks once and gathers only key/source columns — the full
+    filtered intermediate is never built.
+
+Rules run bottom-up to a fixpoint; each application bumps an obs counter
+(``plan.opt.<rule>``) and the per-run tally returned alongside the tree
+(shown by ``repro plan explain``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro import obs
+from repro.tables.expr import Expr
+from repro.tables.plan.nodes import (
+    Filter,
+    FusedFilterAgg,
+    GroupByAgg,
+    Join,
+    PlanNode,
+    Project,
+    Sort,
+)
+
+__all__ = ["optimize"]
+
+#: Safety valve: plans are shallow, but the fixpoint loop is bounded anyway.
+_MAX_PASSES = 20
+
+
+def optimize(node: PlanNode) -> Tuple[PlanNode, Dict[str, int]]:
+    """Rewrite a plan to a fixpoint; returns (optimized root, rule tally)."""
+    counts: Dict[str, int] = {}
+    for _ in range(_MAX_PASSES):
+        rewritten, changed = _rewrite(node, counts)
+        if not changed:
+            break
+        node = rewritten
+    for rule, n in counts.items():
+        obs.counter(f"plan.opt.{rule}").inc(n)
+    return node, counts
+
+
+def _bump(counts: Dict[str, int], rule: str) -> None:
+    counts[rule] = counts.get(rule, 0) + 1
+
+
+def _rewrite(node: PlanNode, counts: Dict[str, int]) -> Tuple[PlanNode, bool]:
+    """One bottom-up pass; returns (node, whether anything changed)."""
+    changed = False
+    # Rewrite children first so parent rules see canonical shapes.
+    if isinstance(node, (Filter, Project, Sort, GroupByAgg, FusedFilterAgg)):
+        child, child_changed = _rewrite(node.child, counts)
+        if child_changed:
+            node = _with_child(node, child)
+            changed = True
+    elif isinstance(node, Join):
+        left, l_changed = _rewrite(node.left, counts)
+        right, r_changed = _rewrite(node.right, counts)
+        if l_changed or r_changed:
+            node = Join(left, right, node.on, node.how, node.suffix)
+            changed = True
+
+    rule_result = _apply_rules(node, counts)
+    if rule_result is not None:
+        return rule_result, True
+    return node, changed
+
+
+def _with_child(node: PlanNode, child: PlanNode) -> PlanNode:
+    if isinstance(node, Filter):
+        return Filter(child, node.predicate)
+    if isinstance(node, Project):
+        return Project(child, node.names)
+    if isinstance(node, Sort):
+        return Sort(child, node.names, node.descending)
+    if isinstance(node, GroupByAgg):
+        return GroupByAgg(child, node.keys, node.spec)
+    if isinstance(node, FusedFilterAgg):
+        return FusedFilterAgg(child, node.predicate, node.keys, node.spec)
+    raise TypeError(f"unexpected node {node!r}")  # pragma: no cover
+
+
+def _apply_rules(
+    node: PlanNode, counts: Dict[str, int]
+) -> Optional[PlanNode]:
+    """Try each rule at this node; return the rewritten node or None."""
+    if isinstance(node, Filter) and isinstance(node.predicate, Expr):
+        child = node.child
+        # filter-fusion: two stacked predicate filters become one AND.
+        if isinstance(child, Filter) and isinstance(child.predicate, Expr):
+            _bump(counts, "filter-fusion")
+            return Filter(child.child, child.predicate & node.predicate)
+        # predicate-pushdown below a stable sort.
+        if isinstance(child, Sort):
+            _bump(counts, "predicate-pushdown")
+            return Sort(
+                Filter(child.child, node.predicate),
+                child.names,
+                child.descending,
+            )
+        # predicate-pushdown into the left side of a join: only when every
+        # predicate column names a LEFT column (the join output keeps left
+        # names unsuffixed, so those are the columns the predicate read).
+        if isinstance(child, Join):
+            left_cols = child.left.output_columns()
+            if left_cols is not None and node.predicate.columns() <= set(
+                left_cols
+            ):
+                _bump(counts, "predicate-pushdown")
+                return Join(
+                    Filter(child.left, node.predicate),
+                    child.right,
+                    child.on,
+                    child.how,
+                    child.suffix,
+                )
+
+    if isinstance(node, Project):
+        child = node.child
+        # projection-pruning: nested projects collapse (outer names must be
+        # a subset of inner ones or the plan errors either way).
+        if isinstance(child, Project) and set(node.names) <= set(child.names):
+            _bump(counts, "projection-pruning")
+            return Project(child.child, node.names)
+        # projection-pruning through a filter: materialize only the columns
+        # that survive, provided the predicate reads none of the dropped.
+        if (
+            isinstance(child, Filter)
+            and isinstance(child.predicate, Expr)
+            and child.predicate.columns() <= set(node.names)
+        ):
+            _bump(counts, "projection-pruning")
+            return Filter(Project(child.child, node.names), child.predicate)
+        # projection-pruning through a sort when every sort key survives:
+        # the permutation a stable sort computes depends only on the key
+        # columns, so sorting the projected table gives the same row order.
+        if isinstance(child, Sort) and set(child.names) <= set(node.names):
+            _bump(counts, "projection-pruning")
+            return Sort(
+                Project(child.child, node.names),
+                child.names,
+                child.descending,
+            )
+
+    if isinstance(node, GroupByAgg):
+        child = node.child
+        # filter-agg-fusion: aggregate directly over the mask.
+        if isinstance(child, Filter) and isinstance(child.predicate, Expr):
+            _bump(counts, "filter-agg-fusion")
+            return FusedFilterAgg(
+                child.child, child.predicate, node.keys, node.spec
+            )
+
+    if isinstance(node, FusedFilterAgg):
+        child = node.child
+        # fold further stacked filters into the fused predicate.
+        if isinstance(child, Filter) and isinstance(child.predicate, Expr):
+            _bump(counts, "filter-fusion")
+            return FusedFilterAgg(
+                child.child,
+                child.predicate & node.predicate,
+                node.keys,
+                node.spec,
+            )
+    return None

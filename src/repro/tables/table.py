@@ -121,12 +121,25 @@ class Table:
         return list(self.iter_rows())
 
     # -- transforms -----------------------------------------------------------
+    # The public verbs below build logical plan nodes and run them through
+    # the default executor, so eager and lazy (``Table.lazy()``) calls
+    # share one engine; the ``_*_impl``/``_filter_with_mask``/``_project``
+    # appliers are what the executor dispatches to.
+
+    def lazy(self) -> "Plan":
+        """Start a deferred query; see :class:`repro.tables.plan.Plan`."""
+        from repro.tables.plan.lazy import lazy_scan
+
+        return lazy_scan(self)
+
     def filter(self, mask: MaskLike) -> "Table":
         """Keep rows where the predicate/mask is True."""
-        if isinstance(mask, Expr):
-            keep = mask.evaluate(self)
-        else:
-            keep = np.asarray(mask, dtype=bool)
+        from repro.tables.plan import executor as plan_executor
+        from repro.tables.plan.nodes import Filter, Scan
+
+        return plan_executor.execute(Filter(Scan(self), mask))
+
+    def _filter_with_mask(self, keep: np.ndarray) -> "Table":
         if len(keep) != self._n_rows:
             raise DataError(
                 f"mask length {len(keep)} != table rows {self._n_rows}"
@@ -135,6 +148,12 @@ class Table:
 
     def select(self, names: Sequence[str]) -> "Table":
         """Project onto a subset of columns, in the given order."""
+        from repro.tables.plan import executor as plan_executor
+        from repro.tables.plan.nodes import Project, Scan
+
+        return plan_executor.execute(Project(Scan(self), names))
+
+    def _project(self, names: Sequence[str]) -> "Table":
         return Table([self.column(n) for n in names])
 
     def drop(self, names: Sequence[str]) -> "Table":
@@ -180,10 +199,18 @@ class Table:
         sorts negate the ranks rather than reversing the permutation, which
         would flip tie order.
         """
-        from repro.tables.kernels import sort_ranks
+        from repro.tables.plan import executor as plan_executor
+        from repro.tables.plan.nodes import Scan, Sort
 
         if isinstance(names, str):
             names = [names]
+        return plan_executor.execute(Sort(Scan(self), names, descending))
+
+    def _sort_by_impl(
+        self, names: Sequence[str], descending: bool = False
+    ) -> "Table":
+        from repro.tables.kernels import sort_ranks
+
         if not names:
             raise ValueError("sort_by needs at least one column name")
         with obs.span(

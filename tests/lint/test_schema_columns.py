@@ -62,6 +62,33 @@ class TestFlagged:
         )
         assert len(diags) == 2
 
+    def test_col_inside_lazy_chain(self, lint_snippet, small_schema_config):
+        diags = lint_snippet(
+            't.lazy().filter(col("tput_mbs") > 1).collect()\n',
+            RULE,
+            config=small_schema_config,
+        )
+        assert len(diags) == 1
+        assert "unknown column 'tput_mbs'" in diags[0].message
+
+    def test_col_via_attribute(self, lint_snippet, small_schema_config):
+        diags = lint_snippet(
+            'mask = expr.col("dayy") > 3\n', RULE, config=small_schema_config
+        )
+        assert len(diags) == 1
+
+    def test_expr_leaf_constructors(self, lint_snippet, small_schema_config):
+        source = """\
+            a = Comparison("min_rt", ">", 10)
+            b = IsIn("cty", ["Kyiv"])
+            c = expr.IsNull("oblst")
+        """
+        diags = lint_snippet(source, RULE, config=small_schema_config)
+        assert len(diags) == 3
+        assert any("Comparison()" in m for m in _messages(diags))
+        assert any("IsIn()" in m for m in _messages(diags))
+        assert any("IsNull()" in m for m in _messages(diags))
+
     def test_subscript_near_miss_is_typo(self, lint_snippet, small_schema_config):
         diags = lint_snippet(
             'x = row["Min_RTT_ms "]\n', RULE, config=small_schema_config
@@ -77,6 +104,15 @@ class TestAllowed:
             t.group_by(["day"]).aggregate({"tests": ("tput_mbps", "count")})
             t.select(["day", "min_rtt_ms"]).sort_by("day")
             t.with_column("tests", values)
+        """
+        assert lint_snippet(source, RULE, config=small_schema_config) == []
+
+    def test_declared_expr_leaves_pass(self, lint_snippet, small_schema_config):
+        source = """\
+            a = Comparison("min_rtt_ms", ">", 10)
+            b = IsIn("day", [1, 2])
+            c = IsNull("tput_mbps")
+            d = t.lazy().filter(col("day") > 3).collect()
         """
         assert lint_snippet(source, RULE, config=small_schema_config) == []
 

@@ -94,3 +94,66 @@ def test_repr_describes_predicate():
 def test_empty_col_name_rejected():
     with pytest.raises(ValueError):
         col("")
+
+
+class TestStructuralIdentity:
+    """The AST regression suite for the old ``Expr.__hash__ = None`` trap:
+    expressions are hashable with structural equality, while ``col()``
+    comparisons still BUILD predicates instead of comparing references."""
+
+    def test_col_eq_builds_predicate_not_bool(self):
+        from repro.tables.expr import Comparison
+
+        built = col("day") == col("day")
+        assert isinstance(built, Comparison)
+        # the operand is the column reference itself, not a boolean
+        assert built.op == "=="
+
+    def test_expr_equality_is_structural(self):
+        assert (col("day") > 3) == (col("day") > 3)
+        assert (col("day") > 3) != (col("day") > 4)
+        assert (col("day") > 3) != (col("loss") > 3)
+
+    def test_expr_hashable_and_set_dedup(self):
+        exprs = {
+            col("day") > 3,
+            col("day") > 3,
+            col("loss").isnull(),
+            col("loss").isnull(),
+            col("city").isin(["Kyiv", "Lviv"]),
+            col("city").isin(["Lviv", "Kyiv"]),  # order-insensitive
+        }
+        assert len(exprs) == 3
+
+    def test_compound_structural_equality(self):
+        a = (col("day") > 1) & ~(col("city") == "Kyiv")
+        b = (col("day") > 1) & ~(col("city") == "Kyiv")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ((col("day") > 1) | ~(col("city") == "Kyiv"))
+
+    def test_col_ref_hash_equal_for_same_name(self):
+        assert hash(col("day")) == hash(col("day"))
+        assert col("day").key() == ("col", "day")
+
+    def test_columns_introspection(self):
+        pred = ((col("day") > 1) & (col("loss") < 0.5)) | col("city").notnull()
+        assert pred.columns() == frozenset({"day", "loss", "city"})
+
+    def test_expr_not_equal_to_non_expr(self):
+        assert (col("day") > 3) != "day > 3"
+
+    def test_evaluate_matches_between_composition(self, t):
+        lo, hi = 2, 3
+        via_between = t.filter(col("day").between(lo, hi))
+        via_and = t.filter((col("day") >= lo) & (col("day") <= hi))
+        assert via_between["day"].to_list() == via_and["day"].to_list() == [2, 3]
+
+    def test_immutable_nodes(self):
+        pred = col("day") > 3
+        with pytest.raises(AttributeError):
+            pred.op = "<"
+
+    def test_description_rendering(self):
+        pred = (col("day") > 3) & col("city").isnull()
+        assert pred.description == "(day > 3 AND city IS NULL)"

@@ -1,0 +1,312 @@
+"""The lazy planner: nodes, optimizer rewrites, executor, reuse cache."""
+
+import numpy as np
+import pytest
+
+from repro.tables import Table, col
+from repro.tables.plan import (
+    Filter,
+    FusedFilterAgg,
+    GroupByAgg,
+    Join,
+    PlanCache,
+    Project,
+    Scan,
+    Sort,
+    execute,
+    optimize,
+    render,
+    walk,
+)
+from repro.tables.schema import DType
+from repro.util.errors import DataError
+
+
+def assert_tables_identical(a: Table, b: Table):
+    """Bit-for-bit equality: names, dtypes, and raw buffers."""
+    assert a.column_names == b.column_names
+    for name in a.column_names:
+        ca, cb = a.column(name), b.column(name)
+        assert ca.dtype is cb.dtype
+        if ca.dtype is DType.STR:
+            assert ca.to_list() == cb.to_list()
+        else:
+            assert ca.values.tobytes() == cb.values.tobytes()
+
+
+@pytest.fixture
+def t():
+    return Table.from_dict(
+        {
+            "city": ["Kyiv", "Lviv", "Kyiv", "Odesa", "Lviv", "Kyiv"],
+            "day": [3, 1, 2, 2, 3, 1],
+            "loss": [0.01, 0.08, 0.02, 0.0, float("nan"), 0.05],
+        }
+    )
+
+
+class TestLazyMatchesEager:
+    def test_filter(self, t):
+        lazy = t.lazy().filter(col("day") >= 2).collect()
+        assert_tables_identical(lazy, t.filter(col("day") >= 2))
+
+    def test_chained_filters_fuse_and_match(self, t):
+        plan = t.lazy().filter(col("day") >= 2).filter(col("city") == "Kyiv")
+        optimized, counts = plan.optimized()
+        assert counts.get("filter-fusion") == 1
+        assert isinstance(optimized, Filter)
+        assert isinstance(optimized.child, Scan)
+        eager = t.filter(col("day") >= 2).filter(col("city") == "Kyiv")
+        assert_tables_identical(plan.collect(), eager)
+
+    def test_select_sort_groupby_join(self, t):
+        lazy = (
+            t.lazy()
+            .filter(col("day") >= 2)
+            .group_by("city")
+            .aggregate({"mean": ("loss", "mean"), "count": ("day", "count")})
+            .sort_by("city")
+            .collect()
+        )
+        eager = (
+            t.filter(col("day") >= 2)
+            .group_by("city")
+            .aggregate({"mean": ("loss", "mean"), "count": ("day", "count")})
+            .sort_by("city")
+        )
+        assert_tables_identical(lazy, eager)
+
+    def test_unoptimized_equals_optimized(self, t):
+        plan = (
+            t.lazy()
+            .filter(col("day") >= 2)
+            .filter(col("loss") < 0.5)
+            .group_by("city")
+            .aggregate({"mean": ("loss", "mean")})
+        )
+        assert_tables_identical(
+            plan.collect(optimize=False), plan.collect(optimize=True)
+        )
+
+    def test_raw_mask_filter(self, t):
+        mask = np.array([True, False, True, False, True, False])
+        assert_tables_identical(t.lazy().filter(mask).collect(), t.filter(mask))
+
+    def test_lazy_join(self, t):
+        sizes = Table.from_dict({"city": ["Kyiv", "Lviv"], "pop": [2.9, 0.7]})
+        lazy = t.lazy().join(sizes, on="city", how="left").collect()
+        from repro.tables import join
+
+        assert_tables_identical(lazy, join(t, sizes, on="city", how="left"))
+
+
+class TestOptimizerRewrites:
+    def test_filter_pushes_below_sort(self, t):
+        plan = t.lazy().sort_by("day").filter(col("city") == "Kyiv")
+        optimized, counts = plan.optimized()
+        assert counts.get("predicate-pushdown") == 1
+        assert isinstance(optimized, Sort)
+        assert isinstance(optimized.child, Filter)
+        assert_tables_identical(
+            plan.collect(), t.sort_by("day").filter(col("city") == "Kyiv")
+        )
+
+    def test_filter_pushes_into_join_left(self, t):
+        sizes = Table.from_dict({"city": ["Kyiv", "Lviv"], "pop": [2.9, 0.7]})
+        plan = t.lazy().join(sizes, on="city").filter(col("day") >= 2)
+        optimized, counts = plan.optimized()
+        assert counts.get("predicate-pushdown") == 1
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Filter)
+        from repro.tables import join
+
+        assert_tables_identical(
+            plan.collect(), join(t, sizes, on="city").filter(col("day") >= 2)
+        )
+
+    def test_filter_on_right_column_stays_above_join(self, t):
+        sizes = Table.from_dict({"city": ["Kyiv", "Lviv"], "pop": [2.9, 0.7]})
+        plan = t.lazy().join(sizes, on="city").filter(col("pop") > 1.0)
+        optimized, counts = plan.optimized()
+        assert "predicate-pushdown" not in counts
+        assert isinstance(optimized, Filter)
+
+    def test_projection_collapses_and_pushes(self, t):
+        plan = (
+            t.lazy()
+            .select(["city", "day", "loss"])
+            .filter(col("day") >= 2)
+            .select(["city", "day"])
+        )
+        optimized, counts = plan.optimized()
+        assert counts.get("projection-pruning", 0) >= 1
+        assert_tables_identical(
+            plan.collect(),
+            t.select(["city", "day", "loss"])
+            .filter(col("day") >= 2)
+            .select(["city", "day"]),
+        )
+
+    def test_projection_pushes_below_sort(self, t):
+        plan = t.lazy().sort_by("day").select(["day", "city"])
+        optimized, counts = plan.optimized()
+        assert counts.get("projection-pruning") == 1
+        assert isinstance(optimized, Sort)
+        assert isinstance(optimized.child, Project)
+        assert_tables_identical(
+            plan.collect(), t.sort_by("day").select(["day", "city"])
+        )
+
+    def test_filter_agg_fusion(self, t):
+        plan = (
+            t.lazy()
+            .filter(col("day") >= 2)
+            .group_by("city")
+            .aggregate({"mean": ("loss", "mean")})
+        )
+        optimized, counts = plan.optimized()
+        assert counts.get("filter-agg-fusion") == 1
+        assert isinstance(optimized, FusedFilterAgg)
+        eager = (
+            t.filter(col("day") >= 2)
+            .group_by("city")
+            .aggregate({"mean": ("loss", "mean")})
+        )
+        assert_tables_identical(plan.collect(), eager)
+
+    def test_stacked_filters_fold_into_fused_agg(self, t):
+        plan = (
+            t.lazy()
+            .filter(col("day") >= 1)
+            .filter(col("day") <= 2)
+            .group_by("city")
+            .aggregate({"count": ("day", "count")})
+        )
+        optimized, counts = plan.optimized()
+        assert isinstance(optimized, FusedFilterAgg)
+        assert isinstance(optimized.child, Scan)
+        eager = (
+            t.filter(col("day") >= 1)
+            .filter(col("day") <= 2)
+            .group_by("city")
+            .aggregate({"count": ("day", "count")})
+        )
+        assert_tables_identical(plan.collect(), eager)
+
+    def test_mask_filter_not_rewritten(self, t):
+        mask = np.ones(t.n_rows, dtype=bool)
+        plan = t.lazy().filter(mask).group_by("city").aggregate(
+            {"count": ("day", "count")}
+        )
+        optimized, counts = plan.optimized()
+        assert isinstance(optimized, GroupByAgg)
+        assert counts == {}
+
+
+class TestStructure:
+    def test_node_structural_equality(self, t):
+        a = Filter(Scan(t), col("day") > 2)
+        b = Filter(Scan(t), col("day") > 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != Filter(Scan(t), col("day") > 3)
+
+    def test_walk_and_render(self, t):
+        node = Sort(Filter(Scan(t), col("day") > 1), ("day",), False)
+        ops = [n.op for n in walk(node)]
+        assert ops == ["sort", "filter", "scan"]
+        text = render(node)
+        assert "sort [day] asc" in text and "filter day > 1" in text
+
+    def test_explain_shows_both_trees(self, t):
+        out = t.lazy().filter(col("day") > 1).explain()
+        assert "logical plan:" in out
+        assert "optimized plan:" in out
+        assert "rewrites:" in out
+
+    def test_nodes_immutable(self, t):
+        node = Scan(t)
+        with pytest.raises(AttributeError):
+            node.table = None
+
+
+class TestExecutorErrors:
+    def test_bad_mask_length(self, t):
+        with pytest.raises(DataError, match="mask length"):
+            t.lazy().filter(np.array([True, False])).collect()
+
+    def test_unknown_column_at_collect(self, t):
+        with pytest.raises(DataError, match="no column"):
+            t.lazy().filter(col("bogus") > 1).collect()
+
+    def test_unknown_aggregator_at_collect(self, t):
+        with pytest.raises(DataError, match="unknown aggregator"):
+            t.lazy().group_by("city").aggregate({"x": ("day", "avg")}).collect()
+
+    def test_empty_spec_raises(self, t):
+        with pytest.raises(ValueError, match="spec must not be empty"):
+            t.lazy().group_by("city").aggregate({}).collect()
+
+
+class TestPlanCache:
+    def test_subplan_reuse_returns_same_object(self, t):
+        cache = PlanCache()
+        node = Filter(Scan(t), col("day") >= 2)
+        first = execute(node, cache=cache)
+        second = execute(Filter(Scan(t), col("day") >= 2), cache=cache)
+        assert second is first
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_content_keyed_across_equal_tables(self, t):
+        # A different table object with identical content hits the cache.
+        clone = Table.from_dict(
+            {
+                "city": t.column("city").to_list(),
+                "day": t.column("day").to_list(),
+                "loss": t.column("loss").to_list(),
+            }
+        )
+        cache = PlanCache()
+        first = execute(Filter(Scan(t), col("day") >= 2), cache=cache)
+        second = execute(Filter(Scan(clone), col("day") >= 2), cache=cache)
+        assert second is first
+
+    def test_raw_mask_plans_not_cached(self, t):
+        cache = PlanCache()
+        mask = np.ones(t.n_rows, dtype=bool)
+        execute(Filter(Scan(t), mask), cache=cache)
+        assert len(cache) == 0
+
+    def test_callable_agg_not_cached(self, t):
+        cache = PlanCache()
+        node = GroupByAgg(
+            Scan(t), ("city",), (("m", "loss", lambda v: float(len(v))),)
+        )
+        execute(node, cache=cache)
+        assert len(cache) == 0
+
+    def test_lru_eviction(self, t):
+        cache = PlanCache(max_entries=2)
+        for day in (1, 2, 3):
+            execute(Filter(Scan(t), col("day") >= day), cache=cache)
+        assert len(cache) == 2
+
+    def test_collect_reuse_flag(self, t):
+        from repro.tables.plan import global_plan_cache
+
+        global_plan_cache().clear()
+        plan = t.lazy().filter(col("day") >= 2)
+        first = plan.collect()
+        assert t.lazy().filter(col("day") >= 2).collect() is first
+        # reuse=False bypasses the global cache
+        assert plan.collect(reuse=False) is not first
+        global_plan_cache().clear()
+
+
+class TestCli:
+    def test_plan_explain_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["plan", "explain", "--collect"]) == 0
+        out = capsys.readouterr().out
+        assert "fused filter+groupby" in out
+        assert "rewrites:" in out
