@@ -4,11 +4,13 @@
 
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 OBS_SMOKE_DIR := results/obs-smoke
+PROFILE_SMOKE_DIR := results/profile-smoke
 
-.PHONY: test unit obs-smoke bench-compare bench-record lint lint-json \
-	lint-fast flow baseline bench bench-engine bench-obs bench-storage chaos
+.PHONY: test unit obs-smoke profile-smoke bench-compare bench-record lint \
+	lint-json lint-fast flow baseline bench bench-engine bench-obs \
+	bench-storage bench-profile chaos
 
-test: unit obs-smoke bench-compare flow chaos
+test: unit obs-smoke profile-smoke bench-compare flow chaos
 
 unit:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -26,6 +28,25 @@ obs-smoke:
 		--report $(OBS_SMOKE_DIR)/run_report.json
 	PYTHONPATH=$(PYTHONPATH) python -m repro obs lineage \
 		$(OBS_SMOKE_DIR)/provenance.json >/dev/null
+
+# Profiling smoke: run the national pipeline under --profile via the real
+# CLI, render the hotspot table, then rebuild the profile from the trace
+# twice and require byte-identical output (the determinism contract of
+# docs/profile.schema.json).  Part of the default `make test`.
+profile-smoke:
+	rm -rf $(PROFILE_SMOKE_DIR)
+	PYTHONPATH=$(PYTHONPATH) python -m repro --profile \
+		--obs-dir $(PROFILE_SMOKE_DIR) --scale 0.02 experiment fig2 >/dev/null
+	PYTHONPATH=$(PYTHONPATH) python -m repro --obs-dir $(PROFILE_SMOKE_DIR) \
+		obs profile --top 10
+	PYTHONPATH=$(PYTHONPATH) python -m repro obs profile \
+		--trace $(PROFILE_SMOKE_DIR)/trace.jsonl \
+		--out $(PROFILE_SMOKE_DIR)/profile_rebuild_a.json >/dev/null
+	PYTHONPATH=$(PYTHONPATH) python -m repro obs profile \
+		--trace $(PROFILE_SMOKE_DIR)/trace.jsonl \
+		--out $(PROFILE_SMOKE_DIR)/profile_rebuild_b.json >/dev/null
+	cmp $(PROFILE_SMOKE_DIR)/profile_rebuild_a.json \
+		$(PROFILE_SMOKE_DIR)/profile_rebuild_b.json
 
 # Perf-regression gate: unify the checked-in BENCH snapshots and compare
 # against the latest BENCH_history.jsonl record; exits 6 on a slowdown
@@ -80,6 +101,12 @@ bench-obs:
 # write; must stay under 5%; records the numbers in BENCH_storage.json.
 bench-storage:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q benchmarks/test_storage_overhead.py
+
+# Hotspot baseline: profile the figure/table benchmark run and record the
+# top per-span self-times in BENCH_profile.json; `repro bench compare`
+# then gates each hotspot individually (exit 6 on a regression).
+bench-profile:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q benchmarks/test_profile_hotspots.py
 
 # The crash matrix (docs/ROBUSTNESS.md): kill a pipeline run at every
 # announced crash point, resume it, and require byte-identical outputs.

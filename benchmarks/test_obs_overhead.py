@@ -17,6 +17,13 @@ Methodology (robust to timer noise on ms-scale kernels):
 The measured numbers land in ``BENCH_obs.json`` at the repo root next to
 ``BENCH_engine.json``, and an enabled-tracing run is recorded alongside
 for context (tracing on is allowed to cost; it is opt-in).
+
+The profiling layer (``repro.obs.profile``) inherits the same contract:
+with a :class:`ProfileSession` constructed but not started — the state
+every non-``--profile`` run is in once the CLI has imported the module —
+the disabled span path must be unchanged, and the derived overhead bound
+must hold.  A profiled run is measured alongside for context, like the
+traced runs.
 """
 
 import platform
@@ -144,9 +151,62 @@ class TestObsOverhead:
             f"(need < {MAX_DISABLED_OVERHEAD:.0%})"
         )
 
+    def test_profiler_disabled_is_free(self, tables, results):
+        """The profiling layer must not tax unprofiled runs.
+
+        Constructing (without starting) a session is exactly what a
+        plain run pays once ``repro.obs.profile`` is imported; the
+        disabled span fast path and the kernels must be unaffected.
+        """
+        from repro.obs.profile import ProfileSession
+
+        big, right = tables
+        spec = {"m": ("v", "mean"), "n": ("v", "count")}
+        op = lambda: big.group_by("k").aggregate(spec)  # noqa: E731
+
+        obs.reset()
+        session = ProfileSession(sample=True, allocs=True)
+        assert not session.running
+        span_cost_s = _disabled_span_cost_s()
+        op_s, _ = _timed(op)
+        n_spans = _spans_per_op(op)
+        overhead = (span_cost_s * n_spans) / op_s
+
+        # Context: the same op under full profiling (sampler at 5ms +
+        # allocation hook + tracing).  Opt-in, so allowed to cost — the
+        # number is recorded, not gated.
+        obs.enable(trace=True, metrics=True)
+        session = ProfileSession(sample=True, allocs=True).start()
+        try:
+            profiled_s, _ = _timed(op)
+            samples = session.sampler.n_samples
+        finally:
+            session.stop()
+            obs.reset()
+
+        results["profile"] = {
+            "rows": N_ROWS,
+            "op_s_disabled": op_s,
+            "op_s_profiled": profiled_s,
+            "spans_per_op": n_spans,
+            "span_cost_us": span_cost_s * 1e6,
+            "sampler_interval_ms": 5.0,
+            "sampler_samples": samples,
+            "disabled_overhead_fraction": overhead,
+        }
+        assert span_cost_s < 10e-6, (
+            f"disabled span costs {span_cost_s * 1e6:.2f}μs with the "
+            f"profiler imported"
+        )
+        assert overhead < MAX_DISABLED_OVERHEAD, (
+            f"profiler-off overhead {overhead:.2%} of op time "
+            f"(need < {MAX_DISABLED_OVERHEAD:.0%})"
+        )
+
     def test_zz_write_baseline(self, results, results_dir):
         """Persist the obs snapshot (runs last: named zz, module fixture)."""
         assert "groupby" in results and "join" in results
+        assert "profile" in results
         payload = {
             "machine": {
                 "python": platform.python_version(),
@@ -158,7 +218,7 @@ class TestObsOverhead:
         }
         write_snapshot(baseline_path("obs"), payload)
         registry = session_registry()
-        for name in ("groupby", "join"):
+        for name in ("groupby", "join", "profile"):
             registry.record(
                 f"obs.{name}_disabled",
                 results[name]["op_s_disabled"],
@@ -175,4 +235,12 @@ class TestObsOverhead:
                 f"{row['spans_per_op']} spans/op  "
                 f"overhead(off) {row['disabled_overhead_fraction']:.4%}"
             )
+        prof = results["profile"]
+        lines.append(
+            f"profile  disabled {prof['op_s_disabled']:.4f}s  "
+            f"profiled {prof['op_s_profiled']:.4f}s  "
+            f"({prof['sampler_samples']} samples @ "
+            f"{prof['sampler_interval_ms']:g}ms)  "
+            f"overhead(off) {prof['disabled_overhead_fraction']:.4%}"
+        )
         emit(results_dir, "obs_overhead", "\n".join(lines))

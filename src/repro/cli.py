@@ -46,6 +46,11 @@ Observability flags (global)
 ``--trace-out PATH``    JSONL trace path (implies ``--trace``).
 ``--metrics``           record counters/histograms; write ``metrics.json``.
 ``--metrics-out PATH``  metrics snapshot path (implies ``--metrics``).
+``--profile``           hotspot profiling (implies ``--trace --metrics``):
+                        span-attributed self-time in ``profile.json``, a
+                        statistical stack sampler (``samples.collapsed`` +
+                        ``samples_chrome.json``), and per-span allocation
+                        attribution.  ``REPRO_PROFILE=1`` does the same.
 ``--obs-dir DIR``       artifact directory (default: results/obs); a traced
                         or metered run also writes ``run_report.json`` +
                         ``run_report.txt`` + ``provenance.json`` there.
@@ -141,6 +146,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "default: <obs-dir>/metrics.json)",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="hotspot profiling: self-time profile.json, stack samples, "
+        "allocation attribution (implies --trace --metrics; env: "
+        "REPRO_PROFILE=1)",
+    )
+    parser.add_argument(
         "--obs-dir", default=os.path.join("results", "obs"),
         help="observability artifact directory (default: %(default)s)",
     )
@@ -177,12 +188,21 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _profile_wanted(args) -> bool:
+    if getattr(args, "profile", False):
+        return True
+    from repro.obs.profile import env_profile_enabled
+
+    return env_profile_enabled()
+
+
 def _obs_wanted(args) -> bool:
     return bool(
         getattr(args, "trace", False)
         or getattr(args, "trace_out", None)
         or getattr(args, "metrics", False)
         or getattr(args, "metrics_out", None)
+        or _profile_wanted(args)
     )
 
 
@@ -198,11 +218,16 @@ def _obs_setup(args) -> None:
     obs.set_run_context(run_id=_run_id(args))
     if not _obs_wanted(args):
         return
-    trace_on = bool(args.trace or args.trace_out)
-    metrics_on = bool(args.metrics or args.metrics_out)
+    profile_on = _profile_wanted(args)
+    trace_on = bool(args.trace or args.trace_out) or profile_on
+    metrics_on = bool(args.metrics or args.metrics_out) or profile_on
     # Lineage rides along with any observed run: fingerprinting the
     # handful of tables per stage is cheap next to tracing the stages.
     obs.enable(trace=trace_on, metrics=metrics_on, lineage=True)
+    if profile_on:
+        from repro.obs.profile import start_profiling
+
+        start_profiling()
 
 
 def _obs_finish(args, report, gates=None, injection=None) -> None:
@@ -210,6 +235,13 @@ def _obs_finish(args, report, gates=None, injection=None) -> None:
     if not _obs_wanted(args):
         return
     written = []
+    session = None
+    if _profile_wanted(args):
+        from repro.obs.profile import stop_profiling
+
+        # Stop the sampler thread and detach the allocation hook before
+        # exporting anything; the session keeps its collected data.
+        session = stop_profiling()
     tracer = obs.tracer()
     if tracer is not None:
         trace_path = args.trace_out or os.path.join(args.obs_dir, "trace.jsonl")
@@ -239,6 +271,33 @@ def _obs_finish(args, report, gates=None, injection=None) -> None:
         )
         paths = write_run_report(data, args.obs_dir)
         written += [paths["json"], paths["txt"]]
+    if session is not None and tracer is not None:
+        from repro.obs.profile import build_profile_doc, write_profile
+
+        doc = build_profile_doc(
+            tracer.spans,
+            run_id=_run_id(args),
+            source="trace",
+            spans_leaked=tracer.spans_leaked,
+            leaked_names=tracer.leaked_names(),
+            sampler=session.sampler_summary(),
+            allocs=session.alloc_summary(),
+        )
+        profile_path = os.path.join(args.obs_dir, "profile.json")
+        write_profile(doc, profile_path)
+        written.append(profile_path)
+        collapsed = session.collapsed_text()
+        if collapsed:
+            collapsed_path = os.path.join(args.obs_dir, "samples.collapsed")
+            storage.commit_text(
+                collapsed_path, collapsed, label="profile.samples"
+            )
+            chrome_samples = os.path.join(args.obs_dir, "samples_chrome.json")
+            write_chrome_trace(
+                session.sample_spans(), chrome_samples,
+                process_name="repro-sampler",
+            )
+            written += [collapsed_path, chrome_samples]
     recorder = obs.lineage_recorder()
     if recorder is not None and len(recorder):
         recorder.set_run(run_id=_run_id(args))

@@ -32,6 +32,14 @@ DEFAULT_RNG_ALLOWED: Tuple[str, ...] = ("repro/util/rng.py",)
 #: the obs clock shim wraps them once, and benchmarks time real work.
 DEFAULT_TIMING_ALLOWED: Tuple[str, ...] = ("repro/obs/", "benchmarks/")
 
+#: Path fragments where the raw profiling machinery (``tracemalloc``,
+#: ``sys._current_frames``) is the implementation: the profiler package
+#: itself, and benchmarks measuring its overhead.  Everyone else profiles
+#: through ``--profile`` / ``repro.obs.profile``.
+DEFAULT_PROFILING_ALLOWED: Tuple[str, ...] = (
+    "repro/obs/profile/", "benchmarks/",
+)
+
 #: The one file allowed to name ``BENCH_*.json`` artifacts in code: the
 #: sanctioned snapshot/history writer.  Everyone else goes through it, so
 #: ad-hoc baseline files cannot reappear outside the registry.
@@ -81,6 +89,7 @@ class LintConfig:
     rng_allowed_files: Tuple[str, ...] = DEFAULT_RNG_ALLOWED
     typed_error_strict_packages: Tuple[str, ...] = DEFAULT_TYPED_ERROR_STRICT
     timing_allowed_packages: Tuple[str, ...] = DEFAULT_TIMING_ALLOWED
+    profiling_allowed_packages: Tuple[str, ...] = DEFAULT_PROFILING_ALLOWED
     bench_writer_files: Tuple[str, ...] = DEFAULT_BENCH_WRITER_FILES
     schema_exempt_files: Tuple[str, ...] = DEFAULT_SCHEMA_EXEMPT_FILES
     storage_writer_files: Tuple[str, ...] = DEFAULT_STORAGE_WRITER_FILES

@@ -49,8 +49,14 @@ EFFECTS: Tuple[str, ...] = (
 )
 
 #: Sanctioned seam name → path fragments owning that seam.
+#: ``obs.profile`` must precede ``obs``: :func:`seam_of` matches in
+#: insertion order and ``repro/obs/`` would otherwise shadow the
+#: profiler's more specific fragment.  The profiler is its own seam so
+#: ``effects.json`` distinguishes "leans on the clock shim" from "leans
+#: on the sampler/tracemalloc machinery" — both recorded, not propagated.
 SEAMS: Dict[str, Tuple[str, ...]] = {
     "util.rng": ("repro/util/rng.py",),
+    "obs.profile": ("repro/obs/profile/",),
     "obs": ("repro/obs/",),
     "storage": ("repro/storage/",),
 }

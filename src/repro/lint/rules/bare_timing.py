@@ -24,6 +24,13 @@ the sanctioned writer, :mod:`repro.obs.bench`.  One-off baseline files are
 how timing data escapes the benchmark registry — route snapshots through
 ``repro.obs.bench.write_snapshot`` and history through
 ``repro bench record``.  Docstrings may of course *mention* the files.
+
+Raw *profiling* machinery gets the same treatment: ``import tracemalloc``
+(or any ``tracemalloc.*`` use) and ``sys._current_frames`` outside
+``repro/obs/profile/`` and ``benchmarks/`` are findings.  Ad-hoc
+profilers have all the problems of ad-hoc timing plus global side effects
+(``tracemalloc.start()`` is process-wide); profile through ``--profile``
+/ :mod:`repro.obs.profile` instead.
 """
 
 from __future__ import annotations
@@ -80,12 +87,17 @@ class BareTimingRule(Rule):
     severity = Severity.ERROR
     description = (
         "direct time.time()/time.perf_counter() use outside repro/obs/ and "
-        "benchmarks/ (use obs.span or repro.obs.clock), and BENCH_* artifact "
-        "filenames outside repro/obs/bench.py (use the benchmark registry)"
+        "benchmarks/ (use obs.span or repro.obs.clock), BENCH_* artifact "
+        "filenames outside repro/obs/bench.py (use the benchmark registry), "
+        "and raw profiling machinery (tracemalloc, sys._current_frames) "
+        "outside repro/obs/profile/ (use --profile / repro.obs.profile)"
     )
 
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
         timing_exempt = ctx.in_package(*ctx.config.timing_allowed_packages)
+        profiling_exempt = ctx.in_package(
+            *ctx.config.profiling_allowed_packages
+        )
         bench_exempt = ctx.matches(*ctx.config.bench_writer_files)
         docstrings = (
             _docstring_nodes(ctx.tree) if not bench_exempt else set()
@@ -96,6 +108,8 @@ class BareTimingRule(Rule):
                     yield from self._check_import_from(ctx, node)
                 elif isinstance(node, ast.Attribute):
                     yield from self._check_attribute(ctx, node)
+            if not profiling_exempt:
+                yield from self._check_profiling(ctx, node)
             if not bench_exempt:
                 yield from self._check_bench_literal(ctx, node, docstrings)
 
@@ -127,6 +141,35 @@ class BareTimingRule(Rule):
                 f"bare time.{node.attr} bypasses the obs layer; time blocks "
                 f"with obs.span(...) or read repro.obs.clock.monotonic",
             )
+
+    def _check_profiling(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            module = getattr(node, "module", None)
+            names = [a.name for a in node.names]
+            if module == "tracemalloc" or "tracemalloc" in names or (
+                module is not None and module.startswith("tracemalloc.")
+            ) or any(n.startswith("tracemalloc.") for n in names):
+                yield self.diag(
+                    ctx,
+                    node,
+                    "ad-hoc tracemalloc use outside the profiler seam; "
+                    "allocation profiling goes through --profile / "
+                    "repro.obs.profile",
+                )
+        elif isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "sys"
+                and node.attr == "_current_frames"
+            ):
+                yield self.diag(
+                    ctx,
+                    node,
+                    "sys._current_frames outside the profiler seam; stack "
+                    "sampling goes through --profile / repro.obs.profile",
+                )
 
     def _check_bench_literal(
         self, ctx: FileContext, node: ast.AST, docstrings: Set[int]

@@ -103,6 +103,11 @@ def _observe_metric(name: str, duration_ms: float) -> None:
         _state.registry.histogram(name).observe(duration_ms)
 
 
+def _observe_leak(_span_name: str) -> None:
+    if _state.metrics_on and _state.registry is not None:
+        _state.registry.counter("trace.spans_leaked").inc()
+
+
 # -- lifecycle ---------------------------------------------------------------
 def enable(
     trace: bool = True,
@@ -114,7 +119,9 @@ def enable(
     if clock is not None:
         _state.clock = clock
     if trace and _state.tracer is None:
-        _state.tracer = Tracer(clock=_state.clock, observe=_observe_metric)
+        _state.tracer = Tracer(
+            clock=_state.clock, observe=_observe_metric, on_leak=_observe_leak
+        )
     if metrics:
         if _state.registry is None:
             _state.registry = MetricsRegistry()

@@ -76,7 +76,8 @@ DEFAULT_THRESHOLD = 0.20
 DEFAULT_MIN_SECONDS = 0.01
 
 _LEGACY_BASENAMES = (
-    "BENCH_engine.json", "BENCH_obs.json", "BENCH_storage.json"
+    "BENCH_engine.json", "BENCH_obs.json", "BENCH_storage.json",
+    "BENCH_profile.json",
 )
 _HISTORY_BASENAME = "BENCH_history.jsonl"
 
@@ -87,15 +88,16 @@ def repo_root() -> Path:
 
 
 def baseline_path(kind: str, root: Optional[Path] = None) -> Path:
-    """Path of a one-off snapshot: kind ``engine``, ``obs`` or ``storage``."""
+    """Path of a one-off snapshot: ``engine``/``obs``/``storage``/``profile``."""
     names = {
         "engine": _LEGACY_BASENAMES[0],
         "obs": _LEGACY_BASENAMES[1],
         "storage": _LEGACY_BASENAMES[2],
+        "profile": _LEGACY_BASENAMES[3],
     }
     if kind not in names:
         raise ValueError(
-            f"unknown baseline kind {kind!r}; use engine|obs|storage"
+            f"unknown baseline kind {kind!r}; use engine|obs|storage|profile"
         )
     return (root or repo_root()) / names[kind]
 
@@ -204,6 +206,18 @@ def load_legacy_baselines(root: Optional[Path] = None) -> Dict[str, Dict[str, An
                 out[f"storage.{name}_committed"] = {
                     "seconds": float(row["committed_s"]),
                     "rows": row.get("rows"),
+                }
+    profile_file = baseline_path("profile", root)
+    if profile_file.exists():
+        data = json.loads(profile_file.read_text(encoding="utf-8"))
+        for name, row in data.get("benchmarks", {}).items():
+            # Hotspot rows gate per-span-name *self* time, so a hot path
+            # regression inside one stage fires even when end-to-end wall
+            # time hides it behind savings elsewhere.
+            if isinstance(row, dict) and "self_s" in row:
+                out[name] = {
+                    "seconds": float(row["self_s"]),
+                    "calls": row.get("calls"),
                 }
     return out
 

@@ -1,8 +1,12 @@
 """The ``repro obs`` subcommand: inspect observability artifacts offline.
 
 ``summarize``  Digest a JSONL trace and/or a ``run_report.json`` into the
-               per-stage table, histogram percentiles, and hottest-span
-               list without rerunning anything.
+               per-stage table, histogram percentiles, and the self-time
+               hotspot list without rerunning anything.
+``profile``    Render (or build from a trace) the span-attributed
+               hotspot profile: top self-time table, per-stage roll-up,
+               ``--allocs`` allocation hotspots, ``--flame`` collapsed
+               stacks.  Schema-checked against ``docs/profile.schema.json``.
 ``diff``       Compare two metrics snapshots (or the ``metrics`` section
                of two run reports): counter/gauge deltas and histogram
                count/sum drift between runs.
@@ -55,6 +59,44 @@ def configure_parser(sub: argparse._SubParsersAction) -> None:
     )
     summ.add_argument(
         "--top", type=int, default=10, help="span count to show (default: 10)"
+    )
+
+    prof = obs_sub.add_parser(
+        "profile",
+        help="span-attributed self-time hotspots (profile.json / trace)",
+        description=(
+            "Without --trace, loads <obs-dir>/profile.json (as written by "
+            "a --profile run).  With --trace PATH, profiles an existing "
+            "JSONL trace retroactively and writes the schema-validated "
+            "document to --out (default: profile.json next to the trace). "
+            "Output is byte-stable for a given trace."
+        ),
+    )
+    prof.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="build the profile from this JSONL trace instead of loading "
+             "profile.json",
+    )
+    prof.add_argument(
+        "--profile-json", default=None, metavar="PATH",
+        help="profile.json to load (default: <obs-dir>/profile.json)",
+    )
+    prof.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="where to write the built profile (only with --trace)",
+    )
+    prof.add_argument(
+        "--top", type=int, default=15,
+        help="hotspot rows to show (default: %(default)s)",
+    )
+    prof.add_argument(
+        "--allocs", action="store_true",
+        help="also show the allocation hotspot table",
+    )
+    prof.add_argument(
+        "--flame", action="store_true",
+        help="print collapsed stacks (<obs-dir>/samples.collapsed) for "
+             "flamegraph tooling instead of the table",
     )
 
     diff = obs_sub.add_parser(
@@ -137,27 +179,22 @@ def _load_snapshot(path: str) -> Dict[str, Any]:
 
 
 def _summarize_trace(path: str, top: int) -> str:
+    # Shared with `repro obs profile`: the same self-time attribution,
+    # so existing trace files can be profiled retroactively.
+    from repro.obs.profile.selftime import render_self_time, self_time_profile
+
     spans = read_spans_jsonl(path)
-    closed = [s for s in spans if s.get("end_s") is not None]
+    profile = self_time_profile(spans)
+    open_names = sorted(
+        {s["name"] for s in spans if s.get("end_s") is None}
+    )
     lines: List[str] = [
-        f"trace {path}: {len(spans)} spans "
-        f"({len(spans) - len(closed)} left open)"
+        f"trace {path}: {profile.n_spans} spans "
+        f"({profile.n_open} left open)"
     ]
-    by_name: Dict[str, Dict[str, float]] = {}
-    for s in closed:
-        agg = by_name.setdefault(s["name"], {"n": 0, "total_s": 0.0})
-        agg["n"] += 1
-        agg["total_s"] += s["duration_s"]
-    lines.append(f"{'span name':<36s} {'calls':>6s} {'total_s':>9s} {'mean_ms':>9s}")
-    ranked = sorted(by_name.items(), key=lambda kv: -kv[1]["total_s"])
-    for name, agg in ranked[:top]:
-        mean_ms = agg["total_s"] / agg["n"] * 1000.0
-        lines.append(
-            f"{name:<36s} {int(agg['n']):>6d} {agg['total_s']:>9.4f} "
-            f"{mean_ms:>9.3f}"
-        )
-    if len(ranked) > top:
-        lines.append(f"... {len(ranked) - top} more span names")
+    if open_names:
+        lines.append(f"open span names: {', '.join(open_names)}")
+    lines.append(render_self_time(profile, top=top, title="self-time"))
     return "\n".join(lines)
 
 
@@ -201,6 +238,62 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     if args.trace is not None:
         parts.append(_summarize_trace(args.trace, args.top))
     print("\n\n".join(parts))
+    return 0
+
+
+def _default_obs_dir(args: argparse.Namespace) -> str:
+    import os
+
+    return getattr(args, "obs_dir", None) or os.path.join("results", "obs")
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.profile import (
+        build_from_trace_file,
+        render_profile,
+        validate_profile,
+        write_profile,
+    )
+
+    obs_dir = _default_obs_dir(args)
+    if args.flame:
+        if args.profile_json:
+            obs_dir = os.path.dirname(os.path.abspath(args.profile_json))
+        collapsed = os.path.join(obs_dir, "samples.collapsed")
+        try:
+            with open(collapsed, "r", encoding="utf-8") as fh:
+                body = fh.read()
+        except FileNotFoundError:
+            raise ReproError(
+                f"no such file: {collapsed} (run with --profile to collect "
+                f"samples)"
+            ) from None
+        print(body, end="")
+        return 0
+
+    if args.trace is not None:
+        data = build_from_trace_file(args.trace)
+        out = args.out or os.path.join(
+            os.path.dirname(os.path.abspath(args.trace)), "profile.json"
+        )
+        errors = validate_profile(data)
+        if errors:
+            for err in errors:
+                print(f"schema violation: {err}", file=sys.stderr)
+            return 1
+        write_profile(data, out)
+        print(f"wrote {out}", file=sys.stderr)
+    else:
+        path = args.profile_json or os.path.join(obs_dir, "profile.json")
+        data = _load_json(path)
+        errors = validate_profile(data)
+        if errors:
+            for err in errors:
+                print(f"schema violation: {err}", file=sys.stderr)
+            return 1
+    print(render_profile(data, top=args.top, allocs=args.allocs), end="")
     return 0
 
 
@@ -309,6 +402,7 @@ def _cmd_mem(args: argparse.Namespace) -> int:
 def cmd_obs(args: argparse.Namespace) -> int:
     handlers = {
         "summarize": _cmd_summarize,
+        "profile": _cmd_profile,
         "diff": _cmd_diff,
         "validate": _cmd_validate,
         "lineage": _cmd_lineage,

@@ -1,0 +1,101 @@
+"""Allocation profiling attributed to the active span.
+
+:class:`AllocationProfiler` is a tracer *hook* (see
+``Tracer.add_hook``): on every span open it snapshots the current traced
+heap size, on close it charges the net growth to that span, minus what
+its children already claimed — the byte-space analogue of self-time.
+
+The reader is injectable; the default reads
+``tracemalloc.get_traced_memory()[0]``, so attribution covers exactly
+the allocations tracemalloc sees (Python objects; numpy buffers route
+through the allocator domain tracemalloc tracks on CPython ≥3.6).  Net
+growth can be negative — a span that frees more than it allocates, e.g.
+a drop-columns projection — and is reported as such rather than clamped,
+because "this stage releases memory" is a finding, not noise.
+
+Starting/stopping ``tracemalloc`` itself is the
+:class:`~repro.obs.profile.ProfileSession`'s job; this class never
+touches global state beyond the hook registration, which keeps it
+testable with a fake reader and a fake clock-free tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["AllocationProfiler", "tracemalloc_reader"]
+
+
+def tracemalloc_reader() -> int:
+    """Current size of the traced heap in bytes (0 if not tracing)."""
+    import tracemalloc
+
+    return tracemalloc.get_traced_memory()[0]
+
+
+class _Frame:
+    __slots__ = ("span_id", "name", "at_open", "child_bytes")
+
+    def __init__(self, span_id: int, name: str, at_open: int):
+        self.span_id = span_id
+        self.name = name
+        self.at_open = at_open
+        self.child_bytes = 0
+
+
+class AllocationProfiler:
+    """Per-span-name net allocation totals, self and inclusive."""
+
+    def __init__(self, read: Optional[Callable[[], int]] = None):
+        self._read = read if read is not None else tracemalloc_reader
+        self._stack: List[_Frame] = []
+        self.totals: Dict[str, Dict[str, int]] = {}
+
+    # -- tracer hook protocol -----------------------------------------------
+    def on_open(self, record: Any) -> None:
+        self._stack.append(
+            _Frame(record.span_id, record.name, self._read())
+        )
+
+    def on_close(self, record: Any) -> None:
+        # Mirror the tracer's stack discipline: an outer close pops (and
+        # finalizes) any frames its leaked children left behind; a stale
+        # close whose frame is already gone is ignored.
+        if not any(f.span_id == record.span_id for f in self._stack):
+            return
+        now = self._read()
+        while self._stack:
+            frame = self._stack.pop()
+            total = now - frame.at_open
+            self._charge(frame, total)
+            if frame.span_id == record.span_id:
+                break
+
+    def _charge(self, frame: _Frame, total: int) -> None:
+        entry = self.totals.setdefault(
+            frame.name, {"calls": 0, "self_bytes": 0, "total_bytes": 0}
+        )
+        entry["calls"] += 1
+        entry["self_bytes"] += total - frame.child_bytes
+        entry["total_bytes"] += total
+        if self._stack:
+            self._stack[-1].child_bytes += total
+
+    # -- export -------------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        """``allocs.entries`` rows: biggest net self-allocators first."""
+        rows = [
+            {
+                "name": name,
+                "calls": t["calls"],
+                "self_bytes": t["self_bytes"],
+                "total_bytes": t["total_bytes"],
+            }
+            for name, t in self.totals.items()
+        ]
+        rows.sort(key=lambda r: (-r["self_bytes"], r["name"]))
+        return rows
+
+    def summary(self) -> Dict[str, Any]:
+        """The ``allocs`` section of ``profile.json``."""
+        return {"enabled": True, "entries": self.entries()}

@@ -1,0 +1,227 @@
+"""Opt-in statistical stack sampler — zero dependencies, thread-based.
+
+A daemon thread wakes every ``interval_s`` and snapshots the main
+thread's Python stack via ``sys._current_frames()``.  Each sample is
+folded into a *collapsed stack* — ``frame;frame;...frame`` root-first,
+the input format flamegraph tools (``flamegraph.pl``, speedscope,
+inferno) consume directly — keyed by count.  When a tracer is attached,
+samples are additionally prefixed with the open span stack
+(``span:stage.experiments;span:plan.filter;...``) so flamegraphs carry
+the same attribution labels as ``profile.json``.
+
+Signal-based sampling (``SIGPROF``) would avoid the thread, but only
+works on the main thread of Unix processes and collides with user
+handlers; the thread approach is portable and, at the default 5 ms
+interval, costs well under the obs stack's 3% overhead budget — and
+exactly nothing when not started (see ``benchmarks/test_obs_overhead``).
+
+Samplers are wall-clock estimators, not truth: stacks shorter than the
+interval are invisible, and native/numpy interior time shows as the
+calling Python frame.  The deterministic self-time layer
+(:mod:`repro.obs.profile.selftime`) is the authoritative attribution;
+this module answers *which code paths* inside a hot span burn the time.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.clock import monotonic
+from repro.obs.trace import SpanRecord
+
+__all__ = [
+    "StackSampler",
+    "collapse",
+    "collapsed_lines",
+    "frame_label",
+    "parse_collapsed",
+    "samples_to_spans",
+    "walk_stack",
+]
+
+#: Path fragments marking the repo root — labels keep only what follows.
+_PATH_MARKERS = ("/src/repro/", "/repro/", "/benchmarks/", "/tests/")
+
+
+def frame_label(filename: str, funcname: str) -> str:
+    """A compact, machine-independent ``path:func`` frame label."""
+    path = filename.replace("\\", "/")
+    for marker in _PATH_MARKERS:
+        idx = path.rfind(marker)
+        if idx >= 0:
+            path = path[idx + 1:]
+            break
+    else:
+        path = path.rsplit("/", 1)[-1]
+    return f"{path}:{funcname}"
+
+
+def walk_stack(frame: Any) -> List[str]:
+    """Frame labels for ``frame`` and its callers, root-first."""
+    labels: List[str] = []
+    while frame is not None:
+        code = frame.f_code
+        labels.append(frame_label(code.co_filename, code.co_name))
+        frame = frame.f_back
+    labels.reverse()
+    return labels
+
+
+def collapse(labels: Sequence[str]) -> str:
+    """One collapsed-stack key: root-first labels joined with ``;``."""
+    return ";".join(labels)
+
+
+def collapsed_lines(counts: Mapping[str, int]) -> List[str]:
+    """``stack count`` lines sorted by stack — deterministic output."""
+    return [f"{stack} {counts[stack]}" for stack in sorted(counts)]
+
+
+def parse_collapsed(text: str) -> Dict[str, int]:
+    """Inverse of :func:`collapsed_lines` (tolerates blank lines)."""
+    counts: Dict[str, int] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        counts[stack] = counts.get(stack, 0) + int(count)
+    return counts
+
+
+def samples_to_spans(
+    samples: Iterable[Tuple[float, Sequence[str]]], interval_s: float
+) -> List[SpanRecord]:
+    """Synthesize one fixed-width span per sampled leaf frame.
+
+    This rides the existing Chrome Trace exporter
+    (:func:`repro.obs.export.write_chrome_trace`): each sample becomes a
+    ``ph:"X"`` slice of one interval at the sample instant, named after
+    the leaf frame with the full stack in ``attrs`` — enough for a
+    chrome://tracing strip chart of where samples landed over the run.
+    """
+    records: List[SpanRecord] = []
+    for idx, (at_s, labels) in enumerate(samples):
+        leaf = labels[-1] if labels else "<idle>"
+        records.append(
+            SpanRecord(
+                span_id=idx + 1,
+                parent_id=None,
+                name=f"sample:{leaf}",
+                start_s=at_s,
+                end_s=at_s + interval_s,
+                attrs={"stack": collapse(labels)},
+            )
+        )
+    return records
+
+
+class StackSampler:
+    """Samples the main thread's stack on a daemon thread.
+
+    Parameters
+    ----------
+    interval_s:
+        Target sampling period.  5 ms resolves spans of a few tens of
+        milliseconds while staying invisible next to kernel runtimes.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` whose open-span stack
+        prefixes every sample (``span:<name>`` pseudo-frames).
+    max_samples:
+        Hard cap on retained timestamped samples (the collapsed counts
+        keep aggregating past it); bounds memory on very long runs.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 0.005,
+        tracer: Optional[Any] = None,
+        clock=monotonic,
+        max_samples: int = 200_000,
+    ):
+        self.interval_s = interval_s
+        self.counts: Dict[str, int] = {}
+        self.samples: List[Tuple[float, List[str]]] = []
+        self.n_samples = 0
+        self.dropped_samples = 0
+        self._tracer = tracer
+        self._clock = clock
+        self._max_samples = max_samples
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._target_ident: Optional[int] = None
+        self._epoch = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "StackSampler":
+        if self._thread is not None:
+            return self
+        self._target_ident = threading.main_thread().ident
+        self._epoch = self._clock()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-stack-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "StackSampler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    # -- sampling -----------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample_once()
+
+    def sample_once(self, frames: Optional[Mapping[int, Any]] = None) -> List[str]:
+        """Take one sample; ``frames`` is injectable for tests.
+
+        Returns the recorded label stack (empty if the target thread had
+        no frame — interpreter shutdown or a never-started sampler).
+        """
+        if frames is None:
+            frames = sys._current_frames()
+        frame = frames.get(self._target_ident) if self._target_ident else None
+        if frame is None:
+            return []
+        labels = walk_stack(frame)
+        if self._tracer is not None:
+            span_names = self._tracer.stack_names()
+            labels = [f"span:{name}" for name in span_names] + labels
+        key = collapse(labels)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.n_samples += 1
+        if len(self.samples) < self._max_samples:
+            self.samples.append((self._clock() - self._epoch, labels))
+        else:
+            self.dropped_samples += 1
+        return labels
+
+    # -- export -------------------------------------------------------------
+    def collapsed_text(self) -> str:
+        """The full collapsed-stack file body (flamegraph.pl input)."""
+        lines = collapsed_lines(self.counts)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_spans(self) -> List[SpanRecord]:
+        return samples_to_spans(self.samples, self.interval_s)
+
+    def summary(self) -> Dict[str, Any]:
+        """The ``sampler`` section of ``profile.json``."""
+        return {
+            "enabled": True,
+            "samples": self.n_samples,
+            "interval_ms": self.interval_s * 1000.0,
+            "distinct_stacks": len(self.counts),
+        }

@@ -1,0 +1,219 @@
+"""Deterministic self-time attribution over a tracer's span tree.
+
+Spans record *inclusive* durations: ``stage.experiments`` covers every
+kernel that ran inside it.  For hotspot work we want *exclusive* (self)
+time — the part of a span's interval not covered by its closed children:
+
+    self(s) = duration(s) − Σ duration(c)  for closed children c of s
+
+Summed over all closed spans the child terms telescope, so in a
+well-nested trace the per-name self-times add up to the total duration
+of the closed root spans — the invariant the hypothesis suite pins down
+and ``profile.json`` consumers may rely on.  Out-of-order exits (leaked
+spans that closed late) can push an individual self-time slightly
+negative; the aggregate invariant then holds only approximately, which
+is one more reason the run report flags leaks.
+
+Everything here is pure post-processing: no clocks, no I/O.  The same
+functions serve ``repro obs profile`` (fresh runs), ``repro obs
+summarize --top`` (retroactive profiling of trace JSONL), and the
+hotspot benchmark gates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "SelfTimeEntry",
+    "SelfTimeProfile",
+    "StageBreakdown",
+    "render_self_time",
+    "self_time_profile",
+    "span_layer",
+]
+
+#: Prefix marking pipeline-stage spans; attribution rolls every span up
+#: to its nearest ancestor with this prefix.
+STAGE_PREFIX = "stage."
+
+
+def span_layer(name: str) -> str:
+    """The architectural layer a span name belongs to (``plan.filter``
+    → ``plan``); names without a dot are their own layer."""
+    head, _, _ = name.partition(".")
+    return head
+
+
+@dataclass
+class SelfTimeEntry:
+    """Aggregated exclusive time for one span name."""
+
+    name: str
+    layer: str
+    calls: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+
+
+@dataclass
+class StageBreakdown:
+    """Self-time within one pipeline stage, hottest first."""
+
+    stage: str
+    total_s: float = 0.0
+    entries: List[SelfTimeEntry] = field(default_factory=list)
+
+
+@dataclass
+class SelfTimeProfile:
+    """The full attribution result for one trace."""
+
+    entries: List[SelfTimeEntry] = field(default_factory=list)
+    stages: List[StageBreakdown] = field(default_factory=list)
+    root_total_s: float = 0.0
+    n_spans: int = 0
+    n_open: int = 0
+
+    def entry(self, name: str) -> Optional[SelfTimeEntry]:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        return None
+
+    def self_total_s(self) -> float:
+        """Σ self over all names — equals :attr:`root_total_s` when the
+        trace is well nested (math.fsum keeps the check stable)."""
+        return math.fsum(e.self_s for e in self.entries)
+
+
+def _as_dict(span: Any) -> Mapping[str, Any]:
+    """Accept :class:`~repro.obs.trace.SpanRecord` or exported dicts."""
+    if isinstance(span, Mapping):
+        return span
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+    }
+
+
+def self_time_profile(spans: Iterable[Any]) -> SelfTimeProfile:
+    """Attribute exclusive time per span name, per stage.
+
+    ``spans`` may be tracer records or dicts from trace JSONL.  Only
+    closed spans contribute time; open spans are counted so callers can
+    surface them.  Output ordering is fully deterministic: entries by
+    (−self, name), stages by first start time.
+    """
+    rows = [_as_dict(s) for s in spans]
+    closed = [r for r in rows if r.get("end_s") is not None]
+    n_open = len(rows) - len(closed)
+
+    by_id: Dict[int, Mapping[str, Any]] = {r["span_id"]: r for r in rows}
+    child_sum: Dict[int, float] = {}
+    for r in closed:
+        parent = r.get("parent_id")
+        if parent is not None:
+            dur = r["end_s"] - r["start_s"]
+            child_sum[parent] = child_sum.get(parent, 0.0) + dur
+
+    def stage_of(r: Mapping[str, Any]) -> Optional[str]:
+        seen = 0
+        current: Optional[Mapping[str, Any]] = r
+        while current is not None and seen <= len(rows):
+            name = current["name"]
+            if name.startswith(STAGE_PREFIX):
+                return name[len(STAGE_PREFIX):]
+            parent = current.get("parent_id")
+            current = by_id.get(parent) if parent is not None else None
+            seen += 1
+        return None
+
+    entries: Dict[str, SelfTimeEntry] = {}
+    per_stage: Dict[str, Dict[str, SelfTimeEntry]] = {}
+    stage_totals: Dict[str, float] = {}
+    stage_first_start: Dict[str, float] = {}
+    root_total = 0.0
+    for r in closed:
+        name = r["name"]
+        dur = r["end_s"] - r["start_s"]
+        self_s = dur - child_sum.get(r["span_id"], 0.0)
+        entry = entries.get(name)
+        if entry is None:
+            entry = entries[name] = SelfTimeEntry(name=name, layer=span_layer(name))
+        entry.calls += 1
+        entry.total_s += dur
+        entry.self_s += self_s
+        if r.get("parent_id") is None:
+            root_total += dur
+        stage = stage_of(r)
+        if stage is not None:
+            bucket = per_stage.setdefault(stage, {})
+            stage_entry = bucket.get(name)
+            if stage_entry is None:
+                stage_entry = bucket[name] = SelfTimeEntry(
+                    name=name, layer=span_layer(name)
+                )
+            stage_entry.calls += 1
+            stage_entry.total_s += dur
+            stage_entry.self_s += self_s
+            if name == STAGE_PREFIX + stage:
+                stage_totals[stage] = stage_totals.get(stage, 0.0) + dur
+                first = stage_first_start.get(stage)
+                if first is None or r["start_s"] < first:
+                    stage_first_start[stage] = r["start_s"]
+
+    def entry_key(e: SelfTimeEntry) -> Tuple[float, str]:
+        return (-e.self_s, e.name)
+
+    ordered = sorted(entries.values(), key=entry_key)
+    stages: List[StageBreakdown] = []
+    for stage in sorted(
+        stage_totals, key=lambda s: (stage_first_start.get(s, 0.0), s)
+    ):
+        stages.append(
+            StageBreakdown(
+                stage=stage,
+                total_s=stage_totals[stage],
+                entries=sorted(per_stage.get(stage, {}).values(), key=entry_key),
+            )
+        )
+    return SelfTimeProfile(
+        entries=ordered,
+        stages=stages,
+        root_total_s=root_total,
+        n_spans=len(rows),
+        n_open=n_open,
+    )
+
+
+def render_self_time(
+    profile: SelfTimeProfile, top: int = 15, title: str = "self-time hotspots"
+) -> str:
+    """The top-N table shared by ``obs profile``, ``obs summarize``, and
+    the run report — fixed-width, deterministic, diff-friendly."""
+    lines = [
+        f"{title} (top {top} of {len(profile.entries)} span names, "
+        f"root total {profile.root_total_s:.3f}s)"
+    ]
+    header = (
+        f"  {'span':<32} {'layer':<9} {'calls':>7} "
+        f"{'total_s':>9} {'self_s':>9} {'self%':>6}"
+    )
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    denom = profile.root_total_s
+    for entry in profile.entries[: max(top, 0)]:
+        share = (entry.self_s / denom * 100.0) if denom > 0 else 0.0
+        lines.append(
+            f"  {entry.name:<32} {entry.layer:<9} {entry.calls:>7d} "
+            f"{entry.total_s:>9.3f} {entry.self_s:>9.3f} {share:>5.1f}%"
+        )
+    if profile.n_open:
+        lines.append(f"  ({profile.n_open} span(s) left open; excluded)")
+    return "\n".join(lines)

@@ -128,6 +128,12 @@ def build_run_report(
     checkpoints["hits"] = max(checkpoints["hits"], by_status.get("cached", 0))
 
     top_spans: List[Dict[str, Any]] = []
+    trace_health = {
+        "spans": 0,
+        "open": 0,
+        "spans_leaked": 0,
+        "leaked_names": [],
+    }
     if tracer is not None:
         for rec in tracer.top_spans(top_n):
             top_spans.append(
@@ -138,6 +144,12 @@ def build_run_report(
                     "attrs": {k: rec.attrs[k] for k in sorted(rec.attrs)},
                 }
             )
+        trace_health = {
+            "spans": len(tracer.spans),
+            "open": len(tracer.open_spans),
+            "spans_leaked": tracer.spans_leaked,
+            "leaked_names": tracer.leaked_names(),
+        }
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -159,6 +171,7 @@ def build_run_report(
         "quarantine": quarantine,
         "faults": faults,
         "top_spans": top_spans,
+        "trace": trace_health,
         "metrics": metrics_snapshot if metrics_snapshot is not None else {},
     }
 
@@ -231,6 +244,19 @@ def render_run_report(data: Dict[str, Any]) -> str:
                 f"  {i:>2d}. {rec.get('name', '?'):<32s} "
                 f"{rec.get('duration_s', 0.0):>9.4f}s"
             )
+    trace = data.get("trace") or {}
+    if trace.get("spans"):
+        lines.append(
+            f"trace: {trace.get('spans', 0)} spans, "
+            f"{trace.get('open', 0)} open, "
+            f"{trace.get('spans_leaked', 0)} leaked"
+        )
+    if trace.get("spans_leaked"):
+        names = ", ".join(trace.get("leaked_names") or []) or "?"
+        lines.append(
+            f"WARNING: {trace['spans_leaked']} span(s) closed out of order "
+            f"or never closed — leaked: {names}"
+        )
     return "\n".join(lines) + "\n"
 
 

@@ -124,15 +124,40 @@ class Tracer:
         span created with ``metric=...`` closes — the facade wires this
         to the metrics registry so kernel spans feed histograms without
         the tracer importing metrics.
+    on_leak:
+        Optional callback ``(span_name)`` invoked when an outer span
+        closes over a still-open inner span (the inner span is *leaked*:
+        it was force-popped off the stack and its interval will never
+        close unless its exit eventually runs out of order).  The facade
+        wires this to the ``trace.spans_leaked`` counter.
     """
 
-    def __init__(self, clock=monotonic, observe=None):
+    def __init__(self, clock=monotonic, observe=None, on_leak=None):
         self._clock = clock
         self._observe = observe
+        self._on_leak = on_leak
         self.epoch = clock()
         self.spans: List[SpanRecord] = []
         self._stack: List[int] = []
+        self._by_id: Dict[int, SpanRecord] = {}
+        self._leaked: Dict[int, str] = {}
+        self._hooks: List[Any] = []
         self._next_id = 1
+
+    # -- hooks --------------------------------------------------------------
+    def add_hook(self, hook: Any) -> None:
+        """Register an object with ``on_open(record)`` / ``on_close(record)``.
+
+        Hooks are how the allocation profiler rides the span lifecycle
+        without the tracer importing it; the empty-list check keeps the
+        unhooked path free.
+        """
+        if hook not in self._hooks:
+            self._hooks.append(hook)
+
+    def remove_hook(self, hook: Any) -> None:
+        if hook in self._hooks:
+            self._hooks.remove(hook)
 
     # -- recording ----------------------------------------------------------
     def span(self, name: str, metric: Optional[str] = None, **attrs: Any) -> Span:
@@ -146,24 +171,65 @@ class Tracer:
         )
         self._next_id += 1
         self.spans.append(record)
+        self._by_id[record.span_id] = record
         self._stack.append(record.span_id)
+        if self._hooks:
+            for hook in self._hooks:
+                hook.on_open(record)
         return Span(self, record, metric)
 
     def _close(self, record: SpanRecord, metric: Optional[str]) -> None:
         record.end_s = self._clock() - self.epoch
         # Exiting out of order (a leaked inner span) must not corrupt the
-        # stack for outer spans: pop through the closing span's id.
-        while self._stack:
-            popped = self._stack.pop()
-            if popped == record.span_id:
-                break
+        # stack for outer spans: pop through the closing span's id,
+        # recording every span popped early as leaked.  A close whose id
+        # is no longer on the stack is the other half of the same story —
+        # the span was force-popped earlier and its exit finally ran — so
+        # it un-leaks rather than wiping the stack for everyone else.
+        if record.span_id in self._stack:
+            while self._stack:
+                popped = self._stack.pop()
+                if popped == record.span_id:
+                    break
+                leaked_rec = self._by_id.get(popped)
+                leaked_name = leaked_rec.name if leaked_rec is not None else "?"
+                self._leaked[popped] = leaked_name
+                if self._on_leak is not None:
+                    self._on_leak(leaked_name)
+        else:
+            self._leaked.pop(record.span_id, None)
         if metric is not None and self._observe is not None:
             self._observe(metric, record.duration_s * 1000.0)
+        if self._hooks:
+            for hook in self._hooks:
+                hook.on_close(record)
 
     # -- inspection ---------------------------------------------------------
     @property
     def open_spans(self) -> List[SpanRecord]:
         return [s for s in self.spans if s.end_s is None]
+
+    @property
+    def spans_leaked(self) -> int:
+        """Spans force-popped by an outer close that never closed themselves."""
+        return len(self._leaked)
+
+    def leaked_names(self) -> List[str]:
+        """Sorted, de-duplicated names of currently-leaked spans."""
+        return sorted(set(self._leaked.values()))
+
+    def stack_names(self) -> List[str]:
+        """Names of the currently-open span stack, outermost first.
+
+        Safe to call from another thread (the sampler): it snapshots the
+        stack list and tolerates ids that close mid-iteration.
+        """
+        names: List[str] = []
+        for span_id in list(self._stack):
+            record = self._by_id.get(span_id)
+            if record is not None:
+                names.append(record.name)
+        return names
 
     def closed_spans(self) -> List[SpanRecord]:
         return [s for s in self.spans if s.end_s is not None]

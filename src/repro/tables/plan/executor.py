@@ -141,7 +141,7 @@ def _exec(
     with obs.span(
         "plan." + node.op, metric=f"plan.{node.op}_ms"
     ) as span:
-        result = _dispatch(node, cache, expr_cache, fact_hint)
+        result = _dispatch(node, cache, expr_cache, fact_hint, span)
         span.set(rows=result.n_rows)
 
     if cache is not None and fingerprint is not None:
@@ -154,9 +154,14 @@ def _dispatch(
     cache: Optional[PlanCache],
     expr_cache: Dict,
     fact_hint,
+    span=None,
 ):
+    # Selective nodes also record rows_in, so the hotspot profile can put
+    # a selectivity next to a hot plan.filter / plan.fused_filter_agg.
     if isinstance(node, Filter):
         child = _exec(node.child, cache, expr_cache)
+        if span is not None:
+            span.set(rows_in=child.n_rows)
         return child._filter_with_mask(
             _mask_for(node.predicate, child, expr_cache)
         )
@@ -173,6 +178,8 @@ def _dispatch(
         return aggregate_impl(child, list(node.keys), node.spec, fact=fact_hint)
     if isinstance(node, FusedFilterAgg):
         child = _exec(node.child, cache, expr_cache)
+        if span is not None:
+            span.set(rows_in=child.n_rows)
         return _exec_fused(node, child, expr_cache)
     if isinstance(node, Join):
         from repro.tables.join import run_join

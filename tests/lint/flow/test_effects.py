@@ -120,6 +120,33 @@ class TestSeams:
         analysis = infer_effects(project)
         assert analysis.sanctioned_of("repro.a.indirect") == {"util.rng"}
 
+    def test_profiler_seam_shadows_the_obs_seam(self):
+        from repro.lint.flow.effects import seam_of
+
+        # Insertion order matters: the profiler's more specific fragment
+        # must win over the enclosing repro/obs/ seam.
+        assert seam_of("src/repro/obs/profile/sampler.py") == "obs.profile"
+        assert seam_of("src/repro/obs/clock.py") == "obs"
+        assert seam_of("src/repro/tables/table.py") is None
+
+    def test_profiler_call_sanctions_as_obs_profile(self, project_of):
+        project = project_of(
+            {
+                "repro/obs/profile/sampler.py": """
+                    def collapse(labels):
+                        return ";".join(labels)
+                    """,
+                "repro/a.py": """
+                    from repro.obs.profile.sampler import collapse
+
+                    def render(labels):
+                        return collapse(labels)
+                    """,
+            }
+        )
+        analysis = infer_effects(project)
+        assert analysis.sanctioned_of("repro.a.render") == {"obs.profile"}
+
 
 class TestWitness:
     def test_witness_path_names_the_direct_source(self, project_of):

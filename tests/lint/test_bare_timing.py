@@ -1,5 +1,6 @@
 """The no-bare-timing rule: clock reads flagged outside obs/ and benchmarks/,
-and BENCH_* artifact literals flagged outside the sanctioned writer."""
+BENCH_* artifact literals flagged outside the sanctioned writer, and raw
+profiling machinery flagged outside repro/obs/profile/."""
 
 RULE = ["no-bare-timing"]
 
@@ -59,6 +60,44 @@ class TestAllowed:
     def test_unrelated_time_attribute(self, lint_snippet):
         # attributes on some other object called `time` never match reads
         assert lint_snippet("import time\nz = time.timezone\n", RULE) == []
+
+
+class TestProfilingMachinery:
+    def test_import_tracemalloc_flagged(self, lint_snippet):
+        diags = lint_snippet("import tracemalloc\n", RULE)
+        assert len(diags) == 1
+        assert "profiler seam" in diags[0].message
+        assert "repro.obs.profile" in diags[0].message
+
+    def test_from_tracemalloc_import_flagged(self, lint_snippet):
+        diags = lint_snippet("from tracemalloc import start\n", RULE)
+        assert len(diags) == 1
+
+    def test_sys_current_frames_flagged(self, lint_snippet):
+        diags = lint_snippet("import sys\nf = sys._current_frames()\n", RULE)
+        assert len(diags) == 1
+        assert "stack sampling" in diags[0].message
+
+    def test_profiler_package_is_exempt(self, lint_snippet):
+        source = "import sys, tracemalloc\nf = sys._current_frames()\n"
+        assert lint_snippet(
+            source, RULE, relpath="repro/obs/profile/sampler.py"
+        ) == []
+
+    def test_benchmarks_may_measure_the_profiler(self, lint_snippet):
+        assert lint_snippet(
+            "import tracemalloc\n", RULE, relpath="benchmarks/test_x.py"
+        ) == []
+
+    def test_obs_outside_profile_is_not_exempt(self, lint_snippet):
+        # The clock shim may read clocks; it may NOT grow a profiler.
+        diags = lint_snippet(
+            "import tracemalloc\n", RULE, relpath="repro/obs/clock.py"
+        )
+        assert len(diags) == 1
+
+    def test_other_sys_attributes_fine(self, lint_snippet):
+        assert lint_snippet("import sys\nv = sys.version\n", RULE) == []
 
 
 class TestBenchArtifactLiterals:

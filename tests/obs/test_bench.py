@@ -10,6 +10,7 @@ from repro.obs.bench import (
     EXIT_PERF_REGRESSION,
     BenchRegistry,
     append_history,
+    baseline_path,
     compare,
     load_history,
     load_legacy_baselines,
@@ -151,6 +152,26 @@ class TestLegacyUnification:
 
     def test_missing_snapshots_are_fine(self, tmp_path):
         assert load_legacy_baselines(tmp_path) == {}
+
+    def test_profile_hotspots_unify_under_raw_names(self, tmp_path):
+        write_snapshot(
+            tmp_path / "BENCH_profile.json",
+            {"benchmarks": {
+                "hotspot.stage.generate": {"self_s": 5.0, "calls": 1},
+                "hotspot.plan.filter": {"self_s": 0.05, "calls": 214},
+                "not_a_hotspot": {"seconds": 1.0},
+            }},
+        )
+        rows = load_legacy_baselines(tmp_path)
+        # Hotspot rows are pre-namespaced: no extra prefix added.
+        assert rows["hotspot.stage.generate"]["seconds"] == 5.0
+        assert rows["hotspot.plan.filter"]["calls"] == 214
+        assert "not_a_hotspot" not in rows  # only self_s rows are gated
+
+    def test_profile_baseline_path(self, tmp_path):
+        assert baseline_path("profile", tmp_path).name == "BENCH_profile.json"
+        with pytest.raises(ValueError, match="engine|obs|storage|profile"):
+            baseline_path("nope", tmp_path)
 
     def test_write_snapshot_format(self, tmp_path):
         path = write_snapshot(tmp_path / "BENCH_x.json", {"benchmarks": {}})

@@ -180,6 +180,90 @@ class TestLineage:
         assert out.startswith("digraph provenance {")
 
 
+class TestProfile:
+    def test_summarize_trace_shows_self_time(self, artifacts, capsys):
+        rc = main([
+            "obs", "summarize", "--trace", str(artifacts / "trace.jsonl"),
+            "--top", "5",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "self-time" in out
+        assert "stage.generate" in out
+        assert "self%" in out
+
+    def test_profile_from_trace_writes_and_renders(self, artifacts, capsys):
+        out_path = artifacts / "profile.json"
+        rc = main([
+            "obs", "profile", "--trace", str(artifacts / "trace.jsonl"),
+            "--out", str(out_path),
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert f"wrote {out_path}" in captured.err
+        assert "profile — run" in captured.out
+        assert "kernel.groupby" in captured.out
+        data = json.loads(out_path.read_text())
+        assert data["schema_version"] == 1
+        assert data["source"] == "trace.jsonl"
+
+    def test_profile_rebuild_is_byte_stable(self, artifacts, capsys):
+        a, b = artifacts / "pa.json", artifacts / "pb.json"
+        for out in (a, b):
+            assert main([
+                "obs", "profile", "--trace", str(artifacts / "trace.jsonl"),
+                "--out", str(out),
+            ]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_profile_reads_written_profile_json(self, artifacts, capsys):
+        out_path = artifacts / "profile.json"
+        main([
+            "obs", "profile", "--trace", str(artifacts / "trace.jsonl"),
+            "--out", str(out_path),
+        ])
+        capsys.readouterr()
+        rc = main(["obs", "profile", "--profile-json", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stage.generate" in out
+
+    def test_invalid_profile_json_exits_one(self, artifacts, capsys):
+        bad = artifacts / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 1}))
+        rc = main(["obs", "profile", "--profile-json", str(bad)])
+        assert rc == 1
+        assert "schema violation" in capsys.readouterr().err
+
+    def test_flame_without_samples_is_a_clean_error(self, tmp_path, capsys):
+        rc = main([
+            "--obs-dir", str(tmp_path), "obs", "profile", "--flame",
+        ])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "samples.collapsed" in err
+        assert "--profile" in err
+
+    def test_flame_prints_collapsed_stacks(self, tmp_path, capsys):
+        (tmp_path / "samples.collapsed").write_text("span:stage.x;f 3\n")
+        rc = main(["--obs-dir", str(tmp_path), "obs", "profile", "--flame"])
+        assert rc == 0
+        assert capsys.readouterr().out == "span:stage.x;f 3\n"
+
+    def test_flame_looks_next_to_profile_json(self, tmp_path, capsys):
+        # --profile-json anchors the samples lookup so a copied obs dir
+        # works without also passing --obs-dir.
+        (tmp_path / "profile.json").write_text("{}")
+        (tmp_path / "samples.collapsed").write_text("span:stage.y;g 7\n")
+        rc = main([
+            "obs", "profile",
+            "--profile-json", str(tmp_path / "profile.json"), "--flame",
+        ])
+        assert rc == 0
+        assert capsys.readouterr().out == "span:stage.y;g 7\n"
+
+
 class TestMem:
     def test_mem_renders_memory_report(self, capsys):
         rc = main(["--scale", "0.02", "obs", "mem", "--top", "3"])

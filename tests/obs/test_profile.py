@@ -1,0 +1,201 @@
+"""Self-time attribution and the profile.json document pipeline."""
+
+import json
+
+import pytest
+
+from repro.obs.export import write_spans_jsonl
+from repro.obs.profile import (
+    build_from_trace_file,
+    build_profile_doc,
+    render_profile,
+    render_self_time,
+    self_time_profile,
+    validate_profile,
+    write_profile,
+)
+from repro.obs.profile.selftime import span_layer
+from repro.obs.trace import SpanRecord, Tracer
+
+
+def span(i, parent, name, start, end):
+    """A trace-JSONL-shaped span dict (the other accepted input shape)."""
+    return {
+        "span_id": i, "parent_id": parent, "name": name,
+        "start_s": start, "end_s": end,
+    }
+
+
+class TestSelfTime:
+    def test_self_is_duration_minus_children(self):
+        spans = [
+            span(1, None, "stage.run", 0.0, 10.0),
+            span(2, 1, "kernel.a", 1.0, 4.0),
+            span(3, 1, "kernel.b", 5.0, 7.0),
+        ]
+        prof = self_time_profile(spans)
+        assert prof.entry("stage.run").self_s == pytest.approx(5.0)
+        assert prof.entry("kernel.a").self_s == pytest.approx(3.0)
+        assert prof.root_total_s == pytest.approx(10.0)
+        assert prof.self_total_s() == pytest.approx(prof.root_total_s)
+
+    def test_repeated_names_aggregate_calls(self):
+        spans = [
+            span(1, None, "root", 0.0, 6.0),
+            span(2, 1, "kernel.x", 0.0, 2.0),
+            span(3, 1, "kernel.x", 3.0, 4.0),
+        ]
+        entry = self_time_profile(spans).entry("kernel.x")
+        assert entry.calls == 2
+        assert entry.total_s == pytest.approx(3.0)
+        assert entry.self_s == pytest.approx(3.0)
+
+    def test_open_spans_excluded_but_counted(self):
+        spans = [
+            span(1, None, "root", 0.0, 5.0),
+            span(2, 1, "never.closed", 1.0, None),
+        ]
+        prof = self_time_profile(spans)
+        assert prof.n_open == 1
+        assert prof.entry("never.closed") is None
+        # The open child contributes nothing, so the root keeps it all.
+        assert prof.entry("root").self_s == pytest.approx(5.0)
+
+    def test_stage_attribution_walks_ancestors(self):
+        spans = [
+            span(1, None, "stage.ingest", 0.0, 8.0),
+            span(2, 1, "analysis.x", 1.0, 6.0),
+            span(3, 2, "kernel.join", 2.0, 5.0),
+        ]
+        prof = self_time_profile(spans)
+        assert [b.stage for b in prof.stages] == ["ingest"]
+        names = {e.name for e in prof.stages[0].entries}
+        assert names == {"stage.ingest", "analysis.x", "kernel.join"}
+        assert prof.stages[0].total_s == pytest.approx(8.0)
+
+    def test_stages_ordered_by_first_start(self):
+        spans = [
+            span(1, None, "stage.zeta", 0.0, 1.0),
+            span(2, None, "stage.alpha", 2.0, 3.0),
+        ]
+        prof = self_time_profile(spans)
+        assert [b.stage for b in prof.stages] == ["zeta", "alpha"]
+
+    def test_entries_sorted_hottest_first_name_tiebreak(self):
+        spans = [
+            span(1, None, "b.same", 0.0, 1.0),
+            span(2, None, "a.same", 2.0, 3.0),
+            span(3, None, "hot", 4.0, 9.0),
+        ]
+        prof = self_time_profile(spans)
+        assert [e.name for e in prof.entries] == ["hot", "a.same", "b.same"]
+
+    def test_out_of_order_exit_can_go_negative(self):
+        # A child recorded as longer than its parent (out-of-order exits)
+        # must surface as negative self, not crash or clamp.
+        spans = [
+            span(1, None, "parent", 0.0, 2.0),
+            span(2, 1, "child", 0.0, 3.0),
+        ]
+        prof = self_time_profile(spans)
+        assert prof.entry("parent").self_s == pytest.approx(-1.0)
+
+    def test_accepts_tracer_records(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        with tracer.span("stage.one"):
+            with tracer.span("kernel.k"):
+                pass
+        prof = self_time_profile(tracer.spans)
+        assert prof.n_spans == 2
+        assert prof.self_total_s() == pytest.approx(prof.root_total_s)
+
+    def test_span_layer(self):
+        assert span_layer("plan.filter") == "plan"
+        assert span_layer("bare") == "bare"
+
+    def test_render_mentions_open_spans(self):
+        prof = self_time_profile([
+            span(1, None, "root", 0.0, 1.0),
+            span(2, 1, "open", 0.5, None),
+        ])
+        text = render_self_time(prof, top=5)
+        assert "root" in text
+        assert "1 span(s) left open" in text
+
+
+class TestProfileDoc:
+    SPANS = [
+        span(1, None, "stage.generate", 0.0, 4.0),
+        span(2, 1, "kernel.rng", 1.0, 2.0),
+        span(3, None, "stage.ingest", 4.0, 6.0),
+    ]
+
+    def test_doc_validates_against_schema(self):
+        doc = build_profile_doc(self.SPANS, run_id="r1")
+        assert validate_profile(doc) == []
+
+    def test_doc_share_and_defaults(self):
+        doc = build_profile_doc(self.SPANS)
+        by_name = {row["name"]: row for row in doc["self_time"]}
+        assert by_name["stage.generate"]["share"] == pytest.approx(3.0 / 6.0)
+        assert doc["sampler"] == {
+            "enabled": False, "samples": 0, "interval_ms": None,
+            "distinct_stacks": 0,
+        }
+        assert doc["allocs"] == {"enabled": False, "entries": []}
+
+    def test_validate_catches_missing_section(self):
+        doc = build_profile_doc(self.SPANS)
+        del doc["self_time"]
+        assert validate_profile(doc)
+
+    def test_validate_catches_extra_key(self):
+        doc = build_profile_doc(self.SPANS)
+        doc["surprise"] = 1
+        assert validate_profile(doc)
+
+    def test_write_is_byte_stable(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_profile(build_profile_doc(self.SPANS, run_id="r"), str(a))
+        write_profile(build_profile_doc(self.SPANS, run_id="r"), str(b))
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes().endswith(b"\n")
+
+    def test_render_shows_leaks_sampler_allocs(self):
+        doc = build_profile_doc(
+            self.SPANS,
+            spans_leaked=2,
+            leaked_names=["kernel.leaky"],
+            sampler={"enabled": True, "samples": 40, "interval_ms": 5.0,
+                     "distinct_stacks": 7},
+            allocs={"enabled": True, "entries": [
+                {"name": "stage.generate", "calls": 1,
+                 "self_bytes": 2048, "total_bytes": 4096},
+            ]},
+        )
+        assert validate_profile(doc) == []
+        text = render_profile(doc, top=5, allocs=True)
+        assert "leaked: kernel.leaky" in text
+        assert "40 samples @ 5.0ms" in text
+        assert "2.0KiB" in text
+        assert "per-stage self-time:" in text
+
+    def test_build_from_trace_file_round_trip(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        records = [
+            SpanRecord(
+                span_id=s["span_id"], parent_id=s["parent_id"],
+                name=s["name"], start_s=s["start_s"], end_s=s["end_s"],
+            )
+            for s in self.SPANS
+        ]
+        write_spans_jsonl(records, str(trace))
+        doc = build_from_trace_file(str(trace), run_id="rt")
+        assert validate_profile(doc) == []
+        assert doc["source"] == "trace.jsonl"  # basename: byte-stable
+        assert doc["run_id"] == "rt"
+        assert doc["trace"]["spans"] == 3
+
+    def test_doc_is_json_clean(self):
+        doc = build_profile_doc(self.SPANS)
+        assert json.loads(json.dumps(doc)) == doc

@@ -1,0 +1,129 @@
+"""Allocation attribution: the byte-space analogue of self-time."""
+
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import ProfileSession
+from repro.obs.profile.allocs import AllocationProfiler
+from repro.obs.trace import Tracer
+
+
+class FakeHeap:
+    """A scriptable traced-heap reader."""
+
+    def __init__(self):
+        self.size = 0
+
+    def __call__(self):
+        return self.size
+
+
+class TestAttribution:
+    def test_self_bytes_exclude_children(self, fake_clock):
+        heap = FakeHeap()
+        tracer = Tracer(clock=fake_clock)
+        profiler = AllocationProfiler(read=heap)
+        tracer.add_hook(profiler)
+        with tracer.span("outer"):
+            heap.size += 100
+            with tracer.span("inner"):
+                heap.size += 40
+        entries = {r["name"]: r for r in profiler.entries()}
+        assert entries["inner"]["self_bytes"] == 40
+        assert entries["outer"]["self_bytes"] == 100
+        assert entries["outer"]["total_bytes"] == 140
+
+    def test_negative_net_allocation_is_reported(self, fake_clock):
+        heap = FakeHeap()
+        tracer = Tracer(clock=fake_clock)
+        profiler = AllocationProfiler(read=heap)
+        tracer.add_hook(profiler)
+        heap.size = 1000
+        with tracer.span("drop_columns"):
+            heap.size = 400  # frees more than it allocates
+        assert profiler.entries()[0]["self_bytes"] == -600
+
+    def test_calls_accumulate_per_name(self, fake_clock):
+        heap = FakeHeap()
+        tracer = Tracer(clock=fake_clock)
+        profiler = AllocationProfiler(read=heap)
+        tracer.add_hook(profiler)
+        for _ in range(3):
+            with tracer.span("kernel.x"):
+                heap.size += 10
+        entry = profiler.entries()[0]
+        assert entry["calls"] == 3
+        assert entry["self_bytes"] == 30
+
+    def test_entries_sorted_biggest_self_first(self, fake_clock):
+        heap = FakeHeap()
+        tracer = Tracer(clock=fake_clock)
+        profiler = AllocationProfiler(read=heap)
+        tracer.add_hook(profiler)
+        with tracer.span("small"):
+            heap.size += 5
+        with tracer.span("big"):
+            heap.size += 500
+        assert [r["name"] for r in profiler.entries()] == ["small", "big"][::-1]
+
+    def test_leaked_span_frames_follow_tracer_discipline(self, fake_clock):
+        heap = FakeHeap()
+        tracer = Tracer(clock=fake_clock)
+        profiler = AllocationProfiler(read=heap)
+        tracer.add_hook(profiler)
+        outer = tracer.span("outer")
+        inner = tracer.span("leaky")
+        heap.size += 50
+        outer.__exit__(None, None, None)  # pops-through the leaked frame
+        inner.__exit__(None, None, None)  # stale close: ignored
+        entries = {r["name"]: r for r in profiler.entries()}
+        # The leaked frame was finalized at the outer close; the 50 bytes
+        # land on the leaked span, the outer span's self stays 0.
+        assert entries["leaky"]["self_bytes"] == 50
+        assert entries["outer"]["self_bytes"] == 0
+        assert entries["leaky"]["calls"] == 1
+
+    def test_summary_shape(self):
+        profiler = AllocationProfiler(read=lambda: 0)
+        assert profiler.summary() == {"enabled": True, "entries": []}
+
+
+class TestTracemallocIntegration:
+    def test_session_attributes_real_allocations(self):
+        obs.enable(trace=True, metrics=False)
+        session = ProfileSession(sample=False, allocs=True).start()
+        try:
+            with obs.span("stage.alloc_heavy"):
+                blob = [bytearray(1024) for _ in range(200)]
+            assert blob  # keep it alive past the span close
+        finally:
+            session.stop()
+        entries = {r["name"]: r for r in session.alloc_summary()["entries"]}
+        assert entries["stage.alloc_heavy"]["self_bytes"] > 100 * 1024
+
+    def test_session_leaves_tracemalloc_as_found(self):
+        assert not tracemalloc.is_tracing()
+        obs.enable(trace=True, metrics=False)
+        session = ProfileSession(sample=False, allocs=True).start()
+        assert tracemalloc.is_tracing()
+        session.stop()
+        assert not tracemalloc.is_tracing()
+
+    def test_session_respects_already_tracing(self):
+        tracemalloc.start()
+        try:
+            obs.enable(trace=True, metrics=False)
+            session = ProfileSession(sample=False, allocs=True).start()
+            session.stop()
+            # We didn't start it, so we must not stop it.
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_start_requires_tracing(self):
+        from repro.util.errors import ReproError
+
+        with pytest.raises(ReproError, match="needs tracing"):
+            ProfileSession(sample=False, allocs=False).start()

@@ -1,0 +1,93 @@
+"""Properties of self-time attribution and profile.json determinism.
+
+The load-bearing invariant (docstring of ``selftime``): in a well-nested
+trace the child terms telescope, so Σ self over all span names equals
+the total duration of the closed root spans — exactly, not merely
+approximately, because attribution is pure float arithmetic over the
+recorded endpoints and the check sums with ``math.fsum``.
+"""
+
+import json
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.profile import build_profile_doc, self_time_profile, validate_profile
+from repro.obs.trace import Tracer
+
+
+def run_random_nesting(tracer, ops, names, max_depth=12):
+    """Drive a tracer with a random open/close sequence (well-scoped)."""
+    stack = []
+    for op, name in zip(ops, names):
+        if op and len(stack) < max_depth:
+            stack.append(tracer.span(name))
+        elif stack:
+            stack.pop().__exit__(None, None, None)
+    while stack:
+        stack.pop().__exit__(None, None, None)
+
+
+#: A few colliding names plus stage-prefixed ones, so aggregation across
+#: repeated names and stage attribution both get exercised.
+NAMES = st.sampled_from(
+    ["stage.a", "stage.b", "kernel.x", "kernel.y", "analysis.z", "plain"]
+)
+
+
+class TestSelfTimeInvariant:
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data(), ops=st.lists(st.booleans(), max_size=200))
+    def test_self_times_sum_to_root_total(self, data, ops):
+        names = data.draw(
+            st.lists(NAMES, min_size=len(ops), max_size=len(ops))
+        )
+        ticks = iter(range(10_000_000))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        run_random_nesting(tracer, ops, names)
+
+        prof = self_time_profile(tracer.spans)
+        assert prof.n_open == 0
+        roots = math.fsum(
+            s.duration_s for s in tracer.spans if s.parent_id is None
+        )
+        assert prof.self_total_s() == roots
+        assert prof.root_total_s == roots
+        # per-entry sanity: inclusive covers exclusive in nested traces
+        for entry in prof.entries:
+            assert entry.total_s >= entry.self_s
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), ops=st.lists(st.booleans(), max_size=120))
+    def test_calls_partition_the_spans(self, data, ops):
+        names = data.draw(
+            st.lists(NAMES, min_size=len(ops), max_size=len(ops))
+        )
+        ticks = iter(range(10_000_000))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        run_random_nesting(tracer, ops, names)
+        prof = self_time_profile(tracer.spans)
+        assert sum(e.calls for e in prof.entries) == len(tracer.spans)
+        assert prof.n_spans == len(tracer.spans)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data(), ops=st.lists(st.booleans(), max_size=120))
+    def test_profile_doc_is_deterministic_and_valid(self, data, ops):
+        names = data.draw(
+            st.lists(NAMES, min_size=len(ops), max_size=len(ops))
+        )
+        ticks = iter(range(10_000_000))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        run_random_nesting(tracer, ops, names)
+
+        doc_a = build_profile_doc(tracer.spans, run_id="p")
+        doc_b = build_profile_doc(list(tracer.spans), run_id="p")
+        canon = lambda d: json.dumps(d, indent=2, sort_keys=True)  # noqa: E731
+        assert canon(doc_a) == canon(doc_b)  # byte-stable
+        assert validate_profile(doc_a) == []
+        shares = [row["share"] for row in doc_a["self_time"]]
+        if doc_a["root_total_s"] > 0:
+            # Each share rounds once (self/root), so the sum is 1 only up
+            # to one ulp per entry — not exactly.
+            assert abs(math.fsum(shares) - 1.0) <= 1e-12 * len(shares)

@@ -1,0 +1,144 @@
+"""The statistical stack sampler: encoding, injection, live smoke."""
+
+import sys
+import threading
+
+from repro.obs.export import write_chrome_trace
+from repro.obs.profile.sampler import (
+    StackSampler,
+    collapse,
+    collapsed_lines,
+    frame_label,
+    parse_collapsed,
+    samples_to_spans,
+    walk_stack,
+)
+from repro.obs.trace import Tracer
+
+
+class TestEncoding:
+    def test_frame_label_strips_to_repo_marker(self):
+        label = frame_label("/home/x/repo/src/repro/tables/table.py", "sort_by")
+        assert label == "src/repro/tables/table.py:sort_by"
+
+    def test_frame_label_outside_repo_keeps_basename(self):
+        assert frame_label("/usr/lib/python3.11/json/__init__.py",
+                           "dumps") == "__init__.py:dumps"
+
+    def test_frame_label_windows_separators(self):
+        label = frame_label("C:\\work\\src\\repro\\obs\\trace.py", "span")
+        assert label == "src/repro/obs/trace.py:span"
+
+    def test_collapse_and_lines_sorted(self):
+        counts = {"b;c": 2, "a": 5}
+        assert collapse(["a", "b"]) == "a;b"
+        assert collapsed_lines(counts) == ["a 5", "b;c 2"]
+
+    def test_parse_collapsed_round_trips(self):
+        counts = {"a;b;c": 3, "a;b": 1, "span:stage.x;a": 7}
+        text = "\n".join(collapsed_lines(counts)) + "\n"
+        assert parse_collapsed(text) == counts
+
+    def test_parse_collapsed_merges_duplicates_and_blanks(self):
+        assert parse_collapsed("a;b 1\n\na;b 2\n") == {"a;b": 3}
+
+
+class TestInjectedSampling:
+    def _frame_here(self):
+        return sys._current_frames()[threading.get_ident()]
+
+    def test_walk_stack_root_first_ends_here(self):
+        labels = walk_stack(self._frame_here())
+        assert labels[-2].endswith(":test_walk_stack_root_first_ends_here")
+        assert labels[-1].endswith(":_frame_here")
+
+    def test_sample_once_counts_and_keeps_timestamps(self):
+        clock = iter(float(i) for i in range(100)).__next__
+        sampler = StackSampler(interval_s=0.5, clock=clock)
+        sampler._target_ident = threading.get_ident()
+        sampler._epoch = clock()
+        frames = {threading.get_ident(): self._frame_here()}
+        sampler.sample_once(frames=frames)
+        sampler.sample_once(frames=frames)
+        assert sampler.n_samples == 2
+        assert len(sampler.samples) == 2
+        assert sampler.summary()["distinct_stacks"] >= 1
+        assert sampler.summary()["interval_ms"] == 500.0
+
+    def test_sample_once_prefixes_open_span_stack(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        sampler = StackSampler(tracer=tracer, clock=fake_clock)
+        sampler._target_ident = threading.get_ident()
+        with tracer.span("stage.x"):
+            with tracer.span("kernel.y"):
+                labels = sampler.sample_once(
+                    frames={threading.get_ident(): self._frame_here()}
+                )
+        assert labels[:2] == ["span:stage.x", "span:kernel.y"]
+
+    def test_sample_cap_keeps_counting(self):
+        sampler = StackSampler(max_samples=1)
+        sampler._target_ident = threading.get_ident()
+        frames = {threading.get_ident(): self._frame_here()}
+        for _ in range(3):
+            sampler.sample_once(frames=frames)
+        assert sampler.n_samples == 3
+        assert len(sampler.samples) == 1
+        assert sampler.dropped_samples == 2
+        assert sum(sampler.counts.values()) == 3
+
+    def test_missing_target_thread_is_harmless(self):
+        sampler = StackSampler()
+        assert sampler.sample_once(frames={}) == []
+        assert sampler.n_samples == 0
+
+
+class TestSampleExport:
+    def test_samples_to_spans_fixed_width(self):
+        spans = samples_to_spans(
+            [(0.0, ["a", "b"]), (1.0, [])], interval_s=0.005
+        )
+        assert [s.name for s in spans] == ["sample:b", "sample:<idle>"]
+        assert spans[0].end_s - spans[0].start_s == 0.005
+        assert spans[0].attrs["stack"] == "a;b"
+
+    def test_chrome_trace_export(self, tmp_path):
+        import json
+
+        spans = samples_to_spans([(0.0, ["f"])], interval_s=0.01)
+        out = tmp_path / "chrome.json"
+        write_chrome_trace(spans, str(out), process_name="repro-sampler")
+        events = json.loads(out.read_text())["traceEvents"]
+        assert any(e.get("name") == "sample:f" for e in events)
+
+
+class TestLiveSampler:
+    def test_start_sample_stop(self):
+        sampler = StackSampler(interval_s=0.001)
+        sampler.start()
+        try:
+            assert sampler.running
+            # Busy-wait on the main thread so samples land in real code.
+            deadline = 200_000
+            acc = 0
+            while sampler.n_samples < 3 and deadline > 0:
+                acc += deadline % 7
+                deadline -= 1
+        finally:
+            sampler.stop()
+        assert not sampler.running
+        assert sampler.n_samples >= 1
+        text = sampler.collapsed_text()
+        assert text.endswith("\n")
+        assert parse_collapsed(text)
+        after = sampler.n_samples
+        assert sampler.n_samples == after  # stopped: no more samples
+
+    def test_start_is_idempotent(self):
+        sampler = StackSampler(interval_s=0.001)
+        sampler.start()
+        thread = sampler._thread
+        sampler.start()
+        assert sampler._thread is thread
+        sampler.stop()
+        sampler.stop()  # also idempotent

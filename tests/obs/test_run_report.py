@@ -108,6 +108,24 @@ class TestBuild:
         data = build_run_report(make_pipeline_report(), run_id="r1")
         assert validate_run_report(data) == []
 
+    def test_trace_health_defaults_without_tracer(self):
+        data = build_run_report(make_pipeline_report())
+        assert data["trace"] == {
+            "spans": 0, "open": 0, "spans_leaked": 0, "leaked_names": [],
+        }
+
+    def test_trace_health_counts_leaks(self):
+        clock = iter(float(i) for i in range(100)).__next__
+        tracer = Tracer(clock=clock)
+        outer = tracer.span("outer")
+        tracer.span("leaky")  # never closed
+        outer.__exit__(None, None, None)
+        data = build_run_report(make_pipeline_report(), tracer=tracer)
+        assert data["trace"]["spans"] == 2
+        assert data["trace"]["spans_leaked"] == 1
+        assert data["trace"]["leaked_names"] == ["leaky"]
+        assert validate_run_report(data) == []
+
 
 class TestRender:
     def test_render_lists_stages_attempts_and_totals(self):
@@ -122,6 +140,30 @@ class TestRender:
         text = render_run_report(build_run_report(make_pipeline_report()))
         # the single-attempt OK stage gets no per-attempt breakdown
         assert "attempt 1: 2.000s" not in text
+
+    def test_leaked_spans_warn_by_name(self):
+        clock = iter(float(i) for i in range(100)).__next__
+        tracer = Tracer(clock=clock)
+        outer = tracer.span("outer")
+        tracer.span("kernel.leaky")  # never closed
+        outer.__exit__(None, None, None)
+        text = render_run_report(
+            build_run_report(make_pipeline_report(), tracer=tracer)
+        )
+        assert "trace: 2 spans" in text
+        assert "WARNING" in text
+        assert "kernel.leaky" in text
+
+    def test_clean_trace_does_not_warn(self):
+        clock = iter(float(i) for i in range(100)).__next__
+        tracer = Tracer(clock=clock)
+        with tracer.span("clean"):
+            pass
+        text = render_run_report(
+            build_run_report(make_pipeline_report(), tracer=tracer)
+        )
+        assert "trace: 1 spans, 0 open, 0 leaked" in text
+        assert "WARNING" not in text
 
 
 class TestWrite:

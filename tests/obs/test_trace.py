@@ -82,6 +82,89 @@ class TestTracer:
         assert seen == [("k_ms", pytest.approx(2500.0))]
 
 
+class TestLeaks:
+    def test_leaked_span_counted_and_named(self, fake_clock):
+        leaked = []
+        tracer = Tracer(clock=fake_clock, on_leak=leaked.append)
+        outer = tracer.span("outer")
+        tracer.span("leaky")  # never closed
+        outer.__exit__(None, None, None)
+        assert tracer.spans_leaked == 1
+        assert tracer.leaked_names() == ["leaky"]
+        assert leaked == ["leaky"]
+
+    def test_late_exit_unleaks_without_wiping_stack(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__exit__(None, None, None)  # force-pops inner: leaked
+        assert tracer.spans_leaked == 1
+        nxt = tracer.span("next")
+        inner.__exit__(None, None, None)  # the leaked span's exit finally runs
+        # The late close un-leaks but must not disturb the open stack.
+        assert tracer.spans_leaked == 0
+        assert tracer.stack_names() == ["next"]
+        nxt.__exit__(None, None, None)
+
+    def test_clean_run_leaks_nothing(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert tracer.spans_leaked == 0
+        assert tracer.leaked_names() == []
+
+    def test_stack_names_outermost_first(self, fake_clock):
+        tracer = Tracer(clock=fake_clock)
+        with tracer.span("stage.x"):
+            with tracer.span("kernel.y"):
+                assert tracer.stack_names() == ["stage.x", "kernel.y"]
+        assert tracer.stack_names() == []
+
+
+class TestHooks:
+    def test_hooks_see_open_and_close(self, fake_clock):
+        events = []
+
+        class Hook:
+            def on_open(self, record):
+                events.append(("open", record.name))
+
+            def on_close(self, record):
+                events.append(("close", record.name))
+
+        tracer = Tracer(clock=fake_clock)
+        hook = Hook()
+        tracer.add_hook(hook)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        tracer.remove_hook(hook)
+        with tracer.span("unobserved"):
+            pass
+        assert events == [
+            ("open", "a"), ("open", "b"), ("close", "b"), ("close", "a"),
+        ]
+
+    def test_add_hook_is_idempotent(self, fake_clock):
+        events = []
+
+        class Hook:
+            def on_open(self, record):
+                events.append(record.name)
+
+            def on_close(self, record):
+                pass
+
+        tracer = Tracer(clock=fake_clock)
+        hook = Hook()
+        tracer.add_hook(hook)
+        tracer.add_hook(hook)
+        with tracer.span("once"):
+            pass
+        assert events == ["once"]
+
+
 class TestFacade:
     def test_disabled_span_is_free_null_object(self):
         span = obs.span("anything", rows=1)
@@ -131,3 +214,11 @@ class TestFacade:
             pass
         assert obs.tracer() is None
         assert obs.metrics_snapshot()["histograms"]["kernel.x_ms"]["count"] == 1
+
+    def test_leaked_span_feeds_counter(self):
+        obs.enable(trace=True, metrics=True)
+        outer = obs.span("outer")
+        obs.span("leaky")  # never closed
+        outer.__exit__(None, None, None)
+        assert obs.tracer().spans_leaked == 1
+        assert obs.metrics_snapshot()["counters"]["trace.spans_leaked"] == 1
