@@ -5,12 +5,13 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 OBS_SMOKE_DIR := results/obs-smoke
 PROFILE_SMOKE_DIR := results/profile-smoke
+LIVE_SMOKE_DIR := results/live-smoke
 
-.PHONY: test unit obs-smoke profile-smoke bench-compare bench-record lint \
-	lint-json lint-fast flow baseline bench bench-engine bench-obs \
-	bench-storage bench-profile chaos
+.PHONY: test unit obs-smoke profile-smoke live-smoke bench-compare \
+	bench-record lint lint-json lint-fast flow baseline bench \
+	bench-engine bench-obs bench-storage bench-profile bench-live chaos
 
-test: unit obs-smoke profile-smoke bench-compare flow chaos
+test: unit obs-smoke profile-smoke live-smoke bench-compare flow chaos
 
 unit:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -47,6 +48,15 @@ profile-smoke:
 		--out $(PROFILE_SMOKE_DIR)/profile_rebuild_b.json >/dev/null
 	cmp $(PROFILE_SMOKE_DIR)/profile_rebuild_a.json \
 		$(PROFILE_SMOKE_DIR)/profile_rebuild_b.json
+
+# Live-observability smoke: a short replay through the streaming
+# aggregator + alert engine via the real CLI, then serve the health API
+# on an ephemeral port, probe every endpoint, and validate alerts.json
+# against docs/alerts.schema.json.  Part of the default `make test`.
+live-smoke:
+	rm -rf $(LIVE_SMOKE_DIR)
+	PYTHONPATH=$(PYTHONPATH) python -m repro --scale 0.05 live smoke \
+		--out $(LIVE_SMOKE_DIR)
 
 # Perf-regression gate: unify the checked-in BENCH snapshots and compare
 # against the latest BENCH_history.jsonl record; exits 6 on a slowdown
@@ -107,6 +117,13 @@ bench-storage:
 # then gates each hotspot individually (exit 6 on a regression).
 bench-profile:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -q benchmarks/test_profile_hotspots.py
+
+# Live-service baseline: aggregator replay throughput plus p50/p99
+# request latency under >=1000 concurrent requests; records
+# BENCH_live.json, which `repro bench compare` gates per key (the
+# percentile rows carry their own floor_ms noise floors).
+bench-live:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q benchmarks/test_live_service.py
 
 # The crash matrix (docs/ROBUSTNESS.md): kill a pipeline run at every
 # announced crash point, resume it, and require byte-identical outputs.

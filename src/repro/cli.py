@@ -21,6 +21,10 @@ Subcommands
                outputs (see docs/ROBUSTNESS.md).
 ``plan``       Inspect lazy query plans: before/after optimizer trees for
                representative chains (see docs/TABLES.md).
+``live``       Live observability: replay the NDT stream through the
+               sliding-window aggregator + alert engine, write the
+               canonical ``alerts.json``, serve the health API
+               (see docs/OBSERVABILITY.md, "Live observability").
 
 Exit codes
 ----------
@@ -71,6 +75,7 @@ from repro.faults import chaos as chaos_cli
 from repro.lint import cli as lint_cli
 from repro.obs import bench as bench_cli
 from repro.obs import cli as obs_cli
+from repro.obs.live import cli as live_cli
 from repro.obs.export import write_chrome_trace, write_spans_jsonl
 from repro.obs.lineage import write_provenance
 from repro.obs.metrics import snapshot_to_json
@@ -185,6 +190,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cli.configure_parser(sub)
     chaos_cli.configure_parser(sub)
     plan_cli.configure_parser(sub)
+    live_cli.configure_parser(sub)
     return parser
 
 
@@ -482,6 +488,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": bench_cli.cmd_bench,
         "chaos": chaos_cli.cmd_chaos,
         "plan": plan_cli.cmd_plan,
+        "live": live_cli.cmd_live,
     }
     try:
         return handlers[args.command](args)

@@ -25,6 +25,23 @@ DEFAULT_FORBIDDEN_IMPORTS: Mapping[str, str] = {
     "httpx": "the reproduction must not touch the network",
 }
 
+#: The network modules within :data:`DEFAULT_FORBIDDEN_IMPORTS` — the
+#: subset the sanctioned network seam may import.  pandas stays
+#: forbidden everywhere.
+NETWORK_IMPORTS: FrozenSet[str] = frozenset(
+    {
+        "requests", "urllib", "http", "socket", "ftplib", "smtplib",
+        "telnetlib", "xmlrpc", "aiohttp", "httpx",
+    }
+)
+
+#: Path fragments allowed to import network modules: the live health
+#: service (the repo's one sanctioned network seam — see
+#: ``repro.lint.flow.effects.SEAMS``) and the benchmarks that load-test
+#: it.  The flow lint's ``unsanctioned-network`` rule enforces the same
+#: boundary at the call-graph level.
+DEFAULT_NETWORK_ALLOWED: Tuple[str, ...] = ("repro/obs/live/", "benchmarks/")
+
 #: Files (posix-path suffixes) where direct RNG construction is the point.
 DEFAULT_RNG_ALLOWED: Tuple[str, ...] = ("repro/util/rng.py",)
 
@@ -86,6 +103,7 @@ class LintConfig:
     forbidden_imports: Mapping[str, str] = field(
         default_factory=lambda: dict(DEFAULT_FORBIDDEN_IMPORTS)
     )
+    network_allowed_packages: Tuple[str, ...] = DEFAULT_NETWORK_ALLOWED
     rng_allowed_files: Tuple[str, ...] = DEFAULT_RNG_ALLOWED
     typed_error_strict_packages: Tuple[str, ...] = DEFAULT_TYPED_ERROR_STRICT
     timing_allowed_packages: Tuple[str, ...] = DEFAULT_TIMING_ALLOWED

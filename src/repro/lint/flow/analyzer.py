@@ -20,6 +20,7 @@ from repro.lint.flow.effects import (
     DEFAULT_KERNEL_PACKAGES,
     EffectAnalysis,
     check_kernel_purity,
+    check_network_seam,
     infer_effects,
 )
 from repro.lint.flow.report import (
@@ -89,6 +90,7 @@ def analyze_paths(
     analysis = infer_effects(project)
     raw_findings = check_contracts(project)
     raw_findings += check_kernel_purity(analysis, kernel_packages)
+    raw_findings += check_network_seam(analysis)
     diagnostics = [
         d for d in raw_findings
         if not (

@@ -36,6 +36,7 @@ __all__ = [
     "SEAMS",
     "EffectAnalysis",
     "check_kernel_purity",
+    "check_network_seam",
     "infer_effects",
 ]
 
@@ -57,9 +58,13 @@ EFFECTS: Tuple[str, ...] = (
 SEAMS: Dict[str, Tuple[str, ...]] = {
     "util.rng": ("repro/util/rng.py",),
     "obs.profile": ("repro/obs/profile/",),
+    "obs.live": ("repro/obs/live/",),
     "obs": ("repro/obs/",),
     "storage": ("repro/storage/",),
 }
+
+#: The only seam sanctioned to touch sockets/HTTP (the health service).
+NETWORK_SEAM = "obs.live"
 
 #: Path fragments whose functions the purity gate covers (roots).
 DEFAULT_KERNEL_PACKAGES: Tuple[str, ...] = (
@@ -232,4 +237,42 @@ def check_kernel_purity(
                 ),
             )
         )
+    return findings
+
+
+def check_network_seam(analysis: EffectAnalysis) -> List[Diagnostic]:
+    """``unsanctioned-network``: socket/HTTP use outside ``repro/obs/live/``.
+
+    The health service (:data:`NETWORK_SEAM`) is the repo's one sanctioned
+    network seam; everything else in ``src/`` is an offline pipeline over
+    a synthetic dataset, so a *direct* network effect anywhere else is a
+    finding.  Direct effects only — a caller that reaches the network
+    through the seam records ``obs.live`` in its sanctioned set instead,
+    and flagging every transitive caller of one offender would bury the
+    actual call site.  Anchored at the offending call, not the ``def``.
+    """
+    assert analysis.project is not None
+    findings: List[Diagnostic] = []
+    for qual in sorted(analysis.project.functions):
+        info = analysis.project.functions[qual]
+        if seam_of(info.relpath) == NETWORK_SEAM:
+            continue
+        for direct in info.direct_effects:
+            if direct.effect != "network":
+                continue
+            findings.append(
+                Diagnostic(
+                    rule="unsanctioned-network",
+                    severity=Severity.ERROR,
+                    path=info.relpath,
+                    line=direct.line,
+                    col=0,
+                    message=(
+                        f"function {info.name!r} touches the network "
+                        f"({direct.detail}) outside the sanctioned seam "
+                        f"repro/obs/live/; move the I/O behind the health "
+                        f"service or drop it"
+                    ),
+                )
+            )
     return findings

@@ -3,7 +3,10 @@
 The reproduction is a closed system: its own columnar engine instead of
 pandas, and a synthetic substrate instead of live M-Lab queries.  An import
 of pandas or any network module is always a mistake here (and would break
-the no-new-dependency CI environment).
+the no-new-dependency CI environment).  One carve-out: the live health
+service (``repro/obs/live/``) is the sanctioned network seam, so the
+stdlib network modules — and only those — are allowed there and in the
+benchmarks that load-test it.
 """
 
 from __future__ import annotations
@@ -11,7 +14,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from repro.lint.context import FileContext
+from repro.lint.context import NETWORK_IMPORTS, FileContext
 from repro.lint.diagnostics import Diagnostic, Severity
 from repro.lint.registry import Rule, register
 
@@ -26,11 +29,16 @@ class ForbiddenImportRule(Rule):
 
     def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
         forbidden = ctx.config.forbidden_imports
+        in_network_seam = ctx.in_package(
+            *ctx.config.network_allowed_packages
+        )
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     top = alias.name.split(".")[0]
-                    if top in forbidden:
+                    if top in forbidden and not (
+                        in_network_seam and top in NETWORK_IMPORTS
+                    ):
                         yield self.diag(
                             ctx,
                             node,
@@ -38,7 +46,11 @@ class ForbiddenImportRule(Rule):
                         )
             elif isinstance(node, ast.ImportFrom) and node.module:
                 top = node.module.split(".")[0]
-                if node.level == 0 and top in forbidden:
+                if (
+                    node.level == 0
+                    and top in forbidden
+                    and not (in_network_seam and top in NETWORK_IMPORTS)
+                ):
                     yield self.diag(
                         ctx,
                         node,

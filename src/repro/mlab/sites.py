@@ -64,6 +64,20 @@ class SiteRegistry:
     def all(self) -> List[Site]:
         return sorted(self._by_asn.values(), key=lambda s: s.asn)
 
+    def describe(self) -> List[Dict[str, object]]:
+        """JSON-ready site metadata (the live service's ``/sites`` view)."""
+        return [
+            {
+                "code": s.code,
+                "asn": s.asn,
+                "country": s.country,
+                "lat": s.lat,
+                "lon": s.lon,
+                "server_ip": str(s.server_ip),
+            }
+            for s in self.all()
+        ]
+
     def by_asn(self, asn: int) -> Site:
         try:
             return self._by_asn[asn]

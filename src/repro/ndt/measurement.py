@@ -8,7 +8,7 @@ from typing import Dict, Optional
 from repro.tables.schema import Cols, DType, Field, Schema
 from repro.util.timeutil import Day
 
-__all__ = ["NDT_SCHEMA", "NdtMeasurement"]
+__all__ = ["LIVE_STREAM_COLUMNS", "NDT_SCHEMA", "NdtMeasurement"]
 
 #: Column layout of the NDT download table the analyses consume.  ``city``/
 #: ``oblast`` carry the geo-DB labels (None for the paper's 11.7% unlabeled
@@ -33,6 +33,21 @@ NDT_SCHEMA = Schema(
         Field(Cols.MIN_RTT, DType.FLOAT),
         Field(Cols.LOSS_RATE, DType.FLOAT),
     ]
+)
+
+
+#: The columns the live replay stream (``repro.obs.live.source``) needs
+#: from an NDT table: the day bucket, the scope labels, and the three
+#: health metrics.  A table missing any of these cannot be streamed.
+LIVE_STREAM_COLUMNS = (
+    Cols.DAY,
+    Cols.OBLAST,
+    Cols.CITY,
+    Cols.ASN,
+    Cols.SITE,
+    Cols.TPUT,
+    Cols.MIN_RTT,
+    Cols.LOSS_RATE,
 )
 
 

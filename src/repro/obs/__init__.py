@@ -53,6 +53,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     diff_snapshots,
+    merge_snapshots,
 )
 from repro.obs.trace import NULL_SPAN, Span, SpanRecord, Tracer
 

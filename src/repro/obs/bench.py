@@ -77,7 +77,7 @@ DEFAULT_MIN_SECONDS = 0.01
 
 _LEGACY_BASENAMES = (
     "BENCH_engine.json", "BENCH_obs.json", "BENCH_storage.json",
-    "BENCH_profile.json",
+    "BENCH_profile.json", "BENCH_live.json",
 )
 _HISTORY_BASENAME = "BENCH_history.jsonl"
 
@@ -88,16 +88,18 @@ def repo_root() -> Path:
 
 
 def baseline_path(kind: str, root: Optional[Path] = None) -> Path:
-    """Path of a one-off snapshot: ``engine``/``obs``/``storage``/``profile``."""
+    """Path of a one-off snapshot: ``engine``/``obs``/``storage``/``profile``/``live``."""
     names = {
         "engine": _LEGACY_BASENAMES[0],
         "obs": _LEGACY_BASENAMES[1],
         "storage": _LEGACY_BASENAMES[2],
         "profile": _LEGACY_BASENAMES[3],
+        "live": _LEGACY_BASENAMES[4],
     }
     if kind not in names:
         raise ValueError(
-            f"unknown baseline kind {kind!r}; use engine|obs|storage|profile"
+            f"unknown baseline kind {kind!r}; use "
+            f"engine|obs|storage|profile|live"
         )
     return (root or repo_root()) / names[kind]
 
@@ -165,6 +167,18 @@ def _seconds_entry(value: Any) -> Optional[float]:
     return None
 
 
+def _floor_entry(value: Any) -> Optional[float]:
+    """A row's own noise floor in seconds (``floor_ms`` key), if declared."""
+    if not isinstance(value, dict):
+        return None
+    floor = value.get("floor_ms")
+    if isinstance(floor, (int, float)) and not isinstance(floor, bool):
+        if floor < 0:
+            raise ValueError(f"floor_ms must be >= 0, got {floor}")
+        return float(floor) / 1000.0
+    return None
+
+
 def load_legacy_baselines(root: Optional[Path] = None) -> Dict[str, Dict[str, Any]]:
     """Unify the ad-hoc ``BENCH_*.json`` snapshots into registry rows.
 
@@ -219,6 +233,16 @@ def load_legacy_baselines(root: Optional[Path] = None) -> Dict[str, Dict[str, An
                     "seconds": float(row["self_s"]),
                     "calls": row.get("calls"),
                 }
+    live_file = baseline_path("live", root)
+    if live_file.exists():
+        data = json.loads(live_file.read_text(encoding="utf-8"))
+        for name, row in data.get("benchmarks", {}).items():
+            # Live-service rows already use the registry shape and carry
+            # their own per-key noise floor (``floor_ms``): request
+            # latencies gate at a tighter floor than the 10ms default,
+            # which would skip every sub-10ms p50/p99 row as noise.
+            if isinstance(row, dict) and "seconds" in row:
+                out[name] = dict(row)
     return out
 
 
@@ -338,10 +362,15 @@ def compare(
     """Compare two ``name -> seconds|{seconds: ...}`` maps.
 
     Noise tolerance is explicit: benchmarks where *either* side is under
-    ``min_seconds`` are reported under ``skipped_noise`` and never gate,
+    the noise floor are reported under ``skipped_noise`` and never gate,
     and a slowdown only counts when it exceeds ``threshold`` (fractional,
-    e.g. 0.2 = +20%).  Symmetric speedups land in ``improvements`` for
-    the report but never fail anything.
+    e.g. 0.2 = +20%).  The floor is ``min_seconds`` (10ms) by default,
+    but a registry row may declare its own ``floor_ms`` — sub-10ms
+    measurements that are *not* wall-clock noise (e.g. the live health
+    service's request percentiles, timed over thousands of requests)
+    would otherwise never gate.  When both sides declare ``floor_ms``
+    the larger (more tolerant) one wins.  Symmetric speedups land in
+    ``improvements`` for the report but never fail anything.
     """
     result = ComparisonResult(threshold=threshold, min_seconds=min_seconds)
     for name in sorted(set(current) | set(baseline)):
@@ -355,7 +384,15 @@ def compare(
         if cur_s is None:
             result.missing.append(name)
             continue
-        if cur_s < min_seconds or base_s < min_seconds:
+        floors = [
+            f for f in (
+                _floor_entry(current.get(name)),
+                _floor_entry(baseline.get(name)),
+            )
+            if f is not None
+        ]
+        floor_s = max(floors) if floors else min_seconds
+        if cur_s < floor_s or base_s < floor_s:
             result.skipped_noise.append(name)
             continue
         result.compared += 1

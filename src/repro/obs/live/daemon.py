@@ -1,0 +1,202 @@
+"""The clock-driven ingest loop: replay, aggregate, detect, checkpoint.
+
+One :class:`LiveDaemon` owns a :class:`~repro.obs.live.source.ReplaySource`,
+a :class:`~repro.obs.live.window.SlidingWindowAggregator`, and an
+:class:`~repro.obs.live.detect.AlertEngine`, and advances a
+:class:`SimulatedClock` one day per tick: ingest the day's batches,
+close the day, evaluate the alert rules, notify subscribers (the health
+service), checkpoint.  Checkpoints go through
+:class:`repro.runtime.checkpoint.CheckpointStore` with the JSON codec —
+atomic, checksummed, generation-kept — so a kill at *any* announced
+crash point (``repro chaos`` style) resumes from the last committed day
+boundary and replays forward to byte-identical aggregates and alerts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro import obs
+from repro.faults.crashpoints import crash_point
+from repro.obs.live.detect import (
+    Alert,
+    AlertEngine,
+    DetectorConfig,
+    build_alerts_doc,
+)
+from repro.obs.live.source import ReplaySource
+from repro.obs.live.window import SlidingWindowAggregator, WindowConfig
+from repro.runtime.checkpoint import CheckpointStore, config_key
+from repro.util.errors import ReproError
+from repro.util.timeutil import Day
+
+__all__ = ["LiveDaemon", "SimulatedClock"]
+
+#: Checkpoint stage name (crash points: ``checkpoint.live.state:*``).
+STATE_STAGE = "live.state"
+
+
+class SimulatedClock:
+    """A day-granular simulated clock; the daemon's only notion of time."""
+
+    def __init__(self, start_ordinal: int):
+        self._ordinal = int(start_ordinal)
+
+    @property
+    def ordinal(self) -> int:
+        return self._ordinal
+
+    def today(self) -> Day:
+        return Day(self._ordinal)
+
+    def advance(self) -> int:
+        """Tick to the next day; returns the new ordinal."""
+        self._ordinal += 1
+        return self._ordinal
+
+
+class LiveDaemon:
+    """Replays the study window day by day with checkpointed state.
+
+    ``checkpoint_dir=None`` runs fully in memory (tests, smoke);
+    otherwise every ``checkpoint_every`` closed days commit the full
+    (clock, aggregator, engine) state, and :meth:`resume` restores it.
+    Subscribers registered via :meth:`subscribe` see every day close
+    with the day's alert-state changes — that is the service's feed.
+    """
+
+    def __init__(
+        self,
+        source: ReplaySource,
+        window_config: Optional[WindowConfig] = None,
+        detector_config: Optional[DetectorConfig] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 7,
+        keep: int = 3,
+    ):
+        self.source = source
+        self.agg = SlidingWindowAggregator(window_config or WindowConfig())
+        self.engine = AlertEngine(detector_config or DetectorConfig())
+        needed = self.engine.required_retention()
+        if self.agg.config.retain_days() < needed:
+            raise ReproError(
+                f"window config retains {self.agg.config.retain_days()} days "
+                f"but the detector's longest rule window needs {needed}"
+            )
+        self.clock = SimulatedClock(source.start)
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.store = (
+            CheckpointStore(checkpoint_dir, keep=keep, codec="json")
+            if checkpoint_dir
+            else None
+        )
+        self.key = config_key(
+            {
+                "window": self.agg.config.__dict__,
+                "detector": self.engine.config.__dict__,
+                "replay": {
+                    "start": source.start,
+                    "end": source.end,
+                    "batch_rows": source.batch_rows,
+                    "n_rows": source.n_rows,
+                },
+            }
+        )
+        self.days_processed = 0
+        self._subscribers: List[Callable[[int, List[Alert]], None]] = []
+
+    # -- wiring --------------------------------------------------------------
+    def subscribe(self, callback: Callable[[int, List[Alert]], None]) -> None:
+        """Register a day-close listener ``(day_ordinal, changed_alerts)``."""
+        self._subscribers.append(callback)
+
+    # -- checkpointing -------------------------------------------------------
+    def to_state(self) -> Dict[str, object]:
+        return {
+            "schema_version": 1,
+            "next_day": self.clock.ordinal,
+            "days_processed": self.days_processed,
+            "aggregator": self.agg.to_state(),
+            "engine": self.engine.to_state(),
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self.agg = SlidingWindowAggregator.from_state(state["aggregator"])
+        self.engine = AlertEngine.from_state(state["engine"])
+        self.clock = SimulatedClock(int(state["next_day"]))
+        self.days_processed = int(state["days_processed"])
+
+    def checkpoint(self) -> Optional[str]:
+        if self.store is None:
+            return None
+        path = self.store.save(self.key, STATE_STAGE, self.to_state())
+        obs.counter("live.checkpoints").inc()
+        return path
+
+    def resume(self) -> bool:
+        """Restore the newest intact checkpoint; False when none exists."""
+        if self.store is None or not self.store.has(self.key, STATE_STAGE):
+            return False
+        self.restore(self.store.load(self.key, STATE_STAGE))
+        obs.counter("live.resumes").inc()
+        return True
+
+    # -- the loop ------------------------------------------------------------
+    def run_day(self, day: int) -> List[Alert]:
+        """Ingest and close one day; returns the day's alert changes."""
+        with obs.span("live.day", metric="live.day_ms", day=Day(day).iso()):
+            rows = 0
+            for batch in self.source.batches_for_day(day):
+                self.agg.ingest(
+                    batch.day,
+                    batch.scopes,
+                    batch.tput,
+                    batch.rtt,
+                    batch.loss,
+                    batch.scope_rows,
+                )
+                rows += batch.n_rows
+                obs.counter("live.batches").inc()
+            obs.counter("live.rows").inc(rows)
+            self.agg.close_day(day)
+            crash_point(f"live.day.{Day(day).iso()}:closed")
+            changes = self.engine.evaluate_day(self.agg, day)
+            for alert in changes:
+                obs.counter(
+                    "live.alerts.raised"
+                    if alert.resolved is None
+                    else "live.alerts.resolved"
+                ).inc()
+        for callback in self._subscribers:
+            callback(day, changes)
+        return changes
+
+    def run(self, until: Optional[str] = None) -> int:
+        """Tick from the clock's position to ``until`` (default: replay end).
+
+        Returns the number of days processed this call.  Safe to call
+        after :meth:`resume`: the clock restarts at the first day the
+        last checkpoint had not yet committed.
+        """
+        last = self.source.end if until is None else Day.of(until).ordinal
+        processed = 0
+        while self.clock.ordinal <= last:
+            day = self.clock.ordinal
+            self.run_day(day)
+            self.days_processed += 1
+            processed += 1
+            self.clock.advance()
+            if (
+                self.days_processed % self.checkpoint_every == 0
+                or self.clock.ordinal > last
+            ):
+                self.checkpoint()
+        return processed
+
+    # -- views ---------------------------------------------------------------
+    def alerts_doc(self) -> Dict[str, object]:
+        return build_alerts_doc(self.engine, self.agg)
+
+    def window_snapshot(self) -> Dict[str, object]:
+        day = self.agg.last_day
+        return self.agg.snapshot(day)

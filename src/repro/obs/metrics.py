@@ -26,6 +26,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_METRIC",
     "diff_snapshots",
+    "merge_snapshots",
     "percentile_from_snapshot",
 ]
 
@@ -317,6 +318,72 @@ def snapshot_to_json(snapshot: Dict[str, object]) -> str:
     the byte-identity tests and ``repro obs diff`` both rely on it.
     """
     return json.dumps(snapshot, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def _merge_histogram_snapshots(
+    name: str, left: Dict[str, object], right: Dict[str, object]
+) -> Dict[str, object]:
+    lb = left.get("buckets", {}) or {}
+    rb = right.get("buckets", {}) or {}
+    if set(lb) != set(rb):
+        raise ValueError(
+            f"histogram {name!r} has mismatched buckets: "
+            f"{sorted(set(lb) ^ set(rb))}"
+        )
+    mins = [s["min"] for s in (left, right) if s.get("min") is not None]
+    maxs = [s["max"] for s in (left, right) if s.get("max") is not None]
+    return {
+        "count": int(left["count"]) + int(right["count"]),
+        "sum": float(left["sum"]) + float(right["sum"]),
+        "min": min(mins) if mins else None,
+        "max": max(maxs) if maxs else None,
+        "buckets": {label: int(lb[label]) + int(rb[label]) for label in lb},
+    }
+
+
+def merge_snapshots(
+    left: Dict[str, object], right: Dict[str, object]
+) -> Dict[str, object]:
+    """Combine two registry snapshots into one (multi-process roll-up).
+
+    The merge rules follow each metric kind's semantics:
+
+    * **counters** add — two processes each counting events saw the union;
+    * **gauges** are last-writer-wins: ``right`` is the later snapshot, so
+      its value stands (a gauge present on only one side keeps that value);
+    * **histograms** add bucket-wise (same ``le_*`` labels required, else
+      ``ValueError``), with count/sum summed and min/max widened.
+
+    Counter and histogram merging is associative *and* commutative;
+    gauges are associative only — the last writer is positional by
+    definition.  Output keys are sorted, so merging snapshots and
+    snapshotting a merged registry serialize identically.
+    """
+    lc = left.get("counters", {}) or {}
+    rc = right.get("counters", {}) or {}
+    lg = left.get("gauges", {}) or {}
+    rg = right.get("gauges", {}) or {}
+    lh = left.get("histograms", {}) or {}
+    rh = right.get("histograms", {}) or {}
+    counters = {
+        name: lc.get(name, 0) + rc.get(name, 0)
+        for name in sorted(set(lc) | set(rc))
+    }
+    gauges = {
+        name: rg[name] if name in rg else lg[name]
+        for name in sorted(set(lg) | set(rg))
+    }
+    histograms: Dict[str, object] = {}
+    for name in sorted(set(lh) | set(rh)):
+        if name not in lh:
+            histograms[name] = rh[name]
+        elif name not in rh:
+            histograms[name] = lh[name]
+        else:
+            histograms[name] = _merge_histogram_snapshots(
+                name, lh[name], rh[name]
+            )
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 
 def diff_snapshots(

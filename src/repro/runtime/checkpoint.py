@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import io
+import json
 import os
 import pickle
 from typing import Any, Mapping, Optional
@@ -36,10 +37,13 @@ from repro.util.errors import (
     StorageError,
 )
 
-__all__ = ["CHECKPOINT_KIND", "CheckpointStore", "config_key"]
+__all__ = ["CHECKPOINT_JSON_KIND", "CHECKPOINT_KIND", "CheckpointStore", "config_key"]
 
 #: Container kind stamped into every checkpoint frame.
 CHECKPOINT_KIND = "checkpoint/pickle"
+
+#: Frame kind for JSON-codec checkpoints (``codec="json"``).
+CHECKPOINT_JSON_KIND = "checkpoint/json"
 
 #: How many generations of each stage checkpoint survive by default.
 DEFAULT_KEEP = 3
@@ -70,11 +74,21 @@ def config_key(config: Any, extra: Optional[Mapping[str, Any]] = None) -> str:
 
 
 class CheckpointStore:
-    """Generation-kept, checksummed storage under ``root/<key>/<stage>.g*``."""
+    """Generation-kept, checksummed storage under ``root/<key>/<stage>.g*``.
 
-    def __init__(self, root: str, keep: int = DEFAULT_KEEP):
+    ``codec`` picks the payload encoding: ``"pickle"`` (the default —
+    arbitrary Python values) or ``"json"`` — canonical JSON
+    (sorted keys, compact separators), used by the live daemon so its
+    window-state checkpoints are byte-stable and greppable.  JSON stores
+    never fall back to legacy ``.pkl`` files.
+    """
+
+    def __init__(self, root: str, keep: int = DEFAULT_KEEP, codec: str = "pickle"):
+        if codec not in ("pickle", "json"):
+            raise PipelineError(f"unknown checkpoint codec {codec!r}")
         self.root = root
         self.keep = keep
+        self.codec = codec
         self.hits = 0
         self.misses = 0
 
@@ -86,9 +100,10 @@ class CheckpointStore:
         return f"{self._base(key, stage)}.pkl"
 
     def _generations(self, key: str, stage: str) -> storage.GenerationStore:
+        kind = CHECKPOINT_KIND if self.codec == "pickle" else CHECKPOINT_JSON_KIND
         return storage.GenerationStore(
             self._base(key, stage),
-            CHECKPOINT_KIND,
+            kind,
             keep=self.keep,
             label=f"checkpoint.{stage}",
         )
@@ -103,13 +118,28 @@ class CheckpointStore:
             return True
         return storage.get_fs().exists(self._legacy_path(key, stage))
 
-    def _unpickle(self, payload: bytes, stage: str, path: str) -> Any:
+    def _decode(self, payload: bytes, stage: str, path: str) -> Any:
         try:
+            if self.codec == "json":
+                return json.loads(payload.decode("utf-8"))
             return pickle.loads(payload)
         except Exception as exc:  # pickle raises wildly varied types
             raise CheckpointCorruptError(
-                path, f"checkpoint for stage {stage!r} does not unpickle: {exc}"
+                path, f"checkpoint for stage {stage!r} does not decode: {exc}"
             ) from exc
+
+    def _encode(self, value: Any, stage: str) -> bytes:
+        try:
+            if self.codec == "json":
+                text = json.dumps(
+                    value, sort_keys=True, separators=(",", ":"), allow_nan=False
+                )
+                return text.encode("utf-8")
+            buf = io.BytesIO()
+            pickle.dump(value, buf, protocol=pickle.HIGHEST_PROTOCOL)
+            return buf.getvalue()
+        except (pickle.PicklingError, TypeError, AttributeError, ValueError) as exc:
+            raise PipelineError(f"cannot checkpoint stage {stage!r}: {exc}") from exc
 
     def load(self, key: str, stage: str) -> Any:
         """Load the newest intact generation; counts a hit.
@@ -133,14 +163,14 @@ class CheckpointStore:
             ) from exc
         if loaded is not None:
             payload, _gen = loaded
-            value = self._unpickle(payload, stage, gens.base)
+            value = self._decode(payload, stage, gens.base)
             self.hits += 1
             obs.counter("checkpoint.hits").inc()
             return value
 
         legacy = self._legacy_path(key, stage)
         fs = storage.get_fs()
-        if fs.exists(legacy):
+        if self.codec == "pickle" and fs.exists(legacy):
             try:
                 payload = storage.read_bytes(legacy)
                 value = pickle.loads(payload)
@@ -172,13 +202,9 @@ class CheckpointStore:
         generation or a detectably-partial temp file — never a torn
         checkpoint a resume would trust.
         """
+        payload = self._encode(value, stage)
         try:
-            buf = io.BytesIO()
-            pickle.dump(value, buf, protocol=pickle.HIGHEST_PROTOCOL)
-        except (pickle.PicklingError, TypeError, AttributeError) as exc:
-            raise PipelineError(f"cannot checkpoint stage {stage!r}: {exc}") from exc
-        try:
-            path = self._generations(key, stage).commit(buf.getvalue())
+            path = self._generations(key, stage).commit(payload)
         except StorageError as exc:
             raise PipelineError(f"cannot checkpoint stage {stage!r}: {exc}") from exc
         obs.counter("checkpoint.saves").inc()

@@ -16,7 +16,14 @@ import numpy as np
 
 from repro.stats.special import regularized_incomplete_beta
 
-__all__ = ["WelchResult", "student_t_cdf", "student_t_sf", "welch_df", "welch_t_test"]
+__all__ = [
+    "WelchResult",
+    "student_t_cdf",
+    "student_t_sf",
+    "welch_df",
+    "welch_t_from_moments",
+    "welch_t_test",
+]
 
 
 def student_t_cdf(t: float, df: float) -> float:
@@ -82,6 +89,36 @@ class WelchResult:
     def mean_delta(self) -> float:
         """mean2 - mean1 (wartime minus prewar in the paper's usage)."""
         return self.mean2 - self.mean1
+
+
+def welch_t_from_moments(
+    n1: int,
+    mean1: float,
+    var1: float,
+    n2: int,
+    mean2: float,
+    var2: float,
+) -> WelchResult:
+    """Two-sided Welch's t-test from summary moments.
+
+    The streaming detector (:mod:`repro.obs.live`) never holds raw
+    samples — only exact counts, means, and sample variances per window —
+    so the test runs on those summaries directly.  Same statistic, df,
+    and p-value formulas as :func:`welch_t_test`; raises ``ValueError``
+    under the same undefined conditions (n < 2 or both variances zero).
+    """
+    if n1 < 2 or n2 < 2:
+        raise ValueError(
+            f"welch_t_from_moments needs n >= 2 per sample; got {n1} and {n2}"
+        )
+    df = welch_df(var1, n1, var2, n2)
+    se = math.sqrt(var1 / n1 + var2 / n2)
+    t = (mean1 - mean2) / se
+    p = 2.0 * student_t_sf(abs(t), df)
+    p = min(1.0, max(0.0, p))
+    return WelchResult(
+        statistic=t, p_value=p, df=df, n1=n1, n2=n2, mean1=mean1, mean2=mean2
+    )
 
 
 def welch_t_test(sample1: Sequence[float], sample2: Sequence[float]) -> WelchResult:

@@ -25,6 +25,7 @@ STR columns never decode here — everything runs on dictionary codes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -48,6 +49,7 @@ __all__ = [
     "group_mean",
     "group_std",
     "group_percentile",
+    "group_moments_exact",
     "group_nunique",
     "group_reduce_batched",
     "sort_ranks",
@@ -346,6 +348,41 @@ def group_nunique(fact: Factorized, col: Column) -> np.ndarray:
         card = max(len(uniq), 1)
     pairs = np.unique(fact.gids * card + vid)
     return np.bincount(pairs // card, minlength=fact.n_groups).astype(np.int64)
+
+
+def group_moments_exact(
+    values: np.ndarray, order: np.ndarray, starts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Exact per-group moments: ``(count, sum, sumsq, min, max)``.
+
+    NaN-ignoring.  Both sums use ``math.fsum`` over the group's run, so
+    each is the correctly rounded double of the exact mathematical sum —
+    independent of row order or chunking.  This is the batch counterpart
+    of :class:`repro.obs.live.window.MomentState`: a streaming aggregate
+    merged across any partition of the same rows reproduces these arrays
+    bit-for-bit.  Empty (all-NaN) groups yield sum/sumsq 0.0 and min/max
+    NaN.
+    """
+    vals = values.astype(np.float64)[order]
+    n_groups = len(starts)
+    counts = np.zeros(n_groups, dtype=np.int64)
+    sums = np.zeros(n_groups, dtype=np.float64)
+    sumsqs = np.zeros(n_groups, dtype=np.float64)
+    mins = np.full(n_groups, np.nan)
+    maxs = np.full(n_groups, np.nan)
+    bounds = np.append(starts, len(vals))
+    for g in range(n_groups):
+        seg = vals[bounds[g] : bounds[g + 1]]
+        seg = seg[~np.isnan(seg)]
+        if len(seg) == 0:
+            continue
+        counts[g] = len(seg)
+        floats = [float(v) for v in seg]
+        sums[g] = math.fsum(floats)
+        sumsqs[g] = math.fsum(v * v for v in floats)
+        mins[g] = float(np.min(seg))
+        maxs[g] = float(np.max(seg))
+    return counts, sums, sumsqs, mins, maxs
 
 
 def _run_lengths(starts: np.ndarray, n: int) -> np.ndarray:

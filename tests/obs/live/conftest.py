@@ -1,0 +1,26 @@
+"""Shared fixtures for the live-observability suite.
+
+Dataset generation is the expensive part (~2s at scale 0.05), so the
+synthetic dataset is built once per session and shared; every test that
+mutates state builds its own daemon/aggregator over the shared table.
+"""
+
+import pytest
+
+from repro.synth.generator import DatasetGenerator, GeneratorConfig
+
+#: The repo-wide default seed (the invasion date) at a fast test scale.
+LIVE_SEED = 20220224
+LIVE_SCALE = 0.05
+
+
+@pytest.fixture(scope="session")
+def live_dataset():
+    return DatasetGenerator(
+        GeneratorConfig(seed=LIVE_SEED, scale=LIVE_SCALE)
+    ).generate()
+
+
+@pytest.fixture(scope="session")
+def live_table(live_dataset):
+    return live_dataset.ndt

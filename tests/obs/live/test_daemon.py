@@ -1,0 +1,121 @@
+"""Daemon determinism: chunking invariance, checkpoint/resume, chaos.
+
+The acceptance bar from the issue: ``alerts.json`` must be byte-identical
+across (a) repeated runs, (b) different ``batch_rows`` chunkings of the
+same replay, and (c) a run killed mid-replay at an announced crash point
+and resumed from its last checkpoint.
+"""
+
+import pytest
+
+from repro.faults.crashpoints import SimulatedCrash, crash_spec_scope
+from repro.obs.live.daemon import LiveDaemon
+from repro.obs.live.source import ReplaySource
+from repro.obs.metrics import snapshot_to_json
+
+START, END = "2022-02-01", "2022-03-05"
+
+
+def run_daemon(table, batch_rows=0, checkpoint_dir=None, **kwargs):
+    source = ReplaySource(table, START, END, batch_rows=batch_rows)
+    daemon = LiveDaemon(source, checkpoint_dir=checkpoint_dir, **kwargs)
+    daemon.run()
+    return daemon
+
+
+def alerts_bytes(daemon):
+    return snapshot_to_json(daemon.alerts_doc()).encode("utf-8")
+
+
+def window_bytes(daemon):
+    return snapshot_to_json(daemon.window_snapshot()).encode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def reference(live_table):
+    daemon = run_daemon(live_table)
+    return alerts_bytes(daemon), window_bytes(daemon)
+
+
+class TestByteIdentity:
+    def test_repeat_runs_are_byte_identical(self, live_table, reference):
+        daemon = run_daemon(live_table)
+        assert alerts_bytes(daemon) == reference[0]
+        assert window_bytes(daemon) == reference[1]
+
+    @pytest.mark.parametrize("batch_rows", [1, 17, 256])
+    def test_chunking_is_byte_identical(self, live_table, reference, batch_rows):
+        daemon = run_daemon(live_table, batch_rows=batch_rows)
+        assert alerts_bytes(daemon) == reference[0]
+        assert window_bytes(daemon) == reference[1]
+
+    def test_replay_raises_alerts_in_this_window(self, reference):
+        # The invasion-day throughput alert must exist even in the short
+        # replay the determinism suite uses; the full-timeline acceptance
+        # test pins the complete timeline at the benchmark scale.
+        assert b"throughput-degradation:national:2022-02-24" in reference[0]
+
+
+class TestCheckpointResume:
+    def test_resume_restores_the_exact_state(self, live_table, tmp_path):
+        first = run_daemon(
+            live_table, checkpoint_dir=str(tmp_path), checkpoint_every=5
+        )
+        source = ReplaySource(live_table, START, END)
+        clone = LiveDaemon(source, checkpoint_dir=str(tmp_path))
+        assert clone.resume()
+        assert clone.to_state() == first.to_state()
+        # Nothing left to replay: the final checkpoint covers the window.
+        assert clone.run() == 0
+        assert alerts_bytes(clone) == alerts_bytes(first)
+
+    def test_resume_without_checkpoint_is_false(self, live_table, tmp_path):
+        source = ReplaySource(live_table, START, END)
+        daemon = LiveDaemon(source, checkpoint_dir=str(tmp_path))
+        assert not daemon.resume()
+
+    def test_kill_mid_replay_resumes_byte_identically(
+        self, live_table, reference, tmp_path
+    ):
+        source = ReplaySource(live_table, START, END)
+        daemon = LiveDaemon(
+            source, checkpoint_dir=str(tmp_path), checkpoint_every=3
+        )
+        # Kill at the announced crash point mid-window: the day closed
+        # but its alerts were never evaluated or checkpointed.
+        with crash_spec_scope("live.day.2022-02-24:closed"):
+            with pytest.raises(SimulatedCrash):
+                daemon.run()
+
+        resumed = LiveDaemon(
+            ReplaySource(live_table, START, END),
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=3,
+        )
+        assert resumed.resume()
+        assert resumed.clock.ordinal < source.end  # mid-replay, not done
+        resumed.run()
+        assert alerts_bytes(resumed) == reference[0]
+        assert window_bytes(resumed) == reference[1]
+
+    def test_kill_inside_checkpoint_commit_keeps_previous_generation(
+        self, live_table, reference, tmp_path
+    ):
+        daemon = LiveDaemon(
+            ReplaySource(live_table, START, END),
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=3,
+        )
+        with crash_spec_scope("checkpoint.live.state:*"):
+            with pytest.raises(SimulatedCrash):
+                daemon.run()
+
+        resumed = LiveDaemon(
+            ReplaySource(live_table, START, END),
+            checkpoint_dir=str(tmp_path),
+        )
+        # The torn commit never became the newest generation; whatever
+        # state is recovered replays forward to identical bytes.
+        resumed.resume()
+        resumed.run()
+        assert alerts_bytes(resumed) == reference[0]

@@ -1,0 +1,123 @@
+"""``merge_snapshots`` laws: counters add, gauges LWW, histograms add.
+
+Hypothesis generates snapshots with dyadic-rational values (sums of
+small multiples of 1/8 are exact in binary floating point), so the
+associativity/commutativity assertions are exact equalities, not
+approximations.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    snapshot_to_json,
+)
+
+# Dyadic rationals: k/8 with small k — float addition on these is exact,
+# so merged sums compare bitwise regardless of association order.
+dyadic = st.integers(min_value=-400, max_value=400).map(lambda k: k / 8.0)
+nonneg_dyadic = st.integers(min_value=0, max_value=400).map(lambda k: k / 8.0)
+
+names = st.sampled_from(["a.n", "b.n", "c.n", "d.n"])
+counters = st.dictionaries(names, nonneg_dyadic, max_size=4)
+gauges = st.dictionaries(names, dyadic, max_size=4)
+
+BOUNDS = (1.0, 10.0, 100.0)
+
+
+def hist_snapshot(values):
+    h = Histogram("h", BOUNDS)
+    for v in values:
+        h.observe(v)
+    return h.snapshot()
+
+
+histograms = st.dictionaries(
+    st.sampled_from(["h.ms", "i.ms"]),
+    st.lists(nonneg_dyadic, max_size=8).map(hist_snapshot),
+    max_size=2,
+)
+
+snapshots = st.builds(
+    lambda c, g, h: {"counters": c, "gauges": g, "histograms": h},
+    counters, gauges, histograms,
+)
+
+
+class TestMergeLaws:
+    @given(snapshots, snapshots, snapshots)
+    @settings(max_examples=150, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert snapshot_to_json(left) == snapshot_to_json(right)
+
+    @given(snapshots, snapshots)
+    @settings(max_examples=150, deadline=None)
+    def test_counters_and_histograms_commute(self, a, b):
+        ab = merge_snapshots(a, b)
+        ba = merge_snapshots(b, a)
+        assert ab["counters"] == ba["counters"]
+        assert snapshot_to_json(ab["histograms"]) == snapshot_to_json(
+            ba["histograms"]
+        )
+
+    @given(snapshots)
+    @settings(max_examples=50, deadline=None)
+    def test_empty_snapshot_is_identity(self, a):
+        empty = {"counters": {}, "gauges": {}, "histograms": {}}
+        assert snapshot_to_json(merge_snapshots(a, empty)) == snapshot_to_json(
+            merge_snapshots(empty, a)
+        )
+
+
+class TestMergeSemantics:
+    def test_counters_sum_gauges_last_writer_wins(self):
+        left = {"counters": {"x": 2}, "gauges": {"g": 1.0, "only_left": 7.0}}
+        right = {"counters": {"x": 3, "y": 1}, "gauges": {"g": 5.0}}
+        merged = merge_snapshots(left, right)
+        assert merged["counters"] == {"x": 5, "y": 1}
+        assert merged["gauges"] == {"g": 5.0, "only_left": 7.0}
+
+    def test_histograms_add_bucketwise(self):
+        a = hist_snapshot([0.5, 5.0])
+        b = hist_snapshot([5.0, 500.0])
+        merged = merge_snapshots(
+            {"histograms": {"h": a}}, {"histograms": {"h": b}}
+        )["histograms"]["h"]
+        assert merged["count"] == 4
+        assert merged["buckets"]["le_1"] == 1
+        assert merged["buckets"]["le_10"] == 2
+        assert merged["buckets"]["overflow"] == 1
+        assert merged["min"] == 0.5
+        assert merged["max"] == 500.0
+
+    def test_empty_histogram_min_max_stay_none(self):
+        empty = hist_snapshot([])
+        merged = merge_snapshots(
+            {"histograms": {"h": empty}}, {"histograms": {"h": empty}}
+        )["histograms"]["h"]
+        assert merged["min"] is None and merged["max"] is None
+
+    def test_mismatched_buckets_raise(self):
+        a = hist_snapshot([1.0])
+        b = dict(a, buckets={"le_1": 1, "overflow": 0})
+        with pytest.raises(ValueError):
+            merge_snapshots(
+                {"histograms": {"h": a}}, {"histograms": {"h": b}}
+            )
+
+    def test_merged_registry_snapshots_round_trip_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(2.5)
+        reg.histogram("h", BOUNDS).observe(4.0)
+        merged = merge_snapshots(reg.snapshot(), reg.snapshot())
+        text = snapshot_to_json(merged)
+        assert snapshot_to_json(json.loads(text)) == text

@@ -142,7 +142,7 @@ class TestGenerationRecovery:
         base = store.save("k", "gen", "x")[: -len(".g0001")]
         gens = storage.GenerationStore(base, CHECKPOINT_KIND)
         gens.commit(b"not a pickle at all")
-        with pytest.raises(CheckpointCorruptError, match="does not unpickle"):
+        with pytest.raises(CheckpointCorruptError, match="does not decode"):
             store.load("k", "gen")
 
     def test_legacy_pickle_still_loads(self, tmp_path):
